@@ -1,0 +1,41 @@
+//! Shared helpers for the benchmark ports.
+
+/// Value following a flag, C-getopt style: `flag_value(&argv, "-l")`.
+pub fn flag_value<'a>(argv: &'a [String], flag: &str) -> Option<&'a str> {
+    argv.iter()
+        .position(|a| a == flag)
+        .and_then(|p| argv.get(p + 1))
+        .map(String::as_str)
+}
+
+/// Parse the value of `flag` as `u64`, with a default.
+pub fn parse_flag_or(argv: &[String], flag: &str, default: u64) -> u64 {
+    flag_value(argv, flag)
+        .map(|v| device_libc::string::parse_c_int(v).max(0) as u64)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_extraction() {
+        let a = argv(&["prog", "-l", "500", "-g"]);
+        assert_eq!(flag_value(&a, "-l"), Some("500"));
+        assert_eq!(flag_value(&a, "-g"), None); // trailing flag, no value
+        assert_eq!(flag_value(&a, "-x"), None);
+    }
+
+    #[test]
+    fn parse_with_defaults() {
+        let a = argv(&["prog", "-l", "500", "-b", "junk"]);
+        assert_eq!(parse_flag_or(&a, "-l", 9), 500);
+        assert_eq!(parse_flag_or(&a, "-b", 9), 0); // junk parses to 0, C-style
+        assert_eq!(parse_flag_or(&a, "-z", 9), 9);
+    }
+}

@@ -1,0 +1,470 @@
+//! XSBench: the OpenMC continuous-energy macroscopic-cross-section lookup
+//! proxy (Tramm et al.), memory-bound.
+//!
+//! Each lookup draws a pseudo-random particle energy, binary-searches the
+//! *unionized* energy grid, then for every nuclide reads its grid index
+//! from the index grid and interpolates five cross sections between two
+//! bounding gridpoints. The accesses are data-dependent and scattered —
+//! the memory-bound behaviour the paper's §4.3 discusses.
+//!
+//! The port keeps XSBench's structure: `main` parses flags, builds the
+//! grids in parallel, runs the lookup kernel under an OpenMP-style
+//! parallel-for reduction, and prints a verification checksum. Grid
+//! contents are analytic functions of the indices (seeded LCG for cross
+//! sections), so the host reference reproduces device results exactly.
+
+use crate::calibration as cal;
+use crate::common::parse_flag_or;
+use device_libc::rand::Lcg64;
+use device_libc::stdio::{dl_clock_ns, dl_printf};
+use dgc_core::{AppContext, HostApp};
+use gpu_sim::{KernelError, TeamCtx};
+
+/// XSBench problem size (`-s small|large`), matching upstream's presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProblemSize {
+    #[default]
+    Small,
+    /// 355 nuclides; the paper-scale footprint is ≈ 5.5 GB per instance,
+    /// so only seven instances fit a 40 GB device.
+    Large,
+}
+
+/// Parsed XSBench arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XsParams {
+    /// Gridpoints per nuclide (`-g`).
+    pub gridpoints: u64,
+    /// Number of lookups (`-l`).
+    pub lookups: u64,
+    /// Problem-size preset (`-s`).
+    pub size: ProblemSize,
+    /// Nuclides materialized functionally (`-n`; defaults per preset).
+    pub nuclides: u64,
+}
+
+impl XsParams {
+    pub fn parse(argv: &[String]) -> XsParams {
+        let size = match crate::common::flag_value(argv, "-s") {
+            Some("large") => ProblemSize::Large,
+            _ => ProblemSize::Small,
+        };
+        // Both presets default to the small functional nuclide count: the
+        // preset scales the *modeled* footprint (the full 355-nuclide data
+        // is reserved, not materialized); `-n` overrides for functional
+        // fidelity at the cost of runtime.
+        let default_nuclides = cal::XS_NUCLIDES;
+        XsParams {
+            gridpoints: parse_flag_or(argv, "-g", cal::XS_SCALED_GRIDPOINTS).max(2),
+            lookups: parse_flag_or(argv, "-l", cal::XS_SCALED_LOOKUPS).max(1),
+            size,
+            nuclides: parse_flag_or(argv, "-n", default_nuclides).max(2),
+        }
+    }
+
+    pub fn nuclides(&self) -> u64 {
+        self.nuclides
+    }
+
+    /// Paper-scale footprint of this preset, reserved per instance.
+    pub fn paper_bytes(&self) -> u64 {
+        match self.size {
+            ProblemSize::Small => cal::xs_paper_bytes(),
+            ProblemSize::Large => cal::xs_large_paper_bytes(),
+        }
+    }
+
+    pub fn unionized_points(&self) -> u64 {
+        self.nuclides() * self.gridpoints
+    }
+}
+
+// ---- analytic grid contents (shared by device fill and host reference) --
+
+/// Energy of gridpoint `k` of nuclide `j`: per-nuclide grids are uniform
+/// with a nuclide-specific phase so the unionized grid is a strict
+/// interleaving.
+fn nuclide_energy(j: u64, k: u64, n: u64, g: u64) -> f64 {
+    (k as f64 + (j as f64 + 1.0) / (n as f64 + 1.0)) / g as f64
+}
+
+/// Cross section `c` (0..5) at gridpoint `k` of nuclide `j`.
+fn nuclide_xs(j: u64, k: u64, c: u64, g: u64) -> f64 {
+    Lcg64::new((j * g + k) * 6 + c).next_f64()
+}
+
+/// Energy of unionized gridpoint `u` (sorted union of all nuclide grids).
+fn unionized_energy(u: u64, n: u64, g: u64) -> f64 {
+    nuclide_energy(u % n, u / n, n, g)
+}
+
+/// Index into nuclide `j`'s grid for unionized point `u`: the largest `k`
+/// with `energy(j, k) <= unionized(u)`, clamped to a valid interpolation
+/// interval.
+fn index_of(u: u64, j: u64, n: u64, g: u64) -> u32 {
+    let k = u / n;
+    let r = u % n;
+    let idx = if j <= r { k as i64 } else { k as i64 - 1 };
+    idx.clamp(0, g as i64 - 2) as u32
+}
+
+/// Nuclide concentration in the material (fixed single-material problem).
+fn concentration(j: u64) -> f64 {
+    0.1 + (j % 7) as f64 * 0.05
+}
+
+/// Particle energy for lookup `i` (independent seeded stream per lookup,
+/// as XSBench does with its LCG skip).
+fn particle_energy(i: u64) -> f64 {
+    Lcg64::new(0xC5_00_15 + i).next_f64()
+}
+
+/// Data access used by one lookup — implemented over device memory (real
+/// loads, traced) and over the analytic formulas (host reference), so both
+/// run the identical arithmetic.
+trait XsAccess {
+    fn index(&mut self, u: u64, j: u64) -> Result<u32, KernelError>;
+    /// `c == 0` is the gridpoint energy; `1..=5` the cross sections.
+    fn grid(&mut self, j: u64, k: u64, c: u64) -> Result<f64, KernelError>;
+}
+
+/// The macroscopic-XS contribution of one lookup. Shared shape for device
+/// and reference.
+fn lookup_contribution<A: XsAccess>(
+    acc: &mut A,
+    p_energy: f64,
+    u: u64,
+    n: u64,
+) -> Result<f64, KernelError> {
+    let mut macro_xs = [0.0f64; 5];
+    for j in 0..n {
+        let k = acc.index(u, j)? as u64;
+        let e_lo = acc.grid(j, k, 0)?;
+        let e_hi = acc.grid(j, k + 1, 0)?;
+        let f = if e_hi > e_lo {
+            ((e_hi - p_energy) / (e_hi - e_lo)).clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let conc = concentration(j);
+        for (c, m) in macro_xs.iter_mut().enumerate() {
+            let lo = acc.grid(j, k, 1 + c as u64)?;
+            let hi = acc.grid(j, k + 1, 1 + c as u64)?;
+            *m += conc * (lo * f + hi * (1.0 - f));
+        }
+    }
+    Ok(macro_xs.iter().sum())
+}
+
+/// Analytic (host-reference) accessor.
+struct FormulaAccess {
+    n: u64,
+    g: u64,
+}
+
+impl XsAccess for FormulaAccess {
+    fn index(&mut self, u: u64, j: u64) -> Result<u32, KernelError> {
+        Ok(index_of(u, j, self.n, self.g))
+    }
+
+    fn grid(&mut self, j: u64, k: u64, c: u64) -> Result<f64, KernelError> {
+        Ok(if c == 0 {
+            nuclide_energy(j, k, self.n, self.g)
+        } else {
+            nuclide_xs(j, k, c - 1, self.g)
+        })
+    }
+}
+
+/// Device-memory accessor (the measured kernel's loads).
+struct DeviceAccess<'l, 't, 'g> {
+    lane: &'l mut gpu_sim::LaneCtx<'t, 'g>,
+    idx_grid: gpu_mem::DevicePtr,
+    grids: gpu_mem::DevicePtr,
+    g: u64,
+    u_count: u64,
+}
+
+impl XsAccess for DeviceAccess<'_, '_, '_> {
+    fn index(&mut self, u: u64, j: u64) -> Result<u32, KernelError> {
+        self.lane.ld_idx::<u32>(self.idx_grid, j * self.u_count + u)
+    }
+
+    fn grid(&mut self, j: u64, k: u64, c: u64) -> Result<f64, KernelError> {
+        self.lane.ld_idx::<f64>(self.grids, (j * self.g + k) * 6 + c)
+    }
+}
+
+/// Host reference: the exact checksum the device run must print.
+pub fn reference_checksum(p: &XsParams) -> f64 {
+    let n = p.nuclides();
+    let g = p.gridpoints;
+    let u_count = p.unionized_points();
+    let egrid: Vec<f64> = (0..u_count).map(|u| unionized_energy(u, n, g)).collect();
+    let mut total = 0.0;
+    let mut acc = FormulaAccess { n, g };
+    for i in 0..p.lookups {
+        let pe = particle_energy(i);
+        let ins = egrid.partition_point(|&e| e < pe) as u64;
+        let u = ins.saturating_sub(1).min(u_count - 2);
+        total += lookup_contribution(&mut acc, pe, u, n).expect("reference loads cannot fail");
+    }
+    total
+}
+
+/// The device `__user_main`.
+fn xs_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+    let p = XsParams::parse(&cx.argv);
+    let n = p.nuclides();
+    let g = p.gridpoints;
+    let u_count = p.unionized_points();
+
+    // Model the paper-scale footprint, then allocate the working arrays.
+    // Layout per nuclide gridpoint: [energy, xs0..xs4] (6 f64).
+    let paper_bytes = p.paper_bytes();
+    let (egrid, idx_grid, grids) = team.serial("setup", |lane| {
+        lane.dev_reserve(paper_bytes)?;
+        let egrid = lane.dev_alloc(u_count * 8)?;
+        let idx_grid = lane.dev_alloc(u_count * n * 4)?;
+        let grids = lane.dev_alloc(n * g * 6 * 8)?;
+        lane.work(200.0); // argument parsing and setup bookkeeping
+        Ok((egrid, idx_grid, grids))
+    })?;
+
+    // Generate per-nuclide grids (XSBench's generate_grids).
+    team.parallel_for("generate_grids", n * g, |i, lane| {
+        let (j, k) = (i / g, i % g);
+        let base = i * 6;
+        lane.st_idx::<f64>(grids, base, nuclide_energy(j, k, n, g))?;
+        for c in 0..5u64 {
+            lane.st_idx::<f64>(grids, base + 1 + c, nuclide_xs(j, k, c, g))?;
+        }
+        lane.work(8.0);
+        Ok(())
+    })?;
+
+    // Build the unionized energy grid and the index grid.
+    team.parallel_for("unionize", u_count, |u, lane| {
+        lane.st_idx::<f64>(egrid, u, unionized_energy(u, n, g))?;
+        // The index grid is stored nuclide-major (`j * U + u`): adjacent
+        // threads build adjacent entries, so generation is coalesced (the
+        // real XSBench builds this once and amortizes it over 15M lookups).
+        for j in 0..n {
+            lane.st_idx::<u32>(idx_grid, j * u_count + u, index_of(u, j, n, g))?;
+        }
+        lane.work(4.0 * n as f64);
+        Ok(())
+    })?;
+
+    // The measured kernel: random macroscopic-XS lookups.
+    let t0 = team.serial("clock", dl_clock_ns)?;
+    let checksum = team.parallel_for_reduce_f64("lookups", p.lookups, |i, lane| {
+        let pe = particle_energy(i);
+        let ins = match device_libc::sort::dl_bsearch::<f64>(lane, egrid, u_count, pe)? {
+            Ok(m) => m,
+            Err(ins) => ins,
+        };
+        let u = ins.saturating_sub(1).min(u_count - 2);
+        lane.work(cal::XS_INTERP_WORK * n as f64);
+        let mut acc = DeviceAccess {
+            lane,
+            idx_grid,
+            grids,
+            g,
+            u_count,
+        };
+        lookup_contribution(&mut acc, pe, u, n)
+    })?;
+    let t1 = team.serial("clock", dl_clock_ns)?;
+
+    let lookups = p.lookups;
+    team.serial("report", |lane| {
+        let dt_s = (t1.saturating_sub(t0)) as f64 * 1e-9;
+        let rate = if dt_s > 0.0 {
+            lookups as f64 / dt_s
+        } else {
+            0.0
+        };
+        dl_printf(
+            lane,
+            "Simulation complete.\nLookups: %d\nLookups/s: %.0f\nVerification checksum: %.10e\n",
+            &[lookups.into(), rate.into(), checksum.into()],
+        )?;
+        Ok(())
+    })?;
+    Ok(0)
+}
+
+/// Module IR describing the XSBench translation unit.
+const MODULE: &str = r#"
+module "xsbench" {
+  func @main arity=2 calls(@parse_args, @generate_grids, @unionize, @run_lookups, @printf, @time)
+  func @parse_args arity=2 calls(@atoi, @strcmp)
+  func @generate_grids arity=1 calls(@malloc, @rand) !parallel(1) !order_independent
+  func @unionize arity=1 calls(@malloc) !parallel(1) !order_independent
+  func @run_lookups arity=1 calls(@bsearch, @sqrt) !parallel(1) !order_independent
+  extern func @printf variadic
+  extern func @time
+  extern func @atoi
+  extern func @strcmp
+  extern func @malloc
+  extern func @rand
+  extern func @bsearch
+  extern func @sqrt
+}
+"#;
+
+/// Paper-scale footprint over materialized footprint, for the L2 model.
+fn footprint_scale(argv: &[String]) -> f64 {
+    let p = XsParams::parse(argv);
+    p.paper_bytes() as f64 / cal::xs_scaled_bytes_n(p.nuclides, p.gridpoints).max(1) as f64
+}
+
+/// The packaged XSBench application.
+pub fn app() -> HostApp {
+    let mut a = HostApp::new("xsbench", MODULE, xs_main);
+    a.footprint_scale = Some(footprint_scale);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_core::Loader;
+    use gpu_sim::Gpu;
+    use host_rpc::HostServices;
+
+    #[test]
+    fn params_parse_with_defaults() {
+        let argv: Vec<String> = ["xsbench", "-l", "100", "-g", "16"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = XsParams::parse(&argv);
+        assert_eq!(
+            p,
+            XsParams {
+                gridpoints: 16,
+                lookups: 100,
+                size: ProblemSize::Small,
+                nuclides: cal::XS_NUCLIDES
+            }
+        );
+        let d = XsParams::parse(&["xsbench".to_string()]);
+        assert_eq!(d.gridpoints, cal::XS_SCALED_GRIDPOINTS);
+        assert_eq!(d.lookups, cal::XS_SCALED_LOOKUPS);
+    }
+
+    #[test]
+    fn index_grid_is_consistent_with_energies() {
+        let (n, g) = (5u64, 8u64);
+        for u in 0..(n * g) {
+            let eu = unionized_energy(u, n, g);
+            for j in 0..n {
+                let k = index_of(u, j, n, g) as u64;
+                // energy(k) <= eu unless clamped at the bottom, and the
+                // interval is valid for interpolation.
+                assert!(k + 1 < g);
+                if k > 0 {
+                    assert!(nuclide_energy(j, k, n, g) <= eu + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unionized_grid_is_sorted() {
+        let (n, g) = (7u64, 11u64);
+        let e: Vec<f64> = (0..n * g).map(|u| unionized_energy(u, n, g)).collect();
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn device_checksum_matches_reference_exactly() {
+        let mut gpu = Gpu::a100();
+        let res = Loader::default()
+            .run(
+                &mut gpu,
+                &app(),
+                &["-l", "40", "-g", "12"],
+                HostServices::default(),
+            )
+            .unwrap();
+        assert_eq!(res.exit_code, Some(0), "trap: {:?}", res.trap);
+        let p = XsParams {
+            gridpoints: 12,
+            lookups: 40,
+            size: ProblemSize::Small,
+            nuclides: cal::XS_NUCLIDES,
+        };
+        let expected = format!("Verification checksum: {:.10e}", reference_checksum(&p));
+        // C-style %e prints e0 exponents as e+00; normalize for comparison.
+        let line = res
+            .stdout
+            .lines()
+            .find(|l| l.starts_with("Verification"))
+            .unwrap()
+            .to_string();
+        let norm = |s: &str| s.replace("e+0", "e").replace("e+", "e").replace("e-0", "e-");
+        assert_eq!(norm(&line), norm(&expected), "stdout: {}", res.stdout);
+    }
+
+    #[test]
+    fn kernel_is_memory_heavy() {
+        let mut gpu = Gpu::a100();
+        let res = Loader::default()
+            .run(&mut gpu, &app(), &["-l", "60"], HostServices::default())
+            .unwrap();
+        // Bytes per warp-instruction should reflect a memory-bound lookup
+        // code (bytes are lane-summed, instructions warp-max; compare
+        // RSBench's ≈11 on the same metric).
+        let bpi = res.report.useful_bytes / res.report.total_insts;
+        assert!(bpi > 25.0, "bytes/warp-inst = {bpi}");
+        // Random lookups cannot be perfectly coalesced.
+        assert!(res.report.coalescing_efficiency < 0.9);
+    }
+
+    #[test]
+    fn footprint_scale_is_large() {
+        let argv = vec!["xsbench".to_string()];
+        assert!(footprint_scale(&argv) > 50.0);
+    }
+
+    #[test]
+    fn large_preset_parses_and_dwarfs_small() {
+        let argv: Vec<String> = ["xsbench", "-s", "large", "-l", "20", "-g", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let p = XsParams::parse(&argv);
+        assert_eq!(p.size, ProblemSize::Large);
+        assert!(p.paper_bytes() > 20 * cal::xs_paper_bytes());
+        // Seven large instances fit a 40 GB device; eight do not.
+        assert!(7 * p.paper_bytes() < 40 << 30);
+        assert!(8 * p.paper_bytes() > 40 << 30);
+    }
+
+    #[test]
+    fn large_preset_ooms_at_eight_instances() {
+        use dgc_core::{run_ensemble, EnsembleOptions};
+        let run_n = |n: u32| {
+            let mut gpu = Gpu::a100();
+            let opts = EnsembleOptions {
+                num_instances: n,
+                thread_limit: 32,
+                ..Default::default()
+            };
+            let args = vec![vec![
+                "-s".to_string(),
+                "large".into(),
+                "-l".into(),
+                "10".into(),
+                "-g".into(),
+                "8".into(),
+            ]];
+            run_ensemble(&mut gpu, &app(), &args, &opts, HostServices::default()).unwrap()
+        };
+        assert!(!run_n(4).any_oom());
+        assert!(run_n(8).any_oom());
+    }
+}

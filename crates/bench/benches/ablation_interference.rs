@@ -1,0 +1,60 @@
+//! Ablation: the DRAM row-locality interference model (the paper's §4.3
+//! explanation for sublinear scaling).
+//!
+//! Runs the streaming AMGmk workload at 32 instances with the interference
+//! model enabled (default A100 parameters) and disabled (efficiency pinned
+//! at its single-region value), demonstrating how much of the scaling gap
+//! the mechanism accounts for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgc_core::{run_ensemble, EnsembleOptions};
+use gpu_arch::GpuSpec;
+use gpu_sim::Gpu;
+use host_rpc::HostServices;
+
+fn run_amg(spec: GpuSpec, instances: u32) -> f64 {
+    let mut gpu = Gpu::new(spec);
+    let app = dgc_apps::amgmk::app();
+    let opts = EnsembleOptions {
+        num_instances: instances,
+        thread_limit: 1024,
+        ..Default::default()
+    };
+    let args = vec![vec!["-n".to_string(), "6".into(), "-s".into(), "4".into()]];
+    run_ensemble(&mut gpu, &app, &args, &opts, HostServices::default())
+        .unwrap()
+        .kernel_time_s
+}
+
+fn no_interference_spec() -> GpuSpec {
+    let mut spec = GpuSpec::a100_40gb();
+    // Pin efficiency at the single-region value for any region count.
+    spec.mem_model.dram_eff_many_regions = spec.mem_model.dram_eff_single_region;
+    spec
+}
+
+fn bench(c: &mut Criterion) {
+    // Print the ablation result once, outside the timed loops.
+    let t1 = run_amg(GpuSpec::a100_40gb(), 1);
+    let t32_on = run_amg(GpuSpec::a100_40gb(), 32);
+    let t32_off = run_amg(no_interference_spec(), 32);
+    let s_on = t1 * 32.0 / t32_on;
+    let s_off = run_amg(no_interference_spec(), 1) * 32.0 / t32_off;
+    eprintln!(
+        "ablation_interference: amgmk x32 speedup = {s_on:.1} (interference on) vs {s_off:.1} (off)"
+    );
+    assert!(s_on < s_off, "interference must cost scaling");
+
+    let mut group = c.benchmark_group("ablation_interference");
+    group.sample_size(10);
+    group.bench_function("amgmk_x32_interference_on", |b| {
+        b.iter(|| run_amg(GpuSpec::a100_40gb(), 32))
+    });
+    group.bench_function("amgmk_x32_interference_off", |b| {
+        b.iter(|| run_amg(no_interference_spec(), 32))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Ablation: the §3.1 packed `(N/M, M, 1)` intra-block instance mapping
+//! (described as future work in the paper; implemented here).
+//!
+//! Sweeps M ∈ {1, 2, 4, 8} instances per thread block for a
+//! low-parallelism RSBench workload at a fixed thread limit, showing the
+//! concurrency-vs-per-instance-parallelism trade the paper describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgc_core::{run_ensemble, EnsembleOptions, MappingStrategy};
+use gpu_sim::Gpu;
+use host_rpc::HostServices;
+
+fn run_packed(per_block: u32) -> f64 {
+    let mut gpu = Gpu::a100();
+    let app = dgc_apps::rsbench::app();
+    let opts = EnsembleOptions {
+        num_instances: 16,
+        thread_limit: 256,
+        mapping: if per_block == 1 {
+            MappingStrategy::OnePerTeam
+        } else {
+            MappingStrategy::Packed { per_block }
+        },
+        ..Default::default()
+    };
+    let args = vec![vec![
+        "-l".to_string(),
+        "40".into(),
+        "-w".into(),
+        "8".into(),
+        "-p".into(),
+        "2".into(),
+    ]];
+    let res = run_ensemble(&mut gpu, &app, &args, &opts, HostServices::default()).unwrap();
+    assert!(res.all_succeeded());
+    res.kernel_time_s
+}
+
+fn bench(c: &mut Criterion) {
+    for m in [1u32, 2, 4, 8] {
+        let t = run_packed(m);
+        eprintln!("ablation_multidim: 16 instances, pack={m}: {:.3} ms", t * 1e3);
+    }
+    let mut group = c.benchmark_group("ablation_multidim");
+    group.sample_size(10);
+    for m in [1u32, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("pack", m), &m, |b, &m| {
+            b.iter(|| run_packed(m))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: ensemble execution (this paper) vs. the \[27\] multi-team
+//! expansion baseline, on the same total work.
+//!
+//! Processing N independent XSBench inputs can be done two ways:
+//!   (a) one ensemble kernel with N teams (this paper), or
+//!   (b) N sequential runs, each expanded across N teams (\[27\]).
+//! This bench measures both and prints the ratio — the quantitative form
+//! of the paper's §3 motivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgc_core::{run_ensemble, run_multi_team, EnsembleOptions};
+use gpu_sim::Gpu;
+use host_rpc::HostServices;
+
+const ARGS: [&str; 4] = ["-l", "120", "-g", "16"];
+
+fn ensemble_time(n: u32) -> f64 {
+    let mut gpu = Gpu::a100();
+    let app = dgc_apps::xsbench::app();
+    let opts = EnsembleOptions {
+        num_instances: n,
+        thread_limit: 128,
+        ..Default::default()
+    };
+    let lines = vec![ARGS.iter().map(|s| s.to_string()).collect()];
+    let res = run_ensemble(&mut gpu, &app, &lines, &opts, HostServices::default()).unwrap();
+    assert!(res.all_succeeded());
+    res.kernel_time_s
+}
+
+fn multiteam_total_time(n: u32) -> f64 {
+    let mut gpu = Gpu::a100();
+    let app = dgc_apps::xsbench::app();
+    (0..n)
+        .map(|_| {
+            run_multi_team(&mut gpu, &app, &ARGS, n, 128, HostServices::default())
+                .unwrap()
+                .kernel_time_s
+        })
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    for n in [4u32, 16] {
+        let ens = ensemble_time(n);
+        let mt = multiteam_total_time(n);
+        eprintln!(
+            "ablation_vs_multiteam: {n} inputs — ensemble {:.3} ms vs {n} multi-team runs {:.3} ms ({:.1}x)",
+            ens * 1e3,
+            mt * 1e3,
+            mt / ens
+        );
+        assert!(ens < mt, "ensemble must win on independent inputs");
+    }
+    let mut group = c.benchmark_group("ablation_vs_multiteam");
+    group.sample_size(10);
+    for n in [4u32, 16] {
+        group.bench_with_input(BenchmarkId::new("ensemble", n), &n, |b, &n| {
+            b.iter(|| ensemble_time(n))
+        });
+        group.bench_with_input(BenchmarkId::new("multiteam_seq", n), &n, |b, &n| {
+            b.iter(|| multiteam_total_time(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

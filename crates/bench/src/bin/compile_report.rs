@@ -1,0 +1,57 @@
+//! Show what the direct-GPU-compilation pipeline does to a benchmark's
+//! module: the module before and after, every diagnostic, and the image
+//! metadata the runtime consumes.
+//!
+//! ```text
+//! cargo run --release -p dgc-bench --bin compile_report -- xsbench
+//! ```
+
+use dgc_core::Loader;
+use dgc_ir::Module;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app_name = args.first().map(String::as_str).unwrap_or("xsbench");
+    let Some(app) = dgc_apps::app_by_name(app_name) else {
+        eprintln!("unknown application '{app_name}' (xsbench, rsbench, amgmk, pagerank)");
+        std::process::exit(2);
+    };
+
+    let before = Module::parse(&app.module_text).expect("benchmark modules parse");
+    println!("==== input module (what the linker hands the LTO pipeline) ====");
+    println!("{before}\n");
+
+    let image = Loader::default().compile_app(&app).expect("benchmarks compile");
+    println!("==== compiled module ====");
+    println!("{}\n", image.module);
+
+    println!("==== diagnostics ====");
+    for d in image.diagnostics.iter() {
+        println!("[{:?}] {}: {}", d.severity, d.pass, d.message);
+    }
+    println!();
+
+    println!("==== image metadata (consumed by the loaders) ====");
+    println!("entry:               {}", image.entry);
+    println!("RPC services:        {:?}", image.rpc_services);
+    println!(
+        "parallel regions:    {} ({} expandable; multi-team eligible: {})",
+        image.expansion.parallel_regions,
+        image.expansion.expandable_regions,
+        image.expansion.multi_team_eligible
+    );
+    println!("global placements:");
+    for (name, placement) in &image.global_placements {
+        println!("  @{name:<20} {placement}");
+    }
+    println!(
+        "team-shared bytes:   {}",
+        image.team_shared_globals_bytes()
+    );
+    let hazards = image.isolation_hazards();
+    if hazards.is_empty() {
+        println!("isolation hazards:   none (ensemble-safe)");
+    } else {
+        println!("isolation hazards:   {hazards:?} (§3.3: instances may race)");
+    }
+}

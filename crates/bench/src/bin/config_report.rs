@@ -1,0 +1,51 @@
+//! Regenerate the §4.2 configuration table: the device the evaluation
+//! models, the compiler pipeline configuration, and the sweep parameters.
+
+use gpu_arch::{occupancy, GpuSpec, LaunchConfig};
+
+fn main() {
+    let spec = GpuSpec::a100_40gb();
+    println!("Evaluation configuration (paper §4.2)");
+    println!("=====================================");
+    println!("Device:                 {}", spec.name);
+    println!("SMs:                    {}", spec.sm_count);
+    println!("Warp size:              {}", spec.warp_size);
+    println!("Max threads/block:      {}", spec.max_threads_per_block);
+    println!("Max threads/SM:         {}", spec.max_threads_per_sm);
+    println!("Shared memory/SM:       {} KiB", spec.shared_mem_per_sm / 1024);
+    println!("Core clock:             {} MHz", spec.clock_mhz);
+    println!("DRAM bandwidth:         {:.0} GB/s", spec.dram_bandwidth_gbps);
+    println!("L2 cache:               {} MiB", spec.l2_size_bytes >> 20);
+    println!("Device memory:          {} GiB", spec.global_mem_bytes >> 30);
+    println!();
+    println!("Memory model:");
+    println!(
+        "  MLP window/warp:      {} sectors ({:.2} B/cycle)",
+        spec.mem_model.max_outstanding_sectors_per_warp,
+        spec.mem_model.warp_mlp_bytes_per_cycle()
+    );
+    println!("  DRAM latency:         {} cycles", spec.mem_model.dram_latency_cycles);
+    println!(
+        "  Row-locality eff:     {:.2} (1 region) -> {:.2} (64 regions)",
+        spec.mem_model.dram_efficiency(1),
+        spec.mem_model.dram_efficiency(64)
+    );
+    println!();
+    println!("Sweep: instances = 1,2,4,8,16,32,64; thread limits = 32, 1024");
+    println!("(teams = instances; one team per instance, as in §4.2)");
+    println!();
+    println!("Occupancy at the sweep corners:");
+    for (n, t) in [(1u32, 32u32), (64, 32), (1, 1024), (64, 1024)] {
+        let occ = occupancy(&spec, &LaunchConfig::linear(n, t)).unwrap();
+        println!(
+            "  n={n:<3} t={t:<5} -> {:>3} blocks/SM, occupancy {:>5.1}%, waves {}",
+            occ.blocks_per_sm,
+            occ.occupancy * 100.0,
+            occ.waves
+        );
+    }
+    println!();
+    println!("Benchmarks: XSBench, RSBench, AMGmk (relax), Page-Rank (HeCBench)");
+    println!("Compiler:   declare-target -> main-canonicalize -> host-call-resolve");
+    println!("            -> globals-to-shared -> parallelism-expansion -> DCE");
+}

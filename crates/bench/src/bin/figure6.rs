@@ -1,0 +1,64 @@
+//! Regenerate the paper's Figure 6: relative speedup of the four
+//! benchmarks under ensemble execution, at thread limits 32 and 1024.
+//!
+//! ```text
+//! cargo run --release -p dgc-bench --bin figure6               # both panels
+//! cargo run --release -p dgc-bench --bin figure6 -- --thread-limit 32
+//! cargo run --release -p dgc-bench --bin figure6 -- --smoke    # quick sizes
+//! cargo run --release -p dgc-bench --bin figure6 -- --json out.json
+//! ```
+
+use dgc_bench::{
+    default_workloads, device_by_name, run_figure6_panel_on, smoke_workloads, THREAD_LIMITS,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut thread_limits: Vec<u32> = THREAD_LIMITS.to_vec();
+    let mut smoke = false;
+    let mut extended = false;
+    let mut device = "a100".to_string();
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--thread-limit" => {
+                let v = it.next().expect("--thread-limit needs a value");
+                thread_limits = vec![v.parse().expect("thread limit must be a number")];
+            }
+            "--smoke" => smoke = true,
+            "--extended" => extended = true,
+            "--device" => device = it.next().expect("--device needs a name").clone(),
+            "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let spec = device_by_name(&device).unwrap_or_else(|| {
+        eprintln!("unknown device '{device}' (use a100, v100 or mi210)");
+        std::process::exit(2);
+    });
+    let workloads = if smoke {
+        smoke_workloads()
+    } else {
+        default_workloads()
+    };
+
+    let mut panels = Vec::new();
+    for tl in thread_limits {
+        eprintln!("running panel: {} thread limit {tl} ...", spec.name);
+        let panel = run_figure6_panel_on(&spec, tl, &workloads, extended);
+        println!("{}", panel.render());
+        let (bench, peak) = panel.peak();
+        println!("peak speedup @ TL {tl}: {peak:.1}x ({bench})\n");
+        panels.push(panel);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&panels).expect("panels serialize");
+        std::fs::write(&path, json).expect("write JSON output");
+        eprintln!("wrote {path}");
+    }
+}

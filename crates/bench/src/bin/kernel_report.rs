@@ -1,0 +1,66 @@
+//! Per-phase kernel profile of one benchmark run — the observability tool
+//! for understanding *why* a kernel takes the time the Figure-6 harness
+//! measures.
+//!
+//! ```text
+//! cargo run --release -p dgc-bench --bin kernel_report -- xsbench -l 200 -g 24
+//! ```
+
+use dgc_core::Loader;
+use gpu_sim::{Gpu, MixedSeg};
+use host_rpc::HostServices;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: kernel_report <app> [app args...]");
+        eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
+        std::process::exit(2);
+    }
+    let app_name = args.remove(0);
+    let Some(app) = dgc_apps::app_by_name(&app_name) else {
+        eprintln!("unknown application '{app_name}'");
+        std::process::exit(2);
+    };
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+
+    let loader = Loader {
+        keep_traces: true,
+        ..Default::default()
+    };
+    let mut gpu = Gpu::a100();
+    let res = loader
+        .run(&mut gpu, &app, &argv, HostServices::default())
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+
+    println!("{}", res.report.summary());
+    println!();
+    println!(
+        "{:<20} {:>12} {:>14} {:>10} {:>8} {:>6}",
+        "phase", "warp insts", "moved bytes", "sectors", "coal %", "RPCs"
+    );
+    let traces = res.block_traces.expect("keep_traces was set");
+    for team in traces.iter().flat_map(|b| &b.teams) {
+        for phase in &team.phases {
+            let mut total = MixedSeg::default();
+            for w in &phase.warps {
+                total.merge(w);
+            }
+            println!(
+                "{:<20} {:>12.0} {:>14.0} {:>10} {:>8.0} {:>6}",
+                phase.label,
+                total.insts,
+                total.moved_bytes,
+                total.sectors,
+                total.coalescing_efficiency() * 100.0,
+                total.rpc_calls,
+            );
+        }
+    }
+    println!();
+    println!("program output:");
+    print!("{}", res.stdout);
+}

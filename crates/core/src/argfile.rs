@@ -1,0 +1,100 @@
+//! The command-line-argument file of the enhanced loader (paper §3.2):
+//! each line holds the arguments for one application instance.
+
+/// Argument-file problems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgFileError {
+    /// The file contains no argument lines at all.
+    Empty,
+}
+
+impl std::fmt::Display for ArgFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgFileError::Empty => write!(f, "argument file contains no argument lines"),
+        }
+    }
+}
+
+impl std::error::Error for ArgFileError {}
+
+/// Parse an argument file into per-instance argument vectors (without
+/// `argv[0]`, which the loader prepends).
+///
+/// Splitting is by whitespace, as in the paper's Fig. 5. Extensions over
+/// the proof of concept: blank lines and `#` comment lines are skipped,
+/// and double-quoted tokens may contain spaces.
+pub fn parse_arg_file(text: &str) -> Result<Vec<Vec<String>>, ArgFileError> {
+    let mut lines = Vec::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        lines.push(split_line(line));
+    }
+    if lines.is_empty() {
+        return Err(ArgFileError::Empty);
+    }
+    Ok(lines)
+}
+
+fn split_line(line: &str) -> Vec<String> {
+    let mut args = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            c if c.is_whitespace() && !in_quotes => {
+                if !cur.is_empty() {
+                    args.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        args.push(cur);
+    }
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_fig5_file() {
+        let text = "-a 1 -b -c data-1.bin\n-a 2 -b -c data-2.bin\n-a 1 -b -c data-3.bin\n-a 3 -b -c data-4.bin\n";
+        let lines = parse_arg_file(text).unwrap();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], vec!["-a", "1", "-b", "-c", "data-1.bin"]);
+        assert_eq!(lines[3], vec!["-a", "3", "-b", "-c", "data-4.bin"]);
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        let text = "# instances for tonight's run\n\n-g 100\n   \n# done\n-g 200\n";
+        let lines = parse_arg_file(text).unwrap();
+        assert_eq!(lines, vec![vec!["-g", "100"], vec!["-g", "200"]]);
+    }
+
+    #[test]
+    fn quoted_tokens_keep_spaces() {
+        let lines = parse_arg_file("-f \"my data.bin\" -x\n").unwrap();
+        assert_eq!(lines[0], vec!["-f", "my data.bin", "-x"]);
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        assert_eq!(parse_arg_file(""), Err(ArgFileError::Empty));
+        assert_eq!(parse_arg_file("# only comments\n"), Err(ArgFileError::Empty));
+    }
+
+    #[test]
+    fn repeated_whitespace_collapses() {
+        let lines = parse_arg_file("-a    1\t-b\n").unwrap();
+        assert_eq!(lines[0], vec!["-a", "1", "-b"]);
+    }
+}

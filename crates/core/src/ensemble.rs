@@ -1,0 +1,776 @@
+use crate::app::{build_globals, AppContext, HostApp};
+use crate::argfile::ArgFileError;
+use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GLOBALS_TAG};
+use dgc_compiler::{compile, CompileError, CompilerOptions};
+use dgc_ir::{Module, ParseError};
+use gpu_mem::{AllocError, TransferDirection};
+use gpu_sim::{Gpu, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
+use host_rpc::{HostServices, RpcServer, RpcStats};
+
+/// How instances map onto the GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingStrategy {
+    /// The paper's implemented scheme: instance *i* → team *i*, one team
+    /// per thread block (`target teams distribute num_teams(N)`).
+    OnePerTeam,
+    /// The §3.1 `(N/M, M, 1)` scheme: `per_block` instances share one
+    /// thread block, each using `thread_limit / per_block` threads.
+    /// Described as future work in the paper; implemented here.
+    Packed { per_block: u32 },
+}
+
+/// Options of the enhanced loader (paper §3.2):
+/// `-n` → [`EnsembleOptions::num_instances`], `-t` →
+/// [`EnsembleOptions::thread_limit`]; the `-f` argument file is parsed
+/// separately and passed as lines.
+#[derive(Debug, Clone)]
+pub struct EnsembleOptions {
+    pub num_instances: u32,
+    pub thread_limit: u32,
+    pub mapping: MappingStrategy,
+    pub compiler: CompilerOptions,
+}
+
+impl Default for EnsembleOptions {
+    fn default() -> Self {
+        Self {
+            num_instances: 1,
+            thread_limit: 128,
+            mapping: MappingStrategy::OnePerTeam,
+            compiler: CompilerOptions::default(),
+        }
+    }
+}
+
+/// What one instance produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceOutcome {
+    /// Exit code (explicit `exit()` beats the `__user_main` return value).
+    pub exit_code: Option<i32>,
+    /// Trap message if the instance did not complete.
+    pub error: Option<String>,
+    /// The trap was a device out-of-memory — the condition that limited
+    /// Page-Rank to 4 instances in the paper's evaluation.
+    pub oom: bool,
+}
+
+impl InstanceOutcome {
+    pub fn succeeded(&self) -> bool {
+        self.error.is_none() && self.exit_code == Some(0)
+    }
+}
+
+/// Result of one ensemble launch.
+#[derive(Debug)]
+pub struct EnsembleResult {
+    pub instances: Vec<InstanceOutcome>,
+    /// Per-instance captured stdout.
+    pub stdout: Vec<String>,
+    pub report: SimReport,
+    /// Kernel time (the paper's `TN`).
+    pub kernel_time_s: f64,
+    /// Kernel + argument mapping + result copy-back.
+    pub total_time_s: f64,
+    /// When each instance's team finished, in simulated seconds from
+    /// kernel start (instances sharing a block under the packed mapping
+    /// share their block's completion time).
+    pub instance_end_times_s: Vec<f64>,
+    pub rpc_stats: RpcStats,
+}
+
+impl EnsembleResult {
+    pub fn all_succeeded(&self) -> bool {
+        self.instances.iter().all(|i| i.succeeded())
+    }
+
+    pub fn any_oom(&self) -> bool {
+        self.instances.iter().any(|i| i.oom)
+    }
+
+    /// Load imbalance of the launch: latest instance finish over the mean
+    /// finish (1.0 = perfectly balanced). Heterogeneous argument files
+    /// make the whole kernel wait for the slowest instance — the cost the
+    /// paper's fixed instance→team mapping accepts.
+    pub fn load_imbalance(&self) -> f64 {
+        let n = self.instance_end_times_s.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let max = self.instance_end_times_s.iter().cloned().fold(0.0, f64::max);
+        let mean: f64 = self.instance_end_times_s.iter().sum::<f64>() / n as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Ensemble-loader failures (per-instance traps are reported in
+/// [`EnsembleResult::instances`], not here).
+#[derive(Debug)]
+pub enum EnsembleError {
+    ModuleParse(ParseError),
+    Compile(CompileError),
+    Launch(SimError),
+    Globals(AllocError),
+    ArgFile(ArgFileError),
+    /// thread_limit not divisible by the packed per-block instance count.
+    BadPacking { thread_limit: u32, per_block: u32 },
+}
+
+impl std::fmt::Display for EnsembleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnsembleError::ModuleParse(e) => write!(f, "module parse error: {e}"),
+            EnsembleError::Compile(e) => write!(f, "compilation failed: {e}"),
+            EnsembleError::Launch(e) => write!(f, "{e}"),
+            EnsembleError::Globals(e) => write!(f, "global allocation failed: {e}"),
+            EnsembleError::ArgFile(e) => write!(f, "{e}"),
+            EnsembleError::BadPacking {
+                thread_limit,
+                per_block,
+            } => write!(
+                f,
+                "thread limit {thread_limit} is not divisible by {per_block} packed instances"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnsembleError {}
+
+/// The paper's contribution: launch `num_instances` concurrent instances of
+/// `app` in **one kernel**, instance `i` mapped to team `i`, each with its
+/// own argv line (cycled if the file has fewer lines than instances).
+///
+/// Equivalent of the Fig. 4 loader region:
+/// ```c
+/// #pragma omp target teams distribute num_teams(N) thread_limit(T) \
+///         map(from: Ret[:NI])
+/// for (int I = 0; I < NI; ++I)
+///     Ret[I] = __user_main(Argc[I], &Argv[I][0]);
+/// ```
+pub fn run_ensemble(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    services: HostServices,
+) -> Result<EnsembleResult, EnsembleError> {
+    if arg_lines.is_empty() {
+        return Err(EnsembleError::ArgFile(ArgFileError::Empty));
+    }
+    let n = opts.num_instances.max(1);
+
+    // Compile once; all instances share the device image.
+    let module = Module::parse(&app.module_text).map_err(EnsembleError::ModuleParse)?;
+    let mut image = compile(module, &opts.compiler).map_err(EnsembleError::Compile)?;
+    inject_main_wrapper(&mut image.module);
+
+    // Per-instance argv: argv[0] + the instance's argument line.
+    let argvs: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let line = &arg_lines[i as usize % arg_lines.len()];
+            std::iter::once(app.name.to_string())
+                .chain(line.iter().cloned())
+                .collect()
+        })
+        .collect();
+
+    // Map all instances' arguments to the device (StringCache of Fig. 4).
+    let argv_bytes: u64 = argvs
+        .iter()
+        .flat_map(|a| a.iter())
+        .map(|s| s.len() as u64 + 1)
+        .sum();
+    let mut transfer_seconds = gpu
+        .transfers
+        .record(TransferDirection::HostToDevice, argv_bytes);
+
+    let device_globals = alloc_device_globals(gpu, &image).map_err(EnsembleError::Globals)?;
+
+    let (teams_per_block, lanes_per_team) = match opts.mapping {
+        MappingStrategy::OnePerTeam => (1u32, opts.thread_limit),
+        MappingStrategy::Packed { per_block } => {
+            if per_block == 0 || !opts.thread_limit.is_multiple_of(per_block) {
+                gpu.mem.free_by_tag(GLOBALS_TAG);
+                return Err(EnsembleError::BadPacking {
+                    thread_limit: opts.thread_limit,
+                    per_block,
+                });
+            }
+            (per_block, opts.thread_limit / per_block)
+        }
+    };
+
+    let footprint = argvs
+        .iter()
+        .map(|a| app.footprint_scale.map(|f| f(a)).unwrap_or(1.0))
+        .fold(1.0f64, f64::max);
+
+    let (server, client) = RpcServer::spawn(services);
+    let kernel_name = format!("{}-x{}", app.name, n);
+    let mut spec = KernelSpec::new(&kernel_name, n, lanes_per_team);
+    spec.teams_per_block = teams_per_block;
+    spec.rpc_services = Some(image.rpc_services.iter().copied().collect());
+    spec.footprint_multiplier = footprint;
+
+    let main_fn = app.main;
+    let image_ref = &image;
+    let dg_ref = &device_globals;
+    let argvs_ref = &argvs;
+    let mut hook = make_rpc_hook(&client);
+    let launch = gpu.launch(&spec, Some(&mut hook), move |team| {
+        let i = team.team_id();
+        let globals = build_globals(team, image_ref, dg_ref)?;
+        let cx = AppContext {
+            argv: argvs_ref[i as usize].clone(),
+            globals,
+            instance: i,
+            num_instances: n,
+        };
+        main_fn(team, &cx)
+    });
+
+    // Instance teardown: free every instance heap and the module globals.
+    for i in 0..n {
+        gpu.mem.free_by_tag(i);
+    }
+    gpu.mem.free_by_tag(GLOBALS_TAG);
+    let services = server.shutdown();
+    let launch = launch.map_err(EnsembleError::Launch)?;
+
+    // map(from: Ret[:NI]).
+    transfer_seconds += gpu
+        .transfers
+        .record(TransferDirection::DeviceToHost, 4 * n as u64);
+
+    let instances: Vec<InstanceOutcome> = launch
+        .team_outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, o)| match o {
+            TeamOutcome::Return(c) => InstanceOutcome {
+                exit_code: Some(services.exit_code_of(i as u32).unwrap_or(*c)),
+                error: None,
+                oom: false,
+            },
+            TeamOutcome::Trap(e) => InstanceOutcome {
+                exit_code: services.exit_code_of(i as u32),
+                error: Some(e.to_string()),
+                oom: matches!(e, KernelError::Alloc(AllocError::OutOfMemory { .. })),
+            },
+        })
+        .collect();
+    let stdout = (0..n).map(|i| services.stdout_of(i).to_string()).collect();
+
+    let kernel_time_s = launch.report.sim_time_s;
+    let instance_end_times_s: Vec<f64> = (0..n)
+        .map(|i| {
+            let block = (i / teams_per_block) as usize;
+            gpu.spec
+                .cycles_to_seconds(launch.report.block_end_cycles[block])
+        })
+        .collect();
+    Ok(EnsembleResult {
+        instances,
+        stdout,
+        report: launch.report,
+        kernel_time_s,
+        total_time_s: kernel_time_s + transfer_seconds,
+        instance_end_times_s,
+        rpc_stats: services.stats(),
+    })
+}
+
+/// Batched ensemble execution — our extension past the paper's §4.3
+/// memory limitation.
+///
+/// When `N` concurrent instances exceed device memory (Page-Rank beyond 4
+/// on a 40 GB A100), the ensemble still runs as `ceil(N / batch)`
+/// *sequential* kernel launches of at most `batch` instances each: device
+/// memory holds one batch at a time, so any `N` completes. Total time is
+/// the sum of the batch kernels — throughput saturates at the largest
+/// batch that fits, trading the paper's hard OOM wall for a flat scaling
+/// ceiling.
+pub fn run_ensemble_batched(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+) -> Result<EnsembleResult, EnsembleError> {
+    assert!(batch >= 1, "batch size must be at least 1");
+    let n = opts.num_instances.max(1);
+    if n <= batch {
+        return run_ensemble(gpu, app, arg_lines, opts, HostServices::default());
+    }
+    if arg_lines.is_empty() {
+        return Err(EnsembleError::ArgFile(ArgFileError::Empty));
+    }
+
+    let mut instances = Vec::with_capacity(n as usize);
+    let mut stdout = Vec::with_capacity(n as usize);
+    let mut end_times = Vec::with_capacity(n as usize);
+    let mut kernel_time_s = 0.0;
+    let mut total_time_s = 0.0;
+    let mut rpc_stats = RpcStats::default();
+    let mut last_report = None;
+
+    let mut start = 0u32;
+    while start < n {
+        let count = batch.min(n - start);
+        // This batch's argument lines, preserving the global cycling.
+        let batch_lines: Vec<Vec<String>> = (start..start + count)
+            .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
+            .collect();
+        let batch_opts = EnsembleOptions {
+            num_instances: count,
+            ..opts.clone()
+        };
+        let res = run_ensemble(gpu, app, &batch_lines, &batch_opts, HostServices::default())?;
+        instances.extend(res.instances);
+        stdout.extend(res.stdout);
+        // Batches run back to back: offset finish times by elapsed time.
+        end_times.extend(res.instance_end_times_s.iter().map(|t| kernel_time_s + t));
+        kernel_time_s += res.kernel_time_s;
+        total_time_s += res.total_time_s;
+        rpc_stats.stdio_calls += res.rpc_stats.stdio_calls;
+        rpc_stats.fs_calls += res.rpc_stats.fs_calls;
+        rpc_stats.clock_calls += res.rpc_stats.clock_calls;
+        rpc_stats.exit_calls += res.rpc_stats.exit_calls;
+        rpc_stats.errors += res.rpc_stats.errors;
+        last_report = Some(res.report);
+        start += count;
+    }
+    Ok(EnsembleResult {
+        instances,
+        stdout,
+        report: last_report.expect("at least one batch ran"),
+        kernel_time_s,
+        total_time_s,
+        instance_end_times_s: end_times,
+        rpc_stats,
+    })
+}
+
+/// The enhanced loader's command line (paper §3.2): `-f <file>`,
+/// `-n <num instances>`, `-t <thread limit>`, plus two extensions:
+/// `--pack <M>` selects the §3.1 packed mapping and `--batch <B>` runs the
+/// ensemble as sequential batches of `B` instances (memory-wall escape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleCliArgs {
+    pub arg_file: String,
+    /// Defaults to the number of lines in the argument file when absent.
+    pub num_instances: Option<u32>,
+    pub thread_limit: u32,
+    pub pack: u32,
+    /// `0` means unbatched (one concurrent launch).
+    pub batch: u32,
+}
+
+/// CLI parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    MissingValue(&'static str),
+    BadValue(&'static str, String),
+    UnknownFlag(String),
+    MissingArgFile,
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingValue(flag) => write!(f, "{flag} requires a value"),
+            CliError::BadValue(flag, v) => write!(f, "bad value '{v}' for {flag}"),
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            CliError::MissingArgFile => write!(f, "-f <arguments file> is required"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Parse the enhanced loader's command line, e.g.
+/// `./user_app_gpu -f arguments.txt -n 4 -t 128` (paper Fig. 5c).
+pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> {
+    let mut arg_file = None;
+    let mut num_instances = None;
+    let mut thread_limit = 128u32;
+    let mut pack = 1u32;
+    let mut batch = 0u32;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-f" => {
+                arg_file = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("-f"))?
+                        .to_string(),
+                );
+            }
+            "-n" => {
+                let v = it.next().ok_or(CliError::MissingValue("-n"))?;
+                num_instances =
+                    Some(v.parse().map_err(|_| CliError::BadValue("-n", v.clone()))?);
+            }
+            "-t" => {
+                let v = it.next().ok_or(CliError::MissingValue("-t"))?;
+                thread_limit = v.parse().map_err(|_| CliError::BadValue("-t", v.clone()))?;
+            }
+            "--pack" => {
+                let v = it.next().ok_or(CliError::MissingValue("--pack"))?;
+                pack = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--pack", v.clone()))?;
+            }
+            "--batch" => {
+                let v = it.next().ok_or(CliError::MissingValue("--batch"))?;
+                batch = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--batch", v.clone()))?;
+            }
+            other => return Err(CliError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(EnsembleCliArgs {
+        arg_file: arg_file.ok_or(CliError::MissingArgFile)?,
+        num_instances,
+        thread_limit,
+        pack,
+        batch,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::argfile::parse_arg_file;
+    use device_libc::dl_printf;
+    use gpu_sim::TeamCtx;
+
+    const MODULE: &str = r#"
+module "bench" {
+  func @main arity=2 calls(@printf, @malloc, @atoi)
+  extern func @printf variadic
+  extern func @malloc
+  extern func @atoi
+}
+"#;
+
+    /// Streams `n` doubles (from `-n <n>`), prints a digest.
+    fn stream_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+        let n: u64 = cx
+            .argv
+            .iter()
+            .position(|a| a == "-n")
+            .and_then(|p| cx.argv.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000);
+        let buf = team.serial("alloc", |lane| lane.dev_alloc(8 * n))?;
+        team.parallel_for("init", n, |i, lane| lane.st_idx::<f64>(buf, i, i as f64))?;
+        let sum = team.parallel_for_reduce_f64("sum", n, |i, lane| lane.ld_idx::<f64>(buf, i))?;
+        let instance = cx.instance;
+        team.serial("print", |lane| {
+            dl_printf(lane, "instance %d sum %.1f\n", &[instance.into(), sum.into()])?;
+            Ok(())
+        })?;
+        Ok(0)
+    }
+
+    fn app() -> HostApp {
+        HostApp::new("bench", MODULE, stream_main)
+    }
+
+    fn lines(text: &str) -> Vec<Vec<String>> {
+        parse_arg_file(text).unwrap()
+    }
+
+    #[test]
+    fn four_instances_get_own_args_and_streams() {
+        let mut gpu = Gpu::a100();
+        let arg_lines = lines("-n 100\n-n 200\n-n 300\n-n 400\n");
+        let opts = EnsembleOptions {
+            num_instances: 4,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let res = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
+            .unwrap();
+        assert!(res.all_succeeded());
+        assert_eq!(res.report.blocks, 4);
+        let sum_of = |n: u64| (0..n).map(|i| i as f64).sum::<f64>();
+        assert_eq!(res.stdout[0], format!("instance 0 sum {:.1}\n", sum_of(100)));
+        assert_eq!(res.stdout[3], format!("instance 3 sum {:.1}\n", sum_of(400)));
+        assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn arg_lines_cycle_when_fewer_than_instances() {
+        let mut gpu = Gpu::a100();
+        let arg_lines = lines("-n 50\n");
+        let opts = EnsembleOptions {
+            num_instances: 3,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let res = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
+            .unwrap();
+        assert!(res.all_succeeded());
+        let expected = format!("sum {:.1}\n", (0..50).map(|i| i as f64).sum::<f64>());
+        for s in &res.stdout {
+            assert!(s.ends_with(&expected), "{s}");
+        }
+    }
+
+    #[test]
+    fn ensemble_speedup_is_sublinear_but_real() {
+        // The paper's headline property, end to end through the loader.
+        let run_n = |n: u32| {
+            let mut gpu = Gpu::a100();
+            let opts = EnsembleOptions {
+                num_instances: n,
+                thread_limit: 32,
+                ..Default::default()
+            };
+            run_ensemble(
+                &mut gpu,
+                &app(),
+                &lines("-n 20000\n"),
+                &opts,
+                HostServices::default(),
+            )
+            .unwrap()
+            .kernel_time_s
+        };
+        let t1 = run_n(1);
+        let t16 = run_n(16);
+        let speedup = crate::stats::relative_speedup(t1, 16, t16);
+        assert!(speedup > 4.0, "speedup {speedup}");
+        assert!(speedup <= 16.0 + 1e-6, "speedup {speedup}");
+    }
+
+    #[test]
+    fn heterogeneous_arguments_show_load_imbalance() {
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 4,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        // One instance does 2000× the work of the others.
+        let res = run_ensemble(
+            &mut gpu,
+            &app(),
+            &lines("-n 100\n-n 100\n-n 100\n-n 200000\n"),
+            &opts,
+            HostServices::default(),
+        )
+        .unwrap();
+        assert!(res.all_succeeded());
+        assert_eq!(res.instance_end_times_s.len(), 4);
+        assert!(
+            res.load_imbalance() > 1.5,
+            "imbalance = {}",
+            res.load_imbalance()
+        );
+        // The slow instance is the last finisher.
+        let max = res.instance_end_times_s.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(res.instance_end_times_s[3], max);
+
+        // Homogeneous arguments are balanced.
+        let res = run_ensemble(
+            &mut gpu,
+            &app(),
+            &lines("-n 500\n"),
+            &opts,
+            HostServices::default(),
+        )
+        .unwrap();
+        assert!((res.load_imbalance() - 1.0).abs() < 0.05, "{}", res.load_imbalance());
+    }
+
+    #[test]
+    fn oom_instance_reported_not_fatal() {
+        fn hog_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+            // Each instance reserves 15 GB: on a 40 GB device the third
+            // and later instances fail, like the paper's Page-Rank runs.
+            let _ = cx;
+            team.serial("alloc", |lane| lane.dev_alloc(15 << 30))?;
+            Ok(0)
+        }
+        let a = HostApp::new("hog", MODULE, hog_main);
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 4,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let res =
+            run_ensemble(&mut gpu, &a, &lines("-x\n"), &opts, HostServices::default()).unwrap();
+        assert!(res.any_oom());
+        let oks = res.instances.iter().filter(|i| i.succeeded()).count();
+        let ooms = res.instances.iter().filter(|i| i.oom).count();
+        assert_eq!(oks, 2);
+        assert_eq!(ooms, 2);
+        assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn batched_ensemble_pushes_past_the_memory_wall() {
+        // 8 paper-scale hogs cannot run concurrently (15 GB each on 40 GB)
+        // but complete in batches of 2.
+        fn hog_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+            let _ = cx;
+            let buf = team.serial("alloc", |lane| {
+                lane.dev_reserve(15 << 30)?;
+                lane.dev_alloc(8)
+            })?;
+            team.serial("touch", |lane| lane.st::<u64>(buf, 7))?;
+            Ok(0)
+        }
+        let a = HostApp::new("hog", MODULE, hog_main);
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 8,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        // Concurrent: OOM.
+        let res = run_ensemble(&mut gpu, &a, &lines("-x\n"), &opts, HostServices::default())
+            .unwrap();
+        assert!(res.any_oom());
+        // Batched by 2: all succeed, four sequential launches.
+        let res = run_ensemble_batched(&mut gpu, &a, &lines("-x\n"), &opts, 2).unwrap();
+        assert!(res.all_succeeded(), "{:?}", res.instances);
+        assert_eq!(res.instances.len(), 8);
+        assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn batched_matches_unbatched_results() {
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 6,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let arg_lines = lines("-n 100\n-n 200\n-n 300\n");
+        let full = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
+            .unwrap();
+        let batched =
+            run_ensemble_batched(&mut gpu, &app(), &arg_lines, &opts, 2).unwrap();
+        // Instance ids are per-launch (each batch is its own kernel), so
+        // compare the computed payloads, not the id prefix.
+        let sums = |v: &[String]| -> Vec<String> {
+            v.iter()
+                .map(|s| s.split("sum ").nth(1).unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(sums(&full.stdout), sums(&batched.stdout));
+        // Sequential batches cannot beat the single concurrent launch.
+        assert!(batched.kernel_time_s >= full.kernel_time_s);
+        assert_eq!(batched.instance_end_times_s.len(), 6);
+    }
+
+    #[test]
+    fn packed_mapping_shares_blocks() {
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 8,
+            thread_limit: 128,
+            mapping: MappingStrategy::Packed { per_block: 4 },
+            ..Default::default()
+        };
+        let res = run_ensemble(
+            &mut gpu,
+            &app(),
+            &lines("-n 100\n"),
+            &opts,
+            HostServices::default(),
+        )
+        .unwrap();
+        assert!(res.all_succeeded());
+        assert_eq!(res.report.blocks, 2);
+        assert_eq!(res.report.threads_per_block, 128);
+    }
+
+    #[test]
+    fn bad_packing_rejected() {
+        let mut gpu = Gpu::a100();
+        let opts = EnsembleOptions {
+            num_instances: 4,
+            thread_limit: 100,
+            mapping: MappingStrategy::Packed { per_block: 3 },
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_ensemble(
+                &mut gpu,
+                &app(),
+                &lines("-x\n"),
+                &opts,
+                HostServices::default()
+            ),
+            Err(EnsembleError::BadPacking { .. })
+        ));
+        assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn cli_parses_paper_invocation() {
+        let args: Vec<String> = ["-f", "arguments.txt", "-n", "4", "-t", "128"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cli = parse_ensemble_cli(&args).unwrap();
+        assert_eq!(
+            cli,
+            EnsembleCliArgs {
+                arg_file: "arguments.txt".into(),
+                num_instances: Some(4),
+                thread_limit: 128,
+                pack: 1,
+                batch: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn cli_rejects_malformed() {
+        let to = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            parse_ensemble_cli(&to(&["-n", "4"])),
+            Err(CliError::MissingArgFile)
+        );
+        assert_eq!(
+            parse_ensemble_cli(&to(&["-f"])),
+            Err(CliError::MissingValue("-f"))
+        );
+        assert_eq!(
+            parse_ensemble_cli(&to(&["-f", "a", "-n", "x"])),
+            Err(CliError::BadValue("-n", "x".into()))
+        );
+        assert_eq!(
+            parse_ensemble_cli(&to(&["-f", "a", "--wat"])),
+            Err(CliError::UnknownFlag("--wat".into()))
+        );
+    }
+
+    #[test]
+    fn cli_defaults() {
+        let cli =
+            parse_ensemble_cli(&["-f".to_string(), "args.txt".to_string()]).unwrap();
+        assert_eq!(cli.num_instances, None);
+        assert_eq!(cli.thread_limit, 128);
+        assert_eq!(cli.pack, 1);
+        assert_eq!(cli.batch, 0);
+
+        let cli = parse_ensemble_cli(
+            &["-f", "a", "--batch", "4"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.batch, 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! Speedup bookkeeping for the evaluation harness.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's §4.3 relative-speedup metric: `T1 × N / TN`, where `T1` is
+/// the single-instance time and `TN` the time for `N` concurrent instances.
+/// Equals `N` under perfectly linear scaling.
+pub fn relative_speedup(t1: f64, n: u32, tn: f64) -> f64 {
+    assert!(t1 > 0.0 && tn > 0.0, "times must be positive");
+    t1 * n as f64 / tn
+}
+
+/// One measured point of a scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupPoint {
+    pub instances: u32,
+    /// `TN` in seconds; `None` when the configuration was not runnable
+    /// (device out of memory), as for Page-Rank beyond 4 instances.
+    pub time_s: Option<f64>,
+    pub speedup: Option<f64>,
+}
+
+/// A full scaling curve for one benchmark at one thread limit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSeries {
+    pub benchmark: String,
+    pub thread_limit: u32,
+    pub points: Vec<SpeedupPoint>,
+}
+
+impl SpeedupSeries {
+    /// Build a series from measured times, computing speedups against the
+    /// N=1 point (which must be present and runnable).
+    pub fn from_times(
+        benchmark: &str,
+        thread_limit: u32,
+        times: &[(u32, Option<f64>)],
+    ) -> SpeedupSeries {
+        let t1 = times
+            .iter()
+            .find(|(n, _)| *n == 1)
+            .and_then(|(_, t)| *t)
+            .expect("series needs a runnable single-instance measurement");
+        let points = times
+            .iter()
+            .map(|&(n, t)| SpeedupPoint {
+                instances: n,
+                time_s: t,
+                speedup: t.map(|t| relative_speedup(t1, n, t)),
+            })
+            .collect();
+        SpeedupSeries {
+            benchmark: benchmark.to_string(),
+            thread_limit,
+            points,
+        }
+    }
+
+    /// Largest speedup across runnable points.
+    pub fn peak_speedup(&self) -> f64 {
+        self.points
+            .iter()
+            .filter_map(|p| p.speedup)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the curve never exceeds linear scaling (within tolerance).
+    pub fn is_sublinear(&self, tol: f64) -> bool {
+        self.points
+            .iter()
+            .all(|p| p.speedup.map(|s| s <= p.instances as f64 * (1.0 + tol)).unwrap_or(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_formula_matches_paper() {
+        // If 64 instances take the same time as 1 instance, speedup = 64.
+        assert_eq!(relative_speedup(2.0, 64, 2.0), 64.0);
+        // If they take twice as long, speedup = 32.
+        assert_eq!(relative_speedup(2.0, 64, 4.0), 32.0);
+        // Single instance is always 1.
+        assert_eq!(relative_speedup(5.0, 1, 5.0), 1.0);
+    }
+
+    #[test]
+    fn series_from_times_with_oom_hole() {
+        let s = SpeedupSeries::from_times(
+            "pagerank",
+            32,
+            &[
+                (1, Some(1.0)),
+                (2, Some(1.1)),
+                (4, Some(1.3)),
+                (8, None), // OOM
+            ],
+        );
+        assert_eq!(s.points[1].speedup, Some(2.0 / 1.1));
+        assert_eq!(s.points[3].speedup, None);
+        assert!(s.is_sublinear(1e-9));
+        assert!((s.peak_speedup() - 4.0 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_rejected() {
+        relative_speedup(0.0, 2, 1.0);
+    }
+}

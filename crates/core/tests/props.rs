@@ -1,0 +1,61 @@
+//! Property-based tests for the loaders.
+
+use dgc_core::{parse_arg_file, parse_ensemble_cli, relative_speedup};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9./=_-]{1,12}".prop_map(|s| s)
+}
+
+proptest! {
+    /// The argument-file parser recovers exactly the tokens written, for
+    /// any token matrix.
+    #[test]
+    fn arg_file_roundtrip(lines in prop::collection::vec(prop::collection::vec(arb_token(), 1..6), 1..10)) {
+        let text: String = lines
+            .iter()
+            .map(|l| l.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = parse_arg_file(&text).unwrap();
+        prop_assert_eq!(parsed, lines);
+    }
+
+    /// Quoting round-trips tokens containing spaces.
+    #[test]
+    fn quoted_tokens_roundtrip(words in prop::collection::vec("[a-z]{1,8}", 2..4)) {
+        let spaced = words.join(" ");
+        let text = format!("-f \"{spaced}\" -x");
+        let parsed = parse_arg_file(&text).unwrap();
+        prop_assert_eq!(parsed[0].clone(), vec!["-f".to_string(), spaced, "-x".to_string()]);
+    }
+
+    /// CLI parsing accepts every well-formed flag permutation and returns
+    /// exactly the values given.
+    #[test]
+    fn cli_roundtrip(file in "[a-z]{1,10}\\.txt", n in 1u32..1000, t in 1u32..2048, shuffle in any::<bool>()) {
+        let mut args = vec![
+            "-f".to_string(), file.clone(),
+            "-n".to_string(), n.to_string(),
+            "-t".to_string(), t.to_string(),
+        ];
+        if shuffle {
+            args.rotate_left(2);
+        }
+        let cli = parse_ensemble_cli(&args).unwrap();
+        prop_assert_eq!(cli.arg_file, file);
+        prop_assert_eq!(cli.num_instances, Some(n));
+        prop_assert_eq!(cli.thread_limit, t);
+    }
+
+    /// The speedup metric is scale-invariant and linear in N.
+    #[test]
+    fn speedup_properties(t1 in 1e-6f64..1e3, tn in 1e-6f64..1e3, n in 1u32..128, scale in 1e-3f64..1e3) {
+        let s = relative_speedup(t1, n, tn);
+        let s_scaled = relative_speedup(t1 * scale, n, tn * scale);
+        prop_assert!((s - s_scaled).abs() <= s.abs() * 1e-9);
+        // Linear scaling gives exactly N.
+        let lin = relative_speedup(t1, n, t1);
+        prop_assert!((lin - n as f64).abs() < 1e-9);
+    }
+}

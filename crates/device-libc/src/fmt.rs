@@ -1,0 +1,377 @@
+//! A C `printf`-style format engine.
+//!
+//! Supports the conversions the benchmarks and loader need: `%d %i %u %ld
+//! %lu %lld %llu %zu %f %e %g %s %c %x %X %p %%` with the `-`, `0`, `+`
+//! and space flags, width, and precision. Unsupported directives format as
+//! `?(...)` instead of failing, matching the forgiving behaviour device
+//! printf implementations adopt.
+
+/// One variadic argument to `printf`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintfArg {
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Char(char),
+    Ptr(u64),
+}
+
+impl From<i32> for PrintfArg {
+    fn from(v: i32) -> Self {
+        PrintfArg::Int(v as i64)
+    }
+}
+
+impl From<i64> for PrintfArg {
+    fn from(v: i64) -> Self {
+        PrintfArg::Int(v)
+    }
+}
+
+impl From<u32> for PrintfArg {
+    fn from(v: u32) -> Self {
+        PrintfArg::UInt(v as u64)
+    }
+}
+
+impl From<u64> for PrintfArg {
+    fn from(v: u64) -> Self {
+        PrintfArg::UInt(v)
+    }
+}
+
+impl From<usize> for PrintfArg {
+    fn from(v: usize) -> Self {
+        PrintfArg::UInt(v as u64)
+    }
+}
+
+impl From<f64> for PrintfArg {
+    fn from(v: f64) -> Self {
+        PrintfArg::Float(v)
+    }
+}
+
+impl From<&str> for PrintfArg {
+    fn from(v: &str) -> Self {
+        PrintfArg::Str(v.to_string())
+    }
+}
+
+impl From<char> for PrintfArg {
+    fn from(v: char) -> Self {
+        PrintfArg::Char(v)
+    }
+}
+
+#[derive(Default)]
+struct Spec {
+    left: bool,
+    zero: bool,
+    plus: bool,
+    space: bool,
+    width: Option<usize>,
+    precision: Option<usize>,
+}
+
+impl Spec {
+    fn pad(&self, body: String, numeric: bool) -> String {
+        let Some(w) = self.width else { return body };
+        if body.len() >= w {
+            return body;
+        }
+        let fill = w - body.len();
+        if self.left {
+            let mut s = body;
+            s.push_str(&" ".repeat(fill));
+            s
+        } else if self.zero && numeric && self.precision.is_none() {
+            // Zero padding goes after any sign.
+            let (sign, digits) = match body.strip_prefix(['-', '+']) {
+                Some(rest) => (&body[..1], rest),
+                None => ("", body.as_str()),
+            };
+            format!("{}{}{}", sign, "0".repeat(fill), digits)
+        } else {
+            format!("{}{}", " ".repeat(fill), body)
+        }
+    }
+
+    fn sign_prefix(&self, negative: bool) -> &'static str {
+        if negative {
+            "-"
+        } else if self.plus {
+            "+"
+        } else if self.space {
+            " "
+        } else {
+            ""
+        }
+    }
+}
+
+fn arg_as_i64(a: &PrintfArg) -> i64 {
+    match a {
+        PrintfArg::Int(v) => *v,
+        PrintfArg::UInt(v) => *v as i64,
+        PrintfArg::Float(v) => *v as i64,
+        PrintfArg::Char(c) => *c as i64,
+        PrintfArg::Ptr(p) => *p as i64,
+        PrintfArg::Str(_) => 0,
+    }
+}
+
+fn arg_as_u64(a: &PrintfArg) -> u64 {
+    match a {
+        PrintfArg::Int(v) => *v as u64,
+        PrintfArg::UInt(v) => *v,
+        PrintfArg::Float(v) => *v as u64,
+        PrintfArg::Char(c) => *c as u64,
+        PrintfArg::Ptr(p) => *p,
+        PrintfArg::Str(_) => 0,
+    }
+}
+
+fn arg_as_f64(a: &PrintfArg) -> f64 {
+    match a {
+        PrintfArg::Int(v) => *v as f64,
+        PrintfArg::UInt(v) => *v as f64,
+        PrintfArg::Float(v) => *v,
+        PrintfArg::Char(c) => *c as u32 as f64,
+        PrintfArg::Ptr(p) => *p as f64,
+        PrintfArg::Str(_) => 0.0,
+    }
+}
+
+/// Format `fmt` with `args`, C-style. Missing arguments format as empty;
+/// extra arguments are ignored — printf's permissive contract.
+pub fn format_c(fmt: &str, args: &[PrintfArg]) -> String {
+    let mut out = String::with_capacity(fmt.len() + 16);
+    let mut chars = fmt.chars().peekable();
+    let mut next_arg = 0usize;
+    let take = |next_arg: &mut usize| -> Option<&PrintfArg> {
+        let a = args.get(*next_arg);
+        *next_arg += 1;
+        a
+    };
+
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        // Flags.
+        let mut spec = Spec::default();
+        loop {
+            match chars.peek() {
+                Some('-') => {
+                    spec.left = true;
+                    chars.next();
+                }
+                Some('0') => {
+                    spec.zero = true;
+                    chars.next();
+                }
+                Some('+') => {
+                    spec.plus = true;
+                    chars.next();
+                }
+                Some(' ') => {
+                    spec.space = true;
+                    chars.next();
+                }
+                _ => break,
+            }
+        }
+        // Width.
+        let mut width = String::new();
+        while let Some(d) = chars.peek().filter(|c| c.is_ascii_digit()) {
+            width.push(*d);
+            chars.next();
+        }
+        if !width.is_empty() {
+            spec.width = width.parse().ok();
+        }
+        // Precision.
+        if chars.peek() == Some(&'.') {
+            chars.next();
+            let mut prec = String::new();
+            while let Some(d) = chars.peek().filter(|c| c.is_ascii_digit()) {
+                prec.push(*d);
+                chars.next();
+            }
+            spec.precision = Some(prec.parse().unwrap_or(0));
+        }
+        // Length modifiers (parsed and ignored; our args are 64-bit).
+        while matches!(chars.peek(), Some('l') | Some('h') | Some('z') | Some('j') | Some('t')) {
+            chars.next();
+        }
+        let Some(conv) = chars.next() else {
+            out.push('%');
+            break;
+        };
+        match conv {
+            '%' => out.push('%'),
+            'd' | 'i' => {
+                let v = take(&mut next_arg).map(arg_as_i64).unwrap_or(0);
+                let body = format!("{}{}", spec.sign_prefix(v < 0), v.unsigned_abs());
+                out.push_str(&spec.pad(body, true));
+            }
+            'u' => {
+                let v = take(&mut next_arg).map(arg_as_u64).unwrap_or(0);
+                out.push_str(&spec.pad(v.to_string(), true));
+            }
+            'x' => {
+                let v = take(&mut next_arg).map(arg_as_u64).unwrap_or(0);
+                out.push_str(&spec.pad(format!("{v:x}"), true));
+            }
+            'X' => {
+                let v = take(&mut next_arg).map(arg_as_u64).unwrap_or(0);
+                out.push_str(&spec.pad(format!("{v:X}"), true));
+            }
+            'p' => {
+                let v = take(&mut next_arg).map(arg_as_u64).unwrap_or(0);
+                out.push_str(&spec.pad(format!("0x{v:x}"), false));
+            }
+            'f' | 'F' => {
+                let v = take(&mut next_arg).map(arg_as_f64).unwrap_or(0.0);
+                let prec = spec.precision.unwrap_or(6);
+                let body = format!("{}{:.*}", spec.sign_prefix(v.is_sign_negative()), prec, v.abs());
+                out.push_str(&spec.pad(body, true));
+            }
+            'e' | 'E' => {
+                let v = take(&mut next_arg).map(arg_as_f64).unwrap_or(0.0);
+                let prec = spec.precision.unwrap_or(6);
+                let mut body = format!("{:.*e}", prec, v);
+                // Rust prints `1.5e3`; C wants `1.5e+03`.
+                if let Some(epos) = body.find('e') {
+                    let (mant, exp) = body.split_at(epos);
+                    let exp: i32 = exp[1..].parse().unwrap_or(0);
+                    body = format!("{}e{}{:02}", mant, if exp < 0 { '-' } else { '+' }, exp.abs());
+                }
+                if conv == 'E' {
+                    body = body.to_uppercase();
+                }
+                out.push_str(&spec.pad(body, true));
+            }
+            'g' | 'G' => {
+                let v = take(&mut next_arg).map(arg_as_f64).unwrap_or(0.0);
+                let body = format!("{v}");
+                out.push_str(&spec.pad(body, true));
+            }
+            's' => {
+                let s = match take(&mut next_arg) {
+                    Some(PrintfArg::Str(s)) => s.clone(),
+                    Some(other) => format!("{other:?}"),
+                    None => String::new(),
+                };
+                let s = match spec.precision {
+                    Some(p) => s.chars().take(p).collect(),
+                    None => s,
+                };
+                out.push_str(&spec.pad(s, false));
+            }
+            'c' => {
+                let c = match take(&mut next_arg) {
+                    Some(PrintfArg::Char(c)) => *c,
+                    Some(a) => char::from_u32(arg_as_u64(a) as u32).unwrap_or('?'),
+                    None => '\0',
+                };
+                out.push_str(&spec.pad(c.to_string(), false));
+            }
+            other => {
+                out.push_str(&format!("?({other})"));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience macro-free helper for the common "printf with mixed args"
+/// call shape used by the ported benchmarks.
+pub fn sprintf(fmt: &str, args: &[PrintfArg]) -> String {
+    format_c(fmt, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(fmt: &str, args: &[PrintfArg]) -> String {
+        format_c(fmt, args)
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(f("hello world\n", &[]), "hello world\n");
+        assert_eq!(f("100%% sure", &[]), "100% sure");
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(f("%d", &[(-42i64).into()]), "-42");
+        assert_eq!(f("%i", &[7i32.into()]), "7");
+        assert_eq!(f("%u", &[42u32.into()]), "42");
+        assert_eq!(f("%5d", &[42i32.into()]), "   42");
+        assert_eq!(f("%-5d|", &[42i32.into()]), "42   |");
+        assert_eq!(f("%05d", &[42i32.into()]), "00042");
+        assert_eq!(f("%05d", &[(-42i64).into()]), "-0042");
+        assert_eq!(f("%+d", &[42i32.into()]), "+42");
+        assert_eq!(f("%ld %lu %zu", &[1i64.into(), 2u64.into(), 3usize.into()]), "1 2 3");
+    }
+
+    #[test]
+    fn hex_and_pointers() {
+        assert_eq!(f("%x", &[255u32.into()]), "ff");
+        assert_eq!(f("%X", &[255u32.into()]), "FF");
+        assert_eq!(f("%08x", &[0xABCu32.into()]), "00000abc");
+        assert_eq!(f("%p", &[PrintfArg::Ptr(0x7000_0000)]), "0x70000000");
+    }
+
+    #[test]
+    fn floats() {
+        assert_eq!(f("%f", &[1.5f64.into()]), "1.500000");
+        assert_eq!(f("%.2f", &[3.14159f64.into()]), "3.14");
+        assert_eq!(f("%.0f", &[2.6f64.into()]), "3");
+        assert_eq!(f("%8.2f", &[3.14159f64.into()]), "    3.14");
+        assert_eq!(f("%-8.2f|", &[3.14159f64.into()]), "3.14    |");
+        assert_eq!(f("%.2f", &[(-1.005f64).into()]), "-1.00");
+    }
+
+    #[test]
+    fn scientific() {
+        assert_eq!(f("%.3e", &[12345.678f64.into()]), "1.235e+04");
+        assert_eq!(f("%.1e", &[0.00123f64.into()]), "1.2e-03");
+        assert_eq!(f("%.1E", &[0.00123f64.into()]), "1.2E-03");
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(f("[%s]", &["abc".into()]), "[abc]");
+        assert_eq!(f("[%6s]", &["abc".into()]), "[   abc]");
+        assert_eq!(f("[%-6s]", &["abc".into()]), "[abc   ]");
+        assert_eq!(f("[%.2s]", &["abcdef".into()]), "[ab]");
+        assert_eq!(f("%c%c", &['o'.into(), 'k'.into()]), "ok");
+    }
+
+    #[test]
+    fn missing_and_extra_args_tolerated() {
+        assert_eq!(f("%d %d", &[1i32.into()]), "1 0");
+        assert_eq!(f("%d", &[1i32.into(), 2i32.into()]), "1");
+    }
+
+    #[test]
+    fn unknown_conversion_marked() {
+        assert_eq!(f("%q", &[]), "?(q)");
+    }
+
+    #[test]
+    fn xsbench_style_line() {
+        let line = f(
+            "Lookups/s: %.0f  (verification hash: %x)\n",
+            &[1.234e7f64.into(), 0xBEEFu32.into()],
+        );
+        assert_eq!(line, "Lookups/s: 12340000  (verification hash: beef)\n");
+    }
+}

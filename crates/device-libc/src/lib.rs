@@ -1,0 +1,35 @@
+//! Partial libc for device execution.
+//!
+//! The direct-GPU-compilation framework ships a partial C library so that
+//! legacy host code runs on the device unmodified (paper Fig. 2, "partial
+//! libc"). This crate is that library for the simulated device:
+//!
+//! * `malloc`/`free`-style heap management over the device heap, with
+//!   instance-tagged allocations ([`heap`]);
+//! * a `printf` family: a full-featured format engine ([`fmt::format_c`])
+//!   plus device stubs that ship the text to the host stdio RPC service
+//!   ([`stdio`]);
+//! * `mem*`/`str*` operations over device memory ([`string`]);
+//! * deterministic PRNGs matching the benchmarks' LCG usage ([`rand`]);
+//! * `qsort`/`bsearch` on device arrays ([`sort`]);
+//! * math shims that charge consistent instruction costs to the simulator
+//!   ([`math`]);
+//! * a `FILE`-style API over the host filesystem RPC service ([`file`](mod@file)).
+//!
+//! All device-facing entry points take the simulator's
+//! [`gpu_sim::LaneCtx`], mirroring how real device libc routines execute in
+//! the calling thread's context.
+
+pub mod file;
+pub mod fmt;
+pub mod heap;
+pub mod math;
+pub mod rand;
+pub mod sort;
+pub mod stdio;
+pub mod string;
+
+pub use fmt::{format_c, PrintfArg};
+pub use heap::{dl_calloc, dl_free, dl_malloc, dl_realloc};
+pub use rand::{Lcg64, XorShift64};
+pub use stdio::dl_printf;

@@ -1,0 +1,169 @@
+//! Deterministic PRNGs matching what the ported benchmarks use.
+//!
+//! XSBench and RSBench seed a 64-bit LCG per lookup so that results are
+//! reproducible across schedules — crucial for ensemble execution where
+//! instance-to-team mapping must not change answers.
+
+/// The 64-bit LCG used by XSBench/RSBench (POSIX `rand48`-family
+/// multiplier, as in the reference implementations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg64 {
+    state: u64,
+}
+
+impl Lcg64 {
+    const MULT: u64 = 2806196910506780709;
+    const ADD: u64 = 1;
+
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.wrapping_mul(Self::MULT).wrapping_add(Self::ADD),
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(Self::MULT)
+            .wrapping_add(Self::ADD);
+        self.state
+    }
+
+    /// Uniform double in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, n).
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+
+    /// Jump ahead `n` steps in O(log n) — the trick XSBench uses to give
+    /// every lookup an independent, reproducible stream.
+    pub fn skip(&mut self, mut n: u64) {
+        let mut cur_mult = Self::MULT;
+        let mut cur_add = Self::ADD;
+        let mut acc_mult = 1u64;
+        let mut acc_add = 0u64;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc_mult = acc_mult.wrapping_mul(cur_mult);
+                acc_add = acc_add.wrapping_mul(cur_mult).wrapping_add(cur_add);
+            }
+            cur_add = cur_mult.wrapping_mul(cur_add).wrapping_add(cur_add);
+            cur_mult = cur_mult.wrapping_mul(cur_mult);
+            n >>= 1;
+        }
+        self.state = acc_mult.wrapping_mul(self.state).wrapping_add(acc_add);
+    }
+}
+
+/// Marsaglia xorshift64*, used where the benchmarks want a cheaper stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed.max(1), // xorshift must not start at 0
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn next_range(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        self.next_u64() % n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_deterministic() {
+        let mut a = Lcg64::new(42);
+        let mut b = Lcg64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Lcg64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn lcg_skip_matches_stepping() {
+        for n in [0u64, 1, 2, 7, 63, 1000, 123_456] {
+            let mut stepped = Lcg64::new(7);
+            for _ in 0..n {
+                stepped.next_u64();
+            }
+            let mut skipped = Lcg64::new(7);
+            skipped.skip(n);
+            assert_eq!(stepped, skipped, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Lcg64::new(1);
+        let mut x = XorShift64::new(1);
+        for _ in 0..1000 {
+            let a = r.next_f64();
+            let b = x.next_f64();
+            assert!((0.0..1.0).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Lcg64::new(9);
+        for _ in 0..1000 {
+            assert!(r.next_range(17) < 17);
+        }
+        assert_eq!(r.next_range(0), 0);
+    }
+
+    #[test]
+    fn f64_covers_the_interval() {
+        // Crude uniformity check: both halves get hits.
+        let mut r = Lcg64::new(5);
+        let (mut lo, mut hi) = (0, 0);
+        for _ in 0..1000 {
+            if r.next_f64() < 0.5 {
+                lo += 1;
+            } else {
+                hi += 1;
+            }
+        }
+        assert!(lo > 300 && hi > 300, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn xorshift_zero_seed_is_fixed_up() {
+        let mut x = XorShift64::new(0);
+        assert_ne!(x.next_u64(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Compiler passes of the direct-GPU-compilation scheme.
+//!
+//! Reproduces, at module-IR level, the custom link-time pipeline of the
+//! direct GPU compilation papers:
+//!
+//! 1. [`passes::DeclareTargetMarker`] — the user-wrapper header semantics:
+//!    every user symbol becomes `declare target device_type(nohost)`.
+//! 2. [`passes::MainCanonicalizer`] — canonicalize the user's `main` to
+//!    `int main(int, char**)` and rename it to `__user_main` so the loader
+//!    wrapper can take over as the host entry point.
+//! 3. [`passes::HostCallResolver`] — the "custom LTO" pass: classify every
+//!    unresolved external reference as (a) provided by the partial device
+//!    libc, (b) host-only but RPC-able, for which a device stub function is
+//!    generated, or (c) impossible on the device (diagnostic).
+//! 4. [`passes::GlobalsToShared`] — the transform §3.3 of the ensemble
+//!    paper proposes: relocate mutable globals into team-local shared
+//!    memory so concurrent instances stay isolated.
+//! 5. [`passes::ParallelismExpansion`] — the GPU-first analysis: can the
+//!    parallel regions be expanded to multiple teams?
+//! 6. [`passes::DeadSymbolElim`] — drop symbols unreachable from the
+//!    (renamed) entry point.
+//!
+//! [`compile`] runs the standard pipeline and produces a [`CompiledImage`],
+//! which the offload runtime (`dgc-core`) consumes: the entry symbol, the
+//! set of RPC services with generated stubs, and the placement decision for
+//! every global.
+
+mod pass;
+mod pipeline;
+mod symbols;
+
+pub mod passes;
+
+pub use pass::{Diagnostic, Diagnostics, Pass, PassContext, PassError, Severity};
+pub use pipeline::{compile, CompileError, CompiledImage, CompilerOptions, ExpansionInfo};
+pub use symbols::{classify_external, SymbolClass};

@@ -1,0 +1,160 @@
+use dgc_ir::Module;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    Note,
+    Warning,
+    Error,
+}
+
+/// One compiler diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub pass: String,
+    pub message: String,
+}
+
+/// Accumulated diagnostics across a pipeline run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostics(Vec<Diagnostic>);
+
+impl Diagnostics {
+    pub fn push(&mut self, severity: Severity, pass: &str, message: impl Into<String>) {
+        self.0.push(Diagnostic {
+            severity,
+            pass: pass.to_string(),
+            message: message.into(),
+        });
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.0.iter()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.0.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.0.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A pass aborts the pipeline by returning this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassError {
+    pub pass: String,
+    pub message: String,
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pass '{}' failed: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Mutable state threaded through the pipeline: diagnostics plus the
+/// analysis results later passes and the runtime consume.
+#[derive(Debug, Default)]
+pub struct PassContext {
+    pub diags: Diagnostics,
+    /// RPC services for which stub functions were generated.
+    pub rpc_services: BTreeSet<u32>,
+    /// External symbol → classification decided by the resolver.
+    pub external_resolutions: BTreeMap<String, crate::symbols::SymbolClass>,
+    /// Set by `ParallelismExpansion`.
+    pub expansion: Option<crate::pipeline::ExpansionInfo>,
+    /// Symbols removed by dead-symbol elimination.
+    pub removed_symbols: Vec<String>,
+}
+
+/// A module transformation or analysis.
+pub trait Pass {
+    fn name(&self) -> &'static str;
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError>;
+}
+
+/// Run a sequence of passes in order, stopping at the first hard failure.
+pub fn run_passes(
+    passes: &[&dyn Pass],
+    module: &mut Module,
+    cx: &mut PassContext,
+) -> Result<(), PassError> {
+    for p in passes {
+        p.run(module, cx)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::Function;
+
+    struct Rename;
+
+    impl Pass for Rename {
+        fn name(&self) -> &'static str {
+            "rename"
+        }
+
+        fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+            module.rename_function("a", "b");
+            cx.diags.push(Severity::Note, self.name(), "renamed a to b");
+            Ok(())
+        }
+    }
+
+    struct Fail;
+
+    impl Pass for Fail {
+        fn name(&self) -> &'static str {
+            "fail"
+        }
+
+        fn run(&self, _: &mut Module, _: &mut PassContext) -> Result<(), PassError> {
+            Err(PassError {
+                pass: "fail".into(),
+                message: "nope".into(),
+            })
+        }
+    }
+
+    #[test]
+    fn passes_run_in_order_and_stop_on_error() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("a", 0));
+        let mut cx = PassContext::default();
+        let err = run_passes(&[&Rename, &Fail, &Rename], &mut m, &mut cx).unwrap_err();
+        assert_eq!(err.pass, "fail");
+        assert!(m.function("b").is_some());
+        assert_eq!(cx.diags.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_severity_queries() {
+        let mut d = Diagnostics::default();
+        assert!(d.is_empty());
+        d.push(Severity::Warning, "p", "w");
+        assert!(!d.has_errors());
+        assert_eq!(d.warnings().count(), 1);
+        d.push(Severity::Error, "p", "e");
+        assert!(d.has_errors());
+        assert_eq!(d.len(), 2);
+    }
+}

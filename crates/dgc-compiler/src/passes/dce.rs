@@ -1,0 +1,95 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use dgc_ir::{Attr, CallGraph, Module};
+
+/// Remove functions unreachable from the entry point.
+///
+/// Globals are conservatively kept: the module IR records no use edges for
+/// them, matching how the real framework leaves data layout to the linker.
+pub struct DeadSymbolElim;
+
+impl Pass for DeadSymbolElim {
+    fn name(&self) -> &'static str {
+        "dead-symbol-elim"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        let entry = if module.function(super::USER_MAIN).is_some() {
+            super::USER_MAIN
+        } else {
+            "main"
+        };
+        let graph = CallGraph::build(module);
+        let mut keep = graph.reachable_from(entry);
+        // The loader's main wrapper (and whatever it calls) survives too.
+        for f in &module.functions {
+            if f.attrs.has(&Attr::MainWrapper) {
+                keep.extend(graph.reachable_from(&f.name));
+            }
+        }
+        let before = module.functions.len();
+        let removed: Vec<String> = module
+            .functions
+            .iter()
+            .filter(|f| !keep.contains(&f.name))
+            .map(|f| f.name.clone())
+            .collect();
+        module.functions.retain(|f| keep.contains(&f.name));
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!("removed {} of {} functions", removed.len(), before),
+        );
+        cx.removed_symbols.extend(removed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::Function;
+
+    #[test]
+    fn removes_unreachable_functions() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2).with_callees(&["live"]));
+        m.add_function(Function::defined("live", 0));
+        m.add_function(Function::defined("dead", 0).with_callees(&["deader"]));
+        m.add_function(Function::defined("deader", 0));
+        m.add_function(Function::external("unused_extern"));
+        let mut cx = PassContext::default();
+        DeadSymbolElim.run(&mut m, &mut cx).unwrap();
+        assert!(m.function("live").is_some());
+        assert!(m.function("dead").is_none());
+        assert!(m.function("unused_extern").is_none());
+        assert_eq!(cx.removed_symbols.len(), 3);
+        assert!(m.verify().is_empty());
+    }
+
+    #[test]
+    fn keeps_main_wrapper_subtree() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2));
+        m.add_function(
+            Function::defined("main", 2)
+                .with_attr(Attr::MainWrapper)
+                .with_callees(&["map_args", "__user_main"]),
+        );
+        m.add_function(Function::defined("map_args", 0));
+        let mut cx = PassContext::default();
+        DeadSymbolElim.run(&mut m, &mut cx).unwrap();
+        assert!(m.function("main").is_some());
+        assert!(m.function("map_args").is_some());
+    }
+
+    #[test]
+    fn reachable_externs_survive() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2).with_callees(&["printf"]));
+        m.add_function(Function::external("printf"));
+        DeadSymbolElim
+            .run(&mut m, &mut PassContext::default())
+            .unwrap();
+        assert!(m.function("printf").is_some());
+    }
+}

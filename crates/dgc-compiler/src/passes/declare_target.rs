@@ -1,0 +1,73 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use dgc_ir::{Attr, Module};
+
+/// Apply the user-wrapper-header semantics (paper Fig. 3): prepend
+/// `#pragma omp begin declare target device_type(nohost)` to all user code.
+///
+/// Every *defined* function and every global becomes
+/// `declare target device_type(nohost)`; external declarations are left for
+/// [`crate::passes::HostCallResolver`] to sort out.
+pub struct DeclareTargetMarker;
+
+impl Pass for DeclareTargetMarker {
+    fn name(&self) -> &'static str {
+        "declare-target-marker"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        let mut marked = 0usize;
+        for f in &mut module.functions {
+            if !f.defined || f.attrs.has(&Attr::MainWrapper) {
+                continue;
+            }
+            f.attrs.add(Attr::DeclareTarget);
+            f.attrs.add(Attr::NoHost);
+            marked += 1;
+        }
+        for g in &mut module.globals {
+            g.attrs.add(Attr::DeclareTarget);
+            g.attrs.add(Attr::NoHost);
+            marked += 1;
+        }
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!("marked {marked} symbols declare target device_type(nohost)"),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::{Function, Global};
+
+    #[test]
+    fn marks_defined_functions_and_globals_only() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("main", 2));
+        m.add_function(Function::external("printf"));
+        m.add_function(Function::defined("wrapper", 0).with_attr(Attr::MainWrapper));
+        m.add_global(Global::new("g", 8));
+        let mut cx = PassContext::default();
+        DeclareTargetMarker.run(&mut m, &mut cx).unwrap();
+
+        assert!(m.function("main").unwrap().attrs.is_nohost_device());
+        assert!(m.global("g").unwrap().attrs.is_nohost_device());
+        assert!(!m.function("printf").unwrap().attrs.is_nohost_device());
+        assert!(!m.function("wrapper").unwrap().attrs.is_nohost_device());
+        assert_eq!(cx.diags.len(), 1);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("f", 0));
+        let mut cx = PassContext::default();
+        DeclareTargetMarker.run(&mut m, &mut cx).unwrap();
+        let once = m.clone();
+        DeclareTargetMarker.run(&mut m, &mut cx).unwrap();
+        assert_eq!(m, once);
+    }
+}

@@ -1,0 +1,132 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use dgc_ir::{GlobalPlacement, Module};
+
+/// Relocate global variables for safe ensemble execution — the compiler
+/// transform §3.3 of the ensemble paper proposes as the fix for the
+/// isolation hazard of shared globals.
+///
+/// Placement policy:
+/// * `const` globals → [`GlobalPlacement::Constant`] (read-only, safe to
+///   share between instances);
+/// * mutable globals that fit the remaining shared-memory budget →
+///   [`GlobalPlacement::TeamShared`] (one copy per team = per instance);
+/// * everything else stays [`GlobalPlacement::DeviceGlobal`] with a
+///   warning: concurrent instances will race on it.
+pub struct GlobalsToShared {
+    /// Shared-memory budget available for relocated globals, bytes.
+    pub shared_budget: u64,
+}
+
+impl Default for GlobalsToShared {
+    fn default() -> Self {
+        // Leave the rest of the 164 KB A100 shared memory to the runtime.
+        Self {
+            shared_budget: 64 * 1024,
+        }
+    }
+}
+
+impl Pass for GlobalsToShared {
+    fn name(&self) -> &'static str {
+        "globals-to-shared"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        let mut budget = self.shared_budget;
+        let mut relocated = 0usize;
+        // Deterministic order: process globals as declared.
+        for g in &mut module.globals {
+            if g.is_const {
+                g.placement = GlobalPlacement::Constant;
+                continue;
+            }
+            if g.placement == GlobalPlacement::TeamShared {
+                // Already relocated on a previous run — it still occupies
+                // its share of the budget (idempotence).
+                budget = budget.saturating_sub(g.size);
+                relocated += 1;
+                continue;
+            }
+            if g.size <= budget {
+                g.placement = GlobalPlacement::TeamShared;
+                budget -= g.size;
+                relocated += 1;
+            } else {
+                g.placement = GlobalPlacement::DeviceGlobal;
+                cx.diags.push(
+                    Severity::Warning,
+                    self.name(),
+                    format!(
+                        "mutable global @{} ({} B) exceeds the shared-memory budget; \
+                         concurrent ensemble instances may race on it",
+                        g.name, g.size
+                    ),
+                );
+            }
+        }
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!(
+                "relocated {relocated} mutable globals to team-shared memory ({} B budget left)",
+                budget
+            ),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::Global;
+
+    #[test]
+    fn const_globals_become_constant() {
+        let mut m = Module::new("t");
+        m.add_global(Global::new("table", 1 << 20).constant());
+        GlobalsToShared::default()
+            .run(&mut m, &mut PassContext::default())
+            .unwrap();
+        assert_eq!(m.global("table").unwrap().placement, GlobalPlacement::Constant);
+    }
+
+    #[test]
+    fn small_mutables_relocate_until_budget() {
+        let mut m = Module::new("t");
+        m.add_global(Global::new("a", 100));
+        m.add_global(Global::new("b", 100));
+        m.add_global(Global::new("c", 100));
+        let mut cx = PassContext::default();
+        GlobalsToShared { shared_budget: 250 }
+            .run(&mut m, &mut cx)
+            .unwrap();
+        assert_eq!(m.global("a").unwrap().placement, GlobalPlacement::TeamShared);
+        assert_eq!(m.global("b").unwrap().placement, GlobalPlacement::TeamShared);
+        assert_eq!(m.global("c").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        assert!(cx.diags.warnings().any(|d| d.message.contains("@c")));
+    }
+
+    #[test]
+    fn huge_mutable_warns_about_races() {
+        let mut m = Module::new("t");
+        m.add_global(Global::new("big", 10 << 20));
+        let mut cx = PassContext::default();
+        GlobalsToShared::default().run(&mut m, &mut cx).unwrap();
+        assert_eq!(m.global("big").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        assert!(cx.diags.warnings().any(|d| d.message.contains("race")));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = Module::new("t");
+        m.add_global(Global::new("a", 128));
+        m.add_global(Global::new("big", 1 << 30));
+        let mut cx = PassContext::default();
+        let p = GlobalsToShared::default();
+        p.run(&mut m, &mut cx).unwrap();
+        let once = m.clone();
+        p.run(&mut m, &mut cx).unwrap();
+        assert_eq!(m, once);
+    }
+}

@@ -1,0 +1,192 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use crate::symbols::{classify_external, SymbolClass};
+use dgc_ir::{Attr, CallGraph, Function, Module};
+
+/// The "custom LTO" pass of the extended direct-GPU-compilation work \[27\]:
+/// resolve every external reference without user-provided stub code.
+///
+/// * Symbols the partial device libc implements are marked device-callable.
+/// * Host-only symbols with an RPC mapping get a generated stub function
+///   `__rpc_<name>` carrying `!rpc_stub(service)`; every call edge is
+///   rewritten to the stub, and the service is recorded so the runtime can
+///   enable it.
+/// * Remaining symbols draw an error if reachable from the entry point, a
+///   warning otherwise.
+pub struct HostCallResolver;
+
+impl Pass for HostCallResolver {
+    fn name(&self) -> &'static str {
+        "host-call-resolver"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        let entry = if module.function(super::USER_MAIN).is_some() {
+            super::USER_MAIN
+        } else {
+            "main"
+        };
+        let reachable = CallGraph::build(module).reachable_from(entry);
+
+        let externals: Vec<String> = module
+            .external_functions()
+            .map(|f| f.name.clone())
+            .collect();
+        let mut stubs = 0usize;
+        for name in externals {
+            // Skip externals a previous run already processed.
+            if cx.external_resolutions.contains_key(&name) {
+                continue;
+            }
+            let class = classify_external(&name);
+            cx.external_resolutions.insert(name.clone(), class);
+            match class {
+                SymbolClass::DeviceLibc => {
+                    let f = module.function_mut(&name).expect("listed above");
+                    f.attrs.add(Attr::DeclareTarget);
+                    f.attrs.add(Attr::NoHost);
+                }
+                SymbolClass::Rpc(service) => {
+                    let stub_name = format!("__rpc_{name}");
+                    if module.function(&stub_name).is_none() {
+                        let mut stub = Function::defined(&stub_name, 0);
+                        stub.attrs.add(Attr::DeclareTarget);
+                        stub.attrs.add(Attr::NoHost);
+                        stub.attrs.add(Attr::RpcStub(service));
+                        module.add_function(stub);
+                    }
+                    // Rewrite all call edges to go through the stub.
+                    for f in &mut module.functions {
+                        if f.name == stub_name {
+                            continue;
+                        }
+                        for c in &mut f.callees {
+                            if *c == name {
+                                *c = stub_name.clone();
+                            }
+                        }
+                    }
+                    cx.rpc_services.insert(service);
+                    stubs += 1;
+                }
+                SymbolClass::HostOnly => {
+                    let severity = if reachable.contains(&name) {
+                        Severity::Error
+                    } else {
+                        Severity::Warning
+                    };
+                    cx.diags.push(
+                        severity,
+                        self.name(),
+                        format!("'{name}' cannot execute on the device and has no RPC mapping"),
+                    );
+                }
+            }
+        }
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!(
+                "generated {stubs} RPC stubs across {} services",
+                cx.rpc_services.len()
+            ),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use host_rpc::{SERVICE_FS, SERVICE_STDIO};
+
+    fn module() -> Module {
+        let mut m = Module::new("t");
+        m.add_function(
+            Function::defined("__user_main", 2).with_callees(&["printf", "malloc", "work"]),
+        );
+        m.add_function(Function::defined("work", 0).with_callees(&["fopen", "sqrt"]));
+        m.add_function(Function::external("printf").with_variadic());
+        m.add_function(Function::external("malloc"));
+        m.add_function(Function::external("fopen"));
+        m.add_function(Function::external("sqrt"));
+        m
+    }
+
+    #[test]
+    fn generates_stubs_and_rewrites_edges() {
+        let mut m = module();
+        let mut cx = PassContext::default();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+
+        let stub = m.function("__rpc_printf").unwrap();
+        assert_eq!(stub.attrs.rpc_service(), Some(SERVICE_STDIO));
+        assert!(stub.defined);
+        assert!(m
+            .function("__user_main")
+            .unwrap()
+            .callees
+            .contains(&"__rpc_printf".to_string()));
+        assert!(m
+            .function("work")
+            .unwrap()
+            .callees
+            .contains(&"__rpc_fopen".to_string()));
+        assert_eq!(
+            cx.rpc_services.iter().copied().collect::<Vec<_>>(),
+            vec![SERVICE_STDIO, SERVICE_FS]
+        );
+    }
+
+    #[test]
+    fn device_libc_symbols_marked_not_stubbed() {
+        let mut m = module();
+        let mut cx = PassContext::default();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+        assert!(m.function("malloc").unwrap().attrs.is_nohost_device());
+        assert!(m.function("__rpc_malloc").is_none());
+        assert!(m
+            .function("work")
+            .unwrap()
+            .callees
+            .contains(&"sqrt".to_string()));
+    }
+
+    #[test]
+    fn reachable_host_only_is_an_error() {
+        let mut m = module();
+        m.function_mut("work").unwrap().callees.push("fork".into());
+        m.add_function(Function::external("fork"));
+        let mut cx = PassContext::default();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+        assert!(cx.diags.has_errors());
+    }
+
+    #[test]
+    fn unreachable_host_only_is_a_warning() {
+        let mut m = module();
+        m.add_function(Function::external("fork"));
+        let mut cx = PassContext::default();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+        assert!(!cx.diags.has_errors());
+        assert!(cx.diags.warnings().any(|d| d.message.contains("fork")));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = module();
+        let mut cx = PassContext::default();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+        let once = m.clone();
+        HostCallResolver.run(&mut m, &mut cx).unwrap();
+        assert_eq!(m, once);
+    }
+
+    #[test]
+    fn module_still_verifies_after_rewrite() {
+        let mut m = module();
+        HostCallResolver
+            .run(&mut m, &mut PassContext::default())
+            .unwrap();
+        assert!(m.verify().is_empty(), "{:?}", m.verify());
+    }
+}

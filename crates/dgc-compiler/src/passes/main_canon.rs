@@ -1,0 +1,137 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use dgc_ir::Module;
+
+/// The symbol the user's `main` becomes (paper Fig. 3:
+/// `int main(int, char *[]) asm("__user_main");`).
+pub const USER_MAIN: &str = "__user_main";
+
+/// Canonicalize the user `main` to `int main(int argc, char **argv)` and
+/// rename it to [`USER_MAIN`], freeing the name `main` for the loader's
+/// main wrapper.
+pub struct MainCanonicalizer;
+
+impl Pass for MainCanonicalizer {
+    fn name(&self) -> &'static str {
+        "main-canonicalizer"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        if module.function(USER_MAIN).is_some() {
+            cx.diags.push(
+                Severity::Note,
+                self.name(),
+                "main already canonicalized; nothing to do",
+            );
+            return Ok(());
+        }
+        let Some(main) = module.function("main") else {
+            return Err(PassError {
+                pass: self.name().into(),
+                message: "module has no 'main' function".into(),
+            });
+        };
+        if !main.defined {
+            return Err(PassError {
+                pass: self.name().into(),
+                message: "'main' is declared but not defined in this module".into(),
+            });
+        }
+        let arity = main.arity;
+        match arity {
+            2 => {}
+            0 => cx.diags.push(
+                Severity::Note,
+                self.name(),
+                "canonicalized 'int main(void)' to 'int main(int, char**)'",
+            ),
+            3 => cx.diags.push(
+                Severity::Warning,
+                self.name(),
+                "'main(argc, argv, envp)': envp is not available on the device and was dropped",
+            ),
+            n => {
+                return Err(PassError {
+                    pass: self.name().into(),
+                    message: format!("'main' has unsupported arity {n}"),
+                })
+            }
+        }
+        module.function_mut("main").expect("checked above").arity = 2;
+        assert!(module.rename_function("main", USER_MAIN));
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!("renamed 'main' to '{USER_MAIN}'"),
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::{Attr, Function};
+
+    #[test]
+    fn renames_and_canonicalizes() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("main", 0));
+        m.add_function(Function::defined("caller", 0).with_callees(&["main"]));
+        let mut cx = PassContext::default();
+        MainCanonicalizer.run(&mut m, &mut cx).unwrap();
+        let um = m.function(USER_MAIN).unwrap();
+        assert_eq!(um.arity, 2);
+        assert!(um.attrs.has(&Attr::RenamedFrom("main".into())));
+        assert_eq!(m.function("caller").unwrap().callees, vec![USER_MAIN]);
+        assert!(m.function("main").is_none());
+    }
+
+    #[test]
+    fn envp_variant_warns() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("main", 3));
+        let mut cx = PassContext::default();
+        MainCanonicalizer.run(&mut m, &mut cx).unwrap();
+        assert!(cx.diags.warnings().any(|d| d.message.contains("envp")));
+        assert_eq!(m.function(USER_MAIN).unwrap().arity, 2);
+    }
+
+    #[test]
+    fn missing_main_is_fatal() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("not_main", 0));
+        let err = MainCanonicalizer
+            .run(&mut m, &mut PassContext::default())
+            .unwrap_err();
+        assert!(err.message.contains("no 'main'"));
+    }
+
+    #[test]
+    fn extern_main_is_fatal() {
+        let mut m = Module::new("t");
+        m.add_function(Function::external("main"));
+        assert!(MainCanonicalizer
+            .run(&mut m, &mut PassContext::default())
+            .is_err());
+    }
+
+    #[test]
+    fn weird_arity_is_fatal() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("main", 5));
+        assert!(MainCanonicalizer
+            .run(&mut m, &mut PassContext::default())
+            .is_err());
+    }
+
+    #[test]
+    fn idempotent_after_rename() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("main", 2));
+        let mut cx = PassContext::default();
+        MainCanonicalizer.run(&mut m, &mut cx).unwrap();
+        let once = m.clone();
+        MainCanonicalizer.run(&mut m, &mut cx).unwrap();
+        assert_eq!(m, once);
+    }
+}

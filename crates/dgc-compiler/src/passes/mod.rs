@@ -1,0 +1,16 @@
+//! The individual compiler passes. See the crate docs for the pipeline
+//! order; [`crate::compile`] wires them together.
+
+mod dce;
+mod declare_target;
+mod globals_to_shared;
+mod host_resolve;
+mod main_canon;
+mod parallelism;
+
+pub use dce::DeadSymbolElim;
+pub use declare_target::DeclareTargetMarker;
+pub use globals_to_shared::GlobalsToShared;
+pub use host_resolve::HostCallResolver;
+pub use main_canon::{MainCanonicalizer, USER_MAIN};
+pub use parallelism::ParallelismExpansion;

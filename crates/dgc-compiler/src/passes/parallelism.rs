@@ -1,0 +1,113 @@
+use crate::pass::{Pass, PassContext, PassError, Severity};
+use crate::pipeline::ExpansionInfo;
+use dgc_ir::{Attr, CallGraph, Module};
+
+/// The GPU-first analysis of the extension work \[27\]: can the parallel
+/// regions reachable from the entry point be expanded across multiple
+/// teams, or does OpenMP semantics pin execution to a single team?
+///
+/// A region expands only if its function carries
+/// [`Attr::OrderIndependentParallel`] (the IR-level stand-in for the
+/// semantic analysis). The result feeds the runtime's choice between
+/// single-team execution (\[26\]), multi-team expansion (\[27\]) and ensemble
+/// execution (this paper).
+pub struct ParallelismExpansion;
+
+impl Pass for ParallelismExpansion {
+    fn name(&self) -> &'static str {
+        "parallelism-expansion"
+    }
+
+    fn run(&self, module: &mut Module, cx: &mut PassContext) -> Result<(), PassError> {
+        let entry = if module.function(super::USER_MAIN).is_some() {
+            super::USER_MAIN
+        } else {
+            "main"
+        };
+        let reachable = CallGraph::build(module).reachable_from(entry);
+        let mut regions = 0u32;
+        let mut expandable_regions = 0u32;
+        for name in &reachable {
+            let f = module.function(name).expect("reachable implies present");
+            let n = f.attrs.parallel_regions();
+            regions += n;
+            if n > 0 && f.attrs.has(&Attr::OrderIndependentParallel) {
+                expandable_regions += n;
+            }
+        }
+        let info = ExpansionInfo {
+            parallel_regions: regions,
+            expandable_regions,
+            multi_team_eligible: regions > 0 && regions == expandable_regions,
+        };
+        cx.diags.push(
+            Severity::Note,
+            self.name(),
+            format!(
+                "{} parallel regions reachable, {} expandable; multi-team eligible: {}",
+                info.parallel_regions, info.expandable_regions, info.multi_team_eligible
+            ),
+        );
+        cx.expansion = Some(info);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::Function;
+
+    #[test]
+    fn all_order_independent_is_eligible() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2).with_callees(&["k"]));
+        m.add_function(
+            Function::defined("k", 0)
+                .with_attr(Attr::ParallelRegions(2))
+                .with_attr(Attr::OrderIndependentParallel),
+        );
+        let mut cx = PassContext::default();
+        ParallelismExpansion.run(&mut m, &mut cx).unwrap();
+        let info = cx.expansion.unwrap();
+        assert_eq!(info.parallel_regions, 2);
+        assert!(info.multi_team_eligible);
+    }
+
+    #[test]
+    fn one_dependent_region_blocks_expansion() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2).with_callees(&["a", "b"]));
+        m.add_function(
+            Function::defined("a", 0)
+                .with_attr(Attr::ParallelRegions(1))
+                .with_attr(Attr::OrderIndependentParallel),
+        );
+        m.add_function(Function::defined("b", 0).with_attr(Attr::ParallelRegions(1)));
+        let mut cx = PassContext::default();
+        ParallelismExpansion.run(&mut m, &mut cx).unwrap();
+        let info = cx.expansion.unwrap();
+        assert_eq!(info.parallel_regions, 2);
+        assert_eq!(info.expandable_regions, 1);
+        assert!(!info.multi_team_eligible);
+    }
+
+    #[test]
+    fn no_parallel_regions_not_eligible() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2));
+        let mut cx = PassContext::default();
+        ParallelismExpansion.run(&mut m, &mut cx).unwrap();
+        assert!(!cx.expansion.unwrap().multi_team_eligible);
+    }
+
+    #[test]
+    fn unreachable_regions_ignored() {
+        let mut m = Module::new("t");
+        m.add_function(Function::defined("__user_main", 2));
+        m.add_function(Function::defined("dead", 0).with_attr(Attr::ParallelRegions(7)));
+        let mut cx = PassContext::default();
+        ParallelismExpansion.run(&mut m, &mut cx).unwrap();
+        assert_eq!(cx.expansion.unwrap().parallel_regions, 0);
+    }
+}

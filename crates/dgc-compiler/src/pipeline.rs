@@ -1,0 +1,302 @@
+use crate::pass::{run_passes, Diagnostics, PassContext, PassError};
+use crate::passes::{
+    DeadSymbolElim, DeclareTargetMarker, GlobalsToShared, HostCallResolver, MainCanonicalizer,
+    ParallelismExpansion, USER_MAIN,
+};
+use dgc_ir::{GlobalPlacement, Module};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Result of the parallelism-expansion analysis (the \[27\] baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionInfo {
+    /// Parallel regions reachable from the entry point.
+    pub parallel_regions: u32,
+    /// How many of them are provably order-independent.
+    pub expandable_regions: u32,
+    /// Whether multi-team expansion is semantically allowed everywhere.
+    pub multi_team_eligible: bool,
+}
+
+/// Options for the standard pipeline.
+#[derive(Debug, Clone)]
+pub struct CompilerOptions {
+    /// Shared-memory budget for the globals-to-shared transform.
+    pub shared_budget: u64,
+    /// Run the §3.3 globals-to-shared transform (on by default; the
+    /// ablation benches switch it off to observe the isolation hazard).
+    pub globals_to_shared: bool,
+    /// Run dead-symbol elimination.
+    pub dce: bool,
+    /// Treat reachable host-only symbols as a hard compile error.
+    pub strict_host_calls: bool,
+}
+
+impl Default for CompilerOptions {
+    fn default() -> Self {
+        Self {
+            shared_budget: 64 * 1024,
+            globals_to_shared: true,
+            dce: true,
+            strict_host_calls: true,
+        }
+    }
+}
+
+/// Failure modes of [`compile`].
+#[derive(Debug)]
+pub enum CompileError {
+    /// Input module failed structural verification.
+    Invalid(dgc_ir::VerifyError),
+    /// A pass aborted.
+    Pass(PassError),
+    /// Diagnostics contain errors (e.g. reachable host-only calls) and
+    /// `strict_host_calls` is set. Diagnostics are attached.
+    Errors(Diagnostics),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Invalid(e) => write!(f, "invalid input module: {e}"),
+            CompileError::Pass(e) => write!(f, "{e}"),
+            CompileError::Errors(d) => {
+                let n = d.iter().filter(|x| x.severity == crate::Severity::Error).count();
+                write!(f, "compilation produced {n} errors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// The linked device image the offload runtime loads: the transformed
+/// module plus everything the loader needs to know about it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompiledImage {
+    pub module: Module,
+    /// Device entry point (always [`USER_MAIN`] after the pipeline).
+    pub entry: String,
+    /// RPC services for which stubs were generated — the runtime enables
+    /// exactly these.
+    pub rpc_services: BTreeSet<u32>,
+    /// Final placement of every global.
+    pub global_placements: BTreeMap<String, GlobalPlacement>,
+    /// Parallelism-expansion analysis result.
+    pub expansion: ExpansionInfo,
+    /// All diagnostics the pipeline emitted.
+    pub diagnostics: Diagnostics,
+}
+
+impl CompiledImage {
+    /// Shared-memory bytes the relocated globals need per team.
+    pub fn team_shared_globals_bytes(&self) -> u64 {
+        self.module
+            .globals
+            .iter()
+            .filter(|g| g.placement == GlobalPlacement::TeamShared)
+            .map(|g| g.size)
+            .sum()
+    }
+
+    /// Names of mutable globals left in device-global memory — the
+    /// ensemble isolation hazards of §3.3.
+    pub fn isolation_hazards(&self) -> Vec<&str> {
+        self.module
+            .globals
+            .iter()
+            .filter(|g| !g.is_const && g.placement == GlobalPlacement::DeviceGlobal)
+            .map(|g| g.name.as_str())
+            .collect()
+    }
+}
+
+/// Run the standard direct-GPU-compilation pipeline over `module`.
+pub fn compile(mut module: Module, opts: &CompilerOptions) -> Result<CompiledImage, CompileError> {
+    module.verify_ok().map_err(CompileError::Invalid)?;
+    let mut cx = PassContext::default();
+
+    let g2s = GlobalsToShared {
+        shared_budget: opts.shared_budget,
+    };
+    let mut passes: Vec<&dyn crate::Pass> =
+        vec![&DeclareTargetMarker, &MainCanonicalizer, &HostCallResolver];
+    if opts.globals_to_shared {
+        passes.push(&g2s);
+    }
+    passes.push(&ParallelismExpansion);
+    if opts.dce {
+        passes.push(&DeadSymbolElim);
+    }
+
+    run_passes(&passes, &mut module, &mut cx).map_err(CompileError::Pass)?;
+
+    module
+        .verify_ok()
+        .map_err(CompileError::Invalid)
+        .expect("pipeline must preserve module validity");
+
+    if opts.strict_host_calls && cx.diags.has_errors() {
+        return Err(CompileError::Errors(cx.diags));
+    }
+
+    let global_placements = module
+        .globals
+        .iter()
+        .map(|g| (g.name.clone(), g.placement))
+        .collect();
+    // The enabled services are a property of the *final module*: exactly
+    // the services whose stubs survived (dead stubs are DCE'd; stubs that
+    // already existed on entry count like freshly generated ones).
+    let rpc_services: BTreeSet<u32> = module
+        .functions
+        .iter()
+        .filter_map(|f| f.attrs.rpc_service())
+        .collect();
+    Ok(CompiledImage {
+        entry: USER_MAIN.to_string(),
+        rpc_services,
+        global_placements,
+        expansion: cx.expansion.expect("expansion pass always runs"),
+        diagnostics: cx.diags,
+        module,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_ir::{Attr, Function, Global};
+    use host_rpc::{SERVICE_FS, SERVICE_STDIO};
+
+    /// A module shaped like the paper's benchmarks: a main that parses
+    /// arguments, allocates, runs a parallel kernel, prints results.
+    fn benchmark_module() -> Module {
+        let mut m = Module::new("xsbench");
+        m.add_global(Global::new("grid_ptr", 8));
+        m.add_global(Global::new("lookup_table", 4096).constant());
+        m.add_function(
+            Function::defined("main", 2).with_callees(&["parse", "init", "run", "printf"]),
+        );
+        m.add_function(Function::defined("parse", 2).with_callees(&["atoi", "strcmp"]));
+        m.add_function(Function::defined("init", 1).with_callees(&["malloc", "rand"]));
+        m.add_function(
+            Function::defined("run", 1)
+                .with_callees(&["lookup", "printf"])
+                .with_attr(Attr::ParallelRegions(1))
+                .with_attr(Attr::OrderIndependentParallel),
+        );
+        m.add_function(Function::defined("lookup", 3).with_callees(&["sqrt"]));
+        m.add_function(Function::defined("unused_helper", 0));
+        m.add_function(Function::external("printf").with_variadic());
+        m.add_function(Function::external("atoi"));
+        m.add_function(Function::external("strcmp"));
+        m.add_function(Function::external("malloc"));
+        m.add_function(Function::external("rand"));
+        m.add_function(Function::external("sqrt"));
+        m
+    }
+
+    #[test]
+    fn full_pipeline_produces_expected_image() {
+        let image = compile(benchmark_module(), &CompilerOptions::default()).unwrap();
+        assert_eq!(image.entry, USER_MAIN);
+        let um = image.module.function(USER_MAIN).unwrap();
+        assert!(um.attrs.is_nohost_device());
+        assert!(image.module.function("__rpc_printf").is_some());
+        assert_eq!(
+            image.rpc_services.iter().copied().collect::<Vec<_>>(),
+            vec![SERVICE_STDIO]
+        );
+        // DCE removed the unused helper.
+        assert!(image.module.function("unused_helper").is_none());
+        // Globals placed.
+        assert_eq!(
+            image.global_placements["lookup_table"],
+            GlobalPlacement::Constant
+        );
+        assert_eq!(
+            image.global_placements["grid_ptr"],
+            GlobalPlacement::TeamShared
+        );
+        assert_eq!(image.team_shared_globals_bytes(), 8);
+        assert!(image.isolation_hazards().is_empty());
+        // Expansion analysis ran.
+        assert!(image.expansion.multi_team_eligible);
+        assert_eq!(image.expansion.parallel_regions, 1);
+        // Module verifies.
+        assert!(image.module.verify().is_empty());
+    }
+
+    #[test]
+    fn fs_usage_enables_fs_service() {
+        let mut m = benchmark_module();
+        m.function_mut("init").unwrap().callees.push("fopen".into());
+        m.add_function(Function::external("fopen"));
+        let image = compile(m, &CompilerOptions::default()).unwrap();
+        assert!(image.rpc_services.contains(&SERVICE_FS));
+        assert!(image.rpc_services.contains(&SERVICE_STDIO));
+    }
+
+    #[test]
+    fn strict_mode_rejects_reachable_host_only() {
+        let mut m = benchmark_module();
+        m.function_mut("init").unwrap().callees.push("fork".into());
+        m.add_function(Function::external("fork"));
+        match compile(m, &CompilerOptions::default()) {
+            Err(CompileError::Errors(d)) => assert!(d.has_errors()),
+            other => panic!("expected Errors, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lenient_mode_compiles_with_error_diags() {
+        let mut m = benchmark_module();
+        m.function_mut("init").unwrap().callees.push("fork".into());
+        m.add_function(Function::external("fork"));
+        let opts = CompilerOptions {
+            strict_host_calls: false,
+            ..CompilerOptions::default()
+        };
+        let image = compile(m, &opts).unwrap();
+        assert!(image.diagnostics.has_errors());
+    }
+
+    #[test]
+    fn disabling_globals_to_shared_leaves_hazards() {
+        let opts = CompilerOptions {
+            globals_to_shared: false,
+            ..CompilerOptions::default()
+        };
+        let image = compile(benchmark_module(), &opts).unwrap();
+        assert_eq!(image.isolation_hazards(), vec!["grid_ptr"]);
+    }
+
+    #[test]
+    fn invalid_module_rejected_up_front() {
+        let mut m = benchmark_module();
+        m.function_mut("main").unwrap().callees.push("ghost".into());
+        assert!(matches!(
+            compile(m, &CompilerOptions::default()),
+            Err(CompileError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn missing_main_fails_in_canonicalizer() {
+        let mut m = Module::new("nomain");
+        m.add_function(Function::defined("helper", 0));
+        assert!(matches!(
+            compile(m, &CompilerOptions::default()),
+            Err(CompileError::Pass(_))
+        ));
+    }
+
+    #[test]
+    fn image_roundtrips_through_ir_text() {
+        let image = compile(benchmark_module(), &CompilerOptions::default()).unwrap();
+        let text = image.module.to_string();
+        let reparsed = Module::parse(&text).unwrap();
+        assert_eq!(image.module, reparsed);
+    }
+}

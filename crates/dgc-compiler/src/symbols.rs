@@ -1,0 +1,83 @@
+use host_rpc::{SERVICE_CLOCK, SERVICE_EXIT, SERVICE_FS, SERVICE_STDIO};
+use serde::{Deserialize, Serialize};
+
+/// How an unresolved external symbol can be satisfied on the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SymbolClass {
+    /// Implemented by the partial device libc — callable directly.
+    DeviceLibc,
+    /// Host-only, but expressible as an RPC to the given service.
+    Rpc(u32),
+    /// Cannot run on the device and has no RPC mapping.
+    HostOnly,
+}
+
+/// Classify a libc/POSIX symbol name, mirroring the table the custom LTO
+/// pass of the direct-GPU-compilation framework uses to decide between
+/// device-libc linking and RPC stub generation.
+pub fn classify_external(name: &str) -> SymbolClass {
+    match name {
+        // ---- partial device libc ------------------------------------
+        "malloc" | "free" | "calloc" | "realloc" | "aligned_alloc" => SymbolClass::DeviceLibc,
+        "memcpy" | "memset" | "memmove" | "memcmp" => SymbolClass::DeviceLibc,
+        "strlen" | "strcmp" | "strncmp" | "strcpy" | "strncpy" | "strchr" | "strstr"
+        | "strtol" | "strtoul" | "strtod" | "atoi" | "atol" | "atof" => SymbolClass::DeviceLibc,
+        "qsort" | "bsearch" | "rand" | "srand" | "abs" | "labs" => SymbolClass::DeviceLibc,
+        "sqrt" | "sqrtf" | "pow" | "powf" | "exp" | "expf" | "log" | "logf" | "log10"
+        | "sin" | "sinf" | "cos" | "cosf" | "tan" | "fabs" | "fabsf" | "floor" | "ceil"
+        | "fmod" | "fmin" | "fmax" => SymbolClass::DeviceLibc,
+        "snprintf" | "sprintf" | "sscanf" => SymbolClass::DeviceLibc,
+
+        // ---- host RPC services --------------------------------------
+        "printf" | "puts" | "putchar" | "fputs" | "fprintf" | "vprintf" | "fflush"
+        | "perror" => SymbolClass::Rpc(SERVICE_STDIO),
+        "fopen" | "fclose" | "fread" | "fwrite" | "fseek" | "ftell" | "rewind" | "fgets"
+        | "fgetc" | "fputc" | "feof" | "remove" | "rename" => SymbolClass::Rpc(SERVICE_FS),
+        "time" | "clock" | "clock_gettime" | "gettimeofday" | "difftime" => {
+            SymbolClass::Rpc(SERVICE_CLOCK)
+        }
+        "exit" | "abort" | "_exit" | "atexit" => SymbolClass::Rpc(SERVICE_EXIT),
+
+        // ---- impossible on the device --------------------------------
+        "fork" | "execve" | "system" | "popen" | "mmap" | "munmap" | "pthread_create"
+        | "pthread_join" | "socket" | "connect" | "bind" | "accept" | "dlopen"
+        | "signal" | "sigaction" | "longjmp" | "setjmp" => SymbolClass::HostOnly,
+
+        // Unknown symbols are conservatively host-only: the framework
+        // cannot prove they are safe to execute on the device.
+        _ => SymbolClass::HostOnly,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn libc_math_and_memory_stay_on_device() {
+        for s in ["malloc", "memcpy", "strlen", "sqrt", "qsort", "rand"] {
+            assert_eq!(classify_external(s), SymbolClass::DeviceLibc, "{s}");
+        }
+    }
+
+    #[test]
+    fn io_becomes_rpc_with_right_service() {
+        assert_eq!(classify_external("printf"), SymbolClass::Rpc(SERVICE_STDIO));
+        assert_eq!(classify_external("fopen"), SymbolClass::Rpc(SERVICE_FS));
+        assert_eq!(classify_external("fwrite"), SymbolClass::Rpc(SERVICE_FS));
+        assert_eq!(classify_external("time"), SymbolClass::Rpc(SERVICE_CLOCK));
+        assert_eq!(classify_external("exit"), SymbolClass::Rpc(SERVICE_EXIT));
+    }
+
+    #[test]
+    fn process_control_is_host_only() {
+        for s in ["fork", "system", "pthread_create", "socket", "mmap"] {
+            assert_eq!(classify_external(s), SymbolClass::HostOnly, "{s}");
+        }
+    }
+
+    #[test]
+    fn unknown_symbols_are_host_only() {
+        assert_eq!(classify_external("my_mystery_fn"), SymbolClass::HostOnly);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the compiler pipeline.
+
+use dgc_compiler::{compile, CompilerOptions};
+use dgc_ir::{Attr, Function, Global, Module};
+use proptest::prelude::*;
+
+/// Random benchmark-shaped modules: a main, helper functions with random
+/// call edges among themselves, random known external references, and a
+/// few globals.
+fn arb_module() -> impl Strategy<Value = Module> {
+    let externs = prop::collection::vec(
+        prop::sample::select(vec![
+            "printf", "malloc", "free", "sqrt", "atoi", "fopen", "fread", "exit", "time",
+            "strcmp", "memcpy", "rand",
+        ]),
+        0..6,
+    );
+    let helpers = 1usize..5;
+    let edges = prop::collection::vec((0usize..5, 0usize..10), 0..12);
+    let globals = prop::collection::vec((1u64..200_000, any::<bool>()), 0..4);
+    (externs, helpers, edges, globals).prop_map(|(externs, helpers, edges, globals)| {
+        let mut m = Module::new("prop");
+        let helper_names: Vec<String> = (0..helpers).map(|i| format!("helper{i}")).collect();
+        let mut externs: Vec<&str> = externs;
+        externs.sort();
+        externs.dedup();
+        let all: Vec<String> = helper_names
+            .iter()
+            .cloned()
+            .chain(externs.iter().map(|s| s.to_string()))
+            .collect();
+        let mut main = Function::defined("main", 2);
+        if let Some(first) = helper_names.first() {
+            main.callees.push(first.clone());
+        }
+        m.add_function(main);
+        for (i, h) in helper_names.iter().enumerate() {
+            let mut f = Function::defined(h, 1);
+            if i == 0 {
+                f.attrs.add(Attr::ParallelRegions(1));
+                f.attrs.add(Attr::OrderIndependentParallel);
+            }
+            for &(from, to) in &edges {
+                if from % helper_names.len() == i && !all.is_empty() {
+                    f.callees.push(all[to % all.len()].clone());
+                }
+            }
+            m.add_function(f);
+        }
+        for e in &externs {
+            m.add_function(Function::external(e).with_variadic());
+        }
+        for (i, (size, is_const)) in globals.iter().enumerate() {
+            let mut g = Global::new(&format!("g{i}"), *size);
+            if *is_const {
+                g = g.constant();
+            }
+            m.add_global(g);
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The pipeline always produces a structurally valid module with the
+    /// canonical entry point, and every surviving defined function except
+    /// the wrapper is device-marked.
+    #[test]
+    fn pipeline_preserves_validity(m in arb_module()) {
+        let image = compile(m, &CompilerOptions::default()).unwrap();
+        prop_assert!(image.module.verify().is_empty());
+        prop_assert!(image.module.function("__user_main").is_some());
+        for f in image.module.defined_functions() {
+            if !f.attrs.has(&Attr::MainWrapper) {
+                prop_assert!(f.attrs.is_nohost_device(), "{} unmarked", f.name);
+            }
+        }
+    }
+
+    /// Compilation is idempotent at the image level: compiling the output
+    /// module again (it already has __user_main) converges.
+    #[test]
+    fn pipeline_converges(m in arb_module()) {
+        let once = compile(m, &CompilerOptions::default()).unwrap();
+        let twice = compile(once.module.clone(), &CompilerOptions::default()).unwrap();
+        prop_assert_eq!(once.module, twice.module);
+        prop_assert_eq!(once.rpc_services, twice.rpc_services);
+    }
+
+    /// Every call edge that referenced an RPC-able external is rewritten:
+    /// no reachable function calls a bare host symbol after the pipeline.
+    #[test]
+    fn no_unresolved_host_calls_survive(m in arb_module()) {
+        let image = compile(m, &CompilerOptions::default()).unwrap();
+        for f in &image.module.functions {
+            for callee in &f.callees {
+                let target = image.module.function(callee).expect("verified module");
+                if !target.defined {
+                    // Surviving externals must be device-libc-provided.
+                    prop_assert!(
+                        target.attrs.is_nohost_device(),
+                        "@{} still calls unresolved @{}",
+                        f.name,
+                        callee
+                    );
+                }
+            }
+        }
+    }
+
+    /// Every global ends the pipeline with a placement, and placements
+    /// respect constness.
+    #[test]
+    fn globals_always_placed(m in arb_module()) {
+        let image = compile(m, &CompilerOptions::default()).unwrap();
+        for g in &image.module.globals {
+            prop_assert!(image.global_placements.contains_key(&g.name));
+            if g.is_const {
+                prop_assert_eq!(g.placement, dgc_ir::GlobalPlacement::Constant);
+            }
+        }
+        // Shared-memory budget respected.
+        prop_assert!(image.team_shared_globals_bytes() <= CompilerOptions::default().shared_budget);
+    }
+
+    /// The compiled module's textual form re-parses to the same module
+    /// (the image is serializable as source).
+    #[test]
+    fn compiled_module_roundtrips(m in arb_module()) {
+        let image = compile(m, &CompilerOptions::default()).unwrap();
+        let reparsed = Module::parse(&image.module.to_string()).unwrap();
+        prop_assert_eq!(image.module, reparsed);
+    }
+}

@@ -1,0 +1,167 @@
+use crate::module::Module;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Call graph over a module's functions. Nodes are function names; edges
+/// follow `callees` lists. External declarations are sink nodes.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    edges: BTreeMap<String, Vec<String>>,
+}
+
+impl CallGraph {
+    pub fn build(module: &Module) -> Self {
+        let mut edges = BTreeMap::new();
+        for f in &module.functions {
+            edges.insert(f.name.clone(), f.callees.clone());
+        }
+        Self { edges }
+    }
+
+    /// Direct callees of `name` (empty for unknown names).
+    pub fn callees(&self, name: &str) -> &[String] {
+        self.edges.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All functions reachable from `root`, including `root` itself.
+    /// Edges to names not present in the module are ignored.
+    pub fn reachable_from(&self, root: &str) -> BTreeSet<String> {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        if self.edges.contains_key(root) {
+            seen.insert(root.to_string());
+            queue.push_back(root.to_string());
+        }
+        while let Some(f) = queue.pop_front() {
+            for callee in self.callees(&f) {
+                if self.edges.contains_key(callee) && seen.insert(callee.clone()) {
+                    queue.push_back(callee.clone());
+                }
+            }
+        }
+        seen
+    }
+
+    /// Functions that directly call `name`.
+    pub fn callers_of(&self, name: &str) -> Vec<String> {
+        self.edges
+            .iter()
+            .filter(|(_, callees)| callees.iter().any(|c| c == name))
+            .map(|(caller, _)| caller.clone())
+            .collect()
+    }
+
+    /// Reverse-postorder (callees before callers) over the subgraph
+    /// reachable from `root`. Cycles are broken at the back edge, so the
+    /// order is a best-effort topological order.
+    pub fn bottom_up_order(&self, root: &str) -> Vec<String> {
+        let mut order = Vec::new();
+        let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 1 = visiting, 2 = done
+        self.dfs(root, &mut state, &mut order);
+        order
+    }
+
+    fn dfs<'a>(&'a self, f: &'a str, state: &mut BTreeMap<&'a str, u8>, order: &mut Vec<String>) {
+        if !self.edges.contains_key(f) || state.get(f).copied().unwrap_or(0) != 0 {
+            return;
+        }
+        state.insert(f, 1);
+        if let Some(callees) = self.edges.get(f) {
+            for c in callees {
+                self.dfs(c, state, order);
+            }
+        }
+        state.insert(f, 2);
+        order.push(f.to_string());
+    }
+
+    /// Whether the subgraph reachable from `root` contains a cycle
+    /// (recursion — which the device runtime must bound).
+    pub fn has_recursion(&self, root: &str) -> bool {
+        fn walk<'a>(
+            g: &'a CallGraph,
+            f: &'a str,
+            state: &mut BTreeMap<&'a str, u8>,
+        ) -> bool {
+            match state.get(f).copied().unwrap_or(0) {
+                1 => return true, // back edge
+                2 => return false,
+                _ => {}
+            }
+            if !g.edges.contains_key(f) {
+                return false;
+            }
+            state.insert(f, 1);
+            for c in g.callees(f) {
+                if g.edges.contains_key(c) && walk(g, c, state) {
+                    return true;
+                }
+            }
+            state.insert(f, 2);
+            false
+        }
+        walk(self, root, &mut BTreeMap::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::Function;
+
+    fn module() -> Module {
+        let mut m = Module::new("cg");
+        m.add_function(Function::defined("main", 2).with_callees(&["a", "b"]));
+        m.add_function(Function::defined("a", 0).with_callees(&["c"]));
+        m.add_function(Function::defined("b", 0).with_callees(&["c", "printf"]));
+        m.add_function(Function::defined("c", 0));
+        m.add_function(Function::defined("dead", 0).with_callees(&["a"]));
+        m.add_function(Function::external("printf"));
+        m
+    }
+
+    #[test]
+    fn reachability() {
+        let g = CallGraph::build(&module());
+        let r = g.reachable_from("main");
+        assert!(r.contains("main") && r.contains("a") && r.contains("c") && r.contains("printf"));
+        assert!(!r.contains("dead"));
+        assert!(g.reachable_from("ghost").is_empty());
+    }
+
+    #[test]
+    fn callers() {
+        let g = CallGraph::build(&module());
+        let mut callers = g.callers_of("c");
+        callers.sort();
+        assert_eq!(callers, vec!["a", "b"]);
+        assert_eq!(g.callers_of("main"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn bottom_up_has_callees_first() {
+        let g = CallGraph::build(&module());
+        let order = g.bottom_up_order("main");
+        let pos = |n: &str| order.iter().position(|x| x == n).unwrap();
+        assert!(pos("c") < pos("a"));
+        assert!(pos("c") < pos("b"));
+        assert!(pos("a") < pos("main"));
+        assert_eq!(*order.last().unwrap(), "main");
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let mut m = module();
+        assert!(!CallGraph::build(&m).has_recursion("main"));
+        m.function_mut("c").unwrap().callees.push("a".into());
+        assert!(CallGraph::build(&m).has_recursion("main"));
+        // Recursion off the root path is not reported for that root.
+        assert!(!CallGraph::build(&m).has_recursion("printf"));
+    }
+
+    #[test]
+    fn self_recursion() {
+        let mut m = Module::new("r");
+        m.add_function(Function::defined("f", 0).with_callees(&["f"]));
+        assert!(CallGraph::build(&m).has_recursion("f"));
+    }
+}

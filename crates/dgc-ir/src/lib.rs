@@ -1,0 +1,27 @@
+//! Module-level IR for the direct-GPU-compilation pipeline.
+//!
+//! The compiler work in the direct GPU compilation papers is *symbol
+//! surgery*: marking every user symbol `declare target device_type(nohost)`,
+//! renaming `main` to `__user_main`, resolving external references either to
+//! the partial device libc or to generated host-RPC stubs, and relocating
+//! globals. None of it needs instruction-level IR, so this crate models a
+//! module as its symbol table plus a call graph:
+//!
+//! * [`Module`] — named collection of [`Function`]s and [`Global`]s;
+//! * [`Attr`]/[`AttrSet`] — `declare target`, `device_type(nohost)`,
+//!   RPC-stub markers, and friends;
+//! * a textual format ([`Module::parse`] / `Display`) used by application
+//!   descriptors and tests, with round-trip guarantees;
+//! * [`CallGraph`] — reachability, topological order, recursion detection;
+//! * [`Module::verify`] — structural invariants.
+
+mod callgraph;
+mod module;
+mod parse;
+mod print;
+mod verify;
+
+pub use callgraph::CallGraph;
+pub use module::{Attr, AttrSet, Function, Global, GlobalPlacement, Module, Symbol};
+pub use parse::ParseError;
+pub use verify::VerifyError;

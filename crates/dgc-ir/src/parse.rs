@@ -1,0 +1,349 @@
+use crate::module::{Attr, Function, Global, Module};
+
+/// Errors produced while parsing the textual module format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Module {
+    /// Parse the textual module format produced by `Display`.
+    ///
+    /// ```text
+    /// # comment
+    /// module "name" {
+    ///   global @g size=8 align=8 const !declare_target
+    ///   func @main arity=2 calls(@foo, @printf) !parallel(1)
+    ///   extern func @printf variadic
+    /// }
+    /// ```
+    pub fn parse(text: &str) -> Result<Module, ParseError> {
+        let mut module: Option<Module> = None;
+        let mut closed = false;
+        for (ln, raw) in text.lines().enumerate() {
+            let lineno = ln + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("module") {
+                if module.is_some() {
+                    return Err(err(lineno, "duplicate module header"));
+                }
+                let rest = rest.trim();
+                let name = rest
+                    .strip_prefix('"')
+                    .and_then(|r| r.split_once('"'))
+                    .ok_or_else(|| err(lineno, "expected module \"name\""))?;
+                if !name.1.trim_start().starts_with('{') {
+                    return Err(err(lineno, "expected '{' after module name"));
+                }
+                module = Some(Module::new(name.0));
+                continue;
+            }
+            if line == "}" {
+                if module.is_none() {
+                    return Err(err(lineno, "'}' before module header"));
+                }
+                closed = true;
+                continue;
+            }
+            if closed {
+                return Err(err(lineno, "content after closing '}'"));
+            }
+            let m = module
+                .as_mut()
+                .ok_or_else(|| err(lineno, "symbol before module header"))?;
+            if line.starts_with("global ") {
+                m.globals.push(parse_global(line, lineno)?);
+            } else if line.starts_with("func ") || line.starts_with("extern func ") {
+                m.functions.push(parse_function(line, lineno)?);
+            } else {
+                return Err(err(lineno, format!("unrecognized directive: {line}")));
+            }
+        }
+        let m = module.ok_or_else(|| err(0, "no module header"))?;
+        if !closed {
+            return Err(err(0, "missing closing '}'"));
+        }
+        Ok(m)
+    }
+}
+
+/// Split a declaration body into whitespace tokens, keeping `(...)` groups
+/// attached to the token that opens them.
+fn tokenize(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' => {
+                depth = depth.saturating_sub(1);
+                cur.push(c);
+            }
+            c if c.is_whitespace() && depth == 0 => {
+                if !cur.is_empty() {
+                    tokens.push(std::mem::take(&mut cur));
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn parse_symbol_name(tok: &str, lineno: usize) -> Result<String, ParseError> {
+    tok.strip_prefix('@')
+        .filter(|n| !n.is_empty())
+        .map(str::to_string)
+        .ok_or_else(|| err(lineno, format!("expected @name, got '{tok}'")))
+}
+
+fn parse_attr(tok: &str, lineno: usize) -> Result<Attr, ParseError> {
+    let body = &tok[1..];
+    let (name, arg) = match body.split_once('(') {
+        Some((n, rest)) => {
+            let arg = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(lineno, format!("unterminated attr arg in '{tok}'")))?;
+            (n, Some(arg))
+        }
+        None => (body, None),
+    };
+    match (name, arg) {
+        ("declare_target", None) => Ok(Attr::DeclareTarget),
+        ("nohost", None) => Ok(Attr::NoHost),
+        ("order_independent", None) => Ok(Attr::OrderIndependentParallel),
+        ("main_wrapper", None) => Ok(Attr::MainWrapper),
+        ("rpc_stub", Some(a)) => a
+            .parse()
+            .map(Attr::RpcStub)
+            .map_err(|_| err(lineno, format!("bad rpc_stub id '{a}'"))),
+        ("parallel", Some(a)) => a
+            .parse()
+            .map(Attr::ParallelRegions)
+            .map_err(|_| err(lineno, format!("bad parallel count '{a}'"))),
+        ("renamed_from", Some(a)) => {
+            let inner = a
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err(lineno, "renamed_from expects a quoted name"))?;
+            Ok(Attr::RenamedFrom(inner.to_string()))
+        }
+        _ => Err(err(lineno, format!("unknown attribute '{tok}'"))),
+    }
+}
+
+fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
+    let body = line.strip_prefix("global").unwrap().trim();
+    let tokens = tokenize(body);
+    let mut it = tokens.iter();
+    let name = parse_symbol_name(
+        it.next().ok_or_else(|| err(lineno, "global needs a name"))?,
+        lineno,
+    )?;
+    let mut g = Global::new(&name, 0);
+    let mut saw_size = false;
+    for tok in it {
+        if let Some(v) = tok.strip_prefix("size=") {
+            g.size = v
+                .parse()
+                .map_err(|_| err(lineno, format!("bad size '{v}'")))?;
+            saw_size = true;
+        } else if let Some(v) = tok.strip_prefix("align=") {
+            g.align = v
+                .parse()
+                .map_err(|_| err(lineno, format!("bad align '{v}'")))?;
+        } else if tok == "const" {
+            g.is_const = true;
+        } else if let Some(v) = tok.strip_prefix("placement=") {
+            g.placement = match v {
+                "device" => crate::module::GlobalPlacement::DeviceGlobal,
+                "shared" => crate::module::GlobalPlacement::TeamShared,
+                "constant" => crate::module::GlobalPlacement::Constant,
+                _ => return Err(err(lineno, format!("bad placement '{v}'"))),
+            };
+        } else if tok.starts_with('!') {
+            g.attrs.add(parse_attr(tok, lineno)?);
+        } else {
+            return Err(err(lineno, format!("unexpected token '{tok}' in global")));
+        }
+    }
+    if !saw_size {
+        return Err(err(lineno, format!("global @{name} missing size=")));
+    }
+    Ok(g)
+}
+
+fn parse_function(line: &str, lineno: usize) -> Result<Function, ParseError> {
+    let (defined, body) = match line.strip_prefix("extern func") {
+        Some(rest) => (false, rest.trim()),
+        None => (true, line.strip_prefix("func").unwrap().trim()),
+    };
+    let tokens = tokenize(body);
+    let mut it = tokens.iter();
+    let name = parse_symbol_name(
+        it.next().ok_or_else(|| err(lineno, "func needs a name"))?,
+        lineno,
+    )?;
+    let mut f = if defined {
+        Function::defined(&name, 0)
+    } else {
+        Function::external(&name)
+    };
+    for tok in it {
+        if let Some(v) = tok.strip_prefix("arity=") {
+            f.arity = v
+                .parse()
+                .map_err(|_| err(lineno, format!("bad arity '{v}'")))?;
+        } else if tok == "variadic" {
+            f.variadic = true;
+        } else if let Some(rest) = tok.strip_prefix("calls(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| err(lineno, "unterminated calls(...)"))?;
+            for callee in inner.split(',') {
+                let callee = callee.trim();
+                if callee.is_empty() {
+                    continue;
+                }
+                f.callees.push(parse_symbol_name(callee, lineno)?);
+            }
+        } else if tok.starts_with('!') {
+            f.attrs.add(parse_attr(tok, lineno)?);
+        } else {
+            return Err(err(lineno, format!("unexpected token '{tok}' in func")));
+        }
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Attr, GlobalPlacement};
+
+    const SAMPLE: &str = r#"
+# An example legacy application.
+module "xs" {
+  global @grid size=4096 align=8 const
+  global @counter size=8 align=8
+  func @main arity=2 calls(@setup, @run, @printf)
+  func @setup arity=1 calls(@malloc)
+  func @run arity=0 calls(@lookup) !parallel(1) !order_independent
+  func @lookup arity=3
+  extern func @printf variadic
+  extern func @malloc
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = Module::parse(SAMPLE).unwrap();
+        assert_eq!(m.name, "xs");
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.functions.len(), 6);
+        assert!(m.global("grid").unwrap().is_const);
+        assert_eq!(m.global("grid").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        let run = m.function("run").unwrap();
+        assert_eq!(run.attrs.parallel_regions(), 1);
+        assert!(run.attrs.has(&Attr::OrderIndependentParallel));
+        assert_eq!(
+            m.function("main").unwrap().callees,
+            vec!["setup", "run", "printf"]
+        );
+        assert!(m.function("printf").unwrap().variadic);
+        assert!(!m.function("malloc").unwrap().defined);
+    }
+
+    #[test]
+    fn roundtrips_through_display() {
+        let m = Module::parse(SAMPLE).unwrap();
+        let printed = m.to_string();
+        let again = Module::parse(&printed).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn roundtrips_attrs_with_args() {
+        let mut m = Module::new("a");
+        m.add_function(
+            crate::module::Function::defined("x", 0)
+                .with_attr(Attr::RpcStub(4))
+                .with_attr(Attr::RenamedFrom("main".into())),
+        );
+        let again = Module::parse(&m.to_string()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = Module::parse("func @x arity=0").unwrap_err();
+        assert!(e.message.contains("before module header"));
+    }
+
+    #[test]
+    fn rejects_missing_close() {
+        let e = Module::parse("module \"m\" {").unwrap_err();
+        assert!(e.message.contains("missing closing"));
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        let text = "module \"m\" {\n  func @a arity=zebra\n}";
+        let e = Module::parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad arity"));
+    }
+
+    #[test]
+    fn rejects_global_without_size() {
+        let text = "module \"m\" {\n  global @g align=8\n}";
+        let e = Module::parse(text).unwrap_err();
+        assert!(e.message.contains("missing size"));
+    }
+
+    #[test]
+    fn rejects_unknown_attr() {
+        let text = "module \"m\" {\n  func @a arity=0 !wat\n}";
+        assert!(Module::parse(text).is_err());
+    }
+
+    #[test]
+    fn rejects_content_after_close() {
+        let text = "module \"m\" {\n}\nfunc @x arity=0";
+        let e = Module::parse(text).unwrap_err();
+        assert!(e.message.contains("after closing"));
+    }
+
+    #[test]
+    fn empty_calls_list_is_ok() {
+        let text = "module \"m\" {\n  func @a arity=0 calls()\n}";
+        let m = Module::parse(text).unwrap();
+        assert!(m.function("a").unwrap().callees.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+use crate::module::{Function, Global, Module};
+use std::fmt;
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module \"{}\" {{", self.name)?;
+        for g in &self.globals {
+            write!(f, "  {g}")?;
+            writeln!(f)?;
+        }
+        for func in &self.functions {
+            write!(f, "  {func}")?;
+            writeln!(f)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Global {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global @{} size={} align={}", self.name, self.size, self.align)?;
+        if self.is_const {
+            write!(f, " const")?;
+        }
+        if self.placement != crate::module::GlobalPlacement::DeviceGlobal {
+            write!(f, " placement={}", self.placement)?;
+        }
+        for a in self.attrs.iter() {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.defined {
+            write!(f, "func @{} arity={}", self.name, self.arity)?;
+        } else {
+            write!(f, "extern func @{}", self.name)?;
+        }
+        if self.variadic {
+            write!(f, " variadic")?;
+        }
+        if !self.callees.is_empty() {
+            write!(f, " calls(")?;
+            for (i, c) in self.callees.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "@{c}")?;
+            }
+            write!(f, ")")?;
+        }
+        for a in self.attrs.iter() {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::module::{Attr, Function, Global, Module};
+
+    #[test]
+    fn prints_expected_shapes() {
+        let mut m = Module::new("demo");
+        m.add_global(Global::new("g", 8));
+        m.add_function(
+            Function::defined("main", 2)
+                .with_callees(&["foo"])
+                .with_attr(Attr::DeclareTarget),
+        );
+        m.add_function(Function::external("printf").with_variadic());
+        let s = m.to_string();
+        assert!(s.contains("module \"demo\" {"));
+        assert!(s.contains("global @g size=8 align=8"));
+        assert!(s.contains("func @main arity=2 calls(@foo) !declare_target"));
+        assert!(s.contains("extern func @printf variadic"));
+    }
+}

@@ -1,0 +1,172 @@
+use crate::module::Module;
+
+/// Structural problems found by [`Module::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Two symbols share a name.
+    DuplicateSymbol { name: String },
+    /// A call edge points at a symbol that does not exist at all.
+    UnknownCallee { caller: String, callee: String },
+    /// A call edge targets a global variable.
+    CalleeIsGlobal { caller: String, callee: String },
+    /// An external declaration claims to call things.
+    ExternalWithCallees { name: String },
+    /// A global has zero size.
+    ZeroSizedGlobal { name: String },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::DuplicateSymbol { name } => write!(f, "duplicate symbol @{name}"),
+            VerifyError::UnknownCallee { caller, callee } => {
+                write!(f, "@{caller} calls undeclared @{callee}")
+            }
+            VerifyError::CalleeIsGlobal { caller, callee } => {
+                write!(f, "@{caller} calls global variable @{callee}")
+            }
+            VerifyError::ExternalWithCallees { name } => {
+                write!(f, "external @{name} cannot have call edges")
+            }
+            VerifyError::ZeroSizedGlobal { name } => write!(f, "global @{name} has zero size"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+impl Module {
+    /// Check structural invariants; returns every violation found.
+    pub fn verify(&self) -> Vec<VerifyError> {
+        let mut errors = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &self.functions {
+            if !seen.insert(f.name.clone()) {
+                errors.push(VerifyError::DuplicateSymbol {
+                    name: f.name.clone(),
+                });
+            }
+        }
+        for g in &self.globals {
+            if !seen.insert(g.name.clone()) {
+                errors.push(VerifyError::DuplicateSymbol {
+                    name: g.name.clone(),
+                });
+            }
+            if g.size == 0 {
+                errors.push(VerifyError::ZeroSizedGlobal {
+                    name: g.name.clone(),
+                });
+            }
+        }
+        for f in &self.functions {
+            if !f.defined && !f.callees.is_empty() {
+                errors.push(VerifyError::ExternalWithCallees {
+                    name: f.name.clone(),
+                });
+            }
+            for c in &f.callees {
+                if self.function(c).is_none() {
+                    if self.global(c).is_some() {
+                        errors.push(VerifyError::CalleeIsGlobal {
+                            caller: f.name.clone(),
+                            callee: c.clone(),
+                        });
+                    } else {
+                        errors.push(VerifyError::UnknownCallee {
+                            caller: f.name.clone(),
+                            callee: c.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        errors
+    }
+
+    /// Convenience: `Ok(())` if [`Module::verify`] found nothing.
+    pub fn verify_ok(&self) -> Result<(), VerifyError> {
+        match self.verify().into_iter().next() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::module::{Function, Global};
+
+    #[test]
+    fn clean_module_verifies() {
+        let mut m = Module::new("ok");
+        m.add_function(Function::defined("main", 2).with_callees(&["helper"]));
+        m.add_function(Function::defined("helper", 0));
+        m.add_global(Global::new("g", 8));
+        assert!(m.verify().is_empty());
+        assert!(m.verify_ok().is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_flagged() {
+        let mut m = Module::new("dup");
+        m.add_function(Function::defined("x", 0));
+        m.add_function(Function::defined("x", 0));
+        m.add_global(Global::new("x", 8));
+        let errs = m.verify();
+        assert_eq!(
+            errs.iter()
+                .filter(|e| matches!(e, VerifyError::DuplicateSymbol { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unknown_callee_flagged() {
+        let mut m = Module::new("uk");
+        m.add_function(Function::defined("main", 2).with_callees(&["ghost"]));
+        assert_eq!(
+            m.verify(),
+            vec![VerifyError::UnknownCallee {
+                caller: "main".into(),
+                callee: "ghost".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn calling_global_flagged() {
+        let mut m = Module::new("cg");
+        m.add_function(Function::defined("main", 2).with_callees(&["g"]));
+        m.add_global(Global::new("g", 8));
+        assert!(matches!(
+            m.verify_ok().unwrap_err(),
+            VerifyError::CalleeIsGlobal { .. }
+        ));
+    }
+
+    #[test]
+    fn external_with_callees_flagged() {
+        let mut m = Module::new("ex");
+        let mut f = Function::external("printf");
+        f.callees.push("x".into());
+        m.add_function(f);
+        m.add_function(Function::defined("x", 0));
+        assert!(m
+            .verify()
+            .iter()
+            .any(|e| matches!(e, VerifyError::ExternalWithCallees { .. })));
+    }
+
+    #[test]
+    fn zero_sized_global_flagged() {
+        let mut m = Module::new("z");
+        m.add_global(Global::new("empty", 0));
+        assert!(matches!(
+            m.verify_ok().unwrap_err(),
+            VerifyError::ZeroSizedGlobal { .. }
+        ));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: the textual IR round-trips for arbitrary modules.
+
+use dgc_ir::{Attr, CallGraph, Function, Global, Module};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,12}".prop_map(|s| s)
+}
+
+fn arb_attr() -> impl Strategy<Value = Attr> {
+    prop_oneof![
+        Just(Attr::DeclareTarget),
+        Just(Attr::NoHost),
+        (0u32..8).prop_map(Attr::RpcStub),
+        (0u32..5).prop_map(Attr::ParallelRegions),
+        Just(Attr::OrderIndependentParallel),
+        arb_name().prop_map(Attr::RenamedFrom),
+        Just(Attr::MainWrapper),
+    ]
+}
+
+prop_compose! {
+    fn arb_module()(
+        fnames in prop::collection::btree_set(arb_name(), 1..8),
+        gnames in prop::collection::btree_set(arb_name(), 0..4),
+        attrs in prop::collection::vec(arb_attr(), 0..6),
+        edges in prop::collection::vec((0usize..8, 0usize..8), 0..10),
+        arities in prop::collection::vec(0u8..4, 8),
+        defined in prop::collection::vec(any::<bool>(), 8),
+        sizes in prop::collection::vec(1u64..10_000, 4),
+    ) -> Module {
+        // Keep function and global namespaces disjoint.
+        let fnames: Vec<String> = fnames.into_iter().map(|n| format!("f_{n}")).collect();
+        let gnames: Vec<String> = gnames.into_iter().map(|n| format!("g_{n}")).collect();
+        let mut m = Module::new("prop");
+        for (i, name) in fnames.iter().enumerate() {
+            let mut f = if defined[i % defined.len()] {
+                Function::defined(name, arities[i % arities.len()])
+            } else {
+                Function::external(name)
+            };
+            if f.defined {
+                for &(from, to) in &edges {
+                    if from % fnames.len() == i {
+                        f.callees.push(fnames[to % fnames.len()].clone());
+                    }
+                }
+            }
+            if let Some(a) = attrs.get(i) {
+                f.attrs.add(a.clone());
+            }
+            m.add_function(f);
+        }
+        for (i, name) in gnames.iter().enumerate() {
+            let mut g = Global::new(name, sizes[i % sizes.len()]);
+            if i % 2 == 0 {
+                g = g.constant();
+            }
+            m.add_global(g);
+        }
+        m
+    }
+}
+
+proptest! {
+    /// print → parse is the identity on arbitrary (well-formed) modules.
+    #[test]
+    fn text_roundtrip(m in arb_module()) {
+        let text = m.to_string();
+        let parsed = Module::parse(&text).unwrap();
+        prop_assert_eq!(m, parsed);
+    }
+
+    /// Verification is stable across a round trip.
+    #[test]
+    fn verify_stable_across_roundtrip(m in arb_module()) {
+        let before = m.verify().len();
+        let parsed = Module::parse(&m.to_string()).unwrap();
+        prop_assert_eq!(before, parsed.verify().len());
+    }
+
+    /// Renaming a function preserves the total call-edge count and keeps
+    /// reachability isomorphic.
+    #[test]
+    fn rename_preserves_structure(m in arb_module()) {
+        let Some(first) = m.functions.first().map(|f| f.name.clone()) else {
+            return Ok(());
+        };
+        let edge_count = |m: &Module| m.functions.iter().map(|f| f.callees.len()).sum::<usize>();
+        let before_edges = edge_count(&m);
+        let before_reach = CallGraph::build(&m).reachable_from(&first).len();
+        let mut renamed = m.clone();
+        prop_assume!(renamed.rename_function(&first, "zz_renamed"));
+        prop_assert_eq!(edge_count(&renamed), before_edges);
+        let after_reach = CallGraph::build(&renamed).reachable_from("zz_renamed").len();
+        prop_assert_eq!(before_reach, after_reach);
+    }
+
+    /// Reachability is monotone: adding an edge never shrinks the set.
+    #[test]
+    fn reachability_monotone(m in arb_module(), from in 0usize..8, to in 0usize..8) {
+        let defined: Vec<String> = m.defined_functions().map(|f| f.name.clone()).collect();
+        prop_assume!(!defined.is_empty());
+        let root = defined[0].clone();
+        let before = CallGraph::build(&m).reachable_from(&root);
+        let mut m2 = m.clone();
+        let src = defined[from % defined.len()].clone();
+        let dst = m2.functions[to % m2.functions.len()].name.clone();
+        m2.function_mut(&src).unwrap().callees.push(dst);
+        let after = CallGraph::build(&m2).reachable_from(&root);
+        prop_assert!(before.is_subset(&after));
+    }
+}

@@ -1,0 +1,111 @@
+//! The GPU ensembler command line — the paper's Fig. 5(c) usage:
+//!
+//! ```text
+//! ensemble-cli xsbench -f arguments.txt -n 4 -t 128
+//! ```
+//!
+//! Runs `-n` instances of a built-in benchmark concurrently in one
+//! simulated kernel launch, each instance taking its command line from one
+//! line of the `-f` argument file. `--pack M` selects the §3.1 packed
+//! mapping (M instances per thread block). Every instance's stdout is
+//! printed, followed by a launch summary.
+
+use dgc_core::{parse_ensemble_cli, run_ensemble, EnsembleOptions, MappingStrategy};
+use gpu_sim::Gpu;
+use host_rpc::HostServices;
+
+fn usage() -> ! {
+    eprintln!("usage: ensemble-cli <app> -f <arguments file> [-n <instances>] [-t <thread limit>] [--pack <M>] [--batch <B>]");
+    eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let app_name = args.remove(0);
+    let Some(app) = dgc_apps::app_by_name(&app_name) else {
+        eprintln!("unknown application '{app_name}'");
+        usage();
+    };
+    let cli = match parse_ensemble_cli(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
+    };
+    let text = match std::fs::read_to_string(&cli.arg_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cli.arg_file);
+            std::process::exit(1);
+        }
+    };
+    // The script-language superset (§3.2 future work): plain files parse
+    // identically, @repeat/@for directives generate lines.
+    let arg_lines = match dgc_core::expand_arg_script(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let opts = EnsembleOptions {
+        num_instances: cli.num_instances.unwrap_or(arg_lines.len() as u32),
+        thread_limit: cli.thread_limit,
+        mapping: if cli.pack > 1 {
+            MappingStrategy::Packed {
+                per_block: cli.pack,
+            }
+        } else {
+            MappingStrategy::OnePerTeam
+        },
+        ..Default::default()
+    };
+
+    let mut gpu = Gpu::a100();
+    let result = if cli.batch > 0 {
+        dgc_core::run_ensemble_batched(&mut gpu, &app, &arg_lines, &opts, cli.batch)
+    } else {
+        run_ensemble(&mut gpu, &app, &arg_lines, &opts, HostServices::default())
+    };
+    let result = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    for (i, out) in result.stdout.iter().enumerate() {
+        println!("=== instance {i} ===");
+        print!("{out}");
+        match &result.instances[i] {
+            o if o.oom => println!("[device out of memory]"),
+            o => {
+                if let Some(err) = &o.error {
+                    println!("[trap: {err}]");
+                }
+            }
+        }
+    }
+    println!("=== launch summary ===");
+    println!("{}", result.report.summary());
+    println!(
+        "kernel time {:.3} ms | total (with transfers) {:.3} ms | RPC calls {}",
+        result.kernel_time_s * 1e3,
+        result.total_time_s * 1e3,
+        result.rpc_stats.total()
+    );
+
+    let failed = result
+        .instances
+        .iter()
+        .filter(|i| !i.succeeded())
+        .count();
+    std::process::exit(if failed == 0 { 0 } else { 1 });
+}

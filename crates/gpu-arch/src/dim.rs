@@ -1,0 +1,118 @@
+use serde::{Deserialize, Serialize};
+
+/// A three-dimensional extent or index, as used for CUDA grids and blocks.
+///
+/// All components are at least 1 for extents; a default-constructed `Dim3`
+/// is `(1, 1, 1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dim3 {
+    pub x: u32,
+    pub y: u32,
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// A one-dimensional extent `(x, 1, 1)`.
+    pub const fn x(x: u32) -> Self {
+        Self { x, y: 1, z: 1 }
+    }
+
+    /// A two-dimensional extent `(x, y, 1)`.
+    pub const fn xy(x: u32, y: u32) -> Self {
+        Self { x, y, z: 1 }
+    }
+
+    pub const fn new(x: u32, y: u32, z: u32) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Total number of elements covered by this extent.
+    pub const fn count(&self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+
+    /// Linearize an index within this extent (x fastest, z slowest), the
+    /// same ordering CUDA uses for thread ids within a block.
+    pub const fn linear(&self, idx: Dim3) -> u64 {
+        idx.x as u64 + self.x as u64 * (idx.y as u64 + self.y as u64 * idx.z as u64)
+    }
+
+    /// Inverse of [`Dim3::linear`].
+    pub const fn delinearize(&self, lin: u64) -> Dim3 {
+        let x = (lin % self.x as u64) as u32;
+        let rest = lin / self.x as u64;
+        let y = (rest % self.y as u64) as u32;
+        let z = (rest / self.y as u64) as u32;
+        Dim3 { x, y, z }
+    }
+}
+
+impl Default for Dim3 {
+    fn default() -> Self {
+        Self::new(1, 1, 1)
+    }
+}
+
+impl From<u32> for Dim3 {
+    fn from(x: u32) -> Self {
+        Self::x(x)
+    }
+}
+
+impl From<(u32, u32)> for Dim3 {
+    fn from((x, y): (u32, u32)) -> Self {
+        Self::xy(x, y)
+    }
+}
+
+impl From<(u32, u32, u32)> for Dim3 {
+    fn from((x, y, z): (u32, u32, u32)) -> Self {
+        Self::new(x, y, z)
+    }
+}
+
+impl std::fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_multiplies_components() {
+        assert_eq!(Dim3::new(4, 3, 2).count(), 24);
+        assert_eq!(Dim3::x(7).count(), 7);
+        assert_eq!(Dim3::default().count(), 1);
+    }
+
+    #[test]
+    fn linear_roundtrips() {
+        let ext = Dim3::new(5, 4, 3);
+        for z in 0..3 {
+            for y in 0..4 {
+                for x in 0..5 {
+                    let idx = Dim3::new(x, y, z);
+                    let lin = ext.linear(idx);
+                    assert_eq!(ext.delinearize(lin), idx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_is_x_fastest() {
+        let ext = Dim3::new(8, 2, 1);
+        assert_eq!(ext.linear(Dim3::new(3, 0, 0)), 3);
+        assert_eq!(ext.linear(Dim3::new(0, 1, 0)), 8);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dim3::from(5u32), Dim3::new(5, 1, 1));
+        assert_eq!(Dim3::from((5u32, 2u32)), Dim3::new(5, 2, 1));
+        assert_eq!(Dim3::from((5u32, 2u32, 3u32)), Dim3::new(5, 2, 3));
+    }
+}

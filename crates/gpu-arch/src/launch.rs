@@ -1,0 +1,174 @@
+use crate::{Dim3, GpuSpec};
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when a launch configuration violates a hardware limit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LaunchError {
+    /// Block has more threads than the device allows.
+    TooManyThreadsPerBlock { requested: u64, limit: u32 },
+    /// A grid or block dimension is zero.
+    ZeroDimension,
+    /// Requested static shared memory exceeds the per-block limit.
+    SharedMemTooLarge { requested: u64, limit: u64 },
+    /// Grid is empty (zero blocks).
+    EmptyGrid,
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::TooManyThreadsPerBlock { requested, limit } => write!(
+                f,
+                "block of {requested} threads exceeds device limit of {limit}"
+            ),
+            LaunchError::ZeroDimension => write!(f, "grid/block dimensions must be non-zero"),
+            LaunchError::SharedMemTooLarge { requested, limit } => write!(
+                f,
+                "shared memory request of {requested} B exceeds per-block limit of {limit} B"
+            ),
+            LaunchError::EmptyGrid => write!(f, "grid contains no blocks"),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// A kernel launch configuration: grid extent, block extent and static
+/// shared-memory request, mirroring `<<<grid, block, smem>>>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    pub grid: Dim3,
+    pub block: Dim3,
+    pub shared_mem_bytes: u64,
+}
+
+impl LaunchConfig {
+    /// One-dimensional launch: `blocks` blocks of `threads` threads.
+    pub fn linear(blocks: u32, threads: u32) -> Self {
+        Self {
+            grid: Dim3::x(blocks),
+            block: Dim3::x(threads),
+            shared_mem_bytes: 0,
+        }
+    }
+
+    /// Attach a static shared-memory request.
+    pub fn with_shared_mem(mut self, bytes: u64) -> Self {
+        self.shared_mem_bytes = bytes;
+        self
+    }
+
+    /// Total number of blocks in the grid.
+    pub fn block_count(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// Threads in one block.
+    pub fn threads_per_block(&self) -> u64 {
+        self.block.count()
+    }
+
+    /// Total threads across the launch.
+    pub fn total_threads(&self) -> u64 {
+        self.block_count() * self.threads_per_block()
+    }
+
+    /// Warps in one block on `spec`.
+    pub fn warps_per_block(&self, spec: &GpuSpec) -> u32 {
+        spec.warps_for_threads(self.threads_per_block() as u32)
+    }
+
+    /// Validate the configuration against `spec`'s hard limits.
+    pub fn validate(&self, spec: &GpuSpec) -> Result<(), LaunchError> {
+        if self.grid.x == 0
+            || self.grid.y == 0
+            || self.grid.z == 0
+            || self.block.x == 0
+            || self.block.y == 0
+            || self.block.z == 0
+        {
+            return Err(LaunchError::ZeroDimension);
+        }
+        if self.block_count() == 0 {
+            return Err(LaunchError::EmptyGrid);
+        }
+        let tpb = self.threads_per_block();
+        if tpb > spec.max_threads_per_block as u64 {
+            return Err(LaunchError::TooManyThreadsPerBlock {
+                requested: tpb,
+                limit: spec.max_threads_per_block,
+            });
+        }
+        if self.shared_mem_bytes > spec.shared_mem_per_block {
+            return Err(LaunchError::SharedMemTooLarge {
+                requested: self.shared_mem_bytes,
+                limit: spec.shared_mem_per_block,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_counts() {
+        let lc = LaunchConfig::linear(64, 128);
+        assert_eq!(lc.block_count(), 64);
+        assert_eq!(lc.threads_per_block(), 128);
+        assert_eq!(lc.total_threads(), 64 * 128);
+        assert_eq!(lc.warps_per_block(&GpuSpec::a100_40gb()), 4);
+    }
+
+    #[test]
+    fn validate_accepts_paper_configs() {
+        let spec = GpuSpec::a100_40gb();
+        for n in [1u32, 2, 4, 8, 16, 32, 64] {
+            for t in [32u32, 1024] {
+                LaunchConfig::linear(n, t).validate(&spec).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_oversized_block() {
+        let spec = GpuSpec::a100_40gb();
+        let err = LaunchConfig::linear(1, 2048).validate(&spec).unwrap_err();
+        assert!(matches!(err, LaunchError::TooManyThreadsPerBlock { .. }));
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        let spec = GpuSpec::a100_40gb();
+        let lc = LaunchConfig {
+            grid: Dim3::new(0, 1, 1),
+            block: Dim3::x(32),
+            shared_mem_bytes: 0,
+        };
+        assert_eq!(lc.validate(&spec).unwrap_err(), LaunchError::ZeroDimension);
+    }
+
+    #[test]
+    fn validate_rejects_big_shared_mem() {
+        let spec = GpuSpec::a100_40gb();
+        let lc = LaunchConfig::linear(1, 32).with_shared_mem(1 << 30);
+        assert!(matches!(
+            lc.validate(&spec).unwrap_err(),
+            LaunchError::SharedMemTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_dim_block_threads() {
+        // The paper's §3.1 (N/M, M, 1) packing: 128 threads as (32, 4, 1).
+        let lc = LaunchConfig {
+            grid: Dim3::x(16),
+            block: Dim3::xy(32, 4),
+            shared_mem_bytes: 0,
+        };
+        assert_eq!(lc.threads_per_block(), 128);
+        lc.validate(&GpuSpec::a100_40gb()).unwrap();
+    }
+}

@@ -1,0 +1,20 @@
+//! GPU hardware descriptions and occupancy mathematics.
+//!
+//! This crate is the "data sheet" layer of the simulated GPU stack: it knows
+//! what a device looks like (streaming multiprocessors, warp width, memory
+//! bandwidth, latencies) and how a kernel launch configuration maps onto the
+//! hardware's resource limits (occupancy, waves). It contains no execution
+//! machinery; `gpu-sim` consumes these descriptions.
+//!
+//! The default device is an NVIDIA A100-40GB-class accelerator, matching the
+//! configuration used in the paper's evaluation (§4.2).
+
+mod dim;
+mod launch;
+mod occupancy;
+mod spec;
+
+pub use dim::Dim3;
+pub use launch::{LaunchConfig, LaunchError};
+pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use spec::{GpuSpec, MemoryModelParams};

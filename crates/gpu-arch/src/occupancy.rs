@@ -1,0 +1,145 @@
+use crate::{GpuSpec, LaunchConfig, LaunchError};
+use serde::{Deserialize, Serialize};
+
+/// Which hardware resource bounds the number of resident blocks per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// The per-SM resident-thread limit.
+    Threads,
+    /// The per-SM resident-block limit.
+    Blocks,
+    /// Per-SM shared-memory capacity.
+    SharedMem,
+}
+
+/// Result of the occupancy calculation for one launch on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Blocks that can be resident on one SM simultaneously.
+    pub blocks_per_sm: u32,
+    /// Warps resident on one SM when fully loaded.
+    pub active_warps_per_sm: u32,
+    /// Fraction of the SM's warp slots occupied (0, 1].
+    pub occupancy: f64,
+    /// Blocks the whole device can hold at once.
+    pub device_resident_blocks: u64,
+    /// Number of sequential "waves" needed to run the whole grid.
+    pub waves: u32,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+/// Compute the theoretical occupancy of `launch` on `spec`.
+///
+/// Mirrors the CUDA occupancy calculator restricted to the resources the
+/// simulator models (threads, blocks, shared memory; registers are treated
+/// as non-binding since the simulated kernels carry no register counts).
+pub fn occupancy(spec: &GpuSpec, launch: &LaunchConfig) -> Result<Occupancy, LaunchError> {
+    launch.validate(spec)?;
+
+    let tpb = launch.threads_per_block() as u32;
+    let warps_per_block = spec.warps_for_threads(tpb);
+    // Threads are allocated in warp granularity on real hardware.
+    let alloc_threads = warps_per_block * spec.warp_size;
+
+    let by_threads = spec.max_threads_per_sm / alloc_threads.max(1);
+    let by_blocks = spec.max_blocks_per_sm;
+    let by_smem = spec
+        .shared_mem_per_sm
+        .checked_div(launch.shared_mem_bytes)
+        .map(|v| v as u32)
+        .unwrap_or(u32::MAX);
+
+    let blocks_per_sm = by_threads.min(by_blocks).min(by_smem);
+    let limiter = if blocks_per_sm == by_threads {
+        OccupancyLimiter::Threads
+    } else if blocks_per_sm == by_blocks {
+        OccupancyLimiter::Blocks
+    } else {
+        OccupancyLimiter::SharedMem
+    };
+
+    let active_warps = blocks_per_sm * warps_per_block;
+    let max_warps = spec.max_threads_per_sm / spec.warp_size;
+    let device_resident_blocks = blocks_per_sm as u64 * spec.sm_count as u64;
+    let waves = launch
+        .block_count()
+        .div_ceil(device_resident_blocks.max(1))
+        .max(1) as u32;
+
+    Ok(Occupancy {
+        blocks_per_sm,
+        active_warps_per_sm: active_warps,
+        occupancy: active_warps as f64 / max_warps as f64,
+        device_resident_blocks,
+        waves,
+        limiter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_block_occupancy_on_a100() {
+        // 1024-thread blocks: 2 blocks/SM, 100% occupancy, thread-limited.
+        let spec = GpuSpec::a100_40gb();
+        let occ = occupancy(&spec, &LaunchConfig::linear(64, 1024)).unwrap();
+        assert_eq!(occ.blocks_per_sm, 2);
+        assert_eq!(occ.active_warps_per_sm, 64);
+        assert!((occ.occupancy - 1.0).abs() < 1e-12);
+        assert_eq!(occ.limiter, OccupancyLimiter::Threads);
+        assert_eq!(occ.waves, 1);
+    }
+
+    #[test]
+    fn warp_blocks_are_block_slot_limited() {
+        // 32-thread blocks: the 32-blocks/SM limit binds before threads.
+        let spec = GpuSpec::a100_40gb();
+        let occ = occupancy(&spec, &LaunchConfig::linear(64, 32)).unwrap();
+        assert_eq!(occ.blocks_per_sm, 32);
+        assert_eq!(occ.limiter, OccupancyLimiter::Blocks);
+        assert_eq!(occ.active_warps_per_sm, 32);
+        assert!((occ.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_grids_fit_one_wave() {
+        // All paper configurations (up to 64 instances) fit in one wave on
+        // a 108-SM device: every instance's team runs concurrently.
+        let spec = GpuSpec::a100_40gb();
+        for n in [1u32, 2, 4, 8, 16, 32, 64] {
+            for t in [32u32, 1024] {
+                let occ = occupancy(&spec, &LaunchConfig::linear(n, t)).unwrap();
+                assert_eq!(occ.waves, 1, "n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_mem_can_limit() {
+        let spec = GpuSpec::a100_40gb();
+        let lc = LaunchConfig::linear(256, 64).with_shared_mem(100 * 1024);
+        let occ = occupancy(&spec, &lc).unwrap();
+        assert_eq!(occ.blocks_per_sm, 1);
+        assert_eq!(occ.limiter, OccupancyLimiter::SharedMem);
+    }
+
+    #[test]
+    fn waves_round_up() {
+        let spec = GpuSpec::a100_40gb();
+        // 1024-thread blocks: 216 resident blocks; 217 blocks need 2 waves.
+        let occ = occupancy(&spec, &LaunchConfig::linear(217, 1024)).unwrap();
+        assert_eq!(occ.device_resident_blocks, 216);
+        assert_eq!(occ.waves, 2);
+    }
+
+    #[test]
+    fn partial_warp_rounds_allocation() {
+        let spec = GpuSpec::a100_40gb();
+        // 33 threads allocate 2 warps.
+        let occ = occupancy(&spec, &LaunchConfig::linear(1, 33)).unwrap();
+        assert_eq!(occ.active_warps_per_sm % 2, 0);
+    }
+}

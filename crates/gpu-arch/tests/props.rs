@@ -1,0 +1,59 @@
+//! Property-based tests for occupancy and launch validation.
+
+use gpu_arch::{occupancy, Dim3, GpuSpec, LaunchConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Occupancy never exceeds the hardware's warp slots and never goes to
+    /// zero for a valid launch.
+    #[test]
+    fn occupancy_bounded(blocks in 1u32..1000, threads in 1u32..1025, smem in 0u64..160_000) {
+        let spec = GpuSpec::a100_40gb();
+        let lc = LaunchConfig::linear(blocks, threads).with_shared_mem(smem);
+        let occ = occupancy(&spec, &lc).unwrap();
+        prop_assert!(occ.blocks_per_sm >= 1);
+        prop_assert!(occ.occupancy > 0.0 && occ.occupancy <= 1.0 + 1e-12);
+        prop_assert!(occ.active_warps_per_sm * spec.warp_size <= spec.max_threads_per_sm);
+        prop_assert!(occ.waves >= 1);
+    }
+
+    /// Waves are monotone in the grid size.
+    #[test]
+    fn waves_monotone_in_blocks(threads in 1u32..1025, b1 in 1u32..2000, b2 in 1u32..2000) {
+        let spec = GpuSpec::a100_40gb();
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        let w_lo = occupancy(&spec, &LaunchConfig::linear(lo, threads)).unwrap().waves;
+        let w_hi = occupancy(&spec, &LaunchConfig::linear(hi, threads)).unwrap().waves;
+        prop_assert!(w_hi >= w_lo);
+    }
+
+    /// Blocks-per-SM is antitone in per-block resource usage.
+    #[test]
+    fn blocks_per_sm_antitone_in_threads(blocks in 1u32..64, t1 in 1u32..1025, t2 in 1u32..1025) {
+        let spec = GpuSpec::a100_40gb();
+        let (lo, hi) = (t1.min(t2), t1.max(t2));
+        let b_lo = occupancy(&spec, &LaunchConfig::linear(blocks, lo)).unwrap().blocks_per_sm;
+        let b_hi = occupancy(&spec, &LaunchConfig::linear(blocks, hi)).unwrap().blocks_per_sm;
+        prop_assert!(b_hi <= b_lo);
+    }
+
+    /// Dim3 linearization is a bijection on the extent.
+    #[test]
+    fn dim3_linear_bijective(x in 1u32..20, y in 1u32..20, z in 1u32..20, pick in any::<u64>()) {
+        let ext = Dim3::new(x, y, z);
+        let lin = pick % ext.count();
+        let idx = ext.delinearize(lin);
+        prop_assert_eq!(ext.linear(idx), lin);
+        prop_assert!(idx.x < x && idx.y < y && idx.z < z);
+    }
+
+    /// Validation accepts exactly the configurations within hardware
+    /// limits (1-D case).
+    #[test]
+    fn validation_matches_limits(blocks in 0u32..10, threads in 0u32..3000) {
+        let spec = GpuSpec::a100_40gb();
+        let lc = LaunchConfig::linear(blocks, threads);
+        let valid = blocks >= 1 && threads >= 1 && threads <= spec.max_threads_per_block;
+        prop_assert_eq!(lc.validate(&spec).is_ok(), valid);
+    }
+}

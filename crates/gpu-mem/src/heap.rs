@@ -1,0 +1,557 @@
+use crate::Scalar;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Base of the simulated device heap. A large, distinctive constant so that
+/// device addresses are never confused with host addresses or small indices.
+const HEAP_BASE: u64 = 0x7000_0000_0000;
+
+/// Alignment guaranteed for every allocation (matches CUDA `malloc`).
+const MIN_ALIGN: u64 = 256;
+
+/// The null device pointer.
+pub const NULL_DEVICE_PTR: DevicePtr = DevicePtr(0);
+
+/// An address in the simulated device's global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// Pointer arithmetic in bytes.
+    pub fn byte_add(self, off: u64) -> DevicePtr {
+        DevicePtr(self.0 + off)
+    }
+
+    /// Pointer arithmetic in elements of a scalar type.
+    pub fn elem_add<T: Scalar>(self, idx: u64) -> DevicePtr {
+        DevicePtr(self.0 + idx * T::SIZE as u64)
+    }
+
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of one live allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegionId(pub u32);
+
+/// Whether an allocation is backed by host memory or accounting-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backing {
+    /// Loads and stores work; contents are stored on the host.
+    Materialized,
+    /// Occupies address space and counts toward capacity, but cannot be
+    /// accessed. Used to model paper-scale footprints cheaply.
+    Reserved,
+}
+
+/// Allocation failures.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// Not enough free device memory for the request.
+    OutOfMemory { requested: u64, free: u64 },
+    /// Zero-byte allocation.
+    ZeroSize,
+    /// The pointer passed to `free` does not start a live region.
+    InvalidFree { addr: u64 },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::OutOfMemory { requested, free } => write!(
+                f,
+                "device out of memory: requested {requested} B with {free} B free"
+            ),
+            AllocError::ZeroSize => write!(f, "zero-size device allocation"),
+            AllocError::InvalidFree { addr } => {
+                write!(f, "free of {addr:#x} which is not a live allocation")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Errors raised by loads/stores through simulated memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessError {
+    /// Address not inside any live region.
+    Unmapped { addr: u64 },
+    /// Access overruns the end of its region.
+    OutOfBounds { addr: u64, size: u64, region_end: u64 },
+    /// Access targets a reserved (non-materialized) region.
+    Reserved { addr: u64 },
+    /// Null-pointer access.
+    Null,
+}
+
+impl std::fmt::Display for AccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccessError::Unmapped { addr } => write!(f, "access to unmapped address {addr:#x}"),
+            AccessError::OutOfBounds {
+                addr,
+                size,
+                region_end,
+            } => write!(
+                f,
+                "access of {size} B at {addr:#x} overruns region end {region_end:#x}"
+            ),
+            AccessError::Reserved { addr } => write!(
+                f,
+                "access to reserved (accounting-only) allocation at {addr:#x}"
+            ),
+            AccessError::Null => write!(f, "null device pointer dereference"),
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// Metadata describing one live region, as reported to callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionInfo {
+    pub id: RegionId,
+    pub start: u64,
+    pub len: u64,
+    pub backing: Backing,
+    /// Caller-chosen tag; the ensemble loader uses the instance id so the
+    /// interference model can count distinct active heaps.
+    pub tag: u32,
+}
+
+/// Allocator statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    pub bytes_in_use: u64,
+    pub peak_bytes_in_use: u64,
+    pub live_allocations: u64,
+    pub total_allocations: u64,
+    pub total_frees: u64,
+    pub failed_allocations: u64,
+}
+
+struct Region {
+    info: RegionInfo,
+    data: Option<Vec<u8>>,
+}
+
+/// The simulated device's global memory: address space, heap allocator and
+/// backing store.
+///
+/// The allocator is first-fit over an address-ordered free list with
+/// coalescing on free — deliberately simple, deterministic, and sufficient
+/// to reproduce fragmentation-free ensemble behaviour.
+pub struct DeviceMemory {
+    capacity: u64,
+    free_list: Vec<(u64, u64)>, // (start, len), address-ordered, non-adjacent
+    regions: BTreeMap<u64, Region>, // keyed by start address
+    next_region: u32,
+    stats: HeapStats,
+    generation: u64,
+}
+
+impl DeviceMemory {
+    /// Create a device memory of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            free_list: vec![(HEAP_BASE, capacity)],
+            regions: BTreeMap::new(),
+            next_region: 1,
+            stats: HeapStats::default(),
+            generation: 0,
+        }
+    }
+
+    /// Monotone counter bumped on every allocation or free; lets callers
+    /// cache region layouts and detect staleness cheaply.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Free bytes remaining (sum of free-list holes).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_list.iter().map(|&(_, l)| l).sum()
+    }
+
+    /// Allocate `len` bytes with the given backing and tag.
+    pub fn alloc_tagged(
+        &mut self,
+        len: u64,
+        backing: Backing,
+        tag: u32,
+    ) -> Result<DevicePtr, AllocError> {
+        if len == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        let alen = len.div_ceil(MIN_ALIGN) * MIN_ALIGN;
+        let slot = self.free_list.iter().position(|&(_, l)| l >= alen);
+        let Some(i) = slot else {
+            self.stats.failed_allocations += 1;
+            return Err(AllocError::OutOfMemory {
+                requested: len,
+                free: self.free_bytes(),
+            });
+        };
+        let (start, hole_len) = self.free_list[i];
+        if hole_len == alen {
+            self.free_list.remove(i);
+        } else {
+            self.free_list[i] = (start + alen, hole_len - alen);
+        }
+        let id = RegionId(self.next_region);
+        self.next_region += 1;
+        let data = match backing {
+            Backing::Materialized => Some(vec![0u8; len as usize]),
+            Backing::Reserved => None,
+        };
+        self.regions.insert(
+            start,
+            Region {
+                info: RegionInfo {
+                    id,
+                    start,
+                    len: alen,
+                    backing,
+                    tag,
+                },
+                data,
+            },
+        );
+        self.stats.bytes_in_use += alen;
+        self.stats.peak_bytes_in_use = self.stats.peak_bytes_in_use.max(self.stats.bytes_in_use);
+        self.stats.live_allocations += 1;
+        self.stats.total_allocations += 1;
+        self.generation += 1;
+        Ok(DevicePtr(start))
+    }
+
+    /// Allocate materialized memory with tag 0.
+    pub fn alloc(&mut self, len: u64) -> Result<DevicePtr, AllocError> {
+        self.alloc_tagged(len, Backing::Materialized, 0)
+    }
+
+    /// Allocate and initialize from a host slice.
+    pub fn alloc_from_slice<T: Scalar>(&mut self, src: &[T], tag: u32) -> Result<DevicePtr, AllocError> {
+        let ptr = self.alloc_tagged((src.len() * T::SIZE).max(1) as u64, Backing::Materialized, tag)?;
+        self.write_slice(ptr, src).expect("fresh allocation is materialized");
+        Ok(ptr)
+    }
+
+    /// Free the allocation starting at `ptr`.
+    pub fn free(&mut self, ptr: DevicePtr) -> Result<(), AllocError> {
+        let Some(region) = self.regions.remove(&ptr.0) else {
+            return Err(AllocError::InvalidFree { addr: ptr.0 });
+        };
+        let (start, len) = (region.info.start, region.info.len);
+        self.stats.bytes_in_use -= len;
+        self.stats.live_allocations -= 1;
+        self.stats.total_frees += 1;
+        self.generation += 1;
+        // Insert hole keeping the list address-ordered, then coalesce.
+        let pos = self
+            .free_list
+            .binary_search_by_key(&start, |&(s, _)| s)
+            .unwrap_err();
+        self.free_list.insert(pos, (start, len));
+        self.coalesce_free_list(pos);
+        Ok(())
+    }
+
+    fn coalesce_free_list(&mut self, pos: usize) {
+        // Merge with successor first so indices stay valid.
+        if pos + 1 < self.free_list.len() {
+            let (s, l) = self.free_list[pos];
+            let (ns, nl) = self.free_list[pos + 1];
+            if s + l == ns {
+                self.free_list[pos] = (s, l + nl);
+                self.free_list.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (ps, pl) = self.free_list[pos - 1];
+            let (s, l) = self.free_list[pos];
+            if ps + pl == s {
+                self.free_list[pos - 1] = (ps, pl + l);
+                self.free_list.remove(pos);
+            }
+        }
+    }
+
+    /// Free every region whose tag equals `tag` (instance teardown).
+    pub fn free_by_tag(&mut self, tag: u32) -> usize {
+        let starts: Vec<u64> = self
+            .regions
+            .values()
+            .filter(|r| r.info.tag == tag)
+            .map(|r| r.info.start)
+            .collect();
+        let n = starts.len();
+        for s in starts {
+            self.free(DevicePtr(s)).expect("region listed as live");
+        }
+        n
+    }
+
+    /// Look up the region containing `addr`.
+    pub fn region_of(&self, addr: u64) -> Option<RegionInfo> {
+        let (_, region) = self.regions.range(..=addr).next_back()?;
+        let info = region.info;
+        (addr < info.start + info.len).then_some(info)
+    }
+
+    /// All live regions, address-ordered.
+    pub fn live_regions(&self) -> Vec<RegionInfo> {
+        self.regions.values().map(|r| r.info).collect()
+    }
+
+    fn resolve(&self, addr: u64, size: u64) -> Result<(u64, u64), AccessError> {
+        if addr == 0 {
+            return Err(AccessError::Null);
+        }
+        let (start, region) = self
+            .regions
+            .range(..=addr)
+            .next_back()
+            .ok_or(AccessError::Unmapped { addr })?;
+        let info = &region.info;
+        if addr >= info.start + info.len {
+            return Err(AccessError::Unmapped { addr });
+        }
+        if addr + size > info.start + info.len {
+            return Err(AccessError::OutOfBounds {
+                addr,
+                size,
+                region_end: info.start + info.len,
+            });
+        }
+        if region.data.is_none() {
+            return Err(AccessError::Reserved { addr });
+        }
+        Ok((*start, addr - start))
+    }
+
+    /// Load a scalar from device memory.
+    pub fn load<T: Scalar>(&self, ptr: DevicePtr) -> Result<T, AccessError> {
+        let (start, off) = self.resolve(ptr.0, T::SIZE as u64)?;
+        let data = self.regions[&start].data.as_ref().expect("resolved materialized");
+        let off = off as usize;
+        // Materialized data vec is `len` bytes but region len is align-rounded;
+        // an access past data but inside the rounding pad is out of bounds.
+        if off + T::SIZE > data.len() {
+            return Err(AccessError::OutOfBounds {
+                addr: ptr.0,
+                size: T::SIZE as u64,
+                region_end: start + data.len() as u64,
+            });
+        }
+        Ok(T::load_le(&data[off..off + T::SIZE]))
+    }
+
+    /// Store a scalar to device memory.
+    pub fn store<T: Scalar>(&mut self, ptr: DevicePtr, v: T) -> Result<(), AccessError> {
+        let (start, off) = self.resolve(ptr.0, T::SIZE as u64)?;
+        let data = self
+            .regions
+            .get_mut(&start)
+            .expect("resolved region exists")
+            .data
+            .as_mut()
+            .expect("resolved materialized");
+        let off = off as usize;
+        if off + T::SIZE > data.len() {
+            return Err(AccessError::OutOfBounds {
+                addr: ptr.0,
+                size: T::SIZE as u64,
+                region_end: start + data.len() as u64,
+            });
+        }
+        v.store_le(&mut data[off..off + T::SIZE]);
+        Ok(())
+    }
+
+    /// Copy a typed slice from host to device.
+    pub fn write_slice<T: Scalar>(&mut self, ptr: DevicePtr, src: &[T]) -> Result<(), AccessError> {
+        for (i, v) in src.iter().enumerate() {
+            self.store(ptr.elem_add::<T>(i as u64), *v)?;
+        }
+        Ok(())
+    }
+
+    /// Copy a typed slice from device to host.
+    pub fn read_slice<T: Scalar>(&self, ptr: DevicePtr, len: usize) -> Result<Vec<T>, AccessError> {
+        (0..len)
+            .map(|i| self.load(ptr.elem_add::<T>(i as u64)))
+            .collect()
+    }
+
+    /// Copy raw bytes from host to device.
+    pub fn write_bytes(&mut self, ptr: DevicePtr, src: &[u8]) -> Result<(), AccessError> {
+        self.write_slice(ptr, src)
+    }
+
+    /// Copy raw bytes from device to host.
+    pub fn read_bytes(&self, ptr: DevicePtr, len: usize) -> Result<Vec<u8>, AccessError> {
+        self.read_slice(ptr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc(1000).unwrap();
+        let b = mem.alloc(2000).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(mem.stats().live_allocations, 2);
+        mem.free(a).unwrap();
+        mem.free(b).unwrap();
+        assert_eq!(mem.stats().live_allocations, 0);
+        assert_eq!(mem.free_bytes(), 1 << 20);
+        // After freeing everything the free list must be one hole again.
+        assert_eq!(mem.free_list.len(), 1);
+    }
+
+    #[test]
+    fn alignment_is_256() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc(1).unwrap();
+        let b = mem.alloc(1).unwrap();
+        assert_eq!(a.0 % MIN_ALIGN, 0);
+        assert_eq!(b.0 % MIN_ALIGN, 0);
+        assert_eq!(b.0 - a.0, MIN_ALIGN);
+    }
+
+    #[test]
+    fn oom_reports_and_counts() {
+        let mut mem = DeviceMemory::new(4096);
+        let err = mem.alloc(8192).unwrap_err();
+        assert!(matches!(err, AllocError::OutOfMemory { .. }));
+        assert_eq!(mem.stats().failed_allocations, 1);
+    }
+
+    #[test]
+    fn reserved_counts_but_rejects_access() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.alloc_tagged(4096, Backing::Reserved, 7).unwrap();
+        assert_eq!(mem.stats().bytes_in_use, 4096);
+        assert_eq!(
+            mem.load::<u32>(p).unwrap_err(),
+            AccessError::Reserved { addr: p.0 }
+        );
+    }
+
+    #[test]
+    fn load_store_typed() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.alloc(64).unwrap();
+        mem.store::<f64>(p, 2.5).unwrap();
+        mem.store::<u32>(p.byte_add(8), 77).unwrap();
+        assert_eq!(mem.load::<f64>(p).unwrap(), 2.5);
+        assert_eq!(mem.load::<u32>(p.byte_add(8)).unwrap(), 77);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let src: Vec<f64> = (0..100).map(|i| i as f64 * 0.5).collect();
+        let p = mem.alloc_from_slice(&src, 3).unwrap();
+        assert_eq!(mem.read_slice::<f64>(p, 100).unwrap(), src);
+        assert_eq!(mem.region_of(p.0).unwrap().tag, 3);
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.alloc(16).unwrap();
+        // Within the 256-byte alignment pad but past the 16 real bytes.
+        assert!(matches!(
+            mem.load::<u64>(p.byte_add(12)),
+            Err(AccessError::OutOfBounds { .. })
+        ));
+        // Region-level overrun.
+        assert!(mem.load::<u64>(p.byte_add(300)).is_err());
+    }
+
+    #[test]
+    fn null_and_unmapped_access() {
+        let mem = DeviceMemory::new(1 << 20);
+        assert_eq!(mem.load::<u32>(NULL_DEVICE_PTR).unwrap_err(), AccessError::Null);
+        assert!(matches!(
+            mem.load::<u32>(DevicePtr(HEAP_BASE + 5000)),
+            Err(AccessError::Unmapped { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_free_rejected() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.alloc(16).unwrap();
+        assert!(mem.free(DevicePtr(p.0 + 8)).is_err());
+        mem.free(p).unwrap();
+        assert!(mem.free(p).is_err());
+    }
+
+    #[test]
+    fn free_by_tag_clears_instance() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let _a = mem.alloc_tagged(100, Backing::Materialized, 1).unwrap();
+        let _b = mem.alloc_tagged(100, Backing::Materialized, 1).unwrap();
+        let c = mem.alloc_tagged(100, Backing::Materialized, 2).unwrap();
+        assert_eq!(mem.free_by_tag(1), 2);
+        assert_eq!(mem.stats().live_allocations, 1);
+        assert_eq!(mem.region_of(c.0).unwrap().tag, 2);
+    }
+
+    #[test]
+    fn free_coalesces_middle_hole() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc(256).unwrap();
+        let b = mem.alloc(256).unwrap();
+        let c = mem.alloc(256).unwrap();
+        mem.free(a).unwrap();
+        mem.free(c).unwrap();
+        mem.free(b).unwrap(); // merges with both neighbours
+        assert_eq!(mem.free_list.len(), 1);
+        assert_eq!(mem.free_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc(1024).unwrap();
+        let b = mem.alloc(1024).unwrap();
+        mem.free(a).unwrap();
+        mem.free(b).unwrap();
+        assert_eq!(mem.stats().peak_bytes_in_use, 2048);
+        assert_eq!(mem.stats().bytes_in_use, 0);
+    }
+
+    #[test]
+    fn ensemble_oom_scenario() {
+        // Four 10 GB instances fit a 40 GB device; the fifth fails —
+        // the Page-Rank behaviour from the paper's §4.3.
+        let mut mem = DeviceMemory::new(40 << 30);
+        for tag in 0..4u32 {
+            mem.alloc_tagged(10 << 30, Backing::Reserved, tag).unwrap();
+        }
+        assert!(matches!(
+            mem.alloc_tagged(10 << 30, Backing::Reserved, 4),
+            Err(AllocError::OutOfMemory { .. })
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+/// Scalar types that can live in simulated device memory.
+///
+/// All values are stored little-endian, matching the byte order of every
+/// target the direct-GPU-compilation papers run on (x86-64 hosts, NVIDIA
+/// and AMD devices).
+pub trait Scalar: Copy + Default + std::fmt::Debug + Send + Sync + 'static {
+    /// Size of the scalar in bytes.
+    const SIZE: usize;
+
+    /// Serialize into `buf` (`buf.len() == Self::SIZE`).
+    fn store_le(self, buf: &mut [u8]);
+
+    /// Deserialize from `buf` (`buf.len() == Self::SIZE`).
+    fn load_le(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($($t:ty),*) => {$(
+        impl Scalar for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            fn store_le(self, buf: &mut [u8]) {
+                buf.copy_from_slice(&self.to_le_bytes());
+            }
+
+            fn load_le(buf: &[u8]) -> Self {
+                <$t>::from_le_bytes(buf.try_into().expect("scalar width"))
+            }
+        }
+    )*};
+}
+
+impl_scalar!(u8, i8, u16, i16, u32, i32, u64, i64, f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar + PartialEq>(v: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        v.store_le(&mut buf);
+        assert_eq!(T::load_le(&buf), v);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0xA5u8);
+        roundtrip(-7i8);
+        roundtrip(0xBEEFu16);
+        roundtrip(-1234i16);
+        roundtrip(0xDEAD_BEEFu32);
+        roundtrip(-123_456i32);
+        roundtrip(0xFEED_FACE_CAFE_BEEFu64);
+        roundtrip(-9_876_543_210i64);
+        roundtrip(3.5f32);
+        roundtrip(-2.718281828459045f64);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(<u8 as Scalar>::SIZE, 1);
+        assert_eq!(<f64 as Scalar>::SIZE, 8);
+        assert_eq!(<u32 as Scalar>::SIZE, 4);
+    }
+}

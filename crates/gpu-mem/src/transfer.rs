@@ -1,0 +1,107 @@
+use serde::{Deserialize, Serialize};
+
+/// Direction of a host↔device copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransferDirection {
+    HostToDevice,
+    DeviceToHost,
+}
+
+/// One logged transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    pub direction: TransferDirection,
+    pub bytes: u64,
+    pub seconds: f64,
+}
+
+/// Cost model for host↔device copies over a PCIe-class interconnect.
+///
+/// Each transfer pays a fixed submission latency plus bytes/bandwidth.
+/// The loaders use this to account for argv mapping (`map(to:)`) and the
+/// `map(from: Ret[:NI])` result copy in the paper's Figure 4 region.
+#[derive(Debug, Clone)]
+pub struct TransferEngine {
+    bytes_per_sec: f64,
+    latency_sec: f64,
+    log: Vec<TransferRecord>,
+}
+
+impl TransferEngine {
+    /// `bandwidth_gbps` in GB/s; `latency_us` fixed per-transfer cost.
+    pub fn new(bandwidth_gbps: f64, latency_us: f64) -> Self {
+        Self {
+            bytes_per_sec: bandwidth_gbps * 1e9,
+            latency_sec: latency_us * 1e-6,
+            log: Vec::new(),
+        }
+    }
+
+    /// Time for one transfer of `bytes`, in seconds.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency_sec + bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Record a transfer and return its simulated duration.
+    pub fn record(&mut self, direction: TransferDirection, bytes: u64) -> f64 {
+        let seconds = self.transfer_time(bytes);
+        self.log.push(TransferRecord {
+            direction,
+            bytes,
+            seconds,
+        });
+        seconds
+    }
+
+    /// Total simulated seconds spent in transfers so far.
+    pub fn total_seconds(&self) -> f64 {
+        self.log.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Total bytes moved in `direction`.
+    pub fn total_bytes(&self, direction: TransferDirection) -> u64 {
+        self.log
+            .iter()
+            .filter(|r| r.direction == direction)
+            .map(|r| r.bytes)
+            .sum()
+    }
+
+    pub fn log(&self) -> &[TransferRecord] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let e = TransferEngine::new(25.0, 10.0);
+        let t_small = e.transfer_time(64);
+        let t_zeroish = e.transfer_time(0);
+        assert!((t_small - t_zeroish) < 1e-6);
+        assert!(t_small >= 10e-6);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let e = TransferEngine::new(25.0, 10.0);
+        // 25 GB at 25 GB/s ≈ 1 s.
+        let t = e.transfer_time(25_000_000_000);
+        assert!((t - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut e = TransferEngine::new(25.0, 5.0);
+        e.record(TransferDirection::HostToDevice, 1 << 20);
+        e.record(TransferDirection::DeviceToHost, 1 << 10);
+        e.record(TransferDirection::HostToDevice, 1 << 20);
+        assert_eq!(e.total_bytes(TransferDirection::HostToDevice), 2 << 20);
+        assert_eq!(e.total_bytes(TransferDirection::DeviceToHost), 1 << 10);
+        assert_eq!(e.log().len(), 3);
+        assert!(e.total_seconds() > 0.0);
+    }
+}

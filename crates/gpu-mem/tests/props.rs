@@ -1,0 +1,113 @@
+//! Property-based tests for the device-memory substrate.
+
+use gpu_mem::{coalesce, coalesce_strided, Backing, DeviceMemory, DevicePtr, SECTOR_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    /// Live allocations never overlap and stay inside the heap, across an
+    /// arbitrary interleaving of allocs and frees.
+    #[test]
+    fn allocations_never_overlap(ops in prop::collection::vec((0u8..2, 1u64..10_000), 1..120)) {
+        let mut mem = DeviceMemory::new(1 << 22);
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (start, requested len)
+        for (op, size) in ops {
+            if op == 0 {
+                if let Ok(p) = mem.alloc(size) {
+                    for &(s, l) in &live {
+                        let sep = p.0 + size <= s || s + l <= p.0;
+                        prop_assert!(sep, "overlap: [{:#x},+{}) vs [{:#x},+{})", p.0, size, s, l);
+                    }
+                    live.push((p.0, size));
+                }
+            } else if let Some((s, _)) = live.pop() {
+                mem.free(DevicePtr(s)).unwrap();
+            }
+        }
+    }
+
+    /// Accounting invariant: after freeing everything, the heap is whole.
+    #[test]
+    fn full_free_restores_capacity(sizes in prop::collection::vec(1u64..100_000, 1..60)) {
+        let mut mem = DeviceMemory::new(1 << 24);
+        let ptrs: Vec<_> = sizes.iter().filter_map(|&s| mem.alloc(s).ok()).collect();
+        // Free in a scrambled (reversed-evens-then-odds) order.
+        for (i, p) in ptrs.iter().enumerate().filter(|(i, _)| i % 2 == 0) {
+            let _ = i;
+            mem.free(*p).unwrap();
+        }
+        for (i, p) in ptrs.iter().enumerate().filter(|(i, _)| i % 2 == 1) {
+            let _ = i;
+            mem.free(*p).unwrap();
+        }
+        prop_assert_eq!(mem.free_bytes(), 1 << 24);
+        prop_assert_eq!(mem.stats().live_allocations, 0);
+    }
+
+    /// Stored scalars read back exactly, at any in-bounds offset.
+    #[test]
+    fn store_load_roundtrip(vals in prop::collection::vec(any::<f64>(), 1..100)) {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let p = mem.alloc(vals.len() as u64 * 8).unwrap();
+        for (i, v) in vals.iter().enumerate() {
+            mem.store::<f64>(p.elem_add::<f64>(i as u64), *v).unwrap();
+        }
+        for (i, v) in vals.iter().enumerate() {
+            let got = mem.load::<f64>(p.elem_add::<f64>(i as u64)).unwrap();
+            prop_assert!(got == *v || (got.is_nan() && v.is_nan()));
+        }
+    }
+
+    /// Coalescing bounds: sector count is between 1 and 2×lanes for any
+    /// non-empty access set, and moved ≥ useful.
+    #[test]
+    fn coalesce_bounds(addrs in prop::collection::vec(0u64..1_000_000, 1..32), size in prop::sample::select(vec![1u32, 2, 4, 8])) {
+        let lanes: Vec<Option<u64>> = addrs.iter().map(|&a| Some(a)).collect();
+        let r = coalesce(&lanes, size);
+        prop_assert!(r.sectors >= 1);
+        prop_assert!(r.sectors as u64 <= 2 * lanes.len() as u64);
+        prop_assert!(r.moved_bytes >= r.useful_bytes);
+        prop_assert_eq!(r.moved_bytes, r.sectors as u64 * SECTOR_BYTES);
+    }
+
+    /// Coalescing is monotone in stride: a larger stride never touches
+    /// fewer sectors (for aligned element-sized accesses).
+    #[test]
+    fn coalesce_monotone_in_stride(base in 0u64..10_000, lanes in 1u32..33) {
+        let mut prev = 0;
+        for stride_elems in 1u64..8 {
+            let addrs: Vec<Option<u64>> =
+                (0..lanes as u64).map(|l| Some(base * 8 + l * stride_elems * 8)).collect();
+            let r = coalesce(&addrs, 8);
+            prop_assert!(r.sectors >= prev, "stride {stride_elems}: {} < {prev}", r.sectors);
+            prev = r.sectors;
+        }
+    }
+
+    /// The strided fast path agrees with the exact path.
+    #[test]
+    fn strided_fast_path_is_exact(base in 0u64..100_000, stride in prop::sample::select(vec![4u64, 8, 16, 32, 64, 256]), lanes in 1u32..64, size in prop::sample::select(vec![4u32, 8])) {
+        // Fast path only specializes aligned element streams; compare there.
+        prop_assume!(stride >= size as u64);
+        let exact = {
+            let addrs: Vec<Option<u64>> = (0..lanes as u64).map(|l| Some(base + l * stride)).collect();
+            coalesce(&addrs, size)
+        };
+        let fast = coalesce_strided(base, stride, size, lanes);
+        prop_assert_eq!(exact.useful_bytes, fast.useful_bytes);
+        if lanes <= 64 {
+            prop_assert_eq!(exact.sectors, fast.sectors);
+        }
+    }
+
+    /// Reserved allocations consume capacity exactly like materialized
+    /// ones (the OOM-modeling contract).
+    #[test]
+    fn reserved_and_materialized_account_identically(size in 256u64..1_000_000) {
+        let mut a = DeviceMemory::new(1 << 22);
+        let mut b = DeviceMemory::new(1 << 22);
+        a.alloc_tagged(size, Backing::Materialized, 0).unwrap();
+        b.alloc_tagged(size, Backing::Reserved, 0).unwrap();
+        prop_assert_eq!(a.free_bytes(), b.free_bytes());
+        prop_assert_eq!(a.stats().bytes_in_use, b.stats().bytes_in_use);
+    }
+}

@@ -1,0 +1,383 @@
+use crate::ctx::{HostCallHook, KernelError, TeamCtx};
+use crate::report::SimReport;
+use crate::timing::{simulate_timing, TimingInputs, TimingParams};
+use crate::trace::BlockTrace;
+use gpu_arch::{occupancy, GpuSpec, LaunchConfig, LaunchError};
+use gpu_mem::{DeviceMemory, TransferEngine};
+
+/// Simulator-level launch failures (functional kernel errors are reported
+/// per team in [`LaunchResult::team_outcomes`], not here).
+#[derive(Debug)]
+pub enum SimError {
+    Launch(LaunchError),
+}
+
+impl From<LaunchError> for SimError {
+    fn from(e: LaunchError) -> Self {
+        SimError::Launch(e)
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Launch(e) => write!(f, "launch failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What one team's body produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TeamOutcome {
+    /// The team function returned this value (`__user_main`'s exit code).
+    Return(i32),
+    /// The team trapped (illegal access, failed allocation, …).
+    Trap(KernelError),
+}
+
+impl TeamOutcome {
+    pub fn return_code(&self) -> Option<i32> {
+        match self {
+            TeamOutcome::Return(c) => Some(*c),
+            TeamOutcome::Trap(_) => None,
+        }
+    }
+}
+
+/// Description of one kernel launch.
+///
+/// `team_fn` is invoked once per team; `teams_per_block` > 1 realizes the
+/// paper's §3.1 packed `(N/M, M, 1)` mapping where several instances share
+/// one thread block. `lanes_per_team` is the thread limit each team may
+/// use; `tag_of_team` supplies the heap-region tag (the instance id).
+pub struct KernelSpec<'a> {
+    pub name: &'a str,
+    /// Number of teams to run.
+    pub num_teams: u32,
+    /// Teams packed into one thread block (1 = the paper's default).
+    pub teams_per_block: u32,
+    /// Usable threads per team.
+    pub lanes_per_team: u32,
+    /// Heap-region tag for each team (defaults to the team id).
+    pub tag_of_team: Option<&'a dyn Fn(u32) -> u32>,
+    /// Paper-scale footprint divided by materialized footprint (≥ 1).
+    pub footprint_multiplier: f64,
+    /// Host-RPC services with stubs; `None` = unrestricted.
+    pub rpc_services: Option<Vec<u32>>,
+    /// Keep the per-block segment traces in the result (off by default:
+    /// traces can be large for big ensembles).
+    pub keep_traces: bool,
+}
+
+impl<'a> KernelSpec<'a> {
+    pub fn new(name: &'a str, num_teams: u32, lanes_per_team: u32) -> Self {
+        Self {
+            name,
+            num_teams,
+            teams_per_block: 1,
+            lanes_per_team,
+            tag_of_team: None,
+            footprint_multiplier: 1.0,
+            rpc_services: None,
+            keep_traces: false,
+        }
+    }
+}
+
+/// Result of a completed launch.
+#[derive(Debug)]
+pub struct LaunchResult {
+    pub report: SimReport,
+    pub team_outcomes: Vec<TeamOutcome>,
+    /// The segment traces, when [`KernelSpec::keep_traces`] was set —
+    /// the raw material for per-phase performance analysis.
+    pub block_traces: Option<Vec<BlockTrace>>,
+}
+
+/// The simulated device: hardware spec, global memory, transfer engine and
+/// timing parameters.
+pub struct Gpu {
+    pub spec: GpuSpec,
+    pub mem: DeviceMemory,
+    pub transfers: TransferEngine,
+    pub timing: TimingParams,
+}
+
+impl Gpu {
+    pub fn new(spec: GpuSpec) -> Self {
+        let mem = DeviceMemory::new(spec.global_mem_bytes);
+        let transfers = TransferEngine::new(spec.pcie_bandwidth_gbps, 10.0);
+        Self {
+            spec,
+            mem,
+            transfers,
+            timing: TimingParams::default(),
+        }
+    }
+
+    /// An A100-40GB device, the paper's configuration.
+    pub fn a100() -> Self {
+        Self::new(GpuSpec::a100_40gb())
+    }
+
+    /// Launch a kernel: run every team functionally, then replay the traces
+    /// through the timing engine.
+    ///
+    /// `host_hook` (if any) is shared by all teams, mirroring the single
+    /// RPC service thread of the direct-GPU-compilation framework.
+    pub fn launch(
+        &mut self,
+        spec: &KernelSpec<'_>,
+        mut host_hook: Option<&mut HostCallHook<'_>>,
+        mut team_fn: impl FnMut(&mut TeamCtx<'_>) -> Result<i32, KernelError>,
+    ) -> Result<LaunchResult, SimError> {
+        assert!(spec.num_teams >= 1, "kernel needs at least one team");
+        assert!(spec.teams_per_block >= 1);
+        let num_blocks = spec.num_teams.div_ceil(spec.teams_per_block);
+        let threads_per_block = spec.lanes_per_team * spec.teams_per_block;
+        let launch = LaunchConfig::linear(num_blocks, threads_per_block);
+        launch.validate(&self.spec)?;
+        let occ = occupancy(&self.spec, &launch)?;
+
+        // ---- Functional execution, one team at a time. ----
+        let mut block_traces: Vec<BlockTrace> = (0..num_blocks)
+            .map(|_| BlockTrace::default())
+            .collect();
+        let mut outcomes = Vec::with_capacity(spec.num_teams as usize);
+        let mut max_shared = 0u64;
+        for team in 0..spec.num_teams {
+            let tag = spec.tag_of_team.map(|f| f(team)).unwrap_or(team);
+            let mut ctx = TeamCtx::new(
+                &mut self.mem,
+                team,
+                spec.num_teams,
+                spec.lanes_per_team,
+                tag,
+                self.spec.shared_mem_per_block,
+            );
+            if let Some(hook) = host_hook.as_deref_mut() {
+                ctx.set_host_call(hook, spec.rpc_services.clone());
+            }
+            let outcome = match team_fn(&mut ctx) {
+                Ok(code) => TeamOutcome::Return(code),
+                Err(e) => TeamOutcome::Trap(e),
+            };
+            max_shared = max_shared.max(ctx.shared_bytes_used());
+            let trace = ctx.finish();
+            let block = (team / spec.teams_per_block) as usize;
+            block_traces[block].teams.push(trace);
+            outcomes.push(outcome);
+        }
+        for b in &mut block_traces {
+            b.shared_mem_bytes = max_shared;
+        }
+
+        // ---- Timing. ----
+        let timing = simulate_timing(&TimingInputs {
+            spec: &self.spec,
+            blocks: &block_traces,
+            params: &self.timing,
+            footprint_multiplier: spec.footprint_multiplier,
+        });
+
+        // ---- Roll up the report. ----
+        let mut total_insts = 0.0;
+        let mut total_sectors = 0u64;
+        let mut useful = 0.0;
+        let mut moved = 0.0;
+        let mut rpc = 0u64;
+        for b in &block_traces {
+            for t in &b.teams {
+                total_insts += t.total_insts();
+                total_sectors += t.total_sectors();
+                useful += t.total_useful_bytes();
+                moved += t.total_moved_bytes();
+                rpc += t.total_rpc_calls();
+            }
+        }
+        let launch_overhead_s = self.spec.launch_overhead_us * 1e-6;
+        let report = SimReport {
+            kernel_name: spec.name.to_string(),
+            kernel_cycles: timing.cycles,
+            sim_time_s: launch_overhead_s + self.spec.cycles_to_seconds(timing.cycles),
+            blocks: num_blocks,
+            threads_per_block,
+            waves: timing.waves,
+            occupancy: occ.occupancy,
+            total_insts,
+            total_sectors,
+            useful_bytes: useful,
+            moved_bytes: moved,
+            coalescing_efficiency: if moved > 0.0 { useful / moved } else { 1.0 },
+            l2_hit: timing.l2_hit,
+            dram_efficiency: timing.dram_efficiency,
+            active_region_tags: timing.active_region_tags,
+            issue_utilization: timing.issue_utilization,
+            dram_utilization: timing.dram_utilization,
+            rpc_calls: rpc,
+            block_end_cycles: timing.block_end_cycles,
+        };
+        Ok(LaunchResult {
+            report,
+            team_outcomes: outcomes,
+            block_traces: spec.keep_traces.then_some(block_traces),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A memory-streaming team body: read `n` f64s, accumulate, write one.
+    fn streaming_body(
+        n: u64,
+    ) -> impl FnMut(&mut TeamCtx<'_>) -> Result<i32, KernelError> {
+        move |ctx| {
+            let tag = ctx.default_tag();
+            let (src, dst) = ctx.serial("alloc", |lane| {
+                let src = lane.dev_alloc(8 * n)?;
+                let dst = lane.dev_alloc(8)?;
+                Ok((src, dst))
+            })?;
+            let _ = tag;
+            let sum = ctx.parallel_for_reduce_f64("sum", n, |i, lane| {
+                lane.work(2.0);
+                lane.ld_idx::<f64>(src, i)
+            })?;
+            ctx.serial("store", |lane| lane.st::<f64>(dst, sum))?;
+            Ok(0)
+        }
+    }
+
+    #[test]
+    fn launch_single_team_returns_code() {
+        let mut gpu = Gpu::a100();
+        let spec = KernelSpec::new("unit", 1, 32);
+        let res = gpu
+            .launch(&spec, None, |ctx| {
+                ctx.serial("noop", |lane| {
+                    lane.work(10.0);
+                    Ok(())
+                })?;
+                Ok(7)
+            })
+            .unwrap();
+        assert_eq!(res.team_outcomes, vec![TeamOutcome::Return(7)]);
+        assert!(res.report.sim_time_s > 0.0);
+        assert_eq!(res.report.blocks, 1);
+    }
+
+    #[test]
+    fn ensemble_teams_get_distinct_tags() {
+        let mut gpu = Gpu::a100();
+        let spec = KernelSpec::new("tags", 4, 32);
+        let mut seen = Vec::new();
+        gpu.launch(&spec, None, |ctx| {
+            seen.push(ctx.default_tag());
+            Ok(0)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn streaming_ensemble_is_sublinear_in_time() {
+        // Core paper mechanism: N instances in one launch take less than
+        // N× the single-instance time, but more than 1× (contention).
+        let t_of = |teams: u32| {
+            let mut gpu = Gpu::a100();
+            let spec = KernelSpec::new("stream", teams, 32);
+            let res = gpu.launch(&spec, None, streaming_body(20_000)).unwrap();
+            res.report.sim_time_s
+        };
+        let t1 = t_of(1);
+        let t16 = t_of(16);
+        assert!(t16 < t1 * 16.0, "t16 {t16} should be < 16×t1 {t1}");
+        assert!(t16 >= t1 * 0.99, "t16 {t16} must not be faster than t1 {t1}");
+        let speedup = t1 * 16.0 / t16;
+        assert!(speedup > 4.0, "ensemble speedup too small: {speedup}");
+    }
+
+    #[test]
+    fn trap_is_reported_not_fatal() {
+        let mut gpu = Gpu::a100();
+        let spec = KernelSpec::new("trap", 2, 32);
+        let res = gpu
+            .launch(&spec, None, |ctx| {
+                if ctx.team_id() == 1 {
+                    return Err(KernelError::App("boom".into()));
+                }
+                Ok(0)
+            })
+            .unwrap();
+        assert_eq!(res.team_outcomes[0], TeamOutcome::Return(0));
+        assert!(matches!(res.team_outcomes[1], TeamOutcome::Trap(_)));
+    }
+
+    #[test]
+    fn packed_mapping_reduces_blocks() {
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("packed", 8, 32);
+        spec.teams_per_block = 4;
+        let res = gpu.launch(&spec, None, |_| Ok(0)).unwrap();
+        assert_eq!(res.report.blocks, 2);
+        assert_eq!(res.report.threads_per_block, 128);
+        assert_eq!(res.team_outcomes.len(), 8);
+    }
+
+    #[test]
+    fn oversized_launch_rejected() {
+        let mut gpu = Gpu::a100();
+        let spec = KernelSpec::new("big", 1, 2048);
+        assert!(matches!(
+            gpu.launch(&spec, None, |_| Ok(0)),
+            Err(SimError::Launch(_))
+        ));
+    }
+
+    #[test]
+    fn traces_kept_only_on_request() {
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("traces", 2, 32);
+        let body = |ctx: &mut TeamCtx<'_>| {
+            ctx.serial("w", |lane| {
+                lane.work(10.0);
+                Ok(())
+            })?;
+            Ok(0)
+        };
+        let res = gpu.launch(&spec, None, body).unwrap();
+        assert!(res.block_traces.is_none());
+        spec.keep_traces = true;
+        let res = gpu.launch(&spec, None, body).unwrap();
+        let traces = res.block_traces.unwrap();
+        assert_eq!(traces.len(), 2);
+        assert!(traces[0].teams[0].phases.len() >= 2); // prologue + serial
+    }
+
+    #[test]
+    fn host_hook_reaches_teams() {
+        let mut gpu = Gpu::a100();
+        let spec = KernelSpec::new("rpc", 2, 32);
+        let mut calls = 0u32;
+        let mut hook = |_svc: u32, payload: &[u8]| -> Result<Vec<u8>, String> {
+            calls += 1;
+            Ok(payload.to_vec())
+        };
+        let res = gpu
+            .launch(&spec, Some(&mut hook), |ctx| {
+                ctx.serial("rpc", |lane| {
+                    lane.host_call(0, b"x")?;
+                    Ok(())
+                })?;
+                Ok(0)
+            })
+            .unwrap();
+        assert_eq!(res.report.rpc_calls, 2);
+        drop(res);
+        assert_eq!(calls, 2);
+    }
+}

@@ -1,0 +1,658 @@
+use crate::trace::BlockTrace;
+use gpu_arch::{occupancy, GpuSpec, LaunchConfig};
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the timing engine that are not part of the hardware spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingParams {
+    /// Warp-visible latency of one host RPC round trip, in core cycles
+    /// (device→host doorbell, host service, device resume).
+    pub rpc_cycles_per_call: f64,
+    /// Maximum L2 hit fraction achievable when the active footprint fits in
+    /// the cache (compulsory misses and streaming keep it below 1).
+    pub l2_hit_max: f64,
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self {
+            rpc_cycles_per_call: 20_000.0,
+            l2_hit_max: 0.95,
+        }
+    }
+}
+
+/// Everything the timing simulation needs.
+pub struct TimingInputs<'a> {
+    pub spec: &'a GpuSpec,
+    pub blocks: &'a [BlockTrace],
+    pub params: &'a TimingParams,
+    /// Scale factor applied to the measured data footprint before the L2
+    /// model. Applications that run functionally on scaled-down data but
+    /// model a paper-scale working set pass `paper_bytes / scaled_bytes`.
+    pub footprint_multiplier: f64,
+}
+
+/// Output of the timing simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// Kernel duration in core cycles (excluding launch overhead).
+    pub cycles: f64,
+    /// Completion cycle of each block, indexed like the input.
+    pub block_end_cycles: Vec<f64>,
+    /// DRAM efficiency applied (row-locality interference).
+    pub dram_efficiency: f64,
+    /// Modeled L2 hit fraction.
+    pub l2_hit: f64,
+    /// Distinct heap-region tags streamed concurrently.
+    pub active_region_tags: u32,
+    /// Time-integrated issue-slot utilization across the device, [0, 1].
+    pub issue_utilization: f64,
+    /// Time-integrated DRAM utilization (vs. raw peak), [0, 1].
+    pub dram_utilization: f64,
+    /// Scheduling waves required by occupancy.
+    pub waves: u32,
+}
+
+const EPS: f64 = 1e-9;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum WarpPhase {
+    /// Draining its current segment.
+    Running,
+    /// Finished its segment, waiting at the team barrier.
+    AtBarrier,
+    /// Team finished all phases.
+    Done,
+}
+
+struct WarpState {
+    block: usize,
+    team: usize,
+    warp: usize,
+    sm: usize,
+    insts_left: f64,
+    bytes_left: f64,
+    latency_left: f64,
+    /// Fraction of the warp's MLP window usable by this segment: coalesced
+    /// streams keep the full window in flight; dependent, scattered lookup
+    /// chains (low coalescing efficiency) cannot pipeline as deeply.
+    mlp_factor: f64,
+    phase: WarpPhase,
+}
+
+impl WarpState {
+    fn load_segment(&mut self, blocks: &[BlockTrace], phase_idx: usize, dram_discount: f64, params: &TimingParams) {
+        let seg = &blocks[self.block].teams[self.team].phases[phase_idx].warps[self.warp];
+        self.insts_left = seg.insts;
+        self.bytes_left = seg.moved_bytes * dram_discount;
+        self.latency_left = seg.rpc_calls as f64 * params.rpc_cycles_per_call;
+        self.mlp_factor = 0.4 + 0.6 * seg.coalescing_efficiency();
+        self.phase = WarpPhase::Running;
+    }
+
+    fn segment_done(&self) -> bool {
+        self.insts_left <= EPS && self.bytes_left <= EPS && self.latency_left <= EPS
+    }
+}
+
+struct TeamState {
+    phase_idx: usize,
+    warps_pending: usize,
+    done: bool,
+}
+
+struct BlockState {
+    teams_pending: usize,
+    placed: bool,
+    end_cycle: f64,
+}
+
+/// Run the fluid-rate timing simulation over a set of block traces.
+///
+/// Resource model (see DESIGN.md §4):
+/// * each SM issues `issue_slots_per_sm` warp-instructions per cycle,
+///   shared equally among its resident warps that still have instructions
+///   to issue (per-warp cap: 1 inst/cycle);
+/// * DRAM moves `dram_bytes_per_cycle × efficiency(regions)` bytes per
+///   cycle, shared equally among warps with outstanding memory, each warp
+///   additionally capped by its MLP window;
+/// * a segment's instruction, memory and RPC-latency components drain
+///   concurrently (ideal intra-warp overlap); the segment completes when
+///   all three are exhausted;
+/// * warps of a team synchronize at phase boundaries; blocks are placed on
+///   SMs up to the occupancy limit and queue for free slots beyond it.
+pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
+    let spec = inputs.spec;
+    let params = inputs.params;
+    let blocks = inputs.blocks;
+    assert!(!blocks.is_empty(), "timing needs at least one block");
+
+    // --- Static launch-wide factors -------------------------------------
+    let max_warps_per_block = blocks.iter().map(|b| b.warp_count()).max().unwrap().max(1);
+    let max_shared = blocks.iter().map(|b| b.shared_mem_bytes).max().unwrap();
+    let launch = LaunchConfig::linear(blocks.len() as u32, max_warps_per_block * spec.warp_size)
+        .with_shared_mem(max_shared);
+    let occ = occupancy(spec, &launch).expect("trace built from a validated launch");
+
+    // Distinct heap-region tags across all blocks (the §4.3 interference
+    // driver) and the largest per-team data footprint (the L2 driver; L2
+    // residency is judged per working set — hot per-instance data keeps
+    // hitting even when many instances run, while a working set larger
+    // than the cache misses at any instance count).
+    let mut tags: Vec<u32> = Vec::new();
+    let mut max_team_footprint = 0.0f64;
+    for b in blocks {
+        for t in &b.teams {
+            tags.extend(t.region_tags());
+            let fp: u64 = t.region_footprints().iter().map(|&(_, l)| l).sum();
+            max_team_footprint = max_team_footprint.max(fp as f64);
+        }
+    }
+    tags.sort_unstable();
+    tags.dedup();
+    let region_count = (tags.len() as u32).max(1);
+    let footprint_bytes: f64 = max_team_footprint * inputs.footprint_multiplier.max(1.0);
+
+    let dram_eff = spec.mem_model.dram_efficiency(region_count);
+    let l2_hit = if footprint_bytes <= EPS {
+        0.0
+    } else {
+        let resident = (spec.l2_usable_bytes() / footprint_bytes).min(1.0);
+        params.l2_hit_max * resident
+    };
+    let dram_discount = 1.0 - l2_hit;
+    let dram_capacity = spec.dram_bytes_per_cycle() * dram_eff;
+    // Row-locality interference lengthens the effective memory latency as
+    // more disjoint heaps are streamed (each instance's accesses keep
+    // closing the others' row buffers), so it throttles the per-warp MLP
+    // rate as well as aggregate bandwidth — the paper's §4.3 observation.
+    let mlp_cap = spec.mem_model.warp_mlp_bytes_per_cycle() * dram_eff;
+    let issue_cap = spec.issue_slots_per_sm as f64;
+
+    // --- Mutable simulation state ---------------------------------------
+    let mut warp_states: Vec<WarpState> = Vec::new();
+    let mut team_states: Vec<Vec<TeamState>> = Vec::new();
+    let mut block_states: Vec<BlockState> = Vec::new();
+    for (bi, b) in blocks.iter().enumerate() {
+        let mut teams = Vec::with_capacity(b.teams.len());
+        for (ti, t) in b.teams.iter().enumerate() {
+            teams.push(TeamState {
+                phase_idx: 0,
+                warps_pending: t.warp_count as usize,
+                done: t.phases.is_empty(),
+            });
+            for wi in 0..t.warp_count as usize {
+                warp_states.push(WarpState {
+                    block: bi,
+                    team: ti,
+                    warp: wi,
+                    sm: usize::MAX,
+                    insts_left: 0.0,
+                    bytes_left: 0.0,
+                    latency_left: 0.0,
+                    mlp_factor: 1.0,
+                    phase: WarpPhase::Done, // activated on placement
+                });
+            }
+        }
+        block_states.push(BlockState {
+            teams_pending: teams.iter().filter(|t| !t.done).count(),
+            placed: false,
+            end_cycle: 0.0,
+        });
+        team_states.push(teams);
+    }
+
+    // Index of the first warp-state of each (block, team).
+    let mut warp_index: Vec<Vec<usize>> = Vec::with_capacity(blocks.len());
+    {
+        let mut cursor = 0usize;
+        for b in blocks {
+            let mut per_team = Vec::with_capacity(b.teams.len());
+            for t in &b.teams {
+                per_team.push(cursor);
+                cursor += t.warp_count as usize;
+            }
+            warp_index.push(per_team);
+        }
+    }
+
+    let blocks_per_sm = occ.blocks_per_sm.max(1) as usize;
+    let mut sm_resident = vec![0usize; spec.sm_count as usize];
+    let mut pending_blocks: std::collections::VecDeque<usize> = (0..blocks.len()).collect();
+
+    let place_blocks = |pending: &mut std::collections::VecDeque<usize>,
+                            sm_resident: &mut Vec<usize>,
+                            warp_states: &mut Vec<WarpState>,
+                            team_states: &mut Vec<Vec<TeamState>>,
+                            block_states: &mut Vec<BlockState>| {
+        while let Some(&bi) = pending.front() {
+            // Least-loaded SM placement.
+            let (sm, load) = sm_resident
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &l)| l)
+                .map(|(i, &l)| (i, l))
+                .expect("at least one SM");
+            if load >= blocks_per_sm {
+                break;
+            }
+            pending.pop_front();
+            sm_resident[sm] += 1;
+            block_states[bi].placed = true;
+            for (ti, team) in team_states[bi].iter_mut().enumerate() {
+                if team.done {
+                    continue;
+                }
+                let base = warp_index[bi][ti];
+                for wi in 0..blocks[bi].teams[ti].warp_count as usize {
+                    let ws = &mut warp_states[base + wi];
+                    ws.sm = sm;
+                    ws.load_segment(blocks, team.phase_idx, dram_discount, params);
+                }
+            }
+        }
+    };
+
+    place_blocks(
+        &mut pending_blocks,
+        &mut sm_resident,
+        &mut warp_states,
+        &mut team_states,
+        &mut block_states,
+    );
+
+    let mut now = 0.0f64;
+    // Blocks whose teams all start "done" (empty traces) never enter the
+    // event loop; everything else counts as remaining.
+    let mut blocks_remaining = block_states
+        .iter()
+        .enumerate()
+        .filter(|(bi, _)| team_states[*bi].iter().any(|t| !t.done))
+        .count();
+
+    let mut issued_integral = 0.0f64;
+    let mut dram_integral = 0.0f64;
+
+    let mut guard = 0u64;
+    let guard_limit = 10_000_000u64;
+
+    while blocks_remaining > 0 {
+        guard += 1;
+        assert!(guard < guard_limit, "timing simulation failed to converge");
+
+        // ---- Drain zero-work segment completions without advancing time.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for wi in 0..warp_states.len() {
+                if warp_states[wi].phase == WarpPhase::Running && warp_states[wi].segment_done() {
+                    progressed = true;
+                    let (bi, ti) = (warp_states[wi].block, warp_states[wi].team);
+                    warp_states[wi].phase = WarpPhase::AtBarrier;
+                    let team = &mut team_states[bi][ti];
+                    team.warps_pending -= 1;
+                    if team.warps_pending == 0 {
+                        team.phase_idx += 1;
+                        let trace = &blocks[bi].teams[ti];
+                        if team.phase_idx < trace.phases.len() {
+                            team.warps_pending = trace.warp_count as usize;
+                            let base = warp_index[bi][ti];
+                            for w in 0..trace.warp_count as usize {
+                                warp_states[base + w].load_segment(
+                                    blocks,
+                                    team.phase_idx,
+                                    dram_discount,
+                                    params,
+                                );
+                            }
+                        } else {
+                            team.done = true;
+                            let base = warp_index[bi][ti];
+                            for w in 0..trace.warp_count as usize {
+                                warp_states[base + w].phase = WarpPhase::Done;
+                            }
+                            let bs = &mut block_states[bi];
+                            bs.teams_pending -= 1;
+                            if bs.teams_pending == 0 {
+                                bs.end_cycle = now;
+                                blocks_remaining -= 1;
+                                let sm = warp_states[base].sm;
+                                sm_resident[sm] -= 1;
+                                place_blocks(
+                                    &mut pending_blocks,
+                                    &mut sm_resident,
+                                    &mut warp_states,
+                                    &mut team_states,
+                                    &mut block_states,
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if blocks_remaining == 0 {
+            break;
+        }
+
+        // ---- Compute fair-share rates.
+        let mut issue_count = vec![0u32; spec.sm_count as usize];
+        let mut mem_count = 0u32;
+        for ws in &warp_states {
+            if ws.phase != WarpPhase::Running {
+                continue;
+            }
+            if ws.insts_left > EPS {
+                issue_count[ws.sm] += 1;
+            }
+            if ws.bytes_left > EPS {
+                mem_count += 1;
+            }
+        }
+        let mem_share = if mem_count > 0 {
+            dram_capacity / mem_count as f64
+        } else {
+            0.0
+        };
+
+        // ---- Find the next component-completion event.
+        let mut dt = f64::INFINITY;
+        for ws in &warp_states {
+            if ws.phase != WarpPhase::Running {
+                continue;
+            }
+            if ws.insts_left > EPS {
+                let ir = (issue_cap / issue_count[ws.sm] as f64).min(1.0);
+                dt = dt.min(ws.insts_left / ir);
+            }
+            if ws.bytes_left > EPS {
+                let mr = mem_share.min(mlp_cap * ws.mlp_factor);
+                dt = dt.min(ws.bytes_left / mr);
+            }
+            if ws.latency_left > EPS {
+                dt = dt.min(ws.latency_left);
+            }
+        }
+        assert!(
+            dt.is_finite(),
+            "active warps exist but no component can progress"
+        );
+
+        // ---- Advance all components by dt.
+        for ws in warp_states.iter_mut() {
+            if ws.phase != WarpPhase::Running {
+                continue;
+            }
+            if ws.insts_left > EPS {
+                let ir = (issue_cap / issue_count[ws.sm] as f64).min(1.0);
+                let spent = (ir * dt).min(ws.insts_left);
+                ws.insts_left -= spent;
+                issued_integral += spent;
+            }
+            if ws.bytes_left > EPS {
+                let mr = mem_share.min(mlp_cap * ws.mlp_factor);
+                let spent = (mr * dt).min(ws.bytes_left);
+                ws.bytes_left -= spent;
+                dram_integral += spent;
+            }
+            if ws.latency_left > EPS {
+                ws.latency_left -= dt.min(ws.latency_left);
+            }
+        }
+        now += dt;
+    }
+
+    let cycles = now.max(EPS);
+    TimingResult {
+        cycles: now,
+        block_end_cycles: block_states.iter().map(|b| b.end_cycle).collect(),
+        dram_efficiency: dram_eff,
+        l2_hit,
+        active_region_tags: region_count,
+        issue_utilization: issued_integral
+            / (cycles * spec.sm_count as f64 * issue_cap),
+        dram_utilization: dram_integral / (cycles * spec.dram_bytes_per_cycle()),
+        waves: occ.waves,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{MixedSeg, Phase, TeamTrace};
+
+    fn spec() -> GpuSpec {
+        GpuSpec::a100_40gb()
+    }
+
+    fn params() -> TimingParams {
+        TimingParams::default()
+    }
+
+    /// A block of `warps` warps, each with one segment of (insts, bytes).
+    fn block(warps: u32, insts: f64, bytes: f64) -> BlockTrace {
+        let seg = MixedSeg {
+            insts,
+            moved_bytes: bytes,
+            useful_bytes: bytes,
+            sectors: (bytes / 32.0) as u64,
+            // Tag regions uniquely per call site via bytes hash — tests
+            // that care set tags explicitly instead.
+            region_tags: vec![],
+            region_footprints: vec![],
+            rpc_calls: 0,
+        };
+        BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![Phase {
+                    warps: (0..warps).map(|_| seg.clone()).collect(),
+                    label: "p".into(),
+                }],
+                warp_count: warps,
+            }],
+            shared_mem_bytes: 0,
+        }
+    }
+
+    fn run(blocks: &[BlockTrace]) -> TimingResult {
+        let s = spec();
+        let p = params();
+        simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+        })
+    }
+
+    #[test]
+    fn single_warp_pure_compute() {
+        let r = run(&[block(1, 1000.0, 0.0)]);
+        assert!((r.cycles - 1000.0).abs() < 1.0, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn four_warps_one_sm_still_full_rate() {
+        // 4 schedulers: 4 warps issue at 1 IPC each.
+        let r = run(&[block(4, 1000.0, 0.0)]);
+        assert!((r.cycles - 1000.0).abs() < 1.0, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn eight_warps_one_sm_halve_rate() {
+        let r = run(&[block(8, 1000.0, 0.0)]);
+        assert!((r.cycles - 2000.0).abs() < 1.0, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn compute_blocks_on_different_sms_scale_linearly() {
+        let one = run(&[block(8, 1000.0, 0.0)]);
+        let many: Vec<BlockTrace> = (0..64).map(|_| block(8, 1000.0, 0.0)).collect();
+        let r = run(&many);
+        // 64 blocks spread over 108 SMs: same duration as one block.
+        assert!((r.cycles - one.cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_warp_memory_is_mlp_bound() {
+        let s = spec();
+        let bytes = 1_000_000.0;
+        let r = run(&[block(1, 1.0, bytes)]);
+        // One region: the MLP cap runs at the single-region DRAM efficiency.
+        let expected = bytes
+            / (s.mem_model.warp_mlp_bytes_per_cycle() * s.mem_model.dram_efficiency(1));
+        // L2 may discount some traffic; footprints are empty so l2_hit = 0.
+        assert!((r.cycles - expected).abs() / expected < 0.01, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn many_memory_warps_saturate_dram() {
+        // 64 blocks × 32 warps, each moving 100 KB: total 204.8 MB.
+        let s = spec();
+        let blocks: Vec<BlockTrace> = (0..64).map(|_| block(32, 1.0, 100_000.0)).collect();
+        let r = run(&blocks);
+        let total_bytes = 64.0 * 32.0 * 100_000.0;
+        let expected = total_bytes / (s.dram_bytes_per_cycle() * r.dram_efficiency);
+        assert!(
+            (r.cycles - expected).abs() / expected < 0.05,
+            "cycles = {} vs {}",
+            r.cycles,
+            expected
+        );
+        assert!(r.dram_utilization > 0.5);
+    }
+
+    #[test]
+    fn phases_synchronize_within_team() {
+        // Warp 0 has a long phase-0 segment; warp 1 a short one. In phase 1
+        // both have short segments. Total = long + short, not max alone.
+        let seg = |insts: f64| MixedSeg {
+            insts,
+            ..Default::default()
+        };
+        let b = BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![
+                    Phase {
+                        warps: vec![seg(1000.0), seg(10.0)],
+                        label: "p0".into(),
+                    },
+                    Phase {
+                        warps: vec![seg(10.0), seg(10.0)],
+                        label: "p1".into(),
+                    },
+                ],
+                warp_count: 2,
+            }],
+            shared_mem_bytes: 0,
+        };
+        let r = run(&[b]);
+        assert!((r.cycles - 1010.0).abs() < 1.0, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn excess_blocks_queue_in_waves() {
+        // 1024-thread blocks: 2 per SM, 216 resident. 432 blocks = 2 waves.
+        let blocks: Vec<BlockTrace> = (0..432).map(|_| block(32, 1000.0, 0.0)).collect();
+        let r = run(&blocks);
+        assert_eq!(r.waves, 2);
+        // 2 resident blocks per SM = 64 warps sharing 4 issue slots:
+        // each warp runs at 1/16 IPC, so 16000 cycles per wave, 2 waves.
+        assert!((r.cycles - 32000.0).abs() < 10.0, "cycles = {}", r.cycles);
+    }
+
+    #[test]
+    fn rpc_latency_floors_duration() {
+        let mut b = block(1, 10.0, 0.0);
+        b.teams[0].phases[0].warps[0].rpc_calls = 5;
+        let r = run(&[b]);
+        let p = params();
+        assert!(r.cycles >= 5.0 * p.rpc_cycles_per_call - 1.0);
+    }
+
+    #[test]
+    fn interference_slows_many_regions() {
+        let mk = |tag: u32| {
+            let mut b = block(32, 1.0, 500_000.0);
+            b.teams[0].phases[0].warps[0].region_tags = vec![tag];
+            b
+        };
+        let few: Vec<BlockTrace> = (0..64).map(|_| mk(0)).collect();
+        let many: Vec<BlockTrace> = (0..64).map(mk).collect();
+        let r_few = run(&few);
+        let r_many = run(&many);
+        assert!(r_many.dram_efficiency < r_few.dram_efficiency);
+        assert!(r_many.cycles > r_few.cycles);
+    }
+
+    #[test]
+    fn l2_resident_footprint_discounts_traffic() {
+        let mk = |fp: Option<(u64, u64)>| {
+            let mut b = block(32, 1.0, 500_000.0);
+            if let Some(f) = fp {
+                b.teams[0].phases[0].warps[0].region_footprints = vec![f];
+            }
+            b
+        };
+        // Small footprint (1 MB) fits L2; huge footprint (10 GB) does not.
+        let fits: Vec<BlockTrace> = (0..64).map(|_| mk(Some((0x1000, 1 << 20)))).collect();
+        let thrash: Vec<BlockTrace> = (0..64).map(|_| mk(Some((0x1000, 10 << 30)))).collect();
+        let r_fits = run(&fits);
+        let r_thrash = run(&thrash);
+        assert!(r_fits.l2_hit > 0.8);
+        assert!(r_thrash.l2_hit < 0.01);
+        assert!(r_fits.cycles < r_thrash.cycles);
+    }
+
+    #[test]
+    fn footprint_multiplier_defeats_l2() {
+        let mk = || {
+            let mut b = block(32, 1.0, 500_000.0);
+            b.teams[0].phases[0].warps[0].region_footprints = vec![(0x1000, 1 << 20)];
+            b
+        };
+        let blocks: Vec<BlockTrace> = (0..8).map(|_| mk()).collect();
+        let s = spec();
+        let p = params();
+        let scaled = simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks: &blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+        });
+        let paper = simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks: &blocks,
+            params: &p,
+            footprint_multiplier: 100_000.0,
+        });
+        assert!(paper.l2_hit < scaled.l2_hit);
+        assert!(paper.cycles > scaled.cycles);
+    }
+
+    #[test]
+    fn empty_phase_blocks_complete_instantly() {
+        let b = BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![Phase {
+                    warps: vec![MixedSeg::default()],
+                    label: "noop".into(),
+                }],
+                warp_count: 1,
+            }],
+            shared_mem_bytes: 0,
+        };
+        let r = run(&[b]);
+        assert!(r.cycles < 1.0);
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let blocks: Vec<BlockTrace> = (0..16).map(|_| block(8, 5000.0, 200_000.0)).collect();
+        let r = run(&blocks);
+        assert!(r.issue_utilization > 0.0 && r.issue_utilization <= 1.0 + 1e-9);
+        assert!(r.dram_utilization > 0.0 && r.dram_utilization <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,254 @@
+use serde::{Deserialize, Serialize};
+
+/// One warp's aggregated work for one parallel phase.
+///
+/// A *mixed segment* carries both instruction work and memory work; the
+/// timing engine drains the two concurrently (loop iterations interleave
+/// arithmetic and loads, and hardware overlaps them through pipelining and
+/// MLP), so a segment's duration is governed by whichever resource binds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MixedSeg {
+    /// Warp instructions to issue.
+    pub insts: f64,
+    /// Bytes that must move from DRAM (after coalescing; before L2).
+    pub moved_bytes: f64,
+    /// Bytes the program asked for (coalescing-efficiency numerator).
+    pub useful_bytes: f64,
+    /// 32-byte sector transactions.
+    pub sectors: u64,
+    /// Distinct heap-region tags touched (deduplicated, sorted).
+    pub region_tags: Vec<u32>,
+    /// Distinct region start addresses with their lengths, for the L2
+    /// footprint estimate (deduplicated, sorted by start).
+    pub region_footprints: Vec<(u64, u64)>,
+    /// Host RPC round trips issued from this warp.
+    pub rpc_calls: u64,
+}
+
+impl MixedSeg {
+    /// Whether this segment represents any work at all.
+    pub fn is_empty(&self) -> bool {
+        self.insts == 0.0 && self.moved_bytes == 0.0 && self.rpc_calls == 0
+    }
+
+    /// Fold another segment's totals into this one.
+    pub fn merge(&mut self, other: &MixedSeg) {
+        self.insts += other.insts;
+        self.moved_bytes += other.moved_bytes;
+        self.useful_bytes += other.useful_bytes;
+        self.sectors += other.sectors;
+        self.rpc_calls += other.rpc_calls;
+        for &t in &other.region_tags {
+            self.add_region_tag(t);
+        }
+        for &(s, l) in &other.region_footprints {
+            self.add_region_footprint(s, l);
+        }
+    }
+
+    pub fn add_region_tag(&mut self, tag: u32) {
+        if let Err(pos) = self.region_tags.binary_search(&tag) {
+            self.region_tags.insert(pos, tag);
+        }
+    }
+
+    pub fn add_region_footprint(&mut self, start: u64, len: u64) {
+        if let Err(pos) = self
+            .region_footprints
+            .binary_search_by_key(&start, |&(s, _)| s)
+        {
+            self.region_footprints.insert(pos, (start, len));
+        }
+    }
+
+    /// Coalescing efficiency of this segment's traffic.
+    pub fn coalescing_efficiency(&self) -> f64 {
+        if self.moved_bytes == 0.0 {
+            1.0
+        } else {
+            self.useful_bytes / self.moved_bytes
+        }
+    }
+}
+
+/// One barrier-delimited phase of a team: one segment per warp.
+///
+/// Warps that did nothing in the phase (e.g. the serial part of `main`,
+/// where only warp 0 works) carry empty segments and arrive at the barrier
+/// immediately.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    pub warps: Vec<MixedSeg>,
+    /// Human-readable label for diagnostics ("serial", "parallel_for", ...).
+    pub label: String,
+}
+
+impl Phase {
+    pub fn total_insts(&self) -> f64 {
+        self.warps.iter().map(|w| w.insts).sum()
+    }
+
+    pub fn total_moved_bytes(&self) -> f64 {
+        self.warps.iter().map(|w| w.moved_bytes).sum()
+    }
+}
+
+/// The complete trace of one team (one application instance under ensemble
+/// execution): an ordered list of barrier-delimited phases.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TeamTrace {
+    pub phases: Vec<Phase>,
+    /// Number of warps this team occupies.
+    pub warp_count: u32,
+}
+
+impl TeamTrace {
+    pub fn total_insts(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_insts()).sum()
+    }
+
+    pub fn total_moved_bytes(&self) -> f64 {
+        self.phases.iter().map(|p| p.total_moved_bytes()).sum()
+    }
+
+    pub fn total_useful_bytes(&self) -> f64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.warps)
+            .map(|w| w.useful_bytes)
+            .sum()
+    }
+
+    pub fn total_sectors(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.warps)
+            .map(|w| w.sectors)
+            .sum()
+    }
+
+    pub fn total_rpc_calls(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.warps)
+            .map(|w| w.rpc_calls)
+            .sum()
+    }
+
+    /// Distinct region tags across all phases.
+    pub fn region_tags(&self) -> Vec<u32> {
+        let mut tags: Vec<u32> = self
+            .phases
+            .iter()
+            .flat_map(|p| &p.warps)
+            .flat_map(|w| w.region_tags.iter().copied())
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        tags
+    }
+
+    /// Distinct region footprints across all phases.
+    pub fn region_footprints(&self) -> Vec<(u64, u64)> {
+        let mut fps: Vec<(u64, u64)> = self
+            .phases
+            .iter()
+            .flat_map(|p| &p.warps)
+            .flat_map(|w| w.region_footprints.iter().copied())
+            .collect();
+        fps.sort_unstable();
+        fps.dedup();
+        fps
+    }
+}
+
+/// The trace of one thread block. Under the default instance mapping a block
+/// holds exactly one team; under the §3.1 packed `(N/M, M, 1)` mapping it
+/// holds `M` independent teams that synchronize separately.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockTrace {
+    pub teams: Vec<TeamTrace>,
+    /// Static shared memory the block requested, bytes.
+    pub shared_mem_bytes: u64,
+}
+
+impl BlockTrace {
+    pub fn warp_count(&self) -> u32 {
+        self.teams.iter().map(|t| t.warp_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_and_dedups() {
+        let mut a = MixedSeg {
+            insts: 10.0,
+            moved_bytes: 64.0,
+            useful_bytes: 32.0,
+            sectors: 2,
+            region_tags: vec![1, 3],
+            region_footprints: vec![(100, 10)],
+            rpc_calls: 1,
+        };
+        let b = MixedSeg {
+            insts: 5.0,
+            moved_bytes: 32.0,
+            useful_bytes: 32.0,
+            sectors: 1,
+            region_tags: vec![2, 3],
+            region_footprints: vec![(100, 10), (200, 20)],
+            rpc_calls: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.insts, 15.0);
+        assert_eq!(a.sectors, 3);
+        assert_eq!(a.region_tags, vec![1, 2, 3]);
+        assert_eq!(a.region_footprints, vec![(100, 10), (200, 20)]);
+        assert_eq!(a.rpc_calls, 1);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let seg = MixedSeg {
+            moved_bytes: 128.0,
+            useful_bytes: 64.0,
+            ..Default::default()
+        };
+        assert!((seg.coalescing_efficiency() - 0.5).abs() < 1e-12);
+        assert!((MixedSeg::default().coalescing_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn team_trace_rollups() {
+        let seg = |i: f64, b: f64| MixedSeg {
+            insts: i,
+            moved_bytes: b,
+            useful_bytes: b,
+            sectors: (b / 32.0) as u64,
+            region_tags: vec![0],
+            region_footprints: vec![(0x1000, 4096)],
+            rpc_calls: 2,
+        };
+        let t = TeamTrace {
+            phases: vec![
+                Phase {
+                    warps: vec![seg(10.0, 64.0), seg(20.0, 32.0)],
+                    label: "p0".into(),
+                },
+                Phase {
+                    warps: vec![seg(5.0, 0.0)],
+                    label: "p1".into(),
+                },
+            ],
+            warp_count: 2,
+        };
+        assert_eq!(t.total_insts(), 35.0);
+        assert_eq!(t.total_moved_bytes(), 96.0);
+        assert_eq!(t.total_rpc_calls(), 6);
+        assert_eq!(t.region_tags(), vec![0]);
+        assert_eq!(t.region_footprints(), vec![(0x1000, 4096)]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the simulator's timing engine and functional
+//! execution layer.
+
+use gpu_arch::GpuSpec;
+use gpu_mem::DeviceMemory;
+use gpu_sim::{
+    simulate_timing, BlockTrace, MixedSeg, Phase, TeamCtx, TeamTrace, TimingInputs, TimingParams,
+};
+use proptest::prelude::*;
+
+fn block(warps: u32, insts: f64, bytes: f64) -> BlockTrace {
+    let seg = MixedSeg {
+        insts,
+        moved_bytes: bytes,
+        useful_bytes: bytes,
+        sectors: (bytes / 32.0) as u64,
+        ..Default::default()
+    };
+    BlockTrace {
+        teams: vec![TeamTrace {
+            phases: vec![Phase {
+                warps: (0..warps).map(|_| seg.clone()).collect(),
+                label: "p".into(),
+            }],
+            warp_count: warps,
+        }],
+        shared_mem_bytes: 0,
+    }
+}
+
+fn run(blocks: &[BlockTrace]) -> f64 {
+    let spec = GpuSpec::a100_40gb();
+    let params = TimingParams::default();
+    simulate_timing(&TimingInputs {
+        spec: &spec,
+        blocks,
+        params: &params,
+        footprint_multiplier: 1.0,
+    })
+    .cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Time is monotone in work: more instructions never finish sooner.
+    #[test]
+    fn time_monotone_in_insts(warps in 1u32..16, insts in 10.0f64..100_000.0, bytes in 0.0f64..100_000.0) {
+        let t1 = run(&[block(warps, insts, bytes)]);
+        let t2 = run(&[block(warps, insts * 2.0, bytes)]);
+        prop_assert!(t2 >= t1 - 1e-6, "{t2} < {t1}");
+    }
+
+    /// Time is monotone in traffic.
+    #[test]
+    fn time_monotone_in_bytes(warps in 1u32..16, insts in 10.0f64..100_000.0, bytes in 32.0f64..100_000.0) {
+        let t1 = run(&[block(warps, insts, bytes)]);
+        let t2 = run(&[block(warps, insts, bytes * 2.0)]);
+        prop_assert!(t2 >= t1 - 1e-6, "{t2} < {t1}");
+    }
+
+    /// Adding blocks never speeds the kernel up (ensemble speedup is at
+    /// most linear).
+    #[test]
+    fn more_blocks_never_faster(warps in 1u32..8, insts in 10.0f64..50_000.0, bytes in 0.0f64..50_000.0, n in 2usize..32) {
+        let one = run(&[block(warps, insts, bytes)]);
+        let many: Vec<BlockTrace> = (0..n).map(|_| block(warps, insts, bytes)).collect();
+        let t = run(&many);
+        prop_assert!(t >= one - 1e-6, "{t} < {one}");
+        // ...and never slower than fully serialized execution.
+        prop_assert!(t <= one * n as f64 + 1e-6, "{t} > {}", one * n as f64);
+    }
+
+    /// Work conservation: a pure-compute kernel's duration is at least
+    /// total_insts / device_issue_capacity.
+    #[test]
+    fn compute_lower_bound(blocks_n in 1usize..16, warps in 1u32..8, insts in 100.0f64..10_000.0) {
+        let spec = GpuSpec::a100_40gb();
+        let blocks: Vec<BlockTrace> = (0..blocks_n).map(|_| block(warps, insts, 0.0)).collect();
+        let t = run(&blocks);
+        let total = blocks_n as f64 * warps as f64 * insts;
+        let cap = spec.sm_count as f64 * spec.issue_slots_per_sm as f64;
+        prop_assert!(t >= total / cap - 1e-6);
+        // Per-warp IPC cap of 1 also bounds from below.
+        prop_assert!(t >= insts - 1e-6);
+    }
+
+    /// Functional execution: a parallel fill with arbitrary lane counts
+    /// always produces the right array, whatever the thread limit.
+    #[test]
+    fn parallel_fill_correct_for_any_thread_limit(lanes in 1u32..257, trip in 1u64..2_000) {
+        let mut mem = DeviceMemory::new(1 << 22);
+        let buf = mem.alloc(trip * 8).unwrap();
+        let mut ctx = TeamCtx::new(&mut mem, 0, 1, lanes, 0, 48 << 10);
+        ctx.parallel_for("fill", trip, |i, lane| lane.st_idx::<f64>(buf, i, i as f64 * 3.0))
+            .unwrap();
+        drop(ctx);
+        for i in (0..trip).step_by((trip as usize / 7).max(1)) {
+            prop_assert_eq!(mem.load::<f64>(buf.elem_add::<f64>(i)).unwrap(), i as f64 * 3.0);
+        }
+    }
+
+    /// Trace totals are schedule-invariant: the same loop traced with
+    /// different thread limits asks for the same useful bytes.
+    #[test]
+    fn useful_bytes_schedule_invariant(lanes_a in 1u32..129, lanes_b in 1u32..129, trip in 1u64..1_000) {
+        let useful = |lanes: u32| {
+            let mut mem = DeviceMemory::new(1 << 22);
+            let buf = mem.alloc(trip * 8).unwrap();
+            let mut ctx = TeamCtx::new(&mut mem, 0, 1, lanes, 0, 48 << 10);
+            ctx.parallel_for("fill", trip, |i, lane| lane.st_idx::<f64>(buf, i, 0.0))
+                .unwrap();
+            ctx.finish().total_useful_bytes()
+        };
+        prop_assert_eq!(useful(lanes_a), useful(lanes_b));
+    }
+}

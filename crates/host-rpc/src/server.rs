@@ -1,0 +1,143 @@
+use crate::proto::{Request, Response};
+use crate::services::HostServices;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use std::thread::JoinHandle;
+
+enum Message {
+    Call(Request, Sender<Response>),
+    Shutdown,
+}
+
+/// Device-side handle to the RPC service thread. Cheap to clone; every
+/// clone shares the same queue, like all device stubs sharing the single
+/// host channel of the direct-GPU-compilation framework.
+#[derive(Clone)]
+pub struct RpcClient {
+    tx: Sender<Message>,
+}
+
+impl RpcClient {
+    /// Perform one blocking round trip.
+    pub fn call(&self, req: Request) -> Result<Response, String> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Message::Call(req, rtx))
+            .map_err(|_| "RPC server is gone".to_string())?;
+        rrx.recv().map_err(|_| "RPC server dropped reply".to_string())
+    }
+
+    /// Round trip with raw encoded payloads — the shape the simulator's
+    /// host-call hook expects.
+    pub fn call_raw(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
+        let req = Request::decode(payload).map_err(|e| e.to_string())?;
+        Ok(self.call(req)?.encode())
+    }
+}
+
+/// The dedicated host service thread (paper Fig. 2, "RPC thread").
+pub struct RpcServer {
+    handle: JoinHandle<HostServices>,
+    tx: Sender<Message>,
+}
+
+impl RpcServer {
+    /// Spawn the service thread around `services`.
+    pub fn spawn(services: HostServices) -> (RpcServer, RpcClient) {
+        let (tx, rx) = unbounded::<Message>();
+        let handle = std::thread::Builder::new()
+            .name("host-rpc".into())
+            .spawn(move || {
+                let mut services = services;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Message::Call(req, reply) => {
+                            let resp = services.handle(req);
+                            // A dropped caller is not an error for the server.
+                            let _ = reply.send(resp);
+                        }
+                        Message::Shutdown => break,
+                    }
+                }
+                services
+            })
+            .expect("spawn host-rpc thread");
+        let client = RpcClient { tx: tx.clone() };
+        (RpcServer { handle, tx }, client)
+    }
+
+    /// Stop the thread and recover the services (captured stdout, files,
+    /// exit codes, statistics).
+    pub fn shutdown(self) -> HostServices {
+        // The channel may already be disconnected if every client dropped.
+        let _ = self.tx.send(Message::Shutdown);
+        self.handle.join().expect("host-rpc thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_thread() {
+        let (server, client) = RpcServer::spawn(HostServices::default());
+        let resp = client
+            .call(Request::Stdout {
+                instance: 0,
+                text: "ping\n".into(),
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        let services = server.shutdown();
+        assert_eq!(services.stdout_of(0), "ping\n");
+    }
+
+    #[test]
+    fn raw_roundtrip_matches_typed() {
+        let (server, client) = RpcServer::spawn(HostServices::default());
+        let req = Request::Clock { instance: 1 };
+        let raw = client.call_raw(&req.encode()).unwrap();
+        assert!(matches!(Response::decode(&raw).unwrap(), Response::Clock(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_clients_interleave() {
+        let (server, client) = RpcServer::spawn(HostServices::default());
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let c = client.clone();
+            handles.push(std::thread::spawn(move || {
+                for k in 0..50 {
+                    c.call(Request::Stdout {
+                        instance: i,
+                        text: format!("{k} "),
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let services = server.shutdown();
+        for i in 0..8u32 {
+            assert_eq!(services.stdout_of(i).split_whitespace().count(), 50);
+        }
+        assert_eq!(services.stats().stdio_calls, 400);
+    }
+
+    #[test]
+    fn call_after_shutdown_errors() {
+        let (server, client) = RpcServer::spawn(HostServices::default());
+        server.shutdown();
+        assert!(client.call(Request::Clock { instance: 0 }).is_err());
+    }
+
+    #[test]
+    fn malformed_raw_payload_is_an_error() {
+        let (server, client) = RpcServer::spawn(HostServices::default());
+        assert!(client.call_raw(&[250, 1, 2]).is_err());
+        server.shutdown();
+    }
+}

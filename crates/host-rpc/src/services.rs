@@ -1,0 +1,598 @@
+use crate::proto::{Request, Response};
+use std::collections::BTreeMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Where the file-system service keeps its files.
+pub enum FsBackend {
+    /// Deterministic in-memory file system (the default; tests and the
+    /// benchmark harness use this).
+    InMemory(BTreeMap<String, Vec<u8>>),
+    /// A real directory on the host, used as a sandbox root. Paths are
+    /// resolved strictly inside it.
+    Directory(std::path::PathBuf),
+}
+
+impl Default for FsBackend {
+    fn default() -> Self {
+        FsBackend::InMemory(BTreeMap::new())
+    }
+}
+
+/// Per-service call counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RpcStats {
+    pub stdio_calls: u64,
+    pub fs_calls: u64,
+    pub clock_calls: u64,
+    pub exit_calls: u64,
+    pub errors: u64,
+}
+
+impl RpcStats {
+    pub fn total(&self) -> u64 {
+        self.stdio_calls + self.fs_calls + self.clock_calls + self.exit_calls
+    }
+}
+
+enum OpenMode {
+    Read,
+    Write,
+    Append,
+}
+
+struct OpenFile {
+    path: String,
+    pos: u64,
+    mode: OpenMode,
+    /// Directory-backed files keep a real handle; in-memory files operate
+    /// on the map directly.
+    real: Option<std::fs::File>,
+}
+
+/// Host-side implementations of every RPC service.
+///
+/// One `HostServices` instance backs one loader run; all application
+/// instances of an ensemble share it, demultiplexed by instance id.
+pub struct HostServices {
+    fs: FsBackend,
+    /// Per-instance accumulated stdout.
+    stdout: BTreeMap<u32, String>,
+    stderr: BTreeMap<u32, String>,
+    /// Per-instance exit codes from explicit `exit()` calls.
+    exit_codes: BTreeMap<u32, i32>,
+    open_files: BTreeMap<u32, OpenFile>,
+    next_fd: u32,
+    /// Deterministic logical clock: advances a fixed quantum per query.
+    clock_ns: u64,
+    clock_step_ns: u64,
+    stats: RpcStats,
+    /// Echo stdout lines to the real stdout as they arrive.
+    pub echo: bool,
+}
+
+impl Default for HostServices {
+    fn default() -> Self {
+        Self::new(FsBackend::default())
+    }
+}
+
+impl HostServices {
+    pub fn new(fs: FsBackend) -> Self {
+        Self {
+            fs,
+            stdout: BTreeMap::new(),
+            stderr: BTreeMap::new(),
+            exit_codes: BTreeMap::new(),
+            open_files: BTreeMap::new(),
+            next_fd: 3, // 0-2 reserved, as on a real host
+            clock_ns: 0,
+            clock_step_ns: 1_000,
+            stats: RpcStats::default(),
+            echo: false,
+        }
+    }
+
+    /// Pre-populate an in-memory file (panics on a directory backend).
+    pub fn add_file(&mut self, path: &str, contents: Vec<u8>) {
+        match &mut self.fs {
+            FsBackend::InMemory(map) => {
+                map.insert(path.to_string(), contents);
+            }
+            FsBackend::Directory(_) => {
+                panic!("add_file is only supported on the in-memory backend")
+            }
+        }
+    }
+
+    /// Captured stdout of one instance.
+    pub fn stdout_of(&self, instance: u32) -> &str {
+        self.stdout.get(&instance).map(String::as_str).unwrap_or("")
+    }
+
+    /// Captured stderr of one instance.
+    pub fn stderr_of(&self, instance: u32) -> &str {
+        self.stderr.get(&instance).map(String::as_str).unwrap_or("")
+    }
+
+    /// Exit code recorded by an explicit `exit()` call, if any.
+    pub fn exit_code_of(&self, instance: u32) -> Option<i32> {
+        self.exit_codes.get(&instance).copied()
+    }
+
+    /// Contents of an in-memory file after the run.
+    pub fn file_contents(&self, path: &str) -> Option<&[u8]> {
+        match &self.fs {
+            FsBackend::InMemory(map) => map.get(path).map(Vec::as_slice),
+            FsBackend::Directory(_) => None,
+        }
+    }
+
+    pub fn stats(&self) -> RpcStats {
+        self.stats
+    }
+
+    /// Dispatch one request. Never panics on malformed input; failures come
+    /// back as [`Response::Err`].
+    pub fn handle(&mut self, req: Request) -> Response {
+        let resp = self.dispatch(req);
+        if matches!(resp, Response::Err(_)) {
+            self.stats.errors += 1;
+        }
+        resp
+    }
+
+    fn dispatch(&mut self, req: Request) -> Response {
+        match req {
+            Request::Stdout { instance, text } => {
+                self.stats.stdio_calls += 1;
+                if self.echo {
+                    print!("{text}");
+                }
+                self.stdout.entry(instance).or_default().push_str(&text);
+                Response::Ok
+            }
+            Request::Stderr { instance, text } => {
+                self.stats.stdio_calls += 1;
+                self.stderr.entry(instance).or_default().push_str(&text);
+                Response::Ok
+            }
+            Request::FOpen {
+                instance: _,
+                path,
+                mode,
+            } => {
+                self.stats.fs_calls += 1;
+                self.fopen(&path, &mode)
+            }
+            Request::FClose { instance: _, fd } => {
+                self.stats.fs_calls += 1;
+                match self.open_files.remove(&fd) {
+                    Some(_) => Response::Ok,
+                    None => Response::Err(format!("bad fd {fd}")),
+                }
+            }
+            Request::FRead {
+                instance: _,
+                fd,
+                len,
+            } => {
+                self.stats.fs_calls += 1;
+                self.fread(fd, len)
+            }
+            Request::FWrite {
+                instance: _,
+                fd,
+                data,
+            } => {
+                self.stats.fs_calls += 1;
+                self.fwrite(fd, &data)
+            }
+            Request::FSeek {
+                instance: _,
+                fd,
+                offset,
+                whence,
+            } => {
+                self.stats.fs_calls += 1;
+                self.fseek(fd, offset, whence)
+            }
+            Request::Clock { instance: _ } => {
+                self.stats.clock_calls += 1;
+                self.clock_ns += self.clock_step_ns;
+                Response::Clock(self.clock_ns)
+            }
+            Request::Exit { instance, code } => {
+                self.stats.exit_calls += 1;
+                self.exit_codes.insert(instance, code);
+                Response::Ok
+            }
+        }
+    }
+
+    fn fopen(&mut self, path: &str, mode: &str) -> Response {
+        let mode = match mode.trim_end_matches('b') {
+            "r" => OpenMode::Read,
+            "w" => OpenMode::Write,
+            "a" => OpenMode::Append,
+            m => return Response::Err(format!("unsupported mode '{m}'")),
+        };
+        if path.contains("..") {
+            return Response::Err("path escapes the sandbox".into());
+        }
+        let real = match &self.fs {
+            FsBackend::InMemory(map) => {
+                match mode {
+                    OpenMode::Read => {
+                        if !map.contains_key(path) {
+                            return Response::Err(format!("no such file: {path}"));
+                        }
+                    }
+                    OpenMode::Write | OpenMode::Append => {}
+                }
+                None
+            }
+            FsBackend::Directory(root) => {
+                let full = root.join(path);
+                let file = match mode {
+                    OpenMode::Read => std::fs::File::open(&full),
+                    OpenMode::Write => std::fs::File::create(&full),
+                    OpenMode::Append => std::fs::OpenOptions::new()
+                        .append(true)
+                        .create(true)
+                        .open(&full),
+                };
+                match file {
+                    Ok(f) => Some(f),
+                    Err(e) => return Response::Err(format!("open {path}: {e}")),
+                }
+            }
+        };
+        // In-memory writes truncate on open, matching "w" semantics.
+        if let (FsBackend::InMemory(map), OpenMode::Write) = (&mut self.fs, &mode) {
+            map.insert(path.to_string(), Vec::new());
+        }
+        if let (FsBackend::InMemory(map), OpenMode::Append) = (&mut self.fs, &mode) {
+            map.entry(path.to_string()).or_default();
+        }
+        let pos = match (&self.fs, &mode) {
+            (FsBackend::InMemory(map), OpenMode::Append) => {
+                map.get(path).map(|v| v.len() as u64).unwrap_or(0)
+            }
+            _ => 0,
+        };
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.open_files.insert(
+            fd,
+            OpenFile {
+                path: path.to_string(),
+                pos,
+                mode,
+                real,
+            },
+        );
+        Response::Fd(fd)
+    }
+
+    fn fread(&mut self, fd: u32, len: u32) -> Response {
+        let Some(file) = self.open_files.get_mut(&fd) else {
+            return Response::Err(format!("bad fd {fd}"));
+        };
+        if matches!(file.mode, OpenMode::Write | OpenMode::Append) {
+            return Response::Err("file not open for reading".into());
+        }
+        if let Some(real) = &mut file.real {
+            let mut buf = vec![0u8; len as usize];
+            match real.read(&mut buf) {
+                Ok(n) => {
+                    buf.truncate(n);
+                    file.pos += n as u64;
+                    Response::Bytes(buf)
+                }
+                Err(e) => Response::Err(format!("read: {e}")),
+            }
+        } else {
+            let FsBackend::InMemory(map) = &self.fs else {
+                unreachable!("in-memory handle on directory backend")
+            };
+            let Some(data) = map.get(&file.path) else {
+                return Response::Err(format!("file vanished: {}", file.path));
+            };
+            let start = (file.pos as usize).min(data.len());
+            let end = (start + len as usize).min(data.len());
+            file.pos = end as u64;
+            Response::Bytes(data[start..end].to_vec())
+        }
+    }
+
+    fn fwrite(&mut self, fd: u32, data: &[u8]) -> Response {
+        let Some(file) = self.open_files.get_mut(&fd) else {
+            return Response::Err(format!("bad fd {fd}"));
+        };
+        if matches!(file.mode, OpenMode::Read) {
+            return Response::Err("file not open for writing".into());
+        }
+        if let Some(real) = &mut file.real {
+            match real.write_all(data) {
+                Ok(()) => {
+                    file.pos += data.len() as u64;
+                    Response::Written(data.len() as u32)
+                }
+                Err(e) => Response::Err(format!("write: {e}")),
+            }
+        } else {
+            let FsBackend::InMemory(map) = &mut self.fs else {
+                unreachable!("in-memory handle on directory backend")
+            };
+            let buf = map.entry(file.path.clone()).or_default();
+            let pos = file.pos as usize;
+            if buf.len() < pos + data.len() {
+                buf.resize(pos + data.len(), 0);
+            }
+            buf[pos..pos + data.len()].copy_from_slice(data);
+            file.pos += data.len() as u64;
+            Response::Written(data.len() as u32)
+        }
+    }
+
+    fn fseek(&mut self, fd: u32, offset: i64, whence: u8) -> Response {
+        let Some(file) = self.open_files.get_mut(&fd) else {
+            return Response::Err(format!("bad fd {fd}"));
+        };
+        let end = if let Some(real) = &mut file.real {
+            match real.seek(SeekFrom::End(0)) {
+                Ok(e) => e,
+                Err(e) => return Response::Err(format!("seek: {e}")),
+            }
+        } else {
+            let FsBackend::InMemory(map) = &self.fs else {
+                unreachable!("in-memory handle on directory backend")
+            };
+            map.get(&file.path).map(|v| v.len() as u64).unwrap_or(0)
+        };
+        let base = match whence {
+            0 => 0i64,
+            1 => file.pos as i64,
+            2 => end as i64,
+            w => return Response::Err(format!("bad whence {w}")),
+        };
+        let target = base + offset;
+        if target < 0 {
+            return Response::Err("seek before start".into());
+        }
+        file.pos = target as u64;
+        if let Some(real) = &mut file.real {
+            if let Err(e) = real.seek(SeekFrom::Start(file.pos)) {
+                return Response::Err(format!("seek: {e}"));
+            }
+        }
+        Response::Pos(file.pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdout_demultiplexes_by_instance() {
+        let mut s = HostServices::default();
+        s.handle(Request::Stdout {
+            instance: 0,
+            text: "a".into(),
+        });
+        s.handle(Request::Stdout {
+            instance: 1,
+            text: "b".into(),
+        });
+        s.handle(Request::Stdout {
+            instance: 0,
+            text: "c".into(),
+        });
+        assert_eq!(s.stdout_of(0), "ac");
+        assert_eq!(s.stdout_of(1), "b");
+        assert_eq!(s.stdout_of(2), "");
+        assert_eq!(s.stats().stdio_calls, 3);
+    }
+
+    #[test]
+    fn file_write_read_roundtrip() {
+        let mut s = HostServices::default();
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "out.bin".into(),
+            mode: "w".into(),
+        }) else {
+            panic!("open failed")
+        };
+        assert_eq!(
+            s.handle(Request::FWrite {
+                instance: 0,
+                fd,
+                data: vec![1, 2, 3, 4]
+            }),
+            Response::Written(4)
+        );
+        s.handle(Request::FClose { instance: 0, fd });
+
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "out.bin".into(),
+            mode: "r".into(),
+        }) else {
+            panic!("reopen failed")
+        };
+        assert_eq!(
+            s.handle(Request::FRead {
+                instance: 0,
+                fd,
+                len: 10
+            }),
+            Response::Bytes(vec![1, 2, 3, 4])
+        );
+        // EOF returns empty.
+        assert_eq!(
+            s.handle(Request::FRead {
+                instance: 0,
+                fd,
+                len: 10
+            }),
+            Response::Bytes(vec![])
+        );
+    }
+
+    #[test]
+    fn open_missing_file_fails() {
+        let mut s = HostServices::default();
+        assert!(matches!(
+            s.handle(Request::FOpen {
+                instance: 0,
+                path: "nope".into(),
+                mode: "r".into()
+            }),
+            Response::Err(_)
+        ));
+        assert_eq!(s.stats().errors, 1);
+    }
+
+    #[test]
+    fn sandbox_escape_rejected() {
+        let mut s = HostServices::default();
+        assert!(matches!(
+            s.handle(Request::FOpen {
+                instance: 0,
+                path: "../etc/passwd".into(),
+                mode: "r".into()
+            }),
+            Response::Err(_)
+        ));
+    }
+
+    #[test]
+    fn seek_semantics() {
+        let mut s = HostServices::default();
+        s.add_file("f", vec![10, 20, 30, 40, 50]);
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "f".into(),
+            mode: "r".into(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(
+            s.handle(Request::FSeek {
+                instance: 0,
+                fd,
+                offset: -2,
+                whence: 2
+            }),
+            Response::Pos(3)
+        );
+        assert_eq!(
+            s.handle(Request::FRead {
+                instance: 0,
+                fd,
+                len: 10
+            }),
+            Response::Bytes(vec![40, 50])
+        );
+        assert!(matches!(
+            s.handle(Request::FSeek {
+                instance: 0,
+                fd,
+                offset: -100,
+                whence: 0
+            }),
+            Response::Err(_)
+        ));
+    }
+
+    #[test]
+    fn append_mode_appends() {
+        let mut s = HostServices::default();
+        s.add_file("log", b"abc".to_vec());
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "log".into(),
+            mode: "a".into(),
+        }) else {
+            panic!()
+        };
+        s.handle(Request::FWrite {
+            instance: 0,
+            fd,
+            data: b"def".to_vec(),
+        });
+        assert_eq!(s.file_contents("log").unwrap(), b"abcdef");
+    }
+
+    #[test]
+    fn read_on_write_handle_fails() {
+        let mut s = HostServices::default();
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "w".into(),
+            mode: "w".into(),
+        }) else {
+            panic!()
+        };
+        assert!(matches!(
+            s.handle(Request::FRead {
+                instance: 0,
+                fd,
+                len: 1
+            }),
+            Response::Err(_)
+        ));
+    }
+
+    #[test]
+    fn clock_is_deterministic_and_monotone() {
+        let mut s = HostServices::default();
+        let Response::Clock(a) = s.handle(Request::Clock { instance: 0 }) else {
+            panic!()
+        };
+        let Response::Clock(b) = s.handle(Request::Clock { instance: 1 }) else {
+            panic!()
+        };
+        assert!(b > a);
+        let mut s2 = HostServices::default();
+        let Response::Clock(a2) = s2.handle(Request::Clock { instance: 0 }) else {
+            panic!()
+        };
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn exit_codes_recorded_per_instance() {
+        let mut s = HostServices::default();
+        s.handle(Request::Exit {
+            instance: 2,
+            code: 7,
+        });
+        assert_eq!(s.exit_code_of(2), Some(7));
+        assert_eq!(s.exit_code_of(0), None);
+    }
+
+    #[test]
+    fn directory_backend_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("hostrpc-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = HostServices::new(FsBackend::Directory(dir.clone()));
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "t.bin".into(),
+            mode: "w".into(),
+        }) else {
+            panic!()
+        };
+        s.handle(Request::FWrite {
+            instance: 0,
+            fd,
+            data: vec![7, 8, 9],
+        });
+        s.handle(Request::FClose { instance: 0, fd });
+        assert_eq!(std::fs::read(dir.join("t.bin")).unwrap(), vec![7, 8, 9]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

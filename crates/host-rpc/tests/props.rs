@@ -1,0 +1,95 @@
+//! Property-based tests for the RPC wire protocol and file service.
+
+use host_rpc::{FsBackend, HostServices, Request, Response};
+use proptest::prelude::*;
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (any::<u32>(), ".*").prop_map(|(instance, text)| Request::Stdout { instance, text }),
+        (any::<u32>(), ".*").prop_map(|(instance, text)| Request::Stderr { instance, text }),
+        (any::<u32>(), "[a-z./-]{1,40}", "[rwa]b?").prop_map(|(instance, path, mode)| {
+            Request::FOpen { instance, path, mode }
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(instance, fd)| Request::FClose { instance, fd }),
+        (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(instance, fd, len)| Request::FRead { instance, fd, len }),
+        (any::<u32>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(instance, fd, data)| Request::FWrite { instance, fd, data }),
+        (any::<u32>(), any::<u32>(), any::<i64>(), 0u8..3).prop_map(
+            |(instance, fd, offset, whence)| Request::FSeek { instance, fd, offset, whence }
+        ),
+        any::<u32>().prop_map(|instance| Request::Clock { instance }),
+        (any::<u32>(), any::<i32>()).prop_map(|(instance, code)| Request::Exit { instance, code }),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<u32>().prop_map(Response::Fd),
+        prop::collection::vec(any::<u8>(), 0..300).prop_map(Response::Bytes),
+        any::<u32>().prop_map(Response::Written),
+        any::<u64>().prop_map(Response::Pos),
+        any::<u64>().prop_map(Response::Clock),
+        ".*".prop_map(Response::Err),
+    ]
+}
+
+proptest! {
+    /// Every request survives encode → decode.
+    #[test]
+    fn request_roundtrip(req in arb_request()) {
+        prop_assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+    }
+
+    /// Every response survives encode → decode.
+    #[test]
+    fn response_roundtrip(resp in arb_response()) {
+        prop_assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// The service dispatcher never panics on arbitrary well-formed
+    /// requests, and sandbox escapes always fail.
+    #[test]
+    fn services_never_panic(reqs in prop::collection::vec(arb_request(), 1..60)) {
+        let mut s = HostServices::new(FsBackend::default());
+        for r in reqs {
+            let escape = matches!(&r, Request::FOpen { path, .. } if path.contains(".."));
+            let resp = s.handle(r);
+            if escape {
+                prop_assert!(matches!(resp, Response::Err(_)));
+            }
+        }
+    }
+
+    /// Whatever bytes are written to a file read back identically.
+    #[test]
+    fn file_write_read_identity(data in prop::collection::vec(any::<u8>(), 0..500)) {
+        let mut s = HostServices::default();
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "f".into(),
+            mode: "w".into(),
+        }) else { panic!("open") };
+        s.handle(Request::FWrite { instance: 0, fd, data: data.clone() });
+        s.handle(Request::FClose { instance: 0, fd });
+        let Response::Fd(fd) = s.handle(Request::FOpen {
+            instance: 0,
+            path: "f".into(),
+            mode: "r".into(),
+        }) else { panic!("reopen") };
+        let Response::Bytes(read) = s.handle(Request::FRead {
+            instance: 0,
+            fd,
+            len: data.len() as u32 + 10,
+        }) else { panic!("read") };
+        prop_assert_eq!(read, data);
+    }
+}

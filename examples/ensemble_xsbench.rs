@@ -1,0 +1,46 @@
+//! The paper's headline scenario: XSBench under ensemble execution.
+//!
+//! Sweeps the instance count at both thread limits and prints the relative
+//! speedup table (`T1·N/TN`, Figure 6's metric), demonstrating how mapping
+//! each application instance to one team fills the GPU that single-team
+//! direct compilation leaves idle.
+//!
+//! ```text
+//! cargo run --release --example ensemble_xsbench
+//! ```
+
+use ensemble_gpu::core::{relative_speedup, run_ensemble, EnsembleOptions};
+use ensemble_gpu::rpc::HostServices;
+use ensemble_gpu::sim::Gpu;
+
+fn main() {
+    let app = ensemble_gpu::apps::xsbench::app();
+    let args = vec![vec!["-l".to_string(), "300".into(), "-g".into(), "24".into()]];
+
+    for thread_limit in [32u32, 1024] {
+        println!("thread limit {thread_limit}:");
+        println!("{:>6} {:>12} {:>10} {:>10}", "N", "kernel ms", "speedup", "linear");
+        let mut t1 = None;
+        for n in [1u32, 2, 4, 8, 16, 32, 64] {
+            let mut gpu = Gpu::a100();
+            let opts = EnsembleOptions {
+                num_instances: n,
+                thread_limit,
+                ..Default::default()
+            };
+            let res = run_ensemble(&mut gpu, &app, &args, &opts, HostServices::default())
+                .expect("xsbench ensembles launch");
+            assert!(res.all_succeeded(), "instances must succeed");
+            let t = res.kernel_time_s;
+            let t1 = *t1.get_or_insert(t);
+            println!(
+                "{n:>6} {:>12.3} {:>10.1} {n:>10}",
+                t * 1e3,
+                relative_speedup(t1, n, t)
+            );
+        }
+        println!();
+    }
+    println!("(compare Figure 6 of the paper: sublinear scaling with a");
+    println!(" knee past 16 instances, up to ~51x at 64 instances)");
+}

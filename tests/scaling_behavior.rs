@@ -1,0 +1,160 @@
+//! Integration tests asserting the paper's §4.3 observations hold on the
+//! simulated device — the qualitative content of Figure 6.
+//!
+//! These use reduced workload sizes so the whole file runs in seconds; the
+//! full-size sweep lives in the `figure6` binary and the criterion benches.
+
+use ensemble_gpu::core::{relative_speedup, run_ensemble, EnsembleOptions, HostApp};
+use ensemble_gpu::rpc::HostServices;
+use ensemble_gpu::sim::Gpu;
+
+fn kernel_time(app: &HostApp, argv: &[&str], n: u32, thread_limit: u32) -> Option<f64> {
+    let mut gpu = Gpu::a100();
+    let opts = EnsembleOptions {
+        num_instances: n,
+        thread_limit,
+        ..Default::default()
+    };
+    let lines = vec![argv.iter().map(|s| s.to_string()).collect()];
+    let res = run_ensemble(&mut gpu, app, &lines, &opts, HostServices::default()).unwrap();
+    if res.any_oom() {
+        return None;
+    }
+    assert!(res.all_succeeded());
+    Some(res.kernel_time_s)
+}
+
+fn speedup_curve(app: &HostApp, argv: &[&str], thread_limit: u32, ns: &[u32]) -> Vec<f64> {
+    let t1 = kernel_time(app, argv, 1, thread_limit).expect("single instance runs");
+    ns.iter()
+        .map(|&n| {
+            let tn = kernel_time(app, argv, n, thread_limit).expect("config runs");
+            relative_speedup(t1, n, tn)
+        })
+        .collect()
+}
+
+const NS: [u32; 5] = [2, 4, 8, 16, 32];
+
+#[test]
+fn all_benchmarks_scale_sublinearly_but_monotonically() {
+    let cases: Vec<(HostApp, Vec<&str>)> = vec![
+        (ensemble_gpu::apps::xsbench::app(), vec!["-l", "60", "-g", "12"]),
+        (ensemble_gpu::apps::rsbench::app(), vec!["-l", "60", "-w", "8"]),
+        (ensemble_gpu::apps::amgmk::app(), vec!["-n", "6", "-s", "4"]),
+    ];
+    for (app, argv) in cases {
+        for tl in [32u32, 1024] {
+            let curve = speedup_curve(&app, &argv, tl, &NS);
+            for (i, (&n, &s)) in NS.iter().zip(&curve).enumerate() {
+                assert!(
+                    s <= n as f64 * 1.001,
+                    "{} tl={tl}: superlinear at n={n}: {s}",
+                    app.name
+                );
+                assert!(s >= 1.0, "{} tl={tl}: slowdown at n={n}: {s}", app.name);
+                if i > 0 {
+                    assert!(
+                        s >= curve[i - 1] * 0.95,
+                        "{} tl={tl}: non-monotone curve {curve:?}",
+                        app.name
+                    );
+                }
+            }
+            // Real parallelism: 32 instances deliver at least 10x.
+            assert!(
+                *curve.last().unwrap() > 10.0,
+                "{} tl={tl}: too little ensemble benefit: {curve:?}",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scaling_gap_grows_with_instances() {
+    // §4.3: "As the number of instances increased, the scaling gap became
+    // more pronounced" — efficiency (speedup / N) decreases with N.
+    let app = ensemble_gpu::apps::xsbench::app();
+    let curve = speedup_curve(&app, &["-l", "60", "-g", "12"], 32, &NS);
+    let effs: Vec<f64> = NS.iter().zip(&curve).map(|(&n, &s)| s / n as f64).collect();
+    for w in effs.windows(2) {
+        assert!(w[1] <= w[0] + 1e-6, "efficiency increased: {effs:?}");
+    }
+}
+
+#[test]
+fn amgmk_suffers_most_at_thread_limit_1024() {
+    // §4.3: the gap is "particularly notable in the case of AMGmk with a
+    // thread limit of 1024". This needs the full-size workload — a
+    // 216-row matrix cannot occupy 1024 threads, let alone stress DRAM.
+    let amg = ensemble_gpu::apps::amgmk::app();
+    let xs = ensemble_gpu::apps::xsbench::app();
+    let rs = ensemble_gpu::apps::rsbench::app();
+    let amg_s = speedup_curve(&amg, &["-n", "10", "-s", "6"], 1024, &[64])[0];
+    let xs_s = speedup_curve(&xs, &["-l", "120", "-g", "16"], 1024, &[64])[0];
+    let rs_s = speedup_curve(&rs, &["-l", "120", "-w", "8"], 1024, &[64])[0];
+    assert!(
+        amg_s < xs_s && amg_s < rs_s,
+        "AMGmk must scale worst at 1024: amg={amg_s:.1} xs={xs_s:.1} rs={rs_s:.1}"
+    );
+}
+
+#[test]
+fn amgmk_loses_more_at_1024_than_at_32() {
+    let amg = ensemble_gpu::apps::amgmk::app();
+    let s32 = speedup_curve(&amg, &["-n", "10", "-s", "6"], 32, &[64])[0];
+    let s1024 = speedup_curve(&amg, &["-n", "10", "-s", "6"], 1024, &[64])[0];
+    assert!(
+        s1024 < s32,
+        "AMGmk: thread limit 1024 ({s1024:.1}x) must scale worse than 32 ({s32:.1}x)"
+    );
+}
+
+#[test]
+fn compute_bound_rsbench_scales_best() {
+    let rs = ensemble_gpu::apps::rsbench::app();
+    let xs = ensemble_gpu::apps::xsbench::app();
+    for tl in [32u32, 1024] {
+        let rs_s = speedup_curve(&rs, &["-l", "60", "-w", "8"], tl, &[32])[0];
+        let xs_s = speedup_curve(&xs, &["-l", "60", "-g", "12"], tl, &[32])[0];
+        assert!(
+            rs_s >= xs_s * 0.98,
+            "tl={tl}: RSBench ({rs_s:.1}x) should scale at least as well as XSBench ({xs_s:.1}x)"
+        );
+    }
+}
+
+#[test]
+fn pagerank_oom_matches_paper_boundary() {
+    // §4.3: results only for 2 and 4 instances of Page-Rank.
+    let pr = ensemble_gpu::apps::pagerank::app();
+    let argv = ["-v", "400", "-d", "4", "-i", "2"];
+    assert!(kernel_time(&pr, &argv, 2, 32).is_some());
+    assert!(kernel_time(&pr, &argv, 4, 32).is_some());
+    assert!(kernel_time(&pr, &argv, 8, 32).is_none());
+    assert!(kernel_time(&pr, &argv, 16, 32).is_none());
+}
+
+#[test]
+fn single_team_cannot_saturate_the_gpu() {
+    // The paper's motivation: one team leaves the device mostly idle; the
+    // issue and DRAM utilization of a 1-instance launch must be tiny.
+    let app = ensemble_gpu::apps::xsbench::app();
+    let mut gpu = Gpu::a100();
+    let opts = EnsembleOptions {
+        num_instances: 1,
+        thread_limit: 1024,
+        ..Default::default()
+    };
+    let res = run_ensemble(
+        &mut gpu,
+        &app,
+        &[vec!["-l".into(), "60".into(), "-g".into(), "12".into()]],
+        &opts,
+        HostServices::default(),
+    )
+    .unwrap();
+    assert!(res.report.issue_utilization < 0.05);
+    assert!(res.report.dram_utilization < 0.05);
+}

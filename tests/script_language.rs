@@ -1,0 +1,55 @@
+//! End-to-end coverage of the §3.2 argument-file script language: generated
+//! argument lines drive a real ensemble.
+
+use ensemble_gpu::apps;
+use ensemble_gpu::core::{expand_arg_script, run_ensemble, EnsembleOptions};
+use ensemble_gpu::rpc::HostServices;
+use ensemble_gpu::sim::Gpu;
+
+#[test]
+fn generated_instances_run_their_own_problems() {
+    // Four XSBench instances with lookups 20, 40, 60, 80 from one directive.
+    let lines = expand_arg_script("@repeat 4: -l {20 + 20*i} -g 8\n").unwrap();
+    assert_eq!(lines.len(), 4);
+
+    let app = apps::xsbench::app();
+    let mut gpu = Gpu::a100();
+    let opts = EnsembleOptions {
+        num_instances: 4,
+        thread_limit: 32,
+        ..Default::default()
+    };
+    let res = run_ensemble(&mut gpu, &app, &lines, &opts, HostServices::default()).unwrap();
+    assert!(res.all_succeeded());
+    for (i, out) in res.stdout.iter().enumerate() {
+        let expect = format!("Lookups: {}", 20 + 20 * i);
+        assert!(out.contains(&expect), "instance {i}: {out}");
+    }
+}
+
+#[test]
+fn for_directive_drives_pagerank_sizes() {
+    let lines = expand_arg_script("@for i in 1..4: -v {i*200} -d 4 -i 2\n").unwrap();
+    assert_eq!(lines.len(), 3);
+    let app = apps::pagerank::app();
+    let mut gpu = Gpu::a100();
+    let opts = EnsembleOptions {
+        num_instances: 3,
+        thread_limit: 32,
+        ..Default::default()
+    };
+    let res = run_ensemble(&mut gpu, &app, &lines, &opts, HostServices::default()).unwrap();
+    assert!(res.all_succeeded());
+    for (i, out) in res.stdout.iter().enumerate() {
+        let expect = format!("Vertices: {}", (i + 1) * 200);
+        assert!(out.contains(&expect), "instance {i}: {out}");
+    }
+}
+
+#[test]
+fn script_results_match_equivalent_plain_file() {
+    let scripted = expand_arg_script("@repeat 3: -l {30} -g {8 + 4*i}\n").unwrap();
+    let plain =
+        ensemble_gpu::core::parse_arg_file("-l 30 -g 8\n-l 30 -g 12\n-l 30 -g 16\n").unwrap();
+    assert_eq!(scripted, plain);
+}
