@@ -280,7 +280,12 @@ mod tests {
     fn kernel_is_streaming_memory_bound() {
         let mut gpu = Gpu::a100();
         let res = Loader::default()
-            .run(&mut gpu, &app(), &["-n", "8", "-s", "4"], HostServices::default())
+            .run(
+                &mut gpu,
+                &app(),
+                &["-n", "8", "-s", "4"],
+                HostServices::default(),
+            )
             .unwrap();
         let bpi = res.report.useful_bytes / res.report.total_insts;
         assert!(bpi > 1.5, "bytes/inst = {bpi}");

@@ -77,7 +77,13 @@ mod tests {
             let res = dgc_core::Loader::default()
                 .run(&mut gpu, app, args, host_rpc::HostServices::default())
                 .unwrap();
-            assert_eq!(res.exit_code, Some(0), "{} trapped: {:?}", app.name, res.trap);
+            assert_eq!(
+                res.exit_code,
+                Some(0),
+                "{} trapped: {:?}",
+                app.name,
+                res.trap
+            );
             res.report.useful_bytes / res.report.total_insts
         };
         let xs = bpi(&xsbench::app(), &["-l", "50"]);

@@ -133,8 +133,10 @@ impl RsAccess for DeviceAccess<'_, '_, '_> {
     }
 
     fn pole(&mut self, j: u64, w: u64, p: u64, c: u64) -> Result<f64, KernelError> {
-        self.lane
-            .ld_idx::<f64>(self.poles_buf, ((j * self.windows + w) * self.ppw + p) * 4 + c)
+        self.lane.ld_idx::<f64>(
+            self.poles_buf,
+            ((j * self.windows + w) * self.ppw + p) * 4 + c,
+        )
     }
 }
 
@@ -226,8 +228,7 @@ module "rsbench" {
 
 fn footprint_scale(argv: &[String]) -> f64 {
     let p = RsParams::parse(argv);
-    cal::rs_paper_bytes() as f64
-        / cal::rs_scaled_bytes(p.windows, p.poles_per_window).max(1) as f64
+    cal::rs_paper_bytes() as f64 / cal::rs_scaled_bytes(p.windows, p.poles_per_window).max(1) as f64
 }
 
 /// The packaged RSBench application.

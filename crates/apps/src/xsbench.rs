@@ -191,7 +191,8 @@ impl XsAccess for DeviceAccess<'_, '_, '_> {
     }
 
     fn grid(&mut self, j: u64, k: u64, c: u64) -> Result<f64, KernelError> {
-        self.lane.ld_idx::<f64>(self.grids, (j * self.g + k) * 6 + c)
+        self.lane
+            .ld_idx::<f64>(self.grids, (j * self.g + k) * 6 + c)
     }
 }
 
@@ -405,7 +406,11 @@ mod tests {
             .find(|l| l.starts_with("Verification"))
             .unwrap()
             .to_string();
-        let norm = |s: &str| s.replace("e+0", "e").replace("e+", "e").replace("e-0", "e-");
+        let norm = |s: &str| {
+            s.replace("e+0", "e")
+                .replace("e+", "e")
+                .replace("e-0", "e-")
+        };
         assert_eq!(norm(&line), norm(&expected), "stdout: {}", res.stdout);
     }
 

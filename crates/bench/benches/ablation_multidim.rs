@@ -39,7 +39,10 @@ fn run_packed(per_block: u32) -> f64 {
 fn bench(c: &mut Criterion) {
     for m in [1u32, 2, 4, 8] {
         let t = run_packed(m);
-        eprintln!("ablation_multidim: 16 instances, pack={m}: {:.3} ms", t * 1e3);
+        eprintln!(
+            "ablation_multidim: 16 instances, pack={m}: {:.3} ms",
+            t * 1e3
+        );
     }
     let mut group = c.benchmark_group("ablation_multidim");
     group.sample_size(10);

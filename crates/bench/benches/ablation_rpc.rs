@@ -20,11 +20,7 @@ fn chatty_main(
     team: &mut gpu_sim::TeamCtx<'_>,
     cx: &dgc_core::AppContext,
 ) -> Result<i32, gpu_sim::KernelError> {
-    let lines: u64 = cx
-        .argv
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10);
+    let lines: u64 = cx.argv.get(1).and_then(|v| v.parse().ok()).unwrap_or(10);
     let instance = cx.instance;
     team.serial("chatter", |lane| {
         for k in 0..lines {

@@ -21,7 +21,9 @@ fn main() {
     println!("==== input module (what the linker hands the LTO pipeline) ====");
     println!("{before}\n");
 
-    let image = Loader::default().compile_app(&app).expect("benchmarks compile");
+    let image = Loader::default()
+        .compile_app(&app)
+        .expect("benchmarks compile");
     println!("==== compiled module ====");
     println!("{}\n", image.module);
 
@@ -44,10 +46,7 @@ fn main() {
     for (name, placement) in &image.global_placements {
         println!("  @{name:<20} {placement}");
     }
-    println!(
-        "team-shared bytes:   {}",
-        image.team_shared_globals_bytes()
-    );
+    println!("team-shared bytes:   {}", image.team_shared_globals_bytes());
     let hazards = image.isolation_hazards();
     if hazards.is_empty() {
         println!("isolation hazards:   none (ensemble-safe)");

@@ -12,11 +12,20 @@ fn main() {
     println!("Warp size:              {}", spec.warp_size);
     println!("Max threads/block:      {}", spec.max_threads_per_block);
     println!("Max threads/SM:         {}", spec.max_threads_per_sm);
-    println!("Shared memory/SM:       {} KiB", spec.shared_mem_per_sm / 1024);
+    println!(
+        "Shared memory/SM:       {} KiB",
+        spec.shared_mem_per_sm / 1024
+    );
     println!("Core clock:             {} MHz", spec.clock_mhz);
-    println!("DRAM bandwidth:         {:.0} GB/s", spec.dram_bandwidth_gbps);
+    println!(
+        "DRAM bandwidth:         {:.0} GB/s",
+        spec.dram_bandwidth_gbps
+    );
     println!("L2 cache:               {} MiB", spec.l2_size_bytes >> 20);
-    println!("Device memory:          {} GiB", spec.global_mem_bytes >> 30);
+    println!(
+        "Device memory:          {} GiB",
+        spec.global_mem_bytes >> 30
+    );
     println!();
     println!("Memory model:");
     println!(
@@ -24,7 +33,10 @@ fn main() {
         spec.mem_model.max_outstanding_sectors_per_warp,
         spec.mem_model.warp_mlp_bytes_per_cycle()
     );
-    println!("  DRAM latency:         {} cycles", spec.mem_model.dram_latency_cycles);
+    println!(
+        "  DRAM latency:         {} cycles",
+        spec.mem_model.dram_latency_cycles
+    );
     println!(
         "  Row-locality eff:     {:.2} (1 region) -> {:.2} (64 regions)",
         spec.mem_model.dram_efficiency(1),

@@ -6,10 +6,12 @@
 //! cargo run --release -p dgc-bench --bin figure6 -- --thread-limit 32
 //! cargo run --release -p dgc-bench --bin figure6 -- --smoke    # quick sizes
 //! cargo run --release -p dgc-bench --bin figure6 -- --json out.json
+//! cargo run --release -p dgc-bench --bin figure6 -- --metrics-out m.jsonl
 //! ```
 
 use dgc_bench::{
-    default_workloads, device_by_name, run_figure6_panel_on, smoke_workloads, THREAD_LIMITS,
+    default_workloads, device_by_name, run_figure6_panel_detailed_on, smoke_workloads,
+    THREAD_LIMITS,
 };
 
 fn main() {
@@ -19,6 +21,7 @@ fn main() {
     let mut extended = false;
     let mut device = "a100".to_string();
     let mut json_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -30,6 +33,9 @@ fn main() {
             "--extended" => extended = true,
             "--device" => device = it.next().expect("--device needs a name").clone(),
             "--json" => json_path = Some(it.next().expect("--json needs a path").clone()),
+            "--metrics-out" => {
+                metrics_path = Some(it.next().expect("--metrics-out needs a path").clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -47,18 +53,29 @@ fn main() {
     };
 
     let mut panels = Vec::new();
+    let mut measured = Vec::new();
     for tl in thread_limits {
         eprintln!("running panel: {} thread limit {tl} ...", spec.name);
-        let panel = run_figure6_panel_on(&spec, tl, &workloads, extended);
+        let (panel, configs) = run_figure6_panel_detailed_on(&spec, tl, &workloads, extended);
         println!("{}", panel.render());
         let (bench, peak) = panel.peak();
         println!("peak speedup @ TL {tl}: {peak:.1}x ({bench})\n");
         panels.push(panel);
+        measured.extend(configs);
     }
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&panels).expect("panels serialize");
         std::fs::write(&path, json).expect("write JSON output");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = metrics_path {
+        let mut out = String::new();
+        for cfg in &measured {
+            out.push_str(&serde_json::to_string(cfg).expect("config serializes"));
+            out.push('\n');
+        }
+        std::fs::write(&path, out).expect("write metrics output");
+        eprintln!("wrote {path} ({} configurations)", measured.len());
     }
 }

@@ -8,6 +8,7 @@
 
 use dgc_apps::app_by_name;
 use dgc_core::{run_ensemble, EnsembleOptions, HostApp, SpeedupSeries};
+use dgc_obs::InstanceMetrics;
 use gpu_arch::GpuSpec;
 use gpu_sim::Gpu;
 use host_rpc::HostServices;
@@ -88,6 +89,31 @@ pub fn measure_config_on(
     instances: u32,
     thread_limit: u32,
 ) -> Option<f64> {
+    measure_config_detailed_on(spec, workload, instances, thread_limit).time_s
+}
+
+/// One measured configuration with its per-instance metrics, as exported
+/// by the `figure6` binary's `--metrics-out` JSONL stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct MeasuredConfig {
+    pub benchmark: String,
+    pub device: String,
+    pub thread_limit: u32,
+    pub instances: u32,
+    /// Kernel time `TN`, or `None` when the configuration hit device OOM
+    /// (the paper's "not runnable").
+    pub time_s: Option<f64>,
+    pub metrics: Vec<InstanceMetrics>,
+}
+
+/// [`measure_config_on`], keeping the per-instance metrics instead of
+/// discarding everything but the kernel time.
+pub fn measure_config_detailed_on(
+    spec: &GpuSpec,
+    workload: &Workload,
+    instances: u32,
+    thread_limit: u32,
+) -> MeasuredConfig {
     let mut gpu = Gpu::new(spec.clone());
     let opts = EnsembleOptions {
         num_instances: instances,
@@ -95,26 +121,36 @@ pub fn measure_config_on(
         ..Default::default()
     };
     let app = workload.app();
+    let services = HostServices::default();
     let res = run_ensemble(
         &mut gpu,
         &app,
         std::slice::from_ref(&workload.args),
         &opts,
-        HostServices::default(),
+        services,
     )
     .expect("harness configurations are launchable");
-    if res.any_oom() {
-        return None;
+    let time_s = if res.any_oom() {
+        None
+    } else {
+        for (i, inst) in res.instances.iter().enumerate() {
+            assert!(
+                inst.succeeded(),
+                "{} instance {i} failed: {:?}",
+                workload.name,
+                inst.error
+            );
+        }
+        Some(res.kernel_time_s)
+    };
+    MeasuredConfig {
+        benchmark: workload.name.to_string(),
+        device: spec.name.clone(),
+        thread_limit,
+        instances,
+        time_s,
+        metrics: res.metrics,
     }
-    for (i, inst) in res.instances.iter().enumerate() {
-        assert!(
-            inst.succeeded(),
-            "{} instance {i} failed: {:?}",
-            workload.name,
-            inst.error
-        );
-    }
-    Some(res.kernel_time_s)
 }
 
 /// Sweep one benchmark across the paper's instance counts at one thread
@@ -130,11 +166,25 @@ pub fn run_series_on(
     thread_limit: u32,
     counts: &[u32],
 ) -> SpeedupSeries {
-    let times: Vec<(u32, Option<f64>)> = counts
+    run_series_detailed_on(spec, workload, thread_limit, counts).0
+}
+
+/// [`run_series_on`], also returning every measured configuration with its
+/// per-instance metrics.
+pub fn run_series_detailed_on(
+    spec: &GpuSpec,
+    workload: &Workload,
+    thread_limit: u32,
+    counts: &[u32],
+) -> (SpeedupSeries, Vec<MeasuredConfig>) {
+    let measured: Vec<MeasuredConfig> = counts
         .iter()
-        .map(|&n| (n, measure_config_on(spec, workload, n, thread_limit)))
+        .map(|&n| measure_config_detailed_on(spec, workload, n, thread_limit))
         .collect();
-    SpeedupSeries::from_times(workload.name, thread_limit, &times)
+    let times: Vec<(u32, Option<f64>)> = measured.iter().map(|m| (m.instances, m.time_s)).collect();
+    let series = SpeedupSeries::from_times(workload.name, thread_limit, &times)
+        .expect("sweeps include a runnable single-instance baseline");
+    (series, measured)
 }
 
 /// One panel of Figure 6 (all four benchmarks at one thread limit).
@@ -150,19 +200,35 @@ pub fn run_figure6_panel_on(
     workloads: &[Workload],
     extended: bool,
 ) -> Figure6Panel {
+    run_figure6_panel_detailed_on(spec, thread_limit, workloads, extended).0
+}
+
+/// [`run_figure6_panel_on`], also returning the measured configurations
+/// behind every panel cell (for the `--metrics-out` JSONL export).
+pub fn run_figure6_panel_detailed_on(
+    spec: &GpuSpec,
+    thread_limit: u32,
+    workloads: &[Workload],
+    extended: bool,
+) -> (Figure6Panel, Vec<MeasuredConfig>) {
     let counts: &[u32] = if extended {
         &EXTENDED_INSTANCE_COUNTS
     } else {
         &INSTANCE_COUNTS
     };
-    Figure6Panel {
+    let mut series = Vec::new();
+    let mut measured = Vec::new();
+    for w in workloads {
+        let (s, m) = run_series_detailed_on(spec, w, thread_limit, counts);
+        series.push(s);
+        measured.extend(m);
+    }
+    let panel = Figure6Panel {
         thread_limit,
         instance_counts: counts.to_vec(),
-        series: workloads
-            .iter()
-            .map(|w| run_series_on(spec, w, thread_limit, counts))
-            .collect(),
-    }
+        series,
+    };
+    (panel, measured)
 }
 
 /// Machine-readable panel, serialized by the `figure6` binary.
@@ -231,6 +297,26 @@ mod tests {
     }
 
     #[test]
+    fn detailed_measurement_keeps_per_instance_metrics() {
+        let w = &smoke_workloads()[1]; // rsbench, cheap
+        let m = measure_config_detailed_on(&GpuSpec::a100_40gb(), w, 4, 32);
+        assert_eq!(m.benchmark, "rsbench");
+        assert_eq!(m.instances, 4);
+        assert!(m.time_s.is_some());
+        assert_eq!(m.metrics.len(), 4);
+        for im in &m.metrics {
+            assert!(!im.oom && !im.trapped);
+            assert!(im.warp_insts > 0.0);
+            assert!(im.heap_peak_bytes > 0);
+        }
+        // OOM configurations still report which instances ran out.
+        let pr = &smoke_workloads()[3];
+        let oom = measure_config_detailed_on(&GpuSpec::a100_40gb(), pr, 8, 32);
+        assert!(oom.time_s.is_none());
+        assert!(oom.metrics.iter().any(|im| im.oom));
+    }
+
+    #[test]
     fn panel_renders_rows() {
         let times: Vec<(u32, Option<f64>)> = INSTANCE_COUNTS
             .iter()
@@ -239,7 +325,7 @@ mod tests {
         let panel = Figure6Panel {
             thread_limit: 32,
             instance_counts: INSTANCE_COUNTS.to_vec(),
-            series: vec![SpeedupSeries::from_times("xsbench", 32, &times)],
+            series: vec![SpeedupSeries::from_times("xsbench", 32, &times).unwrap()],
         };
         let text = panel.render();
         assert!(text.contains("thread limit 32"));

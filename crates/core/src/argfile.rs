@@ -89,7 +89,10 @@ mod tests {
     #[test]
     fn empty_file_rejected() {
         assert_eq!(parse_arg_file(""), Err(ArgFileError::Empty));
-        assert_eq!(parse_arg_file("# only comments\n"), Err(ArgFileError::Empty));
+        assert_eq!(
+            parse_arg_file("# only comments\n"),
+            Err(ArgFileError::Empty)
+        );
     }
 
     #[test]

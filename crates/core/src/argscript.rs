@@ -63,8 +63,10 @@ pub fn expand_arg_script(text: &str) -> Result<Vec<Vec<String>>, ScriptError> {
         let line = raw.trim();
         if let Some(rest) = line.strip_prefix("@repeat") {
             let (count_src, template) = split_directive(rest, lineno)?;
-            let count = eval_expr(count_src.trim(), 0)
-                .map_err(|message| ScriptError::Eval { line: lineno, message })?;
+            let count = eval_expr(count_src.trim(), 0).map_err(|message| ScriptError::Eval {
+                line: lineno,
+                message,
+            })?;
             if count < 0 {
                 return Err(ScriptError::Eval {
                     line: lineno,
@@ -104,7 +106,10 @@ fn split_directive(rest: &str, lineno: usize) -> Result<(&str, &str), ScriptErro
 
 /// `i in a..b [step s]`
 fn parse_for_head(head: &str, lineno: usize) -> Result<(i64, i64, i64), ScriptError> {
-    let perr = |message: String| ScriptError::Parse { line: lineno, message };
+    let perr = |message: String| ScriptError::Parse {
+        line: lineno,
+        message,
+    };
     let rest = head
         .strip_prefix("i")
         .map(str::trim_start)
@@ -117,11 +122,20 @@ fn parse_for_head(head: &str, lineno: usize) -> Result<(i64, i64, i64), ScriptEr
     let (a, b) = range
         .split_once("..")
         .ok_or_else(|| perr(format!("expected 'a..b' range, got '{range}'")))?;
-    let eerr = |message: String| ScriptError::Eval { line: lineno, message };
+    let eerr = |message: String| ScriptError::Eval {
+        line: lineno,
+        message,
+    };
     let start = eval_expr(a.trim(), 0).map_err(eerr)?;
-    let end = eval_expr(b.trim(), 0).map_err(|m| ScriptError::Eval { line: lineno, message: m })?;
+    let end = eval_expr(b.trim(), 0).map_err(|m| ScriptError::Eval {
+        line: lineno,
+        message: m,
+    })?;
     let step = match step_src {
-        Some(s) => eval_expr(s, 0).map_err(|m| ScriptError::Eval { line: lineno, message: m })?,
+        Some(s) => eval_expr(s, 0).map_err(|m| ScriptError::Eval {
+            line: lineno,
+            message: m,
+        })?,
         None => 1,
     };
     if step == 0 {
@@ -147,8 +161,10 @@ fn expand_template(
             line: lineno,
             message: "unterminated '{' in template".into(),
         })?;
-        let value = eval_expr(&after[..close], i)
-            .map_err(|message| ScriptError::Eval { line: lineno, message })?;
+        let value = eval_expr(&after[..close], i).map_err(|message| ScriptError::Eval {
+            line: lineno,
+            message,
+        })?;
         out.push_str(&value.to_string());
         rest = &after[close + 1..];
     }
@@ -231,12 +247,16 @@ impl<'a> Parser<'a> {
                 Some(b'/') => {
                     self.pos += 1;
                     let d = self.unary()?;
-                    v = v.checked_div(d).ok_or_else(|| "division by zero".to_string())?;
+                    v = v
+                        .checked_div(d)
+                        .ok_or_else(|| "division by zero".to_string())?;
                 }
                 Some(b'%') => {
                     self.pos += 1;
                     let d = self.unary()?;
-                    v = v.checked_rem(d).ok_or_else(|| "modulo by zero".to_string())?;
+                    v = v
+                        .checked_rem(d)
+                        .ok_or_else(|| "modulo by zero".to_string())?;
                 }
                 _ => return Ok(v),
             }
@@ -377,7 +397,10 @@ mod tests {
 
     #[test]
     fn empty_expansion_is_an_error() {
-        assert_eq!(expand_arg_script("@repeat 0: -l {i}\n").unwrap_err(), ScriptError::Empty);
+        assert_eq!(
+            expand_arg_script("@repeat 0: -l {i}\n").unwrap_err(),
+            ScriptError::Empty
+        );
         assert_eq!(expand_arg_script("").unwrap_err(), ScriptError::Empty);
     }
 

@@ -3,9 +3,11 @@ use crate::argfile::ArgFileError;
 use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GLOBALS_TAG};
 use dgc_compiler::{compile, CompileError, CompilerOptions};
 use dgc_ir::{Module, ParseError};
+use dgc_obs::{record_schedule, InstanceMetrics, LaunchMetrics, Recorder, RpcCallCounts, PID_HOST};
 use gpu_mem::{AllocError, TransferDirection};
 use gpu_sim::{Gpu, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
 use host_rpc::{HostServices, RpcServer, RpcStats};
+use serde::Value;
 
 /// How instances map onto the GPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +78,9 @@ pub struct EnsembleResult {
     /// share their block's completion time).
     pub instance_end_times_s: Vec<f64>,
     pub rpc_stats: RpcStats,
+    /// Per-instance observability rollup (always computed; export it with
+    /// [`dgc_obs::metrics_jsonl`]).
+    pub metrics: Vec<InstanceMetrics>,
 }
 
 impl EnsembleResult {
@@ -96,13 +101,41 @@ impl EnsembleResult {
         if n == 0 {
             return 1.0;
         }
-        let max = self.instance_end_times_s.iter().cloned().fold(0.0, f64::max);
+        let max = self
+            .instance_end_times_s
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
         let mean: f64 = self.instance_end_times_s.iter().sum::<f64>() / n as f64;
         if mean <= 0.0 {
             1.0
         } else {
             max / mean
         }
+    }
+
+    /// Launch-wide metrics record (the last line of the JSONL export).
+    pub fn launch_metrics(&self) -> LaunchMetrics {
+        LaunchMetrics {
+            kernel: self.report.kernel_name.clone(),
+            instances: self.instances.len() as u32,
+            failed: self.failed_count(),
+            oom: self.oom_count(),
+            kernel_time_s: self.kernel_time_s,
+            total_time_s: self.total_time_s,
+            waves: self.report.waves,
+            rpc_total: self.rpc_stats.total(),
+        }
+    }
+
+    /// Instances that trapped or exited non-zero.
+    pub fn failed_count(&self) -> u32 {
+        self.instances.iter().filter(|i| !i.succeeded()).count() as u32
+    }
+
+    /// Instances that died on device-heap exhaustion.
+    pub fn oom_count(&self) -> u32 {
+        self.instances.iter().filter(|i| i.oom).count() as u32
     }
 }
 
@@ -116,7 +149,10 @@ pub enum EnsembleError {
     Globals(AllocError),
     ArgFile(ArgFileError),
     /// thread_limit not divisible by the packed per-block instance count.
-    BadPacking { thread_limit: u32, per_block: u32 },
+    BadPacking {
+        thread_limit: u32,
+        per_block: u32,
+    },
 }
 
 impl std::fmt::Display for EnsembleError {
@@ -158,10 +194,40 @@ pub fn run_ensemble(
     opts: &EnsembleOptions,
     services: HostServices,
 ) -> Result<EnsembleResult, EnsembleError> {
+    run_ensemble_traced(
+        gpu,
+        app,
+        arg_lines,
+        opts,
+        services,
+        &mut Recorder::disabled(),
+    )
+}
+
+/// [`run_ensemble`] with an observability [`Recorder`]. When the recorder
+/// is enabled, the launch records the loader timeline (argument H2D, the
+/// kernel envelope, result D2H), the full device schedule (one lane per
+/// SM, one span per block and per team phase), per-instance lifecycle
+/// markers and RPC totals. With a disabled recorder the code path is
+/// identical to the untraced one: spans cost a single branch and the
+/// timing engine skips timeline collection entirely.
+pub fn run_ensemble_traced(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    services: HostServices,
+    obs: &mut Recorder,
+) -> Result<EnsembleResult, EnsembleError> {
     if arg_lines.is_empty() {
         return Err(EnsembleError::ArgFile(ArgFileError::Empty));
     }
     let n = opts.num_instances.max(1);
+    let traced = obs.is_enabled();
+    if traced {
+        obs.name_process(PID_HOST, "loader");
+        obs.name_thread(PID_HOST, 0, "timeline");
+    }
 
     // Compile once; all instances share the device image.
     let module = Module::parse(&app.module_text).map_err(EnsembleError::ModuleParse)?;
@@ -184,11 +250,26 @@ pub fn run_ensemble(
         .flat_map(|a| a.iter())
         .map(|s| s.len() as u64 + 1)
         .sum();
-    let mut transfer_seconds = gpu
+    let h2d_s = gpu
         .transfers
         .record(TransferDirection::HostToDevice, argv_bytes);
+    let mut transfer_seconds = h2d_s;
+    if traced {
+        obs.span_args(
+            PID_HOST,
+            0,
+            "h2d argv",
+            "loader",
+            0.0,
+            h2d_s * 1e6,
+            vec![("bytes".into(), Value::U64(argv_bytes))],
+        );
+    }
 
     let device_globals = alloc_device_globals(gpu, &image).map_err(EnsembleError::Globals)?;
+    if traced {
+        obs.instant(PID_HOST, 0, "alloc globals", "loader", h2d_s * 1e6);
+    }
 
     let (teams_per_block, lanes_per_team) = match opts.mapping {
         MappingStrategy::OnePerTeam => (1u32, opts.thread_limit),
@@ -215,6 +296,11 @@ pub fn run_ensemble(
     spec.teams_per_block = teams_per_block;
     spec.rpc_services = Some(image.rpc_services.iter().copied().collect());
     spec.footprint_multiplier = footprint;
+    spec.collect_detail = traced;
+
+    // Heap high-water marks are per launch: restart them from the live
+    // bytes (module globals) so instance peaks measure this kernel only.
+    gpu.mem.reset_tag_peaks();
 
     let main_fn = app.main;
     let image_ref = &image;
@@ -242,9 +328,10 @@ pub fn run_ensemble(
     let launch = launch.map_err(EnsembleError::Launch)?;
 
     // map(from: Ret[:NI]).
-    transfer_seconds += gpu
+    let d2h_s = gpu
         .transfers
         .record(TransferDirection::DeviceToHost, 4 * n as u64);
+    transfer_seconds += d2h_s;
 
     let instances: Vec<InstanceOutcome> = launch
         .team_outcomes
@@ -273,6 +360,97 @@ pub fn run_ensemble(
                 .cycles_to_seconds(launch.report.block_end_cycles[block])
         })
         .collect();
+
+    // ---- Per-instance metrics rollup. ----
+    let cycle_s = gpu.spec.cycles_to_seconds(1.0);
+    let metrics: Vec<InstanceMetrics> = (0..n)
+        .map(|i| {
+            let block = (i / teams_per_block) as usize;
+            let summary = &launch.team_summaries[i as usize];
+            let outcome = &instances[i as usize];
+            InstanceMetrics {
+                instance: i,
+                exit_code: outcome.exit_code,
+                trapped: outcome.error.is_some(),
+                oom: outcome.oom,
+                end_time_s: instance_end_times_s[i as usize],
+                cycles: launch.report.block_end_cycles[block],
+                warp_insts: summary.insts,
+                useful_bytes: summary.useful_bytes,
+                moved_bytes: summary.moved_bytes,
+                sectors: summary.sectors,
+                heap_peak_bytes: gpu.mem.tag_peak_bytes(i),
+                rpc: RpcCallCounts::from(services.stats_of(i)),
+                rpc_stall_s: summary.rpc_calls as f64 * gpu.timing.rpc_cycles_per_call * cycle_s,
+            }
+        })
+        .collect();
+
+    // ---- Timeline recording. ----
+    if traced {
+        let kernel_start_us = h2d_s * 1e6;
+        let kernel_us = launch.report.sim_time_s * 1e6;
+        obs.span_args(
+            PID_HOST,
+            0,
+            &kernel_name,
+            "kernel",
+            kernel_start_us,
+            kernel_us,
+            vec![
+                ("blocks".into(), Value::U64(launch.report.blocks as u64)),
+                ("waves".into(), Value::U64(launch.report.waves as u64)),
+            ],
+        );
+        let device_offset_us = kernel_start_us + gpu.spec.launch_overhead_us;
+        let upc_us = cycle_s * 1e6;
+        if let Some(sched) = &launch.schedule {
+            record_schedule(obs, sched, upc_us, device_offset_us);
+        }
+        obs.span(
+            PID_HOST,
+            0,
+            "d2h results",
+            "loader",
+            kernel_start_us + kernel_us,
+            d2h_s * 1e6,
+        );
+        for m in &metrics {
+            let lane = m.instance + 1;
+            obs.name_thread(PID_HOST, lane, &format!("instance {}", m.instance));
+            let name = if m.oom {
+                "oom".to_string()
+            } else if m.trapped {
+                "trap".to_string()
+            } else {
+                format!("exit {}", m.exit_code.unwrap_or(0))
+            };
+            obs.instant_args(
+                PID_HOST,
+                lane,
+                &name,
+                "lifecycle",
+                device_offset_us + m.cycles * upc_us,
+                vec![("rpc_calls".into(), Value::U64(m.rpc.total()))],
+            );
+        }
+        let totals = services.stats();
+        obs.instant_args(
+            PID_HOST,
+            0,
+            "rpc totals",
+            "rpc",
+            kernel_start_us + kernel_us,
+            vec![
+                ("stdio".into(), Value::U64(totals.stdio_calls)),
+                ("fs".into(), Value::U64(totals.fs_calls)),
+                ("clock".into(), Value::U64(totals.clock_calls)),
+                ("exit".into(), Value::U64(totals.exit_calls)),
+                ("errors".into(), Value::U64(totals.errors)),
+            ],
+        );
+    }
+
     Ok(EnsembleResult {
         instances,
         stdout,
@@ -281,6 +459,7 @@ pub fn run_ensemble(
         total_time_s: kernel_time_s + transfer_seconds,
         instance_end_times_s,
         rpc_stats: services.stats(),
+        metrics,
     })
 }
 
@@ -301,10 +480,25 @@ pub fn run_ensemble_batched(
     opts: &EnsembleOptions,
     batch: u32,
 ) -> Result<EnsembleResult, EnsembleError> {
+    run_ensemble_batched_traced(gpu, app, arg_lines, opts, batch, &mut Recorder::disabled())
+}
+
+/// [`run_ensemble_batched`] with an observability [`Recorder`]. Batches
+/// land end-to-end on one timeline: before each batch the recorder's base
+/// offset advances by the elapsed simulated time, and instance metrics
+/// are renumbered to global instance ids with accumulated end times.
+pub fn run_ensemble_batched_traced(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    obs: &mut Recorder,
+) -> Result<EnsembleResult, EnsembleError> {
     assert!(batch >= 1, "batch size must be at least 1");
     let n = opts.num_instances.max(1);
     if n <= batch {
-        return run_ensemble(gpu, app, arg_lines, opts, HostServices::default());
+        return run_ensemble_traced(gpu, app, arg_lines, opts, HostServices::default(), obs);
     }
     if arg_lines.is_empty() {
         return Err(EnsembleError::ArgFile(ArgFileError::Empty));
@@ -313,10 +507,12 @@ pub fn run_ensemble_batched(
     let mut instances = Vec::with_capacity(n as usize);
     let mut stdout = Vec::with_capacity(n as usize);
     let mut end_times = Vec::with_capacity(n as usize);
+    let mut metrics: Vec<InstanceMetrics> = Vec::with_capacity(n as usize);
     let mut kernel_time_s = 0.0;
     let mut total_time_s = 0.0;
     let mut rpc_stats = RpcStats::default();
     let mut last_report = None;
+    let base_us = obs.base_us();
 
     let mut start = 0u32;
     while start < n {
@@ -329,21 +525,31 @@ pub fn run_ensemble_batched(
             num_instances: count,
             ..opts.clone()
         };
-        let res = run_ensemble(gpu, app, &batch_lines, &batch_opts, HostServices::default())?;
+        obs.set_base_us(base_us + total_time_s * 1e6);
+        let res = run_ensemble_traced(
+            gpu,
+            app,
+            &batch_lines,
+            &batch_opts,
+            HostServices::default(),
+            obs,
+        )?;
         instances.extend(res.instances);
         stdout.extend(res.stdout);
         // Batches run back to back: offset finish times by elapsed time.
         end_times.extend(res.instance_end_times_s.iter().map(|t| kernel_time_s + t));
+        metrics.extend(res.metrics.into_iter().map(|mut m| {
+            m.instance += start;
+            m.end_time_s += kernel_time_s;
+            m
+        }));
         kernel_time_s += res.kernel_time_s;
         total_time_s += res.total_time_s;
-        rpc_stats.stdio_calls += res.rpc_stats.stdio_calls;
-        rpc_stats.fs_calls += res.rpc_stats.fs_calls;
-        rpc_stats.clock_calls += res.rpc_stats.clock_calls;
-        rpc_stats.exit_calls += res.rpc_stats.exit_calls;
-        rpc_stats.errors += res.rpc_stats.errors;
+        rpc_stats.merge(&res.rpc_stats);
         last_report = Some(res.report);
         start += count;
     }
+    obs.set_base_us(base_us);
     Ok(EnsembleResult {
         instances,
         stdout,
@@ -352,13 +558,16 @@ pub fn run_ensemble_batched(
         total_time_s,
         instance_end_times_s: end_times,
         rpc_stats,
+        metrics,
     })
 }
 
 /// The enhanced loader's command line (paper §3.2): `-f <file>`,
-/// `-n <num instances>`, `-t <thread limit>`, plus two extensions:
-/// `--pack <M>` selects the §3.1 packed mapping and `--batch <B>` runs the
-/// ensemble as sequential batches of `B` instances (memory-wall escape).
+/// `-n <num instances>`, `-t <thread limit>`, plus extensions:
+/// `--pack <M>` selects the §3.1 packed mapping, `--batch <B>` runs the
+/// ensemble as sequential batches of `B` instances (memory-wall escape),
+/// `--trace-out <file>` / `--metrics-out <file>` export a Chrome trace and
+/// JSONL metrics, and `--quiet` suppresses per-instance output blocks.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EnsembleCliArgs {
     pub arg_file: String,
@@ -368,6 +577,12 @@ pub struct EnsembleCliArgs {
     pub pack: u32,
     /// `0` means unbatched (one concurrent launch).
     pub batch: u32,
+    /// Chrome trace-event JSON output path.
+    pub trace_out: Option<String>,
+    /// JSONL metrics output path.
+    pub metrics_out: Option<String>,
+    /// Suppress per-instance stdout blocks.
+    pub quiet: bool,
 }
 
 /// CLI parse failures.
@@ -400,20 +615,18 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut thread_limit = 128u32;
     let mut pack = 1u32;
     let mut batch = 0u32;
+    let mut trace_out = None;
+    let mut metrics_out = None;
+    let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-f" => {
-                arg_file = Some(
-                    it.next()
-                        .ok_or(CliError::MissingValue("-f"))?
-                        .to_string(),
-                );
+                arg_file = Some(it.next().ok_or(CliError::MissingValue("-f"))?.to_string());
             }
             "-n" => {
                 let v = it.next().ok_or(CliError::MissingValue("-n"))?;
-                num_instances =
-                    Some(v.parse().map_err(|_| CliError::BadValue("-n", v.clone()))?);
+                num_instances = Some(v.parse().map_err(|_| CliError::BadValue("-n", v.clone()))?);
             }
             "-t" => {
                 let v = it.next().ok_or(CliError::MissingValue("-t"))?;
@@ -431,6 +644,21 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                     .parse()
                     .map_err(|_| CliError::BadValue("--batch", v.clone()))?;
             }
+            "--trace-out" => {
+                trace_out = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--trace-out"))?
+                        .to_string(),
+                );
+            }
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--metrics-out"))?
+                        .to_string(),
+                );
+            }
+            "--quiet" | "-q" => quiet = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -440,6 +668,9 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         thread_limit,
         pack,
         batch,
+        trace_out,
+        metrics_out,
+        quiet,
     })
 }
 
@@ -473,7 +704,11 @@ module "bench" {
         let sum = team.parallel_for_reduce_f64("sum", n, |i, lane| lane.ld_idx::<f64>(buf, i))?;
         let instance = cx.instance;
         team.serial("print", |lane| {
-            dl_printf(lane, "instance %d sum %.1f\n", &[instance.into(), sum.into()])?;
+            dl_printf(
+                lane,
+                "instance %d sum %.1f\n",
+                &[instance.into(), sum.into()],
+            )?;
             Ok(())
         })?;
         Ok(0)
@@ -496,14 +731,100 @@ module "bench" {
             thread_limit: 32,
             ..Default::default()
         };
-        let res = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
-            .unwrap();
+        let res =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
         assert!(res.all_succeeded());
         assert_eq!(res.report.blocks, 4);
         let sum_of = |n: u64| (0..n).map(|i| i as f64).sum::<f64>();
-        assert_eq!(res.stdout[0], format!("instance 0 sum {:.1}\n", sum_of(100)));
-        assert_eq!(res.stdout[3], format!("instance 3 sum {:.1}\n", sum_of(400)));
+        assert_eq!(
+            res.stdout[0],
+            format!("instance 0 sum {:.1}\n", sum_of(100))
+        );
+        assert_eq!(
+            res.stdout[3],
+            format!("instance 3 sum {:.1}\n", sum_of(400))
+        );
         assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn metrics_capture_per_instance_work_and_heap() {
+        let mut gpu = Gpu::a100();
+        let arg_lines = lines("-n 100\n-n 400\n");
+        let opts = EnsembleOptions {
+            num_instances: 2,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let res =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
+        assert_eq!(res.metrics.len(), 2);
+        let (m0, m1) = (&res.metrics[0], &res.metrics[1]);
+        assert_eq!((m0.instance, m1.instance), (0, 1));
+        assert_eq!(m0.exit_code, Some(0));
+        assert!(!m0.trapped && !m0.oom);
+        // Instance 1 streams 4× the data: more work, bigger heap peak.
+        assert!(m1.warp_insts > m0.warp_insts);
+        assert!(m1.moved_bytes > m0.moved_bytes);
+        assert!(m0.heap_peak_bytes >= 8 * 100);
+        assert!(m1.heap_peak_bytes >= 8 * 400);
+        // One printf round trip each, demultiplexed per instance.
+        assert_eq!(m0.rpc.stdio, 1);
+        assert_eq!(m1.rpc.stdio, 1);
+        assert!(m0.rpc_stall_s > 0.0);
+        assert_eq!(m0.end_time_s, res.instance_end_times_s[0]);
+        // Launch rollup agrees with the instance outcomes.
+        let lm = res.launch_metrics();
+        assert_eq!(lm.instances, 2);
+        assert_eq!((lm.failed, lm.oom), (0, 0));
+        assert_eq!(lm.rpc_total, res.rpc_stats.total());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_exports_timeline() {
+        let arg_lines = lines("-n 100\n-n 200\n");
+        let opts = EnsembleOptions {
+            num_instances: 2,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let mut gpu = Gpu::a100();
+        let plain =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
+        let mut gpu = Gpu::a100();
+        let mut obs = Recorder::enabled();
+        let traced = run_ensemble_traced(
+            &mut gpu,
+            &app(),
+            &arg_lines,
+            &opts,
+            HostServices::default(),
+            &mut obs,
+        )
+        .unwrap();
+        // Tracing must not perturb the simulation.
+        assert_eq!(plain.report, traced.report);
+        assert_eq!(plain.stdout, traced.stdout);
+        assert_eq!(plain.metrics, traced.metrics);
+        // The timeline has the loader envelope and device spans.
+        let cats: Vec<&str> = obs.events().iter().map(|e| e.cat.as_str()).collect();
+        for want in ["loader", "kernel", "block", "phase", "lifecycle", "rpc"] {
+            assert!(cats.contains(&want), "missing {want} events in {cats:?}");
+        }
+        // Batched runs renumber instances and keep one timeline.
+        let mut gpu = Gpu::a100();
+        let mut obs = Recorder::enabled();
+        let opts4 = EnsembleOptions {
+            num_instances: 4,
+            ..opts.clone()
+        };
+        let batched =
+            run_ensemble_batched_traced(&mut gpu, &app(), &arg_lines, &opts4, 2, &mut obs).unwrap();
+        let ids: Vec<u32> = batched.metrics.iter().map(|m| m.instance).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(obs.base_us(), 0.0);
+        let kernel_spans = obs.events().iter().filter(|e| e.cat == "kernel").count();
+        assert_eq!(kernel_spans, 2);
     }
 
     #[test]
@@ -515,8 +836,8 @@ module "bench" {
             thread_limit: 32,
             ..Default::default()
         };
-        let res = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
-            .unwrap();
+        let res =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
         assert!(res.all_succeeded());
         let expected = format!("sum {:.1}\n", (0..50).map(|i| i as f64).sum::<f64>());
         for s in &res.stdout {
@@ -546,7 +867,7 @@ module "bench" {
         };
         let t1 = run_n(1);
         let t16 = run_n(16);
-        let speedup = crate::stats::relative_speedup(t1, 16, t16);
+        let speedup = crate::stats::relative_speedup(t1, 16, t16).unwrap();
         assert!(speedup > 4.0, "speedup {speedup}");
         assert!(speedup <= 16.0 + 1e-6, "speedup {speedup}");
     }
@@ -588,7 +909,11 @@ module "bench" {
             HostServices::default(),
         )
         .unwrap();
-        assert!((res.load_imbalance() - 1.0).abs() < 0.05, "{}", res.load_imbalance());
+        assert!(
+            (res.load_imbalance() - 1.0).abs() < 0.05,
+            "{}",
+            res.load_imbalance()
+        );
     }
 
     #[test]
@@ -638,8 +963,8 @@ module "bench" {
             ..Default::default()
         };
         // Concurrent: OOM.
-        let res = run_ensemble(&mut gpu, &a, &lines("-x\n"), &opts, HostServices::default())
-            .unwrap();
+        let res =
+            run_ensemble(&mut gpu, &a, &lines("-x\n"), &opts, HostServices::default()).unwrap();
         assert!(res.any_oom());
         // Batched by 2: all succeed, four sequential launches.
         let res = run_ensemble_batched(&mut gpu, &a, &lines("-x\n"), &opts, 2).unwrap();
@@ -657,10 +982,9 @@ module "bench" {
             ..Default::default()
         };
         let arg_lines = lines("-n 100\n-n 200\n-n 300\n");
-        let full = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
-            .unwrap();
-        let batched =
-            run_ensemble_batched(&mut gpu, &app(), &arg_lines, &opts, 2).unwrap();
+        let full =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
+        let batched = run_ensemble_batched(&mut gpu, &app(), &arg_lines, &opts, 2).unwrap();
         // Instance ids are per-launch (each batch is its own kernel), so
         // compare the computed payloads, not the id prefix.
         let sums = |v: &[String]| -> Vec<String> {
@@ -733,7 +1057,38 @@ module "bench" {
                 thread_limit: 128,
                 pack: 1,
                 batch: 0,
+                trace_out: None,
+                metrics_out: None,
+                quiet: false,
             }
+        );
+    }
+
+    #[test]
+    fn cli_parses_observability_flags() {
+        let args: Vec<String> = [
+            "-f",
+            "args.txt",
+            "-n",
+            "8",
+            "-t",
+            "32",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.jsonl",
+            "--quiet",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = parse_ensemble_cli(&args).unwrap();
+        assert_eq!(cli.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(cli.metrics_out.as_deref(), Some("m.jsonl"));
+        assert!(cli.quiet);
+        assert_eq!(
+            parse_ensemble_cli(&["-f".into(), "a".into(), "--trace-out".into()]),
+            Err(CliError::MissingValue("--trace-out"))
         );
     }
 
@@ -760,17 +1115,13 @@ module "bench" {
 
     #[test]
     fn cli_defaults() {
-        let cli =
-            parse_ensemble_cli(&["-f".to_string(), "args.txt".to_string()]).unwrap();
+        let cli = parse_ensemble_cli(&["-f".to_string(), "args.txt".to_string()]).unwrap();
         assert_eq!(cli.num_instances, None);
         assert_eq!(cli.thread_limit, 128);
         assert_eq!(cli.pack, 1);
         assert_eq!(cli.batch, 0);
 
-        let cli = parse_ensemble_cli(
-            &["-f", "a", "--batch", "4"].map(String::from),
-        )
-        .unwrap();
+        let cli = parse_ensemble_cli(&["-f", "a", "--batch", "4"].map(String::from)).unwrap();
         assert_eq!(cli.batch, 4);
     }
 }

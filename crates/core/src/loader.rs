@@ -1,9 +1,11 @@
 use crate::app::{build_globals, AppContext, HostApp};
 use dgc_compiler::{compile, CompileError, CompiledImage, CompilerOptions};
 use dgc_ir::{Attr, Function, Module, ParseError};
+use dgc_obs::{record_schedule, Recorder, PID_HOST};
 use gpu_mem::{AllocError, Backing, DevicePtr, TransferDirection};
 use gpu_sim::{Gpu, KernelSpec, SimError, TeamOutcome};
 use host_rpc::{HostServices, RpcClient, RpcServer, RpcStats};
+use serde::Value;
 use std::collections::BTreeMap;
 
 /// Heap-region tag used for module globals (shared by all instances, so it
@@ -94,9 +96,31 @@ impl Loader {
         gpu: &mut Gpu,
         app: &HostApp,
         args: &[&str],
-        mut services: HostServices,
+        services: HostServices,
     ) -> Result<AppRunResult, LoaderError> {
+        self.run_traced(gpu, app, args, services, &mut Recorder::disabled())
+    }
+
+    /// [`Loader::run`] with an observability [`Recorder`]: records the
+    /// loader timeline (compile, argument H2D, kernel envelope, result
+    /// D2H) and the device schedule when the recorder is enabled.
+    pub fn run_traced(
+        &self,
+        gpu: &mut Gpu,
+        app: &HostApp,
+        args: &[&str],
+        mut services: HostServices,
+        obs: &mut Recorder,
+    ) -> Result<AppRunResult, LoaderError> {
+        let traced = obs.is_enabled();
+        if traced {
+            obs.name_process(PID_HOST, "loader");
+            obs.name_thread(PID_HOST, 0, "timeline");
+        }
         let image = self.compile_app(app)?;
+        if traced {
+            obs.instant(PID_HOST, 0, "compile + link wrapper", "loader", 0.0);
+        }
         let argv: Vec<String> = std::iter::once(app.name.to_string())
             .chain(args.iter().map(|s| s.to_string()))
             .collect();
@@ -104,11 +128,26 @@ impl Loader {
 
         // Map program arguments to the device (main-wrapper behaviour).
         let argv_bytes: u64 = argv.iter().map(|a| a.len() as u64 + 1).sum();
-        let mut transfer_seconds = gpu
+        let h2d_s = gpu
             .transfers
             .record(TransferDirection::HostToDevice, argv_bytes);
+        let mut transfer_seconds = h2d_s;
+        if traced {
+            obs.span_args(
+                PID_HOST,
+                0,
+                "h2d argv",
+                "loader",
+                0.0,
+                h2d_s * 1e6,
+                vec![("bytes".into(), Value::U64(argv_bytes))],
+            );
+        }
 
         let device_globals = alloc_device_globals(gpu, &image).map_err(LoaderError::Globals)?;
+        if traced {
+            obs.instant(PID_HOST, 0, "alloc globals", "loader", h2d_s * 1e6);
+        }
 
         let (server, client) = RpcServer::spawn(services);
         let footprint = app
@@ -121,6 +160,7 @@ impl Loader {
         spec.rpc_services = Some(image.rpc_services.iter().copied().collect());
         spec.footprint_multiplier = footprint;
         spec.keep_traces = self.keep_traces;
+        spec.collect_detail = traced;
         let main_fn = app.main;
         let argv_ref = &argv;
         let image_ref = &image;
@@ -144,7 +184,38 @@ impl Loader {
         let launch = launch.map_err(LoaderError::Launch)?;
 
         // map(from: Ret) — copy the return code back.
-        transfer_seconds += gpu.transfers.record(TransferDirection::DeviceToHost, 4);
+        let d2h_s = gpu.transfers.record(TransferDirection::DeviceToHost, 4);
+        transfer_seconds += d2h_s;
+
+        if traced {
+            let kernel_start_us = h2d_s * 1e6;
+            let kernel_us = launch.report.sim_time_s * 1e6;
+            obs.span_args(
+                PID_HOST,
+                0,
+                app.name,
+                "kernel",
+                kernel_start_us,
+                kernel_us,
+                vec![("blocks".into(), Value::U64(launch.report.blocks as u64))],
+            );
+            if let Some(sched) = &launch.schedule {
+                record_schedule(
+                    obs,
+                    sched,
+                    gpu.spec.cycles_to_seconds(1.0) * 1e6,
+                    kernel_start_us + gpu.spec.launch_overhead_us,
+                );
+            }
+            obs.span(
+                PID_HOST,
+                0,
+                "d2h results",
+                "loader",
+                kernel_start_us + kernel_us,
+                d2h_s * 1e6,
+            );
+        }
 
         let (exit_code, trap) = match &launch.team_outcomes[0] {
             TeamOutcome::Return(c) => (Some(services.exit_code_of(0).unwrap_or(*c)), None),
@@ -223,13 +294,14 @@ module "hello" {
 }
 "#;
 
-    fn hello_main(
-        team: &mut TeamCtx<'_>,
-        cx: &AppContext,
-    ) -> Result<i32, gpu_sim::KernelError> {
+    fn hello_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, gpu_sim::KernelError> {
         let argv1 = cx.argv.get(1).cloned().unwrap_or_default();
         team.serial("main", |lane| {
-            dl_printf(lane, "hello from %s arg=%s\n", &[cx.argv[0].as_str().into(), argv1.as_str().into()])?;
+            dl_printf(
+                lane,
+                "hello from %s arg=%s\n",
+                &[cx.argv[0].as_str().into(), argv1.as_str().into()],
+            )?;
             Ok(())
         })?;
         Ok(0)
@@ -254,6 +326,27 @@ module "hello" {
         assert_eq!(res.rpc_stats.stdio_calls, 1);
         // Loader cleaned the device heap.
         assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn traced_loader_run_is_identical_and_records_timeline() {
+        let mut gpu = Gpu::a100();
+        let plain = Loader::default()
+            .run(&mut gpu, &app(), &["-x"], HostServices::default())
+            .unwrap();
+        let mut gpu = Gpu::a100();
+        let mut obs = Recorder::enabled();
+        let traced = Loader::default()
+            .run_traced(&mut gpu, &app(), &["-x"], HostServices::default(), &mut obs)
+            .unwrap();
+        assert_eq!(plain.report, traced.report);
+        assert_eq!(plain.stdout, traced.stdout);
+        let cats: Vec<&str> = obs.events().iter().map(|e| e.cat.as_str()).collect();
+        for want in ["loader", "kernel", "block", "phase"] {
+            assert!(cats.contains(&want), "missing {want} events in {cats:?}");
+        }
+        // The exported document is a valid Chrome trace.
+        assert!(dgc_obs::validate_chrome_trace(&obs.to_chrome_trace()).unwrap() > 0);
     }
 
     #[test]

@@ -27,9 +27,7 @@ use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GL
 use dgc_compiler::{compile, CompilerOptions};
 use dgc_ir::Module;
 use gpu_mem::TransferDirection;
-use gpu_sim::{
-    simulate_timing, BlockTrace, MixedSeg, Phase, TeamCtx, TeamTrace, TimingInputs,
-};
+use gpu_sim::{simulate_timing, BlockTrace, MixedSeg, Phase, TeamCtx, TeamTrace, TimingInputs};
 use host_rpc::{HostServices, RpcServer, RpcStats};
 
 use crate::loader::LoaderError;
@@ -41,7 +39,10 @@ pub enum MultiTeamError {
     Loader(LoaderError),
     /// The expansion analysis found order-dependent parallel regions, so
     /// OpenMP semantics forbid multiple teams (the paper's §3 case).
-    NotEligible { parallel_regions: u32, expandable: u32 },
+    NotEligible {
+        parallel_regions: u32,
+        expandable: u32,
+    },
 }
 
 impl std::fmt::Display for MultiTeamError {
@@ -95,10 +96,8 @@ pub fn run_multi_team(
     services: HostServices,
 ) -> Result<MultiTeamResult, MultiTeamError> {
     assert!(num_teams >= 1 && thread_limit >= 1);
-    let module =
-        Module::parse(&app.module_text).map_err(LoaderError::ModuleParse)?;
-    let mut image =
-        compile(module, &CompilerOptions::default()).map_err(LoaderError::Compile)?;
+    let module = Module::parse(&app.module_text).map_err(LoaderError::ModuleParse)?;
+    let mut image = compile(module, &CompilerOptions::default()).map_err(LoaderError::Compile)?;
     inject_main_wrapper(&mut image.module);
     if !image.expansion.multi_team_eligible {
         return Err(MultiTeamError::NotEligible {
@@ -114,8 +113,7 @@ pub fn run_multi_team(
     let mut transfer_seconds = gpu
         .transfers
         .record(TransferDirection::HostToDevice, argv_bytes);
-    let device_globals =
-        alloc_device_globals(gpu, &image).map_err(LoaderError::Globals)?;
+    let device_globals = alloc_device_globals(gpu, &image).map_err(LoaderError::Globals)?;
 
     // ---- Functional execution with the expanded lane count. ----
     let (server, client) = RpcServer::spawn(services);
@@ -130,7 +128,10 @@ pub fn run_multi_team(
     {
         let mut hook = make_rpc_hook(&client);
         let mut ctx = TeamCtx::new(&mut gpu.mem, 0, 1, lanes, 0, gpu.spec.shared_mem_per_block);
-        ctx.set_host_call(&mut hook, Some(image.rpc_services.iter().copied().collect()));
+        ctx.set_host_call(
+            &mut hook,
+            Some(image.rpc_services.iter().copied().collect()),
+        );
         outcome = (|| {
             let globals = build_globals(&mut ctx, &image, &device_globals)?;
             let cx = AppContext {
@@ -162,6 +163,7 @@ pub fn run_multi_team(
             blocks: &blocks,
             params: &gpu.timing,
             footprint_multiplier: footprint,
+            collect_detail: false,
         });
         kernel_cycles += timing.cycles;
     }
@@ -261,10 +263,7 @@ module "mtx" {
 }
 "#;
 
-    fn stream_main(
-        team: &mut TeamCtx<'_>,
-        cx: &AppContext,
-    ) -> Result<i32, KernelError> {
+    fn stream_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
         let n: u64 = cx.argv.get(1).and_then(|v| v.parse().ok()).unwrap_or(4000);
         let buf = team.serial("alloc", |lane| lane.dev_alloc(8 * n))?;
         team.parallel_for("fill", n, |i, lane| {
@@ -286,8 +285,15 @@ module "mtx" {
     #[test]
     fn multi_team_runs_and_matches_single_team_results() {
         let mut gpu = Gpu::a100();
-        let res = run_multi_team(&mut gpu, &app(), &["20000"], 8, 128, HostServices::default())
-            .unwrap();
+        let res = run_multi_team(
+            &mut gpu,
+            &app(),
+            &["20000"],
+            8,
+            128,
+            HostServices::default(),
+        )
+        .unwrap();
         assert_eq!(res.exit_code, Some(0), "trap: {:?}", res.trap);
         let expected: f64 = (0..20000).map(|i| i as f64).sum();
         assert_eq!(res.stdout, format!("sum {expected:.1}\n"));
@@ -299,9 +305,16 @@ module "mtx" {
     fn more_teams_speed_up_parallel_regions() {
         let time = |teams: u32| {
             let mut gpu = Gpu::a100();
-            run_multi_team(&mut gpu, &app(), &["60000"], teams, 128, HostServices::default())
-                .unwrap()
-                .kernel_time_s
+            run_multi_team(
+                &mut gpu,
+                &app(),
+                &["60000"],
+                teams,
+                128,
+                HostServices::default(),
+            )
+            .unwrap()
+            .kernel_time_s
         };
         let t1 = time(1);
         let t8 = time(8);

@@ -2,12 +2,50 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Why a speedup computation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A measured time was zero or negative (`which` is "t1" or "tn").
+    NonPositiveTime { which: &'static str, value: f64 },
+    /// The series has no runnable N=1 measurement to normalize against.
+    MissingBaseline,
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::NonPositiveTime { which, value } => {
+                write!(f, "{which} must be positive, got {value}")
+            }
+            StatsError::MissingBaseline => {
+                write!(f, "series needs a runnable single-instance measurement")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
 /// The paper's §4.3 relative-speedup metric: `T1 × N / TN`, where `T1` is
 /// the single-instance time and `TN` the time for `N` concurrent instances.
-/// Equals `N` under perfectly linear scaling.
-pub fn relative_speedup(t1: f64, n: u32, tn: f64) -> f64 {
-    assert!(t1 > 0.0 && tn > 0.0, "times must be positive");
-    t1 * n as f64 / tn
+/// Equals `N` under perfectly linear scaling. Rejects non-positive times
+/// instead of dividing by (or into) zero.
+pub fn relative_speedup(t1: f64, n: u32, tn: f64) -> Result<f64, StatsError> {
+    // NaN also fails this check, so NaN inputs are rejected, not propagated.
+    let positive = |v: f64| v.partial_cmp(&0.0) == Some(std::cmp::Ordering::Greater);
+    if !positive(t1) {
+        return Err(StatsError::NonPositiveTime {
+            which: "t1",
+            value: t1,
+        });
+    }
+    if !positive(tn) {
+        return Err(StatsError::NonPositiveTime {
+            which: "tn",
+            value: tn,
+        });
+    }
+    Ok(t1 * n as f64 / tn)
 }
 
 /// One measured point of a scaling curve.
@@ -30,30 +68,36 @@ pub struct SpeedupSeries {
 
 impl SpeedupSeries {
     /// Build a series from measured times, computing speedups against the
-    /// N=1 point (which must be present and runnable).
+    /// N=1 point. Fails with [`StatsError::MissingBaseline`] when no
+    /// runnable single-instance measurement exists, and propagates
+    /// non-positive measured times.
     pub fn from_times(
         benchmark: &str,
         thread_limit: u32,
         times: &[(u32, Option<f64>)],
-    ) -> SpeedupSeries {
+    ) -> Result<SpeedupSeries, StatsError> {
         let t1 = times
             .iter()
             .find(|(n, _)| *n == 1)
             .and_then(|(_, t)| *t)
-            .expect("series needs a runnable single-instance measurement");
-        let points = times
-            .iter()
-            .map(|&(n, t)| SpeedupPoint {
+            .ok_or(StatsError::MissingBaseline)?;
+        let mut points = Vec::with_capacity(times.len());
+        for &(n, t) in times {
+            let speedup = match t {
+                Some(t) => Some(relative_speedup(t1, n, t)?),
+                None => None,
+            };
+            points.push(SpeedupPoint {
                 instances: n,
                 time_s: t,
-                speedup: t.map(|t| relative_speedup(t1, n, t)),
-            })
-            .collect();
-        SpeedupSeries {
+                speedup,
+            });
+        }
+        Ok(SpeedupSeries {
             benchmark: benchmark.to_string(),
             thread_limit,
             points,
-        }
+        })
     }
 
     /// Largest speedup across runnable points.
@@ -66,9 +110,11 @@ impl SpeedupSeries {
 
     /// Whether the curve never exceeds linear scaling (within tolerance).
     pub fn is_sublinear(&self, tol: f64) -> bool {
-        self.points
-            .iter()
-            .all(|p| p.speedup.map(|s| s <= p.instances as f64 * (1.0 + tol)).unwrap_or(true))
+        self.points.iter().all(|p| {
+            p.speedup
+                .map(|s| s <= p.instances as f64 * (1.0 + tol))
+                .unwrap_or(true)
+        })
     }
 }
 
@@ -79,11 +125,11 @@ mod tests {
     #[test]
     fn speedup_formula_matches_paper() {
         // If 64 instances take the same time as 1 instance, speedup = 64.
-        assert_eq!(relative_speedup(2.0, 64, 2.0), 64.0);
+        assert_eq!(relative_speedup(2.0, 64, 2.0), Ok(64.0));
         // If they take twice as long, speedup = 32.
-        assert_eq!(relative_speedup(2.0, 64, 4.0), 32.0);
+        assert_eq!(relative_speedup(2.0, 64, 4.0), Ok(32.0));
         // Single instance is always 1.
-        assert_eq!(relative_speedup(5.0, 1, 5.0), 1.0);
+        assert_eq!(relative_speedup(5.0, 1, 5.0), Ok(1.0));
     }
 
     #[test]
@@ -97,7 +143,8 @@ mod tests {
                 (4, Some(1.3)),
                 (8, None), // OOM
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(s.points[1].speedup, Some(2.0 / 1.1));
         assert_eq!(s.points[3].speedup, None);
         assert!(s.is_sublinear(1e-9));
@@ -105,8 +152,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_time_rejected() {
-        relative_speedup(0.0, 2, 1.0);
+    fn zero_time_rejected_as_error() {
+        assert_eq!(
+            relative_speedup(0.0, 2, 1.0),
+            Err(StatsError::NonPositiveTime {
+                which: "t1",
+                value: 0.0
+            })
+        );
+        assert_eq!(
+            relative_speedup(1.0, 2, -3.0),
+            Err(StatsError::NonPositiveTime {
+                which: "tn",
+                value: -3.0
+            })
+        );
+    }
+
+    #[test]
+    fn series_without_baseline_is_an_error() {
+        let err = SpeedupSeries::from_times("xs", 32, &[(1, None), (2, Some(1.0))]);
+        assert_eq!(err, Err(StatsError::MissingBaseline));
+        let err = SpeedupSeries::from_times("xs", 32, &[(2, Some(1.0))]);
+        assert_eq!(err, Err(StatsError::MissingBaseline));
     }
 }

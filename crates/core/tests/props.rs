@@ -51,11 +51,11 @@ proptest! {
     /// The speedup metric is scale-invariant and linear in N.
     #[test]
     fn speedup_properties(t1 in 1e-6f64..1e3, tn in 1e-6f64..1e3, n in 1u32..128, scale in 1e-3f64..1e3) {
-        let s = relative_speedup(t1, n, tn);
-        let s_scaled = relative_speedup(t1 * scale, n, tn * scale);
+        let s = relative_speedup(t1, n, tn).unwrap();
+        let s_scaled = relative_speedup(t1 * scale, n, tn * scale).unwrap();
         prop_assert!((s - s_scaled).abs() <= s.abs() * 1e-9);
         // Linear scaling gives exactly N.
-        let lin = relative_speedup(t1, n, t1);
+        let lin = relative_speedup(t1, n, t1).unwrap();
         prop_assert!((lin - n as f64).abs() < 1e-9);
     }
 }

@@ -204,7 +204,10 @@ pub fn format_c(fmt: &str, args: &[PrintfArg]) -> String {
             spec.precision = Some(prec.parse().unwrap_or(0));
         }
         // Length modifiers (parsed and ignored; our args are 64-bit).
-        while matches!(chars.peek(), Some('l') | Some('h') | Some('z') | Some('j') | Some('t')) {
+        while matches!(
+            chars.peek(),
+            Some('l') | Some('h') | Some('z') | Some('j') | Some('t')
+        ) {
             chars.next();
         }
         let Some(conv) = chars.next() else {
@@ -237,7 +240,12 @@ pub fn format_c(fmt: &str, args: &[PrintfArg]) -> String {
             'f' | 'F' => {
                 let v = take(&mut next_arg).map(arg_as_f64).unwrap_or(0.0);
                 let prec = spec.precision.unwrap_or(6);
-                let body = format!("{}{:.*}", spec.sign_prefix(v.is_sign_negative()), prec, v.abs());
+                let body = format!(
+                    "{}{:.*}",
+                    spec.sign_prefix(v.is_sign_negative()),
+                    prec,
+                    v.abs()
+                );
                 out.push_str(&spec.pad(body, true));
             }
             'e' | 'E' => {
@@ -248,7 +256,12 @@ pub fn format_c(fmt: &str, args: &[PrintfArg]) -> String {
                 if let Some(epos) = body.find('e') {
                     let (mant, exp) = body.split_at(epos);
                     let exp: i32 = exp[1..].parse().unwrap_or(0);
-                    body = format!("{}e{}{:02}", mant, if exp < 0 { '-' } else { '+' }, exp.abs());
+                    body = format!(
+                        "{}e{}{:02}",
+                        mant,
+                        if exp < 0 { '-' } else { '+' },
+                        exp.abs()
+                    );
                 }
                 if conv == 'E' {
                     body = body.to_uppercase();
@@ -318,7 +331,10 @@ mod tests {
         assert_eq!(f("%05d", &[42i32.into()]), "00042");
         assert_eq!(f("%05d", &[(-42i64).into()]), "-0042");
         assert_eq!(f("%+d", &[42i32.into()]), "+42");
-        assert_eq!(f("%ld %lu %zu", &[1i64.into(), 2u64.into(), 3usize.into()]), "1 2 3");
+        assert_eq!(
+            f("%ld %lu %zu", &[1i64.into(), 2u64.into(), 3usize.into()]),
+            "1 2 3"
+        );
     }
 
     #[test]
@@ -332,10 +348,10 @@ mod tests {
     #[test]
     fn floats() {
         assert_eq!(f("%f", &[1.5f64.into()]), "1.500000");
-        assert_eq!(f("%.2f", &[3.14159f64.into()]), "3.14");
+        assert_eq!(f("%.2f", &[std::f64::consts::PI.into()]), "3.14");
         assert_eq!(f("%.0f", &[2.6f64.into()]), "3");
-        assert_eq!(f("%8.2f", &[3.14159f64.into()]), "    3.14");
-        assert_eq!(f("%-8.2f|", &[3.14159f64.into()]), "3.14    |");
+        assert_eq!(f("%8.2f", &[std::f64::consts::PI.into()]), "    3.14");
+        assert_eq!(f("%-8.2f|", &[std::f64::consts::PI.into()]), "3.14    |");
         assert_eq!(f("%.2f", &[(-1.005f64).into()]), "-1.00");
     }
 

@@ -23,10 +23,7 @@ impl Lcg64 {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self
-            .state
-            .wrapping_mul(Self::MULT)
-            .wrapping_add(Self::ADD);
+        self.state = self.state.wrapping_mul(Self::MULT).wrapping_add(Self::ADD);
         self.state
     }
 

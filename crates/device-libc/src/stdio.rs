@@ -113,7 +113,12 @@ pub fn dl_exit(lane: &mut LaneCtx<'_, '_>, code: i32) -> Result<(), KernelError>
 
 /// `time()`-style query against the host clock service, in nanoseconds.
 pub fn dl_clock_ns(lane: &mut LaneCtx<'_, '_>) -> Result<u64, KernelError> {
-    match send(lane, Request::Clock { instance: lane.tag() })? {
+    match send(
+        lane,
+        Request::Clock {
+            instance: lane.tag(),
+        },
+    )? {
         Response::Clock(ns) => Ok(ns),
         other => Err(KernelError::HostCallFailed(format!(
             "unexpected clock response {other:?}"

@@ -126,11 +126,7 @@ pub fn read_cstr(lane: &mut LaneCtx<'_, '_>, s: DevicePtr) -> Result<String, Ker
 
 /// Write a host string into device memory as a NUL-terminated C string;
 /// the buffer must have room for `s.len() + 1` bytes.
-pub fn write_cstr(
-    lane: &mut LaneCtx<'_, '_>,
-    dst: DevicePtr,
-    s: &str,
-) -> Result<(), KernelError> {
+pub fn write_cstr(lane: &mut LaneCtx<'_, '_>, dst: DevicePtr, s: &str) -> Result<(), KernelError> {
     for (i, b) in s.bytes().enumerate() {
         lane.st::<u8>(dst.byte_add(i as u64), b)?;
     }

@@ -88,7 +88,10 @@ mod tests {
         GlobalsToShared::default()
             .run(&mut m, &mut PassContext::default())
             .unwrap();
-        assert_eq!(m.global("table").unwrap().placement, GlobalPlacement::Constant);
+        assert_eq!(
+            m.global("table").unwrap().placement,
+            GlobalPlacement::Constant
+        );
     }
 
     #[test]
@@ -101,9 +104,18 @@ mod tests {
         GlobalsToShared { shared_budget: 250 }
             .run(&mut m, &mut cx)
             .unwrap();
-        assert_eq!(m.global("a").unwrap().placement, GlobalPlacement::TeamShared);
-        assert_eq!(m.global("b").unwrap().placement, GlobalPlacement::TeamShared);
-        assert_eq!(m.global("c").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        assert_eq!(
+            m.global("a").unwrap().placement,
+            GlobalPlacement::TeamShared
+        );
+        assert_eq!(
+            m.global("b").unwrap().placement,
+            GlobalPlacement::TeamShared
+        );
+        assert_eq!(
+            m.global("c").unwrap().placement,
+            GlobalPlacement::DeviceGlobal
+        );
         assert!(cx.diags.warnings().any(|d| d.message.contains("@c")));
     }
 
@@ -113,7 +125,10 @@ mod tests {
         m.add_global(Global::new("big", 10 << 20));
         let mut cx = PassContext::default();
         GlobalsToShared::default().run(&mut m, &mut cx).unwrap();
-        assert_eq!(m.global("big").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        assert_eq!(
+            m.global("big").unwrap().placement,
+            GlobalPlacement::DeviceGlobal
+        );
         assert!(cx.diags.warnings().any(|d| d.message.contains("race")));
     }
 

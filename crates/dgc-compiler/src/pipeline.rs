@@ -61,7 +61,10 @@ impl std::fmt::Display for CompileError {
             CompileError::Invalid(e) => write!(f, "invalid input module: {e}"),
             CompileError::Pass(e) => write!(f, "{e}"),
             CompileError::Errors(d) => {
-                let n = d.iter().filter(|x| x.severity == crate::Severity::Error).count();
+                let n = d
+                    .iter()
+                    .filter(|x| x.severity == crate::Severity::Error)
+                    .count();
                 write!(f, "compilation produced {n} errors")
             }
         }

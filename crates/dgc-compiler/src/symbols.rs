@@ -20,17 +20,18 @@ pub fn classify_external(name: &str) -> SymbolClass {
         // ---- partial device libc ------------------------------------
         "malloc" | "free" | "calloc" | "realloc" | "aligned_alloc" => SymbolClass::DeviceLibc,
         "memcpy" | "memset" | "memmove" | "memcmp" => SymbolClass::DeviceLibc,
-        "strlen" | "strcmp" | "strncmp" | "strcpy" | "strncpy" | "strchr" | "strstr"
-        | "strtol" | "strtoul" | "strtod" | "atoi" | "atol" | "atof" => SymbolClass::DeviceLibc,
+        "strlen" | "strcmp" | "strncmp" | "strcpy" | "strncpy" | "strchr" | "strstr" | "strtol"
+        | "strtoul" | "strtod" | "atoi" | "atol" | "atof" => SymbolClass::DeviceLibc,
         "qsort" | "bsearch" | "rand" | "srand" | "abs" | "labs" => SymbolClass::DeviceLibc,
-        "sqrt" | "sqrtf" | "pow" | "powf" | "exp" | "expf" | "log" | "logf" | "log10"
-        | "sin" | "sinf" | "cos" | "cosf" | "tan" | "fabs" | "fabsf" | "floor" | "ceil"
-        | "fmod" | "fmin" | "fmax" => SymbolClass::DeviceLibc,
+        "sqrt" | "sqrtf" | "pow" | "powf" | "exp" | "expf" | "log" | "logf" | "log10" | "sin"
+        | "sinf" | "cos" | "cosf" | "tan" | "fabs" | "fabsf" | "floor" | "ceil" | "fmod"
+        | "fmin" | "fmax" => SymbolClass::DeviceLibc,
         "snprintf" | "sprintf" | "sscanf" => SymbolClass::DeviceLibc,
 
         // ---- host RPC services --------------------------------------
-        "printf" | "puts" | "putchar" | "fputs" | "fprintf" | "vprintf" | "fflush"
-        | "perror" => SymbolClass::Rpc(SERVICE_STDIO),
+        "printf" | "puts" | "putchar" | "fputs" | "fprintf" | "vprintf" | "fflush" | "perror" => {
+            SymbolClass::Rpc(SERVICE_STDIO)
+        }
         "fopen" | "fclose" | "fread" | "fwrite" | "fseek" | "ftell" | "rewind" | "fgets"
         | "fgetc" | "fputc" | "feof" | "remove" | "rename" => SymbolClass::Rpc(SERVICE_FS),
         "time" | "clock" | "clock_gettime" | "gettimeofday" | "difftime" => {
@@ -40,8 +41,8 @@ pub fn classify_external(name: &str) -> SymbolClass {
 
         // ---- impossible on the device --------------------------------
         "fork" | "execve" | "system" | "popen" | "mmap" | "munmap" | "pthread_create"
-        | "pthread_join" | "socket" | "connect" | "bind" | "accept" | "dlopen"
-        | "signal" | "sigaction" | "longjmp" | "setjmp" => SymbolClass::HostOnly,
+        | "pthread_join" | "socket" | "connect" | "bind" | "accept" | "dlopen" | "signal"
+        | "sigaction" | "longjmp" | "setjmp" => SymbolClass::HostOnly,
 
         // Unknown symbols are conservatively host-only: the framework
         // cannot prove they are safe to execute on the device.

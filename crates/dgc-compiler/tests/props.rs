@@ -10,8 +10,8 @@ use proptest::prelude::*;
 fn arb_module() -> impl Strategy<Value = Module> {
     let externs = prop::collection::vec(
         prop::sample::select(vec![
-            "printf", "malloc", "free", "sqrt", "atoi", "fopen", "fread", "exit", "time",
-            "strcmp", "memcpy", "rand",
+            "printf", "malloc", "free", "sqrt", "atoi", "fopen", "fread", "exit", "time", "strcmp",
+            "memcpy", "rand",
         ]),
         0..6,
     );

@@ -77,11 +77,7 @@ impl CallGraph {
     /// Whether the subgraph reachable from `root` contains a cycle
     /// (recursion — which the device runtime must bound).
     pub fn has_recursion(&self, root: &str) -> bool {
-        fn walk<'a>(
-            g: &'a CallGraph,
-            f: &'a str,
-            state: &mut BTreeMap<&'a str, u8>,
-        ) -> bool {
+        fn walk<'a>(g: &'a CallGraph, f: &'a str, state: &mut BTreeMap<&'a str, u8>) -> bool {
             match state.get(f).copied().unwrap_or(0) {
                 1 => return true, // back edge
                 2 => return false,

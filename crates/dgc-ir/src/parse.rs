@@ -163,7 +163,8 @@ fn parse_global(line: &str, lineno: usize) -> Result<Global, ParseError> {
     let tokens = tokenize(body);
     let mut it = tokens.iter();
     let name = parse_symbol_name(
-        it.next().ok_or_else(|| err(lineno, "global needs a name"))?,
+        it.next()
+            .ok_or_else(|| err(lineno, "global needs a name"))?,
         lineno,
     )?;
     let mut g = Global::new(&name, 0);
@@ -268,7 +269,10 @@ module "xs" {
         assert_eq!(m.globals.len(), 2);
         assert_eq!(m.functions.len(), 6);
         assert!(m.global("grid").unwrap().is_const);
-        assert_eq!(m.global("grid").unwrap().placement, GlobalPlacement::DeviceGlobal);
+        assert_eq!(
+            m.global("grid").unwrap().placement,
+            GlobalPlacement::DeviceGlobal
+        );
         let run = m.function("run").unwrap();
         assert_eq!(run.attrs.parallel_regions(), 1);
         assert!(run.attrs.has(&Attr::OrderIndependentParallel));

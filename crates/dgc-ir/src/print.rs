@@ -18,7 +18,11 @@ impl fmt::Display for Module {
 
 impl fmt::Display for Global {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "global @{} size={} align={}", self.name, self.size, self.align)?;
+        write!(
+            f,
+            "global @{} size={} align={}",
+            self.name, self.size, self.align
+        )?;
         if self.is_const {
             write!(f, " const")?;
         }

@@ -1,0 +1,157 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+
+use crate::recorder::{Recorder, TraceEvent};
+use serde::{Serialize, Value};
+
+impl Serialize for TraceEvent {
+    // Hand-rolled: the trace-event format wants `ph` as a string, `dur`
+    // only on complete events, a scope field on instants, and `args`
+    // omitted when empty — shapes the derive can't express.
+    fn to_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("cat".into(), Value::Str(self.cat.clone())),
+            ("ph".into(), Value::Str(self.ph.to_string())),
+            ("ts".into(), Value::F64(self.ts)),
+            ("pid".into(), Value::U64(self.pid as u64)),
+            ("tid".into(), Value::U64(self.tid as u64)),
+        ];
+        if let Some(dur) = self.dur {
+            obj.push(("dur".into(), Value::F64(dur)));
+        }
+        if self.ph == 'i' {
+            // Instant scope: thread-local arrow in the viewer.
+            obj.push(("s".into(), Value::Str("t".into())));
+        }
+        if !self.args.is_empty() {
+            obj.push(("args".into(), Value::Object(self.args.clone())));
+        }
+        Value::Object(obj)
+    }
+}
+
+fn metadata_event(name: &str, pid: u32, tid: Option<u32>, value: &str) -> Value {
+    let mut obj: Vec<(String, Value)> = vec![
+        ("name".into(), Value::Str(name.to_string())),
+        ("ph".into(), Value::Str("M".into())),
+        ("pid".into(), Value::U64(pid as u64)),
+    ];
+    if let Some(tid) = tid {
+        obj.push(("tid".into(), Value::U64(tid as u64)));
+    }
+    obj.push((
+        "args".into(),
+        Value::Object(vec![("name".into(), Value::Str(value.to_string()))]),
+    ));
+    Value::Object(obj)
+}
+
+impl Recorder {
+    /// Render everything recorded so far as a Chrome trace-event JSON
+    /// document: `{"traceEvents": [...]}` with lane-name metadata first,
+    /// then the spans/instants in recording order.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<Value> = Vec::with_capacity(self.events().len() + 8);
+        for (pid, name) in self.process_names() {
+            events.push(metadata_event("process_name", *pid, None, name));
+        }
+        for ((pid, tid), name) in self.thread_names() {
+            events.push(metadata_event("thread_name", *pid, Some(*tid), name));
+        }
+        events.extend(self.events().iter().map(|e| e.to_value()));
+        let doc = Value::Object(vec![("traceEvents".to_string(), Value::Array(events))]);
+        serde_json::to_string(&doc).expect("value serialization is total")
+    }
+}
+
+/// Structural sanity check for a Chrome trace document: parses the JSON,
+/// requires a `traceEvents` array whose entries carry the mandatory
+/// fields, non-negative timestamps and durations, and a known phase.
+/// Returns the number of non-metadata events.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    let mut payload = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let field = |k: &str| {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("event {i} missing `{k}`"))
+        };
+        let ph = field("ph")?
+            .as_str()
+            .ok_or_else(|| format!("event {i}: `ph` not a string"))?;
+        field("name")?;
+        field("pid")?;
+        match ph {
+            "M" => continue,
+            "X" => {
+                let ts = field("ts")?.as_f64().unwrap_or(-1.0);
+                let dur = field("dur")?.as_f64().unwrap_or(-1.0);
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur ({ts}, {dur})"));
+                }
+            }
+            "i" => {
+                let ts = field("ts")?.as_f64().unwrap_or(-1.0);
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts ({ts})"));
+                }
+            }
+            other => return Err(format!("event {i}: unknown phase {other:?}")),
+        }
+        payload += 1;
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_is_valid_and_counts_payload_events() {
+        let mut r = Recorder::enabled();
+        r.name_process(0, "loader");
+        r.name_process(1, "SM 0");
+        r.name_thread(1, 4, "block 4");
+        r.span(0, 0, "h2d argv", "loader", 0.0, 3.5);
+        r.span(1, 4, "block 4", "block", 5.0, 100.0);
+        r.instant(1, 4, "rpc stall ×2", "rpc", 80.0);
+        let json = r.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 3);
+        // Metadata precedes payload and names the lanes.
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            events[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("loader")
+        );
+    }
+
+    #[test]
+    fn empty_recorder_exports_empty_trace() {
+        let r = Recorder::disabled();
+        let json = r.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 0);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents":[{"ph":"X"}]}"#).is_err());
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":-1,"dur":1}]}"#
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Observability for ensemble launches (`dgc-obs`).
+//!
+//! Three layers, all pay-for-what-you-use:
+//!
+//! 1. [`Recorder`] — a lightweight span/event recorder on the *simulated*
+//!    clock (microseconds since launch start). A disabled recorder drops
+//!    every event at the door, so instrumented code paths cost one branch
+//!    when tracing is off and the simulation output stays byte-identical.
+//! 2. [`InstanceMetrics`] / [`LaunchMetrics`] — per-instance and
+//!    launch-wide counters (cycles, warp instructions, bytes, RPC calls by
+//!    service, heap high-water mark), exported as JSONL via
+//!    [`metrics_jsonl`].
+//! 3. Chrome trace-event export — [`Recorder::to_chrome_trace`] renders
+//!    the recorded spans as a `{"traceEvents": [...]}` document that
+//!    loads in Perfetto / `chrome://tracing`, one process lane per SM
+//!    plus a host lane for the loader timeline.
+//!
+//! The recorder is deliberately format-agnostic: instrumentation sites in
+//! `dgc-core`, `gpu-sim` and `host-rpc` only push named spans; the lane
+//! conventions ([`PID_HOST`], [`sm_pid`]) and exporters live here.
+
+mod chrome;
+mod metrics;
+mod recorder;
+
+pub use chrome::validate_chrome_trace;
+pub use metrics::{metrics_jsonl, InstanceMetrics, LaunchMetrics, RpcCallCounts};
+pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, PID_HOST};

@@ -1,0 +1,226 @@
+//! Per-instance and launch-wide metrics, with a JSONL exporter.
+
+use host_rpc::RpcStats;
+use serde::{Deserialize, Serialize, Value};
+
+/// Host-RPC round trips broken down by service, as seen by one instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RpcCallCounts {
+    pub stdio: u64,
+    pub fs: u64,
+    pub clock: u64,
+    pub exit: u64,
+    /// Requests answered with an error response (already included in the
+    /// per-service counts).
+    pub errors: u64,
+}
+
+impl RpcCallCounts {
+    /// Total round trips (errors are not double-counted).
+    pub fn total(&self) -> u64 {
+        self.stdio + self.fs + self.clock + self.exit
+    }
+}
+
+impl From<RpcStats> for RpcCallCounts {
+    fn from(s: RpcStats) -> Self {
+        Self {
+            stdio: s.stdio_calls,
+            fs: s.fs_calls,
+            clock: s.clock_calls,
+            exit: s.exit_calls,
+            errors: s.errors,
+        }
+    }
+}
+
+/// Everything the simulator knows about one instance of an ensemble
+/// launch, flattened for export. One JSONL record per instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceMetrics {
+    /// Instance id within the launch (its heap-region tag).
+    pub instance: u32,
+    /// `__user_main`'s return value, `None` if the instance trapped.
+    pub exit_code: Option<i32>,
+    pub trapped: bool,
+    /// Trapped specifically on device-heap exhaustion.
+    pub oom: bool,
+    /// Simulated completion time of the instance's block, seconds from
+    /// launch-sequence start.
+    pub end_time_s: f64,
+    /// Completion cycle of the instance's block within its kernel.
+    pub cycles: f64,
+    /// Warp-instructions executed by the instance's team.
+    pub warp_insts: f64,
+    /// Bytes the instance's loads/stores actually needed.
+    pub useful_bytes: f64,
+    /// Bytes moved after coalescing into 32 B sectors.
+    pub moved_bytes: f64,
+    /// 32 B sector transactions.
+    pub sectors: u64,
+    /// High-water mark of the instance's device-heap region, bytes.
+    pub heap_peak_bytes: u64,
+    /// RPC round trips by service.
+    pub rpc: RpcCallCounts,
+    /// Modeled warp-visible time spent waiting on host round trips.
+    pub rpc_stall_s: f64,
+}
+
+/// Launch-wide rollup: one JSONL record per ensemble launch, after the
+/// per-instance records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchMetrics {
+    pub kernel: String,
+    pub instances: u32,
+    /// Instances that trapped or exited non-zero.
+    pub failed: u32,
+    /// Subset of `failed` that ran out of device-heap memory.
+    pub oom: u32,
+    pub kernel_time_s: f64,
+    pub total_time_s: f64,
+    pub waves: u32,
+    pub rpc_total: u64,
+}
+
+fn tagged_record(kind: &str, v: Value) -> Value {
+    let mut obj = vec![("record".to_string(), Value::Str(kind.to_string()))];
+    if let Value::Object(fields) = v {
+        obj.extend(fields);
+    }
+    Value::Object(obj)
+}
+
+/// Render metrics as JSON Lines: one `{"record":"instance",...}` line per
+/// instance followed by one `{"record":"launch",...}` rollup line.
+pub fn metrics_jsonl(instances: &[InstanceMetrics], launch: &LaunchMetrics) -> String {
+    let mut out = String::new();
+    for m in instances {
+        let line = serde_json::to_string(&tagged_record("instance", m.to_value()))
+            .expect("value serialization is total");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let line = serde_json::to_string(&tagged_record("launch", launch.to_value()))
+        .expect("value serialization is total");
+    out.push_str(&line);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instance() -> InstanceMetrics {
+        InstanceMetrics {
+            instance: 3,
+            exit_code: Some(0),
+            trapped: false,
+            oom: false,
+            end_time_s: 1.25e-3,
+            cycles: 1.7e6,
+            warp_insts: 5.0e5,
+            useful_bytes: 1.0e6,
+            moved_bytes: 1.5e6,
+            sectors: 46875,
+            heap_peak_bytes: 4096,
+            rpc: RpcCallCounts {
+                stdio: 2,
+                fs: 1,
+                clock: 0,
+                exit: 1,
+                errors: 0,
+            },
+            rpc_stall_s: 8.0e-5,
+        }
+    }
+
+    #[test]
+    fn instance_metrics_round_trip() {
+        let m = sample_instance();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: InstanceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn trapped_instance_round_trips_none_exit_code() {
+        let mut m = sample_instance();
+        m.exit_code = None;
+        m.trapped = true;
+        m.oom = true;
+        let json = serde_json::to_string(&m).unwrap();
+        let back: InstanceMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.exit_code, None);
+        assert!(back.trapped && back.oom);
+    }
+
+    #[test]
+    fn sim_report_round_trip() {
+        use gpu_sim::SimReport;
+        let r = SimReport {
+            kernel_name: "xsbench-x8".to_string(),
+            kernel_cycles: 1.0e7,
+            sim_time_s: 7.2e-3,
+            blocks: 8,
+            threads_per_block: 32,
+            waves: 1,
+            occupancy: 0.5,
+            total_insts: 2.0e6,
+            total_sectors: 90_000,
+            useful_bytes: 2.4e6,
+            moved_bytes: 2.88e6,
+            coalescing_efficiency: 2.4 / 2.88,
+            l2_hit: 0.9,
+            dram_efficiency: 0.62,
+            active_region_tags: 8,
+            issue_utilization: 0.11,
+            dram_utilization: 0.4,
+            rpc_calls: 24,
+            block_end_cycles: vec![1.0e7, 9.5e6],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: SimReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn rpc_counts_from_stats() {
+        let s = RpcStats {
+            stdio_calls: 5,
+            fs_calls: 2,
+            clock_calls: 3,
+            exit_calls: 1,
+            errors: 1,
+        };
+        let c = RpcCallCounts::from(s);
+        assert_eq!(c.total(), 11);
+        assert_eq!(c.errors, 1);
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_instance_plus_launch() {
+        let instances = vec![sample_instance(), sample_instance()];
+        let launch = LaunchMetrics {
+            kernel: "xsbench-x2".into(),
+            instances: 2,
+            failed: 0,
+            oom: 0,
+            kernel_time_s: 1.0e-3,
+            total_time_s: 1.5e-3,
+            waves: 1,
+            rpc_total: 8,
+        };
+        let text = metrics_jsonl(&instances, &launch);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines[..2] {
+            let v: Value = serde_json::from_str(line).unwrap();
+            assert_eq!(v.get("record").unwrap().as_str(), Some("instance"));
+            assert!(v.get("cycles").is_some());
+        }
+        let v: Value = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(v.get("record").unwrap().as_str(), Some("launch"));
+        assert_eq!(v.get("instances").unwrap().as_u64(), Some(2));
+    }
+}

@@ -1,0 +1,331 @@
+//! The span/event recorder and its gpu-sim bridge.
+
+use gpu_sim::ScheduleDetail;
+use serde::Value;
+
+/// Process lane reserved for the host-side loader timeline (argfile
+/// parsing, H2D/D2H transfers, the kernel envelope, RPC service totals).
+pub const PID_HOST: u32 = 0;
+
+/// Process lane of a simulated SM. SM lanes start at 1 so they never
+/// collide with [`PID_HOST`].
+pub fn sm_pid(sm: u32) -> u32 {
+    sm + 1
+}
+
+/// One recorded trace event, in Chrome trace-event terms: a complete span
+/// (`ph = 'X'`, with a duration) or an instant marker (`ph = 'i'`).
+/// Timestamps are microseconds on the simulated clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    /// Category, used by trace viewers for filtering ("loader", "kernel",
+    /// "block", "phase", "rpc", "lifecycle", …).
+    pub cat: String,
+    /// 'X' = complete span, 'i' = instant.
+    pub ph: char,
+    /// Start timestamp, µs.
+    pub ts: f64,
+    /// Duration, µs; `None` for instants.
+    pub dur: Option<f64>,
+    pub pid: u32,
+    pub tid: u32,
+    /// Free-form key/value payload rendered under `args`.
+    pub args: Vec<(String, Value)>,
+}
+
+/// Records spans and instants on the simulated timeline.
+///
+/// Constructed [`Recorder::disabled`] (the default), every recording
+/// method returns immediately — callers guard any expensive label
+/// formatting behind [`Recorder::is_enabled`].
+#[derive(Debug, Default)]
+pub struct Recorder {
+    enabled: bool,
+    /// Offset added to every recorded timestamp; batched launches bump it
+    /// so consecutive kernels land end-to-end on one timeline.
+    base_us: f64,
+    events: Vec<TraceEvent>,
+    process_names: Vec<(u32, String)>,
+    thread_names: Vec<((u32, u32), String)>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the zero-cost default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A recorder that keeps events.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current timeline offset in µs.
+    pub fn base_us(&self) -> f64 {
+        self.base_us
+    }
+
+    /// Move the timeline origin (used between batches).
+    pub fn set_base_us(&mut self, base_us: f64) {
+        self.base_us = base_us;
+    }
+
+    /// Record a complete span of `dur_us` starting at `ts_us` (both
+    /// relative to the current base).
+    pub fn span(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts_us: f64, dur_us: f64) {
+        self.span_args(pid, tid, name, cat, ts_us, dur_us, Vec::new());
+    }
+
+    /// [`Recorder::span`] with an `args` payload.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        dur_us: f64,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'X',
+            ts: self.base_us + ts_us,
+            dur: Some(dur_us.max(0.0)),
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record an instant marker.
+    pub fn instant(&mut self, pid: u32, tid: u32, name: &str, cat: &str, ts_us: f64) {
+        self.instant_args(pid, tid, name, cat, ts_us, Vec::new());
+    }
+
+    /// [`Recorder::instant`] with an `args` payload.
+    pub fn instant_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'i',
+            ts: self.base_us + ts_us,
+            dur: None,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Give a process lane a display name (emitted as `process_name`
+    /// metadata; later names for the same pid win, duplicates collapse).
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(slot) = self.process_names.iter_mut().find(|(p, _)| *p == pid) {
+            slot.1 = name.to_string();
+        } else {
+            self.process_names.push((pid, name.to_string()));
+        }
+    }
+
+    /// Give a thread lane a display name (`thread_name` metadata).
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        if !self.enabled {
+            return;
+        }
+        let key = (pid, tid);
+        if let Some(slot) = self.thread_names.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = name.to_string();
+        } else {
+            self.thread_names.push((key, name.to_string()));
+        }
+    }
+
+    /// All events recorded so far, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    pub(crate) fn process_names(&self) -> &[(u32, String)] {
+        &self.process_names
+    }
+
+    pub(crate) fn thread_names(&self) -> &[((u32, u32), String)] {
+        &self.thread_names
+    }
+}
+
+/// Replay a kernel's [`ScheduleDetail`] into the recorder: one span per
+/// block on its SM's lane, one span per team phase nested under it, wave
+/// markers on the host lane, and RPC-stall instants on phases that issued
+/// host calls.
+///
+/// `us_per_cycle` converts simulated core cycles to microseconds;
+/// `offset_us` positions the kernel on the launch timeline (after H2D and
+/// launch overhead).
+pub fn record_schedule(
+    rec: &mut Recorder,
+    sched: &ScheduleDetail,
+    us_per_cycle: f64,
+    offset_us: f64,
+) {
+    if !rec.is_enabled() {
+        return;
+    }
+    for (w, &start) in sched.wave_starts.iter().enumerate() {
+        rec.instant(
+            PID_HOST,
+            0,
+            &format!("wave {w}"),
+            "wave",
+            offset_us + start * us_per_cycle,
+        );
+    }
+    // SM of each block, for phase-span lane placement.
+    let mut sm_of_block: Vec<(u32, u32)> = Vec::with_capacity(sched.blocks.len());
+    for b in &sched.blocks {
+        sm_of_block.push((b.block, b.sm));
+        rec.name_process(sm_pid(b.sm), &format!("SM {}", b.sm));
+        rec.name_thread(sm_pid(b.sm), b.block, &format!("block {}", b.block));
+        rec.span_args(
+            sm_pid(b.sm),
+            b.block,
+            &format!("block {}", b.block),
+            "block",
+            offset_us + b.start_cycle * us_per_cycle,
+            (b.end_cycle - b.start_cycle) * us_per_cycle,
+            vec![("wave".into(), Value::U64(b.wave as u64))],
+        );
+    }
+    for p in &sched.phase_spans {
+        let sm = sm_of_block
+            .iter()
+            .find(|(b, _)| *b == p.block)
+            .map(|&(_, s)| s)
+            .unwrap_or(0);
+        rec.span_args(
+            sm_pid(sm),
+            p.block,
+            &p.label,
+            "phase",
+            offset_us + p.start_cycle * us_per_cycle,
+            (p.end_cycle - p.start_cycle) * us_per_cycle,
+            vec![
+                ("team".into(), Value::U64(p.team as u64)),
+                ("phase".into(), Value::U64(p.phase as u64)),
+                ("rpc_calls".into(), Value::U64(p.rpc_calls)),
+            ],
+        );
+        if p.rpc_calls > 0 {
+            rec.instant(
+                sm_pid(sm),
+                p.block,
+                &format!("rpc stall ×{}", p.rpc_calls),
+                "rpc",
+                offset_us + p.end_cycle * us_per_cycle,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let mut r = Recorder::disabled();
+        r.span(0, 0, "a", "c", 0.0, 1.0);
+        r.instant(1, 2, "b", "c", 5.0);
+        r.name_process(0, "host");
+        assert!(!r.is_enabled());
+        assert!(r.events().is_empty());
+        assert!(r.process_names().is_empty());
+    }
+
+    #[test]
+    fn base_offset_applies_to_new_events_only() {
+        let mut r = Recorder::enabled();
+        r.span(0, 0, "first", "c", 1.0, 2.0);
+        r.set_base_us(100.0);
+        r.span(0, 0, "second", "c", 1.0, 2.0);
+        assert_eq!(r.events()[0].ts, 1.0);
+        assert_eq!(r.events()[1].ts, 101.0);
+    }
+
+    #[test]
+    fn negative_durations_clamp_to_zero() {
+        let mut r = Recorder::enabled();
+        r.span(0, 0, "neg", "c", 1.0, -2.0);
+        assert_eq!(r.events()[0].dur, Some(0.0));
+    }
+
+    #[test]
+    fn lane_names_deduplicate() {
+        let mut r = Recorder::enabled();
+        r.name_process(1, "SM 0");
+        r.name_process(1, "SM 0 renamed");
+        r.name_thread(1, 7, "block 7");
+        r.name_thread(1, 7, "block 7");
+        assert_eq!(r.process_names(), &[(1, "SM 0 renamed".to_string())]);
+        assert_eq!(r.thread_names().len(), 1);
+    }
+
+    #[test]
+    fn schedule_replay_covers_blocks_phases_and_waves() {
+        use gpu_sim::{Gpu, KernelSpec};
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("obs", 3, 32);
+        spec.collect_detail = true;
+        let res = gpu
+            .launch(&spec, None, |ctx| {
+                ctx.serial("work", |lane| {
+                    lane.work(500.0);
+                    Ok(())
+                })?;
+                Ok(0)
+            })
+            .unwrap();
+        let sched = res.schedule.unwrap();
+        let mut rec = Recorder::enabled();
+        record_schedule(&mut rec, &sched, 1.0, 10.0);
+        let blocks = rec.events().iter().filter(|e| e.cat == "block").count();
+        let phases = rec.events().iter().filter(|e| e.cat == "phase").count();
+        let waves = rec.events().iter().filter(|e| e.cat == "wave").count();
+        assert_eq!(blocks, 3);
+        assert_eq!(phases, sched.phase_spans.len());
+        assert_eq!(waves as u32, sched.waves());
+        // All device events are shifted by the kernel offset.
+        assert!(rec
+            .events()
+            .iter()
+            .filter(|e| e.cat != "wave")
+            .all(|e| e.ts >= 10.0));
+    }
+}

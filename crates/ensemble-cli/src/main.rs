@@ -9,13 +9,22 @@
 //! line of the `-f` argument file. `--pack M` selects the §3.1 packed
 //! mapping (M instances per thread block). Every instance's stdout is
 //! printed, followed by a launch summary.
+//!
+//! Observability: `--trace-out t.json` writes a Chrome trace-event
+//! timeline of the launch (load in Perfetto / `chrome://tracing`),
+//! `--metrics-out m.jsonl` writes one JSON line of metrics per instance
+//! plus one for the launch, and `--quiet` suppresses per-instance output.
 
-use dgc_core::{parse_ensemble_cli, run_ensemble, EnsembleOptions, MappingStrategy};
+use dgc_core::{parse_ensemble_cli, run_ensemble_traced, EnsembleOptions, MappingStrategy};
+use dgc_obs::{metrics_jsonl, Recorder};
 use gpu_sim::Gpu;
 use host_rpc::HostServices;
 
 fn usage() -> ! {
     eprintln!("usage: ensemble-cli <app> -f <arguments file> [-n <instances>] [-t <thread limit>] [--pack <M>] [--batch <B>]");
+    eprintln!(
+        "                    [--trace-out <trace.json>] [--metrics-out <metrics.jsonl>] [--quiet]"
+    );
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -67,11 +76,27 @@ fn main() {
         ..Default::default()
     };
 
+    // The recorder costs nothing unless a timeline was asked for.
+    let mut obs = if cli.trace_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+
     let mut gpu = Gpu::a100();
     let result = if cli.batch > 0 {
-        dgc_core::run_ensemble_batched(&mut gpu, &app, &arg_lines, &opts, cli.batch)
+        dgc_core::run_ensemble_batched_traced(
+            &mut gpu, &app, &arg_lines, &opts, cli.batch, &mut obs,
+        )
     } else {
-        run_ensemble(&mut gpu, &app, &arg_lines, &opts, HostServices::default())
+        run_ensemble_traced(
+            &mut gpu,
+            &app,
+            &arg_lines,
+            &opts,
+            HostServices::default(),
+            &mut obs,
+        )
     };
     let result = match result {
         Ok(r) => r,
@@ -81,14 +106,16 @@ fn main() {
         }
     };
 
-    for (i, out) in result.stdout.iter().enumerate() {
-        println!("=== instance {i} ===");
-        print!("{out}");
-        match &result.instances[i] {
-            o if o.oom => println!("[device out of memory]"),
-            o => {
-                if let Some(err) = &o.error {
-                    println!("[trap: {err}]");
+    if !cli.quiet {
+        for (i, out) in result.stdout.iter().enumerate() {
+            println!("=== instance {i} ===");
+            print!("{out}");
+            match &result.instances[i] {
+                o if o.oom => println!("[device out of memory]"),
+                o => {
+                    if let Some(err) = &o.error {
+                        println!("[trap: {err}]");
+                    }
                 }
             }
         }
@@ -102,10 +129,34 @@ fn main() {
         result.rpc_stats.total()
     );
 
-    let failed = result
-        .instances
-        .iter()
-        .filter(|i| !i.succeeded())
-        .count();
+    let failed = result.failed_count();
+    let oom = result.oom_count();
+    let observing = cli.quiet || cli.trace_out.is_some() || cli.metrics_out.is_some();
+    if failed > 0 || observing {
+        println!(
+            "instances {} | failed {failed} | oom {oom}",
+            result.instances.len()
+        );
+    }
+
+    if let Some(path) = &cli.trace_out {
+        if let Err(e) = std::fs::write(path, obs.to_chrome_trace()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote trace {path} ({} events)", obs.events().len());
+    }
+    if let Some(path) = &cli.metrics_out {
+        let jsonl = metrics_jsonl(&result.metrics, &result.launch_metrics());
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote metrics {path} ({} instance records + 1 launch record)",
+            result.metrics.len()
+        );
+    }
+
     std::process::exit(if failed == 0 { 0 } else { 1 });
 }

@@ -80,7 +80,11 @@ pub enum AccessError {
     /// Address not inside any live region.
     Unmapped { addr: u64 },
     /// Access overruns the end of its region.
-    OutOfBounds { addr: u64, size: u64, region_end: u64 },
+    OutOfBounds {
+        addr: u64,
+        size: u64,
+        region_end: u64,
+    },
     /// Access targets a reserved (non-materialized) region.
     Reserved { addr: u64 },
     /// Null-pointer access.
@@ -151,6 +155,12 @@ pub struct DeviceMemory {
     next_region: u32,
     stats: HeapStats,
     generation: u64,
+    /// Live bytes per region tag (instance heap sizes under ensembles).
+    tag_bytes: BTreeMap<u32, u64>,
+    /// High-water mark of `tag_bytes` since creation (or the last
+    /// [`DeviceMemory::reset_tag_peaks`]) — the per-instance heap peak the
+    /// observability layer reports.
+    tag_peaks: BTreeMap<u32, u64>,
 }
 
 impl DeviceMemory {
@@ -163,6 +173,8 @@ impl DeviceMemory {
             next_region: 1,
             stats: HeapStats::default(),
             generation: 0,
+            tag_bytes: BTreeMap::new(),
+            tag_peaks: BTreeMap::new(),
         }
     }
 
@@ -178,6 +190,29 @@ impl DeviceMemory {
 
     pub fn stats(&self) -> HeapStats {
         self.stats
+    }
+
+    /// High-water mark of live bytes carrying `tag` since creation or the
+    /// last [`DeviceMemory::reset_tag_peaks`]. Under ensemble execution the
+    /// tag is the instance id, so this is the instance's heap peak.
+    pub fn tag_peak_bytes(&self, tag: u32) -> u64 {
+        self.tag_peaks.get(&tag).copied().unwrap_or(0)
+    }
+
+    /// All per-tag high-water marks, tag-ordered.
+    pub fn tag_peaks(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.tag_peaks.iter().map(|(&t, &b)| (t, b))
+    }
+
+    /// Restart per-tag high-water tracking (e.g. between the sequential
+    /// launches of a batched ensemble, which reuse instance tags).
+    pub fn reset_tag_peaks(&mut self) {
+        self.tag_peaks.clear();
+        for (&tag, &bytes) in &self.tag_bytes {
+            if bytes > 0 {
+                self.tag_peaks.insert(tag, bytes);
+            }
+        }
     }
 
     /// Free bytes remaining (sum of free-list holes).
@@ -233,6 +268,10 @@ impl DeviceMemory {
         self.stats.peak_bytes_in_use = self.stats.peak_bytes_in_use.max(self.stats.bytes_in_use);
         self.stats.live_allocations += 1;
         self.stats.total_allocations += 1;
+        let tag_live = self.tag_bytes.entry(tag).or_insert(0);
+        *tag_live += alen;
+        let peak = self.tag_peaks.entry(tag).or_insert(0);
+        *peak = (*peak).max(*tag_live);
         self.generation += 1;
         Ok(DevicePtr(start))
     }
@@ -243,9 +282,18 @@ impl DeviceMemory {
     }
 
     /// Allocate and initialize from a host slice.
-    pub fn alloc_from_slice<T: Scalar>(&mut self, src: &[T], tag: u32) -> Result<DevicePtr, AllocError> {
-        let ptr = self.alloc_tagged((src.len() * T::SIZE).max(1) as u64, Backing::Materialized, tag)?;
-        self.write_slice(ptr, src).expect("fresh allocation is materialized");
+    pub fn alloc_from_slice<T: Scalar>(
+        &mut self,
+        src: &[T],
+        tag: u32,
+    ) -> Result<DevicePtr, AllocError> {
+        let ptr = self.alloc_tagged(
+            (src.len() * T::SIZE).max(1) as u64,
+            Backing::Materialized,
+            tag,
+        )?;
+        self.write_slice(ptr, src)
+            .expect("fresh allocation is materialized");
         Ok(ptr)
     }
 
@@ -258,6 +306,9 @@ impl DeviceMemory {
         self.stats.bytes_in_use -= len;
         self.stats.live_allocations -= 1;
         self.stats.total_frees += 1;
+        if let Some(tag_live) = self.tag_bytes.get_mut(&region.info.tag) {
+            *tag_live = tag_live.saturating_sub(len);
+        }
         self.generation += 1;
         // Insert hole keeping the list address-ordered, then coalesce.
         let pos = self
@@ -345,7 +396,10 @@ impl DeviceMemory {
     /// Load a scalar from device memory.
     pub fn load<T: Scalar>(&self, ptr: DevicePtr) -> Result<T, AccessError> {
         let (start, off) = self.resolve(ptr.0, T::SIZE as u64)?;
-        let data = self.regions[&start].data.as_ref().expect("resolved materialized");
+        let data = self.regions[&start]
+            .data
+            .as_ref()
+            .expect("resolved materialized");
         let off = off as usize;
         // Materialized data vec is `len` bytes but region len is align-rounded;
         // an access past data but inside the rounding pad is out of bounds.
@@ -490,7 +544,10 @@ mod tests {
     #[test]
     fn null_and_unmapped_access() {
         let mem = DeviceMemory::new(1 << 20);
-        assert_eq!(mem.load::<u32>(NULL_DEVICE_PTR).unwrap_err(), AccessError::Null);
+        assert_eq!(
+            mem.load::<u32>(NULL_DEVICE_PTR).unwrap_err(),
+            AccessError::Null
+        );
         assert!(matches!(
             mem.load::<u32>(DevicePtr(HEAP_BASE + 5000)),
             Err(AccessError::Unmapped { .. })
@@ -539,6 +596,36 @@ mod tests {
         mem.free(b).unwrap();
         assert_eq!(mem.stats().peak_bytes_in_use, 2048);
         assert_eq!(mem.stats().bytes_in_use, 0);
+    }
+
+    #[test]
+    fn per_tag_peaks_track_instance_heaps() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        let a = mem.alloc_tagged(1024, Backing::Materialized, 1).unwrap();
+        let b = mem.alloc_tagged(2048, Backing::Materialized, 1).unwrap();
+        let c = mem.alloc_tagged(512, Backing::Materialized, 2).unwrap();
+        assert_eq!(mem.tag_peak_bytes(1), 3072);
+        assert_eq!(mem.tag_peak_bytes(2), 512);
+        assert_eq!(mem.tag_peak_bytes(9), 0);
+        // Frees do not lower the peak.
+        mem.free(b).unwrap();
+        assert_eq!(mem.tag_peak_bytes(1), 3072);
+        // Re-allocating after a free only raises the peak past the old one.
+        let d = mem.alloc_tagged(1024, Backing::Materialized, 1).unwrap();
+        assert_eq!(mem.tag_peak_bytes(1), 3072);
+        assert_eq!(
+            mem.tag_peaks().collect::<Vec<_>>(),
+            vec![(1, 3072), (2, 512)]
+        );
+        // Reset restarts tracking from the currently live bytes.
+        mem.free(d).unwrap();
+        mem.reset_tag_peaks();
+        assert_eq!(mem.tag_peak_bytes(1), 1024); // only `a` is live
+        assert_eq!(mem.tag_peak_bytes(2), 512);
+        mem.free(a).unwrap();
+        mem.free(c).unwrap();
+        mem.reset_tag_peaks();
+        assert_eq!(mem.tag_peaks().count(), 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod tests {
         roundtrip(0xFEED_FACE_CAFE_BEEFu64);
         roundtrip(-9_876_543_210i64);
         roundtrip(3.5f32);
-        roundtrip(-2.718281828459045f64);
+        roundtrip(-std::f64::consts::E);
     }
 
     #[test]

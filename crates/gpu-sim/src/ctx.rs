@@ -133,7 +133,12 @@ fn bank_conflict_degree(offsets: &[u32]) -> u32 {
             per_bank[bank].push(word);
         }
     }
-    per_bank.iter().map(|b| b.len() as u32).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|b| b.len() as u32)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 /// State shared between the team and its lanes during functional execution.
@@ -253,7 +258,10 @@ impl<'t, 'g> LaneCtx<'t, 'g> {
     /// This is the primitive `device-libc`'s `malloc` is built on.
     pub fn dev_alloc(&mut self, bytes: u64) -> Result<DevicePtr, KernelError> {
         let tag = self.inner.default_tag;
-        let p = self.inner.mem.alloc_tagged(bytes, gpu_mem::Backing::Materialized, tag)?;
+        let p = self
+            .inner
+            .mem
+            .alloc_tagged(bytes, gpu_mem::Backing::Materialized, tag)?;
         self.scratch.insts += cost::MALLOC;
         self.inner.refresh_snapshot();
         Ok(p)
@@ -389,11 +397,7 @@ impl<'g> TeamCtx<'g> {
 
     /// Install the host-RPC hook and the set of services the compiled image
     /// generated stubs for (`None` = all services reachable).
-    pub fn set_host_call(
-        &mut self,
-        hook: &'g mut HostCallHook<'g>,
-        services: Option<Vec<u32>>,
-    ) {
+    pub fn set_host_call(&mut self, hook: &'g mut HostCallHook<'g>, services: Option<Vec<u32>>) {
         self.inner.host_call = Some(hook);
         self.inner.rpc_services = services;
     }
@@ -567,6 +571,13 @@ impl<'g> TeamCtx<'g> {
         &self.trace
     }
 
+    /// Labels of the phases recorded so far, in execution order — the same
+    /// order the timing engine's `PhaseSpan`s replay them. Observation
+    /// only: never affects any recorded cost.
+    pub fn phase_labels(&self) -> Vec<&str> {
+        self.trace.phases.iter().map(|p| p.label.as_str()).collect()
+    }
+
     fn check_poisoned(&self) -> Result<(), KernelError> {
         match &self.error {
             Some(e) => Err(e.clone()),
@@ -690,8 +701,10 @@ mod tests {
         let mut m = mem();
         let buf = m.alloc(8 * 1000).unwrap();
         let mut ctx = TeamCtx::new(&mut m, 0, 1, 128, 0, 48 << 10);
-        ctx.parallel_for("fill", 1000, |i, lane| lane.st_idx::<f64>(buf, i, i as f64 * 2.0))
-            .unwrap();
+        ctx.parallel_for("fill", 1000, |i, lane| {
+            lane.st_idx::<f64>(buf, i, i as f64 * 2.0)
+        })
+        .unwrap();
         let trace = ctx.finish();
         assert_eq!(m.read_slice::<f64>(buf, 3).unwrap(), vec![0.0, 2.0, 4.0]);
         assert_eq!(m.load::<f64>(buf.elem_add::<f64>(999)).unwrap(), 1998.0);
@@ -773,7 +786,9 @@ mod tests {
     #[test]
     fn region_tags_flow_into_trace() {
         let mut m = mem();
-        let a = m.alloc_tagged(8 * 64, gpu_mem::Backing::Materialized, 5).unwrap();
+        let a = m
+            .alloc_tagged(8 * 64, gpu_mem::Backing::Materialized, 5)
+            .unwrap();
         let mut ctx = TeamCtx::new(&mut m, 0, 1, 32, 5, 48 << 10);
         ctx.parallel_for("touch", 64, |i, lane| lane.st_idx::<f64>(a, i, 0.0))
             .unwrap();

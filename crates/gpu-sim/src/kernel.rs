@@ -1,9 +1,10 @@
 use crate::ctx::{HostCallHook, KernelError, TeamCtx};
 use crate::report::SimReport;
-use crate::timing::{simulate_timing, TimingInputs, TimingParams};
+use crate::timing::{simulate_timing, ScheduleDetail, TimingInputs, TimingParams};
 use crate::trace::BlockTrace;
 use gpu_arch::{occupancy, GpuSpec, LaunchConfig, LaunchError};
 use gpu_mem::{DeviceMemory, TransferEngine};
+use serde::{Deserialize, Serialize};
 
 /// Simulator-level launch failures (functional kernel errors are reported
 /// per team in [`LaunchResult::team_outcomes`], not here).
@@ -69,6 +70,9 @@ pub struct KernelSpec<'a> {
     /// Keep the per-block segment traces in the result (off by default:
     /// traces can be large for big ensembles).
     pub keep_traces: bool,
+    /// Record the scheduling timeline ([`LaunchResult::schedule`]) for
+    /// trace export. Off by default; never changes the timing outcome.
+    pub collect_detail: bool,
 }
 
 impl<'a> KernelSpec<'a> {
@@ -82,8 +86,22 @@ impl<'a> KernelSpec<'a> {
             footprint_multiplier: 1.0,
             rpc_services: None,
             keep_traces: false,
+            collect_detail: false,
         }
     }
+}
+
+/// Per-team totals of the functional trace, always available in
+/// [`LaunchResult::team_summaries`] (cheap: five numbers per team). Teams
+/// are indexed by team id, so an ensemble launch reads instance `i`'s
+/// work directly at index `i`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct TeamSummary {
+    pub insts: f64,
+    pub useful_bytes: f64,
+    pub moved_bytes: f64,
+    pub sectors: u64,
+    pub rpc_calls: u64,
 }
 
 /// Result of a completed launch.
@@ -94,6 +112,11 @@ pub struct LaunchResult {
     /// The segment traces, when [`KernelSpec::keep_traces`] was set —
     /// the raw material for per-phase performance analysis.
     pub block_traces: Option<Vec<BlockTrace>>,
+    /// The scheduling timeline, when [`KernelSpec::collect_detail`] was
+    /// set — block placement, phase spans and wave starts.
+    pub schedule: Option<ScheduleDetail>,
+    /// Per-team work totals, indexed by team id. Always present.
+    pub team_summaries: Vec<TeamSummary>,
 }
 
 /// The simulated device: hardware spec, global memory, transfer engine and
@@ -142,9 +165,8 @@ impl Gpu {
         let occ = occupancy(&self.spec, &launch)?;
 
         // ---- Functional execution, one team at a time. ----
-        let mut block_traces: Vec<BlockTrace> = (0..num_blocks)
-            .map(|_| BlockTrace::default())
-            .collect();
+        let mut block_traces: Vec<BlockTrace> =
+            (0..num_blocks).map(|_| BlockTrace::default()).collect();
         let mut outcomes = Vec::with_capacity(spec.num_teams as usize);
         let mut max_shared = 0u64;
         for team in 0..spec.num_teams {
@@ -175,14 +197,19 @@ impl Gpu {
         }
 
         // ---- Timing. ----
-        let timing = simulate_timing(&TimingInputs {
+        let mut timing = simulate_timing(&TimingInputs {
             spec: &self.spec,
             blocks: &block_traces,
             params: &self.timing,
             footprint_multiplier: spec.footprint_multiplier,
+            collect_detail: spec.collect_detail,
         });
+        let schedule = timing.detail.take();
 
         // ---- Roll up the report. ----
+        // Teams were pushed into blocks in team-id order, so iterating
+        // blocks then teams visits team ids 0..num_teams in order.
+        let mut team_summaries = Vec::with_capacity(spec.num_teams as usize);
         let mut total_insts = 0.0;
         let mut total_sectors = 0u64;
         let mut useful = 0.0;
@@ -190,11 +217,19 @@ impl Gpu {
         let mut rpc = 0u64;
         for b in &block_traces {
             for t in &b.teams {
-                total_insts += t.total_insts();
-                total_sectors += t.total_sectors();
-                useful += t.total_useful_bytes();
-                moved += t.total_moved_bytes();
-                rpc += t.total_rpc_calls();
+                let s = TeamSummary {
+                    insts: t.total_insts(),
+                    useful_bytes: t.total_useful_bytes(),
+                    moved_bytes: t.total_moved_bytes(),
+                    sectors: t.total_sectors(),
+                    rpc_calls: t.total_rpc_calls(),
+                };
+                total_insts += s.insts;
+                total_sectors += s.sectors;
+                useful += s.useful_bytes;
+                moved += s.moved_bytes;
+                rpc += s.rpc_calls;
+                team_summaries.push(s);
             }
         }
         let launch_overhead_s = self.spec.launch_overhead_us * 1e-6;
@@ -223,6 +258,8 @@ impl Gpu {
             report,
             team_outcomes: outcomes,
             block_traces: spec.keep_traces.then_some(block_traces),
+            schedule,
+            team_summaries,
         })
     }
 }
@@ -232,9 +269,7 @@ mod tests {
     use super::*;
 
     /// A memory-streaming team body: read `n` f64s, accumulate, write one.
-    fn streaming_body(
-        n: u64,
-    ) -> impl FnMut(&mut TeamCtx<'_>) -> Result<i32, KernelError> {
+    fn streaming_body(n: u64) -> impl FnMut(&mut TeamCtx<'_>) -> Result<i32, KernelError> {
         move |ctx| {
             let tag = ctx.default_tag();
             let (src, dst) = ctx.serial("alloc", |lane| {
@@ -296,7 +331,10 @@ mod tests {
         let t1 = t_of(1);
         let t16 = t_of(16);
         assert!(t16 < t1 * 16.0, "t16 {t16} should be < 16×t1 {t1}");
-        assert!(t16 >= t1 * 0.99, "t16 {t16} must not be faster than t1 {t1}");
+        assert!(
+            t16 >= t1 * 0.99,
+            "t16 {t16} must not be faster than t1 {t1}"
+        );
         let speedup = t1 * 16.0 / t16;
         assert!(speedup > 4.0, "ensemble speedup too small: {speedup}");
     }
@@ -356,6 +394,28 @@ mod tests {
         let traces = res.block_traces.unwrap();
         assert_eq!(traces.len(), 2);
         assert!(traces[0].teams[0].phases.len() >= 2); // prologue + serial
+    }
+
+    #[test]
+    fn team_summaries_and_schedule_expose_per_instance_work() {
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("obs", 4, 32);
+        spec.collect_detail = true;
+        let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
+        assert_eq!(res.team_summaries.len(), 4);
+        for s in &res.team_summaries {
+            assert!(s.insts > 0.0);
+            assert!(s.moved_bytes > 0.0);
+        }
+        let total: f64 = res.team_summaries.iter().map(|s| s.insts).sum();
+        assert!((total - res.report.total_insts).abs() < 1e-6);
+        let sched = res.schedule.expect("collect_detail set");
+        assert_eq!(sched.blocks.len(), 4);
+        assert!(!sched.phase_spans.is_empty());
+        // Without the flag, no timeline is paid for.
+        spec.collect_detail = false;
+        let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
+        assert!(res.schedule.is_none());
     }
 
     #[test]

@@ -28,7 +28,10 @@ mod timing;
 mod trace;
 
 pub use ctx::{HostCallHook, KernelError, LaneCtx, SharedBuf, TeamCtx};
-pub use kernel::{Gpu, KernelSpec, LaunchResult, SimError, TeamOutcome};
+pub use kernel::{Gpu, KernelSpec, LaunchResult, SimError, TeamOutcome, TeamSummary};
 pub use report::SimReport;
-pub use timing::{simulate_timing, TimingInputs, TimingParams, TimingResult};
+pub use timing::{
+    simulate_timing, BlockSchedule, PhaseSpan, ScheduleDetail, TimingInputs, TimingParams,
+    TimingResult,
+};
 pub use trace::{BlockTrace, MixedSeg, Phase, TeamTrace};

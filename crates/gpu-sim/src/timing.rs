@@ -31,6 +31,60 @@ pub struct TimingInputs<'a> {
     /// model. Applications that run functionally on scaled-down data but
     /// model a paper-scale working set pass `paper_bytes / scaled_bytes`.
     pub footprint_multiplier: f64,
+    /// Record a [`ScheduleDetail`] timeline (block placement, per-phase
+    /// spans, wave starts) alongside the aggregate result. Off by default:
+    /// the timeline costs memory proportional to blocks × phases and is
+    /// only needed when exporting traces.
+    pub collect_detail: bool,
+}
+
+/// Where and when one block ran, for timeline export.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSchedule {
+    pub block: u32,
+    /// SM the block was placed on (least-loaded placement).
+    pub sm: u32,
+    /// Scheduling wave the placement belonged to, 0-based.
+    pub wave: u32,
+    pub start_cycle: f64,
+    pub end_cycle: f64,
+}
+
+/// One barrier-delimited team phase on the simulated timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    pub block: u32,
+    pub team: u32,
+    /// Index into the team's phase list.
+    pub phase: u32,
+    /// The phase's diagnostic label ("prologue", "parallel_for", …).
+    pub label: String,
+    pub start_cycle: f64,
+    pub end_cycle: f64,
+    /// Host round trips issued in this phase; each stalls its warp for
+    /// [`TimingParams::rpc_cycles_per_call`] cycles.
+    pub rpc_calls: u64,
+}
+
+/// The full scheduling timeline of one kernel, recorded when
+/// [`TimingInputs::collect_detail`] is set. Collecting it does not change
+/// any timing outcome — it only observes the event loop.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleDetail {
+    /// One entry per block, in placement order.
+    pub blocks: Vec<BlockSchedule>,
+    /// Every team phase with its position on the timeline.
+    pub phase_spans: Vec<PhaseSpan>,
+    /// Cycle at which each scheduling wave began (wave 0 starts at 0).
+    pub wave_starts: Vec<f64>,
+}
+
+impl ScheduleDetail {
+    /// Number of scheduling waves observed (matches
+    /// [`TimingResult::waves`] for non-degenerate launches).
+    pub fn waves(&self) -> u32 {
+        self.wave_starts.len() as u32
+    }
 }
 
 /// Output of the timing simulation.
@@ -52,6 +106,9 @@ pub struct TimingResult {
     pub dram_utilization: f64,
     /// Scheduling waves required by occupancy.
     pub waves: u32,
+    /// Timeline detail, present iff [`TimingInputs::collect_detail`] was
+    /// set. Serialized as `null` otherwise.
+    pub detail: Option<ScheduleDetail>,
 }
 
 const EPS: f64 = 1e-9;
@@ -82,7 +139,13 @@ struct WarpState {
 }
 
 impl WarpState {
-    fn load_segment(&mut self, blocks: &[BlockTrace], phase_idx: usize, dram_discount: f64, params: &TimingParams) {
+    fn load_segment(
+        &mut self,
+        blocks: &[BlockTrace],
+        phase_idx: usize,
+        dram_discount: f64,
+        params: &TimingParams,
+    ) {
         let seg = &blocks[self.block].teams[self.team].phases[phase_idx].warps[self.warp];
         self.insts_left = seg.insts;
         self.bytes_left = seg.moved_bytes * dram_discount;
@@ -222,11 +285,26 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
     let mut sm_resident = vec![0usize; spec.sm_count as usize];
     let mut pending_blocks: std::collections::VecDeque<usize> = (0..blocks.len()).collect();
 
-    let place_blocks = |pending: &mut std::collections::VecDeque<usize>,
-                            sm_resident: &mut Vec<usize>,
-                            warp_states: &mut Vec<WarpState>,
-                            team_states: &mut Vec<Vec<TeamState>>,
-                            block_states: &mut Vec<BlockState>| {
+    // Timeline observation state (pure bookkeeping — never feeds back into
+    // any rate or event computation above).
+    let mut detail: Option<ScheduleDetail> = inputs.collect_detail.then(ScheduleDetail::default);
+    let mut phase_start: Vec<Vec<f64>> = if inputs.collect_detail {
+        blocks.iter().map(|b| vec![0.0; b.teams.len()]).collect()
+    } else {
+        Vec::new()
+    };
+    let wave_capacity = blocks_per_sm * spec.sm_count as usize;
+    let mut placed_count = 0usize;
+
+    let place_blocks = |now: f64,
+                        pending: &mut std::collections::VecDeque<usize>,
+                        sm_resident: &mut Vec<usize>,
+                        warp_states: &mut Vec<WarpState>,
+                        team_states: &mut Vec<Vec<TeamState>>,
+                        block_states: &mut Vec<BlockState>,
+                        detail: &mut Option<ScheduleDetail>,
+                        phase_start: &mut Vec<Vec<f64>>,
+                        placed_count: &mut usize| {
         while let Some(&bi) = pending.front() {
             // Least-loaded SM placement.
             let (sm, load) = sm_resident
@@ -241,6 +319,23 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             pending.pop_front();
             sm_resident[sm] += 1;
             block_states[bi].placed = true;
+            if let Some(d) = detail.as_mut() {
+                let wave = (*placed_count / wave_capacity) as u32;
+                if wave as usize == d.wave_starts.len() {
+                    d.wave_starts.push(now);
+                }
+                d.blocks.push(BlockSchedule {
+                    block: bi as u32,
+                    sm: sm as u32,
+                    wave,
+                    start_cycle: now,
+                    end_cycle: now,
+                });
+                for ts in phase_start[bi].iter_mut() {
+                    *ts = now;
+                }
+            }
+            *placed_count += 1;
             for (ti, team) in team_states[bi].iter_mut().enumerate() {
                 if team.done {
                     continue;
@@ -256,11 +351,15 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
     };
 
     place_blocks(
+        0.0,
         &mut pending_blocks,
         &mut sm_resident,
         &mut warp_states,
         &mut team_states,
         &mut block_states,
+        &mut detail,
+        &mut phase_start,
+        &mut placed_count,
     );
 
     let mut now = 0.0f64;
@@ -296,6 +395,20 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                     if team.warps_pending == 0 {
                         team.phase_idx += 1;
                         let trace = &blocks[bi].teams[ti];
+                        if let Some(d) = detail.as_mut() {
+                            let finished = team.phase_idx - 1;
+                            let ph = &trace.phases[finished];
+                            d.phase_spans.push(PhaseSpan {
+                                block: bi as u32,
+                                team: ti as u32,
+                                phase: finished as u32,
+                                label: ph.label.clone(),
+                                start_cycle: phase_start[bi][ti],
+                                end_cycle: now,
+                                rpc_calls: ph.warps.iter().map(|w| w.rpc_calls).sum(),
+                            });
+                            phase_start[bi][ti] = now;
+                        }
                         if team.phase_idx < trace.phases.len() {
                             team.warps_pending = trace.warp_count as usize;
                             let base = warp_index[bi][ti];
@@ -318,14 +431,25 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                             if bs.teams_pending == 0 {
                                 bs.end_cycle = now;
                                 blocks_remaining -= 1;
+                                if let Some(d) = detail.as_mut() {
+                                    if let Some(b) =
+                                        d.blocks.iter_mut().find(|b| b.block == bi as u32)
+                                    {
+                                        b.end_cycle = now;
+                                    }
+                                }
                                 let sm = warp_states[base].sm;
                                 sm_resident[sm] -= 1;
                                 place_blocks(
+                                    now,
                                     &mut pending_blocks,
                                     &mut sm_resident,
                                     &mut warp_states,
                                     &mut team_states,
                                     &mut block_states,
+                                    &mut detail,
+                                    &mut phase_start,
+                                    &mut placed_count,
                                 );
                             }
                         }
@@ -411,10 +535,10 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         dram_efficiency: dram_eff,
         l2_hit,
         active_region_tags: region_count,
-        issue_utilization: issued_integral
-            / (cycles * spec.sm_count as f64 * issue_cap),
+        issue_utilization: issued_integral / (cycles * spec.sm_count as f64 * issue_cap),
         dram_utilization: dram_integral / (cycles * spec.dram_bytes_per_cycle()),
         waves: occ.waves,
+        detail,
     }
 }
 
@@ -464,6 +588,19 @@ mod tests {
             blocks,
             params: &p,
             footprint_multiplier: 1.0,
+            collect_detail: false,
+        })
+    }
+
+    fn run_detailed(blocks: &[BlockTrace]) -> TimingResult {
+        let s = spec();
+        let p = params();
+        simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+            collect_detail: true,
         })
     }
 
@@ -501,10 +638,14 @@ mod tests {
         let bytes = 1_000_000.0;
         let r = run(&[block(1, 1.0, bytes)]);
         // One region: the MLP cap runs at the single-region DRAM efficiency.
-        let expected = bytes
-            / (s.mem_model.warp_mlp_bytes_per_cycle() * s.mem_model.dram_efficiency(1));
+        let expected =
+            bytes / (s.mem_model.warp_mlp_bytes_per_cycle() * s.mem_model.dram_efficiency(1));
         // L2 may discount some traffic; footprints are empty so l2_hit = 0.
-        assert!((r.cycles - expected).abs() / expected < 0.01, "cycles = {}", r.cycles);
+        assert!(
+            (r.cycles - expected).abs() / expected < 0.01,
+            "cycles = {}",
+            r.cycles
+        );
     }
 
     #[test]
@@ -621,12 +762,14 @@ mod tests {
             blocks: &blocks,
             params: &p,
             footprint_multiplier: 1.0,
+            collect_detail: false,
         });
         let paper = simulate_timing(&TimingInputs {
             spec: &s,
             blocks: &blocks,
             params: &p,
             footprint_multiplier: 100_000.0,
+            collect_detail: false,
         });
         assert!(paper.l2_hit < scaled.l2_hit);
         assert!(paper.cycles > scaled.cycles);
@@ -654,5 +797,80 @@ mod tests {
         let r = run(&blocks);
         assert!(r.issue_utilization > 0.0 && r.issue_utilization <= 1.0 + 1e-9);
         assert!(r.dram_utilization > 0.0 && r.dram_utilization <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn detail_absent_by_default_and_result_unchanged() {
+        let blocks: Vec<BlockTrace> = (0..8).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let plain = run(&blocks);
+        let detailed = run_detailed(&blocks);
+        assert!(plain.detail.is_none());
+        assert!(detailed.detail.is_some());
+        // Observation must not perturb the simulation.
+        assert_eq!(plain.cycles, detailed.cycles);
+        assert_eq!(plain.block_end_cycles, detailed.block_end_cycles);
+    }
+
+    #[test]
+    fn detail_wave_boundaries_match_waves() {
+        // Same scenario as excess_blocks_queue_in_waves: 432 blocks, 2 waves.
+        let blocks: Vec<BlockTrace> = (0..432).map(|_| block(32, 1000.0, 0.0)).collect();
+        let r = run_detailed(&blocks);
+        let d = r.detail.as_ref().unwrap();
+        assert_eq!(d.waves(), r.waves);
+        assert_eq!(d.blocks.len(), 432);
+        assert_eq!(d.wave_starts[0], 0.0);
+        // Wave 1 starts strictly after wave 0 and at a first-wave block end.
+        assert!(d.wave_starts[1] > 0.0);
+        // Every block recorded exactly once, with a sane span and SM id.
+        let mut seen = vec![false; 432];
+        for b in &d.blocks {
+            assert!(!seen[b.block as usize]);
+            seen[b.block as usize] = true;
+            assert!(b.end_cycle >= b.start_cycle);
+            assert!((b.sm as usize) < spec().sm_count as usize);
+            assert!(b.wave < r.waves);
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Second-wave blocks start when wave 1 opens.
+        assert!(d
+            .blocks
+            .iter()
+            .any(|b| b.wave == 1 && b.start_cycle >= d.wave_starts[1]));
+    }
+
+    #[test]
+    fn detail_phase_spans_tile_the_block() {
+        let seg = |insts: f64| MixedSeg {
+            insts,
+            ..Default::default()
+        };
+        let b = BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![
+                    Phase {
+                        warps: vec![seg(1000.0), seg(10.0)],
+                        label: "p0".into(),
+                    },
+                    Phase {
+                        warps: vec![seg(10.0), seg(10.0)],
+                        label: "p1".into(),
+                    },
+                ],
+                warp_count: 2,
+            }],
+            shared_mem_bytes: 0,
+        };
+        let r = run_detailed(&[b]);
+        let d = r.detail.as_ref().unwrap();
+        assert_eq!(d.phase_spans.len(), 2);
+        let p0 = &d.phase_spans[0];
+        let p1 = &d.phase_spans[1];
+        assert_eq!((p0.label.as_str(), p1.label.as_str()), ("p0", "p1"));
+        assert_eq!(p0.start_cycle, 0.0);
+        // Phases abut at the barrier and the last one ends with the block.
+        assert_eq!(p0.end_cycle, p1.start_cycle);
+        assert_eq!(p1.end_cycle, d.blocks[0].end_cycle);
+        assert!(p0.end_cycle > p0.start_cycle);
     }
 }

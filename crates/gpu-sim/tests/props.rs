@@ -36,6 +36,7 @@ fn run(blocks: &[BlockTrace]) -> f64 {
         blocks,
         params: &params,
         footprint_multiplier: 1.0,
+        collect_detail: false,
     })
     .cycles
 }

@@ -18,9 +18,15 @@ pub const SERVICE_EXIT: u32 = 4;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
     /// Append text to the instance's stdout stream.
-    Stdout { instance: u32, text: String },
+    Stdout {
+        instance: u32,
+        text: String,
+    },
     /// Append text to the instance's stderr stream.
-    Stderr { instance: u32, text: String },
+    Stderr {
+        instance: u32,
+        text: String,
+    },
     /// Open a file; returns `Response::Fd`.
     FOpen {
         instance: u32,
@@ -28,11 +34,22 @@ pub enum Request {
         /// `"r"`, `"w"` or `"a"` (binary suffixes accepted and ignored).
         mode: String,
     },
-    FClose { instance: u32, fd: u32 },
+    FClose {
+        instance: u32,
+        fd: u32,
+    },
     /// Read up to `len` bytes; returns `Response::Bytes`.
-    FRead { instance: u32, fd: u32, len: u32 },
+    FRead {
+        instance: u32,
+        fd: u32,
+        len: u32,
+    },
     /// Write bytes; returns `Response::Written`.
-    FWrite { instance: u32, fd: u32, data: Vec<u8> },
+    FWrite {
+        instance: u32,
+        fd: u32,
+        data: Vec<u8>,
+    },
     /// Seek; whence: 0 = set, 1 = cur, 2 = end. Returns `Response::Pos`.
     FSeek {
         instance: u32,
@@ -41,9 +58,14 @@ pub enum Request {
         whence: u8,
     },
     /// Deterministic monotonic clock; returns `Response::Clock` (ns).
-    Clock { instance: u32 },
+    Clock {
+        instance: u32,
+    },
     /// Record the instance's exit code.
-    Exit { instance: u32, code: i32 },
+    Exit {
+        instance: u32,
+        code: i32,
+    },
 }
 
 impl Request {

@@ -23,7 +23,8 @@ impl RpcClient {
         self.tx
             .send(Message::Call(req, rtx))
             .map_err(|_| "RPC server is gone".to_string())?;
-        rrx.recv().map_err(|_| "RPC server dropped reply".to_string())
+        rrx.recv()
+            .map_err(|_| "RPC server dropped reply".to_string())
     }
 
     /// Round trip with raw encoded payloads — the shape the simulator's
@@ -97,7 +98,10 @@ mod tests {
         let (server, client) = RpcServer::spawn(HostServices::default());
         let req = Request::Clock { instance: 1 };
         let raw = client.call_raw(&req.encode()).unwrap();
-        assert!(matches!(Response::decode(&raw).unwrap(), Response::Clock(_)));
+        assert!(matches!(
+            Response::decode(&raw).unwrap(),
+            Response::Clock(_)
+        ));
         server.shutdown();
     }
 

@@ -32,6 +32,15 @@ impl RpcStats {
     pub fn total(&self) -> u64 {
         self.stdio_calls + self.fs_calls + self.clock_calls + self.exit_calls
     }
+
+    /// Fold another counter set into this one (batched-ensemble rollup).
+    pub fn merge(&mut self, other: &RpcStats) {
+        self.stdio_calls += other.stdio_calls;
+        self.fs_calls += other.fs_calls;
+        self.clock_calls += other.clock_calls;
+        self.exit_calls += other.exit_calls;
+        self.errors += other.errors;
+    }
 }
 
 enum OpenMode {
@@ -66,6 +75,9 @@ pub struct HostServices {
     clock_ns: u64,
     clock_step_ns: u64,
     stats: RpcStats,
+    /// Per-instance counters, demultiplexed by the instance id every
+    /// request carries (the observability layer's per-instance RPC view).
+    instance_stats: BTreeMap<u32, RpcStats>,
     /// Echo stdout lines to the real stdout as they arrive.
     pub echo: bool,
 }
@@ -88,6 +100,7 @@ impl HostServices {
             clock_ns: 0,
             clock_step_ns: 1_000,
             stats: RpcStats::default(),
+            instance_stats: BTreeMap::new(),
             echo: false,
         }
     }
@@ -131,13 +144,30 @@ impl HostServices {
         self.stats
     }
 
+    /// Per-service round-trip counters of one instance.
+    pub fn stats_of(&self, instance: u32) -> RpcStats {
+        self.instance_stats
+            .get(&instance)
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Dispatch one request. Never panics on malformed input; failures come
     /// back as [`Response::Err`].
     pub fn handle(&mut self, req: Request) -> Response {
+        let instance = req.instance();
+        let before = self.stats;
         let resp = self.dispatch(req);
         if matches!(resp, Response::Err(_)) {
             self.stats.errors += 1;
         }
+        // Attribute whatever the dispatch just counted to its instance.
+        let per = self.instance_stats.entry(instance).or_default();
+        per.stdio_calls += self.stats.stdio_calls - before.stdio_calls;
+        per.fs_calls += self.stats.fs_calls - before.fs_calls;
+        per.clock_calls += self.stats.clock_calls - before.clock_calls;
+        per.exit_calls += self.stats.exit_calls - before.exit_calls;
+        per.errors += self.stats.errors - before.errors;
         resp
     }
 
@@ -393,6 +423,35 @@ mod tests {
         assert_eq!(s.stdout_of(1), "b");
         assert_eq!(s.stdout_of(2), "");
         assert_eq!(s.stats().stdio_calls, 3);
+    }
+
+    #[test]
+    fn stats_demultiplex_by_instance() {
+        let mut s = HostServices::default();
+        s.handle(Request::Stdout {
+            instance: 0,
+            text: "a".into(),
+        });
+        s.handle(Request::Clock { instance: 1 });
+        s.handle(Request::Clock { instance: 1 });
+        s.handle(Request::FOpen {
+            instance: 1,
+            path: "missing".into(),
+            mode: "r".into(),
+        });
+        let s0 = s.stats_of(0);
+        assert_eq!(s0.stdio_calls, 1);
+        assert_eq!(s0.total(), 1);
+        assert_eq!(s0.errors, 0);
+        let s1 = s.stats_of(1);
+        assert_eq!(s1.clock_calls, 2);
+        assert_eq!(s1.fs_calls, 1);
+        assert_eq!(s1.errors, 1);
+        assert_eq!(s.stats_of(7), RpcStats::default());
+        // The aggregate view equals the sum of the per-instance views.
+        let mut sum = s.stats_of(0);
+        sum.merge(&s.stats_of(1));
+        assert_eq!(sum, s.stats());
     }
 
     #[test]

@@ -8,15 +8,31 @@ fn arb_request() -> impl Strategy<Value = Request> {
         (any::<u32>(), ".*").prop_map(|(instance, text)| Request::Stdout { instance, text }),
         (any::<u32>(), ".*").prop_map(|(instance, text)| Request::Stderr { instance, text }),
         (any::<u32>(), "[a-z./-]{1,40}", "[rwa]b?").prop_map(|(instance, path, mode)| {
-            Request::FOpen { instance, path, mode }
+            Request::FOpen {
+                instance,
+                path,
+                mode,
+            }
         }),
         (any::<u32>(), any::<u32>()).prop_map(|(instance, fd)| Request::FClose { instance, fd }),
-        (any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(instance, fd, len)| Request::FRead { instance, fd, len }),
-        (any::<u32>(), any::<u32>(), prop::collection::vec(any::<u8>(), 0..200))
+        (any::<u32>(), any::<u32>(), any::<u32>()).prop_map(|(instance, fd, len)| Request::FRead {
+            instance,
+            fd,
+            len
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(any::<u8>(), 0..200)
+        )
             .prop_map(|(instance, fd, data)| Request::FWrite { instance, fd, data }),
         (any::<u32>(), any::<u32>(), any::<i64>(), 0u8..3).prop_map(
-            |(instance, fd, offset, whence)| Request::FSeek { instance, fd, offset, whence }
+            |(instance, fd, offset, whence)| Request::FSeek {
+                instance,
+                fd,
+                offset,
+                whence
+            }
         ),
         any::<u32>().prop_map(|instance| Request::Clock { instance }),
         (any::<u32>(), any::<i32>()).prop_map(|(instance, code)| Request::Exit { instance, code }),

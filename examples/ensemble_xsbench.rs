@@ -15,11 +15,19 @@ use ensemble_gpu::sim::Gpu;
 
 fn main() {
     let app = ensemble_gpu::apps::xsbench::app();
-    let args = vec![vec!["-l".to_string(), "300".into(), "-g".into(), "24".into()]];
+    let args = vec![vec![
+        "-l".to_string(),
+        "300".into(),
+        "-g".into(),
+        "24".into(),
+    ]];
 
     for thread_limit in [32u32, 1024] {
         println!("thread limit {thread_limit}:");
-        println!("{:>6} {:>12} {:>10} {:>10}", "N", "kernel ms", "speedup", "linear");
+        println!(
+            "{:>6} {:>12} {:>10} {:>10}",
+            "N", "kernel ms", "speedup", "linear"
+        );
         let mut t1 = None;
         for n in [1u32, 2, 4, 8, 16, 32, 64] {
             let mut gpu = Gpu::a100();
@@ -36,7 +44,7 @@ fn main() {
             println!(
                 "{n:>6} {:>12.3} {:>10.1} {n:>10}",
                 t * 1e3,
-                relative_speedup(t1, n, t)
+                relative_speedup(t1, n, t).expect("measured times are positive")
             );
         }
         println!();

@@ -91,7 +91,11 @@ fn run_with(globals_to_shared: bool) {
         .expect("counter app launches");
     println!(
         "globals-to-shared {}:",
-        if globals_to_shared { "ON (isolated)" } else { "OFF (§3.3 hazard)" }
+        if globals_to_shared {
+            "ON (isolated)"
+        } else {
+            "OFF (§3.3 hazard)"
+        }
     );
     for out in &res.stdout {
         print!("  {out}");

@@ -12,9 +12,7 @@
 //! cargo run --release --example packed_mapping
 //! ```
 
-use ensemble_gpu::core::{
-    parse_arg_file, run_ensemble, EnsembleOptions, MappingStrategy,
-};
+use ensemble_gpu::core::{parse_arg_file, run_ensemble, EnsembleOptions, MappingStrategy};
 use ensemble_gpu::rpc::HostServices;
 use ensemble_gpu::sim::Gpu;
 
@@ -23,7 +21,10 @@ fn main() {
     let lines = parse_arg_file("-l 100 -w 8 -p 2\n").unwrap();
 
     println!("16 RSBench instances, thread limit 256, packed M per block:");
-    println!("{:>4} {:>8} {:>14} {:>12}", "M", "blocks", "threads/inst", "kernel ms");
+    println!(
+        "{:>4} {:>8} {:>14} {:>12}",
+        "M", "blocks", "threads/inst", "kernel ms"
+    );
     for m in [1u32, 2, 4] {
         let mut gpu = Gpu::a100();
         let opts = EnsembleOptions {

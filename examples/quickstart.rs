@@ -69,9 +69,7 @@ fn main() {
     println!("compiled module:\n{}\n", image.module);
     println!(
         "entry = {}, RPC services = {:?}, multi-team eligible = {}\n",
-        image.entry,
-        image.rpc_services,
-        image.expansion.multi_team_eligible
+        image.entry, image.rpc_services, image.expansion.multi_team_eligible
     );
 
     // --- Single-instance execution (the [26] loader). -------------------

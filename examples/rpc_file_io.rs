@@ -11,8 +11,8 @@
 //! ```
 
 use ensemble_gpu::core::{parse_arg_file, run_ensemble, AppContext, EnsembleOptions, HostApp};
-use ensemble_gpu::libc::file::{dl_fclose, dl_fopen, dl_fread, dl_fwrite};
 use ensemble_gpu::libc::dl_printf;
+use ensemble_gpu::libc::file::{dl_fclose, dl_fopen, dl_fread, dl_fwrite};
 use ensemble_gpu::rpc::HostServices;
 use ensemble_gpu::sim::{Gpu, KernelError, TeamCtx};
 

@@ -1,0 +1,78 @@
+//! Minimal, offline stand-in for `crossbeam`, covering the `channel`
+//! surface this workspace uses: `unbounded`, `bounded`, clonable
+//! senders, and blocking `recv`. Backed by `std::sync::mpsc`; the one
+//! API difference papered over is that crossbeam has a single `Sender`
+//! type where std splits `Sender`/`SyncSender`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(Kind<T>);
+
+    enum Kind<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            match &self.0 {
+                Kind::Unbounded(tx) => Sender(Kind::Unbounded(tx.clone())),
+                Kind::Bounded(tx) => Sender(Kind::Bounded(tx.clone())),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors only when the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Kind::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Kind::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors when all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Kind::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Capacity 0 degrades to a rendezvous channel, matching crossbeam.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Kind::Bounded(tx)), Receiver(rx))
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+}

@@ -1,0 +1,919 @@
+//! Minimal, offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a deterministic property-testing core covering the surface its test
+//! suites use: the `proptest!` / `prop_compose!` / `prop_oneof!` macro
+//! family, `prop_assert*` / `prop_assume!`, `any::<T>()`, integer and
+//! float range strategies, `Just`, tuple strategies, `.prop_map`,
+//! `prop::collection::{vec, btree_set}`, `prop::sample::select`, and
+//! regex-subset string strategies.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! generated inputs via the assertion message only), and generation is
+//! seeded deterministically per test so runs are reproducible.
+
+pub mod test_runner {
+    /// Runner configuration; `prelude` re-exports this as `ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+        /// Abort after this many `prop_assume!` rejections per test.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Config::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the sim-heavy suites in this
+            // workspace keep `cargo test` tolerable at 32.
+            Config {
+                cases: 32,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — skip the case, generate another.
+        Reject,
+        /// An assertion failed — the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        pub fn reject() -> Self {
+            TestCaseError::Reject
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic xorshift64* generator; seeded from the test name so
+    /// each test explores a distinct but reproducible sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded_from(name: &str) -> Self {
+            // FNV-1a over the test name, never zero.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h | 1 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        pub fn gen_bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values. Unlike real proptest there is no
+    /// value tree / shrinking: strategies produce one value per draw.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed alternatives — backs `prop_oneof!`.
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union(arms)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].new_value(rng)
+        }
+    }
+
+    /// Closure-backed strategy — backs `prop_compose!`.
+    pub struct FnStrategy<T, F: Fn(&mut TestRng) -> T> {
+        f: F,
+    }
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<T, F> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(rng)
+        }
+    }
+
+    pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<T, F> {
+        FnStrategy { f }
+    }
+
+    macro_rules! unsigned_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end as u64 - self.start as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi as u64 - lo as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        )*};
+    }
+    unsigned_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    if span == u64::MAX as u128 {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as i128 + rng.below(span as u64 + 1) as i128) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for ::std::ops::Range<f32> {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as regex-subset strategies producing matching
+    /// strings (see [`crate::string`] for the supported subset).
+    impl Strategy for &str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident : $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Function-pointer strategy for `any::<T>()`.
+    pub struct AnyStrategy<T>(fn(&mut TestRng) -> T);
+
+    impl<T> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    pub trait Arbitrary: Sized {
+        fn any_strategy() -> AnyStrategy<Self>;
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        T::any_strategy()
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn any_strategy() -> AnyStrategy<Self> {
+                    AnyStrategy(|rng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn any_strategy() -> AnyStrategy<Self> {
+            AnyStrategy(|rng| rng.gen_bool())
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn any_strategy() -> AnyStrategy<Self> {
+            AnyStrategy(|rng| match rng.below(16) {
+                0 => 0.0,
+                1 => -0.0,
+                2 => 1.0,
+                3 => -1.0,
+                4 => f64::INFINITY,
+                5 => f64::NEG_INFINITY,
+                6 => f64::NAN,
+                7 => f64::MAX,
+                8 => f64::MIN_POSITIVE,
+                _ => {
+                    // Sign * exponent-spread magnitude, always finite.
+                    let sign = if rng.gen_bool() { 1.0 } else { -1.0 };
+                    let exp = rng.below(61) as i32 - 30;
+                    sign * rng.unit_f64() * 10f64.powi(exp)
+                }
+            })
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn any_strategy() -> AnyStrategy<Self> {
+            AnyStrategy(|rng| (rng.unit_f64() as f32 - 0.5) * 2e6)
+        }
+    }
+
+    impl Arbitrary for char {
+        fn any_strategy() -> AnyStrategy<Self> {
+            AnyStrategy(|rng| (0x20 + rng.below(0x5F) as u8) as char)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    /// Element-count bound for collection strategies: `n`, `a..b`, `a..=b`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
+        }
+    }
+    impl From<::std::ops::Range<usize>> for SizeRange {
+        fn from(r: ::std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
+        }
+    }
+    impl From<::std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi_excl - self.lo) as u64) as usize
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            // Duplicates shrink the set; retry until the target size or an
+            // attempt cap (the element space may be smaller than `target`).
+            while out.len() < target && attempts < 64 * (target + 1) {
+                out.insert(self.elem.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform choice from a fixed list of values.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select(items)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.0.len() as u64) as usize;
+            self.0[idx].clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies:
+    //! literals, `\`-escapes, `.`, character classes (ranges, negation,
+    //! and Java-style `&&[^...]` subtraction), groups with `|`, and the
+    //! quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`, `{m,}`.
+
+    use crate::test_runner::TestRng;
+
+    const UNBOUNDED_MAX: usize = 8;
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize, // inclusive
+    }
+
+    enum Atom {
+        Chars(Vec<char>),
+        Group(Vec<Vec<Piece>>),
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let seq = parse_seq(&chars, &mut pos, pattern);
+        assert!(
+            pos == chars.len(),
+            "unsupported regex `{pattern}` (stopped at char {pos})"
+        );
+        let mut out = String::new();
+        emit_seq(&seq, rng, &mut out);
+        out
+    }
+
+    fn emit_seq(seq: &[Piece], rng: &mut TestRng, out: &mut String) {
+        for piece in seq {
+            let span = piece.max - piece.min;
+            let n = piece.min
+                + if span == 0 {
+                    0
+                } else {
+                    rng.below(span as u64 + 1) as usize
+                };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Chars(set) => {
+                        let idx = rng.below(set.len() as u64) as usize;
+                        out.push(set[idx]);
+                    }
+                    Atom::Group(alts) => {
+                        let idx = rng.below(alts.len() as u64) as usize;
+                        emit_seq(&alts[idx], rng, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize, pat: &str) -> Vec<Piece> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() {
+            let atom = match chars[*pos] {
+                ')' | '|' => break,
+                '[' => {
+                    *pos += 1;
+                    Atom::Chars(parse_class(chars, pos, pat))
+                }
+                '(' => {
+                    *pos += 1;
+                    let mut alts = vec![parse_seq(chars, pos, pat)];
+                    while *pos < chars.len() && chars[*pos] == '|' {
+                        *pos += 1;
+                        alts.push(parse_seq(chars, pos, pat));
+                    }
+                    assert!(
+                        *pos < chars.len() && chars[*pos] == ')',
+                        "unterminated group in regex `{pat}`"
+                    );
+                    *pos += 1;
+                    Atom::Group(alts)
+                }
+                '.' => {
+                    *pos += 1;
+                    Atom::Chars((0x20u8..=0x7E).map(|b| b as char).collect())
+                }
+                '\\' => {
+                    *pos += 1;
+                    let c = escape_char(chars, pos, pat);
+                    Atom::Chars(vec![c])
+                }
+                c => {
+                    *pos += 1;
+                    Atom::Chars(vec![c])
+                }
+            };
+            let (min, max) = parse_quantifier(chars, pos, pat);
+            seq.push(Piece { atom, min, max });
+        }
+        seq
+    }
+
+    fn escape_char(chars: &[char], pos: &mut usize, pat: &str) -> char {
+        assert!(*pos < chars.len(), "dangling escape in regex `{pat}`");
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            other => other, // \. \\ \[ \- etc: the literal character
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, pat: &str) -> (usize, usize) {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, UNBOUNDED_MAX)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, UNBOUNDED_MAX)
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min_text = String::new();
+                while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                    min_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = min_text
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad quantifier in regex `{pat}`"));
+                let max = match chars.get(*pos) {
+                    Some('}') => min,
+                    Some(',') => {
+                        *pos += 1;
+                        let mut max_text = String::new();
+                        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+                            max_text.push(chars[*pos]);
+                            *pos += 1;
+                        }
+                        if max_text.is_empty() {
+                            min + UNBOUNDED_MAX
+                        } else {
+                            max_text
+                                .parse()
+                                .unwrap_or_else(|_| panic!("bad quantifier in regex `{pat}`"))
+                        }
+                    }
+                    _ => panic!("bad quantifier in regex `{pat}`"),
+                };
+                assert!(
+                    chars.get(*pos) == Some(&'}'),
+                    "unterminated quantifier in regex `{pat}`"
+                );
+                *pos += 1;
+                (min, max)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    /// Parse a `[...]` class body (opening bracket consumed) into the
+    /// expanded set of characters it can produce.
+    fn parse_class(chars: &[char], pos: &mut usize, pat: &str) -> Vec<char> {
+        let (set, negated) = parse_class_set(chars, pos, pat);
+        assert!(
+            chars.get(*pos) == Some(&']'),
+            "unterminated class in regex `{pat}`"
+        );
+        *pos += 1;
+        let set = if negated { complement(&set) } else { set };
+        assert!(!set.is_empty(), "empty character class in regex `{pat}`");
+        set
+    }
+
+    fn complement(set: &[char]) -> Vec<char> {
+        (0x20u8..=0x7E)
+            .map(|b| b as char)
+            .filter(|c| !set.contains(c))
+            .collect()
+    }
+
+    /// Everything inside brackets up to (not consuming) the closing `]`,
+    /// honoring `&&[^...]` subtraction.
+    fn parse_class_set(chars: &[char], pos: &mut usize, pat: &str) -> (Vec<char>, bool) {
+        let mut negated = false;
+        if chars.get(*pos) == Some(&'^') {
+            negated = true;
+            *pos += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            match c {
+                ']' => break,
+                '&' if chars.get(*pos + 1) == Some(&'&') => {
+                    *pos += 2;
+                    assert!(
+                        chars.get(*pos) == Some(&'['),
+                        "expected `[` after `&&` in regex `{pat}`"
+                    );
+                    *pos += 1;
+                    let (inner, inner_neg) = parse_class_set(chars, pos, pat);
+                    assert!(
+                        chars.get(*pos) == Some(&']'),
+                        "unterminated inner class in regex `{pat}`"
+                    );
+                    *pos += 1;
+                    if inner_neg {
+                        set.retain(|c| !inner.contains(c));
+                    } else {
+                        set.retain(|c| inner.contains(c));
+                    }
+                }
+                '\\' => {
+                    *pos += 1;
+                    let lo = escape_char(chars, pos, pat);
+                    push_maybe_range(chars, pos, pat, &mut set, lo);
+                }
+                _ => {
+                    *pos += 1;
+                    push_maybe_range(chars, pos, pat, &mut set, c);
+                }
+            }
+        }
+        (set, negated)
+    }
+
+    /// After reading a class member `lo`, check for a `lo-hi` range.
+    fn push_maybe_range(chars: &[char], pos: &mut usize, pat: &str, set: &mut Vec<char>, lo: char) {
+        if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&c| c != ']') {
+            *pos += 1;
+            let hi = if chars[*pos] == '\\' {
+                *pos += 1;
+                escape_char(chars, pos, pat)
+            } else {
+                let c = chars[*pos];
+                *pos += 1;
+                c
+            };
+            assert!(lo <= hi, "inverted class range in regex `{pat}`");
+            for code in lo as u32..=hi as u32 {
+                if let Some(c) = char::from_u32(code) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.push(lo);
+        }
+    }
+}
+
+pub mod prelude {
+    /// `prop::collection::...`, `prop::sample::...` etc.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+pub use test_runner::{Config, TestCaseError, TestCaseResult};
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::seeded_from(stringify!($name));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        let _ = $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > cfg.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections ({rejected}) in {}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case failed in {} (after {passed} passing cases): {msg}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident ( $($param:ident : $pty:ty),* $(,)? )
+                                ( $($arg:pat_param in $strat:expr),* $(,)? )
+                                -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $arg = $crate::strategy::Strategy::new_value(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{left:?}` == `{right:?}`"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{left:?}` == `{right:?}`: {}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: `{left:?}` != `{right:?}`"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{left:?}` != `{right:?}`: {}",
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}

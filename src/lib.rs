@@ -36,11 +36,11 @@
 //! assert!(result.stdout[0].contains("Verification checksum"));
 //! ```
 
+pub use device_libc as libc;
 pub use dgc_apps as apps;
 pub use dgc_compiler as compiler;
 pub use dgc_core as core;
 pub use dgc_ir as ir;
-pub use device_libc as libc;
 pub use gpu_arch as arch;
 pub use gpu_mem as mem;
 pub use gpu_sim as sim;

@@ -84,9 +84,18 @@ fn globals_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelEr
     let small = cx.global("small")?;
     let big = cx.global("big")?;
     let table = cx.global("table")?;
-    assert!(matches!(small, GlobalSlot::Shared(_)), "small should be team-shared");
-    assert!(matches!(big, GlobalSlot::Device(_)), "big exceeds the budget");
-    assert!(matches!(table, GlobalSlot::Device(_)), "const stays device-resident");
+    assert!(
+        matches!(small, GlobalSlot::Shared(_)),
+        "small should be team-shared"
+    );
+    assert!(
+        matches!(big, GlobalSlot::Device(_)),
+        "big exceeds the budget"
+    );
+    assert!(
+        matches!(table, GlobalSlot::Device(_)),
+        "const stays device-resident"
+    );
     let instance = cx.instance;
     team.serial("use", |lane| {
         if let GlobalSlot::Shared(buf) = small {
@@ -106,8 +115,14 @@ fn globals_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelEr
 fn global_placements_flow_to_runtime_slots() {
     let app = HostApp::new("globals", GLOBALS_MODULE, globals_main);
     let image = Loader::default().compile_app(&app).unwrap();
-    assert_eq!(image.global_placements["small"], GlobalPlacement::TeamShared);
-    assert_eq!(image.global_placements["big"], GlobalPlacement::DeviceGlobal);
+    assert_eq!(
+        image.global_placements["small"],
+        GlobalPlacement::TeamShared
+    );
+    assert_eq!(
+        image.global_placements["big"],
+        GlobalPlacement::DeviceGlobal
+    );
     assert_eq!(image.global_placements["table"], GlobalPlacement::Constant);
     assert_eq!(image.isolation_hazards(), vec!["big"]);
     assert!(image

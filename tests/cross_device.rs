@@ -32,7 +32,7 @@ fn ensembles_scale_on_v100_and_mi210() {
     for spec in [GpuSpec::v100_16gb(), GpuSpec::mi210()] {
         let t1 = kernel_time(&spec, &app, &argv, 1).unwrap();
         let t16 = kernel_time(&spec, &app, &argv, 16).unwrap();
-        let s = relative_speedup(t1, 16, t16);
+        let s = relative_speedup(t1, 16, t16).expect("measured times are positive");
         assert!(
             s > 8.0 && s <= 16.0 + 1e-6,
             "{}: 16-instance speedup out of band: {s}",
@@ -61,9 +61,11 @@ fn wider_wavefronts_still_compute_correctly() {
     // MI210 wavefronts are 64 lanes; results must be schedule-invariant.
     let app = ensemble_gpu::apps::amgmk::app();
     let argv = ["-n", "5", "-s", "3"];
-    let reference = ensemble_gpu::apps::amgmk::reference_checksum(
-        &ensemble_gpu::apps::amgmk::AmgParams { dim: 5, sweeps: 3 },
-    );
+    let reference =
+        ensemble_gpu::apps::amgmk::reference_checksum(&ensemble_gpu::apps::amgmk::AmgParams {
+            dim: 5,
+            sweeps: 3,
+        });
     let mut gpu = Gpu::new(GpuSpec::mi210());
     let opts = EnsembleOptions {
         num_instances: 2,

@@ -68,8 +68,7 @@ fn multi_team_beats_single_team_on_one_instance() {
     }
     .run(&mut gpu, &app, &ARGS, HostServices::default())
     .unwrap();
-    let multi =
-        run_multi_team(&mut gpu, &app, &ARGS, 16, 128, HostServices::default()).unwrap();
+    let multi = run_multi_team(&mut gpu, &app, &ARGS, 16, 128, HostServices::default()).unwrap();
     assert!(
         multi.kernel_time_s < single.report.sim_time_s,
         "multi-team {:.3e}s should beat single-team {:.3e}s",
@@ -94,8 +93,7 @@ fn ensemble_beats_everything_on_independent_inputs() {
     .unwrap();
     let n_single = n as f64 * single.report.sim_time_s;
 
-    let multi =
-        run_multi_team(&mut gpu, &app, &ARGS, n, 128, HostServices::default()).unwrap();
+    let multi = run_multi_team(&mut gpu, &app, &ARGS, n, 128, HostServices::default()).unwrap();
     let n_multi = n as f64 * multi.kernel_time_s;
 
     let opts = EnsembleOptions {
@@ -106,8 +104,18 @@ fn ensemble_beats_everything_on_independent_inputs() {
     let lines = vec![ARGS.iter().map(|s| s.to_string()).collect()];
     let ens = run_ensemble(&mut gpu, &app, &lines, &opts, HostServices::default()).unwrap();
 
-    assert!(ens.kernel_time_s < n_multi, "{} vs {}", ens.kernel_time_s, n_multi);
-    assert!(ens.kernel_time_s < n_single, "{} vs {}", ens.kernel_time_s, n_single);
+    assert!(
+        ens.kernel_time_s < n_multi,
+        "{} vs {}",
+        ens.kernel_time_s,
+        n_multi
+    );
+    assert!(
+        ens.kernel_time_s < n_single,
+        "{} vs {}",
+        ens.kernel_time_s,
+        n_single
+    );
 }
 
 #[test]
@@ -125,8 +133,14 @@ fn batched_ensemble_completes_what_concurrent_cannot() {
         ..Default::default()
     };
     let mut gpu = Gpu::a100();
-    let concurrent =
-        run_ensemble(&mut gpu, &app, &[argv.clone()], &opts, HostServices::default()).unwrap();
+    let concurrent = run_ensemble(
+        &mut gpu,
+        &app,
+        std::slice::from_ref(&argv),
+        &opts,
+        HostServices::default(),
+    )
+    .unwrap();
     assert!(concurrent.any_oom());
 
     let batched = run_ensemble_batched(&mut gpu, &app, &[argv], &opts, 4).unwrap();

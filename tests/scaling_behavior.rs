@@ -29,7 +29,7 @@ fn speedup_curve(app: &HostApp, argv: &[&str], thread_limit: u32, ns: &[u32]) ->
     ns.iter()
         .map(|&n| {
             let tn = kernel_time(app, argv, n, thread_limit).expect("config runs");
-            relative_speedup(t1, n, tn)
+            relative_speedup(t1, n, tn).expect("measured times are positive")
         })
         .collect()
 }
@@ -39,8 +39,14 @@ const NS: [u32; 5] = [2, 4, 8, 16, 32];
 #[test]
 fn all_benchmarks_scale_sublinearly_but_monotonically() {
     let cases: Vec<(HostApp, Vec<&str>)> = vec![
-        (ensemble_gpu::apps::xsbench::app(), vec!["-l", "60", "-g", "12"]),
-        (ensemble_gpu::apps::rsbench::app(), vec!["-l", "60", "-w", "8"]),
+        (
+            ensemble_gpu::apps::xsbench::app(),
+            vec!["-l", "60", "-g", "12"],
+        ),
+        (
+            ensemble_gpu::apps::rsbench::app(),
+            vec!["-l", "60", "-w", "8"],
+        ),
         (ensemble_gpu::apps::amgmk::app(), vec!["-n", "6", "-s", "4"]),
     ];
     for (app, argv) in cases {
