@@ -10,6 +10,21 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q --workspace
 
+echo "== prof: figure6 smoke vs golden snapshot =="
+PROF_TMP="$(mktemp -d)"
+trap 'rm -rf "$PROF_TMP"' EXIT
+cargo run -q --release -p dgc-bench --bin figure6 -- \
+    --smoke --thread-limit 32 --metrics-out "$PROF_TMP/smoke_tl32.jsonl" > /dev/null
+cargo run -q --release -p dgc-prof --bin prof-diff -- \
+    results/smoke_tl32.jsonl "$PROF_TMP/smoke_tl32.jsonl" --tolerance 0.02
+
+echo "== prof: chrome trace export validates =="
+printf -- '-l 60 -g 16\n-l 60 -g 16\n' > "$PROF_TMP/args.txt"
+cargo run -q --release -p ensemble-cli -- xsbench -f "$PROF_TMP/args.txt" \
+    -n 4 -t 32 --quiet --trace-out "$PROF_TMP/trace.json" \
+    --metrics-out "$PROF_TMP/metrics.jsonl" > /dev/null
+cargo run -q --release -p dgc-prof --bin trace-check -- "$PROF_TMP/trace.json"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

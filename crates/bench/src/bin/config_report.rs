@@ -1,10 +1,57 @@
 //! Regenerate the §4.2 configuration table: the device the evaluation
 //! models, the compiler pipeline configuration, and the sweep parameters.
+//!
+//! ```text
+//! cargo run --release -p dgc-bench --bin config_report
+//! cargo run --release -p dgc-bench --bin config_report -- --metrics-out config.json
+//! cargo run --release -p dgc-bench --bin config_report -- --quiet --metrics-out config.json
+//! ```
 
 use gpu_arch::{occupancy, GpuSpec, LaunchConfig};
+use serde::{Serialize, Value};
+
+/// The sweep corners whose occupancy the table (and JSON export) lists.
+const CORNERS: [(u32, u32); 4] = [(1, 32), (64, 32), (1, 1024), (64, 1024)];
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quiet = false;
+    let mut metrics_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quiet" | "-q" => quiet = true,
+            "--metrics-out" => {
+                metrics_out = Some(
+                    it.next()
+                        .unwrap_or_else(|| {
+                            eprintln!("--metrics-out needs a path");
+                            std::process::exit(2);
+                        })
+                        .clone(),
+                );
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!("usage: config_report [--quiet] [--metrics-out <path>]");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let spec = GpuSpec::a100_40gb();
+    if let Some(path) = &metrics_out {
+        let json = config_json(&spec);
+        std::fs::write(path, json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+    if quiet {
+        return;
+    }
+
     println!("Evaluation configuration (paper §4.2)");
     println!("=====================================");
     println!("Device:                 {}", spec.name);
@@ -47,7 +94,7 @@ fn main() {
     println!("(teams = instances; one team per instance, as in §4.2)");
     println!();
     println!("Occupancy at the sweep corners:");
-    for (n, t) in [(1u32, 32u32), (64, 32), (1, 1024), (64, 1024)] {
+    for (n, t) in CORNERS {
         let occ = occupancy(&spec, &LaunchConfig::linear(n, t)).unwrap();
         println!(
             "  n={n:<3} t={t:<5} -> {:>3} blocks/SM, occupancy {:>5.1}%, waves {}",
@@ -60,4 +107,26 @@ fn main() {
     println!("Benchmarks: XSBench, RSBench, AMGmk (relax), Page-Rank (HeCBench)");
     println!("Compiler:   declare-target -> main-canonicalize -> host-call-resolve");
     println!("            -> globals-to-shared -> parallelism-expansion -> DCE");
+}
+
+/// Machine-readable form of the configuration table.
+fn config_json(spec: &GpuSpec) -> String {
+    let corners: Vec<Value> = CORNERS
+        .iter()
+        .map(|&(n, t)| {
+            let occ = occupancy(spec, &LaunchConfig::linear(n, t)).unwrap();
+            Value::Object(vec![
+                ("instances".into(), Value::U64(n as u64)),
+                ("thread_limit".into(), Value::U64(t as u64)),
+                ("blocks_per_sm".into(), Value::U64(occ.blocks_per_sm as u64)),
+                ("occupancy".into(), Value::F64(occ.occupancy)),
+                ("waves".into(), Value::U64(occ.waves as u64)),
+            ])
+        })
+        .collect();
+    let doc = Value::Object(vec![
+        ("device".into(), spec.to_value()),
+        ("occupancy_corners".into(), Value::Array(corners)),
+    ]);
+    serde_json::to_string_pretty(&doc).expect("config serializes")
 }

@@ -3,7 +3,10 @@ use crate::argfile::ArgFileError;
 use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GLOBALS_TAG};
 use dgc_compiler::{compile, CompileError, CompilerOptions};
 use dgc_ir::{Module, ParseError};
-use dgc_obs::{record_schedule, InstanceMetrics, LaunchMetrics, Recorder, RpcCallCounts, PID_HOST};
+use dgc_obs::{
+    record_schedule, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Recorder, RpcCallCounts,
+    METRICS_SCHEMA_VERSION, PID_HOST,
+};
 use gpu_mem::{AllocError, TransferDirection};
 use gpu_sim::{Gpu, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
 use host_rpc::{HostServices, RpcServer, RpcStats};
@@ -117,6 +120,7 @@ impl EnsembleResult {
     /// Launch-wide metrics record (the last line of the JSONL export).
     pub fn launch_metrics(&self) -> LaunchMetrics {
         LaunchMetrics {
+            schema: METRICS_SCHEMA_VERSION,
             kernel: self.report.kernel_name.clone(),
             instances: self.instances.len() as u32,
             failed: self.failed_count(),
@@ -125,6 +129,8 @@ impl EnsembleResult {
             total_time_s: self.total_time_s,
             waves: self.report.waves,
             rpc_total: self.rpc_stats.total(),
+            latency: LatencyPercentiles::from_seconds(self.instance_end_times_s.iter().copied()),
+            rpc_stall: LatencyPercentiles::from_seconds(self.metrics.iter().map(|m| m.rpc_stall_s)),
         }
     }
 
@@ -297,6 +303,9 @@ pub fn run_ensemble_traced(
     spec.rpc_services = Some(image.rpc_services.iter().copied().collect());
     spec.footprint_multiplier = footprint;
     spec.collect_detail = traced;
+    // Stall attribution is pure bookkeeping (never perturbs timing), so
+    // the ensemble path always collects it for the metrics rollup.
+    spec.collect_stalls = true;
 
     // Heap high-water marks are per launch: restart them from the live
     // bytes (module globals) so instance peaks measure this kernel only.
@@ -382,6 +391,11 @@ pub fn run_ensemble_traced(
                 heap_peak_bytes: gpu.mem.tag_peak_bytes(i),
                 rpc: RpcCallCounts::from(services.stats_of(i)),
                 rpc_stall_s: summary.rpc_calls as f64 * gpu.timing.rpc_cycles_per_call * cycle_s,
+                stall: launch
+                    .stalls
+                    .as_ref()
+                    .map(|s| s.blocks[block])
+                    .unwrap_or_default(),
             }
         })
         .collect();
@@ -773,11 +787,24 @@ module "bench" {
         assert_eq!(m1.rpc.stdio, 1);
         assert!(m0.rpc_stall_s > 0.0);
         assert_eq!(m0.end_time_s, res.instance_end_times_s[0]);
+        // Stall attribution rides along: buckets partition each
+        // instance's cycles exactly.
+        assert_eq!(m0.stall.total(), m0.cycles);
+        assert_eq!(m1.stall.total(), m1.cycles);
+        assert!(m0.stall.rpc > 0.0, "printf stall missing: {:?}", m0.stall);
         // Launch rollup agrees with the instance outcomes.
         let lm = res.launch_metrics();
+        assert_eq!(lm.schema, dgc_obs::METRICS_SCHEMA_VERSION);
         assert_eq!(lm.instances, 2);
         assert_eq!((lm.failed, lm.oom), (0, 0));
         assert_eq!(lm.rpc_total, res.rpc_stats.total());
+        // Percentiles come from the log2 histogram: p50 ≤ p99, and p99
+        // bounds the slowest instance from above within its 2× bucket.
+        assert!(lm.latency.p50_s <= lm.latency.p99_s);
+        let max_end = res.instance_end_times_s.iter().cloned().fold(0.0, f64::max);
+        assert!(lm.latency.p99_s >= max_end * 0.99);
+        assert!(lm.latency.p99_s <= max_end * 2.0);
+        assert!(lm.rpc_stall.p50_s > 0.0);
     }
 
     #[test]

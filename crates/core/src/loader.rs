@@ -54,6 +54,8 @@ pub struct AppRunResult {
     pub rpc_stats: RpcStats,
     /// Segment traces when [`Loader::keep_traces`] was set.
     pub block_traces: Option<Vec<gpu_sim::BlockTrace>>,
+    /// Stall-cycle attribution when [`Loader::collect_stalls`] was set.
+    pub stalls: Option<gpu_sim::StallAttribution>,
 }
 
 /// The original direct-GPU-compilation loader \[26\]: compiles the whole
@@ -66,6 +68,9 @@ pub struct Loader {
     /// Keep the kernel's segment traces in the result for per-phase
     /// profiling.
     pub keep_traces: bool,
+    /// Attribute every simulated cycle to a stall bucket
+    /// ([`AppRunResult::stalls`]); pure bookkeeping, never changes timing.
+    pub collect_stalls: bool,
 }
 
 impl Default for Loader {
@@ -74,6 +79,7 @@ impl Default for Loader {
             compiler: CompilerOptions::default(),
             thread_limit: 1024,
             keep_traces: false,
+            collect_stalls: false,
         }
     }
 }
@@ -161,6 +167,7 @@ impl Loader {
         spec.footprint_multiplier = footprint;
         spec.keep_traces = self.keep_traces;
         spec.collect_detail = traced;
+        spec.collect_stalls = self.collect_stalls;
         let main_fn = app.main;
         let argv_ref = &argv;
         let image_ref = &image;
@@ -230,6 +237,7 @@ impl Loader {
             transfer_seconds,
             rpc_stats: services.stats(),
             block_traces: launch.block_traces,
+            stalls: launch.stalls,
         })
     }
 }
@@ -347,6 +355,29 @@ module "hello" {
         }
         // The exported document is a valid Chrome trace.
         assert!(dgc_obs::validate_chrome_trace(&obs.to_chrome_trace()).unwrap() > 0);
+    }
+
+    #[test]
+    fn loader_collects_stall_attribution_on_request() {
+        let mut gpu = Gpu::a100();
+        let loader = Loader {
+            collect_stalls: true,
+            ..Default::default()
+        };
+        let res = loader
+            .run(&mut gpu, &app(), &["-x"], HostServices::default())
+            .unwrap();
+        let st = res.stalls.as_ref().unwrap();
+        assert_eq!(st.kernel.total(), res.report.kernel_cycles);
+        assert_eq!(st.blocks.len(), 1);
+        // The hello app spends a printf round trip: RPC stall shows up.
+        assert!(st.kernel.rpc > 0.0, "{:?}", st.kernel);
+        // Off by default.
+        let mut gpu = Gpu::a100();
+        let res = Loader::default()
+            .run(&mut gpu, &app(), &["-x"], HostServices::default())
+            .unwrap();
+        assert!(res.stalls.is_none());
     }
 
     #[test]

@@ -164,6 +164,7 @@ pub fn run_multi_team(
             params: &gpu.timing,
             footprint_multiplier: footprint,
             collect_detail: false,
+            collect_stalls: false,
         });
         kernel_cycles += timing.cycles;
     }

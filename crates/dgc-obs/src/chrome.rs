@@ -145,6 +145,51 @@ mod tests {
     }
 
     #[test]
+    fn enabled_but_empty_recorder_exports_parseable_trace() {
+        // An enabled recorder that never saw a span still produces a
+        // document Perfetto can open: empty traceEvents, zero payload.
+        let r = Recorder::enabled();
+        let json = r.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 0);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        assert!(doc.get("traceEvents").unwrap().as_array().is_some());
+    }
+
+    #[test]
+    fn unclosed_begin_span_is_cleanly_rejected() {
+        // The exporter only emits complete ("X") events, so a dangling
+        // "B" (begin-without-end, i.e. an unclosed span) can only come
+        // from a foreign tool. The validator must reject it with a
+        // message, not panic or mis-count it.
+        let json =
+            r#"{"traceEvents":[{"name":"open","cat":"block","ph":"B","ts":1.0,"pid":1,"tid":0}]}"#;
+        let err = validate_chrome_trace(json).unwrap_err();
+        assert!(err.contains("unknown phase"), "got: {err}");
+    }
+
+    #[test]
+    fn out_of_order_timestamps_still_export_parseable_trace() {
+        // Spans recorded out of timestamp order (later span first) are
+        // legal in the trace-event format — viewers sort by ts — so the
+        // export must validate, preserve recording order, and keep both
+        // events intact.
+        let mut r = Recorder::enabled();
+        r.span(1, 0, "late", "block", 500.0, 100.0);
+        r.span(1, 0, "early", "block", 0.0, 50.0);
+        r.instant(1, 0, "mid", "rpc", 250.0);
+        let json = r.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 3);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ts: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() != Some("M"))
+            .map(|e| e.get("ts").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(ts, vec![500.0, 0.0, 250.0]);
+    }
+
+    #[test]
     fn validator_rejects_garbage() {
         assert!(validate_chrome_trace("not json").is_err());
         assert!(validate_chrome_trace("{}").is_err());

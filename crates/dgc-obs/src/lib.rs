@@ -24,5 +24,8 @@ mod metrics;
 mod recorder;
 
 pub use chrome::validate_chrome_trace;
-pub use metrics::{metrics_jsonl, InstanceMetrics, LaunchMetrics, RpcCallCounts};
+pub use metrics::{
+    metrics_jsonl, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Log2Histogram,
+    RpcCallCounts, METRICS_SCHEMA_VERSION,
+};
 pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, PID_HOST};

@@ -1,7 +1,131 @@
 //! Per-instance and launch-wide metrics, with a JSONL exporter.
 
+use gpu_sim::StallBuckets;
 use host_rpc::RpcStats;
 use serde::{Deserialize, Serialize, Value};
+
+/// Version of the JSONL metrics schema emitted by [`metrics_jsonl`] (and
+/// stamped into every launch record). Bump whenever a record field
+/// changes shape or meaning so profile-diff tooling can refuse to compare
+/// incompatible snapshots.
+///
+/// * v1 — PR 1: instance + launch records, no stall or percentile fields.
+/// * v2 — this version: per-instance `stall` bucket object, launch-level
+///   `schema`, `latency` and `rpc_stall` percentile objects.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
+
+/// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
+///
+/// Bucket 0 holds exactly the value 0; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)` — i.e. a value lands in the bucket of its bit width.
+/// 65 counters cover the full `u64` range with no allocation and O(1)
+/// recording, the classic trade of ≤ 2× value resolution for a tiny,
+/// mergeable footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Log2Histogram {
+    counts: [u64; 65],
+    total: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self {
+            counts: [0; 65],
+            total: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(v: u64) -> usize {
+        (u64::BITS - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of bucket `i` (what percentile queries
+    /// report).
+    fn bucket_max(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket(v)] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Merge another histogram's samples into this one (buckets align by
+    /// construction — both are fixed base-2).
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile sample
+    /// (`p` in `[0, 1]`); 0 for an empty histogram. The bound
+    /// overestimates the true quantile by at most 2×.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_max(i);
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// p50/p90/p99 summary of a latency population, in seconds. Derived from
+/// a [`Log2Histogram`] over nanoseconds, so each value carries that
+/// histogram's ≤ 2× bucket resolution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyPercentiles {
+    pub p50_s: f64,
+    pub p90_s: f64,
+    pub p99_s: f64,
+}
+
+impl LatencyPercentiles {
+    /// Summarize a population of durations given in seconds.
+    pub fn from_seconds(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Log2Histogram::new();
+        for s in samples {
+            h.record((s.max(0.0) * 1e9).round() as u64);
+        }
+        Self::from_ns_histogram(&h)
+    }
+
+    /// Summarize an already-built nanosecond histogram.
+    pub fn from_ns_histogram(h: &Log2Histogram) -> Self {
+        Self {
+            p50_s: h.percentile(0.50) as f64 * 1e-9,
+            p90_s: h.percentile(0.90) as f64 * 1e-9,
+            p99_s: h.percentile(0.99) as f64 * 1e-9,
+        }
+    }
+}
 
 /// Host-RPC round trips broken down by service, as seen by one instance.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -64,12 +188,18 @@ pub struct InstanceMetrics {
     pub rpc: RpcCallCounts,
     /// Modeled warp-visible time spent waiting on host round trips.
     pub rpc_stall_s: f64,
+    /// Stall-cycle decomposition of the instance's block: exclusive
+    /// buckets summing to `cycles` (instances packed into one block share
+    /// their block's decomposition).
+    pub stall: StallBuckets,
 }
 
 /// Launch-wide rollup: one JSONL record per ensemble launch, after the
 /// per-instance records.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LaunchMetrics {
+    /// [`METRICS_SCHEMA_VERSION`] at export time.
+    pub schema: u32,
     pub kernel: String,
     pub instances: u32,
     /// Instances that trapped or exited non-zero.
@@ -80,6 +210,10 @@ pub struct LaunchMetrics {
     pub total_time_s: f64,
     pub waves: u32,
     pub rpc_total: u64,
+    /// Instance completion-time percentiles (seconds from launch start).
+    pub latency: LatencyPercentiles,
+    /// Per-instance RPC-stall percentiles (seconds).
+    pub rpc_stall: LatencyPercentiles,
 }
 
 fn tagged_record(kind: &str, v: Value) -> Value {
@@ -132,6 +266,13 @@ mod tests {
                 errors: 0,
             },
             rpc_stall_s: 8.0e-5,
+            stall: StallBuckets {
+                compute: 1.0e6,
+                dram_bw: 4.0e5,
+                mlp: 2.0e5,
+                rpc: 1.0e5,
+                wave_tail: 0.0,
+            },
         }
     }
 
@@ -202,6 +343,7 @@ mod tests {
     fn jsonl_has_one_line_per_instance_plus_launch() {
         let instances = vec![sample_instance(), sample_instance()];
         let launch = LaunchMetrics {
+            schema: METRICS_SCHEMA_VERSION,
             kernel: "xsbench-x2".into(),
             instances: 2,
             failed: 0,
@@ -210,6 +352,8 @@ mod tests {
             total_time_s: 1.5e-3,
             waves: 1,
             rpc_total: 8,
+            latency: LatencyPercentiles::from_seconds([1.0e-3, 1.2e-3]),
+            rpc_stall: LatencyPercentiles::from_seconds([8.0e-5, 8.0e-5]),
         };
         let text = metrics_jsonl(&instances, &launch);
         let lines: Vec<&str> = text.lines().collect();
@@ -218,9 +362,78 @@ mod tests {
             let v: Value = serde_json::from_str(line).unwrap();
             assert_eq!(v.get("record").unwrap().as_str(), Some("instance"));
             assert!(v.get("cycles").is_some());
+            // v2: the stall decomposition rides along as a nested object.
+            assert!(v.get("stall").unwrap().get("compute").is_some());
         }
         let v: Value = serde_json::from_str(lines[2]).unwrap();
         assert_eq!(v.get("record").unwrap().as_str(), Some("launch"));
         assert_eq!(v.get("instances").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            v.get("schema").unwrap().as_u64(),
+            Some(METRICS_SCHEMA_VERSION as u64)
+        );
+        assert!(v.get("latency").unwrap().get("p99_s").is_some());
+    }
+
+    #[test]
+    fn log2_histogram_buckets_by_bit_width() {
+        let mut h = Log2Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 10);
+        // p=0 picks the first sample's bucket (0 → bucket 0 → bound 0).
+        assert_eq!(h.percentile(0.0), 0);
+        // The maximum lands in the top bucket whose bound is u64::MAX.
+        assert_eq!(h.percentile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn log2_percentile_overestimates_by_at_most_2x() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for &(p, exact) in &[(0.5, 500u64), (0.9, 900), (0.99, 990)] {
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p}: {got} < {exact}");
+            assert!(got < exact * 2, "p{p}: {got} ≥ 2×{exact}");
+        }
+    }
+
+    #[test]
+    fn log2_histogram_merge_matches_combined_recording() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut both = Log2Histogram::new();
+        for v in [5u64, 80, 3000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 1_000_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero() {
+        let h = Log2Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.5), 0);
+        let p = LatencyPercentiles::from_seconds(std::iter::empty());
+        assert_eq!(p, LatencyPercentiles::default());
+    }
+
+    #[test]
+    fn latency_percentiles_round_trip_and_order() {
+        let p = LatencyPercentiles::from_seconds((1..=100).map(|i| i as f64 * 1e-4));
+        assert!(p.p50_s <= p.p90_s && p.p90_s <= p.p99_s);
+        assert!(p.p50_s > 0.0);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: LatencyPercentiles = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
     }
 }

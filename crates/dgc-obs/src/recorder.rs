@@ -213,6 +213,13 @@ pub fn record_schedule(
         sm_of_block.push((b.block, b.sm));
         rec.name_process(sm_pid(b.sm), &format!("SM {}", b.sm));
         rec.name_thread(sm_pid(b.sm), b.block, &format!("block {}", b.block));
+        let mut args = vec![("wave".into(), Value::U64(b.wave as u64))];
+        if let Some(st) = &b.stalls {
+            args.push(("stall".into(), Value::Str(st.dominant().to_string())));
+            for (name, cycles) in st.named() {
+                args.push((format!("stall_{name}"), Value::F64(cycles)));
+            }
+        }
         rec.span_args(
             sm_pid(b.sm),
             b.block,
@@ -220,7 +227,7 @@ pub fn record_schedule(
             "block",
             offset_us + b.start_cycle * us_per_cycle,
             (b.end_cycle - b.start_cycle) * us_per_cycle,
-            vec![("wave".into(), Value::U64(b.wave as u64))],
+            args,
         );
     }
     for p in &sched.phase_spans {

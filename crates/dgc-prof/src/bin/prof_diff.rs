@@ -1,0 +1,73 @@
+//! Profile-diff regression gate.
+//!
+//! ```text
+//! prof-diff <baseline> <current> [--tolerance 0.05] [--json]
+//! ```
+//!
+//! Compares two metrics snapshots (MeasuredConfig JSONL, figure6 panel
+//! JSON, or ensemble metrics JSONL — autodetected) and exits non-zero
+//! when any configuration regressed beyond the tolerance:
+//!
+//! * `0` — no regressions
+//! * `1` — at least one regression (or a baseline configuration is
+//!   missing / newly OOM)
+//! * `2` — usage or parse error
+
+use dgc_prof::{ProfileDiff, Snapshot};
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("prof-diff: {msg}");
+    eprintln!("usage: prof-diff <baseline> <current> [--tolerance 0.05] [--json]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut tolerance = 0.05f64;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--tolerance needs a value"));
+                tolerance = v
+                    .parse()
+                    .unwrap_or_else(|_| fail_usage(&format!("bad tolerance '{v}'")));
+                if !(0.0..1.0).contains(&tolerance) {
+                    fail_usage("tolerance must be in [0, 1)");
+                }
+            }
+            "--json" => json = true,
+            flag if flag.starts_with("--") => fail_usage(&format!("unknown flag {flag}")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        fail_usage("expected exactly two snapshot paths");
+    }
+    let load = |path: &str| -> Snapshot {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("prof-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Snapshot::parse(&text).unwrap_or_else(|e| {
+            eprintln!("prof-diff: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(&paths[0]);
+    let current = load(&paths[1]);
+    let diff = ProfileDiff::compare(&baseline, &current, tolerance);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&diff).expect("diff serializes")
+        );
+    } else {
+        print!("{}", diff.render());
+    }
+    std::process::exit(if diff.has_regressions() { 1 } else { 0 });
+}

@@ -1,0 +1,30 @@
+//! Validate a Chrome trace-event export.
+//!
+//! ```text
+//! trace-check <trace.json> [<more.json> ...]
+//! ```
+//!
+//! Runs every file through [`dgc_obs::validate_chrome_trace`]; exits `0`
+//! when all are structurally valid (printing the payload event count per
+//! file), `1` on the first invalid trace, `2` on usage/IO errors.
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace-check <trace.json> [<more.json> ...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        match dgc_obs::validate_chrome_trace(&text) {
+            Ok(n) => println!("{path}: ok ({n} events)"),
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! Profile-diff regression gating.
+//!
+//! Parses two metrics snapshots — any of the repo's three on-disk formats
+//! — into a common keyed form and compares the per-configuration kernel
+//! times under a relative tolerance. Recognized formats (autodetected):
+//!
+//! 1. **MeasuredConfig JSONL** — one `{"benchmark": ..., "thread_limit":
+//!    ..., "instances": ..., "time_s": ...}` object per line (the
+//!    `figure6 --metrics-out` export).
+//! 2. **Figure-6 panels JSON** — the `figure6 --json` array of panels,
+//!    each series point contributing one configuration.
+//! 3. **Ensemble metrics JSONL** — `{"record": "launch", "kernel":
+//!    "name-xN", "kernel_time_s": ...}` lines (the `ensemble-cli
+//!    --metrics-out` export); `instance` records are skipped.
+//!
+//! A **regression** is a configuration whose time grew beyond the
+//! tolerance, or that was runnable in the baseline and is OOM/absent now.
+//! Improvements and new configurations are reported but never fail the
+//! gate.
+
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// Identity of one measured configuration across snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConfigKey {
+    pub benchmark: String,
+    /// `0` when the source format does not record a thread limit
+    /// (ensemble launch records).
+    pub thread_limit: u32,
+    pub instances: u32,
+}
+
+impl ConfigKey {
+    pub fn render(&self) -> String {
+        if self.thread_limit == 0 {
+            format!("{} ×{}", self.benchmark, self.instances)
+        } else {
+            format!(
+                "{} tl={} ×{}",
+                self.benchmark, self.thread_limit, self.instances
+            )
+        }
+    }
+}
+
+/// One configuration's measurement: `None` means it hit device OOM (the
+/// paper's "not runnable").
+pub type Measurement = Option<f64>;
+
+/// A parsed snapshot: configuration → kernel time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: BTreeMap<ConfigKey, Measurement>,
+}
+
+/// Why a snapshot failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "snapshot parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Snapshot {
+    /// Parse a snapshot, autodetecting the format.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let trimmed = text.trim_start();
+        if trimmed.starts_with('[') {
+            Self::parse_panels(text)
+        } else {
+            Self::parse_jsonl(text)
+        }
+    }
+
+    fn parse_panels(text: &str) -> Result<Self, ParseError> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| ParseError(format!("panels JSON: {e}")))?;
+        let panels = doc
+            .as_array()
+            .ok_or_else(|| ParseError("expected a top-level panel array".into()))?;
+        let mut entries = BTreeMap::new();
+        for panel in panels {
+            let tl = field_u64(panel, "thread_limit").unwrap_or(0) as u32;
+            let series = panel
+                .get("series")
+                .and_then(|v| v.as_array())
+                .ok_or_else(|| ParseError("panel without series".into()))?;
+            for s in series {
+                let bench = s
+                    .get("benchmark")
+                    .and_then(|v| v.as_str())
+                    .ok_or_else(|| ParseError("series without benchmark".into()))?
+                    .to_string();
+                let points = s
+                    .get("points")
+                    .and_then(|v| v.as_array())
+                    .ok_or_else(|| ParseError("series without points".into()))?;
+                for p in points {
+                    let n = field_u64(p, "instances")
+                        .ok_or_else(|| ParseError("point without instances".into()))?
+                        as u32;
+                    let time = p.get("time_s").and_then(|v| v.as_f64());
+                    entries.insert(
+                        ConfigKey {
+                            benchmark: bench.clone(),
+                            thread_limit: tl,
+                            instances: n,
+                        },
+                        time,
+                    );
+                }
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    fn parse_jsonl(text: &str) -> Result<Self, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v: Value = serde_json::from_str(line)
+                .map_err(|e| ParseError(format!("line {}: {e}", ln + 1)))?;
+            if let Some(record) = v.get("record").and_then(|r| r.as_str()) {
+                // Ensemble metrics JSONL: only launch records carry time.
+                if record != "launch" {
+                    continue;
+                }
+                let kernel = v
+                    .get("kernel")
+                    .and_then(|k| k.as_str())
+                    .ok_or_else(|| ParseError(format!("line {}: launch without kernel", ln + 1)))?;
+                let (benchmark, instances) = split_kernel_name(kernel);
+                let oom = field_u64(&v, "oom").unwrap_or(0) > 0;
+                let time = if oom {
+                    None
+                } else {
+                    v.get("kernel_time_s").and_then(|t| t.as_f64())
+                };
+                entries.insert(
+                    ConfigKey {
+                        benchmark,
+                        thread_limit: 0,
+                        instances,
+                    },
+                    time,
+                );
+            } else if v.get("benchmark").is_some() {
+                // MeasuredConfig JSONL.
+                let benchmark = v
+                    .get("benchmark")
+                    .and_then(|b| b.as_str())
+                    .ok_or_else(|| ParseError(format!("line {}: bad benchmark", ln + 1)))?
+                    .to_string();
+                let thread_limit = field_u64(&v, "thread_limit").unwrap_or(0) as u32;
+                let instances = field_u64(&v, "instances")
+                    .ok_or_else(|| ParseError(format!("line {}: missing instances", ln + 1)))?
+                    as u32;
+                let time = v.get("time_s").and_then(|t| t.as_f64());
+                entries.insert(
+                    ConfigKey {
+                        benchmark,
+                        thread_limit,
+                        instances,
+                    },
+                    time,
+                );
+            } else {
+                return Err(ParseError(format!(
+                    "line {}: unrecognized record shape",
+                    ln + 1
+                )));
+            }
+        }
+        if entries.is_empty() {
+            return Err(ParseError("no configurations found".into()));
+        }
+        Ok(Self { entries })
+    }
+}
+
+fn field_u64(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(|x| x.as_u64())
+}
+
+/// `"xsbench-x64"` → `("xsbench", 64)`; names without the suffix map to
+/// one instance.
+fn split_kernel_name(kernel: &str) -> (String, u32) {
+    if let Some(pos) = kernel.rfind("-x") {
+        if let Ok(n) = kernel[pos + 2..].parse::<u32>() {
+            return (kernel[..pos].to_string(), n);
+        }
+    }
+    (kernel.to_string(), 1)
+}
+
+/// What happened to one configuration between two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeltaKind {
+    /// Time within tolerance (or both OOM).
+    Unchanged,
+    /// Time shrank beyond the tolerance.
+    Improvement,
+    /// Time grew beyond the tolerance, or runnable → OOM.
+    Regression,
+    /// In the baseline, absent from the current snapshot.
+    Missing,
+    /// New in the current snapshot (never gates).
+    Added,
+}
+
+/// One per-configuration comparison.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Delta {
+    pub key: ConfigKey,
+    pub baseline_s: Option<f64>,
+    pub current_s: Option<f64>,
+    /// `current / baseline − 1`; `None` when either side is OOM/absent.
+    pub rel_change: Option<f64>,
+    pub kind: DeltaKind,
+}
+
+/// Full diff of two snapshots under one relative tolerance.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProfileDiff {
+    pub tolerance: f64,
+    pub deltas: Vec<Delta>,
+}
+
+impl ProfileDiff {
+    /// Compare `current` against `baseline` with relative tolerance
+    /// `tolerance` (e.g. `0.05` = 5% slower still passes).
+    pub fn compare(baseline: &Snapshot, current: &Snapshot, tolerance: f64) -> Self {
+        let mut deltas = Vec::new();
+        for (key, &base) in &baseline.entries {
+            match current.entries.get(key) {
+                None => deltas.push(Delta {
+                    key: key.clone(),
+                    baseline_s: base,
+                    current_s: None,
+                    rel_change: None,
+                    kind: DeltaKind::Missing,
+                }),
+                Some(&cur) => {
+                    let (rel_change, kind) = match (base, cur) {
+                        (Some(b), Some(c)) if b > 0.0 => {
+                            let rel = c / b - 1.0;
+                            let kind = if rel > tolerance {
+                                DeltaKind::Regression
+                            } else if rel < -tolerance {
+                                DeltaKind::Improvement
+                            } else {
+                                DeltaKind::Unchanged
+                            };
+                            (Some(rel), kind)
+                        }
+                        (Some(_), Some(_)) => (None, DeltaKind::Unchanged),
+                        // Runnable before, OOM now: the §4.3 memory wall
+                        // moved the wrong way.
+                        (Some(_), None) => (None, DeltaKind::Regression),
+                        // OOM before, runnable now: strictly better.
+                        (None, Some(_)) => (None, DeltaKind::Improvement),
+                        (None, None) => (None, DeltaKind::Unchanged),
+                    };
+                    deltas.push(Delta {
+                        key: key.clone(),
+                        baseline_s: base,
+                        current_s: cur,
+                        rel_change,
+                        kind,
+                    });
+                }
+            }
+        }
+        for (key, &cur) in &current.entries {
+            if !baseline.entries.contains_key(key) {
+                deltas.push(Delta {
+                    key: key.clone(),
+                    baseline_s: None,
+                    current_s: cur,
+                    rel_change: None,
+                    kind: DeltaKind::Added,
+                });
+            }
+        }
+        Self { tolerance, deltas }
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d.kind, DeltaKind::Regression | DeltaKind::Missing))
+    }
+
+    /// True when the gate should fail (any regression or missing config).
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Human-readable report, one line per configuration that changed,
+    /// plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let fmt_t = |t: Option<f64>| match t {
+            Some(s) => format!("{:.3} ms", s * 1e3),
+            None => "OOM".to_string(),
+        };
+        for d in &self.deltas {
+            let tag = match d.kind {
+                DeltaKind::Unchanged => continue,
+                DeltaKind::Improvement => "improved",
+                DeltaKind::Regression => "REGRESSION",
+                DeltaKind::Missing => "MISSING",
+                DeltaKind::Added => "added",
+            };
+            let change = match d.rel_change {
+                Some(rel) => format!(" ({:+.1}%)", rel * 100.0),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{tag:>10}  {}  {} -> {}{change}\n",
+                d.key.render(),
+                fmt_t(d.baseline_s),
+                fmt_t(d.current_s),
+            ));
+        }
+        let n_reg = self.regressions().count();
+        out.push_str(&format!(
+            "{} configurations compared, {} regression(s), tolerance {:.1}%\n",
+            self.deltas.len(),
+            n_reg,
+            self.tolerance * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(b: &str, tl: u32, n: u32) -> ConfigKey {
+        ConfigKey {
+            benchmark: b.into(),
+            thread_limit: tl,
+            instances: n,
+        }
+    }
+
+    const MEASURED: &str = concat!(
+        r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":1,"time_s":0.010,"metrics":[]}"#,
+        "\n",
+        r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":4,"time_s":0.012,"metrics":[]}"#,
+        "\n",
+        r#"{"benchmark":"pagerank","device":"A100","thread_limit":32,"instances":8,"time_s":null,"metrics":[]}"#,
+        "\n",
+    );
+
+    #[test]
+    fn parses_measured_config_jsonl() {
+        let s = Snapshot::parse(MEASURED).unwrap();
+        assert_eq!(s.entries.len(), 3);
+        assert_eq!(s.entries[&key("xsbench", 32, 1)], Some(0.010));
+        assert_eq!(s.entries[&key("pagerank", 32, 8)], None);
+    }
+
+    #[test]
+    fn parses_launch_record_jsonl() {
+        let text = concat!(
+            r#"{"record":"instance","instance":0,"cycles":5.0}"#,
+            "\n",
+            r#"{"record":"launch","schema":2,"kernel":"amgmk-x16","instances":16,"failed":0,"oom":0,"kernel_time_s":0.002,"total_time_s":0.003,"waves":1,"rpc_total":4}"#,
+            "\n",
+        );
+        let s = Snapshot::parse(text).unwrap();
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[&key("amgmk", 0, 16)], Some(0.002));
+    }
+
+    #[test]
+    fn oom_launch_records_parse_as_not_runnable() {
+        let text = r#"{"record":"launch","kernel":"pagerank-x8","instances":8,"failed":2,"oom":2,"kernel_time_s":0.001,"total_time_s":0.001,"waves":1,"rpc_total":0}"#;
+        let s = Snapshot::parse(text).unwrap();
+        assert_eq!(s.entries[&key("pagerank", 0, 8)], None);
+    }
+
+    #[test]
+    fn parses_panel_json() {
+        let text = r#"[{"thread_limit":32,"instance_counts":[1,2],"series":[
+            {"benchmark":"xsbench","thread_limit":32,"points":[
+                {"instances":1,"time_s":0.01,"speedup":1.0},
+                {"instances":2,"time_s":null,"speedup":null}]}]}]"#;
+        let s = Snapshot::parse(text).unwrap();
+        assert_eq!(s.entries[&key("xsbench", 32, 1)], Some(0.01));
+        assert_eq!(s.entries[&key("xsbench", 32, 2)], None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Snapshot::parse("not json").is_err());
+        assert!(Snapshot::parse(r#"{"neither":"format"}"#).is_err());
+        assert!(Snapshot::parse("").is_err());
+    }
+
+    #[test]
+    fn kernel_name_splitting() {
+        assert_eq!(split_kernel_name("xsbench-x64"), ("xsbench".into(), 64));
+        assert_eq!(split_kernel_name("plain"), ("plain".into(), 1));
+        assert_eq!(split_kernel_name("odd-xname"), ("odd-xname".into(), 1));
+    }
+
+    fn snap(pairs: &[(&str, u32, u32, Option<f64>)]) -> Snapshot {
+        Snapshot {
+            entries: pairs
+                .iter()
+                .map(|&(b, tl, n, t)| (key(b, tl, n), t))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_flags_only_out_of_tolerance_growth() {
+        let base = snap(&[
+            ("a", 32, 1, Some(0.100)),
+            ("a", 32, 4, Some(0.100)),
+            ("a", 32, 8, Some(0.100)),
+        ]);
+        let cur = snap(&[
+            ("a", 32, 1, Some(0.103)), // +3%: within 5%
+            ("a", 32, 4, Some(0.120)), // +20%: regression
+            ("a", 32, 8, Some(0.080)), // −20%: improvement
+        ]);
+        let d = ProfileDiff::compare(&base, &cur, 0.05);
+        assert!(d.has_regressions());
+        let kinds: Vec<DeltaKind> = d.deltas.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DeltaKind::Unchanged,
+                DeltaKind::Regression,
+                DeltaKind::Improvement
+            ]
+        );
+        assert!(d.render().contains("REGRESSION"));
+        assert!(d.render().contains("1 regression(s)"));
+    }
+
+    #[test]
+    fn oom_flip_and_missing_config_are_regressions() {
+        let base = snap(&[("a", 32, 1, Some(0.1)), ("a", 32, 2, Some(0.1))]);
+        let cur = snap(&[("a", 32, 1, None), ("b", 32, 1, Some(0.1))]);
+        let d = ProfileDiff::compare(&base, &cur, 0.05);
+        let by_key = |b: &str, n: u32| {
+            d.deltas
+                .iter()
+                .find(|x| x.key == key(b, 32, n))
+                .unwrap()
+                .kind
+        };
+        assert_eq!(by_key("a", 1), DeltaKind::Regression); // runnable → OOM
+        assert_eq!(by_key("a", 2), DeltaKind::Missing);
+        assert_eq!(by_key("b", 1), DeltaKind::Added);
+        assert!(d.has_regressions());
+        // OOM → runnable is an improvement, never a failure.
+        let d = ProfileDiff::compare(
+            &snap(&[("a", 32, 1, None)]),
+            &snap(&[("a", 32, 1, Some(0.1))]),
+            0.05,
+        );
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas[0].kind, DeltaKind::Improvement);
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let base = snap(&[("a", 32, 1, Some(0.1)), ("a", 1024, 64, None)]);
+        let d = ProfileDiff::compare(&base, &base.clone(), 0.0);
+        assert!(!d.has_regressions());
+        assert!(d.deltas.iter().all(|x| x.kind == DeltaKind::Unchanged));
+    }
+}

@@ -1,0 +1,265 @@
+//! Roofline model over the simulator's own reports.
+//!
+//! The classic roofline plots attainable instruction throughput against
+//! arithmetic intensity (work per byte of DRAM traffic): below the ridge
+//! point the memory roof `AI × BW` caps throughput, above it the compute
+//! roof does. Because every number here comes from the same analytic
+//! machine model that produced the timing ([`gpu_sim::SimReport`] +
+//! [`gpu_arch::GpuSpec`]), achieved throughput can also be compared
+//! against the attainable roof, which splits "under the memory roof" into
+//! two very different regimes:
+//!
+//! * **bandwidth-saturated** — the kernel actually draws near the
+//!   effective DRAM bandwidth (AMGmk at thread limit 1024: wide blocks
+//!   stream enough concurrent sectors to fill the pipe), and
+//! * **latency/parallelism-limited** — the roof is memory-side but the
+//!   kernel cannot reach it (any benchmark at thread limit 32: one warp's
+//!   MLP window caps each block far below the device roof; the very
+//!   headroom ensemble execution exploits).
+
+use gpu_arch::GpuSpec;
+use gpu_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Which roof (or neither) bounds a measured configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundClass {
+    /// Issue throughput is within [`RooflinePoint::SATURATION`] of the
+    /// compute roof.
+    Compute,
+    /// The memory roof caps throughput *and* the kernel draws at least
+    /// [`RooflinePoint::SATURATION`] of the effective DRAM bandwidth.
+    MemoryBw,
+    /// Neither roof is approached: per-warp MLP, occupancy (wave tails)
+    /// or RPC round trips keep the kernel under its rooflines.
+    Latency,
+}
+
+impl BoundClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundClass::Compute => "compute-bound",
+            BoundClass::MemoryBw => "memory-bandwidth-bound",
+            BoundClass::Latency => "latency-bound",
+        }
+    }
+}
+
+/// One kernel (or ensemble launch) placed on the device's roofline.
+///
+/// Throughputs are warp instructions per cycle (device-wide); intensity is
+/// warp instructions per byte of post-L2 DRAM traffic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    pub kernel: String,
+    /// Arithmetic intensity: warp instructions per DRAM byte
+    /// (`f64::INFINITY` for kernels with no DRAM traffic).
+    pub ai: f64,
+    /// Achieved warp instructions per cycle.
+    pub achieved_ipc: f64,
+    /// `min(compute roof, memory roof)` at this intensity.
+    pub attainable_ipc: f64,
+    /// Compute roof: `sm_count × issue_slots_per_sm`.
+    pub peak_ipc: f64,
+    /// Memory roof at this intensity: `ai × effective bandwidth`.
+    pub mem_roof_ipc: f64,
+    /// Effective DRAM bandwidth in bytes/cycle (raw peak × the launch's
+    /// modeled DRAM efficiency).
+    pub eff_bw_bytes_per_cycle: f64,
+    /// Intensity of the ridge point: `peak_ipc / effective bandwidth`.
+    pub ridge_ai: f64,
+    /// Achieved DRAM draw as a fraction of the effective bandwidth.
+    pub bw_fraction: f64,
+    pub bound: BoundClass,
+}
+
+impl RooflinePoint {
+    /// Fraction of a roof a kernel must reach to be *bound* by it rather
+    /// than by latency/parallelism.
+    pub const SATURATION: f64 = 0.60;
+
+    /// Place a finished launch on the device's roofline.
+    pub fn from_report(spec: &GpuSpec, report: &SimReport) -> Self {
+        let cycles = report.kernel_cycles.max(1e-12);
+        let insts = report.total_insts;
+        // Post-L2 DRAM traffic: what actually hits the bandwidth roof.
+        let dram_bytes = report.moved_bytes * (1.0 - report.l2_hit);
+        let achieved_ipc = insts / cycles;
+        let peak_ipc = (spec.sm_count * spec.issue_slots_per_sm) as f64;
+        let eff_bw = spec.dram_bytes_per_cycle() * report.dram_efficiency;
+        let ai = if dram_bytes > 0.0 {
+            insts / dram_bytes
+        } else {
+            f64::INFINITY
+        };
+        let mem_roof_ipc = if dram_bytes > 0.0 {
+            ai * eff_bw
+        } else {
+            f64::INFINITY
+        };
+        let attainable_ipc = mem_roof_ipc.min(peak_ipc);
+        let bw_fraction = if eff_bw > 0.0 {
+            (dram_bytes / cycles) / eff_bw
+        } else {
+            0.0
+        };
+        let bound = if mem_roof_ipc < peak_ipc {
+            // Memory side of the ridge: bandwidth-bound only when the
+            // kernel actually saturates the pipe.
+            if bw_fraction >= Self::SATURATION {
+                BoundClass::MemoryBw
+            } else {
+                BoundClass::Latency
+            }
+        } else if achieved_ipc >= Self::SATURATION * peak_ipc {
+            BoundClass::Compute
+        } else {
+            BoundClass::Latency
+        };
+        Self {
+            kernel: report.kernel_name.clone(),
+            ai,
+            achieved_ipc,
+            attainable_ipc,
+            peak_ipc,
+            mem_roof_ipc,
+            eff_bw_bytes_per_cycle: eff_bw,
+            ridge_ai: peak_ipc / eff_bw.max(1e-12),
+            bw_fraction,
+            bound,
+        }
+    }
+
+    /// Achieved throughput as a fraction of the attainable roof.
+    pub fn efficiency(&self) -> f64 {
+        if self.attainable_ipc.is_finite() && self.attainable_ipc > 0.0 {
+            self.achieved_ipc / self.attainable_ipc
+        } else if self.peak_ipc > 0.0 {
+            self.achieved_ipc / self.peak_ipc
+        } else {
+            0.0
+        }
+    }
+
+    /// One-line rendering for reports:
+    /// `AI 0.12 winsts/B | 31.4 / 101.9 IPC (roof: memory) | 31% BW | latency-bound`.
+    pub fn render(&self) -> String {
+        let roof_side = if self.mem_roof_ipc < self.peak_ipc {
+            "memory"
+        } else {
+            "compute"
+        };
+        let ai = if self.ai.is_finite() {
+            format!("{:.3}", self.ai)
+        } else {
+            "inf".to_string()
+        };
+        format!(
+            "AI {ai} winsts/B | {:.1} / {:.1} IPC (roof: {roof_side}) | {:.0}% BW | {}",
+            self.achieved_ipc,
+            self.attainable_ipc,
+            self.bw_fraction * 100.0,
+            self.bound.name()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(insts: f64, moved: f64, l2_hit: f64, cycles: f64, dram_eff: f64) -> SimReport {
+        SimReport {
+            kernel_name: "k".into(),
+            kernel_cycles: cycles,
+            sim_time_s: cycles / 1.41e9,
+            blocks: 1,
+            threads_per_block: 32,
+            waves: 1,
+            occupancy: 1.0,
+            total_insts: insts,
+            total_sectors: (moved / 32.0) as u64,
+            useful_bytes: moved,
+            moved_bytes: moved,
+            coalescing_efficiency: 1.0,
+            l2_hit,
+            dram_efficiency: dram_eff,
+            active_region_tags: 1,
+            issue_utilization: 0.5,
+            dram_utilization: 0.5,
+            rpc_calls: 0,
+            block_end_cycles: vec![cycles],
+        }
+    }
+
+    #[test]
+    fn pure_compute_kernel_is_compute_bound() {
+        let spec = GpuSpec::a100_40gb();
+        let peak = (spec.sm_count * spec.issue_slots_per_sm) as f64;
+        // No DRAM traffic, running at 80% of peak issue.
+        let r = report(0.8 * peak * 1e6, 0.0, 0.0, 1e6, 0.92);
+        let p = RooflinePoint::from_report(&spec, &r);
+        assert!(p.ai.is_infinite());
+        assert_eq!(p.bound, BoundClass::Compute);
+        assert!(p.efficiency() > 0.7);
+    }
+
+    #[test]
+    fn saturated_streaming_kernel_is_memory_bound() {
+        let spec = GpuSpec::a100_40gb();
+        let eff_bw = spec.dram_bytes_per_cycle() * 0.9;
+        // Low intensity, drawing 95% of effective bandwidth.
+        let cycles = 1e6;
+        let dram = 0.95 * eff_bw * cycles;
+        let r = report(0.01 * dram, dram, 0.0, cycles, 0.9);
+        let p = RooflinePoint::from_report(&spec, &r);
+        assert!(p.mem_roof_ipc < p.peak_ipc);
+        assert_eq!(p.bound, BoundClass::MemoryBw);
+        assert!(p.bw_fraction > 0.9);
+    }
+
+    #[test]
+    fn slow_low_intensity_kernel_is_latency_bound() {
+        let spec = GpuSpec::a100_40gb();
+        // Memory-side intensity but drawing only 5% of the pipe — the
+        // MLP-capped single-warp regime.
+        let eff_bw = spec.dram_bytes_per_cycle() * 0.9;
+        let cycles = 1e6;
+        let dram = 0.05 * eff_bw * cycles;
+        let r = report(0.01 * dram, dram, 0.0, cycles, 0.9);
+        let p = RooflinePoint::from_report(&spec, &r);
+        assert_eq!(p.bound, BoundClass::Latency);
+    }
+
+    #[test]
+    fn ridge_point_separates_roofs() {
+        let spec = GpuSpec::a100_40gb();
+        let r = report(1e9, 1e6, 0.0, 1e6, 0.9);
+        let p = RooflinePoint::from_report(&spec, &r);
+        // AI = 1000 winsts/B is far above the ridge (~0.4): compute side.
+        assert!(p.ai > p.ridge_ai);
+        assert!(p.mem_roof_ipc > p.peak_ipc);
+        // L2 hits reduce DRAM traffic and raise AI.
+        let r_hit = report(1e9, 1e6, 0.9, 1e6, 0.9);
+        let p_hit = RooflinePoint::from_report(&spec, &r_hit);
+        assert!(p_hit.ai > p.ai);
+    }
+
+    #[test]
+    fn render_mentions_class() {
+        let spec = GpuSpec::a100_40gb();
+        let r = report(1e6, 1e9, 0.0, 1e6, 0.9);
+        let p = RooflinePoint::from_report(&spec, &r);
+        assert!(p.render().contains(p.bound.name()));
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let spec = GpuSpec::a100_40gb();
+        let r = report(1e6, 1e9, 0.1, 1e6, 0.9);
+        let p = RooflinePoint::from_report(&spec, &r);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RooflinePoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exit-code contract of the `prof-diff` and `trace-check` binaries —
+//! what `ci.sh` relies on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("dgc-prof-test-{}-{name}", std::process::id()));
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+const BASE: &str = concat!(
+    r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":1,"time_s":0.010,"metrics":[]}"#,
+    "\n",
+    r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":4,"time_s":0.012,"metrics":[]}"#,
+    "\n",
+);
+
+const SLOWER: &str = concat!(
+    r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":1,"time_s":0.010,"metrics":[]}"#,
+    "\n",
+    r#"{"benchmark":"xsbench","device":"A100","thread_limit":32,"instances":4,"time_s":0.020,"metrics":[]}"#,
+    "\n",
+);
+
+#[test]
+fn prof_diff_exit_codes() {
+    let base = write_temp("base.jsonl", BASE);
+    let slow = write_temp("slow.jsonl", SLOWER);
+    let garbage = write_temp("garbage.txt", "not a snapshot");
+
+    // Identical snapshots: pass.
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .args([&base, &base])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // +67% on one configuration: regression, exit 1, named in the report.
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .args([&base, &slow])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("xsbench tl=32 ×4"), "{stdout}");
+
+    // A loose tolerance turns the same diff into a pass.
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .arg(&base)
+        .arg(&slow)
+        .args(["--tolerance", "0.9"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Parse and usage errors: exit 2.
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .args([&base, &garbage])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .arg(&base)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    for p in [base, slow, garbage] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn prof_diff_json_output_parses() {
+    let base = write_temp("jbase.jsonl", BASE);
+    let slow = write_temp("jslow.jsonl", SLOWER);
+    let out = Command::new(env!("CARGO_BIN_EXE_prof-diff"))
+        .arg(&base)
+        .arg(&slow)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let v: serde::Value = serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert!(v.get("deltas").unwrap().as_array().is_some());
+    let _ = std::fs::remove_file(base);
+    let _ = std::fs::remove_file(slow);
+}
+
+#[test]
+fn trace_check_exit_codes() {
+    let good = write_temp(
+        "good.json",
+        r#"{"traceEvents":[{"name":"a","ph":"X","pid":0,"tid":0,"ts":0,"dur":1}]}"#,
+    );
+    let bad = write_temp(
+        "bad.json",
+        r#"{"traceEvents":[{"ph":"B","name":"a","pid":0}]}"#,
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_trace-check"))
+        .arg(&good)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok (1 events)"));
+
+    let out = Command::new(env!("CARGO_BIN_EXE_trace-check"))
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_trace-check"))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+
+    let _ = std::fs::remove_file(good);
+    let _ = std::fs::remove_file(bad);
+}

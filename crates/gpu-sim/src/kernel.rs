@@ -1,6 +1,8 @@
 use crate::ctx::{HostCallHook, KernelError, TeamCtx};
 use crate::report::SimReport;
-use crate::timing::{simulate_timing, ScheduleDetail, TimingInputs, TimingParams};
+use crate::timing::{
+    simulate_timing, ScheduleDetail, StallAttribution, TimingInputs, TimingParams,
+};
 use crate::trace::BlockTrace;
 use gpu_arch::{occupancy, GpuSpec, LaunchConfig, LaunchError};
 use gpu_mem::{DeviceMemory, TransferEngine};
@@ -73,6 +75,9 @@ pub struct KernelSpec<'a> {
     /// Record the scheduling timeline ([`LaunchResult::schedule`]) for
     /// trace export. Off by default; never changes the timing outcome.
     pub collect_detail: bool,
+    /// Attribute cycles to stall buckets ([`LaunchResult::stalls`]). Off
+    /// by default; like `collect_detail`, pure bookkeeping.
+    pub collect_stalls: bool,
 }
 
 impl<'a> KernelSpec<'a> {
@@ -87,6 +92,7 @@ impl<'a> KernelSpec<'a> {
             rpc_services: None,
             keep_traces: false,
             collect_detail: false,
+            collect_stalls: false,
         }
     }
 }
@@ -115,6 +121,9 @@ pub struct LaunchResult {
     /// The scheduling timeline, when [`KernelSpec::collect_detail`] was
     /// set — block placement, phase spans and wave starts.
     pub schedule: Option<ScheduleDetail>,
+    /// Stall-cycle attribution, when [`KernelSpec::collect_stalls`] was
+    /// set — kernel-wide and per-block exclusive buckets.
+    pub stalls: Option<StallAttribution>,
     /// Per-team work totals, indexed by team id. Always present.
     pub team_summaries: Vec<TeamSummary>,
 }
@@ -203,8 +212,10 @@ impl Gpu {
             params: &self.timing,
             footprint_multiplier: spec.footprint_multiplier,
             collect_detail: spec.collect_detail,
+            collect_stalls: spec.collect_stalls,
         });
         let schedule = timing.detail.take();
+        let stalls = timing.stalls.take();
 
         // ---- Roll up the report. ----
         // Teams were pushed into blocks in team-id order, so iterating
@@ -259,6 +270,7 @@ impl Gpu {
             team_outcomes: outcomes,
             block_traces: spec.keep_traces.then_some(block_traces),
             schedule,
+            stalls,
             team_summaries,
         })
     }
@@ -416,6 +428,24 @@ mod tests {
         spec.collect_detail = false;
         let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
         assert!(res.schedule.is_none());
+    }
+
+    #[test]
+    fn stall_attribution_surfaces_per_block_buckets() {
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("stalls", 4, 32);
+        spec.collect_stalls = true;
+        let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
+        let st = res.stalls.expect("collect_stalls set");
+        assert_eq!(st.kernel.total(), res.report.kernel_cycles);
+        assert_eq!(st.blocks.len(), res.report.blocks as usize);
+        for (bi, b) in st.blocks.iter().enumerate() {
+            assert_eq!(b.total(), res.report.block_end_cycles[bi]);
+        }
+        // Off by default.
+        spec.collect_stalls = false;
+        let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
+        assert!(res.stalls.is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub use ctx::{HostCallHook, KernelError, LaneCtx, SharedBuf, TeamCtx};
 pub use kernel::{Gpu, KernelSpec, LaunchResult, SimError, TeamOutcome, TeamSummary};
 pub use report::SimReport;
 pub use timing::{
-    simulate_timing, BlockSchedule, PhaseSpan, ScheduleDetail, TimingInputs, TimingParams,
-    TimingResult,
+    simulate_timing, BlockSchedule, PhaseSpan, ScheduleDetail, StallAttribution, StallBuckets,
+    TimingInputs, TimingParams, TimingResult,
 };
 pub use trace::{BlockTrace, MixedSeg, Phase, TeamTrace};

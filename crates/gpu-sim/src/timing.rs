@@ -36,6 +36,10 @@ pub struct TimingInputs<'a> {
     /// the timeline costs memory proportional to blocks × phases and is
     /// only needed when exporting traces.
     pub collect_detail: bool,
+    /// Attribute every simulated interval to an exclusive stall bucket
+    /// ([`TimingResult::stalls`]). Off by default; like `collect_detail`
+    /// this is pure bookkeeping and never changes a timing outcome.
+    pub collect_stalls: bool,
 }
 
 /// Where and when one block ran, for timeline export.
@@ -48,6 +52,10 @@ pub struct BlockSchedule {
     pub wave: u32,
     pub start_cycle: f64,
     pub end_cycle: f64,
+    /// Stall-cycle decomposition of the block's lifetime (queue delay plus
+    /// SM residence), present when [`TimingInputs::collect_stalls`] was
+    /// also set. The buckets sum to `end_cycle`.
+    pub stalls: Option<StallBuckets>,
 }
 
 /// One barrier-delimited team phase on the simulated timeline.
@@ -87,6 +95,194 @@ impl ScheduleDetail {
     }
 }
 
+/// Exclusive stall-cycle buckets (DESIGN.md §4.2): where a kernel's — or
+/// one block's — simulated cycles went. Every event-loop interval is
+/// charged to exactly one bucket, the resource that bounded progress over
+/// that interval, so the buckets sum to the attributed total:
+///
+/// * `compute` — issue-slot throughput was the binding resource;
+/// * `dram_bw` — the fair device-wide DRAM bandwidth share was binding
+///   (bandwidth saturation);
+/// * `mlp` — the per-warp MLP window was binding (latency-bound memory:
+///   bandwidth was available but the warp could not keep enough requests
+///   in flight);
+/// * `rpc` — a host round-trip latency was binding;
+/// * `wave_tail` — occupancy loss: the device ran below its full block
+///   complement (kernel-level), or the block sat queued waiting for an SM
+///   slot (block-level).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallBuckets {
+    pub compute: f64,
+    pub dram_bw: f64,
+    pub mlp: f64,
+    pub rpc: f64,
+    pub wave_tail: f64,
+}
+
+/// Which bucket an interval is charged to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StallClass {
+    Compute,
+    DramBw,
+    Mlp,
+    Rpc,
+    WaveTail,
+}
+
+impl StallBuckets {
+    const NAMES: [&'static str; 5] = ["compute", "dram_bw", "mlp", "rpc", "wave_tail"];
+
+    fn as_array(&self) -> [f64; 5] {
+        [
+            self.compute,
+            self.dram_bw,
+            self.mlp,
+            self.rpc,
+            self.wave_tail,
+        ]
+    }
+
+    /// Sum of all buckets; equals the attributed cycle total.
+    pub fn total(&self) -> f64 {
+        self.compute + self.dram_bw + self.mlp + self.rpc + self.wave_tail
+    }
+
+    /// Name of the largest bucket (ties break in declaration order) —
+    /// the one-word answer to "what was this kernel bound by?".
+    pub fn dominant(&self) -> &'static str {
+        let vals = self.as_array();
+        let mut best = 0usize;
+        for (i, v) in vals.iter().enumerate() {
+            if *v > vals[best] {
+                best = i;
+            }
+        }
+        Self::NAMES[best]
+    }
+
+    /// `(name, cycles)` pairs in declaration order, for table rendering.
+    pub fn named(&self) -> [(&'static str, f64); 5] {
+        let v = self.as_array();
+        [
+            (Self::NAMES[0], v[0]),
+            (Self::NAMES[1], v[1]),
+            (Self::NAMES[2], v[2]),
+            (Self::NAMES[3], v[3]),
+            (Self::NAMES[4], v[4]),
+        ]
+    }
+
+    fn add(&mut self, class: StallClass, dt: f64) {
+        match class {
+            StallClass::Compute => self.compute += dt,
+            StallClass::DramBw => self.dram_bw += dt,
+            StallClass::Mlp => self.mlp += dt,
+            StallClass::Rpc => self.rpc += dt,
+            StallClass::WaveTail => self.wave_tail += dt,
+        }
+    }
+
+    /// Absorb the floating-point accumulation residual `target - total()`
+    /// (ulp-scale by construction: the buckets partition the very `dt`
+    /// values whose sequential sum is `target`) into the largest bucket,
+    /// until the buckets sum *bit-exactly* to `target`.
+    fn reconcile(&mut self, target: f64) {
+        // Stage 1: charge the bulk residual to the largest bucket.
+        for _ in 0..4 {
+            let residual = target - self.total();
+            if residual == 0.0 {
+                return;
+            }
+            debug_assert!(
+                residual.abs() <= 1e-6 * target.abs().max(1.0),
+                "stall residual {residual} vs target {target}"
+            );
+            *self.slot_mut(self.largest_idx()) += residual;
+        }
+        // Stage 2: the additions above themselves round, so a sub-ulp gap
+        // can survive. Walk the largest bucket one ulp at a time toward
+        // the target. When the largest bucket shares the total's binade,
+        // its unit step can straddle the target forever on a
+        // round-to-even tie — so after each failed walk, shift the
+        // second-largest bucket (strictly finer ulp, since it is below
+        // half the total) one step to break the tie.
+        for _ in 0..8 {
+            for _ in 0..8 {
+                let diff = target - self.total();
+                if diff == 0.0 {
+                    return;
+                }
+                Self::nudge(self.slot_mut(self.largest_idx()), diff);
+            }
+            let diff = target - self.total();
+            if diff == 0.0 {
+                return;
+            }
+            match self.second_idx() {
+                Some(i) => Self::nudge(self.slot_mut(i), diff),
+                None => return,
+            }
+        }
+    }
+
+    /// Move `slot` one ulp in the direction of `diff` (never below zero).
+    fn nudge(slot: &mut f64, diff: f64) {
+        let bits = slot.to_bits();
+        if diff > 0.0 {
+            *slot = f64::from_bits(bits + 1);
+        } else if *slot > 0.0 {
+            *slot = f64::from_bits(bits - 1);
+        }
+    }
+
+    fn largest_idx(&self) -> usize {
+        let vals = self.as_array();
+        let mut best = 0usize;
+        for (i, v) in vals.iter().enumerate() {
+            if *v > vals[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Largest non-zero bucket other than [`Self::largest_idx`].
+    fn second_idx(&self) -> Option<usize> {
+        let vals = self.as_array();
+        let best = self.largest_idx();
+        let mut second: Option<usize> = None;
+        for (i, v) in vals.iter().enumerate() {
+            if i != best && *v > 0.0 && second.is_none_or(|s| *v > vals[s]) {
+                second = Some(i);
+            }
+        }
+        second
+    }
+
+    fn slot_mut(&mut self, i: usize) -> &mut f64 {
+        match i {
+            0 => &mut self.compute,
+            1 => &mut self.dram_bw,
+            2 => &mut self.mlp,
+            3 => &mut self.rpc,
+            _ => &mut self.wave_tail,
+        }
+    }
+}
+
+/// Stall-cycle attribution of one kernel, recorded when
+/// [`TimingInputs::collect_stalls`] is set. Buckets are exclusive:
+/// [`StallBuckets::total`] of `kernel` equals [`TimingResult::cycles`],
+/// and each block's buckets sum to its completion cycle (time spent
+/// queued for an SM slot counts as that block's `wave_tail`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StallAttribution {
+    /// Device-wide decomposition of the kernel's critical path.
+    pub kernel: StallBuckets,
+    /// Per-block decomposition, indexed like the input blocks.
+    pub blocks: Vec<StallBuckets>,
+}
+
 /// Output of the timing simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingResult {
@@ -109,6 +305,9 @@ pub struct TimingResult {
     /// Timeline detail, present iff [`TimingInputs::collect_detail`] was
     /// set. Serialized as `null` otherwise.
     pub detail: Option<ScheduleDetail>,
+    /// Stall-cycle attribution, present iff
+    /// [`TimingInputs::collect_stalls`] was set.
+    pub stalls: Option<StallAttribution>,
 }
 
 const EPS: f64 = 1e-9;
@@ -296,6 +495,22 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
     let wave_capacity = blocks_per_sm * spec.sm_count as usize;
     let mut placed_count = 0usize;
 
+    // Stall-attribution observation state (pure bookkeeping, like
+    // `detail`). The device counts as fully fed while `running_blocks`
+    // work-bearing blocks are resident; any interval below that is an
+    // occupancy/wave-tail loss at the kernel level.
+    let blocks_with_work = team_states
+        .iter()
+        .filter(|ts| ts.iter().any(|t| !t.done))
+        .count();
+    let full_blocks = blocks_with_work.min(wave_capacity);
+    let mut running_blocks = 0usize;
+    let mut stalls: Option<StallAttribution> = inputs.collect_stalls.then(|| StallAttribution {
+        kernel: StallBuckets::default(),
+        blocks: vec![StallBuckets::default(); blocks.len()],
+    });
+    let mut stall_scratch: Vec<(f64, StallClass)> = Vec::new();
+
     let place_blocks = |now: f64,
                         pending: &mut std::collections::VecDeque<usize>,
                         sm_resident: &mut Vec<usize>,
@@ -304,7 +519,9 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                         block_states: &mut Vec<BlockState>,
                         detail: &mut Option<ScheduleDetail>,
                         phase_start: &mut Vec<Vec<f64>>,
-                        placed_count: &mut usize| {
+                        placed_count: &mut usize,
+                        stalls: &mut Option<StallAttribution>,
+                        running_blocks: &mut usize| {
         while let Some(&bi) = pending.front() {
             // Least-loaded SM placement.
             let (sm, load) = sm_resident
@@ -319,6 +536,13 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             pending.pop_front();
             sm_resident[sm] += 1;
             block_states[bi].placed = true;
+            if team_states[bi].iter().any(|t| !t.done) {
+                *running_blocks += 1;
+                if let Some(st) = stalls.as_mut() {
+                    // Queue delay before the block won an SM slot.
+                    st.blocks[bi].wave_tail = now;
+                }
+            }
             if let Some(d) = detail.as_mut() {
                 let wave = (*placed_count / wave_capacity) as u32;
                 if wave as usize == d.wave_starts.len() {
@@ -330,6 +554,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                     wave,
                     start_cycle: now,
                     end_cycle: now,
+                    stalls: None, // annotated after the event loop
                 });
                 for ts in phase_start[bi].iter_mut() {
                     *ts = now;
@@ -360,6 +585,8 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         &mut detail,
         &mut phase_start,
         &mut placed_count,
+        &mut stalls,
+        &mut running_blocks,
     );
 
     let mut now = 0.0f64;
@@ -431,6 +658,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                             if bs.teams_pending == 0 {
                                 bs.end_cycle = now;
                                 blocks_remaining -= 1;
+                                running_blocks -= 1;
                                 if let Some(d) = detail.as_mut() {
                                     if let Some(b) =
                                         d.blocks.iter_mut().find(|b| b.block == bi as u32)
@@ -450,6 +678,8 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                                     &mut detail,
                                     &mut phase_start,
                                     &mut placed_count,
+                                    &mut stalls,
+                                    &mut running_blocks,
                                 );
                             }
                         }
@@ -504,6 +734,62 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             "active warps exist but no component can progress"
         );
 
+        // ---- Attribute the interval (pure bookkeeping; reads the same
+        // rates the event search used, writes only into `stalls`). Each
+        // block is charged by the component that bounds *its* earliest
+        // completion; the kernel by the globally binding one, except that
+        // an under-filled device makes the interval a wave-tail loss.
+        if let Some(st) = stalls.as_mut() {
+            stall_scratch.clear();
+            stall_scratch.resize(blocks.len(), (f64::INFINITY, StallClass::Compute));
+            for ws in &warp_states {
+                if ws.phase != WarpPhase::Running {
+                    continue;
+                }
+                let slot = &mut stall_scratch[ws.block];
+                if ws.insts_left > EPS {
+                    let ir = (issue_cap / issue_count[ws.sm] as f64).min(1.0);
+                    let t = ws.insts_left / ir;
+                    if t < slot.0 {
+                        *slot = (t, StallClass::Compute);
+                    }
+                }
+                if ws.bytes_left > EPS {
+                    let cap = mlp_cap * ws.mlp_factor;
+                    let t = ws.bytes_left / mem_share.min(cap);
+                    // Distinguish bandwidth saturation (the fair share is
+                    // the cap) from latency-bound memory (the warp's own
+                    // MLP window is the cap).
+                    let class = if mem_share <= cap {
+                        StallClass::DramBw
+                    } else {
+                        StallClass::Mlp
+                    };
+                    if t < slot.0 {
+                        *slot = (t, class);
+                    }
+                }
+                if ws.latency_left > EPS && ws.latency_left < slot.0 {
+                    *slot = (ws.latency_left, StallClass::Rpc);
+                }
+            }
+            let mut global = (f64::INFINITY, StallClass::Compute);
+            for (bi, &(t, class)) in stall_scratch.iter().enumerate() {
+                if t.is_finite() {
+                    st.blocks[bi].add(class, dt);
+                    if t < global.0 {
+                        global = (t, class);
+                    }
+                }
+            }
+            let kernel_class = if running_blocks < full_blocks {
+                StallClass::WaveTail
+            } else {
+                global.1
+            };
+            st.kernel.add(kernel_class, dt);
+        }
+
         // ---- Advance all components by dt.
         for ws in warp_states.iter_mut() {
             if ws.phase != WarpPhase::Running {
@@ -528,6 +814,21 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         now += dt;
     }
 
+    // Force the exclusive buckets to sum exactly to the totals they
+    // partition, then mirror the per-block decomposition onto the
+    // timeline when both observers ran.
+    if let Some(st) = stalls.as_mut() {
+        st.kernel.reconcile(now);
+        for (bi, b) in st.blocks.iter_mut().enumerate() {
+            b.reconcile(block_states[bi].end_cycle);
+        }
+        if let Some(d) = detail.as_mut() {
+            for b in &mut d.blocks {
+                b.stalls = Some(st.blocks[b.block as usize]);
+            }
+        }
+    }
+
     let cycles = now.max(EPS);
     TimingResult {
         cycles: now,
@@ -539,6 +840,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         dram_utilization: dram_integral / (cycles * spec.dram_bytes_per_cycle()),
         waves: occ.waves,
         detail,
+        stalls,
     }
 }
 
@@ -589,6 +891,7 @@ mod tests {
             params: &p,
             footprint_multiplier: 1.0,
             collect_detail: false,
+            collect_stalls: false,
         })
     }
 
@@ -601,6 +904,20 @@ mod tests {
             params: &p,
             footprint_multiplier: 1.0,
             collect_detail: true,
+            collect_stalls: false,
+        })
+    }
+
+    fn run_stalls(blocks: &[BlockTrace]) -> TimingResult {
+        let s = spec();
+        let p = params();
+        simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+            collect_detail: true,
+            collect_stalls: true,
         })
     }
 
@@ -763,6 +1080,7 @@ mod tests {
             params: &p,
             footprint_multiplier: 1.0,
             collect_detail: false,
+            collect_stalls: false,
         });
         let paper = simulate_timing(&TimingInputs {
             spec: &s,
@@ -770,6 +1088,7 @@ mod tests {
             params: &p,
             footprint_multiplier: 100_000.0,
             collect_detail: false,
+            collect_stalls: false,
         });
         assert!(paper.l2_hit < scaled.l2_hit);
         assert!(paper.cycles > scaled.cycles);
@@ -837,6 +1156,146 @@ mod tests {
             .blocks
             .iter()
             .any(|b| b.wave == 1 && b.start_cycle >= d.wave_starts[1]));
+    }
+
+    #[test]
+    fn stalls_absent_by_default_and_result_unchanged() {
+        let blocks: Vec<BlockTrace> = (0..8).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let plain = run(&blocks);
+        let attributed = run_stalls(&blocks);
+        assert!(plain.stalls.is_none());
+        assert!(attributed.stalls.is_some());
+        // Attribution must not perturb the simulation.
+        assert_eq!(plain.cycles, attributed.cycles);
+        assert_eq!(plain.block_end_cycles, attributed.block_end_cycles);
+    }
+
+    #[test]
+    fn stall_buckets_sum_exactly_to_totals() {
+        // A deliberately mixed ensemble: compute-heavy, memory-heavy and
+        // RPC-heavy blocks plus one empty block, across two waves.
+        let mut blocks: Vec<BlockTrace> = Vec::new();
+        for i in 0..230 {
+            blocks.push(match i % 3 {
+                0 => block(32, 20_000.0, 100.0),
+                1 => block(32, 10.0, 200_000.0),
+                _ => {
+                    let mut b = block(4, 500.0, 1_000.0);
+                    b.teams[0].phases[0].warps[0].rpc_calls = 1;
+                    b
+                }
+            });
+        }
+        blocks.push(BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![],
+                warp_count: 1,
+            }],
+            shared_mem_bytes: 0,
+        });
+        let r = run_stalls(&blocks);
+        let st = r.stalls.as_ref().unwrap();
+        assert_eq!(st.kernel.total(), r.cycles, "kernel buckets must be exact");
+        assert_eq!(st.blocks.len(), blocks.len());
+        for (bi, b) in st.blocks.iter().enumerate() {
+            assert_eq!(
+                b.total(),
+                r.block_end_cycles[bi],
+                "block {bi} buckets must sum to its end cycle"
+            );
+        }
+        // The mix must actually exercise several buckets.
+        assert!(st.kernel.compute > 0.0 || st.kernel.wave_tail > 0.0);
+        assert!(st.kernel.dram_bw > 0.0 || st.kernel.mlp > 0.0);
+    }
+
+    #[test]
+    fn pure_compute_attributes_to_compute() {
+        let r = run_stalls(&[block(8, 10_000.0, 0.0)]);
+        let k = r.stalls.unwrap().kernel;
+        assert_eq!(k.total(), r.cycles);
+        assert_eq!(k.compute, r.cycles);
+        assert_eq!(k.dominant(), "compute");
+    }
+
+    #[test]
+    fn saturated_dram_attributes_to_dram_bw() {
+        // Same scenario as many_memory_warps_saturate_dram: 2048 memory
+        // warps make each fair share far below the per-warp MLP cap.
+        let blocks: Vec<BlockTrace> = (0..64).map(|_| block(32, 1.0, 100_000.0)).collect();
+        let r = run_stalls(&blocks);
+        let k = r.stalls.unwrap().kernel;
+        assert_eq!(k.dominant(), "dram_bw");
+        assert!(k.dram_bw > 0.9 * r.cycles, "dram_bw = {}", k.dram_bw);
+    }
+
+    #[test]
+    fn lone_memory_warp_attributes_to_mlp() {
+        // One warp cannot saturate DRAM: its own MLP window is the cap.
+        let r = run_stalls(&[block(1, 1.0, 1_000_000.0)]);
+        let k = r.stalls.unwrap().kernel;
+        assert_eq!(k.dominant(), "mlp");
+        assert!(k.mlp > 0.99 * r.cycles, "mlp = {}", k.mlp);
+    }
+
+    #[test]
+    fn rpc_latency_attributes_to_rpc() {
+        let mut b = block(1, 10.0, 0.0);
+        b.teams[0].phases[0].warps[0].rpc_calls = 5;
+        let r = run_stalls(&[b]);
+        let k = r.stalls.unwrap().kernel;
+        assert_eq!(k.dominant(), "rpc");
+        assert!(k.rpc > 0.99 * r.cycles);
+    }
+
+    #[test]
+    fn straggler_block_charges_kernel_wave_tail() {
+        // Two blocks on different SMs, one 10× longer: once the short one
+        // finishes the device is under-filled, so the kernel charges the
+        // remainder to wave_tail — while the straggler block itself is
+        // honestly compute-bound the whole time.
+        let r = run_stalls(&[block(8, 1_000.0, 0.0), block(8, 10_000.0, 0.0)]);
+        let st = r.stalls.as_ref().unwrap();
+        let short_end = r.block_end_cycles[0];
+        assert!((st.kernel.wave_tail - (r.cycles - short_end)).abs() < 1.0);
+        assert!((st.kernel.compute - short_end).abs() < 1.0);
+        assert_eq!(st.blocks[1].compute, r.block_end_cycles[1]);
+        assert_eq!(st.blocks[1].wave_tail, 0.0);
+    }
+
+    #[test]
+    fn queued_blocks_charge_their_queue_delay_to_wave_tail() {
+        // 432 identical blocks, 2 full waves: the kernel never runs
+        // under-filled (wave 2 refills instantly), but every second-wave
+        // block spent the first wave queued.
+        let blocks: Vec<BlockTrace> = (0..432).map(|_| block(32, 1000.0, 0.0)).collect();
+        let r = run_stalls(&blocks);
+        let st = r.stalls.as_ref().unwrap();
+        assert_eq!(st.kernel.wave_tail, 0.0);
+        assert_eq!(st.kernel.total(), r.cycles);
+        let d = r.detail.as_ref().unwrap();
+        let mut queued = 0;
+        for b in &d.blocks {
+            let s = b.stalls.expect("both observers ran");
+            assert_eq!(s.total(), b.end_cycle);
+            if b.wave == 1 {
+                queued += 1;
+                assert!((s.wave_tail - b.start_cycle).abs() < 1e-9);
+                assert!(s.wave_tail > 0.0);
+            } else {
+                assert_eq!(s.wave_tail, 0.0);
+            }
+        }
+        assert_eq!(queued, 216);
+    }
+
+    #[test]
+    fn stall_round_trip_through_json() {
+        let blocks: Vec<BlockTrace> = (0..4).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let st = run_stalls(&blocks).stalls.unwrap();
+        let json = serde_json::to_string(&st).unwrap();
+        let back: StallAttribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(st, back);
     }
 
     #[test]

@@ -37,8 +37,22 @@ fn run(blocks: &[BlockTrace]) -> f64 {
         params: &params,
         footprint_multiplier: 1.0,
         collect_detail: false,
+        collect_stalls: false,
     })
     .cycles
+}
+
+fn run_with_stalls(blocks: &[BlockTrace]) -> gpu_sim::TimingResult {
+    let spec = GpuSpec::a100_40gb();
+    let params = TimingParams::default();
+    simulate_timing(&TimingInputs {
+        spec: &spec,
+        blocks,
+        params: &params,
+        footprint_multiplier: 1.0,
+        collect_detail: false,
+        collect_stalls: true,
+    })
 }
 
 proptest! {
@@ -98,6 +112,45 @@ proptest! {
         drop(ctx);
         for i in (0..trip).step_by((trip as usize / 7).max(1)) {
             prop_assert_eq!(mem.load::<f64>(buf.elem_add::<f64>(i)).unwrap(), i as f64 * 3.0);
+        }
+    }
+
+    /// Stall attribution is exact and free of side effects: for every
+    /// simulated kernel the exclusive buckets sum *exactly* to the total
+    /// cycles (kernel-wide and per block), and turning attribution on
+    /// changes no timing outcome.
+    #[test]
+    fn stall_buckets_partition_cycles_exactly(
+        n in 1usize..24,
+        warps in 1u32..16,
+        insts in 0.0f64..50_000.0,
+        bytes in 0.0f64..200_000.0,
+        rpc_every in 1usize..8,
+    ) {
+        let mut blocks: Vec<BlockTrace> = (0..n)
+            .map(|i| {
+                // Heterogeneous work so waves, stragglers and mixed
+                // bottlenecks all occur across cases.
+                let scale = 1.0 + (i % 3) as f64;
+                block(warps, insts * scale, bytes * scale)
+            })
+            .collect();
+        for (i, b) in blocks.iter_mut().enumerate() {
+            if i % rpc_every == 0 {
+                b.teams[0].phases[0].warps[0].rpc_calls = (i % 3) as u64;
+            }
+        }
+        let plain = run(&blocks);
+        let r = run_with_stalls(&blocks);
+        // Pure bookkeeping: enabling attribution changes nothing.
+        prop_assert_eq!(plain, r.cycles);
+        let st = r.stalls.as_ref().unwrap();
+        prop_assert_eq!(st.kernel.total(), r.cycles, "kernel buckets {:?}", st.kernel);
+        prop_assert_eq!(st.blocks.len(), blocks.len());
+        for (bi, b) in st.blocks.iter().enumerate() {
+            prop_assert_eq!(b.total(), r.block_end_cycles[bi], "block {} buckets {:?}", bi, b);
+            let arr = [b.compute, b.dram_bw, b.mlp, b.rpc, b.wave_tail];
+            prop_assert!(arr.iter().all(|&v| v >= 0.0));
         }
     }
 
