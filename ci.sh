@@ -25,6 +25,17 @@ cargo run -q --release -p ensemble-cli -- xsbench -f "$PROF_TMP/args.txt" \
     --metrics-out "$PROF_TMP/metrics.jsonl" > /dev/null
 cargo run -q --release -p dgc-prof --bin trace-check -- "$PROF_TMP/trace.json"
 
+echo "== fault: injected OOM recovery vs golden snapshot =="
+# Page-Rank-shaped memory wall: the checked-in plan forces device OOM at
+# concurrency >= 5, so the resilient driver must split 8 -> 4 and recover
+# every instance — a non-zero exit here means recovery regressed.
+printf -- '-v 400 -d 4 -i 2\n' > "$PROF_TMP/pr_args.txt"
+cargo run -q --release -p ensemble-cli -- pagerank -f "$PROF_TMP/pr_args.txt" \
+    -n 8 -t 32 --quiet --faults results/fault_plan.json --auto-batch --max-attempts 4 \
+    --metrics-out "$PROF_TMP/smoke_faults.jsonl" > /dev/null
+cargo run -q --release -p dgc-prof --bin prof-diff -- \
+    results/smoke_faults.jsonl "$PROF_TMP/smoke_faults.jsonl" --tolerance 0.02
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -8,8 +8,8 @@ use dgc_obs::{
     METRICS_SCHEMA_VERSION, PID_HOST,
 };
 use gpu_mem::{AllocError, TransferDirection};
-use gpu_sim::{Gpu, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
-use host_rpc::{HostServices, RpcServer, RpcStats};
+use gpu_sim::{Gpu, InjectedTeamFault, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
+use host_rpc::{HostServices, RpcFaultHook, RpcServer, RpcStats};
 use serde::Value;
 
 /// How instances map onto the GPU.
@@ -57,6 +57,9 @@ pub struct InstanceOutcome {
     /// The trap was a device out-of-memory — the condition that limited
     /// Page-Rank to 4 instances in the paper's evaluation.
     pub oom: bool,
+    /// The instance was killed by the watchdog (exceeded its cycle
+    /// budget). Always a subset of the trapped instances.
+    pub timed_out: bool,
 }
 
 impl InstanceOutcome {
@@ -129,6 +132,16 @@ impl EnsembleResult {
             total_time_s: self.total_time_s,
             waves: self.report.waves,
             rpc_total: self.rpc_stats.total(),
+            // A plain launch is one attempt with no recovery: anything
+            // that failed stays failed.
+            attempts: 1,
+            retried: 0,
+            recovered: 0,
+            unrecovered: self.failed_count(),
+            timeouts: self.timed_out_count(),
+            oom_splits: 0,
+            final_batch: self.instances.len() as u32,
+            backoff_s: 0.0,
             latency: LatencyPercentiles::from_seconds(self.instance_end_times_s.iter().copied()),
             rpc_stall: LatencyPercentiles::from_seconds(self.metrics.iter().map(|m| m.rpc_stall_s)),
         }
@@ -142,6 +155,11 @@ impl EnsembleResult {
     /// Instances that died on device-heap exhaustion.
     pub fn oom_count(&self) -> u32 {
         self.instances.iter().filter(|i| i.oom).count() as u32
+    }
+
+    /// Instances killed by the watchdog.
+    pub fn timed_out_count(&self) -> u32 {
+        self.instances.iter().filter(|i| i.timed_out).count() as u32
     }
 }
 
@@ -225,6 +243,44 @@ pub fn run_ensemble_traced(
     services: HostServices,
     obs: &mut Recorder,
 ) -> Result<EnsembleResult, EnsembleError> {
+    run_ensemble_injected(
+        gpu,
+        app,
+        arg_lines,
+        opts,
+        services,
+        obs,
+        LaunchFaults::default(),
+    )
+}
+
+/// Faults to inject into one ensemble launch. The default (no hooks, no
+/// budget) is pure bookkeeping: [`run_ensemble_injected`] with an empty
+/// `LaunchFaults` is bit-identical to [`run_ensemble_traced`].
+#[derive(Default)]
+pub struct LaunchFaults<'a> {
+    /// Per-team fault: called once per global team id at launch.
+    pub team_fault: Option<&'a dyn Fn(u32) -> Option<InjectedTeamFault>>,
+    /// Server-side RPC interceptor (runs before the service handler, so
+    /// faulted calls have no host side effects).
+    pub rpc_fault: Option<RpcFaultHook>,
+    /// Watchdog: per-instance cycle budget; teams still running past it
+    /// are reaped with [`KernelError::Timeout`].
+    pub cycle_budget: Option<f64>,
+}
+
+/// [`run_ensemble_traced`] with deterministic fault injection — the
+/// substrate of the resilient driver (`dgc-fault`). All injection is
+/// opt-in per hook; absent hooks leave the launch untouched.
+pub fn run_ensemble_injected(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    services: HostServices,
+    obs: &mut Recorder,
+    faults: LaunchFaults<'_>,
+) -> Result<EnsembleResult, EnsembleError> {
     if arg_lines.is_empty() {
         return Err(EnsembleError::ArgFile(ArgFileError::Empty));
     }
@@ -296,12 +352,14 @@ pub fn run_ensemble_traced(
         .map(|a| app.footprint_scale.map(|f| f(a)).unwrap_or(1.0))
         .fold(1.0f64, f64::max);
 
-    let (server, client) = RpcServer::spawn(services);
+    let (server, client) = RpcServer::spawn_with_interceptor(services, faults.rpc_fault);
     let kernel_name = format!("{}-x{}", app.name, n);
     let mut spec = KernelSpec::new(&kernel_name, n, lanes_per_team);
     spec.teams_per_block = teams_per_block;
     spec.rpc_services = Some(image.rpc_services.iter().copied().collect());
     spec.footprint_multiplier = footprint;
+    spec.fault_of_team = faults.team_fault;
+    spec.cycle_budget = faults.cycle_budget;
     spec.collect_detail = traced;
     // Stall attribution is pure bookkeeping (never perturbs timing), so
     // the ensemble path always collects it for the metrics rollup.
@@ -351,11 +409,13 @@ pub fn run_ensemble_traced(
                 exit_code: Some(services.exit_code_of(i as u32).unwrap_or(*c)),
                 error: None,
                 oom: false,
+                timed_out: false,
             },
             TeamOutcome::Trap(e) => InstanceOutcome {
                 exit_code: services.exit_code_of(i as u32),
                 error: Some(e.to_string()),
                 oom: matches!(e, KernelError::Alloc(AllocError::OutOfMemory { .. })),
+                timed_out: matches!(e, KernelError::Timeout { .. }),
             },
         })
         .collect();
@@ -382,6 +442,8 @@ pub fn run_ensemble_traced(
                 exit_code: outcome.exit_code,
                 trapped: outcome.error.is_some(),
                 oom: outcome.oom,
+                timed_out: outcome.timed_out,
+                attempt: 0,
                 end_time_s: instance_end_times_s[i as usize],
                 cycles: launch.report.block_end_cycles[block],
                 warp_insts: summary.insts,
@@ -432,7 +494,9 @@ pub fn run_ensemble_traced(
         for m in &metrics {
             let lane = m.instance + 1;
             obs.name_thread(PID_HOST, lane, &format!("instance {}", m.instance));
-            let name = if m.oom {
+            let name = if m.timed_out {
+                "timeout".to_string()
+            } else if m.oom {
                 "oom".to_string()
             } else if m.trapped {
                 "trap".to_string()
@@ -582,7 +646,7 @@ pub fn run_ensemble_batched_traced(
 /// ensemble as sequential batches of `B` instances (memory-wall escape),
 /// `--trace-out <file>` / `--metrics-out <file>` export a Chrome trace and
 /// JSONL metrics, and `--quiet` suppresses per-instance output blocks.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleCliArgs {
     pub arg_file: String,
     /// Defaults to the number of lines in the argument file when absent.
@@ -597,6 +661,16 @@ pub struct EnsembleCliArgs {
     pub metrics_out: Option<String>,
     /// Suppress per-instance stdout blocks.
     pub quiet: bool,
+    /// Fault-plan JSON path (`--faults`); enables the resilient driver.
+    pub faults: Option<String>,
+    /// Max launch attempts per instance under the resilient driver.
+    pub max_attempts: u32,
+    /// Halve the concurrent batch on device OOM instead of giving up.
+    pub auto_batch: bool,
+    /// Watchdog budget in device cycles per instance.
+    pub instance_timeout: Option<f64>,
+    /// Abort remaining work as soon as one instance exhausts its attempts.
+    pub fail_fast: bool,
 }
 
 /// CLI parse failures.
@@ -632,6 +706,11 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut quiet = false;
+    let mut faults = None;
+    let mut max_attempts = 3u32;
+    let mut auto_batch = false;
+    let mut instance_timeout = None;
+    let mut fail_fast = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -673,6 +752,36 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                 );
             }
             "--quiet" | "-q" => quiet = true,
+            "--faults" => {
+                faults = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--faults"))?
+                        .to_string(),
+                );
+            }
+            "--max-attempts" => {
+                let v = it.next().ok_or(CliError::MissingValue("--max-attempts"))?;
+                max_attempts = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--max-attempts", v.clone()))?;
+                if max_attempts == 0 {
+                    return Err(CliError::BadValue("--max-attempts", v.clone()));
+                }
+            }
+            "--auto-batch" => auto_batch = true,
+            "--instance-timeout" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError::MissingValue("--instance-timeout"))?;
+                let cycles: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--instance-timeout", v.clone()))?;
+                if !cycles.is_finite() || cycles <= 0.0 {
+                    return Err(CliError::BadValue("--instance-timeout", v.clone()));
+                }
+                instance_timeout = Some(cycles);
+            }
+            "--fail-fast" => fail_fast = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -685,6 +794,11 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         trace_out,
         metrics_out,
         quiet,
+        faults,
+        max_attempts,
+        auto_batch,
+        instance_timeout,
+        fail_fast,
     })
 }
 
@@ -1087,7 +1201,46 @@ module "bench" {
                 trace_out: None,
                 metrics_out: None,
                 quiet: false,
+                faults: None,
+                max_attempts: 3,
+                auto_batch: false,
+                instance_timeout: None,
+                fail_fast: false,
             }
+        );
+    }
+
+    #[test]
+    fn cli_parses_fault_flags() {
+        let args: Vec<String> = [
+            "-f",
+            "args.txt",
+            "--faults",
+            "plan.json",
+            "--max-attempts",
+            "5",
+            "--auto-batch",
+            "--instance-timeout",
+            "50000",
+            "--fail-fast",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = parse_ensemble_cli(&args).unwrap();
+        assert_eq!(cli.faults.as_deref(), Some("plan.json"));
+        assert_eq!(cli.max_attempts, 5);
+        assert!(cli.auto_batch);
+        assert_eq!(cli.instance_timeout, Some(50000.0));
+        assert!(cli.fail_fast);
+        // Zero attempts and non-positive budgets are rejected.
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--max-attempts", "0"].map(String::from)),
+            Err(CliError::BadValue("--max-attempts", "0".into()))
+        );
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--instance-timeout", "-1"].map(String::from)),
+            Err(CliError::BadValue("--instance-timeout", "-1".into()))
         );
     }
 
@@ -1147,6 +1300,11 @@ module "bench" {
         assert_eq!(cli.thread_limit, 128);
         assert_eq!(cli.pack, 1);
         assert_eq!(cli.batch, 0);
+        assert_eq!(cli.faults, None);
+        assert_eq!(cli.max_attempts, 3);
+        assert!(!cli.auto_batch);
+        assert_eq!(cli.instance_timeout, None);
+        assert!(!cli.fail_fast);
 
         let cli = parse_ensemble_cli(&["-f", "a", "--batch", "4"].map(String::from)).unwrap();
         assert_eq!(cli.batch, 4);

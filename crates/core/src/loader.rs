@@ -278,7 +278,7 @@ pub(crate) fn alloc_device_globals(
 pub(crate) fn make_rpc_hook(
     client: &RpcClient,
 ) -> impl FnMut(u32, &[u8]) -> Result<Vec<u8>, String> + '_ {
-    move |_service, payload| client.call_raw(payload)
+    move |_service, payload| client.call_raw(payload).map_err(|e| e.to_string())
 }
 
 fn services_default_files(_services: &mut HostServices) {

@@ -165,6 +165,7 @@ pub fn run_multi_team(
             footprint_multiplier: footprint,
             collect_detail: false,
             collect_stalls: false,
+            cycle_budget: None,
         });
         kernel_cycles += timing.cycles;
     }

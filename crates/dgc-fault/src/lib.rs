@@ -1,0 +1,29 @@
+//! Fault injection and recovery for ensemble execution.
+//!
+//! The paper's ensemble loader packs `NI` application instances into one
+//! kernel — which also packs `NI` failure domains into one launch: a trap,
+//! a device OOM or a hung team takes the whole ensemble's result quality
+//! with it. This crate makes those failures **first-class, deterministic
+//! and recoverable**:
+//!
+//! * [`FaultPlan`] — a seeded, JSON-serializable description of what to
+//!   break: per-team traps, forced device OOM above a concurrency
+//!   threshold (the §4.3 Page-Rank memory wall, reproducible on demand),
+//!   hung instances, failed or corrupted RPC round trips. The same plan
+//!   against the same workload replays bit-for-bit; an *empty* plan is
+//!   pure bookkeeping and perturbs nothing.
+//! * [`run_ensemble_resilient`] — the recovery driver around the batched
+//!   ensemble path: failed instances re-launch in follow-up kernels with
+//!   exponential backoff in simulated time, device OOM halves the
+//!   concurrent batch ([`RecoveryPolicy::oom_split`]) so the memory wall
+//!   degrades throughput instead of ending the run, and a watchdog cycle
+//!   budget reaps hung instances without killing their launch.
+//! * [`RecoveryStats`] / [`ResilientResult::launch_metrics`] — the
+//!   recovery story (attempts, retries, recoveries, splits, backoff)
+//!   rolled into the schema-v3 metrics record and the Chrome trace.
+
+mod plan;
+mod resilient;
+
+pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use resilient::{run_ensemble_resilient, RecoveryPolicy, RecoveryStats, ResilientResult};

@@ -1,0 +1,372 @@
+//! The resilient ensemble driver.
+//!
+//! Wraps the batched ensemble path with per-instance recovery: failed
+//! instances are re-launched in follow-up kernels with exponential
+//! backoff in *simulated* time, a device OOM optionally halves the
+//! concurrent batch (the paper's §4.3 Page-Rank memory wall becomes a
+//! recoverable event instead of a dead end), and a watchdog budget reaps
+//! hung instances without killing the rest of the launch.
+//!
+//! With an empty [`FaultPlan`] and no watchdog budget the driver is pure
+//! bookkeeping: it replicates `run_ensemble_batched`'s accumulation
+//! order exactly, so results — times, stalls, metrics, trace — are
+//! bit-identical (property-tested).
+
+use crate::plan::FaultPlan;
+use dgc_core::{
+    run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult, HostApp,
+    InstanceOutcome, LaunchFaults,
+};
+use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, RpcCallCounts, PID_HOST};
+use gpu_sim::{Gpu, StallBuckets};
+use host_rpc::{HostServices, RpcStats};
+use serde::Value;
+
+/// How hard to try before giving up on an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Launch attempts per instance (≥ 1; 1 disables retries).
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry round, seconds.
+    pub backoff_base_s: f64,
+    /// Exponential growth of the wait per further retry round.
+    pub backoff_factor: f64,
+    /// Halve the concurrent batch after a round with device OOMs.
+    pub oom_split: bool,
+    /// Watchdog: per-instance cycle budget for every launch.
+    pub instance_cycle_budget: Option<f64>,
+    /// Abort all remaining work once one instance exhausts its attempts.
+    pub fail_fast: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base_s: 1e-3,
+            backoff_factor: 2.0,
+            oom_split: true,
+            instance_cycle_budget: None,
+            fail_fast: false,
+        }
+    }
+}
+
+/// What recovery did, for the metrics rollup and exit-status decisions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Recovery rounds executed (1 = no retries were needed).
+    pub attempts: u32,
+    /// Distinct instances re-launched at least once.
+    pub retried: u32,
+    /// Instances that failed at least once but ultimately succeeded.
+    pub recovered: u32,
+    /// Instances still failed (or skipped) at the end.
+    pub unrecovered: u32,
+    /// Instances never launched or re-launched because of `fail_fast`
+    /// (subset of `unrecovered`).
+    pub skipped: u32,
+    /// Cumulative failed instance-attempts across all rounds.
+    pub failures: u32,
+    /// Cumulative device-OOM instance-attempts.
+    pub oom_failures: u32,
+    /// Cumulative watchdog kills.
+    pub timeouts: u32,
+    /// Times the concurrent batch was halved.
+    pub oom_splits: u32,
+    /// Concurrent batch size in effect at the end.
+    pub final_batch: u32,
+    /// Total simulated backoff wait, seconds (part of `total_time_s`).
+    pub backoff_s: f64,
+}
+
+/// Result of a resilient run: the merged ensemble result (final outcome
+/// per instance) plus the recovery story.
+#[derive(Debug)]
+pub struct ResilientResult {
+    pub ensemble: EnsembleResult,
+    pub recovery: RecoveryStats,
+    /// Launch-sequence name for the metrics rollup (`app-x<N>`; the
+    /// inner report keeps its last chunk's kernel name untouched).
+    kernel: String,
+}
+
+impl ResilientResult {
+    pub fn all_succeeded(&self) -> bool {
+        self.ensemble.all_succeeded()
+    }
+
+    /// Launch rollup with the schema-v3 recovery fields filled in.
+    /// `failed`/`oom` count failures cumulatively across attempts;
+    /// `unrecovered` is what survived recovery.
+    pub fn launch_metrics(&self) -> LaunchMetrics {
+        let mut lm = self.ensemble.launch_metrics();
+        lm.kernel = self.kernel.clone();
+        lm.failed = self.recovery.failures;
+        lm.oom = self.recovery.oom_failures;
+        lm.attempts = self.recovery.attempts;
+        lm.retried = self.recovery.retried;
+        lm.recovered = self.recovery.recovered;
+        lm.unrecovered = self.recovery.unrecovered;
+        lm.oom_splits = self.recovery.oom_splits;
+        lm.final_batch = self.recovery.final_batch;
+        lm.backoff_s = self.recovery.backoff_s;
+        lm
+    }
+}
+
+/// Placeholder metrics for an instance that was never (re-)launched.
+fn skipped_metrics(instance: u32, end_time_s: f64) -> InstanceMetrics {
+    InstanceMetrics {
+        instance,
+        exit_code: None,
+        trapped: true,
+        oom: false,
+        timed_out: false,
+        attempt: 0,
+        end_time_s,
+        cycles: 0.0,
+        warp_insts: 0.0,
+        useful_bytes: 0.0,
+        moved_bytes: 0.0,
+        sectors: 0,
+        heap_peak_bytes: 0,
+        rpc: RpcCallCounts::default(),
+        rpc_stall_s: 0.0,
+        stall: StallBuckets::default(),
+    }
+}
+
+/// Run an ensemble under fault injection with per-instance recovery.
+///
+/// `batch` bounds the concurrent instances per kernel (`0` = all `N`
+/// concurrent). Failed instances are retried in follow-up kernels, up to
+/// [`RecoveryPolicy::max_attempts`] launches each, with exponential
+/// backoff between rounds; after a round with device OOMs the batch is
+/// halved ([`RecoveryPolicy::oom_split`]). Instances that exit non-zero
+/// are *not* retried — a deterministic application result is not a
+/// fault.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_resilient(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &mut Recorder,
+) -> Result<ResilientResult, EnsembleError> {
+    assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
+    let n = opts.num_instances.max(1);
+    let mut current_batch = if batch == 0 { n } else { batch.min(n) };
+
+    let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
+    let mut slot_stdout: Vec<String> = vec![String::new(); n as usize];
+    let mut slot_end: Vec<f64> = vec![0.0; n as usize];
+    let mut slot_metrics: Vec<Option<InstanceMetrics>> = vec![None; n as usize];
+    let mut failed_once = vec![false; n as usize];
+    let mut was_retried = vec![false; n as usize];
+
+    let mut stats = RecoveryStats::default();
+    let mut kernel_time_s = 0.0f64;
+    let mut total_time_s = 0.0f64;
+    let mut rpc_stats = RpcStats::default();
+    let mut last_report = None;
+    let base_us = obs.base_us();
+
+    let mut pending: Vec<u32> = (0..n).collect();
+    let mut attempt = 0u32;
+    let mut aborted = false;
+
+    while !pending.is_empty() && !aborted {
+        stats.attempts = attempt + 1;
+        if attempt > 0 {
+            // Exponential backoff in simulated time before the round.
+            let wait = policy.backoff_base_s * policy.backoff_factor.powi(attempt as i32 - 1);
+            total_time_s += wait;
+            stats.backoff_s += wait;
+            obs.set_base_us(base_us);
+            obs.instant_args(
+                PID_HOST,
+                0,
+                &format!("retry round {attempt}"),
+                "recovery",
+                total_time_s * 1e6,
+                vec![
+                    ("instances".into(), Value::U64(pending.len() as u64)),
+                    ("backoff_s".into(), Value::F64(wait)),
+                ],
+            );
+        }
+
+        let mut next_pending: Vec<u32> = Vec::new();
+        let mut round_oom = false;
+        let mut qi = 0usize;
+        while qi < pending.len() && !aborted {
+            let chunk: Vec<u32> =
+                pending[qi..(qi + current_batch as usize).min(pending.len())].to_vec();
+            qi += chunk.len();
+            let count = chunk.len() as u32;
+            let chunk_lines: Vec<Vec<String>> = chunk
+                .iter()
+                .map(|&g| arg_lines[g as usize % arg_lines.len()].clone())
+                .collect();
+            let chunk_opts = EnsembleOptions {
+                num_instances: count,
+                ..opts.clone()
+            };
+            let team_fault = |team: u32| plan.fault_for(chunk[team as usize], attempt, count);
+            let faults = LaunchFaults {
+                team_fault: if plan.is_empty() {
+                    None
+                } else {
+                    Some(&team_fault)
+                },
+                rpc_fault: plan.rpc_hook(attempt, &chunk),
+                cycle_budget: policy.instance_cycle_budget,
+            };
+            // Chunks land back to back on one timeline, exactly like the
+            // batched path.
+            obs.set_base_us(base_us + total_time_s * 1e6);
+            let res = run_ensemble_injected(
+                gpu,
+                app,
+                &chunk_lines,
+                &chunk_opts,
+                HostServices::default(),
+                obs,
+                faults,
+            )?;
+
+            // Accumulate in the batched path's exact order: end times are
+            // offset by the kernel time accumulated *before* this chunk.
+            for (li, &g) in chunk.iter().enumerate() {
+                slot_end[g as usize] = kernel_time_s + res.instance_end_times_s[li];
+            }
+            for (li, mut m) in res.metrics.into_iter().enumerate() {
+                let g = chunk[li];
+                m.instance = g;
+                m.end_time_s += kernel_time_s;
+                m.attempt = attempt;
+                slot_metrics[g as usize] = Some(m);
+            }
+            let mut chunk_failures = Vec::new();
+            for (li, out) in res.instances.iter().enumerate() {
+                let g = chunk[li];
+                let failed = !out.succeeded();
+                let retryable = out.error.is_some();
+                if failed {
+                    stats.failures += 1;
+                    failed_once[g as usize] = true;
+                }
+                if out.oom {
+                    stats.oom_failures += 1;
+                    round_oom = true;
+                }
+                if out.timed_out {
+                    stats.timeouts += 1;
+                }
+                if !failed && failed_once[g as usize] {
+                    stats.recovered += 1;
+                }
+                slot_outcome[g as usize] = Some(out.clone());
+                if retryable {
+                    chunk_failures.push(g);
+                    if attempt + 1 < policy.max_attempts {
+                        next_pending.push(g);
+                        was_retried[g as usize] = true;
+                    } else if policy.fail_fast {
+                        aborted = true;
+                    }
+                }
+            }
+            for (li, s) in res.stdout.into_iter().enumerate() {
+                slot_stdout[chunk[li] as usize] = s;
+            }
+            kernel_time_s += res.kernel_time_s;
+            total_time_s += res.total_time_s;
+            rpc_stats.merge(&res.rpc_stats);
+            last_report = Some(res.report);
+
+            // Recovery markers only when something actually failed, so a
+            // clean run's trace stays bit-identical to the batched path.
+            if !chunk_failures.is_empty() && obs.is_enabled() {
+                obs.set_base_us(base_us);
+                for &g in &chunk_failures {
+                    obs.instant_args(
+                        PID_HOST,
+                        0,
+                        &format!("instance {g} failed"),
+                        "recovery",
+                        total_time_s * 1e6,
+                        vec![("attempt".into(), Value::U64(attempt as u64))],
+                    );
+                }
+            }
+        }
+
+        if aborted {
+            // fail-fast: everything not yet final is abandoned.
+            for &g in next_pending.iter().chain(&pending[qi..]) {
+                slot_outcome[g as usize] = Some(InstanceOutcome {
+                    exit_code: None,
+                    error: Some("skipped: fail-fast".into()),
+                    oom: false,
+                    timed_out: false,
+                });
+                slot_end[g as usize] = kernel_time_s;
+                if slot_metrics[g as usize].is_none() {
+                    slot_metrics[g as usize] = Some(skipped_metrics(g, kernel_time_s));
+                }
+                stats.skipped += 1;
+            }
+            next_pending.clear();
+        }
+        if round_oom && policy.oom_split && current_batch > 1 {
+            // Graceful degradation: the memory wall halves concurrency
+            // instead of ending the run.
+            current_batch = (current_batch / 2).max(1);
+            stats.oom_splits += 1;
+            obs.set_base_us(base_us);
+            obs.instant_args(
+                PID_HOST,
+                0,
+                &format!("batch split to {current_batch}"),
+                "recovery",
+                total_time_s * 1e6,
+                vec![("batch".into(), Value::U64(current_batch as u64))],
+            );
+        }
+        pending = next_pending;
+        attempt += 1;
+    }
+    obs.set_base_us(base_us);
+
+    stats.retried = was_retried.iter().filter(|&&r| r).count() as u32;
+    stats.final_batch = current_batch;
+    let instances: Vec<InstanceOutcome> = slot_outcome
+        .into_iter()
+        .map(|o| o.expect("every instance has a final outcome"))
+        .collect();
+    stats.unrecovered = instances.iter().filter(|i| !i.succeeded()).count() as u32;
+    let metrics = slot_metrics
+        .into_iter()
+        .map(|m| m.expect("every instance has metrics"))
+        .collect();
+
+    Ok(ResilientResult {
+        ensemble: EnsembleResult {
+            instances,
+            stdout: slot_stdout,
+            report: last_report.expect("at least one chunk ran"),
+            kernel_time_s,
+            total_time_s,
+            instance_end_times_s: slot_end,
+            rpc_stats,
+            metrics,
+        },
+        recovery: stats,
+        kernel: format!("{}-x{}", app.name, n),
+    })
+}

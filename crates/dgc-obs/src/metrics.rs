@@ -10,9 +10,15 @@ use serde::{Deserialize, Serialize, Value};
 /// incompatible snapshots.
 ///
 /// * v1 — PR 1: instance + launch records, no stall or percentile fields.
-/// * v2 — this version: per-instance `stall` bucket object, launch-level
+/// * v2 — PR 2: per-instance `stall` bucket object, launch-level
 ///   `schema`, `latency` and `rpc_stall` percentile objects.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+/// * v3 — this version: recovery fields. Per-instance `timed_out` and
+///   `attempt`; launch-level `attempts`, `retried`, `recovered`,
+///   `unrecovered`, `timeouts`, `oom_splits`, `final_batch` and
+///   `backoff_s`. For resilient runs `failed`/`oom` count failures
+///   *cumulatively across attempts*; `unrecovered` is the count after
+///   recovery (what v2's `failed` meant for a single-shot launch).
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 /// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
 ///
@@ -169,6 +175,12 @@ pub struct InstanceMetrics {
     pub trapped: bool,
     /// Trapped specifically on device-heap exhaustion.
     pub oom: bool,
+    /// Killed by the watchdog after exceeding its cycle budget (subset of
+    /// `trapped`).
+    pub timed_out: bool,
+    /// Recovery attempt that produced this record: 0 for the first launch,
+    /// `n` for the n-th retry. Always 0 outside the resilient driver.
+    pub attempt: u32,
     /// Simulated completion time of the instance's block, seconds from
     /// launch-sequence start.
     pub end_time_s: f64,
@@ -202,7 +214,9 @@ pub struct LaunchMetrics {
     pub schema: u32,
     pub kernel: String,
     pub instances: u32,
-    /// Instances that trapped or exited non-zero.
+    /// Instances that trapped or exited non-zero. Under the resilient
+    /// driver this counts failures cumulatively across every attempt;
+    /// `unrecovered` holds the count that survived recovery.
     pub failed: u32,
     /// Subset of `failed` that ran out of device-heap memory.
     pub oom: u32,
@@ -210,6 +224,25 @@ pub struct LaunchMetrics {
     pub total_time_s: f64,
     pub waves: u32,
     pub rpc_total: u64,
+    /// Recovery rounds executed (1 = no retries were needed; always 1
+    /// outside the resilient driver).
+    pub attempts: u32,
+    /// Distinct instances that were re-launched at least once.
+    pub retried: u32,
+    /// Instances that failed at least once but ultimately succeeded.
+    pub recovered: u32,
+    /// Instances still failed (or skipped) after all recovery attempts.
+    /// Equals `failed` outside the resilient driver.
+    pub unrecovered: u32,
+    /// Instances whose *final* attempt was killed by the watchdog.
+    pub timeouts: u32,
+    /// Times the concurrent batch was halved after a device OOM
+    /// (graceful degradation).
+    pub oom_splits: u32,
+    /// Concurrent batch size of the last kernel actually launched.
+    pub final_batch: u32,
+    /// Simulated seconds spent in exponential backoff between attempts.
+    pub backoff_s: f64,
     /// Instance completion-time percentiles (seconds from launch start).
     pub latency: LatencyPercentiles,
     /// Per-instance RPC-stall percentiles (seconds).
@@ -251,6 +284,8 @@ mod tests {
             exit_code: Some(0),
             trapped: false,
             oom: false,
+            timed_out: false,
+            attempt: 0,
             end_time_s: 1.25e-3,
             cycles: 1.7e6,
             warp_insts: 5.0e5,
@@ -352,6 +387,14 @@ mod tests {
             total_time_s: 1.5e-3,
             waves: 1,
             rpc_total: 8,
+            attempts: 1,
+            retried: 0,
+            recovered: 0,
+            unrecovered: 0,
+            timeouts: 0,
+            oom_splits: 0,
+            final_batch: 2,
+            backoff_s: 0.0,
             latency: LatencyPercentiles::from_seconds([1.0e-3, 1.2e-3]),
             rpc_stall: LatencyPercentiles::from_seconds([8.0e-5, 8.0e-5]),
         };
@@ -373,6 +416,10 @@ mod tests {
             Some(METRICS_SCHEMA_VERSION as u64)
         );
         assert!(v.get("latency").unwrap().get("p99_s").is_some());
+        // v3: recovery fields land in the launch record.
+        assert_eq!(v.get("attempts").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("unrecovered").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("final_batch").unwrap().as_u64(), Some(2));
     }
 
     #[test]

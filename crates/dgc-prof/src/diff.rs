@@ -137,9 +137,23 @@ impl Snapshot {
                     .get("kernel")
                     .and_then(|k| k.as_str())
                     .ok_or_else(|| ParseError(format!("line {}: launch without kernel", ln + 1)))?;
-                let (benchmark, instances) = split_kernel_name(kernel);
-                let oom = field_u64(&v, "oom").unwrap_or(0) > 0;
-                let time = if oom {
+                let (benchmark, named_instances) = split_kernel_name(kernel);
+                // Schema v3 records the instance count explicitly; prefer
+                // it over parsing the kernel name.
+                let instances = field_u64(&v, "instances")
+                    .map(|n| n as u32)
+                    .unwrap_or(named_instances);
+                // Runnability: under schema >= 3 `oom` counts failures
+                // cumulatively across recovery attempts, so a recovered
+                // OOM still produced a valid time — only `unrecovered`
+                // failures make the configuration unrunnable.
+                let schema = field_u64(&v, "schema").unwrap_or(1);
+                let failed = if schema >= 3 {
+                    field_u64(&v, "unrecovered").unwrap_or(0) > 0
+                } else {
+                    field_u64(&v, "oom").unwrap_or(0) > 0
+                };
+                let time = if failed {
                     None
                 } else {
                     v.get("kernel_time_s").and_then(|t| t.as_f64())
@@ -389,6 +403,28 @@ mod tests {
         let text = r#"{"record":"launch","kernel":"pagerank-x8","instances":8,"failed":2,"oom":2,"kernel_time_s":0.001,"total_time_s":0.001,"waves":1,"rpc_total":0}"#;
         let s = Snapshot::parse(text).unwrap();
         assert_eq!(s.entries[&key("pagerank", 0, 8)], None);
+    }
+
+    #[test]
+    fn schema_v3_runnability_comes_from_unrecovered() {
+        // A recovered OOM (cumulative oom > 0, unrecovered = 0) under the
+        // resilient driver still produced a valid time.
+        let recovered = r#"{"record":"launch","schema":3,"kernel":"pagerank-x8","instances":8,"failed":8,"oom":8,"unrecovered":0,"oom_splits":1,"kernel_time_s":0.004,"total_time_s":0.005,"waves":2,"rpc_total":8}"#;
+        let s = Snapshot::parse(recovered).unwrap();
+        assert_eq!(s.entries[&key("pagerank", 0, 8)], Some(0.004));
+        // Unrecovered failures still mark the configuration unrunnable.
+        let stuck = r#"{"record":"launch","schema":3,"kernel":"pagerank-x8","instances":8,"failed":9,"oom":9,"unrecovered":3,"kernel_time_s":0.004,"total_time_s":0.005,"waves":2,"rpc_total":8}"#;
+        let s = Snapshot::parse(stuck).unwrap();
+        assert_eq!(s.entries[&key("pagerank", 0, 8)], None);
+    }
+
+    #[test]
+    fn explicit_instances_field_beats_kernel_name_parsing() {
+        // The resilient driver's rollup names the whole sequence; the
+        // `instances` field is authoritative.
+        let text = r#"{"record":"launch","schema":3,"kernel":"weird-xname","instances":6,"failed":0,"oom":0,"unrecovered":0,"kernel_time_s":0.002,"total_time_s":0.002,"waves":1,"rpc_total":0}"#;
+        let s = Snapshot::parse(text).unwrap();
+        assert_eq!(s.entries[&key("weird-xname", 0, 6)], Some(0.002));
     }
 
     #[test]

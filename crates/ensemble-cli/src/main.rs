@@ -14,9 +14,18 @@
 //! timeline of the launch (load in Perfetto / `chrome://tracing`),
 //! `--metrics-out m.jsonl` writes one JSON line of metrics per instance
 //! plus one for the launch, and `--quiet` suppresses per-instance output.
+//!
+//! Fault tolerance: `--faults plan.json` injects a deterministic fault
+//! plan and drives the run through the resilient driver, which re-launches
+//! failed instances (`--max-attempts`), halves the batch on device OOM
+//! (`--auto-batch`), reaps hung instances (`--instance-timeout <cycles>`)
+//! and can abort on the first unrecoverable instance (`--fail-fast`). The
+//! exit status is non-zero whenever any instance ends failed or skipped
+//! after recovery.
 
 use dgc_core::{parse_ensemble_cli, run_ensemble_traced, EnsembleOptions, MappingStrategy};
-use dgc_obs::{metrics_jsonl, Recorder};
+use dgc_fault::{run_ensemble_resilient, FaultPlan, RecoveryPolicy, RecoveryStats};
+use dgc_obs::{metrics_jsonl, LaunchMetrics, Recorder};
 use gpu_sim::Gpu;
 use host_rpc::HostServices;
 
@@ -25,6 +34,7 @@ fn usage() -> ! {
     eprintln!(
         "                    [--trace-out <trace.json>] [--metrics-out <metrics.jsonl>] [--quiet]"
     );
+    eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -83,26 +93,73 @@ fn main() {
         Recorder::disabled()
     };
 
+    // Any recovery-related flag routes the run through the resilient
+    // driver (an absent --faults file just means an empty plan).
+    let resilient =
+        cli.faults.is_some() || cli.auto_batch || cli.instance_timeout.is_some() || cli.fail_fast;
+
     let mut gpu = Gpu::a100();
-    let result = if cli.batch > 0 {
-        dgc_core::run_ensemble_batched_traced(
-            &mut gpu, &app, &arg_lines, &opts, cli.batch, &mut obs,
-        )
+    type Recovery = Option<(RecoveryStats, LaunchMetrics)>;
+    let (result, recovery): (_, Recovery) = if resilient {
+        let plan = match &cli.faults {
+            Some(path) => {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match FaultPlan::from_json(&text) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            None => FaultPlan::default(),
+        };
+        let policy = RecoveryPolicy {
+            max_attempts: cli.max_attempts,
+            oom_split: cli.auto_batch,
+            instance_cycle_budget: cli.instance_timeout,
+            fail_fast: cli.fail_fast,
+            ..Default::default()
+        };
+        match run_ensemble_resilient(
+            &mut gpu, &app, &arg_lines, &opts, cli.batch, &plan, &policy, &mut obs,
+        ) {
+            Ok(r) => {
+                let lm = r.launch_metrics();
+                (r.ensemble, Some((r.recovery, lm)))
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     } else {
-        run_ensemble_traced(
-            &mut gpu,
-            &app,
-            &arg_lines,
-            &opts,
-            HostServices::default(),
-            &mut obs,
-        )
-    };
-    let result = match result {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
+        let res = if cli.batch > 0 {
+            dgc_core::run_ensemble_batched_traced(
+                &mut gpu, &app, &arg_lines, &opts, cli.batch, &mut obs,
+            )
+        } else {
+            run_ensemble_traced(
+                &mut gpu,
+                &app,
+                &arg_lines,
+                &opts,
+                HostServices::default(),
+                &mut obs,
+            )
+        };
+        match res {
+            Ok(r) => (r, None),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     };
 
@@ -138,6 +195,21 @@ fn main() {
             result.instances.len()
         );
     }
+    if let Some((rec, _)) = &recovery {
+        println!(
+            "recovery: attempts {} | retried {} | recovered {} | unrecovered {} | oom splits {} (final batch {}) | backoff {:.3} ms",
+            rec.attempts,
+            rec.retried,
+            rec.recovered,
+            rec.unrecovered,
+            rec.oom_splits,
+            rec.final_batch,
+            rec.backoff_s * 1e3
+        );
+        if rec.skipped > 0 {
+            println!("fail-fast: {} instance(s) skipped", rec.skipped);
+        }
+    }
 
     if let Some(path) = &cli.trace_out {
         if let Err(e) = std::fs::write(path, obs.to_chrome_trace()) {
@@ -147,7 +219,11 @@ fn main() {
         eprintln!("wrote trace {path} ({} events)", obs.events().len());
     }
     if let Some(path) = &cli.metrics_out {
-        let jsonl = metrics_jsonl(&result.metrics, &result.launch_metrics());
+        let launch = recovery
+            .as_ref()
+            .map(|(_, lm)| lm.clone())
+            .unwrap_or_else(|| result.launch_metrics());
+        let jsonl = metrics_jsonl(&result.metrics, &launch);
         if let Err(e) = std::fs::write(path, jsonl) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);

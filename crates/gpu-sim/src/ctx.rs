@@ -38,6 +38,9 @@ pub enum KernelError {
     HostCallUnavailable { service: u32 },
     /// The host service itself failed.
     HostCallFailed(String),
+    /// The watchdog killed the team after it exceeded its per-instance
+    /// cycle budget (see `TimingInputs::cycle_budget`).
+    Timeout { budget_cycles: f64 },
     /// Application-level error.
     App(String),
 }
@@ -66,6 +69,9 @@ impl std::fmt::Display for KernelError {
                 write!(f, "no RPC stub for host service {service}")
             }
             KernelError::HostCallFailed(m) => write!(f, "host call failed: {m}"),
+            KernelError::Timeout { budget_cycles } => {
+                write!(f, "watchdog timeout: exceeded {budget_cycles} cycle budget")
+            }
             KernelError::App(m) => write!(f, "application error: {m}"),
         }
     }

@@ -3,9 +3,9 @@ use crate::report::SimReport;
 use crate::timing::{
     simulate_timing, ScheduleDetail, StallAttribution, TimingInputs, TimingParams,
 };
-use crate::trace::BlockTrace;
+use crate::trace::{BlockTrace, MixedSeg, Phase};
 use gpu_arch::{occupancy, GpuSpec, LaunchConfig, LaunchError};
-use gpu_mem::{DeviceMemory, TransferEngine};
+use gpu_mem::{AllocError, DeviceMemory, TransferEngine};
 use serde::{Deserialize, Serialize};
 
 /// Simulator-level launch failures (functional kernel errors are reported
@@ -49,6 +49,25 @@ impl TeamOutcome {
     }
 }
 
+/// A fault injected into one team by [`KernelSpec::fault_of_team`].
+///
+/// Injection is deterministic and purely additive: a spec without the hook
+/// (or a hook that always returns `None`) runs the exact code path the
+/// non-injected launch runs, so results stay bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InjectedTeamFault {
+    /// The team traps before running any application code, as if the
+    /// device image hit an application-level error.
+    Trap(String),
+    /// The team traps with a device out-of-memory error for `requested`
+    /// bytes, without actually disturbing the heap (the sibling teams see
+    /// the same free space they would without injection).
+    DeviceOom { requested: u64 },
+    /// The team runs normally, then stalls for `stall_cycles` warp-visible
+    /// cycles at the end — a hung instance for the watchdog to reap.
+    Hang { stall_cycles: f64 },
+}
+
 /// Description of one kernel launch.
 ///
 /// `team_fn` is invoked once per team; `teams_per_block` > 1 realizes the
@@ -78,6 +97,14 @@ pub struct KernelSpec<'a> {
     /// Attribute cycles to stall buckets ([`LaunchResult::stalls`]). Off
     /// by default; like `collect_detail`, pure bookkeeping.
     pub collect_stalls: bool,
+    /// Deterministic fault injection: called once per team before the team
+    /// body runs. `None` (the default) — and any hook returning `None` for
+    /// every team — leaves the launch bit-identical to an uninjected one.
+    pub fault_of_team: Option<&'a dyn Fn(u32) -> Option<InjectedTeamFault>>,
+    /// Watchdog cycle budget per block (see `TimingInputs::cycle_budget`);
+    /// teams of a block killed at the deadline trap with
+    /// [`KernelError::Timeout`]. `None` disables the watchdog.
+    pub cycle_budget: Option<f64>,
 }
 
 impl<'a> KernelSpec<'a> {
@@ -93,6 +120,8 @@ impl<'a> KernelSpec<'a> {
             keep_traces: false,
             collect_detail: false,
             collect_stalls: false,
+            fault_of_team: None,
+            cycle_budget: None,
         }
     }
 }
@@ -179,6 +208,11 @@ impl Gpu {
         let mut outcomes = Vec::with_capacity(spec.num_teams as usize);
         let mut max_shared = 0u64;
         for team in 0..spec.num_teams {
+            let injected = spec.fault_of_team.and_then(|f| f(team));
+            let free_bytes = match injected {
+                Some(InjectedTeamFault::DeviceOom { .. }) => self.mem.free_bytes(),
+                _ => 0,
+            };
             let tag = spec.tag_of_team.map(|f| f(team)).unwrap_or(team);
             let mut ctx = TeamCtx::new(
                 &mut self.mem,
@@ -191,12 +225,36 @@ impl Gpu {
             if let Some(hook) = host_hook.as_deref_mut() {
                 ctx.set_host_call(hook, spec.rpc_services.clone());
             }
-            let outcome = match team_fn(&mut ctx) {
-                Ok(code) => TeamOutcome::Return(code),
-                Err(e) => TeamOutcome::Trap(e),
+            let outcome = match injected {
+                // Trap-class faults fire before any application code, so
+                // the team does no work and disturbs no shared state.
+                Some(InjectedTeamFault::Trap(ref msg)) => {
+                    TeamOutcome::Trap(KernelError::App(format!("injected fault: {msg}")))
+                }
+                Some(InjectedTeamFault::DeviceOom { requested }) => {
+                    TeamOutcome::Trap(KernelError::Alloc(AllocError::OutOfMemory {
+                        requested,
+                        free: free_bytes,
+                    }))
+                }
+                _ => match team_fn(&mut ctx) {
+                    Ok(code) => TeamOutcome::Return(code),
+                    Err(e) => TeamOutcome::Trap(e),
+                },
             };
             max_shared = max_shared.max(ctx.shared_bytes_used());
-            let trace = ctx.finish();
+            let mut trace = ctx.finish();
+            if let Some(InjectedTeamFault::Hang { stall_cycles }) = injected {
+                // The hang is an extra barrier-delimited phase whose only
+                // content is injected latency on warp 0; every sibling warp
+                // waits at the barrier, so the whole team stalls.
+                let mut warps = vec![MixedSeg::default(); trace.warp_count.max(1) as usize];
+                warps[0].stall_cycles = stall_cycles;
+                trace.phases.push(Phase {
+                    warps,
+                    label: "injected:hang".into(),
+                });
+            }
             let block = (team / spec.teams_per_block) as usize;
             block_traces[block].teams.push(trace);
             outcomes.push(outcome);
@@ -213,9 +271,22 @@ impl Gpu {
             footprint_multiplier: spec.footprint_multiplier,
             collect_detail: spec.collect_detail,
             collect_stalls: spec.collect_stalls,
+            cycle_budget: spec.cycle_budget,
         });
         let schedule = timing.detail.take();
         let stalls = timing.stalls.take();
+
+        // Teams reaped by the watchdog trap with `Timeout`, whatever their
+        // functional outcome was — the simulated hardware killed them
+        // before they could commit a result.
+        for &(bi, ti) in &timing.timed_out_teams {
+            let team = bi * spec.teams_per_block + ti;
+            if let Some(o) = outcomes.get_mut(team as usize) {
+                *o = TeamOutcome::Trap(KernelError::Timeout {
+                    budget_cycles: spec.cycle_budget.unwrap_or(0.0),
+                });
+            }
+        }
 
         // ---- Roll up the report. ----
         // Teams were pushed into blocks in team-id order, so iterating
@@ -446,6 +517,108 @@ mod tests {
         spec.collect_stalls = false;
         let res = gpu.launch(&spec, None, streaming_body(10_000)).unwrap();
         assert!(res.stalls.is_none());
+    }
+
+    #[test]
+    fn injected_trap_and_oom_skip_team_body() {
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("inject", 3, 32);
+        let fault = |team: u32| match team {
+            0 => Some(InjectedTeamFault::Trap("boom".into())),
+            1 => Some(InjectedTeamFault::DeviceOom { requested: 9 << 30 }),
+            _ => None,
+        };
+        spec.fault_of_team = Some(&fault);
+        let mut body_ran = Vec::new();
+        let res = gpu
+            .launch(&spec, None, |ctx| {
+                body_ran.push(ctx.team_id());
+                Ok(0)
+            })
+            .unwrap();
+        assert!(matches!(
+            &res.team_outcomes[0],
+            TeamOutcome::Trap(KernelError::App(m)) if m.contains("injected fault: boom")
+        ));
+        assert!(matches!(
+            res.team_outcomes[1],
+            TeamOutcome::Trap(KernelError::Alloc(AllocError::OutOfMemory {
+                requested,
+                ..
+            })) if requested == 9 << 30
+        ));
+        assert_eq!(res.team_outcomes[2], TeamOutcome::Return(0));
+        // Faulted teams never reached application code.
+        assert_eq!(body_ran, vec![2]);
+    }
+
+    #[test]
+    fn empty_fault_hook_is_bit_identical() {
+        let run = |inject: bool| {
+            let mut gpu = Gpu::a100();
+            let mut spec = KernelSpec::new("ident", 4, 32);
+            spec.collect_stalls = true;
+            let none = |_: u32| None;
+            if inject {
+                spec.fault_of_team = Some(&none);
+            }
+            gpu.launch(&spec, None, streaming_body(10_000)).unwrap()
+        };
+        let plain = run(false);
+        let injected = run(true);
+        assert_eq!(plain.report, injected.report);
+        assert_eq!(plain.team_outcomes, injected.team_outcomes);
+        assert_eq!(plain.stalls, injected.stalls);
+    }
+
+    #[test]
+    fn hung_team_is_reaped_by_watchdog() {
+        let hang = |team: u32| {
+            (team == 1).then_some(InjectedTeamFault::Hang {
+                stall_cycles: 1_000_000.0,
+            })
+        };
+        // Without a watchdog the hang dominates the kernel.
+        let mut gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("hang", 2, 32);
+        spec.fault_of_team = Some(&hang);
+        let res = gpu.launch(&spec, None, streaming_body(1_000)).unwrap();
+        assert!(res.report.kernel_cycles >= 1_000_000.0);
+        assert_eq!(res.team_outcomes[1], TeamOutcome::Return(0));
+
+        // With one, the hung team times out at the budget and its sibling
+        // is untouched.
+        spec.cycle_budget = Some(50_000.0);
+        let res = gpu.launch(&spec, None, streaming_body(1_000)).unwrap();
+        assert_eq!(res.team_outcomes[0], TeamOutcome::Return(0));
+        assert_eq!(
+            res.team_outcomes[1],
+            TeamOutcome::Trap(KernelError::Timeout {
+                budget_cycles: 50_000.0
+            })
+        );
+        assert!(
+            res.report.kernel_cycles < 100_000.0,
+            "watchdog must cap the kernel: {} cycles",
+            res.report.kernel_cycles
+        );
+    }
+
+    #[test]
+    fn generous_watchdog_budget_is_bit_identical() {
+        let run = |budget: Option<f64>| {
+            let mut gpu = Gpu::a100();
+            let mut spec = KernelSpec::new("budget", 4, 32);
+            spec.cycle_budget = budget;
+            gpu.launch(&spec, None, streaming_body(10_000)).unwrap()
+        };
+        let plain = run(None);
+        let budgeted = run(Some(1e12));
+        assert_eq!(plain.report, budgeted.report);
+        assert!(budgeted
+            .team_outcomes
+            .iter()
+            .all(|o| matches!(o, TeamOutcome::Return(0))));
     }
 
     #[test]

@@ -28,7 +28,9 @@ mod timing;
 mod trace;
 
 pub use ctx::{HostCallHook, KernelError, LaneCtx, SharedBuf, TeamCtx};
-pub use kernel::{Gpu, KernelSpec, LaunchResult, SimError, TeamOutcome, TeamSummary};
+pub use kernel::{
+    Gpu, InjectedTeamFault, KernelSpec, LaunchResult, SimError, TeamOutcome, TeamSummary,
+};
 pub use report::SimReport;
 pub use timing::{
     simulate_timing, BlockSchedule, PhaseSpan, ScheduleDetail, StallAttribution, StallBuckets,

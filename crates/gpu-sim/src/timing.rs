@@ -40,6 +40,13 @@ pub struct TimingInputs<'a> {
     /// ([`TimingResult::stalls`]). Off by default; like `collect_detail`
     /// this is pure bookkeeping and never changes a timing outcome.
     pub collect_stalls: bool,
+    /// Watchdog: per-block cycle budget, measured from the block's
+    /// placement on an SM. A block still running past its budget is killed
+    /// at the deadline — its unfinished teams are recorded in
+    /// [`TimingResult::timed_out_teams`] and the block's SM slot is freed so
+    /// queued blocks can proceed. `None` (the default) disables the
+    /// watchdog entirely and leaves every timing outcome bit-identical.
+    pub cycle_budget: Option<f64>,
 }
 
 /// Where and when one block ran, for timeline export.
@@ -308,6 +315,10 @@ pub struct TimingResult {
     /// Stall-cycle attribution, present iff
     /// [`TimingInputs::collect_stalls`] was set.
     pub stalls: Option<StallAttribution>,
+    /// Teams killed by the [`TimingInputs::cycle_budget`] watchdog, as
+    /// `(block index, team index within the block)` pairs in kill order.
+    /// Empty whenever the watchdog is disabled or never fired.
+    pub timed_out_teams: Vec<(u32, u32)>,
 }
 
 const EPS: f64 = 1e-9;
@@ -348,7 +359,9 @@ impl WarpState {
         let seg = &blocks[self.block].teams[self.team].phases[phase_idx].warps[self.warp];
         self.insts_left = seg.insts;
         self.bytes_left = seg.moved_bytes * dram_discount;
-        self.latency_left = seg.rpc_calls as f64 * params.rpc_cycles_per_call;
+        // Injected stalls (`MixedSeg::stall_cycles`, 0 for organic traces)
+        // ride the same warp-visible latency channel as RPC round trips.
+        self.latency_left = seg.rpc_calls as f64 * params.rpc_cycles_per_call + seg.stall_cycles;
         self.mlp_factor = 0.4 + 0.6 * seg.coalescing_efficiency();
         self.phase = WarpPhase::Running;
     }
@@ -367,6 +380,9 @@ struct TeamState {
 struct BlockState {
     teams_pending: usize,
     placed: bool,
+    /// Cycle the block won an SM slot; the watchdog deadline is
+    /// `start_cycle + cycle_budget`.
+    start_cycle: f64,
     end_cycle: f64,
 }
 
@@ -461,6 +477,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         block_states.push(BlockState {
             teams_pending: teams.iter().filter(|t| !t.done).count(),
             placed: false,
+            start_cycle: 0.0,
             end_cycle: 0.0,
         });
         team_states.push(teams);
@@ -536,6 +553,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             pending.pop_front();
             sm_resident[sm] += 1;
             block_states[bi].placed = true;
+            block_states[bi].start_cycle = now;
             if team_states[bi].iter().any(|t| !t.done) {
                 *running_blocks += 1;
                 if let Some(st) = stalls.as_mut() {
@@ -600,6 +618,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
 
     let mut issued_integral = 0.0f64;
     let mut dram_integral = 0.0f64;
+    let mut timed_out_teams: Vec<(u32, u32)> = Vec::new();
 
     let mut guard = 0u64;
     let guard_limit = 10_000_000u64;
@@ -691,6 +710,66 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             break;
         }
 
+        // ---- Watchdog: kill blocks whose cycle budget has expired. The
+        // teardown mirrors normal block completion (free the SM slot,
+        // record the end cycle, refill from the queue) so the rest of the
+        // schedule proceeds untouched; the functional layer rewrites the
+        // affected teams' outcomes to `KernelError::Timeout`.
+        if let Some(budget) = inputs.cycle_budget {
+            let mut killed = false;
+            for bi in 0..block_states.len() {
+                if !block_states[bi].placed
+                    || !team_states[bi].iter().any(|t| !t.done)
+                    || now < block_states[bi].start_cycle + budget - EPS
+                {
+                    continue;
+                }
+                killed = true;
+                let mut sm = usize::MAX;
+                for (ti, team) in team_states[bi].iter_mut().enumerate() {
+                    if team.done {
+                        continue;
+                    }
+                    team.done = true;
+                    timed_out_teams.push((bi as u32, ti as u32));
+                    let base = warp_index[bi][ti];
+                    for w in 0..blocks[bi].teams[ti].warp_count as usize {
+                        sm = warp_states[base + w].sm;
+                        warp_states[base + w].phase = WarpPhase::Done;
+                    }
+                    block_states[bi].teams_pending -= 1;
+                }
+                debug_assert_eq!(block_states[bi].teams_pending, 0);
+                block_states[bi].end_cycle = now;
+                blocks_remaining -= 1;
+                running_blocks -= 1;
+                if let Some(d) = detail.as_mut() {
+                    if let Some(b) = d.blocks.iter_mut().find(|b| b.block == bi as u32) {
+                        b.end_cycle = now;
+                    }
+                }
+                sm_resident[sm] -= 1;
+                place_blocks(
+                    now,
+                    &mut pending_blocks,
+                    &mut sm_resident,
+                    &mut warp_states,
+                    &mut team_states,
+                    &mut block_states,
+                    &mut detail,
+                    &mut phase_start,
+                    &mut placed_count,
+                    &mut stalls,
+                    &mut running_blocks,
+                );
+            }
+            if killed {
+                // Freshly placed blocks may carry zero-work segments;
+                // restart the iteration so the drain sees them first.
+                continue;
+            }
+        }
+
         // ---- Compute fair-share rates.
         let mut issue_count = vec![0u32; spec.sm_count as usize];
         let mut mem_count = 0u32;
@@ -733,6 +812,18 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             dt.is_finite(),
             "active warps exist but no component can progress"
         );
+        // Never step past a watchdog deadline: clamp the interval so the
+        // kill pass above fires exactly at `start_cycle + budget`.
+        if let Some(budget) = inputs.cycle_budget {
+            for (bi, bs) in block_states.iter().enumerate() {
+                if bs.placed && team_states[bi].iter().any(|t| !t.done) {
+                    let remain = bs.start_cycle + budget - now;
+                    if remain > EPS && remain < dt {
+                        dt = remain;
+                    }
+                }
+            }
+        }
 
         // ---- Attribute the interval (pure bookkeeping; reads the same
         // rates the event search used, writes only into `stalls`). Each
@@ -841,6 +932,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         waves: occ.waves,
         detail,
         stalls,
+        timed_out_teams,
     }
 }
 
@@ -869,6 +961,7 @@ mod tests {
             region_tags: vec![],
             region_footprints: vec![],
             rpc_calls: 0,
+            stall_cycles: 0.0,
         };
         BlockTrace {
             teams: vec![TeamTrace {
@@ -892,6 +985,7 @@ mod tests {
             footprint_multiplier: 1.0,
             collect_detail: false,
             collect_stalls: false,
+            cycle_budget: None,
         })
     }
 
@@ -905,6 +999,7 @@ mod tests {
             footprint_multiplier: 1.0,
             collect_detail: true,
             collect_stalls: false,
+            cycle_budget: None,
         })
     }
 
@@ -918,6 +1013,7 @@ mod tests {
             footprint_multiplier: 1.0,
             collect_detail: true,
             collect_stalls: true,
+            cycle_budget: None,
         })
     }
 
@@ -1081,6 +1177,7 @@ mod tests {
             footprint_multiplier: 1.0,
             collect_detail: false,
             collect_stalls: false,
+            cycle_budget: None,
         });
         let paper = simulate_timing(&TimingInputs {
             spec: &s,
@@ -1089,6 +1186,7 @@ mod tests {
             footprint_multiplier: 100_000.0,
             collect_detail: false,
             collect_stalls: false,
+            cycle_budget: None,
         });
         assert!(paper.l2_hit < scaled.l2_hit);
         assert!(paper.cycles > scaled.cycles);

@@ -23,12 +23,20 @@ pub struct MixedSeg {
     pub region_footprints: Vec<(u64, u64)>,
     /// Host RPC round trips issued from this warp.
     pub rpc_calls: u64,
+    /// Extra warp-visible latency cycles charged to this segment before any
+    /// of its work drains. Organically-built traces always carry 0; fault
+    /// injection uses it to model a hung instance (the cycles are attributed
+    /// to the RPC stall bucket, like the host-side latency they imitate).
+    pub stall_cycles: f64,
 }
 
 impl MixedSeg {
     /// Whether this segment represents any work at all.
     pub fn is_empty(&self) -> bool {
-        self.insts == 0.0 && self.moved_bytes == 0.0 && self.rpc_calls == 0
+        self.insts == 0.0
+            && self.moved_bytes == 0.0
+            && self.rpc_calls == 0
+            && self.stall_cycles == 0.0
     }
 
     /// Fold another segment's totals into this one.
@@ -38,6 +46,7 @@ impl MixedSeg {
         self.useful_bytes += other.useful_bytes;
         self.sectors += other.sectors;
         self.rpc_calls += other.rpc_calls;
+        self.stall_cycles += other.stall_cycles;
         for &t in &other.region_tags {
             self.add_region_tag(t);
         }
@@ -192,6 +201,7 @@ mod tests {
             region_tags: vec![1, 3],
             region_footprints: vec![(100, 10)],
             rpc_calls: 1,
+            stall_cycles: 0.0,
         };
         let b = MixedSeg {
             insts: 5.0,
@@ -201,6 +211,7 @@ mod tests {
             region_tags: vec![2, 3],
             region_footprints: vec![(100, 10), (200, 20)],
             rpc_calls: 0,
+            stall_cycles: 0.5,
         };
         a.merge(&b);
         assert_eq!(a.insts, 15.0);
@@ -208,6 +219,7 @@ mod tests {
         assert_eq!(a.region_tags, vec![1, 2, 3]);
         assert_eq!(a.region_footprints, vec![(100, 10), (200, 20)]);
         assert_eq!(a.rpc_calls, 1);
+        assert_eq!(a.stall_cycles, 0.5);
     }
 
     #[test]
@@ -231,6 +243,7 @@ mod tests {
             region_tags: vec![0],
             region_footprints: vec![(0x1000, 4096)],
             rpc_calls: 2,
+            stall_cycles: 0.0,
         };
         let t = TeamTrace {
             phases: vec![

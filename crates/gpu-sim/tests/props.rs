@@ -38,6 +38,7 @@ fn run(blocks: &[BlockTrace]) -> f64 {
         footprint_multiplier: 1.0,
         collect_detail: false,
         collect_stalls: false,
+        cycle_budget: None,
     })
     .cycles
 }
@@ -52,6 +53,7 @@ fn run_with_stalls(blocks: &[BlockTrace]) -> gpu_sim::TimingResult {
         footprint_multiplier: 1.0,
         collect_detail: false,
         collect_stalls: true,
+        cycle_budget: None,
     })
 }
 

@@ -1,10 +1,61 @@
-use crate::proto::{Request, Response};
+use crate::proto::{DecodeError, Request, Response};
 use crate::services::HostServices;
 use crossbeam::channel::{bounded, unbounded, Sender};
 use std::thread::JoinHandle;
 
+/// Why one RPC round trip failed, as seen from the device side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcError {
+    /// The service thread is gone (shut down or crashed); the request was
+    /// never delivered.
+    ServerGone,
+    /// The service thread dropped the reply channel before answering.
+    ReplyDropped,
+    /// The raw payload did not decode as a [`Request`].
+    Decode(DecodeError),
+    /// A fault-injection interceptor destroyed the round trip.
+    Injected(String),
+}
+
+impl std::fmt::Display for RpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpcError::ServerGone => write!(f, "RPC server is gone"),
+            RpcError::ReplyDropped => write!(f, "RPC server dropped reply"),
+            RpcError::Decode(e) => write!(f, "RPC request malformed: {e}"),
+            RpcError::Injected(m) => write!(f, "RPC fault injected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpcError {}
+
+/// A fault injected into one RPC round trip by the server-side
+/// interceptor (see [`RpcServer::spawn_with_interceptor`]). The fault is
+/// applied *before* the service handler runs, so a faulted call has no
+/// host-side side effects and can be retried safely.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RpcFault {
+    /// Answer `Response::Err(message)` without invoking the service.
+    Fail(String),
+    /// Deliver a reply that does not decode as any [`Response`] — wire
+    /// corruption. Typed callers get [`RpcError::Injected`]; raw callers
+    /// get garbage bytes their own decoder must survive.
+    Corrupt,
+}
+
+/// Server-side fault hook: inspects each request and may replace its round
+/// trip with a fault. Runs on the service thread, hence `Send`.
+pub type RpcFaultHook = Box<dyn FnMut(&Request) -> Option<RpcFault> + Send>;
+
+/// Wire bytes of a corrupted reply: an out-of-range response tag followed
+/// by a length prefix that overruns the buffer, so any correct decoder
+/// must reject it without panicking or over-reading.
+const CORRUPT_REPLY: [u8; 5] = [0xFF, 0xFF, 0xFF, 0xFF, 0x7F];
+
 enum Message {
-    Call(Request, Sender<Response>),
+    // The bool flags a corrupted reply (fault injection).
+    Call(Request, Sender<(Response, bool)>),
     Shutdown,
 }
 
@@ -18,20 +69,33 @@ pub struct RpcClient {
 
 impl RpcClient {
     /// Perform one blocking round trip.
-    pub fn call(&self, req: Request) -> Result<Response, String> {
-        let (rtx, rrx) = bounded(1);
-        self.tx
-            .send(Message::Call(req, rtx))
-            .map_err(|_| "RPC server is gone".to_string())?;
-        rrx.recv()
-            .map_err(|_| "RPC server dropped reply".to_string())
+    pub fn call(&self, req: Request) -> Result<Response, RpcError> {
+        let (resp, corrupt) = self.round_trip(req)?;
+        if corrupt {
+            // A typed caller cannot receive corrupted bytes; surface the
+            // destroyed round trip as an injected error instead.
+            return Err(RpcError::Injected("corrupted response".into()));
+        }
+        Ok(resp)
     }
 
     /// Round trip with raw encoded payloads — the shape the simulator's
     /// host-call hook expects.
-    pub fn call_raw(&self, payload: &[u8]) -> Result<Vec<u8>, String> {
-        let req = Request::decode(payload).map_err(|e| e.to_string())?;
-        Ok(self.call(req)?.encode())
+    pub fn call_raw(&self, payload: &[u8]) -> Result<Vec<u8>, RpcError> {
+        let req = Request::decode(payload).map_err(RpcError::Decode)?;
+        let (resp, corrupt) = self.round_trip(req)?;
+        if corrupt {
+            return Ok(CORRUPT_REPLY.to_vec());
+        }
+        Ok(resp.encode())
+    }
+
+    fn round_trip(&self, req: Request) -> Result<(Response, bool), RpcError> {
+        let (rtx, rrx) = bounded(1);
+        self.tx
+            .send(Message::Call(req, rtx))
+            .map_err(|_| RpcError::ServerGone)?;
+        rrx.recv().map_err(|_| RpcError::ReplyDropped)
     }
 }
 
@@ -44,6 +108,17 @@ pub struct RpcServer {
 impl RpcServer {
     /// Spawn the service thread around `services`.
     pub fn spawn(services: HostServices) -> (RpcServer, RpcClient) {
+        Self::spawn_with_interceptor(services, None)
+    }
+
+    /// Spawn the service thread with an optional fault interceptor, which
+    /// sees every request before the service handler. `None` — and an
+    /// interceptor that always returns `None` — behaves exactly like
+    /// [`RpcServer::spawn`].
+    pub fn spawn_with_interceptor(
+        services: HostServices,
+        mut interceptor: Option<RpcFaultHook>,
+    ) -> (RpcServer, RpcClient) {
         let (tx, rx) = unbounded::<Message>();
         let handle = std::thread::Builder::new()
             .name("host-rpc".into())
@@ -52,9 +127,16 @@ impl RpcServer {
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Message::Call(req, reply) => {
-                            let resp = services.handle(req);
+                            let fault = interceptor.as_mut().and_then(|f| f(&req));
+                            let out = match fault {
+                                None => (services.handle(req), false),
+                                Some(RpcFault::Fail(msg)) => {
+                                    (Response::Err(format!("injected: {msg}")), false)
+                                }
+                                Some(RpcFault::Corrupt) => (Response::Ok, true),
+                            };
                             // A dropped caller is not an error for the server.
-                            let _ = reply.send(resp);
+                            let _ = reply.send(out);
                         }
                         Message::Shutdown => break,
                     }
@@ -135,13 +217,80 @@ mod tests {
     fn call_after_shutdown_errors() {
         let (server, client) = RpcServer::spawn(HostServices::default());
         server.shutdown();
-        assert!(client.call(Request::Clock { instance: 0 }).is_err());
+        assert_eq!(
+            client.call(Request::Clock { instance: 0 }),
+            Err(RpcError::ServerGone)
+        );
     }
 
     #[test]
     fn malformed_raw_payload_is_an_error() {
         let (server, client) = RpcServer::spawn(HostServices::default());
-        assert!(client.call_raw(&[250, 1, 2]).is_err());
+        assert!(matches!(
+            client.call_raw(&[250, 1, 2]),
+            Err(RpcError::Decode(_))
+        ));
         server.shutdown();
+    }
+
+    #[test]
+    fn interceptor_fail_replaces_response_without_side_effects() {
+        let hook: RpcFaultHook = Box::new(|req| match req {
+            Request::Stdout { .. } => Some(RpcFault::Fail("stdout is down".into())),
+            _ => None,
+        });
+        let (server, client) =
+            RpcServer::spawn_with_interceptor(HostServices::default(), Some(hook));
+        let resp = client
+            .call(Request::Stdout {
+                instance: 0,
+                text: "lost\n".into(),
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Err(m) if m.contains("stdout is down")));
+        // Untargeted requests pass through.
+        assert!(matches!(
+            client.call(Request::Clock { instance: 0 }).unwrap(),
+            Response::Clock(_)
+        ));
+        let services = server.shutdown();
+        // The faulted write never reached the service: safe to retry.
+        assert_eq!(services.stdout_of(0), "");
+        assert_eq!(services.stats().stdio_calls, 0);
+    }
+
+    #[test]
+    fn interceptor_corruption_is_typed_for_call_and_garbage_for_raw() {
+        let mk = || {
+            let hook: RpcFaultHook = Box::new(|_| Some(RpcFault::Corrupt));
+            RpcServer::spawn_with_interceptor(HostServices::default(), Some(hook))
+        };
+        let (server, client) = mk();
+        assert_eq!(
+            client.call(Request::Clock { instance: 0 }),
+            Err(RpcError::Injected("corrupted response".into()))
+        );
+        let raw = client
+            .call_raw(&Request::Clock { instance: 0 }.encode())
+            .unwrap();
+        // The corrupted bytes must be rejected by the response decoder.
+        assert!(Response::decode(&raw).is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn none_interceptor_matches_plain_spawn() {
+        let hook: RpcFaultHook = Box::new(|_| None);
+        let (server, client) =
+            RpcServer::spawn_with_interceptor(HostServices::default(), Some(hook));
+        let resp = client
+            .call(Request::Stdout {
+                instance: 3,
+                text: "ok\n".into(),
+            })
+            .unwrap();
+        assert_eq!(resp, Response::Ok);
+        let services = server.shutdown();
+        assert_eq!(services.stdout_of(3), "ok\n");
     }
 }

@@ -85,6 +85,47 @@ proptest! {
         }
     }
 
+    /// Every strict prefix of a valid request encoding is rejected as a
+    /// `DecodeError` — the decoder neither accepts a cut message nor reads
+    /// past the end of the buffer.
+    #[test]
+    fn truncated_requests_are_decode_errors(req in arb_request()) {
+        let full = req.encode();
+        for cut in 0..full.len() {
+            prop_assert!(
+                Request::decode(&full[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded", full.len()
+            );
+        }
+    }
+
+    /// Same for responses.
+    #[test]
+    fn truncated_responses_are_decode_errors(resp in arb_response()) {
+        let full = resp.encode();
+        for cut in 0..full.len() {
+            prop_assert!(
+                Response::decode(&full[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded", full.len()
+            );
+        }
+    }
+
+    /// Bit-flipped valid encodings (which can turn length prefixes into
+    /// huge values) either decode or error — never panic or over-read.
+    #[test]
+    fn mutated_encodings_never_panic(
+        req in arb_request(),
+        pos in any::<u16>(),
+        flip in 1u8..=255u8,
+    ) {
+        let mut bytes = req.encode();
+        let i = pos as usize % bytes.len();
+        bytes[i] ^= flip;
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
     /// Whatever bytes are written to a file read back identically.
     #[test]
     fn file_write_read_identity(data in prop::collection::vec(any::<u8>(), 0..500)) {

@@ -40,6 +40,7 @@ pub use device_libc as libc;
 pub use dgc_apps as apps;
 pub use dgc_compiler as compiler;
 pub use dgc_core as core;
+pub use dgc_fault as fault;
 pub use dgc_ir as ir;
 pub use gpu_arch as arch;
 pub use gpu_mem as mem;
