@@ -21,7 +21,7 @@ cargo run -q --release -p dgc-prof --bin prof-diff -- \
 echo "== prof: chrome trace export validates =="
 printf -- '-l 60 -g 16\n-l 60 -g 16\n' > "$PROF_TMP/args.txt"
 cargo run -q --release -p ensemble-cli -- xsbench -f "$PROF_TMP/args.txt" \
-    -n 4 -t 32 --quiet --trace-out "$PROF_TMP/trace.json" \
+    -n 4 -t 32 --cycle-args --quiet --trace-out "$PROF_TMP/trace.json" \
     --metrics-out "$PROF_TMP/metrics.jsonl" > /dev/null
 cargo run -q --release -p dgc-prof --bin trace-check -- "$PROF_TMP/trace.json"
 
@@ -31,10 +31,19 @@ echo "== fault: injected OOM recovery vs golden snapshot =="
 # every instance — a non-zero exit here means recovery regressed.
 printf -- '-v 400 -d 4 -i 2\n' > "$PROF_TMP/pr_args.txt"
 cargo run -q --release -p ensemble-cli -- pagerank -f "$PROF_TMP/pr_args.txt" \
-    -n 8 -t 32 --quiet --faults results/fault_plan.json --auto-batch --max-attempts 4 \
+    -n 8 -t 32 --cycle-args --quiet --faults results/fault_plan.json --auto-batch --max-attempts 4 \
     --metrics-out "$PROF_TMP/smoke_faults.jsonl" > /dev/null
 cargo run -q --release -p dgc-prof --bin prof-diff -- \
     results/smoke_faults.jsonl "$PROF_TMP/smoke_faults.jsonl" --tolerance 0.02
+
+echo "== sched: multi-device smoke sweep vs golden snapshot =="
+# Two-device heterogeneous fleet (a100 + half-derated a100): every
+# workload x instance count x placement policy, gated on makespan. A
+# regression here means the cost model or a placement policy drifted.
+cargo run -q --release -p dgc-bench --bin sched_sweep -- \
+    --smoke --metrics-out "$PROF_TMP/smoke_sched.jsonl" > /dev/null
+cargo run -q --release -p dgc-prof --bin prof-diff -- \
+    results/smoke_sched.jsonl "$PROF_TMP/smoke_sched.jsonl" --tolerance 0.02
 
 echo "== cargo fmt --check =="
 cargo fmt --check

@@ -455,6 +455,7 @@ mod tests {
         let run_n = |n: u32| {
             let mut gpu = Gpu::a100();
             let opts = EnsembleOptions {
+                cycle_args: true,
                 num_instances: n,
                 thread_limit: 32,
                 ..Default::default()

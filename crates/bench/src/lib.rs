@@ -21,14 +21,16 @@ pub const INSTANCE_COUNTS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
 /// memory reasons; XSBench/RSBench/AMGmk still fit at 128 on 40 GB).
 pub const EXTENDED_INSTANCE_COUNTS: [u32; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
 
-/// Look up a simulated device by short name.
+/// Look up a simulated device by short name. Delegates to the
+/// `gpu-arch` registry, so one table serves every harness: plain names
+/// (`a100`, `v100`, `mi210`) and derated variants (`a100*0.5`) both
+/// resolve.
 pub fn device_by_name(name: &str) -> Option<GpuSpec> {
-    match name {
-        "a100" => Some(GpuSpec::a100_40gb()),
-        "v100" => Some(GpuSpec::v100_16gb()),
-        "mi210" => Some(GpuSpec::mi210()),
-        _ => None,
+    let reg = gpu_arch::DeviceRegistry::parse(name).ok()?;
+    if reg.len() != 1 {
+        return None;
     }
+    reg.devices.into_iter().next()
 }
 
 /// The two thread limits of Figure 6.
@@ -118,6 +120,9 @@ pub fn measure_config_detailed_on(
     let opts = EnsembleOptions {
         num_instances: instances,
         thread_limit,
+        // The harness replicates one argument line across all instances
+        // (the paper's homogeneous sweep), so cycling is intentional.
+        cycle_args: true,
         ..Default::default()
     };
     let app = workload.app();

@@ -34,6 +34,11 @@ pub struct EnsembleOptions {
     pub thread_limit: u32,
     pub mapping: MappingStrategy,
     pub compiler: CompilerOptions,
+    /// Allow fewer argument lines than instances by cycling the file
+    /// modulo (`--cycle-args`). Off by default: the paper's loader pairs
+    /// one line per instance, and silently reusing lines hides truncated
+    /// argument files — a shortfall is a hard error instead.
+    pub cycle_args: bool,
 }
 
 impl Default for EnsembleOptions {
@@ -43,6 +48,7 @@ impl Default for EnsembleOptions {
             thread_limit: 128,
             mapping: MappingStrategy::OnePerTeam,
             compiler: CompilerOptions::default(),
+            cycle_args: false,
         }
     }
 }
@@ -130,6 +136,8 @@ impl EnsembleResult {
             oom: self.oom_count(),
             kernel_time_s: self.kernel_time_s,
             total_time_s: self.total_time_s,
+            devices: 1,
+            makespan_s: self.total_time_s,
             waves: self.report.waves,
             rpc_total: self.rpc_stats.total(),
             // A plain launch is one attempt with no recovery: anything
@@ -177,6 +185,12 @@ pub enum EnsembleError {
         thread_limit: u32,
         per_block: u32,
     },
+    /// `-n` asked for more instances than the argument file has lines and
+    /// cycling was not requested.
+    ArgCountMismatch {
+        instances: u32,
+        lines: usize,
+    },
 }
 
 impl std::fmt::Display for EnsembleError {
@@ -194,15 +208,41 @@ impl std::fmt::Display for EnsembleError {
                 f,
                 "thread limit {thread_limit} is not divisible by {per_block} packed instances"
             ),
+            EnsembleError::ArgCountMismatch { instances, lines } => write!(
+                f,
+                "ensemble of {instances} instances needs {instances} argument lines but the \
+                 argument file has only {lines}; pass --cycle-args to reuse lines modulo"
+            ),
         }
     }
+}
+
+/// Validate that the argument file can feed `num_instances` instances:
+/// one line per instance, unless `cycle` explicitly allows reusing lines
+/// modulo (the historical default, now opt-in via `--cycle-args`).
+pub fn ensure_arg_capacity(
+    arg_lines: &[Vec<String>],
+    num_instances: u32,
+    cycle: bool,
+) -> Result<(), EnsembleError> {
+    if arg_lines.is_empty() {
+        return Err(EnsembleError::ArgFile(ArgFileError::Empty));
+    }
+    if !cycle && arg_lines.len() < num_instances as usize {
+        return Err(EnsembleError::ArgCountMismatch {
+            instances: num_instances,
+            lines: arg_lines.len(),
+        });
+    }
+    Ok(())
 }
 
 impl std::error::Error for EnsembleError {}
 
 /// The paper's contribution: launch `num_instances` concurrent instances of
 /// `app` in **one kernel**, instance `i` mapped to team `i`, each with its
-/// own argv line (cycled if the file has fewer lines than instances).
+/// own argv line (a file with fewer lines than instances is an error
+/// unless [`EnsembleOptions::cycle_args`] opts into modulo reuse).
 ///
 /// Equivalent of the Fig. 4 loader region:
 /// ```c
@@ -281,10 +321,8 @@ pub fn run_ensemble_injected(
     obs: &mut Recorder,
     faults: LaunchFaults<'_>,
 ) -> Result<EnsembleResult, EnsembleError> {
-    if arg_lines.is_empty() {
-        return Err(EnsembleError::ArgFile(ArgFileError::Empty));
-    }
     let n = opts.num_instances.max(1);
+    ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
     let traced = obs.is_enabled();
     if traced {
         obs.name_process(PID_HOST, "loader");
@@ -444,6 +482,7 @@ pub fn run_ensemble_injected(
                 oom: outcome.oom,
                 timed_out: outcome.timed_out,
                 attempt: 0,
+                device: 0,
                 end_time_s: instance_end_times_s[i as usize],
                 cycles: launch.report.block_end_cycles[block],
                 warp_insts: summary.insts,
@@ -578,9 +617,7 @@ pub fn run_ensemble_batched_traced(
     if n <= batch {
         return run_ensemble_traced(gpu, app, arg_lines, opts, HostServices::default(), obs);
     }
-    if arg_lines.is_empty() {
-        return Err(EnsembleError::ArgFile(ArgFileError::Empty));
-    }
+    ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
 
     let mut instances = Vec::with_capacity(n as usize);
     let mut stdout = Vec::with_capacity(n as usize);
@@ -645,7 +682,9 @@ pub fn run_ensemble_batched_traced(
 /// `--pack <M>` selects the §3.1 packed mapping, `--batch <B>` runs the
 /// ensemble as sequential batches of `B` instances (memory-wall escape),
 /// `--trace-out <file>` / `--metrics-out <file>` export a Chrome trace and
-/// JSONL metrics, and `--quiet` suppresses per-instance output blocks.
+/// JSONL metrics, `--quiet` suppresses per-instance output blocks,
+/// `--devices <M> --placement <P>` shard the ensemble across a simulated
+/// fleet, and `--cycle-args` permits reusing argument lines modulo.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleCliArgs {
     pub arg_file: String,
@@ -671,6 +710,16 @@ pub struct EnsembleCliArgs {
     pub instance_timeout: Option<f64>,
     /// Abort remaining work as soon as one instance exhausts its attempts.
     pub fail_fast: bool,
+    /// Number of simulated devices to shard the ensemble across
+    /// (`--devices`, default 1 = the single-device paths).
+    pub devices: u32,
+    /// Placement policy name for sharded launches (`--placement`;
+    /// `round-robin`, `greedy` or `lpt`). Kept as a string here — the
+    /// policies live in `dgc-sched`, which sits above this crate.
+    pub placement: String,
+    /// Reuse argument lines modulo when `-n` exceeds the file's line
+    /// count (`--cycle-args`).
+    pub cycle_args: bool,
 }
 
 /// CLI parse failures.
@@ -711,6 +760,9 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut auto_batch = false;
     let mut instance_timeout = None;
     let mut fail_fast = false;
+    let mut devices = 1u32;
+    let mut placement = "round-robin".to_string();
+    let mut cycle_args = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -782,6 +834,22 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                 instance_timeout = Some(cycles);
             }
             "--fail-fast" => fail_fast = true,
+            "--devices" => {
+                let v = it.next().ok_or(CliError::MissingValue("--devices"))?;
+                devices = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--devices", v.clone()))?;
+                if devices == 0 {
+                    return Err(CliError::BadValue("--devices", v.clone()));
+                }
+            }
+            "--placement" => {
+                placement = it
+                    .next()
+                    .ok_or(CliError::MissingValue("--placement"))?
+                    .to_string();
+            }
+            "--cycle-args" => cycle_args = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -799,6 +867,9 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         auto_batch,
         instance_timeout,
         fail_fast,
+        devices,
+        placement,
+        cycle_args,
     })
 }
 
@@ -927,6 +998,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 2,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         let mut gpu = Gpu::a100();
@@ -975,6 +1047,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 3,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         let res =
@@ -987,6 +1060,43 @@ module "bench" {
     }
 
     #[test]
+    fn arg_shortfall_is_an_error_without_cycle_args() {
+        let mut gpu = Gpu::a100();
+        let arg_lines = lines("-n 50\n-n 60\n");
+        let opts = EnsembleOptions {
+            num_instances: 3,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let err = run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default())
+            .expect_err("shortfall must be rejected");
+        match &err {
+            EnsembleError::ArgCountMismatch { instances, lines } => {
+                assert_eq!((*instances, *lines), (3, 2));
+            }
+            other => panic!("expected ArgCountMismatch, got {other}"),
+        }
+        // The message names both counts and the escape hatch.
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('2'), "{msg}");
+        assert!(msg.contains("--cycle-args"), "{msg}");
+        // The batched path enforces the same contract before launching
+        // anything.
+        let opts8 = EnsembleOptions {
+            num_instances: 8,
+            ..opts.clone()
+        };
+        assert!(matches!(
+            run_ensemble_batched(&mut gpu, &app(), &arg_lines, &opts8, 4),
+            Err(EnsembleError::ArgCountMismatch {
+                instances: 8,
+                lines: 2
+            })
+        ));
+        assert_eq!(gpu.mem.stats().live_allocations, 0);
+    }
+
+    #[test]
     fn ensemble_speedup_is_sublinear_but_real() {
         // The paper's headline property, end to end through the loader.
         let run_n = |n: u32| {
@@ -994,6 +1104,7 @@ module "bench" {
             let opts = EnsembleOptions {
                 num_instances: n,
                 thread_limit: 32,
+                cycle_args: true,
                 ..Default::default()
             };
             run_ensemble(
@@ -1019,6 +1130,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 4,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         // One instance does 2000× the work of the others.
@@ -1071,6 +1183,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 4,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         let res =
@@ -1101,6 +1214,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 8,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         // Concurrent: OOM.
@@ -1120,6 +1234,7 @@ module "bench" {
         let opts = EnsembleOptions {
             num_instances: 6,
             thread_limit: 32,
+            cycle_args: true,
             ..Default::default()
         };
         let arg_lines = lines("-n 100\n-n 200\n-n 300\n");
@@ -1146,6 +1261,7 @@ module "bench" {
             num_instances: 8,
             thread_limit: 128,
             mapping: MappingStrategy::Packed { per_block: 4 },
+            cycle_args: true,
             ..Default::default()
         };
         let res = run_ensemble(
@@ -1168,6 +1284,7 @@ module "bench" {
             num_instances: 4,
             thread_limit: 100,
             mapping: MappingStrategy::Packed { per_block: 3 },
+            cycle_args: true,
             ..Default::default()
         };
         assert!(matches!(
@@ -1206,7 +1323,39 @@ module "bench" {
                 auto_batch: false,
                 instance_timeout: None,
                 fail_fast: false,
+                devices: 1,
+                placement: "round-robin".into(),
+                cycle_args: false,
             }
+        );
+    }
+
+    #[test]
+    fn cli_parses_multi_device_flags() {
+        let args: Vec<String> = [
+            "-f",
+            "args.txt",
+            "--devices",
+            "3",
+            "--placement",
+            "lpt",
+            "--cycle-args",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = parse_ensemble_cli(&args).unwrap();
+        assert_eq!(cli.devices, 3);
+        assert_eq!(cli.placement, "lpt");
+        assert!(cli.cycle_args);
+        // Zero devices is rejected.
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--devices", "0"].map(String::from)),
+            Err(CliError::BadValue("--devices", "0".into()))
+        );
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--devices", "x"].map(String::from)),
+            Err(CliError::BadValue("--devices", "x".into()))
         );
     }
 
@@ -1305,6 +1454,9 @@ module "bench" {
         assert!(!cli.auto_batch);
         assert_eq!(cli.instance_timeout, None);
         assert!(!cli.fail_fast);
+        assert_eq!(cli.devices, 1);
+        assert_eq!(cli.placement, "round-robin");
+        assert!(!cli.cycle_args);
 
         let cli = parse_ensemble_cli(&["-f", "a", "--batch", "4"].map(String::from)).unwrap();
         assert_eq!(cli.batch, 4);

@@ -35,9 +35,10 @@ pub use app::{AppContext, AppMainFn, GlobalSlot, HostApp};
 pub use argfile::{parse_arg_file, ArgFileError};
 pub use argscript::{eval_expr, expand_arg_script, ScriptError};
 pub use ensemble::{
-    parse_ensemble_cli, run_ensemble, run_ensemble_batched, run_ensemble_batched_traced,
-    run_ensemble_injected, run_ensemble_traced, CliError, EnsembleCliArgs, EnsembleError,
-    EnsembleOptions, EnsembleResult, InstanceOutcome, LaunchFaults, MappingStrategy,
+    ensure_arg_capacity, parse_ensemble_cli, run_ensemble, run_ensemble_batched,
+    run_ensemble_batched_traced, run_ensemble_injected, run_ensemble_traced, CliError,
+    EnsembleCliArgs, EnsembleError, EnsembleOptions, EnsembleResult, InstanceOutcome, LaunchFaults,
+    MappingStrategy,
 };
 pub use loader::{AppRunResult, Loader, LoaderError};
 pub use multiteam::{run_multi_team, MultiTeamError, MultiTeamResult};

@@ -347,6 +347,7 @@ module "mtx" {
             })
             .sum();
         let opts = EnsembleOptions {
+            cycle_args: true,
             num_instances: n,
             thread_limit: 128,
             ..Default::default()

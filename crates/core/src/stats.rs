@@ -176,4 +176,41 @@ mod tests {
         let err = SpeedupSeries::from_times("xs", 32, &[(2, Some(1.0))]);
         assert_eq!(err, Err(StatsError::MissingBaseline));
     }
+
+    #[test]
+    fn all_none_curve_is_a_missing_baseline_not_a_crash() {
+        // A workload that OOMs at every instance count (every time is
+        // `None`) must error out cleanly, including the degenerate
+        // single-point and empty curves.
+        let err = SpeedupSeries::from_times("pr", 32, &[(1, None), (2, None), (4, None)]);
+        assert_eq!(err, Err(StatsError::MissingBaseline));
+        let err = SpeedupSeries::from_times("pr", 32, &[(1, None)]);
+        assert_eq!(err, Err(StatsError::MissingBaseline));
+        let err = SpeedupSeries::from_times("pr", 32, &[]);
+        assert_eq!(err, Err(StatsError::MissingBaseline));
+    }
+
+    #[test]
+    fn all_none_series_is_vacuously_sublinear_with_zero_peak() {
+        // A hand-built series whose points are all unrunnable: the
+        // predicates must not panic and must give the vacuous answers.
+        let s = SpeedupSeries {
+            benchmark: "pr".into(),
+            thread_limit: 32,
+            points: vec![
+                SpeedupPoint {
+                    instances: 1,
+                    time_s: None,
+                    speedup: None,
+                },
+                SpeedupPoint {
+                    instances: 2,
+                    time_s: None,
+                    speedup: None,
+                },
+            ],
+        };
+        assert!(s.is_sublinear(0.0));
+        assert_eq!(s.peak_speedup(), 0.0);
+    }
 }

@@ -24,6 +24,8 @@
 
 mod plan;
 mod resilient;
+mod sharded;
 
-pub use plan::{FaultKind, FaultPlan, FaultSpec};
+pub use plan::{DeviceDeath, FaultKind, FaultPlan, FaultSpec};
 pub use resilient::{run_ensemble_resilient, RecoveryPolicy, RecoveryStats, ResilientResult};
+pub use sharded::{run_ensemble_sharded_resilient, ShardedResilientResult};

@@ -56,6 +56,17 @@ impl FaultSpec {
     }
 }
 
+/// A whole simulated device dying: from recovery round `at_attempt` on,
+/// the device is gone — instances placed there fail that round and must
+/// re-shard onto the survivors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceDeath {
+    /// Fleet device index to kill.
+    pub device: u32,
+    /// Recovery attempt at which the device dies (0 = first launch).
+    pub at_attempt: u32,
+}
+
 /// A seeded, replayable set of faults for one ensemble run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -63,6 +74,11 @@ pub struct FaultPlan {
     /// scatter faults record it here so a plan file is self-describing).
     pub seed: u64,
     pub faults: Vec<FaultSpec>,
+    /// Whole-device deaths, honoured only by the sharded resilient
+    /// driver (single-device drivers have no fleet to re-shard over).
+    /// `Option` so plan files written before multi-device support still
+    /// parse.
+    pub device_deaths: Option<Vec<DeviceDeath>>,
 }
 
 /// splitmix64 — tiny, dependency-free, full-period generator; plenty for
@@ -111,7 +127,11 @@ impl FaultPlan {
                 },
             })
             .collect();
-        Self { seed, faults }
+        Self {
+            seed,
+            faults,
+            device_deaths: None,
+        }
     }
 
     /// Team-level fault for `instance` on `attempt`, given that
@@ -140,6 +160,26 @@ impl FaultPlan {
                 }),
                 FaultKind::RpcFail { .. } | FaultKind::RpcCorrupt { .. } => None,
             })
+    }
+
+    /// Whether `device` dies exactly at recovery round `attempt` — the
+    /// round where its placed instances fail and re-shard.
+    pub fn device_dies_at(&self, device: u32, attempt: u32) -> bool {
+        self.device_deaths
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .any(|d| d.device == device && d.at_attempt == attempt)
+    }
+
+    /// Whether `device` is already dead *before* round `attempt` starts
+    /// (and must therefore be excluded from placement).
+    pub fn device_dead_before(&self, device: u32, attempt: u32) -> bool {
+        self.device_deaths
+            .as_deref()
+            .unwrap_or_default()
+            .iter()
+            .any(|d| d.device == device && d.at_attempt < attempt)
     }
 
     /// Server-side RPC interceptor for one launch of `attempt`, where
@@ -206,6 +246,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let plan = FaultPlan {
+            device_deaths: None,
             seed: 7,
             faults: vec![
                 FaultSpec {
@@ -257,6 +298,7 @@ mod tests {
     #[test]
     fn fault_for_applies_filters_and_oom_threshold() {
         let plan = FaultPlan {
+            device_deaths: None,
             seed: 0,
             faults: vec![
                 FaultSpec {
@@ -294,6 +336,7 @@ mod tests {
     #[test]
     fn rpc_hook_counts_calls_per_instance() {
         let plan = FaultPlan {
+            device_deaths: None,
             seed: 0,
             faults: vec![FaultSpec {
                 instance: Some(7),

@@ -14,8 +14,8 @@
 
 use crate::plan::FaultPlan;
 use dgc_core::{
-    run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult, HostApp,
-    InstanceOutcome, LaunchFaults,
+    ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
+    HostApp, InstanceOutcome, LaunchFaults,
 };
 use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, RpcCallCounts, PID_HOST};
 use gpu_sim::{Gpu, StallBuckets};
@@ -31,6 +31,11 @@ pub struct RecoveryPolicy {
     pub backoff_base_s: f64,
     /// Exponential growth of the wait per further retry round.
     pub backoff_factor: f64,
+    /// Ceiling on a single backoff wait, seconds. The exponential
+    /// `base * factor^(attempt-1)` overflows to `inf` within a few dozen
+    /// rounds under a large `max_attempts`; the clamp keeps `backoff_s`
+    /// and `total_time_s` finite no matter the policy.
+    pub backoff_max_s: f64,
     /// Halve the concurrent batch after a round with device OOMs.
     pub oom_split: bool,
     /// Watchdog: per-instance cycle budget for every launch.
@@ -45,9 +50,27 @@ impl Default for RecoveryPolicy {
             max_attempts: 3,
             backoff_base_s: 1e-3,
             backoff_factor: 2.0,
+            backoff_max_s: 10.0,
             oom_split: true,
             instance_cycle_budget: None,
             fail_fast: false,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Simulated wait before retry round `attempt` (≥ 1):
+    /// `base * factor^(attempt-1)`, saturating at
+    /// [`RecoveryPolicy::backoff_max_s`]. A non-finite intermediate
+    /// (overflowed exponential) also lands on the ceiling, so the wait is
+    /// always finite.
+    pub fn backoff_wait_s(&self, attempt: u32) -> f64 {
+        let exp = attempt.saturating_sub(1).min(i32::MAX as u32) as i32;
+        let raw = self.backoff_base_s * self.backoff_factor.powi(exp);
+        if raw.is_finite() {
+            raw.min(self.backoff_max_s)
+        } else {
+            self.backoff_max_s
         }
     }
 }
@@ -116,7 +139,7 @@ impl ResilientResult {
 }
 
 /// Placeholder metrics for an instance that was never (re-)launched.
-fn skipped_metrics(instance: u32, end_time_s: f64) -> InstanceMetrics {
+pub(crate) fn skipped_metrics(instance: u32, end_time_s: f64) -> InstanceMetrics {
     InstanceMetrics {
         instance,
         exit_code: None,
@@ -124,6 +147,7 @@ fn skipped_metrics(instance: u32, end_time_s: f64) -> InstanceMetrics {
         oom: false,
         timed_out: false,
         attempt: 0,
+        device: 0,
         end_time_s,
         cycles: 0.0,
         warp_insts: 0.0,
@@ -159,6 +183,7 @@ pub fn run_ensemble_resilient(
 ) -> Result<ResilientResult, EnsembleError> {
     assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
     let n = opts.num_instances.max(1);
+    ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
     let mut current_batch = if batch == 0 { n } else { batch.min(n) };
 
     let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
@@ -182,8 +207,9 @@ pub fn run_ensemble_resilient(
     while !pending.is_empty() && !aborted {
         stats.attempts = attempt + 1;
         if attempt > 0 {
-            // Exponential backoff in simulated time before the round.
-            let wait = policy.backoff_base_s * policy.backoff_factor.powi(attempt as i32 - 1);
+            // Exponential backoff in simulated time before the round,
+            // clamped so huge attempt counts cannot overflow to inf.
+            let wait = policy.backoff_wait_s(attempt);
             total_time_s += wait;
             stats.backoff_s += wait;
             obs.set_base_us(base_us);
@@ -369,4 +395,47 @@ pub fn run_ensemble_resilient(
         recovery: stats,
         kernel: format!("{}-x{}", app.name, n),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_below_the_clamp() {
+        let p = RecoveryPolicy::default();
+        assert_eq!(p.backoff_wait_s(1), 1e-3);
+        assert_eq!(p.backoff_wait_s(2), 2e-3);
+        assert_eq!(p.backoff_wait_s(3), 4e-3);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = RecoveryPolicy {
+            max_attempts: u32::MAX,
+            ..RecoveryPolicy::default()
+        };
+        // factor^(attempt-1) overflows f64 far before u32::MAX rounds;
+        // the wait must clamp to the ceiling, never inf or NaN.
+        for attempt in [64, 1100, 100_000, u32::MAX] {
+            let w = p.backoff_wait_s(attempt);
+            assert!(w.is_finite(), "attempt {attempt}: {w}");
+            assert_eq!(w, p.backoff_max_s, "attempt {attempt}");
+        }
+        // A cumulative sum over many rounds stays finite too.
+        let total: f64 = (1..10_000).map(|a| p.backoff_wait_s(a)).sum();
+        assert!(total.is_finite());
+    }
+
+    #[test]
+    fn backoff_clamp_is_configurable() {
+        let p = RecoveryPolicy {
+            backoff_max_s: 3e-3,
+            ..RecoveryPolicy::default()
+        };
+        assert_eq!(p.backoff_wait_s(1), 1e-3);
+        assert_eq!(p.backoff_wait_s(2), 2e-3);
+        assert_eq!(p.backoff_wait_s(3), 3e-3);
+        assert_eq!(p.backoff_wait_s(30), 3e-3);
+    }
 }

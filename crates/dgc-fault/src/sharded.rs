@@ -1,0 +1,433 @@
+//! The sharded resilient driver: per-instance recovery across a fleet.
+//!
+//! Combines `dgc-sched`'s multi-device sharding with this crate's
+//! recovery loop, and adds the failure mode only a fleet can have: a
+//! **whole device dying** ([`crate::DeviceDeath`]). Each recovery round
+//! places the pending instances over the devices still alive; instances
+//! on a device that dies mid-round fail with a `device <d> died` trap and
+//! re-shard onto the survivors next round — a device death never consumes
+//! the instance's own retry budget, because the instance never ran.
+//!
+//! With one device and no device deaths the driver delegates to
+//! [`run_ensemble_resilient`], so `--devices 1` keeps its exact
+//! single-device recovery semantics.
+
+use crate::plan::FaultPlan;
+use crate::resilient::{run_ensemble_resilient, RecoveryPolicy, RecoveryStats};
+use dgc_core::{
+    ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
+    HostApp, InstanceOutcome, LaunchFaults,
+};
+use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, DEVICE_PID_STRIDE, PID_HOST};
+use dgc_sched::{InstanceCosts, Placement};
+use gpu_sim::{DeviceFleet, SimReport};
+use host_rpc::{HostServices, RpcStats};
+use serde::Value;
+
+/// Result of a sharded resilient run: the merged ensemble result, the
+/// recovery story, and the fleet's fate.
+#[derive(Debug)]
+pub struct ShardedResilientResult {
+    /// Final outcome per instance, in global instance order.
+    /// `total_time_s` is the sum over rounds of each round's makespan
+    /// plus backoff — the wall time a multi-device recovery actually
+    /// takes.
+    pub ensemble: EnsembleResult,
+    pub recovery: RecoveryStats,
+    pub devices: u32,
+    pub placement: Placement,
+    /// Devices that died during the run, in death order.
+    pub dead_devices: Vec<u32>,
+    /// Cumulative busy time per device across all rounds, seconds.
+    pub per_device_time_s: Vec<f64>,
+    kernel: String,
+}
+
+impl ShardedResilientResult {
+    pub fn all_succeeded(&self) -> bool {
+        self.ensemble.all_succeeded()
+    }
+
+    /// Launch rollup with both the recovery and the multi-device
+    /// (schema-v4) fields filled in.
+    pub fn launch_metrics(&self) -> LaunchMetrics {
+        let mut lm = self.ensemble.launch_metrics();
+        lm.kernel = self.kernel.clone();
+        lm.devices = self.devices;
+        lm.makespan_s = self.ensemble.total_time_s;
+        lm.failed = self.recovery.failures;
+        lm.oom = self.recovery.oom_failures;
+        lm.attempts = self.recovery.attempts;
+        lm.retried = self.recovery.retried;
+        lm.recovered = self.recovery.recovered;
+        lm.unrecovered = self.recovery.unrecovered;
+        lm.oom_splits = self.recovery.oom_splits;
+        lm.final_batch = self.recovery.final_batch;
+        lm.backoff_s = self.recovery.backoff_s;
+        lm
+    }
+}
+
+/// Run an ensemble under fault injection across a fleet, with
+/// per-instance recovery and device-death re-sharding.
+///
+/// Per round, pending instances are placed over the live devices by
+/// `placement` (re-consulting the pilot cost model for `greedy`/`lpt`),
+/// each device runs its shard in chunks of the current batch, and the
+/// round costs its **makespan** — the slowest device — plus any backoff.
+/// Device deaths from the plan remove the device: its instances for the
+/// round fail and re-queue without spending a retry attempt. If every
+/// device is dead while instances remain, the survivors-less remainder
+/// is marked unrecovered.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_sharded_resilient(
+    fleet: &mut DeviceFleet,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    placement: Placement,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &mut Recorder,
+) -> Result<ShardedResilientResult, EnsembleError> {
+    assert!(!fleet.is_empty(), "sharding needs at least one device");
+    assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
+    let m = fleet.len();
+    let n = opts.num_instances.max(1);
+    let no_deaths = plan.device_deaths.as_deref().unwrap_or_default().is_empty();
+
+    if m == 1 && no_deaths {
+        // Single healthy device: exact single-device recovery semantics.
+        let res = run_ensemble_resilient(
+            fleet.gpu_mut(0),
+            app,
+            arg_lines,
+            opts,
+            batch,
+            plan,
+            policy,
+            obs,
+        )?;
+        let total = res.ensemble.total_time_s;
+        return Ok(ShardedResilientResult {
+            ensemble: res.ensemble,
+            recovery: res.recovery,
+            devices: 1,
+            placement,
+            dead_devices: Vec::new(),
+            per_device_time_s: vec![total],
+            kernel: format!("{}-x{}", app.name, n),
+        });
+    }
+
+    ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
+    let lines_of: Vec<Vec<String>> = (0..n)
+        .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
+        .collect();
+    // Pilot costs once, on device 0's spec; re-used every round.
+    let costs = if placement.needs_costs() {
+        Some(InstanceCosts::estimate(
+            app,
+            &lines_of,
+            opts,
+            fleet.spec(0),
+        )?)
+    } else {
+        None
+    };
+
+    let mut current_batch = if batch == 0 { n } else { batch.min(n) };
+    let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
+    let mut slot_stdout: Vec<String> = vec![String::new(); n as usize];
+    let mut slot_end: Vec<f64> = vec![0.0; n as usize];
+    let mut slot_metrics: Vec<Option<InstanceMetrics>> = vec![None; n as usize];
+    let mut failed_once = vec![false; n as usize];
+    let mut was_retried = vec![false; n as usize];
+
+    let mut stats = RecoveryStats::default();
+    let mut kernel_time_s = 0.0f64;
+    let mut total_time_s = 0.0f64;
+    let mut per_device_time_s = vec![0.0f64; m];
+    let mut dead_devices: Vec<u32> = Vec::new();
+    let mut rpc_stats = RpcStats::default();
+    let mut last_report = None;
+    let base_us = obs.base_us();
+    let traced = obs.is_enabled();
+
+    let mut pending: Vec<u32> = (0..n).collect();
+    let mut attempt = 0u32;
+
+    while !pending.is_empty() {
+        stats.attempts = attempt + 1;
+        if attempt > 0 {
+            let wait = policy.backoff_wait_s(attempt);
+            total_time_s += wait;
+            stats.backoff_s += wait;
+            obs.set_base_us(base_us);
+            obs.instant_args(
+                PID_HOST,
+                0,
+                &format!("retry round {attempt}"),
+                "recovery",
+                total_time_s * 1e6,
+                vec![
+                    ("instances".into(), Value::U64(pending.len() as u64)),
+                    ("backoff_s".into(), Value::F64(wait)),
+                ],
+            );
+        }
+
+        // Devices that died in an earlier round are out of the draw;
+        // ones that die *this* round still get placed — the death is
+        // discovered mid-round, exactly like real hardware.
+        let live: Vec<usize> = (0..m)
+            .filter(|&d| !plan.device_dead_before(d as u32, attempt))
+            .collect();
+        if live.is_empty() {
+            for &g in &pending {
+                slot_outcome[g as usize] = Some(InstanceOutcome {
+                    exit_code: None,
+                    error: Some("no live devices left in the fleet".into()),
+                    oom: false,
+                    timed_out: false,
+                });
+                slot_end[g as usize] = total_time_s;
+                if slot_metrics[g as usize].is_none() {
+                    slot_metrics[g as usize] =
+                        Some(crate::resilient::skipped_metrics(g, total_time_s));
+                }
+            }
+            pending.clear();
+            break;
+        }
+
+        let assignment = {
+            let pend = &pending;
+            match &costs {
+                Some(c) => placement.assign(pend.len() as u32, live.len(), |j, k| {
+                    c.cost_on(pend[j as usize], fleet.spec(live[k]))
+                }),
+                None => placement.assign(pend.len() as u32, live.len(), |_, _| 0.0),
+            }
+        };
+
+        let mut next_pending: Vec<u32> = Vec::new();
+        let mut round_oom = false;
+        let mut round_makespan = 0.0f64;
+
+        for (k, shard_idx) in assignment.iter().enumerate() {
+            let d = live[k];
+            let shard: Vec<u32> = shard_idx.iter().map(|&j| pending[j as usize]).collect();
+
+            if plan.device_dies_at(d as u32, attempt) {
+                // The whole device is gone mid-round: every placed
+                // instance fails without running and re-queues. No retry
+                // budget is spent — the instance never launched.
+                if !dead_devices.contains(&(d as u32)) {
+                    dead_devices.push(d as u32);
+                }
+                obs.set_base_us(base_us);
+                obs.instant_args(
+                    PID_HOST,
+                    0,
+                    &format!("device {d} died"),
+                    "recovery",
+                    total_time_s * 1e6,
+                    vec![("instances".into(), Value::U64(shard.len() as u64))],
+                );
+                for &g in &shard {
+                    stats.failures += 1;
+                    failed_once[g as usize] = true;
+                    was_retried[g as usize] = true;
+                    slot_outcome[g as usize] = Some(InstanceOutcome {
+                        exit_code: None,
+                        error: Some(format!("device {d} died")),
+                        oom: false,
+                        timed_out: false,
+                    });
+                    slot_end[g as usize] = total_time_s;
+                    if slot_metrics[g as usize].is_none() {
+                        slot_metrics[g as usize] =
+                            Some(crate::resilient::skipped_metrics(g, total_time_s));
+                    }
+                    next_pending.push(g);
+                }
+                continue;
+            }
+            if shard.is_empty() {
+                continue;
+            }
+
+            // Run this device's shard in chunks of the current batch.
+            let mut rec = if traced {
+                Recorder::enabled()
+            } else {
+                Recorder::disabled()
+            };
+            let mut device_elapsed = 0.0f64;
+            let mut device_kernel = 0.0f64;
+            let mut qi = 0usize;
+            while qi < shard.len() {
+                let chunk: Vec<u32> =
+                    shard[qi..(qi + current_batch as usize).min(shard.len())].to_vec();
+                qi += chunk.len();
+                let count = chunk.len() as u32;
+                let chunk_lines: Vec<Vec<String>> = chunk
+                    .iter()
+                    .map(|&g| lines_of[g as usize].clone())
+                    .collect();
+                let chunk_opts = EnsembleOptions {
+                    num_instances: count,
+                    ..opts.clone()
+                };
+                let team_fault = |team: u32| plan.fault_for(chunk[team as usize], attempt, count);
+                let faults = LaunchFaults {
+                    team_fault: if plan.is_empty() {
+                        None
+                    } else {
+                        Some(&team_fault)
+                    },
+                    rpc_fault: plan.rpc_hook(attempt, &chunk),
+                    cycle_budget: policy.instance_cycle_budget,
+                };
+                rec.set_base_us(base_us + (total_time_s + device_elapsed) * 1e6);
+                let res = run_ensemble_injected(
+                    fleet.gpu_mut(d),
+                    app,
+                    &chunk_lines,
+                    &chunk_opts,
+                    HostServices::default(),
+                    &mut rec,
+                    faults,
+                )?;
+
+                for (li, &g) in chunk.iter().enumerate() {
+                    slot_end[g as usize] =
+                        total_time_s + device_elapsed + res.instance_end_times_s[li];
+                }
+                for (li, mut mi) in res.metrics.into_iter().enumerate() {
+                    let g = chunk[li];
+                    mi.instance = g;
+                    mi.end_time_s += total_time_s + device_elapsed;
+                    mi.attempt = attempt;
+                    mi.device = d as u32;
+                    slot_metrics[g as usize] = Some(mi);
+                }
+                for (li, out) in res.instances.iter().enumerate() {
+                    let g = chunk[li];
+                    let failed = !out.succeeded();
+                    let retryable = out.error.is_some();
+                    if failed {
+                        stats.failures += 1;
+                        failed_once[g as usize] = true;
+                    }
+                    if out.oom {
+                        stats.oom_failures += 1;
+                        round_oom = true;
+                    }
+                    if out.timed_out {
+                        stats.timeouts += 1;
+                    }
+                    if !failed && failed_once[g as usize] {
+                        stats.recovered += 1;
+                    }
+                    slot_outcome[g as usize] = Some(out.clone());
+                    if retryable && attempt + 1 < policy.max_attempts {
+                        next_pending.push(g);
+                        was_retried[g as usize] = true;
+                    }
+                }
+                for (li, s) in res.stdout.into_iter().enumerate() {
+                    slot_stdout[chunk[li] as usize] = s;
+                }
+                device_elapsed += res.total_time_s;
+                device_kernel += res.kernel_time_s;
+                rpc_stats.merge(&res.rpc_stats);
+                last_report = Some(res.report);
+            }
+            per_device_time_s[d] += device_elapsed;
+            kernel_time_s += device_kernel;
+            round_makespan = round_makespan.max(device_elapsed);
+            if traced {
+                obs.merge_shifted(&rec, d as u32 * DEVICE_PID_STRIDE, &format!("dev{d} "));
+            }
+        }
+
+        total_time_s += round_makespan;
+        if round_oom && policy.oom_split && current_batch > 1 {
+            current_batch = (current_batch / 2).max(1);
+            stats.oom_splits += 1;
+            obs.set_base_us(base_us);
+            obs.instant_args(
+                PID_HOST,
+                0,
+                &format!("batch split to {current_batch}"),
+                "recovery",
+                total_time_s * 1e6,
+                vec![("batch".into(), Value::U64(current_batch as u64))],
+            );
+        }
+        next_pending.sort_unstable();
+        next_pending.dedup();
+        pending = next_pending;
+        attempt += 1;
+    }
+    obs.set_base_us(base_us);
+
+    stats.retried = was_retried.iter().filter(|&&r| r).count() as u32;
+    stats.final_batch = current_batch;
+    let instances: Vec<InstanceOutcome> = slot_outcome
+        .into_iter()
+        .map(|o| o.expect("every instance has a final outcome"))
+        .collect();
+    stats.unrecovered = instances.iter().filter(|i| !i.succeeded()).count() as u32;
+    let metrics = slot_metrics
+        .into_iter()
+        .map(|mi| mi.expect("every instance has metrics"))
+        .collect();
+
+    // If every device died before anything launched, no report exists;
+    // an all-zero one keeps the result well-formed (every instance is
+    // already marked unrecovered).
+    let report = last_report.unwrap_or_else(|| SimReport {
+        kernel_name: format!("{}-x{}", app.name, n),
+        kernel_cycles: 0.0,
+        sim_time_s: 0.0,
+        blocks: 0,
+        threads_per_block: 0,
+        waves: 0,
+        occupancy: 0.0,
+        total_insts: 0.0,
+        total_sectors: 0,
+        useful_bytes: 0.0,
+        moved_bytes: 0.0,
+        coalescing_efficiency: 0.0,
+        l2_hit: 0.0,
+        dram_efficiency: 0.0,
+        active_region_tags: 0,
+        issue_utilization: 0.0,
+        dram_utilization: 0.0,
+        rpc_calls: 0,
+        block_end_cycles: Vec::new(),
+    });
+
+    Ok(ShardedResilientResult {
+        ensemble: EnsembleResult {
+            instances,
+            stdout: slot_stdout,
+            report,
+            kernel_time_s,
+            total_time_s,
+            instance_end_times_s: slot_end,
+            rpc_stats,
+            metrics,
+        },
+        recovery: stats,
+        devices: m as u32,
+        placement,
+        dead_devices,
+        per_device_time_s,
+        kernel: format!("{}-x{}", app.name, n),
+    })
+}

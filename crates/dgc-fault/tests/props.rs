@@ -50,6 +50,7 @@ fn lines() -> Vec<Vec<String>> {
 
 fn opts(n: u32) -> EnsembleOptions {
     EnsembleOptions {
+        cycle_args: true,
         num_instances: n,
         thread_limit: 32,
         ..Default::default()

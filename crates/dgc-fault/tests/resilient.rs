@@ -51,6 +51,7 @@ fn lines(text: &str) -> Vec<Vec<String>> {
 
 fn opts(n: u32) -> EnsembleOptions {
     EnsembleOptions {
+        cycle_args: true,
         num_instances: n,
         thread_limit: 32,
         ..Default::default()
@@ -59,6 +60,7 @@ fn opts(n: u32) -> EnsembleOptions {
 
 fn trap_on(instance: u32, attempt: Option<u32>) -> FaultPlan {
     FaultPlan {
+        device_deaths: None,
         seed: 0,
         faults: vec![FaultSpec {
             instance: Some(instance),
@@ -139,6 +141,7 @@ fn device_oom_splits_the_batch_and_completes_all_instances() {
     // footprint only fits 4 concurrently. The plan forces device OOM at
     // concurrency >= 5; the driver halves 8 -> 4 and everything recovers.
     let plan = FaultPlan {
+        device_deaths: None,
         seed: 0,
         faults: vec![FaultSpec {
             instance: None,
@@ -195,6 +198,7 @@ fn device_oom_splits_the_batch_and_completes_all_instances() {
 #[test]
 fn hung_instance_times_out_and_recovers() {
     let plan = FaultPlan {
+        device_deaths: None,
         seed: 0,
         faults: vec![FaultSpec {
             instance: Some(1),
@@ -227,6 +231,7 @@ fn hung_instance_times_out_and_recovers() {
 #[test]
 fn corrupted_rpc_reply_traps_then_recovers() {
     let plan = FaultPlan {
+        device_deaths: None,
         seed: 0,
         faults: vec![FaultSpec {
             instance: Some(0),
@@ -261,6 +266,7 @@ fn corrupted_rpc_reply_traps_then_recovers() {
 #[test]
 fn injected_rpc_failure_is_a_typed_host_error() {
     let plan = FaultPlan {
+        device_deaths: None,
         seed: 0,
         faults: vec![FaultSpec {
             instance: Some(0),

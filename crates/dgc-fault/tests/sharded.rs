@@ -1,0 +1,264 @@
+//! Sharded resilient driver: device deaths re-shard onto survivors.
+
+use device_libc::dl_printf;
+use dgc_core::{AppContext, EnsembleOptions, HostApp};
+use dgc_fault::{
+    run_ensemble_resilient, run_ensemble_sharded_resilient, DeviceDeath, FaultKind, FaultPlan,
+    FaultSpec, RecoveryPolicy,
+};
+use dgc_obs::Recorder;
+use dgc_sched::Placement;
+use gpu_arch::DeviceRegistry;
+use gpu_sim::{DeviceFleet, Gpu, KernelError, TeamCtx};
+
+const MODULE: &str = r#"
+module "bench" {
+  func @main arity=2 calls(@printf, @malloc, @atoi)
+  extern func @printf variadic
+  extern func @malloc
+  extern func @atoi
+}
+"#;
+
+fn stream_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+    let n: u64 = cx
+        .argv
+        .iter()
+        .position(|a| a == "-n")
+        .and_then(|p| cx.argv.get(p + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let buf = team.serial("alloc", |lane| lane.dev_alloc(8 * n))?;
+    team.parallel_for("init", n, |i, lane| lane.st_idx::<f64>(buf, i, i as f64))?;
+    let sum = team.parallel_for_reduce_f64("sum", n, |i, lane| lane.ld_idx::<f64>(buf, i))?;
+    let instance = cx.instance;
+    team.serial("print", |lane| {
+        dl_printf(
+            lane,
+            "instance %d sum %.1f\n",
+            &[instance.into(), sum.into()],
+        )?;
+        Ok(())
+    })?;
+    Ok(0)
+}
+
+fn app() -> HostApp {
+    HostApp::new("bench", MODULE, stream_main)
+}
+
+fn lines() -> Vec<Vec<String>> {
+    dgc_core::parse_arg_file("-n 60\n-n 120\n-n 40\n").unwrap()
+}
+
+fn opts(n: u32) -> EnsembleOptions {
+    EnsembleOptions {
+        num_instances: n,
+        thread_limit: 32,
+        cycle_args: true,
+        ..Default::default()
+    }
+}
+
+fn death_plan(device: u32, at_attempt: u32) -> FaultPlan {
+    FaultPlan {
+        seed: 0,
+        faults: vec![],
+        device_deaths: Some(vec![DeviceDeath { device, at_attempt }]),
+    }
+}
+
+/// The acceptance criterion: kill one device mid-ensemble and everything
+/// still completes — `unrecovered == 0`.
+#[test]
+fn dead_device_reshards_onto_survivors() {
+    let reg = DeviceRegistry::parse("a100,a100").unwrap();
+    let mut fleet = DeviceFleet::from_registry(&reg);
+    let res = run_ensemble_sharded_resilient(
+        &mut fleet,
+        &app(),
+        &lines(),
+        &opts(8),
+        0,
+        Placement::RoundRobin,
+        &death_plan(1, 0),
+        &RecoveryPolicy::default(),
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+
+    assert!(res.all_succeeded(), "{:?}", res.ensemble.instances);
+    assert_eq!(res.recovery.unrecovered, 0);
+    assert_eq!(res.dead_devices, vec![1]);
+    // Round-robin put the 4 odd instances on device 1; they all died,
+    // re-sharded, and recovered.
+    assert_eq!(res.recovery.retried, 4);
+    assert_eq!(res.recovery.recovered, 4);
+    assert_eq!(res.recovery.failures, 4);
+    assert_eq!(res.recovery.attempts, 2);
+    // Every instance ultimately ran on the surviving device 0.
+    assert!(res.ensemble.metrics.iter().all(|m| m.device == 0));
+    // The dead device charged no busy time after it died at round 0.
+    assert_eq!(res.per_device_time_s[1], 0.0);
+    assert!(res.per_device_time_s[0] > 0.0);
+    let lm = res.launch_metrics();
+    assert_eq!(lm.devices, 2);
+    assert_eq!(lm.unrecovered, 0);
+    assert_eq!(lm.makespan_s, res.ensemble.total_time_s);
+}
+
+#[test]
+fn death_in_a_later_round_only_reshards_the_still_pending() {
+    // Instance 2 traps on attempts 0 and 1 (recovers on 2); device 1
+    // dies at attempt 1. Everything still completes.
+    let mut plan = death_plan(1, 1);
+    for a in [0, 1] {
+        plan.faults.push(FaultSpec {
+            instance: Some(2),
+            attempt: Some(a),
+            kind: FaultKind::Trap {
+                message: "flaky".into(),
+            },
+        });
+    }
+    let reg = DeviceRegistry::parse("a100,a100").unwrap();
+    let mut fleet = DeviceFleet::from_registry(&reg);
+    let res = run_ensemble_sharded_resilient(
+        &mut fleet,
+        &app(),
+        &lines(),
+        &opts(6),
+        0,
+        Placement::RoundRobin,
+        &plan,
+        &RecoveryPolicy {
+            max_attempts: 4,
+            ..RecoveryPolicy::default()
+        },
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+    assert!(res.all_succeeded(), "{:?}", res.ensemble.instances);
+    assert_eq!(res.recovery.unrecovered, 0);
+    assert_eq!(res.dead_devices, vec![1]);
+}
+
+#[test]
+fn all_devices_dead_marks_the_rest_unrecovered() {
+    let plan = FaultPlan {
+        seed: 0,
+        faults: vec![FaultSpec {
+            instance: None,
+            attempt: Some(0),
+            kind: FaultKind::Trap {
+                message: "all fail round 0".into(),
+            },
+        }],
+        device_deaths: Some(vec![
+            DeviceDeath {
+                device: 0,
+                at_attempt: 0,
+            },
+            DeviceDeath {
+                device: 1,
+                at_attempt: 0,
+            },
+        ]),
+    };
+    let reg = DeviceRegistry::parse("a100,a100").unwrap();
+    let mut fleet = DeviceFleet::from_registry(&reg);
+    let res = run_ensemble_sharded_resilient(
+        &mut fleet,
+        &app(),
+        &lines(),
+        &opts(4),
+        0,
+        Placement::RoundRobin,
+        &plan,
+        &RecoveryPolicy::default(),
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+    assert_eq!(res.recovery.unrecovered, 4);
+    assert!(res
+        .ensemble
+        .instances
+        .iter()
+        .all(|o| o.error.as_deref() == Some("no live devices left in the fleet")));
+}
+
+/// With one healthy device the sharded driver IS the single-device
+/// resilient driver — same results, same recovery story.
+#[test]
+fn single_device_delegates_to_resilient() {
+    let plan = FaultPlan {
+        seed: 0,
+        faults: vec![FaultSpec {
+            instance: Some(1),
+            attempt: Some(0),
+            kind: FaultKind::Trap {
+                message: "once".into(),
+            },
+        }],
+        device_deaths: None,
+    };
+    let mut gpu = Gpu::a100();
+    let base = run_ensemble_resilient(
+        &mut gpu,
+        &app(),
+        &lines(),
+        &opts(5),
+        2,
+        &plan,
+        &RecoveryPolicy::default(),
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+
+    let reg = DeviceRegistry::parse("a100").unwrap();
+    let mut fleet = DeviceFleet::from_registry(&reg);
+    let sharded = run_ensemble_sharded_resilient(
+        &mut fleet,
+        &app(),
+        &lines(),
+        &opts(5),
+        2,
+        Placement::Lpt,
+        &plan,
+        &RecoveryPolicy::default(),
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+
+    assert_eq!(sharded.devices, 1);
+    assert_eq!(sharded.ensemble.instances, base.ensemble.instances);
+    assert_eq!(sharded.ensemble.stdout, base.ensemble.stdout);
+    assert_eq!(sharded.ensemble.total_time_s, base.ensemble.total_time_s);
+    assert_eq!(sharded.ensemble.metrics, base.ensemble.metrics);
+    assert_eq!(sharded.recovery, base.recovery);
+}
+
+/// Device death composes with cost-model placement: LPT on a
+/// heterogeneous fleet still finishes everything after the fast device
+/// dies.
+#[test]
+fn lpt_survives_losing_the_fast_device() {
+    let reg = DeviceRegistry::parse("a100,a100*0.5").unwrap();
+    let mut fleet = DeviceFleet::from_registry(&reg);
+    let res = run_ensemble_sharded_resilient(
+        &mut fleet,
+        &app(),
+        &lines(),
+        &opts(6),
+        0,
+        Placement::Lpt,
+        &death_plan(0, 0),
+        &RecoveryPolicy::default(),
+        &mut Recorder::disabled(),
+    )
+    .unwrap();
+    assert!(res.all_succeeded(), "{:?}", res.ensemble.instances);
+    assert_eq!(res.recovery.unrecovered, 0);
+    assert_eq!(res.dead_devices, vec![0]);
+    assert!(res.ensemble.metrics.iter().all(|m| m.device == 1));
+}

@@ -28,4 +28,4 @@ pub use metrics::{
     metrics_jsonl, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Log2Histogram,
     RpcCallCounts, METRICS_SCHEMA_VERSION,
 };
-pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, PID_HOST};
+pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, DEVICE_PID_STRIDE, PID_HOST};

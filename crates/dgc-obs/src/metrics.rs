@@ -12,13 +12,18 @@ use serde::{Deserialize, Serialize, Value};
 /// * v1 — PR 1: instance + launch records, no stall or percentile fields.
 /// * v2 — PR 2: per-instance `stall` bucket object, launch-level
 ///   `schema`, `latency` and `rpc_stall` percentile objects.
-/// * v3 — this version: recovery fields. Per-instance `timed_out` and
+/// * v3 — PR 4: recovery fields. Per-instance `timed_out` and
 ///   `attempt`; launch-level `attempts`, `retried`, `recovered`,
 ///   `unrecovered`, `timeouts`, `oom_splits`, `final_batch` and
 ///   `backoff_s`. For resilient runs `failed`/`oom` count failures
 ///   *cumulatively across attempts*; `unrecovered` is the count after
 ///   recovery (what v2's `failed` meant for a single-shot launch).
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+/// * v4 — this version: multi-device fields. Per-instance `device` (the
+///   fleet index the instance ran on; 0 for single-device launches);
+///   launch-level `devices` (fleet size, 1 outside the sharded driver)
+///   and `makespan_s` (max per-device wall time; equals `total_time_s`
+///   for single-device launches).
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 /// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
 ///
@@ -181,6 +186,9 @@ pub struct InstanceMetrics {
     /// Recovery attempt that produced this record: 0 for the first launch,
     /// `n` for the n-th retry. Always 0 outside the resilient driver.
     pub attempt: u32,
+    /// Fleet index of the device the instance ran on. Always 0 outside
+    /// the sharded driver.
+    pub device: u32,
     /// Simulated completion time of the instance's block, seconds from
     /// launch-sequence start.
     pub end_time_s: f64,
@@ -222,6 +230,12 @@ pub struct LaunchMetrics {
     pub oom: u32,
     pub kernel_time_s: f64,
     pub total_time_s: f64,
+    /// Devices the launch was sharded across (1 outside the sharded
+    /// driver).
+    pub devices: u32,
+    /// Maximum per-device wall time — the sharded launch's completion
+    /// time. Equals `total_time_s` for single-device launches.
+    pub makespan_s: f64,
     pub waves: u32,
     pub rpc_total: u64,
     /// Recovery rounds executed (1 = no retries were needed; always 1
@@ -286,6 +300,7 @@ mod tests {
             oom: false,
             timed_out: false,
             attempt: 0,
+            device: 0,
             end_time_s: 1.25e-3,
             cycles: 1.7e6,
             warp_insts: 5.0e5,
@@ -385,6 +400,8 @@ mod tests {
             oom: 0,
             kernel_time_s: 1.0e-3,
             total_time_s: 1.5e-3,
+            devices: 1,
+            makespan_s: 1.5e-3,
             waves: 1,
             rpc_total: 8,
             attempts: 1,
@@ -420,6 +437,11 @@ mod tests {
         assert_eq!(v.get("attempts").unwrap().as_u64(), Some(1));
         assert_eq!(v.get("unrecovered").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("final_batch").unwrap().as_u64(), Some(2));
+        // v4: multi-device fields land in both record kinds.
+        assert_eq!(v.get("devices").unwrap().as_u64(), Some(1));
+        assert!(v.get("makespan_s").is_some());
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.get("device").unwrap().as_u64(), Some(0));
     }
 
     #[test]

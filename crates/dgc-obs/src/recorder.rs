@@ -13,6 +13,12 @@ pub fn sm_pid(sm: u32) -> u32 {
     sm + 1
 }
 
+/// Pid stride between per-device lane groups in a sharded launch: device
+/// `d`'s lanes live at `d * DEVICE_PID_STRIDE + pid`. Large enough that no
+/// simulated device's SM lanes (SM count + 1 host lane) can spill into the
+/// next device's group.
+pub const DEVICE_PID_STRIDE: u32 = 1024;
+
 /// One recorded trace event, in Chrome trace-event terms: a complete span
 /// (`ph = 'X'`, with a duration) or an instant marker (`ph = 'i'`).
 /// Timestamps are microseconds on the simulated clock.
@@ -172,6 +178,31 @@ impl Recorder {
         &self.events
     }
 
+    /// Merge another recorder's events and lane names into this one with
+    /// every pid shifted by `pid_offset` and every process name prefixed
+    /// with `name_prefix` — how a sharded launch folds each device's
+    /// private recorder into one trace, one lane group per device.
+    ///
+    /// Timestamps are copied as-is: device recorders are created with the
+    /// parent's base already applied, so their events are absolute on the
+    /// shared timeline.
+    pub fn merge_shifted(&mut self, other: &Recorder, pid_offset: u32, name_prefix: &str) {
+        if !self.enabled {
+            return;
+        }
+        for e in &other.events {
+            let mut e = e.clone();
+            e.pid += pid_offset;
+            self.events.push(e);
+        }
+        for (pid, name) in &other.process_names {
+            self.name_process(pid + pid_offset, &format!("{name_prefix}{name}"));
+        }
+        for (&(pid, tid), name) in other.thread_names.iter().map(|(k, n)| (k, n)) {
+            self.name_thread(pid + pid_offset, tid, name);
+        }
+    }
+
     pub(crate) fn process_names(&self) -> &[(u32, String)] {
         &self.process_names
     }
@@ -302,6 +333,40 @@ mod tests {
         r.name_thread(1, 7, "block 7");
         assert_eq!(r.process_names(), &[(1, "SM 0 renamed".to_string())]);
         assert_eq!(r.thread_names().len(), 1);
+    }
+
+    #[test]
+    fn merge_shifted_moves_lanes_and_prefixes_names() {
+        let mut child = Recorder::enabled();
+        child.set_base_us(50.0);
+        child.name_process(PID_HOST, "host");
+        child.name_process(sm_pid(0), "SM 0");
+        child.name_thread(sm_pid(0), 3, "block 3");
+        child.span(sm_pid(0), 3, "block 3", "block", 1.0, 2.0);
+
+        let mut parent = Recorder::enabled();
+        parent.merge_shifted(&child, DEVICE_PID_STRIDE, "dev1 ");
+        let e = &parent.events()[0];
+        assert_eq!(e.pid, DEVICE_PID_STRIDE + sm_pid(0));
+        // Child timestamps already include the child's base — copied as-is.
+        assert_eq!(e.ts, 51.0);
+        assert!(parent
+            .process_names()
+            .iter()
+            .any(|(p, n)| *p == DEVICE_PID_STRIDE && n == "dev1 host"));
+        assert!(parent
+            .thread_names()
+            .iter()
+            .any(|((p, t), n)| *p == DEVICE_PID_STRIDE + 1 && *t == 3 && n == "block 3"));
+    }
+
+    #[test]
+    fn merge_into_disabled_recorder_is_a_no_op() {
+        let mut child = Recorder::enabled();
+        child.span(0, 0, "a", "c", 0.0, 1.0);
+        let mut parent = Recorder::disabled();
+        parent.merge_shifted(&child, DEVICE_PID_STRIDE, "dev1 ");
+        assert!(parent.events().is_empty());
     }
 
     #[test]

@@ -248,10 +248,33 @@ pub struct ProfileDiff {
     pub deltas: Vec<Delta>,
 }
 
+/// Absolute floor used by [`ProfileDiff::compare`] when a baseline time
+/// is zero: below it, a current time still counts as "zero".
+pub const ZERO_BASELINE_EPSILON_S: f64 = 1e-9;
+
 impl ProfileDiff {
     /// Compare `current` against `baseline` with relative tolerance
-    /// `tolerance` (e.g. `0.05` = 5% slower still passes).
+    /// `tolerance` (e.g. `0.05` = 5% slower still passes). Zero
+    /// baselines fall back to an absolute epsilon of
+    /// [`ZERO_BASELINE_EPSILON_S`] — see
+    /// [`ProfileDiff::compare_with_epsilon`].
     pub fn compare(baseline: &Snapshot, current: &Snapshot, tolerance: f64) -> Self {
+        Self::compare_with_epsilon(baseline, current, tolerance, ZERO_BASELINE_EPSILON_S)
+    }
+
+    /// Like [`ProfileDiff::compare`], with an explicit absolute epsilon
+    /// for zero baselines. A relative gate is undefined at `baseline ==
+    /// 0` — `current / 0 − 1` is not a percentage — so such entries gate
+    /// on the absolute time instead: a current time above `abs_epsilon_s`
+    /// is a regression, at or below it the entry is unchanged. Without
+    /// the fallback a zero-time baseline entry would wave *any* current
+    /// time through.
+    pub fn compare_with_epsilon(
+        baseline: &Snapshot,
+        current: &Snapshot,
+        tolerance: f64,
+        abs_epsilon_s: f64,
+    ) -> Self {
         let mut deltas = Vec::new();
         for (key, &base) in &baseline.entries {
             match current.entries.get(key) {
@@ -275,6 +298,9 @@ impl ProfileDiff {
                             };
                             (Some(rel), kind)
                         }
+                        // Zero baseline: relative change is undefined, so
+                        // gate on the absolute current time.
+                        (Some(_), Some(c)) if c > abs_epsilon_s => (None, DeltaKind::Regression),
                         (Some(_), Some(_)) => (None, DeltaKind::Unchanged),
                         // Runnable before, OOM now: the §4.3 memory wall
                         // moved the wrong way.
@@ -520,5 +546,36 @@ mod tests {
         let d = ProfileDiff::compare(&base, &base.clone(), 0.0);
         assert!(!d.has_regressions());
         assert!(d.deltas.iter().all(|x| x.kind == DeltaKind::Unchanged));
+    }
+
+    #[test]
+    fn zero_baseline_gates_on_absolute_time() {
+        // A 0 s baseline has no meaningful relative change; any real
+        // current time must still fail the gate instead of slipping
+        // through as Unchanged.
+        let base = snap(&[("a", 32, 1, Some(0.0))]);
+        let d = ProfileDiff::compare(&base, &snap(&[("a", 32, 1, Some(0.1))]), 0.05);
+        assert_eq!(d.deltas[0].kind, DeltaKind::Regression);
+        assert_eq!(d.deltas[0].rel_change, None);
+        assert!(d.has_regressions());
+        // Zero → zero is unchanged.
+        let d = ProfileDiff::compare(&base, &snap(&[("a", 32, 1, Some(0.0))]), 0.05);
+        assert_eq!(d.deltas[0].kind, DeltaKind::Unchanged);
+        assert!(!d.has_regressions());
+        // Noise below the absolute epsilon also passes.
+        let d = ProfileDiff::compare(&base, &snap(&[("a", 32, 1, Some(1e-12))]), 0.05);
+        assert_eq!(d.deltas[0].kind, DeltaKind::Unchanged);
+    }
+
+    #[test]
+    fn zero_baseline_epsilon_is_configurable() {
+        let base = snap(&[("a", 32, 1, Some(0.0))]);
+        let cur = snap(&[("a", 32, 1, Some(0.5e-3))]);
+        // Default epsilon (1 ns): 0.5 ms is a regression.
+        assert!(ProfileDiff::compare(&base, &cur, 0.05).has_regressions());
+        // A 1 ms allowance waves it through.
+        let d = ProfileDiff::compare_with_epsilon(&base, &cur, 0.05, 1e-3);
+        assert!(!d.has_regressions());
+        assert_eq!(d.deltas[0].kind, DeltaKind::Unchanged);
     }
 }

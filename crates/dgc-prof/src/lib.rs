@@ -21,5 +21,7 @@
 mod diff;
 mod roofline;
 
-pub use diff::{ConfigKey, Delta, DeltaKind, ParseError, ProfileDiff, Snapshot};
+pub use diff::{
+    ConfigKey, Delta, DeltaKind, ParseError, ProfileDiff, Snapshot, ZERO_BASELINE_EPSILON_S,
+};
 pub use roofline::{BoundClass, RooflinePoint};

@@ -21,6 +21,7 @@ fn roofline_of(name: &str, args: &[&str], instances: u32, thread_limit: u32) -> 
     let mut gpu = Gpu::new(spec.clone());
     let app = app_by_name(name).expect("benchmark registered");
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: instances,
         thread_limit,
         ..Default::default()

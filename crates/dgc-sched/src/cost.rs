@@ -1,0 +1,186 @@
+//! The placement cost model: predicted per-instance time per device.
+//!
+//! The informed policies need `cost(i, d)` — how long instance `i` would
+//! take on device `d`. We get it from **pilot runs**: each *distinct*
+//! argument line runs once, alone, on a reference device, and the pilot's
+//! kernel time plus its `dgc-prof` roofline classification predict the
+//! time on any other device:
+//!
+//! * compute- or latency-bound pilots scale with the **core clock** —
+//!   fewer cycles per second is the only thing a derated device changes
+//!   for them;
+//! * memory-bandwidth-bound pilots scale with **DRAM bandwidth** — the
+//!   roof they sit on.
+//!
+//! Pilot runs simulate a single instance, so they are cheap relative to
+//! the ensemble, and they are *predictions*: the sharded driver never
+//! feeds them back into reported times.
+
+use dgc_core::{run_ensemble, EnsembleError, EnsembleOptions, HostApp};
+use dgc_prof::{BoundClass, RooflinePoint};
+use gpu_arch::GpuSpec;
+use gpu_sim::Gpu;
+use host_rpc::HostServices;
+use std::collections::HashMap;
+
+/// One pilot measurement: the predicted shape of every instance sharing
+/// the same argument line.
+#[derive(Debug, Clone)]
+pub struct InstanceCost {
+    /// Pilot kernel time on the reference device, seconds.
+    pub seconds_ref: f64,
+    /// Roofline classification of the pilot run.
+    pub bound: BoundClass,
+}
+
+/// Cost model for one ensemble: a pilot per distinct argument line, plus
+/// the reference device they ran on.
+#[derive(Debug, Clone)]
+pub struct InstanceCosts {
+    /// Pilot result per instance (instances sharing an argument line
+    /// share the measurement).
+    per_instance: Vec<InstanceCost>,
+    reference: GpuSpec,
+}
+
+impl InstanceCosts {
+    /// Run one single-instance pilot per distinct argument line on a
+    /// fresh device of `reference`'s spec and classify it through the
+    /// roofline model. `arg_lines` must already be resolved to one line
+    /// per instance (cycled upstream if requested).
+    pub fn estimate(
+        app: &HostApp,
+        arg_lines: &[Vec<String>],
+        opts: &EnsembleOptions,
+        reference: &GpuSpec,
+    ) -> Result<Self, EnsembleError> {
+        let mut by_line: HashMap<Vec<String>, InstanceCost> = HashMap::new();
+        let mut per_instance = Vec::with_capacity(arg_lines.len());
+        for line in arg_lines {
+            if let Some(c) = by_line.get(line) {
+                per_instance.push(c.clone());
+                continue;
+            }
+            let mut gpu = Gpu::new(reference.clone());
+            let pilot_opts = EnsembleOptions {
+                num_instances: 1,
+                ..opts.clone()
+            };
+            let res = run_ensemble(
+                &mut gpu,
+                app,
+                std::slice::from_ref(line),
+                &pilot_opts,
+                HostServices::default(),
+            )?;
+            let point = RooflinePoint::from_report(reference, &res.report);
+            let c = InstanceCost {
+                seconds_ref: res.kernel_time_s,
+                bound: point.bound,
+            };
+            by_line.insert(line.clone(), c.clone());
+            per_instance.push(c);
+        }
+        Ok(Self {
+            per_instance,
+            reference: reference.clone(),
+        })
+    }
+
+    pub fn len(&self) -> usize {
+        self.per_instance.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.per_instance.is_empty()
+    }
+
+    pub fn cost(&self, instance: u32) -> &InstanceCost {
+        &self.per_instance[instance as usize]
+    }
+
+    /// Predicted seconds of `instance` on a device of spec `target`,
+    /// scaling the pilot time by the resource its bound class consumes.
+    pub fn cost_on(&self, instance: u32, target: &GpuSpec) -> f64 {
+        let c = &self.per_instance[instance as usize];
+        let ratio = match c.bound {
+            BoundClass::MemoryBw => {
+                self.reference.dram_bandwidth_gbps / target.dram_bandwidth_gbps.max(1e-9)
+            }
+            BoundClass::Compute | BoundClass::Latency => {
+                self.reference.clock_hz() / target.clock_hz().max(1.0)
+            }
+        };
+        c.seconds_ref * ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_core::AppContext;
+    use gpu_arch::derate;
+    use gpu_sim::{KernelError, TeamCtx};
+
+    const MODULE: &str = r#"
+module "cost" {
+  func @main arity=2 calls(@malloc, @atoi)
+  extern func @malloc
+  extern func @atoi
+}
+"#;
+
+    fn stream_main(team: &mut TeamCtx<'_>, cx: &AppContext) -> Result<i32, KernelError> {
+        let n: u64 = cx
+            .argv
+            .iter()
+            .position(|a| a == "-n")
+            .and_then(|p| cx.argv.get(p + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100);
+        let buf = team.serial("alloc", |lane| lane.dev_alloc(8 * n))?;
+        team.parallel_for("init", n, |i, lane| lane.st_idx::<f64>(buf, i, i as f64))?;
+        Ok(0)
+    }
+
+    fn app() -> HostApp {
+        HostApp::new("cost", MODULE, stream_main)
+    }
+
+    fn line(n: u64) -> Vec<String> {
+        vec!["-n".into(), n.to_string()]
+    }
+
+    #[test]
+    fn pilots_deduplicate_by_argument_line() {
+        let spec = GpuSpec::a100_40gb();
+        let lines = vec![line(4000), line(500), line(4000), line(500)];
+        let costs =
+            InstanceCosts::estimate(&app(), &lines, &EnsembleOptions::default(), &spec).unwrap();
+        assert_eq!(costs.len(), 4);
+        // Identical lines share the exact measurement.
+        assert_eq!(costs.cost(0).seconds_ref, costs.cost(2).seconds_ref);
+        assert_eq!(costs.cost(1).seconds_ref, costs.cost(3).seconds_ref);
+        // The 8× bigger stream costs more.
+        assert!(costs.cost(0).seconds_ref > costs.cost(1).seconds_ref);
+    }
+
+    #[test]
+    fn derated_device_predicts_proportionally_slower() {
+        let spec = GpuSpec::a100_40gb();
+        let half = derate(&spec, 0.5);
+        let lines = vec![line(2000)];
+        let costs =
+            InstanceCosts::estimate(&app(), &lines, &EnsembleOptions::default(), &spec).unwrap();
+        let on_full = costs.cost_on(0, &spec);
+        let on_half = costs.cost_on(0, &half);
+        // Uniform derating scales clock and bandwidth together, so every
+        // bound class predicts ~2× on the half-speed part.
+        assert!(
+            (on_half / on_full - 2.0).abs() < 0.05,
+            "{on_half}/{on_full}"
+        );
+        // On the reference itself the prediction is the pilot time.
+        assert_eq!(on_full, costs.cost(0).seconds_ref);
+    }
+}

@@ -1,0 +1,32 @@
+//! Multi-device ensemble sharding (`dgc-sched`).
+//!
+//! The paper runs every instance of an ensemble on one device and tops
+//! out when that device's SMs and DRAM bandwidth saturate (§4.3). This
+//! crate shards a single ensemble launch across **M simulated devices**:
+//!
+//! * [`Placement`] — how instances map to devices: `round-robin` (the
+//!   naive baseline), `greedy` (bin-pack by predicted instance time) and
+//!   `lpt` (longest-processing-time-first, the classic 4/3-approximation
+//!   of makespan scheduling).
+//! * [`InstanceCosts`] — the cost model behind the informed policies:
+//!   per-distinct-argument pilot runs classified through the `dgc-prof`
+//!   roofline, scaled to each device by the resource its bound class
+//!   actually consumes (clock for compute/latency-bound instances, DRAM
+//!   bandwidth for memory-bound ones).
+//! * [`run_ensemble_sharded`] — the wave driver: one driver thread per
+//!   device runs its shard as an independent (optionally batched) kernel
+//!   sequence; results merge back into one [`dgc_core::EnsembleResult`]
+//!   whose completion time is the **makespan** — the maximum over the
+//!   per-device times, what a multi-GPU launch actually waits for.
+//!
+//! With one device the driver delegates to the single-device paths, so
+//! `--devices 1` is bit-identical to `run_ensemble_batched` — times,
+//! metrics and Chrome-trace bytes (property-tested).
+
+mod cost;
+mod place;
+mod shard;
+
+pub use cost::{InstanceCost, InstanceCosts};
+pub use place::{Placement, PlacementParseError};
+pub use shard::{run_ensemble_sharded, ShardedResult};

@@ -1,0 +1,211 @@
+//! Placement policies: how ensemble instances map onto fleet devices.
+
+/// Placement policy for sharding an ensemble across devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Instance `i` → device `i mod M`. Cost-blind; the baseline every
+    /// informed policy must beat on heterogeneous fleets.
+    RoundRobin,
+    /// In instance order, place each instance on the device whose load
+    /// plus the instance's predicted time there is smallest (online
+    /// list scheduling).
+    Greedy,
+    /// Longest-processing-time-first: sort instances by descending
+    /// predicted time, then place greedily. The classic makespan
+    /// 4/3-approximation; placing big instances first keeps them off
+    /// already-loaded (or slow) devices.
+    Lpt,
+}
+
+/// Unknown placement-policy name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementParseError(pub String);
+
+impl std::fmt::Display for PlacementParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown placement '{}' (use round-robin, greedy or lpt)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for PlacementParseError {}
+
+impl std::str::FromStr for Placement {
+    type Err = PlacementParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "round-robin" | "rr" => Ok(Placement::RoundRobin),
+            "greedy" => Ok(Placement::Greedy),
+            "lpt" => Ok(Placement::Lpt),
+            other => Err(PlacementParseError(other.to_string())),
+        }
+    }
+}
+
+impl Placement {
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::Greedy => "greedy",
+            Placement::Lpt => "lpt",
+        }
+    }
+
+    /// Every policy, for sweeps.
+    pub fn all() -> [Placement; 3] {
+        [Placement::RoundRobin, Placement::Greedy, Placement::Lpt]
+    }
+
+    /// Whether the policy consults the cost model (and therefore needs
+    /// pilot runs).
+    pub fn needs_costs(self) -> bool {
+        !matches!(self, Placement::RoundRobin)
+    }
+
+    /// Assign `n` instances to `m` devices. `cost(i, d)` predicts the
+    /// seconds instance `i` takes on device `d`; round-robin never calls
+    /// it. Returns one instance list per device, each in ascending
+    /// instance order (the order shards execute in).
+    pub fn assign(self, n: u32, m: usize, cost: impl Fn(u32, usize) -> f64) -> Vec<Vec<u32>> {
+        assert!(m >= 1, "placement needs at least one device");
+        let mut shards: Vec<Vec<u32>> = vec![Vec::new(); m];
+        match self {
+            Placement::RoundRobin => {
+                for i in 0..n {
+                    shards[i as usize % m].push(i);
+                }
+            }
+            Placement::Greedy => {
+                let mut load = vec![0.0f64; m];
+                for i in 0..n {
+                    let d = argmin(&load, |d, l| l + cost(i, d));
+                    load[d] += cost(i, d);
+                    shards[d].push(i);
+                }
+            }
+            Placement::Lpt => {
+                // Sort by descending predicted time on the fastest slot
+                // (device 0 as the common yardstick); ties keep instance
+                // order for determinism.
+                let mut order: Vec<u32> = (0..n).collect();
+                order.sort_by(|&a, &b| {
+                    cost(b, 0)
+                        .partial_cmp(&cost(a, 0))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                let mut load = vec![0.0f64; m];
+                for i in order {
+                    let d = argmin(&load, |d, l| l + cost(i, d));
+                    load[d] += cost(i, d);
+                    shards[d].push(i);
+                }
+                for s in &mut shards {
+                    s.sort_unstable();
+                }
+            }
+        }
+        shards
+    }
+}
+
+/// Index minimizing `key(d, load[d])`; first wins ties (deterministic).
+fn argmin(load: &[f64], key: impl Fn(usize, f64) -> f64) -> usize {
+    let mut best = 0usize;
+    let mut best_key = f64::INFINITY;
+    for (d, &l) in load.iter().enumerate() {
+        let k = key(d, l);
+        if k < best_key {
+            best_key = k;
+            best = d;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::str::FromStr;
+
+    #[test]
+    fn names_round_trip() {
+        for p in Placement::all() {
+            assert_eq!(Placement::from_str(p.name()).unwrap(), p);
+        }
+        assert_eq!(Placement::from_str("rr").unwrap(), Placement::RoundRobin);
+        assert!(Placement::from_str("optimal").is_err());
+    }
+
+    #[test]
+    fn round_robin_ignores_costs() {
+        let shards = Placement::RoundRobin.assign(5, 2, |_, _| panic!("cost-blind"));
+        assert_eq!(shards, vec![vec![0, 2, 4], vec![1, 3]]);
+    }
+
+    #[test]
+    fn greedy_balances_uniform_costs() {
+        let shards = Placement::Greedy.assign(6, 3, |_, _| 1.0);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn greedy_prefers_the_faster_device_for_expensive_work() {
+        // Device 1 is 4× slower. One huge instance (id 0) and three small:
+        // the huge one must land on device 0.
+        let cost = |i: u32, d: usize| {
+            let base = if i == 0 { 10.0 } else { 1.0 };
+            base * if d == 1 { 4.0 } else { 1.0 }
+        };
+        let shards = Placement::Greedy.assign(4, 2, cost);
+        assert!(shards[0].contains(&0), "{shards:?}");
+    }
+
+    #[test]
+    fn lpt_places_the_big_instance_first() {
+        // Big instance is id 3 — round-robin would put it on device 1;
+        // LPT considers it first and keeps it on the fast device 0.
+        let cost = |i: u32, d: usize| {
+            let base = if i == 3 { 8.0 } else { 1.0 };
+            base * if d == 1 { 3.0 } else { 1.0 }
+        };
+        let shards = Placement::Lpt.assign(4, 2, cost);
+        assert!(shards[0].contains(&3), "{shards:?}");
+        // Shards stay in ascending instance order.
+        for s in &shards {
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "{shards:?}");
+        }
+    }
+
+    #[test]
+    fn lpt_beats_round_robin_on_an_adversarial_mix() {
+        // Two devices, equal speed. Costs 7,1,7,1: round-robin stacks the
+        // two 7s on device 0 (makespan 14); LPT splits them (makespan 8).
+        let cost = |i: u32, _: usize| if i.is_multiple_of(2) { 7.0 } else { 1.0 };
+        let makespan = |shards: &[Vec<u32>]| -> f64 {
+            shards
+                .iter()
+                .map(|s| s.iter().map(|&i| cost(i, 0)).sum::<f64>())
+                .fold(0.0, f64::max)
+        };
+        let rr = makespan(&Placement::RoundRobin.assign(4, 2, cost));
+        let lpt = makespan(&Placement::Lpt.assign(4, 2, cost));
+        assert_eq!(rr, 14.0);
+        assert_eq!(lpt, 8.0);
+    }
+
+    #[test]
+    fn every_instance_is_assigned_exactly_once() {
+        for p in Placement::all() {
+            let shards = p.assign(9, 4, |i, d| (i as f64 + 1.0) * (d as f64 + 1.0));
+            let mut seen: Vec<u32> = shards.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..9).collect::<Vec<_>>(), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The sharded wave driver: one ensemble launch across M devices.
+
+use crate::cost::InstanceCosts;
+use crate::place::Placement;
+use dgc_core::{
+    ensure_arg_capacity, run_ensemble_batched_traced, run_ensemble_traced, EnsembleError,
+    EnsembleOptions, EnsembleResult, HostApp, InstanceOutcome,
+};
+use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, DEVICE_PID_STRIDE};
+use gpu_sim::DeviceFleet;
+use host_rpc::{HostServices, RpcStats};
+
+/// Result of a sharded launch: the merged ensemble result plus the
+/// scheduling story.
+#[derive(Debug)]
+pub struct ShardedResult {
+    /// Merged per-instance results in global instance order. Times are
+    /// the **makespan** view: `kernel_time_s`/`total_time_s` are the
+    /// maxima over devices (devices run concurrently), and `report` is
+    /// the slowest device's last kernel report.
+    pub ensemble: EnsembleResult,
+    pub devices: u32,
+    pub placement: Placement,
+    /// Instance ids per device, as placed.
+    pub assignment: Vec<Vec<u32>>,
+    /// Wall time of each device's kernel sequence, seconds.
+    pub per_device_time_s: Vec<f64>,
+    /// Launch-sequence name for the metrics rollup.
+    kernel: String,
+}
+
+impl ShardedResult {
+    pub fn all_succeeded(&self) -> bool {
+        self.ensemble.all_succeeded()
+    }
+
+    /// The sharded launch's completion time: the slowest device's wall
+    /// time.
+    pub fn makespan_s(&self) -> f64 {
+        self.per_device_time_s.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Launch rollup with the schema-v4 multi-device fields filled in.
+    /// For a single device this is exactly the underlying result's
+    /// rollup (bit-identity with the unsharded paths).
+    pub fn launch_metrics(&self) -> LaunchMetrics {
+        let mut lm = self.ensemble.launch_metrics();
+        lm.devices = self.devices;
+        lm.makespan_s = self.makespan_s();
+        if self.devices > 1 {
+            lm.kernel = self.kernel.clone();
+        }
+        lm
+    }
+}
+
+/// Shard one ensemble launch across the fleet.
+///
+/// Placement first maps every instance to a device ([`Placement`];
+/// `greedy`/`lpt` consult the pilot cost model, built on device 0's
+/// spec). Then one driver thread per device runs its shard as an
+/// independent kernel sequence — batched by `batch` per device when
+/// `batch > 0` — and the per-device results merge back into one
+/// [`EnsembleResult`] in global instance order. The merged
+/// `total_time_s` is the makespan: the maximum over the concurrently
+/// running devices.
+///
+/// With a single-device fleet the driver delegates to the unsharded
+/// paths, so results are bit-identical to `run_ensemble_batched` /
+/// `run_ensemble` — including Chrome-trace bytes. With M ≥ 2 each
+/// device's trace lands in its own lane group ([`DEVICE_PID_STRIDE`]),
+/// process names prefixed `dev<d> `.
+pub fn run_ensemble_sharded(
+    fleet: &mut DeviceFleet,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    placement: Placement,
+    obs: &mut Recorder,
+) -> Result<ShardedResult, EnsembleError> {
+    assert!(!fleet.is_empty(), "sharding needs at least one device");
+    let m = fleet.len();
+    let n = opts.num_instances.max(1);
+
+    if m == 1 {
+        // Single device: run the exact unsharded path (bit-identity).
+        let res = if batch > 0 {
+            run_ensemble_batched_traced(fleet.gpu_mut(0), app, arg_lines, opts, batch, obs)?
+        } else {
+            run_ensemble_traced(
+                fleet.gpu_mut(0),
+                app,
+                arg_lines,
+                opts,
+                HostServices::default(),
+                obs,
+            )?
+        };
+        let total = res.total_time_s;
+        let kernel = format!("{}-x{}", app.name, n);
+        return Ok(ShardedResult {
+            ensemble: res,
+            devices: 1,
+            placement,
+            assignment: vec![(0..n).collect()],
+            per_device_time_s: vec![total],
+            kernel,
+        });
+    }
+
+    ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
+    // Resolve cycling up front: from here on, line `i` belongs to
+    // instance `i` no matter which device it lands on.
+    let lines_of: Vec<Vec<String>> = (0..n)
+        .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
+        .collect();
+
+    // ---- Placement. ----
+    let assignment = if placement.needs_costs() {
+        let costs = InstanceCosts::estimate(app, &lines_of, opts, fleet.spec(0))?;
+        placement.assign(n, m, |i, d| costs.cost_on(i, fleet.spec(d)))
+    } else {
+        placement.assign(n, m, |_, _| 0.0)
+    };
+
+    // ---- Per-device wave execution, one driver thread per device. ----
+    let traced = obs.is_enabled();
+    let base_us = obs.base_us();
+    struct DeviceRun {
+        result: Result<EnsembleResult, EnsembleError>,
+        recorder: Recorder,
+    }
+    let runs: Vec<Option<DeviceRun>> = std::thread::scope(|s| {
+        let handles: Vec<_> = fleet
+            .iter_mut()
+            .zip(assignment.iter())
+            .map(|(gpu, shard)| {
+                if shard.is_empty() {
+                    return None;
+                }
+                let shard_lines: Vec<Vec<String>> = shard
+                    .iter()
+                    .map(|&g| lines_of[g as usize].clone())
+                    .collect();
+                let shard_opts = EnsembleOptions {
+                    num_instances: shard.len() as u32,
+                    ..opts.clone()
+                };
+                Some(s.spawn(move || {
+                    let mut rec = if traced {
+                        Recorder::enabled()
+                    } else {
+                        Recorder::disabled()
+                    };
+                    rec.set_base_us(base_us);
+                    let result = if batch > 0 {
+                        run_ensemble_batched_traced(
+                            gpu,
+                            app,
+                            &shard_lines,
+                            &shard_opts,
+                            batch,
+                            &mut rec,
+                        )
+                    } else {
+                        run_ensemble_traced(
+                            gpu,
+                            app,
+                            &shard_lines,
+                            &shard_opts,
+                            HostServices::default(),
+                            &mut rec,
+                        )
+                    };
+                    DeviceRun {
+                        result,
+                        recorder: rec,
+                    }
+                }))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.map(|h| h.join().expect("device driver thread panicked")))
+            .collect()
+    });
+
+    // ---- Merge in global instance order. ----
+    let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
+    let mut slot_stdout: Vec<String> = vec![String::new(); n as usize];
+    let mut slot_end: Vec<f64> = vec![0.0; n as usize];
+    let mut slot_metrics: Vec<Option<InstanceMetrics>> = vec![None; n as usize];
+    let mut per_device_time_s = vec![0.0f64; m];
+    let mut kernel_time_s = 0.0f64;
+    let mut rpc_stats = RpcStats::default();
+    let mut slowest: Option<(f64, EnsembleResult)> = None;
+
+    for (d, run) in runs.into_iter().enumerate() {
+        let Some(run) = run else { continue };
+        let res = run.result?;
+        for (li, &g) in assignment[d].iter().enumerate() {
+            slot_outcome[g as usize] = Some(res.instances[li].clone());
+            slot_stdout[g as usize] = res.stdout[li].clone();
+            // Devices run concurrently from t = 0, so per-device end
+            // times are already global times.
+            slot_end[g as usize] = res.instance_end_times_s[li];
+            let mut mi = res.metrics[li].clone();
+            mi.instance = g;
+            mi.device = d as u32;
+            slot_metrics[g as usize] = Some(mi);
+        }
+        per_device_time_s[d] = res.total_time_s;
+        kernel_time_s = kernel_time_s.max(res.kernel_time_s);
+        rpc_stats.merge(&res.rpc_stats);
+        if traced {
+            obs.merge_shifted(
+                &run.recorder,
+                d as u32 * DEVICE_PID_STRIDE,
+                &format!("dev{d} "),
+            );
+        }
+        let is_slowest = slowest
+            .as_ref()
+            .map(|(t, _)| res.total_time_s > *t)
+            .unwrap_or(true);
+        if is_slowest {
+            slowest = Some((res.total_time_s, res));
+        }
+    }
+
+    let (_, slowest_res) = slowest.expect("at least one device ran a shard");
+    let makespan_s = per_device_time_s.iter().cloned().fold(0.0, f64::max);
+    let instances: Vec<InstanceOutcome> = slot_outcome
+        .into_iter()
+        .map(|o| o.expect("every instance was placed on a device"))
+        .collect();
+    let metrics: Vec<InstanceMetrics> = slot_metrics
+        .into_iter()
+        .map(|m| m.expect("every instance has metrics"))
+        .collect();
+
+    Ok(ShardedResult {
+        ensemble: EnsembleResult {
+            instances,
+            stdout: slot_stdout,
+            report: slowest_res.report,
+            kernel_time_s,
+            total_time_s: makespan_s,
+            instance_end_times_s: slot_end,
+            rpc_stats,
+            metrics,
+        },
+        devices: m as u32,
+        placement,
+        assignment,
+        per_device_time_s,
+        kernel: format!("{}-x{}", app.name, n),
+    })
+}

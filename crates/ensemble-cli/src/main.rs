@@ -22,19 +22,32 @@
 //! and can abort on the first unrecoverable instance (`--fail-fast`). The
 //! exit status is non-zero whenever any instance ends failed or skipped
 //! after recovery.
+//!
+//! Multi-device: `--devices M` shards the ensemble across `M` simulated
+//! A100s; `--placement round-robin|greedy|lpt` picks the policy (the
+//! informed ones bin-pack by pilot-run cost). Combined with the recovery
+//! flags, a dead device re-shards its instances onto the survivors. The
+//! default `-n` is one instance per argument line; with `--cycle-args`
+//! the lines are reused modulo when `-n` exceeds the file.
 
 use dgc_core::{parse_ensemble_cli, run_ensemble_traced, EnsembleOptions, MappingStrategy};
-use dgc_fault::{run_ensemble_resilient, FaultPlan, RecoveryPolicy, RecoveryStats};
+use dgc_fault::{
+    run_ensemble_resilient, run_ensemble_sharded_resilient, FaultPlan, RecoveryPolicy,
+    RecoveryStats,
+};
 use dgc_obs::{metrics_jsonl, LaunchMetrics, Recorder};
-use gpu_sim::Gpu;
+use dgc_sched::{run_ensemble_sharded, Placement};
+use gpu_arch::GpuSpec;
+use gpu_sim::{DeviceFleet, Gpu};
 use host_rpc::HostServices;
 
 fn usage() -> ! {
     eprintln!("usage: ensemble-cli <app> -f <arguments file> [-n <instances>] [-t <thread limit>] [--pack <M>] [--batch <B>]");
     eprintln!(
-        "                    [--trace-out <trace.json>] [--metrics-out <metrics.jsonl>] [--quiet]"
+        "                    [--trace-out <trace.json>] [--metrics-out <metrics.jsonl>] [--quiet] [--cycle-args]"
     );
     eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast]");
+    eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -76,6 +89,7 @@ fn main() {
     let opts = EnsembleOptions {
         num_instances: cli.num_instances.unwrap_or(arg_lines.len() as u32),
         thread_limit: cli.thread_limit,
+        cycle_args: cli.cycle_args,
         mapping: if cli.pack > 1 {
             MappingStrategy::Packed {
                 per_block: cli.pack,
@@ -84,6 +98,13 @@ fn main() {
             MappingStrategy::OnePerTeam
         },
         ..Default::default()
+    };
+    let placement: Placement = match cli.placement.parse() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+        }
     };
 
     // The recorder costs nothing unless a timeline was asked for.
@@ -97,11 +118,8 @@ fn main() {
     // driver (an absent --faults file just means an empty plan).
     let resilient =
         cli.faults.is_some() || cli.auto_batch || cli.instance_timeout.is_some() || cli.fail_fast;
-
-    let mut gpu = Gpu::a100();
-    type Recovery = Option<(RecoveryStats, LaunchMetrics)>;
-    let (result, recovery): (_, Recovery) = if resilient {
-        let plan = match &cli.faults {
+    let plan = if resilient {
+        match &cli.faults {
             Some(path) => {
                 let text = match std::fs::read_to_string(path) {
                     Ok(t) => t,
@@ -119,20 +137,74 @@ fn main() {
                 }
             }
             None => FaultPlan::default(),
-        };
-        let policy = RecoveryPolicy {
-            max_attempts: cli.max_attempts,
-            oom_split: cli.auto_batch,
-            instance_cycle_budget: cli.instance_timeout,
-            fail_fast: cli.fail_fast,
-            ..Default::default()
-        };
+        }
+    } else {
+        FaultPlan::default()
+    };
+    let policy = RecoveryPolicy {
+        max_attempts: cli.max_attempts,
+        oom_split: cli.auto_batch,
+        instance_cycle_budget: cli.instance_timeout,
+        fail_fast: cli.fail_fast,
+        ..Default::default()
+    };
+
+    type Recovery = Option<(RecoveryStats, LaunchMetrics)>;
+    // (devices, placement name, makespan, per-device times, dead devices)
+    type MultiDevice = Option<(u32, &'static str, f64, Vec<f64>, Vec<u32>)>;
+    let mut launch_override: Option<LaunchMetrics> = None;
+    let (result, recovery, multi): (_, Recovery, MultiDevice) = if cli.devices > 1 {
+        // Sharded across a homogeneous fleet of A100s.
+        let mut fleet = DeviceFleet::homogeneous(GpuSpec::a100_40gb(), cli.devices);
+        if resilient {
+            match run_ensemble_sharded_resilient(
+                &mut fleet, &app, &arg_lines, &opts, cli.batch, placement, &plan, &policy, &mut obs,
+            ) {
+                Ok(r) => {
+                    let lm = r.launch_metrics();
+                    let info = (
+                        r.devices,
+                        r.placement.name(),
+                        r.ensemble.total_time_s,
+                        r.per_device_time_s.clone(),
+                        r.dead_devices.clone(),
+                    );
+                    (r.ensemble, Some((r.recovery, lm)), Some(info))
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match run_ensemble_sharded(
+                &mut fleet, &app, &arg_lines, &opts, cli.batch, placement, &mut obs,
+            ) {
+                Ok(r) => {
+                    launch_override = Some(r.launch_metrics());
+                    let info = (
+                        r.devices,
+                        r.placement.name(),
+                        r.makespan_s(),
+                        r.per_device_time_s.clone(),
+                        Vec::new(),
+                    );
+                    (r.ensemble, None, Some(info))
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    } else if resilient {
+        let mut gpu = Gpu::a100();
         match run_ensemble_resilient(
             &mut gpu, &app, &arg_lines, &opts, cli.batch, &plan, &policy, &mut obs,
         ) {
             Ok(r) => {
                 let lm = r.launch_metrics();
-                (r.ensemble, Some((r.recovery, lm)))
+                (r.ensemble, Some((r.recovery, lm)), None)
             }
             Err(e) => {
                 eprintln!("error: {e}");
@@ -140,6 +212,7 @@ fn main() {
             }
         }
     } else {
+        let mut gpu = Gpu::a100();
         let res = if cli.batch > 0 {
             dgc_core::run_ensemble_batched_traced(
                 &mut gpu, &app, &arg_lines, &opts, cli.batch, &mut obs,
@@ -155,7 +228,7 @@ fn main() {
             )
         };
         match res {
-            Ok(r) => (r, None),
+            Ok(r) => (r, None, None),
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(1);
@@ -185,6 +258,23 @@ fn main() {
         result.total_time_s * 1e3,
         result.rpc_stats.total()
     );
+    if let Some((devices, placement_name, makespan_s, per_device, dead)) = &multi {
+        let per: Vec<String> = per_device
+            .iter()
+            .map(|t| format!("{:.3}", t * 1e3))
+            .collect();
+        print!(
+            "devices {devices} (placement {placement_name}) | makespan {:.3} ms | per-device ms [{}]",
+            makespan_s * 1e3,
+            per.join(", ")
+        );
+        if dead.is_empty() {
+            println!();
+        } else {
+            let d: Vec<String> = dead.iter().map(|d| d.to_string()).collect();
+            println!(" | dead devices [{}]", d.join(", "));
+        }
+    }
 
     let failed = result.failed_count();
     let oom = result.oom_count();
@@ -222,6 +312,7 @@ fn main() {
         let launch = recovery
             .as_ref()
             .map(|(_, lm)| lm.clone())
+            .or(launch_override)
             .unwrap_or_else(|| result.launch_metrics());
         let jsonl = metrics_jsonl(&result.metrics, &launch);
         if let Err(e) = std::fs::write(path, jsonl) {

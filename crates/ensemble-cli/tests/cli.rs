@@ -1,0 +1,124 @@
+//! End-to-end CLI tests: flag routing and exit codes through the real
+//! binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_ensemble-cli")
+}
+
+/// Write an argument file with `lines` xsbench-sized lines and return
+/// its path.
+fn arg_file(name: &str, lines: usize) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("ensemble-cli-test-{name}.txt"));
+    let text = "-l 200 -p 100\n".repeat(lines);
+    std::fs::write(&path, text).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().unwrap()
+}
+
+#[test]
+fn arg_shortfall_fails_with_a_diagnostic_naming_both_counts() {
+    let f = arg_file("shortfall", 2);
+    let out = run(&["xsbench", "-f", f.to_str().unwrap(), "-n", "5"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("5 instances"), "{err}");
+    assert!(err.contains("only 2"), "{err}");
+    assert!(err.contains("--cycle-args"), "{err}");
+}
+
+#[test]
+fn cycle_args_opts_back_into_modulo_reuse() {
+    let f = arg_file("cycle", 2);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "-n",
+        "5",
+        "--cycle-args",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("instances 5 | failed 0"), "{stdout}");
+}
+
+#[test]
+fn multi_device_run_reports_placement_and_makespan() {
+    let f = arg_file("devices", 4);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--placement",
+        "lpt",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("devices 2 (placement lpt)"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+}
+
+#[test]
+fn unknown_placement_is_a_usage_error() {
+    let f = arg_file("placement", 2);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--placement",
+        "optimal",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown placement"), "{err}");
+}
+
+#[test]
+fn zero_devices_is_a_usage_error() {
+    let f = arg_file("zero-devices", 2);
+    let out = run(&["xsbench", "-f", f.to_str().unwrap(), "--devices", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn multi_device_metrics_carry_schema_v4_fields() {
+    let f = arg_file("metrics", 4);
+    let m = std::env::temp_dir().join("ensemble-cli-test-metrics-out.jsonl");
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--quiet",
+        "--metrics-out",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let jsonl = std::fs::read_to_string(&m).unwrap();
+    let launch = jsonl
+        .lines()
+        .find(|l| l.contains("\"record\":\"launch\""))
+        .expect("launch record present");
+    assert!(launch.contains("\"devices\":2"), "{launch}");
+    assert!(launch.contains("\"makespan_s\""), "{launch}");
+    assert!(
+        jsonl
+            .lines()
+            .filter(|l| l.contains("\"record\":\"instance\""))
+            .all(|l| l.contains("\"device\":")),
+        "every instance record names its device"
+    );
+}

@@ -12,9 +12,11 @@
 mod dim;
 mod launch;
 mod occupancy;
+mod registry;
 mod spec;
 
 pub use dim::Dim3;
 pub use launch::{LaunchConfig, LaunchError};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
+pub use registry::{derate, spec_by_name, DeviceRegistry, RegistryError};
 pub use spec::{GpuSpec, MemoryModelParams};

@@ -1,0 +1,179 @@
+//! Multi-device registries.
+//!
+//! A [`DeviceRegistry`] describes the fleet an ensemble launch may be
+//! sharded across: an ordered list of [`GpuSpec`]s, possibly
+//! heterogeneous. Registries parse from a compact spec string so the CLI
+//! and the sweep harness can describe fleets without JSON:
+//!
+//! ```text
+//! a100                  one A100
+//! a100,a100             two identical A100s
+//! a100,a100*0.5,v100    an A100, an A100 derated to half speed, a V100
+//! ```
+//!
+//! The `*factor` suffix derates a device: core clock, DRAM bandwidth and
+//! SM count all scale by the factor (bytes-per-cycle stays fixed, so the
+//! derated device is uniformly `1/factor`× slower on every bound class).
+//! Factors above 1 describe an overclocked part the data sheets don't
+//! sell; they are accepted for symmetry.
+
+use crate::spec::GpuSpec;
+
+/// Look up a simulated device by short name (the names the harness and
+/// CLIs accept).
+pub fn spec_by_name(name: &str) -> Option<GpuSpec> {
+    match name {
+        "a100" => Some(GpuSpec::a100_40gb()),
+        "v100" => Some(GpuSpec::v100_16gb()),
+        "mi210" => Some(GpuSpec::mi210()),
+        _ => None,
+    }
+}
+
+/// Scale a device's throughput knobs by `factor` (clock, DRAM bandwidth,
+/// SM count). `factor` must be finite and positive.
+pub fn derate(spec: &GpuSpec, factor: f64) -> GpuSpec {
+    let mut s = spec.clone();
+    s.name = format!("{} ×{factor}", s.name);
+    s.clock_mhz = ((s.clock_mhz as f64 * factor).round() as u32).max(1);
+    s.dram_bandwidth_gbps *= factor;
+    s.sm_count = ((s.sm_count as f64 * factor).round() as u32).max(1);
+    s
+}
+
+/// Why a registry spec string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistryError(pub String);
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad device registry: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An ordered fleet of simulated devices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceRegistry {
+    pub devices: Vec<GpuSpec>,
+}
+
+impl DeviceRegistry {
+    /// `count` identical copies of `spec`.
+    pub fn homogeneous(spec: GpuSpec, count: u32) -> Self {
+        assert!(count >= 1, "a registry needs at least one device");
+        Self {
+            devices: vec![spec; count as usize],
+        }
+    }
+
+    /// Parse a comma-separated device list, each entry a device name with
+    /// an optional `*factor` derating suffix (see module docs).
+    pub fn parse(text: &str) -> Result<Self, RegistryError> {
+        let mut devices = Vec::new();
+        for entry in text.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                return Err(RegistryError("empty device entry".into()));
+            }
+            let (name, factor) = match entry.split_once('*') {
+                Some((name, f)) => {
+                    let factor: f64 = f
+                        .parse()
+                        .map_err(|_| RegistryError(format!("bad factor '{f}' in '{entry}'")))?;
+                    if !factor.is_finite() || factor <= 0.0 {
+                        return Err(RegistryError(format!(
+                            "factor must be positive and finite, got '{f}'"
+                        )));
+                    }
+                    (name.trim(), factor)
+                }
+                None => (entry, 1.0),
+            };
+            let spec = spec_by_name(name).ok_or_else(|| {
+                RegistryError(format!("unknown device '{name}' (use a100, v100 or mi210)"))
+            })?;
+            devices.push(if factor == 1.0 {
+                spec
+            } else {
+                derate(&spec, factor)
+            });
+        }
+        if devices.is_empty() {
+            return Err(RegistryError("no devices".into()));
+        }
+        Ok(Self { devices })
+    }
+
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// True when every device has the same spec.
+    pub fn is_homogeneous(&self) -> bool {
+        self.devices.windows(2).all(|w| w[0] == w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_lookup_covers_the_known_devices() {
+        assert_eq!(spec_by_name("a100").unwrap().sm_count, 108);
+        assert_eq!(spec_by_name("v100").unwrap().sm_count, 80);
+        assert_eq!(spec_by_name("mi210").unwrap().warp_size, 64);
+        assert!(spec_by_name("h100").is_none());
+    }
+
+    #[test]
+    fn derate_scales_speed_but_not_bytes_per_cycle() {
+        let a = GpuSpec::a100_40gb();
+        let half = derate(&a, 0.5);
+        assert_eq!(half.clock_mhz, 705);
+        assert_eq!(half.sm_count, 54);
+        assert!((half.dram_bandwidth_gbps - 777.5).abs() < 1e-9);
+        // Clock and bandwidth scale together: the derated part moves the
+        // same bytes per core cycle, it just has fewer cycles per second.
+        assert!((half.dram_bytes_per_cycle() - a.dram_bytes_per_cycle()).abs() < 1e-9);
+        // A fixed cycle count takes twice as long.
+        assert!((half.cycles_to_seconds(1e6) / a.cycles_to_seconds(1e6) - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn parse_homogeneous_and_derated_fleets() {
+        let r = DeviceRegistry::parse("a100,a100").unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.is_homogeneous());
+
+        let r = DeviceRegistry::parse("a100, a100*0.5, v100").unwrap();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_homogeneous());
+        assert_eq!(r.devices[0].sm_count, 108);
+        assert_eq!(r.devices[1].sm_count, 54);
+        assert_eq!(r.devices[2].sm_count, 80);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(DeviceRegistry::parse("").is_err());
+        assert!(DeviceRegistry::parse("a100,,v100").is_err());
+        assert!(DeviceRegistry::parse("h100").is_err());
+        assert!(DeviceRegistry::parse("a100*zero").is_err());
+        assert!(DeviceRegistry::parse("a100*0").is_err());
+        assert!(DeviceRegistry::parse("a100*-1").is_err());
+    }
+
+    #[test]
+    fn homogeneous_constructor_replicates() {
+        let r = DeviceRegistry::homogeneous(GpuSpec::a100_40gb(), 4);
+        assert_eq!(r.len(), 4);
+        assert!(r.is_homogeneous());
+    }
+}

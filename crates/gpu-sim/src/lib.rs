@@ -22,12 +22,14 @@
 //! model derivation and its mapping to the paper's observations.
 
 mod ctx;
+mod fleet;
 mod kernel;
 mod report;
 mod timing;
 mod trace;
 
 pub use ctx::{HostCallHook, KernelError, LaneCtx, SharedBuf, TeamCtx};
+pub use fleet::DeviceFleet;
 pub use kernel::{
     Gpu, InjectedTeamFault, KernelSpec, LaunchResult, SimError, TeamOutcome, TeamSummary,
 };

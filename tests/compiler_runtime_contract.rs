@@ -132,6 +132,7 @@ fn global_placements_flow_to_runtime_slots() {
 
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 3,
         thread_limit: 32,
         ..Default::default()
@@ -157,6 +158,7 @@ fn disabling_the_transform_changes_runtime_placement() {
     });
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 2,
         thread_limit: 32,
         compiler: CompilerOptions {

@@ -12,6 +12,7 @@ use ensemble_gpu::sim::Gpu;
 fn kernel_time(spec: &GpuSpec, app: &HostApp, argv: &[&str], n: u32) -> Option<f64> {
     let mut gpu = Gpu::new(spec.clone());
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: n,
         thread_limit: 32,
         ..Default::default()
@@ -68,6 +69,7 @@ fn wider_wavefronts_still_compute_correctly() {
         });
     let mut gpu = Gpu::new(GpuSpec::mi210());
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 2,
         thread_limit: 128,
         ..Default::default()

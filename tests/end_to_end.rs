@@ -28,6 +28,7 @@ fn close(a: f64, b: f64) -> bool {
 fn ensemble_matches_reference(app: &HostApp, argv: &[&str], reference: f64, instances: u32) {
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: instances,
         thread_limit: 64,
         ..Default::default()
@@ -124,6 +125,7 @@ fn results_identical_across_thread_limits_and_mappings() {
     ] {
         let mut gpu = Gpu::a100();
         let opts = EnsembleOptions {
+            cycle_args: true,
             num_instances: 4,
             thread_limit: tl,
             mapping,
@@ -147,6 +149,7 @@ fn ensemble_is_deterministic() {
     let run = || {
         let mut gpu = Gpu::a100();
         let opts = EnsembleOptions {
+            cycle_args: true,
             num_instances: 8,
             thread_limit: 32,
             ..Default::default()
@@ -174,6 +177,7 @@ fn plain_loader_and_ensemble_of_one_agree() {
         .run(&mut gpu, &app, &["-l", "30"], HostServices::default())
         .unwrap();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 1,
         thread_limit: 64,
         ..Default::default()
@@ -200,6 +204,7 @@ fn mixed_argument_lines_give_distinct_results() {
     ];
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 3,
         thread_limit: 32,
         ..Default::default()

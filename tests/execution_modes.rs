@@ -41,6 +41,7 @@ fn all_three_modes_agree_on_results() {
     assert_eq!(multi.exit_code, Some(0), "trap: {:?}", multi.trap);
 
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 4,
         thread_limit: 128,
         ..Default::default()
@@ -97,6 +98,7 @@ fn ensemble_beats_everything_on_independent_inputs() {
     let n_multi = n as f64 * multi.kernel_time_s;
 
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: n,
         thread_limit: 128,
         ..Default::default()
@@ -128,6 +130,7 @@ fn batched_ensemble_completes_what_concurrent_cannot() {
         .map(|s| s.to_string())
         .collect();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 8,
         thread_limit: 32,
         ..Default::default()

@@ -11,6 +11,7 @@ use ensemble_gpu::sim::Gpu;
 fn kernel_time(app: &HostApp, argv: &[&str], n: u32, thread_limit: u32) -> Option<f64> {
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: n,
         thread_limit,
         ..Default::default()
@@ -149,6 +150,7 @@ fn single_team_cannot_saturate_the_gpu() {
     let app = ensemble_gpu::apps::xsbench::app();
     let mut gpu = Gpu::a100();
     let opts = EnsembleOptions {
+        cycle_args: true,
         num_instances: 1,
         thread_limit: 1024,
         ..Default::default()
