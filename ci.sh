@@ -45,6 +45,16 @@ cargo run -q --release -p dgc-bench --bin sched_sweep -- \
 cargo run -q --release -p dgc-prof --bin prof-diff -- \
     results/smoke_sched.jsonl "$PROF_TMP/smoke_sched.jsonl" --tolerance 0.02
 
+echo "== bench: perf trajectory vs golden snapshot =="
+# Self-benchmark: wall-clock the pinned figure-6 smoke sweep and a
+# sharded two-device run, refresh BENCH_ensemble.json at the repo root,
+# and gate against the golden. Simulated cycles and instance counts are
+# deterministic (tight tolerance); wall time only fails on a
+# catastrophic (>= 10x) slowdown, since CI machines are noisy.
+cargo run -q --release -p dgc-bench --bin bench_harness -- \
+    --out BENCH_ensemble.json --golden results/bench_golden.json \
+    --tolerance 0.05 --wall-factor 10
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -4,8 +4,8 @@ use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GL
 use dgc_compiler::{compile, CompileError, CompilerOptions};
 use dgc_ir::{Module, ParseError};
 use dgc_obs::{
-    record_schedule, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Recorder, RpcCallCounts,
-    METRICS_SCHEMA_VERSION, PID_HOST,
+    record_schedule, InstanceMetrics, LatencyPercentiles, LaunchMetrics, LaunchTimeline, Recorder,
+    RpcCallCounts, METRICS_SCHEMA_VERSION, PID_HOST,
 };
 use gpu_mem::{AllocError, TransferDirection};
 use gpu_sim::{Gpu, InjectedTeamFault, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
@@ -39,6 +39,12 @@ pub struct EnsembleOptions {
     /// one line per instance, and silently reusing lines hides truncated
     /// argument files — a shortfall is a hard error instead.
     pub cycle_args: bool,
+    /// Utilization sampling interval in device cycles (`--timeline` /
+    /// `--sample-interval`). `None` (the default) disables sampling and
+    /// keeps traces and metrics byte-identical to pre-telemetry output;
+    /// `Some(interval)` makes every launch carry a utilization timeline.
+    /// Sampling is pure bookkeeping: it never perturbs simulated timing.
+    pub sample_interval: Option<f64>,
 }
 
 impl Default for EnsembleOptions {
@@ -49,6 +55,7 @@ impl Default for EnsembleOptions {
             mapping: MappingStrategy::OnePerTeam,
             compiler: CompilerOptions::default(),
             cycle_args: false,
+            sample_interval: None,
         }
     }
 }
@@ -93,6 +100,9 @@ pub struct EnsembleResult {
     /// Per-instance observability rollup (always computed; export it with
     /// [`dgc_obs::metrics_jsonl`]).
     pub metrics: Vec<InstanceMetrics>,
+    /// Utilization time series (metrics schema v5). Empty unless
+    /// [`EnsembleOptions::sample_interval`] enabled sampling.
+    pub timeline: LaunchTimeline,
 }
 
 impl EnsembleResult {
@@ -152,6 +162,9 @@ impl EnsembleResult {
             backoff_s: 0.0,
             latency: LatencyPercentiles::from_seconds(self.instance_end_times_s.iter().copied()),
             rpc_stall: LatencyPercentiles::from_seconds(self.metrics.iter().map(|m| m.rpc_stall_s)),
+            utilization_mean: crate::stats::utilization_mean(&self.timeline.issue_rates()).ok(),
+            utilization_p95: crate::stats::utilization_p95(&self.timeline.issue_rates()).ok(),
+            timeline: self.timeline.points.clone(),
         }
     }
 
@@ -402,6 +415,7 @@ pub fn run_ensemble_injected(
     // Stall attribution is pure bookkeeping (never perturbs timing), so
     // the ensemble path always collects it for the metrics rollup.
     spec.collect_stalls = true;
+    spec.sample_interval = opts.sample_interval;
 
     // Heap high-water marks are per launch: restart them from the live
     // bytes (module globals) so instance peaks measure this kernel only.
@@ -423,6 +437,10 @@ pub fn run_ensemble_injected(
         };
         main_fn(team, &cx)
     });
+
+    // Heap occupancy while the kernel ran, read before instance teardown
+    // frees the tags — the timeline's heap counter.
+    let heap_bytes = gpu.mem.stats().bytes_in_use;
 
     // Instance teardown: free every instance heap and the module globals.
     for i in 0..n {
@@ -501,6 +519,18 @@ pub fn run_ensemble_injected(
         })
         .collect();
 
+    // ---- Utilization timeline (opt-in sampling). ----
+    // Built whether or not tracing is on: the metrics export carries the
+    // series too. Kernel cycles land on the launch timeline after argv
+    // H2D and launch overhead, exactly like the recorded device schedule.
+    let device_offset_us = h2d_s * 1e6 + gpu.spec.launch_overhead_us;
+    let upc_us = cycle_s * 1e6;
+    let timeline = launch
+        .timeline
+        .as_ref()
+        .map(|tl| LaunchTimeline::from_samples(tl, upc_us, device_offset_us, 0, heap_bytes))
+        .unwrap_or_default();
+
     // ---- Timeline recording. ----
     if traced {
         let kernel_start_us = h2d_s * 1e6;
@@ -517,11 +547,10 @@ pub fn run_ensemble_injected(
                 ("waves".into(), Value::U64(launch.report.waves as u64)),
             ],
         );
-        let device_offset_us = kernel_start_us + gpu.spec.launch_overhead_us;
-        let upc_us = cycle_s * 1e6;
         if let Some(sched) = &launch.schedule {
             record_schedule(obs, sched, upc_us, device_offset_us);
         }
+        timeline.emit_counters(obs);
         obs.span(
             PID_HOST,
             0,
@@ -577,6 +606,7 @@ pub fn run_ensemble_injected(
         instance_end_times_s,
         rpc_stats: services.stats(),
         metrics,
+        timeline,
     })
 }
 
@@ -626,6 +656,7 @@ pub fn run_ensemble_batched_traced(
     let mut kernel_time_s = 0.0;
     let mut total_time_s = 0.0;
     let mut rpc_stats = RpcStats::default();
+    let mut timeline = LaunchTimeline::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -658,6 +689,11 @@ pub fn run_ensemble_batched_traced(
             m.end_time_s += kernel_time_s;
             m
         }));
+        // The batch's utilization series lands after the elapsed batches,
+        // in lockstep with the recorder base shift above.
+        let mut batch_tl = res.timeline;
+        batch_tl.shift_us(total_time_s * 1e6);
+        timeline.merge(batch_tl);
         kernel_time_s += res.kernel_time_s;
         total_time_s += res.total_time_s;
         rpc_stats.merge(&res.rpc_stats);
@@ -674,6 +710,7 @@ pub fn run_ensemble_batched_traced(
         instance_end_times_s: end_times,
         rpc_stats,
         metrics,
+        timeline,
     })
 }
 
@@ -720,7 +757,21 @@ pub struct EnsembleCliArgs {
     /// Reuse argument lines modulo when `-n` exceeds the file's line
     /// count (`--cycle-args`).
     pub cycle_args: bool,
+    /// Utilization sampling interval in device cycles. `--timeline`
+    /// enables sampling at [`DEFAULT_SAMPLE_INTERVAL`];
+    /// `--sample-interval <cycles>` sets an explicit interval (and
+    /// implies `--timeline`). `None` disables sampling entirely.
+    pub sample_interval: Option<f64>,
+    /// Print per-launch progress lines to stderr (`--progress`);
+    /// `--quiet` wins when both are given.
+    pub progress: bool,
 }
+
+/// Sampling interval `--timeline` uses when `--sample-interval` does not
+/// override it: one sample every 50 000 device cycles (~35 µs at A100
+/// clocks) — fine enough to resolve waves, coarse enough that even long
+/// sweeps stay under a few thousand samples.
+pub const DEFAULT_SAMPLE_INTERVAL: f64 = 50_000.0;
 
 /// CLI parse failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -763,6 +814,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut devices = 1u32;
     let mut placement = "round-robin".to_string();
     let mut cycle_args = false;
+    let mut sample_interval = None;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -850,6 +903,22 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                     .to_string();
             }
             "--cycle-args" => cycle_args = true,
+            "--timeline" => {
+                sample_interval.get_or_insert(DEFAULT_SAMPLE_INTERVAL);
+            }
+            "--sample-interval" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError::MissingValue("--sample-interval"))?;
+                let cycles: f64 = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--sample-interval", v.clone()))?;
+                if !cycles.is_finite() || cycles <= 0.0 {
+                    return Err(CliError::BadValue("--sample-interval", v.clone()));
+                }
+                sample_interval = Some(cycles);
+            }
+            "--progress" => progress = true,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -870,6 +939,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         devices,
         placement,
         cycle_args,
+        sample_interval,
+        progress,
     })
 }
 
@@ -1038,6 +1109,102 @@ module "bench" {
         assert_eq!(obs.base_us(), 0.0);
         let kernel_spans = obs.events().iter().filter(|e| e.cat == "kernel").count();
         assert_eq!(kernel_spans, 2);
+    }
+
+    #[test]
+    fn sampling_is_opt_in_and_bit_identical() {
+        let arg_lines = lines("-n 100\n-n 400\n");
+        let base_opts = EnsembleOptions {
+            num_instances: 2,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        // Default run: no timeline, null rollups.
+        let mut gpu = Gpu::a100();
+        let plain = run_ensemble(
+            &mut gpu,
+            &app(),
+            &arg_lines,
+            &base_opts,
+            HostServices::default(),
+        )
+        .unwrap();
+        assert!(plain.timeline.is_empty());
+        let lm = plain.launch_metrics();
+        assert_eq!(lm.utilization_mean, None);
+        assert_eq!(lm.utilization_p95, None);
+        assert!(lm.timeline.is_empty());
+        // Sampled run: identical simulation, plus a populated series.
+        let opts = EnsembleOptions {
+            sample_interval: Some(500.0),
+            ..base_opts.clone()
+        };
+        let mut gpu = Gpu::a100();
+        let sampled =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
+        assert_eq!(plain.report, sampled.report);
+        assert_eq!(plain.metrics, sampled.metrics);
+        assert_eq!(plain.stdout, sampled.stdout);
+        assert!(!sampled.timeline.is_empty());
+        // Timestamps advance strictly and sit past the loader prologue.
+        let ts: Vec<f64> = sampled.timeline.points.iter().map(|p| p.t_us).collect();
+        assert!(ts.windows(2).all(|w| w[1] > w[0]), "{ts:?}");
+        assert!(ts[0] > 0.0);
+        // The heap counter saw the instances' live allocations.
+        assert!(sampled.timeline.points[0].heap_bytes >= 8 * 500);
+        let lm = sampled.launch_metrics();
+        assert_eq!(lm.timeline.len(), sampled.timeline.points.len());
+        let mean = lm.utilization_mean.unwrap();
+        let p95 = lm.utilization_p95.unwrap();
+        assert!(mean > 0.0 && mean <= 1.0, "mean {mean}");
+        // This workload is RPC-stall dominated, so most windows issue
+        // nothing — p95 only has to be a valid rate, not positive.
+        assert!((0.0..=1.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn sampling_only_adds_counter_events_to_traces() {
+        let arg_lines = lines("-n 100\n-n 200\n");
+        let opts = EnsembleOptions {
+            num_instances: 2,
+            thread_limit: 32,
+            ..Default::default()
+        };
+        let mut gpu = Gpu::a100();
+        let mut obs_off = Recorder::enabled();
+        run_ensemble_traced(
+            &mut gpu,
+            &app(),
+            &arg_lines,
+            &opts,
+            HostServices::default(),
+            &mut obs_off,
+        )
+        .unwrap();
+        let mut gpu = Gpu::a100();
+        let mut obs_on = Recorder::enabled();
+        let opts_on = EnsembleOptions {
+            sample_interval: Some(500.0),
+            ..opts.clone()
+        };
+        run_ensemble_traced(
+            &mut gpu,
+            &app(),
+            &arg_lines,
+            &opts_on,
+            HostServices::default(),
+            &mut obs_on,
+        )
+        .unwrap();
+        // The sampled trace is the plain trace plus counter tracks and
+        // nothing else: stripping the `ph == 'C'` events recovers the
+        // plain event stream exactly.
+        assert!(obs_on.events().iter().any(|e| e.ph == 'C'));
+        let stripped: Vec<_> = obs_on.events().iter().filter(|e| e.ph != 'C').collect();
+        assert_eq!(stripped.len(), obs_off.events().len());
+        for (on, off) in stripped.iter().zip(obs_off.events()) {
+            assert_eq!(*on, off);
+        }
     }
 
     #[test]
@@ -1326,6 +1493,8 @@ module "bench" {
                 devices: 1,
                 placement: "round-robin".into(),
                 cycle_args: false,
+                sample_interval: None,
+                progress: false,
             }
         );
     }
@@ -1457,8 +1626,43 @@ module "bench" {
         assert_eq!(cli.devices, 1);
         assert_eq!(cli.placement, "round-robin");
         assert!(!cli.cycle_args);
+        assert_eq!(cli.sample_interval, None);
+        assert!(!cli.progress);
 
         let cli = parse_ensemble_cli(&["-f", "a", "--batch", "4"].map(String::from)).unwrap();
         assert_eq!(cli.batch, 4);
+    }
+
+    #[test]
+    fn cli_parses_telemetry_flags() {
+        // --timeline alone picks the default interval.
+        let cli = parse_ensemble_cli(&["-f", "a", "--timeline"].map(String::from)).unwrap();
+        assert_eq!(cli.sample_interval, Some(DEFAULT_SAMPLE_INTERVAL));
+        // --sample-interval sets an explicit interval and implies
+        // --timeline, in either flag order.
+        let cli = parse_ensemble_cli(
+            &["-f", "a", "--sample-interval", "2500", "--timeline"].map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.sample_interval, Some(2500.0));
+        let cli = parse_ensemble_cli(&["-f", "a", "--sample-interval", "2500"].map(String::from))
+            .unwrap();
+        assert_eq!(cli.sample_interval, Some(2500.0));
+        // --progress parses and composes with --quiet.
+        let cli =
+            parse_ensemble_cli(&["-f", "a", "--progress", "--quiet"].map(String::from)).unwrap();
+        assert!(cli.progress && cli.quiet);
+        // Non-positive, non-finite and non-numeric intervals are rejected.
+        for bad in ["0", "-5", "nan", "inf", "x"] {
+            assert_eq!(
+                parse_ensemble_cli(&["-f", "a", "--sample-interval", bad].map(String::from)),
+                Err(CliError::BadValue("--sample-interval", bad.into())),
+                "interval {bad:?} must be rejected"
+            );
+        }
+        assert_eq!(
+            parse_ensemble_cli(&["-f".into(), "a".into(), "--sample-interval".into()]),
+            Err(CliError::MissingValue("--sample-interval"))
+        );
     }
 }

@@ -38,8 +38,10 @@ pub use ensemble::{
     ensure_arg_capacity, parse_ensemble_cli, run_ensemble, run_ensemble_batched,
     run_ensemble_batched_traced, run_ensemble_injected, run_ensemble_traced, CliError,
     EnsembleCliArgs, EnsembleError, EnsembleOptions, EnsembleResult, InstanceOutcome, LaunchFaults,
-    MappingStrategy,
+    MappingStrategy, DEFAULT_SAMPLE_INTERVAL,
 };
 pub use loader::{AppRunResult, Loader, LoaderError};
 pub use multiteam::{run_multi_team, MultiTeamError, MultiTeamResult};
-pub use stats::{relative_speedup, SpeedupPoint, SpeedupSeries, StatsError};
+pub use stats::{
+    relative_speedup, utilization_mean, utilization_p95, SpeedupPoint, SpeedupSeries, StatsError,
+};

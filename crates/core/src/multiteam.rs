@@ -166,6 +166,7 @@ pub fn run_multi_team(
             collect_detail: false,
             collect_stalls: false,
             cycle_budget: None,
+            sample_interval: None,
         });
         kernel_cycles += timing.cycles;
     }

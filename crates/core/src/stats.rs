@@ -9,6 +9,8 @@ pub enum StatsError {
     NonPositiveTime { which: &'static str, value: f64 },
     /// The series has no runnable N=1 measurement to normalize against.
     MissingBaseline,
+    /// A summary statistic was requested over an empty sample series.
+    EmptySeries,
 }
 
 impl std::fmt::Display for StatsError {
@@ -19,6 +21,9 @@ impl std::fmt::Display for StatsError {
             }
             StatsError::MissingBaseline => {
                 write!(f, "series needs a runnable single-instance measurement")
+            }
+            StatsError::EmptySeries => {
+                write!(f, "summary statistic requested over an empty series")
             }
         }
     }
@@ -46,6 +51,31 @@ pub fn relative_speedup(t1: f64, n: u32, tn: f64) -> Result<f64, StatsError> {
         });
     }
     Ok(t1 * n as f64 / tn)
+}
+
+/// Mean of a utilization (or any rate) series. The telemetry rollup for
+/// the launch-level `utilization_mean` metric; rejects the empty series
+/// rather than returning NaN, mirroring [`SpeedupSeries`]' convention of
+/// surfacing degenerate inputs as [`StatsError`]s.
+pub fn utilization_mean(samples: &[f64]) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptySeries);
+    }
+    Ok(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Nearest-rank 95th percentile of a utilization series (the smallest
+/// sample ≥ 95 % of the series). Like [`utilization_mean`], the empty
+/// series is an error, not NaN.
+pub fn utilization_p95(samples: &[f64]) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::EmptySeries);
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Nearest-rank: ceil(0.95 * n), 1-based.
+    let rank = ((0.95 * sorted.len() as f64).ceil() as usize).max(1);
+    Ok(sorted[rank - 1])
 }
 
 /// One measured point of a scaling curve.
@@ -188,6 +218,27 @@ mod tests {
         assert_eq!(err, Err(StatsError::MissingBaseline));
         let err = SpeedupSeries::from_times("pr", 32, &[]);
         assert_eq!(err, Err(StatsError::MissingBaseline));
+    }
+
+    #[test]
+    fn utilization_rollups_match_hand_computation() {
+        let s = [0.2, 0.4, 0.6, 0.8];
+        assert_eq!(utilization_mean(&s), Ok(0.5));
+        // Nearest-rank p95 over 4 samples: rank ceil(3.8) = 4 → max.
+        assert_eq!(utilization_p95(&s), Ok(0.8));
+        // Single sample: both rollups collapse to it.
+        assert_eq!(utilization_mean(&[0.3]), Ok(0.3));
+        assert_eq!(utilization_p95(&[0.3]), Ok(0.3));
+        // 100 samples 0.00..0.99: p95 = 95th sorted value = 0.94.
+        let long: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let p95 = utilization_p95(&long).unwrap();
+        assert!((p95 - 0.94).abs() < 1e-12, "got {p95}");
+    }
+
+    #[test]
+    fn utilization_rollups_reject_empty_series() {
+        assert_eq!(utilization_mean(&[]), Err(StatsError::EmptySeries));
+        assert_eq!(utilization_p95(&[]), Err(StatsError::EmptySeries));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use dgc_core::{
     ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
     HostApp, InstanceOutcome, LaunchFaults,
 };
-use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, RpcCallCounts, PID_HOST};
+use dgc_obs::{InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, RpcCallCounts, PID_HOST};
 use gpu_sim::{Gpu, StallBuckets};
 use host_rpc::{HostServices, RpcStats};
 use serde::Value;
@@ -197,6 +197,7 @@ pub fn run_ensemble_resilient(
     let mut kernel_time_s = 0.0f64;
     let mut total_time_s = 0.0f64;
     let mut rpc_stats = RpcStats::default();
+    let mut timeline = LaunchTimeline::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -310,6 +311,12 @@ pub fn run_ensemble_resilient(
             for (li, s) in res.stdout.into_iter().enumerate() {
                 slot_stdout[chunk[li] as usize] = s;
             }
+            // The chunk's utilization series lands after the elapsed
+            // chunks and backoff waits, in lockstep with the recorder
+            // base shift above.
+            let mut chunk_tl = res.timeline;
+            chunk_tl.shift_us(total_time_s * 1e6);
+            timeline.merge(chunk_tl);
             kernel_time_s += res.kernel_time_s;
             total_time_s += res.total_time_s;
             rpc_stats.merge(&res.rpc_stats);
@@ -391,6 +398,7 @@ pub fn run_ensemble_resilient(
             instance_end_times_s: slot_end,
             rpc_stats,
             metrics,
+            timeline,
         },
         recovery: stats,
         kernel: format!("{}-x{}", app.name, n),

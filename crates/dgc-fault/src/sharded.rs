@@ -18,7 +18,9 @@ use dgc_core::{
     ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
     HostApp, InstanceOutcome, LaunchFaults,
 };
-use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, DEVICE_PID_STRIDE, PID_HOST};
+use dgc_obs::{
+    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, DEVICE_PID_STRIDE, PID_HOST,
+};
 use dgc_sched::{InstanceCosts, Placement};
 use gpu_sim::{DeviceFleet, SimReport};
 use host_rpc::{HostServices, RpcStats};
@@ -151,6 +153,7 @@ pub fn run_ensemble_sharded_resilient(
     let mut per_device_time_s = vec![0.0f64; m];
     let mut dead_devices: Vec<u32> = Vec::new();
     let mut rpc_stats = RpcStats::default();
+    let mut timeline = LaunchTimeline::default();
     let mut last_report = None;
     let base_us = obs.base_us();
     let traced = obs.is_enabled();
@@ -341,6 +344,13 @@ pub fn run_ensemble_sharded_resilient(
                 for (li, s) in res.stdout.into_iter().enumerate() {
                     slot_stdout[chunk[li] as usize] = s;
                 }
+                // The chunk's series lands after the elapsed rounds plus
+                // this device's earlier chunks, stamped with the device —
+                // the same frame as the recorder base shift above.
+                let mut chunk_tl = res.timeline;
+                chunk_tl.shift_us((total_time_s + device_elapsed) * 1e6);
+                chunk_tl.set_device(d as u32);
+                timeline.merge(chunk_tl);
                 device_elapsed += res.total_time_s;
                 device_kernel += res.kernel_time_s;
                 rpc_stats.merge(&res.rpc_stats);
@@ -422,6 +432,7 @@ pub fn run_ensemble_sharded_resilient(
             instance_end_times_s: slot_end,
             rpc_stats,
             metrics,
+            timeline,
         },
         recovery: stats,
         devices: m as u32,

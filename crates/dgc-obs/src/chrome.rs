@@ -105,6 +105,12 @@ pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
                     return Err(format!("event {i}: negative ts ({ts})"));
                 }
             }
+            "C" => {
+                let ts = field("ts")?.as_f64().unwrap_or(-1.0);
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts ({ts})"));
+                }
+            }
             other => return Err(format!("event {i}: unknown phase {other:?}")),
         }
         payload += 1;
@@ -135,6 +141,37 @@ mod tests {
             events[0].get("args").unwrap().get("name").unwrap().as_str(),
             Some("loader")
         );
+    }
+
+    #[test]
+    fn counter_events_export_and_validate() {
+        let mut r = Recorder::enabled();
+        r.counter_args(
+            0,
+            0,
+            "utilization",
+            "counter",
+            12.5,
+            vec![
+                ("issue".into(), Value::F64(0.4)),
+                ("dram".into(), Value::F64(0.1)),
+            ],
+        );
+        let json = r.to_chrome_trace();
+        assert_eq!(validate_chrome_trace(&json).unwrap(), 1);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let ev = &doc.get("traceEvents").unwrap().as_array().unwrap()[0];
+        assert_eq!(ev.get("ph").unwrap().as_str(), Some("C"));
+        // Counters carry no duration or instant scope, only numeric args.
+        assert!(ev.get("dur").is_none());
+        assert!(ev.get("s").is_none());
+        assert_eq!(
+            ev.get("args").unwrap().get("issue").unwrap().as_f64(),
+            Some(0.4)
+        );
+        // Negative counter timestamps are rejected like spans.
+        let bad = r#"{"traceEvents":[{"name":"c","ph":"C","pid":0,"tid":0,"ts":-1}]}"#;
+        assert!(validate_chrome_trace(bad).is_err());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!    the recorded spans as a `{"traceEvents": [...]}` document that
 //!    loads in Perfetto / `chrome://tracing`, one process lane per SM
 //!    plus a host lane for the loader timeline.
+//! 4. [`LaunchTimeline`] — the opt-in utilization time series: gpu-sim's
+//!    periodic samples converted to wall microseconds, exported both as
+//!    Chrome counter tracks (`"ph":"C"`) and as the metrics schema v5
+//!    `timeline` array.
 //!
 //! The recorder is deliberately format-agnostic: instrumentation sites in
 //! `dgc-core`, `gpu-sim` and `host-rpc` only push named spans; the lane
@@ -22,6 +26,7 @@
 mod chrome;
 mod metrics;
 mod recorder;
+mod timeline;
 
 pub use chrome::validate_chrome_trace;
 pub use metrics::{
@@ -29,3 +34,4 @@ pub use metrics::{
     RpcCallCounts, METRICS_SCHEMA_VERSION,
 };
 pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, DEVICE_PID_STRIDE, PID_HOST};
+pub use timeline::{LaunchTimeline, TimelinePoint};

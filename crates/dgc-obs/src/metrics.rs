@@ -1,5 +1,6 @@
 //! Per-instance and launch-wide metrics, with a JSONL exporter.
 
+use crate::timeline::TimelinePoint;
 use gpu_sim::StallBuckets;
 use host_rpc::RpcStats;
 use serde::{Deserialize, Serialize, Value};
@@ -18,12 +19,16 @@ use serde::{Deserialize, Serialize, Value};
 ///   `backoff_s`. For resilient runs `failed`/`oom` count failures
 ///   *cumulatively across attempts*; `unrecovered` is the count after
 ///   recovery (what v2's `failed` meant for a single-shot launch).
-/// * v4 — this version: multi-device fields. Per-instance `device` (the
+/// * v4 — PR 5: multi-device fields. Per-instance `device` (the
 ///   fleet index the instance ran on; 0 for single-device launches);
 ///   launch-level `devices` (fleet size, 1 outside the sharded driver)
 ///   and `makespan_s` (max per-device wall time; equals `total_time_s`
 ///   for single-device launches).
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+/// * v5 — this version: utilization-timeline fields. Launch-level
+///   `timeline` (periodic [`TimelinePoint`] samples; empty when sampling
+///   was off) plus `utilization_mean` and `utilization_p95` (rollups of
+///   the timeline's issue-rate series; `null` when sampling was off).
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 /// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
 ///
@@ -261,6 +266,15 @@ pub struct LaunchMetrics {
     pub latency: LatencyPercentiles,
     /// Per-instance RPC-stall percentiles (seconds).
     pub rpc_stall: LatencyPercentiles,
+    /// Mean of the timeline's issue-rate samples (schema v5); `None`
+    /// when utilization sampling was off.
+    pub utilization_mean: Option<f64>,
+    /// 95th-percentile (nearest-rank) issue-rate sample (schema v5);
+    /// `None` when utilization sampling was off.
+    pub utilization_p95: Option<f64>,
+    /// Periodic utilization samples (schema v5); empty when sampling was
+    /// off.
+    pub timeline: Vec<TimelinePoint>,
 }
 
 fn tagged_record(kind: &str, v: Value) -> Value {
@@ -414,6 +428,9 @@ mod tests {
             backoff_s: 0.0,
             latency: LatencyPercentiles::from_seconds([1.0e-3, 1.2e-3]),
             rpc_stall: LatencyPercentiles::from_seconds([8.0e-5, 8.0e-5]),
+            utilization_mean: None,
+            utilization_p95: None,
+            timeline: Vec::new(),
         };
         let text = metrics_jsonl(&instances, &launch);
         let lines: Vec<&str> = text.lines().collect();
@@ -442,6 +459,69 @@ mod tests {
         assert!(v.get("makespan_s").is_some());
         let first: Value = serde_json::from_str(lines[0]).unwrap();
         assert_eq!(first.get("device").unwrap().as_u64(), Some(0));
+        // v5: the timeline array is always present (empty here) and the
+        // utilization rollups are explicit nulls when sampling was off.
+        assert!(v.get("timeline").unwrap().as_array().unwrap().is_empty());
+        assert!(v.get("utilization_mean").unwrap().is_null());
+        assert!(v.get("utilization_p95").unwrap().is_null());
+    }
+
+    #[test]
+    fn launch_metrics_v5_timeline_round_trips() {
+        let point = TimelinePoint {
+            t_us: 125.0,
+            device: 1,
+            active_teams: 16,
+            resident_blocks: 8,
+            occupancy: 0.5,
+            issue_rate: 0.4,
+            dram_rate: 0.2,
+            stall_compute: 0.6,
+            stall_dram_bw: 0.2,
+            stall_mlp: 0.1,
+            stall_rpc: 0.0,
+            stall_wave_tail: 0.1,
+            heap_bytes: 1 << 20,
+        };
+        let mut launch = LaunchMetrics {
+            schema: METRICS_SCHEMA_VERSION,
+            kernel: "xsbench-x2".into(),
+            instances: 2,
+            failed: 0,
+            oom: 0,
+            kernel_time_s: 1.0e-3,
+            total_time_s: 1.5e-3,
+            devices: 1,
+            makespan_s: 1.5e-3,
+            waves: 1,
+            rpc_total: 8,
+            attempts: 1,
+            retried: 0,
+            recovered: 0,
+            unrecovered: 0,
+            timeouts: 0,
+            oom_splits: 0,
+            final_batch: 2,
+            backoff_s: 0.0,
+            latency: LatencyPercentiles::default(),
+            rpc_stall: LatencyPercentiles::default(),
+            utilization_mean: Some(0.4),
+            utilization_p95: Some(0.45),
+            timeline: vec![point.clone(), point],
+        };
+        launch.timeline[1].t_us = 250.0;
+        let json = serde_json::to_string(&launch).unwrap();
+        let back: LaunchMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(launch, back);
+        assert_eq!(back.timeline.len(), 2);
+        assert_eq!(back.utilization_mean, Some(0.4));
+        // The JSONL launch record exposes the nested points.
+        let text = metrics_jsonl(&[], &launch);
+        let line: Value = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        let tl = line.get("timeline").unwrap().as_array().unwrap();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl[0].get("issue_rate").unwrap().as_f64(), Some(0.4));
+        assert_eq!(tl[1].get("t_us").unwrap().as_f64(), Some(250.0));
     }
 
     #[test]

@@ -20,19 +20,20 @@ pub fn sm_pid(sm: u32) -> u32 {
 pub const DEVICE_PID_STRIDE: u32 = 1024;
 
 /// One recorded trace event, in Chrome trace-event terms: a complete span
-/// (`ph = 'X'`, with a duration) or an instant marker (`ph = 'i'`).
+/// (`ph = 'X'`, with a duration), an instant marker (`ph = 'i'`), or a
+/// counter sample (`ph = 'C'`, numeric args plotted as a counter track).
 /// Timestamps are microseconds on the simulated clock.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     pub name: String,
     /// Category, used by trace viewers for filtering ("loader", "kernel",
-    /// "block", "phase", "rpc", "lifecycle", …).
+    /// "block", "phase", "rpc", "lifecycle", "counter", …).
     pub cat: String,
-    /// 'X' = complete span, 'i' = instant.
+    /// 'X' = complete span, 'i' = instant, 'C' = counter sample.
     pub ph: char,
     /// Start timestamp, µs.
     pub ts: f64,
-    /// Duration, µs; `None` for instants.
+    /// Duration, µs; `None` for instants and counters.
     pub dur: Option<f64>,
     pub pid: u32,
     pub tid: u32,
@@ -139,6 +140,34 @@ impl Recorder {
             name: name.to_string(),
             cat: cat.to_string(),
             ph: 'i',
+            ts: self.base_us + ts_us,
+            dur: None,
+            pid,
+            tid,
+            args,
+        });
+    }
+
+    /// Record a counter sample (`ph = 'C'`): trace viewers plot the
+    /// numeric `args` values of events sharing a `(pid, name)` pair as a
+    /// stacked counter track — how the utilization timeline rides
+    /// alongside the span lanes.
+    pub fn counter_args(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        cat: &str,
+        ts_us: f64,
+        args: Vec<(String, Value)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            ph: 'C',
             ts: self.base_us + ts_us,
             dur: None,
             pid,
@@ -315,6 +344,29 @@ mod tests {
         r.span(0, 0, "second", "c", 1.0, 2.0);
         assert_eq!(r.events()[0].ts, 1.0);
         assert_eq!(r.events()[1].ts, 101.0);
+    }
+
+    #[test]
+    fn counters_record_with_base_offset_and_no_duration() {
+        let mut r = Recorder::enabled();
+        r.set_base_us(10.0);
+        r.counter_args(
+            PID_HOST,
+            0,
+            "utilization",
+            "counter",
+            5.0,
+            vec![("issue".into(), Value::F64(0.25))],
+        );
+        let e = &r.events()[0];
+        assert_eq!(e.ph, 'C');
+        assert_eq!(e.ts, 15.0);
+        assert_eq!(e.dur, None);
+        assert_eq!(e.args[0].0, "issue");
+        // A disabled recorder drops counters like everything else.
+        let mut d = Recorder::disabled();
+        d.counter_args(PID_HOST, 0, "utilization", "counter", 0.0, Vec::new());
+        assert!(d.events().is_empty());
     }
 
     #[test]

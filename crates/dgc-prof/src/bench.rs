@@ -1,0 +1,409 @@
+//! Perf-trajectory gating over `BENCH_ensemble.json` snapshots.
+//!
+//! The `bench_harness` binary (crate `dgc-bench`) wall-clocks a pinned
+//! figure-6 smoke sweep plus a sharded multi-device run and writes one
+//! [`BenchReport`] per invocation. This module compares two such
+//! reports the way [`crate::ProfileDiff`] compares metrics snapshots,
+//! with per-field semantics matched to what each number can promise:
+//!
+//! * `instances` — the simulator is deterministic, so the completed
+//!   instance count must match **exactly**; any drift is a regression.
+//! * `sim_cycles` — also deterministic, but gated under a relative
+//!   tolerance so an intentional, reviewed timing-model change can ship
+//!   by refreshing the golden instead of fighting the gate. Growth
+//!   beyond tolerance is a regression; shrinkage is an improvement.
+//! * `wall_s` — host wall-clock, noisy across machines and loads. Only
+//!   a **catastrophic** blow-up (current > baseline × `wall_factor`)
+//!   fails the gate; everything else is informative.
+//!
+//! The exit-code contract is shared with `prof-diff`: 0 pass, 1 gate
+//! failure, 2 usage/parse error.
+
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+
+use crate::ParseError;
+
+/// Schema version of `BENCH_ensemble.json`.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One timed section of the harness (a sweep or a sharded run).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchSection {
+    pub name: String,
+    /// Host wall-clock time of the section, seconds.
+    pub wall_s: f64,
+    /// Instances that completed successfully (OOM configs excluded).
+    pub instances: u64,
+    /// Simulated device cycles accumulated across the section.
+    pub sim_cycles: f64,
+    /// `instances / wall_s` — the headline throughput number.
+    pub instances_per_s: f64,
+    /// `sim_cycles / wall_s` — simulator speed, cycles per host second.
+    pub sim_cycles_per_s: f64,
+}
+
+/// A full harness run: every section plus the total wall time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct BenchReport {
+    pub schema: u32,
+    pub sections: Vec<BenchSection>,
+    pub total_wall_s: f64,
+}
+
+impl BenchReport {
+    /// Parse a `BENCH_ensemble.json` document.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let doc: Value =
+            serde_json::from_str(text).map_err(|e| ParseError(format!("bench JSON: {e}")))?;
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| ParseError("bench report without schema".into()))?
+            as u32;
+        let total_wall_s = doc
+            .get("total_wall_s")
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| ParseError("bench report without total_wall_s".into()))?;
+        let raw = doc
+            .get("sections")
+            .and_then(|v| v.as_array())
+            .ok_or_else(|| ParseError("bench report without sections".into()))?;
+        let mut sections = Vec::new();
+        for s in raw {
+            let name = s
+                .get("name")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| ParseError("section without name".into()))?
+                .to_string();
+            let num = |key: &str| {
+                s.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| ParseError(format!("section {name:?} missing {key}")))
+            };
+            sections.push(BenchSection {
+                wall_s: num("wall_s")?,
+                instances: num("instances")? as u64,
+                sim_cycles: num("sim_cycles")?,
+                instances_per_s: num("instances_per_s")?,
+                sim_cycles_per_s: num("sim_cycles_per_s")?,
+                name,
+            });
+        }
+        if sections.is_empty() {
+            return Err(ParseError("bench report has no sections".into()));
+        }
+        Ok(Self {
+            schema,
+            sections,
+            total_wall_s,
+        })
+    }
+}
+
+/// What happened to one gated quantity between two bench reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BenchDeltaKind {
+    Unchanged,
+    Improvement,
+    Regression,
+    /// Section present in the golden, absent from the current report.
+    Missing,
+    /// Section new in the current report (never gates).
+    Added,
+}
+
+/// One compared quantity of one section.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchDelta {
+    pub section: String,
+    /// Which field this delta gates: `instances`, `sim_cycles`, `wall_s`.
+    pub field: String,
+    pub baseline: Option<f64>,
+    pub current: Option<f64>,
+    /// `current / baseline − 1`; `None` for missing/added sections.
+    pub rel_change: Option<f64>,
+    pub kind: BenchDeltaKind,
+}
+
+/// Full comparison of two bench reports.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BenchDiff {
+    pub tolerance: f64,
+    pub wall_factor: f64,
+    pub deltas: Vec<BenchDelta>,
+}
+
+impl BenchDiff {
+    /// Compare `current` against the golden `baseline`.
+    ///
+    /// `tolerance` is the relative allowance on `sim_cycles` (e.g.
+    /// `0.05` = 5% growth still passes); `wall_factor` is the
+    /// catastrophic-only multiplier on `wall_s` (e.g. `10.0` = fail
+    /// only when a section got ten times slower on the wall clock).
+    pub fn compare(
+        baseline: &BenchReport,
+        current: &BenchReport,
+        tolerance: f64,
+        wall_factor: f64,
+    ) -> Self {
+        let index = |r: &BenchReport| -> BTreeMap<String, BenchSection> {
+            r.sections
+                .iter()
+                .map(|s| (s.name.clone(), s.clone()))
+                .collect()
+        };
+        let base = index(baseline);
+        let cur = index(current);
+        let mut deltas = Vec::new();
+
+        for (name, b) in &base {
+            let Some(c) = cur.get(name) else {
+                deltas.push(BenchDelta {
+                    section: name.clone(),
+                    field: "section".into(),
+                    baseline: Some(b.wall_s),
+                    current: None,
+                    rel_change: None,
+                    kind: BenchDeltaKind::Missing,
+                });
+                continue;
+            };
+            // instances: deterministic — exact or regression.
+            deltas.push(BenchDelta {
+                section: name.clone(),
+                field: "instances".into(),
+                baseline: Some(b.instances as f64),
+                current: Some(c.instances as f64),
+                rel_change: relative(b.instances as f64, c.instances as f64),
+                kind: if c.instances == b.instances {
+                    BenchDeltaKind::Unchanged
+                } else {
+                    BenchDeltaKind::Regression
+                },
+            });
+            // sim_cycles: relative tolerance, growth gates.
+            let rel = relative(b.sim_cycles, c.sim_cycles);
+            deltas.push(BenchDelta {
+                section: name.clone(),
+                field: "sim_cycles".into(),
+                baseline: Some(b.sim_cycles),
+                current: Some(c.sim_cycles),
+                rel_change: rel,
+                kind: match rel {
+                    Some(r) if r > tolerance => BenchDeltaKind::Regression,
+                    Some(r) if r < -tolerance => BenchDeltaKind::Improvement,
+                    Some(_) => BenchDeltaKind::Unchanged,
+                    // Zero-cycle baseline: any real cycle count regressed.
+                    None if c.sim_cycles > 0.0 => BenchDeltaKind::Regression,
+                    None => BenchDeltaKind::Unchanged,
+                },
+            });
+            // wall_s: catastrophic-only gate.
+            let wall_rel = relative(b.wall_s, c.wall_s);
+            deltas.push(BenchDelta {
+                section: name.clone(),
+                field: "wall_s".into(),
+                baseline: Some(b.wall_s),
+                current: Some(c.wall_s),
+                rel_change: wall_rel,
+                kind: if b.wall_s > 0.0 && c.wall_s > b.wall_s * wall_factor {
+                    BenchDeltaKind::Regression
+                } else {
+                    BenchDeltaKind::Unchanged
+                },
+            });
+        }
+        for (name, c) in &cur {
+            if !base.contains_key(name) {
+                deltas.push(BenchDelta {
+                    section: name.clone(),
+                    field: "section".into(),
+                    baseline: None,
+                    current: Some(c.wall_s),
+                    rel_change: None,
+                    kind: BenchDeltaKind::Added,
+                });
+            }
+        }
+        Self {
+            tolerance,
+            wall_factor,
+            deltas,
+        }
+    }
+
+    pub fn regressions(&self) -> impl Iterator<Item = &BenchDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| matches!(d.kind, BenchDeltaKind::Regression | BenchDeltaKind::Missing))
+    }
+
+    /// True when the gate should fail.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Human-readable report: one line per changed quantity plus a
+    /// summary line (mirrors `ProfileDiff::render`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let tag = match d.kind {
+                BenchDeltaKind::Unchanged => continue,
+                BenchDeltaKind::Improvement => "improved",
+                BenchDeltaKind::Regression => "REGRESSION",
+                BenchDeltaKind::Missing => "MISSING",
+                BenchDeltaKind::Added => "added",
+            };
+            let fmt = |v: Option<f64>| match v {
+                Some(x) => format!("{x:.6}"),
+                None => "absent".to_string(),
+            };
+            let change = match d.rel_change {
+                Some(rel) => format!(" ({:+.1}%)", rel * 100.0),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{tag:>10}  {} {}  {} -> {}{change}\n",
+                d.section,
+                d.field,
+                fmt(d.baseline),
+                fmt(d.current),
+            ));
+        }
+        let n_reg = self.regressions().count();
+        out.push_str(&format!(
+            "{} quantities compared, {} regression(s), sim-cycle tolerance {:.1}%, wall factor {:.0}x\n",
+            self.deltas.len(),
+            n_reg,
+            self.tolerance * 100.0,
+            self.wall_factor
+        ));
+        out
+    }
+}
+
+/// `current / baseline − 1`, or `None` when the baseline is zero.
+fn relative(baseline: f64, current: f64) -> Option<f64> {
+    (baseline > 0.0).then(|| current / baseline - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn section(name: &str, wall_s: f64, instances: u64, sim_cycles: f64) -> BenchSection {
+        BenchSection {
+            name: name.into(),
+            wall_s,
+            instances,
+            sim_cycles,
+            instances_per_s: instances as f64 / wall_s,
+            sim_cycles_per_s: sim_cycles / wall_s,
+        }
+    }
+
+    fn report(sections: Vec<BenchSection>) -> BenchReport {
+        let total_wall_s = sections.iter().map(|s| s.wall_s).sum();
+        BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            sections,
+            total_wall_s,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(vec![
+            section("figure6_smoke_tl32", 1.25, 60, 4.0e9),
+            section("sharded_xsbench_x8", 0.5, 8, 9.0e8),
+        ]);
+        let text = serde_json::to_string_pretty(&r).unwrap();
+        let parsed = BenchReport::parse(&text).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse(r#"{"schema":1,"total_wall_s":1.0,"sections":[]}"#).is_err());
+        assert!(BenchReport::parse(r#"{"sections":[{"name":"x"}]}"#).is_err());
+        assert!(BenchReport::parse(
+            r#"{"schema":1,"total_wall_s":1.0,"sections":[{"name":"x","wall_s":1.0}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![section("a", 1.0, 10, 1e6)]);
+        let d = BenchDiff::compare(&r, &r.clone(), 0.0, 10.0);
+        assert!(!d.has_regressions());
+        assert!(d.deltas.iter().all(|x| x.kind == BenchDeltaKind::Unchanged));
+    }
+
+    #[test]
+    fn instance_count_drift_is_always_a_regression() {
+        let base = report(vec![section("a", 1.0, 10, 1e6)]);
+        // Even one extra instance fails — the simulator is deterministic.
+        let cur = report(vec![section("a", 1.0, 11, 1e6)]);
+        let d = BenchDiff::compare(&base, &cur, 0.5, 10.0);
+        assert!(d.has_regressions());
+        let delta = d.deltas.iter().find(|x| x.field == "instances").unwrap();
+        assert_eq!(delta.kind, BenchDeltaKind::Regression);
+    }
+
+    #[test]
+    fn sim_cycles_gate_under_relative_tolerance() {
+        let base = report(vec![section("a", 1.0, 10, 1.00e6)]);
+        let within = report(vec![section("a", 1.0, 10, 1.03e6)]);
+        assert!(!BenchDiff::compare(&base, &within, 0.05, 10.0).has_regressions());
+        let grown = report(vec![section("a", 1.0, 10, 1.20e6)]);
+        let d = BenchDiff::compare(&base, &grown, 0.05, 10.0);
+        assert!(d.has_regressions());
+        assert!(d.render().contains("REGRESSION"));
+        // Shrinkage is an improvement, never a failure.
+        let shrunk = report(vec![section("a", 1.0, 10, 0.80e6)]);
+        let d = BenchDiff::compare(&base, &shrunk, 0.05, 10.0);
+        assert!(!d.has_regressions());
+        assert!(d
+            .deltas
+            .iter()
+            .any(|x| x.kind == BenchDeltaKind::Improvement));
+    }
+
+    #[test]
+    fn wall_time_gates_only_on_catastrophic_blowup() {
+        let base = report(vec![section("a", 1.0, 10, 1e6)]);
+        // 5x slower on the wall clock: noisy machines do that. Passes.
+        let slow = report(vec![section("a", 5.0, 10, 1e6)]);
+        assert!(!BenchDiff::compare(&base, &slow, 0.05, 10.0).has_regressions());
+        // 20x slower: catastrophic, fails.
+        let dead = report(vec![section("a", 20.0, 10, 1e6)]);
+        assert!(BenchDiff::compare(&base, &dead, 0.05, 10.0).has_regressions());
+    }
+
+    #[test]
+    fn missing_section_fails_and_added_section_passes() {
+        let base = report(vec![section("a", 1.0, 10, 1e6)]);
+        let cur = report(vec![section("b", 1.0, 10, 1e6)]);
+        let d = BenchDiff::compare(&base, &cur, 0.05, 10.0);
+        assert!(d.has_regressions());
+        let kinds: Vec<(String, BenchDeltaKind)> = d
+            .deltas
+            .iter()
+            .map(|x| (x.section.clone(), x.kind))
+            .collect();
+        assert!(kinds.contains(&("a".into(), BenchDeltaKind::Missing)));
+        assert!(kinds.contains(&("b".into(), BenchDeltaKind::Added)));
+        // Added alone never gates.
+        let d = BenchDiff::compare(
+            &base,
+            &report(vec![section("a", 1.0, 10, 1e6), section("b", 1.0, 10, 1e6)]),
+            0.05,
+            10.0,
+        );
+        assert!(!d.has_regressions());
+    }
+}

@@ -6,7 +6,7 @@ use dgc_core::{
     ensure_arg_capacity, run_ensemble_batched_traced, run_ensemble_traced, EnsembleError,
     EnsembleOptions, EnsembleResult, HostApp, InstanceOutcome,
 };
-use dgc_obs::{InstanceMetrics, LaunchMetrics, Recorder, DEVICE_PID_STRIDE};
+use dgc_obs::{InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, DEVICE_PID_STRIDE};
 use gpu_sim::DeviceFleet;
 use host_rpc::{HostServices, RpcStats};
 
@@ -194,11 +194,12 @@ pub fn run_ensemble_sharded(
     let mut per_device_time_s = vec![0.0f64; m];
     let mut kernel_time_s = 0.0f64;
     let mut rpc_stats = RpcStats::default();
+    let mut timeline = LaunchTimeline::default();
     let mut slowest: Option<(f64, EnsembleResult)> = None;
 
     for (d, run) in runs.into_iter().enumerate() {
         let Some(run) = run else { continue };
-        let res = run.result?;
+        let mut res = run.result?;
         for (li, &g) in assignment[d].iter().enumerate() {
             slot_outcome[g as usize] = Some(res.instances[li].clone());
             slot_stdout[g as usize] = res.stdout[li].clone();
@@ -213,6 +214,11 @@ pub fn run_ensemble_sharded(
         per_device_time_s[d] = res.total_time_s;
         kernel_time_s = kernel_time_s.max(res.kernel_time_s);
         rpc_stats.merge(&res.rpc_stats);
+        // Device lanes start concurrently at t = 0, so the shard's
+        // series needs only a device stamp, not a time shift.
+        let mut device_tl = std::mem::take(&mut res.timeline);
+        device_tl.set_device(d as u32);
+        timeline.merge(device_tl);
         if traced {
             obs.merge_shifted(
                 &run.recorder,
@@ -250,6 +256,7 @@ pub fn run_ensemble_sharded(
             instance_end_times_s: slot_end,
             rpc_stats,
             metrics,
+            timeline,
         },
         devices: m as u32,
         placement,

@@ -14,6 +14,10 @@
 //! timeline of the launch (load in Perfetto / `chrome://tracing`),
 //! `--metrics-out m.jsonl` writes one JSON line of metrics per instance
 //! plus one for the launch, and `--quiet` suppresses per-instance output.
+//! `--timeline` samples device utilization over time (`--sample-interval
+//! <cycles>` tunes the rate), adding Chrome counter tracks to the trace
+//! and the schema-v5 `timeline` array to the metrics; `--progress` prints
+//! a status line to stderr (suppressed by `--quiet`).
 //!
 //! Fault tolerance: `--faults plan.json` injects a deterministic fault
 //! plan and drives the run through the resilient driver, which re-launches
@@ -48,6 +52,7 @@ fn usage() -> ! {
     );
     eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast]");
     eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
+    eprintln!("                    [--timeline] [--sample-interval <cycles>] [--progress]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -90,6 +95,7 @@ fn main() {
         num_instances: cli.num_instances.unwrap_or(arg_lines.len() as u32),
         thread_limit: cli.thread_limit,
         cycle_args: cli.cycle_args,
+        sample_interval: cli.sample_interval,
         mapping: if cli.pack > 1 {
             MappingStrategy::Packed {
                 per_block: cli.pack,
@@ -283,6 +289,23 @@ fn main() {
         println!(
             "instances {} | failed {failed} | oom {oom}",
             result.instances.len()
+        );
+    }
+    // --progress: status on stderr, suppressed by --quiet. The simulated
+    // run is synchronous, so the periodic status collapses into one line
+    // per launch, emitted at completion.
+    if cli.progress && !cli.quiet {
+        let recovered = recovery.as_ref().map(|(r, _)| r.recovered).unwrap_or(0);
+        // Timeline-sampled mean when --timeline ran; otherwise the
+        // launch-aggregate issue utilization.
+        let util = dgc_core::utilization_mean(&result.timeline.issue_rates())
+            .unwrap_or(result.report.issue_utilization);
+        eprintln!(
+            "progress: waves {} | instances {}/{} ok | recovered {recovered} | device utilization {:.1}%",
+            result.report.waves,
+            result.instances.len() as u32 - failed,
+            result.instances.len(),
+            util * 100.0
         );
     }
     if let Some((rec, _)) = &recovery {

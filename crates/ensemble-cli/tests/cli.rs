@@ -93,6 +93,119 @@ fn zero_devices_is_a_usage_error() {
 }
 
 #[test]
+fn progress_reports_to_stderr_and_quiet_suppresses_it() {
+    let f = arg_file("progress", 2);
+    let out = run(&["xsbench", "-f", f.to_str().unwrap(), "--progress"]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("progress: waves"), "{err}");
+    assert!(err.contains("2/2 ok"), "{err}");
+    assert!(err.contains("recovered 0"), "{err}");
+    assert!(err.contains("device utilization"), "{err}");
+    // The status line goes to stderr only.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("progress:"));
+    // --quiet wins over --progress.
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--progress",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("progress:"), "{err}");
+}
+
+#[test]
+fn timeline_flag_adds_counter_tracks_to_traces() {
+    let f = arg_file("timeline-trace", 2);
+    let plain = std::env::temp_dir().join("ensemble-cli-test-trace-plain.json");
+    let sampled = std::env::temp_dir().join("ensemble-cli-test-trace-sampled.json");
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--quiet",
+        "--trace-out",
+        plain.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--quiet",
+        "--timeline",
+        "--trace-out",
+        sampled.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let plain_json = std::fs::read_to_string(&plain).unwrap();
+    let sampled_json = std::fs::read_to_string(&sampled).unwrap();
+    // Counter tracks appear only under --timeline; without the flag the
+    // trace bytes are identical to the pre-telemetry output.
+    assert!(
+        !plain_json.contains("\"ph\":\"C\""),
+        "counters without --timeline"
+    );
+    assert!(
+        sampled_json.contains("\"ph\":\"C\""),
+        "no counters with --timeline"
+    );
+    for track in [
+        "\"utilization\"",
+        "\"active_teams\"",
+        "\"stall_share\"",
+        "\"heap_bytes\"",
+    ] {
+        assert!(sampled_json.contains(track), "missing {track} track");
+    }
+}
+
+#[test]
+fn timeline_flag_fills_schema_v5_metrics() {
+    let f = arg_file("timeline-metrics", 2);
+    let m = std::env::temp_dir().join("ensemble-cli-test-timeline-metrics.jsonl");
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--quiet",
+        "--timeline",
+        "--metrics-out",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let jsonl = std::fs::read_to_string(&m).unwrap();
+    let launch = jsonl
+        .lines()
+        .find(|l| l.contains("\"record\":\"launch\""))
+        .expect("launch record present");
+    assert!(launch.contains("\"schema\":5"), "{launch}");
+    assert!(launch.contains("\"timeline\":[{"), "{launch}");
+    assert!(launch.contains("\"utilization_mean\":"), "{launch}");
+    assert!(!launch.contains("\"utilization_mean\":null"), "{launch}");
+    // Without --timeline the v5 fields stay null/empty.
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--quiet",
+        "--metrics-out",
+        m.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let jsonl = std::fs::read_to_string(&m).unwrap();
+    let launch = jsonl
+        .lines()
+        .find(|l| l.contains("\"record\":\"launch\""))
+        .expect("launch record present");
+    assert!(launch.contains("\"timeline\":[]"), "{launch}");
+    assert!(launch.contains("\"utilization_mean\":null"), "{launch}");
+}
+
+#[test]
 fn multi_device_metrics_carry_schema_v4_fields() {
     let f = arg_file("metrics", 4);
     let m = std::env::temp_dir().join("ensemble-cli-test-metrics-out.jsonl");

@@ -220,6 +220,23 @@ impl DeviceMemory {
         self.free_list.iter().map(|&(_, l)| l).sum()
     }
 
+    /// Fraction of capacity currently allocated, [0, 1] — the heap
+    /// counter the utilization timeline reports.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.stats.bytes_in_use as f64 / self.capacity as f64
+    }
+
+    /// Fraction of capacity at the allocation high-water mark, [0, 1].
+    pub fn peak_utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 0.0;
+        }
+        self.stats.peak_bytes_in_use as f64 / self.capacity as f64
+    }
+
     /// Allocate `len` bytes with the given backing and tag.
     pub fn alloc_tagged(
         &mut self,
@@ -626,6 +643,22 @@ mod tests {
         mem.free(c).unwrap();
         mem.reset_tag_peaks();
         assert_eq!(mem.tag_peaks().count(), 0);
+    }
+
+    #[test]
+    fn utilization_fractions_track_heap() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        assert_eq!(mem.utilization(), 0.0);
+        assert_eq!(mem.peak_utilization(), 0.0);
+        let a = mem.alloc(1 << 19).unwrap();
+        assert_eq!(mem.utilization(), 0.5);
+        mem.free(a).unwrap();
+        assert_eq!(mem.utilization(), 0.0);
+        // The peak fraction survives the free.
+        assert_eq!(mem.peak_utilization(), 0.5);
+        // Degenerate zero-capacity device divides to zero, not NaN.
+        assert_eq!(DeviceMemory::new(0).utilization(), 0.0);
+        assert_eq!(DeviceMemory::new(0).peak_utilization(), 0.0);
     }
 
     #[test]

@@ -2,6 +2,7 @@ use crate::ctx::{HostCallHook, KernelError, TeamCtx};
 use crate::report::SimReport;
 use crate::timing::{
     simulate_timing, ScheduleDetail, StallAttribution, TimingInputs, TimingParams,
+    UtilizationTimeline,
 };
 use crate::trace::{BlockTrace, MixedSeg, Phase};
 use gpu_arch::{occupancy, GpuSpec, LaunchConfig, LaunchError};
@@ -105,6 +106,11 @@ pub struct KernelSpec<'a> {
     /// teams of a block killed at the deadline trap with
     /// [`KernelError::Timeout`]. `None` disables the watchdog.
     pub cycle_budget: Option<f64>,
+    /// Periodic utilization sampling interval in cycles
+    /// ([`LaunchResult::timeline`]); see `TimingInputs::sample_interval`.
+    /// `None` (the default) disables sampling and leaves every outcome
+    /// bit-identical.
+    pub sample_interval: Option<f64>,
 }
 
 impl<'a> KernelSpec<'a> {
@@ -122,6 +128,7 @@ impl<'a> KernelSpec<'a> {
             collect_stalls: false,
             fault_of_team: None,
             cycle_budget: None,
+            sample_interval: None,
         }
     }
 }
@@ -153,6 +160,9 @@ pub struct LaunchResult {
     /// Stall-cycle attribution, when [`KernelSpec::collect_stalls`] was
     /// set — kernel-wide and per-block exclusive buckets.
     pub stalls: Option<StallAttribution>,
+    /// Periodic utilization samples, when [`KernelSpec::sample_interval`]
+    /// was set.
+    pub timeline: Option<UtilizationTimeline>,
     /// Per-team work totals, indexed by team id. Always present.
     pub team_summaries: Vec<TeamSummary>,
 }
@@ -272,9 +282,11 @@ impl Gpu {
             collect_detail: spec.collect_detail,
             collect_stalls: spec.collect_stalls,
             cycle_budget: spec.cycle_budget,
+            sample_interval: spec.sample_interval,
         });
         let schedule = timing.detail.take();
         let stalls = timing.stalls.take();
+        let timeline = timing.timeline.take();
 
         // Teams reaped by the watchdog trap with `Timeout`, whatever their
         // functional outcome was — the simulated hardware killed them
@@ -342,6 +354,7 @@ impl Gpu {
             block_traces: spec.keep_traces.then_some(block_traces),
             schedule,
             stalls,
+            timeline,
             team_summaries,
         })
     }
@@ -619,6 +632,26 @@ mod tests {
             .team_outcomes
             .iter()
             .all(|o| matches!(o, TeamOutcome::Return(0))));
+    }
+
+    #[test]
+    fn sampling_is_bit_identical_and_opt_in() {
+        let run = |interval: Option<f64>| {
+            let mut gpu = Gpu::a100();
+            let mut spec = KernelSpec::new("sampled", 4, 32);
+            spec.collect_stalls = true;
+            spec.sample_interval = interval;
+            gpu.launch(&spec, None, streaming_body(10_000)).unwrap()
+        };
+        let plain = run(None);
+        let sampled = run(Some(1_000.0));
+        assert!(plain.timeline.is_none());
+        let tl = sampled.timeline.as_ref().expect("sample_interval set");
+        assert!(!tl.samples.is_empty());
+        // Sampling must not perturb the launch.
+        assert_eq!(plain.report, sampled.report);
+        assert_eq!(plain.team_outcomes, sampled.team_outcomes);
+        assert_eq!(plain.stalls, sampled.stalls);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use kernel::{
 pub use report::SimReport;
 pub use timing::{
     simulate_timing, BlockSchedule, PhaseSpan, ScheduleDetail, StallAttribution, StallBuckets,
-    TimingInputs, TimingParams, TimingResult,
+    TimingInputs, TimingParams, TimingResult, UtilizationSample, UtilizationTimeline,
 };
 pub use trace::{BlockTrace, MixedSeg, Phase, TeamTrace};

@@ -47,6 +47,14 @@ pub struct TimingInputs<'a> {
     /// queued blocks can proceed. `None` (the default) disables the
     /// watchdog entirely and leaves every timing outcome bit-identical.
     pub cycle_budget: Option<f64>,
+    /// Emit a periodic [`UtilizationTimeline`] sample every this many
+    /// cycles ([`TimingResult::timeline`]). Off (`None`) by default; like
+    /// `collect_detail` this is pure bookkeeping — the sampler splits each
+    /// fluid-rate interval across window boundaries *analytically* (rates
+    /// are constant within an interval, so the split is exact) and never
+    /// clamps or subdivides an event step, leaving every timing outcome
+    /// bit-identical.
+    pub sample_interval: Option<f64>,
 }
 
 /// Where and when one block ran, for timeline export.
@@ -290,6 +298,43 @@ pub struct StallAttribution {
     pub blocks: Vec<StallBuckets>,
 }
 
+/// One periodic utilization sample ([`TimingInputs::sample_interval`]).
+///
+/// Rates are time-averaged over the sample window `[cycle − window,
+/// cycle)`; counts (`active_teams`, `resident_blocks`, `occupancy`) are
+/// instantaneous at the window's closing edge. The stall buckets hold the
+/// window's cycle decomposition (they sum to the window length) when
+/// [`TimingInputs::collect_stalls`] was also set, and stay zero otherwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSample {
+    /// Cycle at which the window closed.
+    pub cycle: f64,
+    /// Teams still making progress on placed blocks.
+    pub active_teams: u32,
+    /// Work-bearing blocks resident on SMs.
+    pub resident_blocks: u32,
+    /// `resident_blocks` over the device's full block complement, [0, 1].
+    pub occupancy: f64,
+    /// Window-averaged issue-slot utilization across the device, [0, 1].
+    pub issue_rate: f64,
+    /// Window-averaged DRAM utilization (vs. raw peak), [0, 1].
+    pub dram_rate: f64,
+    /// Window stall-cycle decomposition (sums to the window length when
+    /// stall collection ran; all-zero otherwise).
+    pub stall: StallBuckets,
+}
+
+/// The periodic utilization time series of one kernel, recorded when
+/// [`TimingInputs::sample_interval`] is set. Every window is exactly
+/// `interval` cycles long except the last, which closes at kernel end.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationTimeline {
+    /// Sampling interval in core cycles.
+    pub interval: f64,
+    /// Samples in window order; `cycle` is strictly increasing.
+    pub samples: Vec<UtilizationSample>,
+}
+
 /// Output of the timing simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingResult {
@@ -319,6 +364,9 @@ pub struct TimingResult {
     /// `(block index, team index within the block)` pairs in kill order.
     /// Empty whenever the watchdog is disabled or never fired.
     pub timed_out_teams: Vec<(u32, u32)>,
+    /// Periodic utilization samples, present iff
+    /// [`TimingInputs::sample_interval`] was set.
+    pub timeline: Option<UtilizationTimeline>,
 }
 
 const EPS: f64 = 1e-9;
@@ -527,6 +575,43 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         blocks: vec![StallBuckets::default(); blocks.len()],
     });
     let mut stall_scratch: Vec<(f64, StallClass)> = Vec::new();
+
+    // Utilization-sampling observation state (pure bookkeeping, like
+    // `detail` and `stalls`). One open window accumulates issue/DRAM work
+    // and stall cycles; each event-loop interval is split analytically
+    // across window boundaries — exact, because fluid rates are constant
+    // within an interval — so sampling never subdivides an event step.
+    struct Sampler {
+        interval: f64,
+        /// Cycle the open window started at (the previous boundary).
+        win_start: f64,
+        /// Warp-instructions issued inside the open window.
+        issued: f64,
+        /// Bytes moved inside the open window.
+        dram: f64,
+        /// Stall decomposition of the open window (tracks `stalls`).
+        stall: StallBuckets,
+        timeline: UtilizationTimeline,
+    }
+    let mut sampler: Option<Sampler> = inputs.sample_interval.map(|interval| {
+        assert!(
+            interval.is_finite() && interval > EPS,
+            "sample_interval must be a positive cycle count, got {interval}"
+        );
+        Sampler {
+            interval,
+            win_start: 0.0,
+            issued: 0.0,
+            dram: 0.0,
+            stall: StallBuckets::default(),
+            timeline: UtilizationTimeline {
+                interval,
+                samples: Vec::new(),
+            },
+        }
+    });
+    let device_issue_cap = spec.sm_count as f64 * issue_cap;
+    let device_dram_cap = spec.dram_bytes_per_cycle();
 
     let place_blocks = |now: f64,
                         pending: &mut std::collections::VecDeque<usize>,
@@ -830,6 +915,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         // block is charged by the component that bounds *its* earliest
         // completion; the kernel by the globally binding one, except that
         // an under-filled device makes the interval a wave-tail loss.
+        let mut iter_class: Option<StallClass> = None;
         if let Some(st) = stalls.as_mut() {
             stall_scratch.clear();
             stall_scratch.resize(blocks.len(), (f64::INFINITY, StallClass::Compute));
@@ -879,9 +965,12 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                 global.1
             };
             st.kernel.add(kernel_class, dt);
+            iter_class = Some(kernel_class);
         }
 
         // ---- Advance all components by dt.
+        let issued_before = issued_integral;
+        let dram_before = dram_integral;
         for ws in warp_states.iter_mut() {
             if ws.phase != WarpPhase::Running {
                 continue;
@@ -902,6 +991,57 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                 ws.latency_left -= dt.min(ws.latency_left);
             }
         }
+
+        // ---- Fold the interval into the sampling window. The interval's
+        // work is spread uniformly over [now, now + dt) (constant fluid
+        // rates), so a boundary crossing splits it by exact time fraction.
+        if let Some(s) = sampler.as_mut() {
+            let iter_issued = issued_integral - issued_before;
+            let iter_dram = dram_integral - dram_before;
+            let t_end = now + dt;
+            let mut t_cur = now;
+            if s.win_start + s.interval <= t_end {
+                // Teams never change state mid-interval (completions drain
+                // at a fixed `now`), so one count serves every window the
+                // interval closes.
+                let active_teams = team_states
+                    .iter()
+                    .enumerate()
+                    .filter(|&(bi, _)| block_states[bi].placed)
+                    .flat_map(|(_, ts)| ts.iter())
+                    .filter(|t| !t.done)
+                    .count() as u32;
+                while s.win_start + s.interval <= t_end {
+                    let boundary = s.win_start + s.interval;
+                    let frac = (boundary - t_cur) / dt;
+                    s.issued += iter_issued * frac;
+                    s.dram += iter_dram * frac;
+                    if let Some(class) = iter_class {
+                        s.stall.add(class, boundary - t_cur);
+                    }
+                    s.timeline.samples.push(UtilizationSample {
+                        cycle: boundary,
+                        active_teams,
+                        resident_blocks: running_blocks as u32,
+                        occupancy: running_blocks as f64 / wave_capacity as f64,
+                        issue_rate: s.issued / (s.interval * device_issue_cap),
+                        dram_rate: s.dram / (s.interval * device_dram_cap),
+                        stall: s.stall,
+                    });
+                    s.issued = 0.0;
+                    s.dram = 0.0;
+                    s.stall = StallBuckets::default();
+                    s.win_start = boundary;
+                    t_cur = boundary;
+                }
+            }
+            let frac = (t_end - t_cur) / dt;
+            s.issued += iter_issued * frac;
+            s.dram += iter_dram * frac;
+            if let Some(class) = iter_class {
+                s.stall.add(class, t_end - t_cur);
+            }
+        }
         now += dt;
     }
 
@@ -920,6 +1060,24 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         }
     }
 
+    // Close the final (possibly partial) sampling window at kernel end.
+    // Every team is done here, so the instantaneous counts are zero.
+    let timeline = sampler.map(|mut s| {
+        let win = now - s.win_start;
+        if win > EPS {
+            s.timeline.samples.push(UtilizationSample {
+                cycle: now,
+                active_teams: 0,
+                resident_blocks: 0,
+                occupancy: 0.0,
+                issue_rate: s.issued / (win * device_issue_cap),
+                dram_rate: s.dram / (win * device_dram_cap),
+                stall: s.stall,
+            });
+        }
+        s.timeline
+    });
+
     let cycles = now.max(EPS);
     TimingResult {
         cycles: now,
@@ -933,6 +1091,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
         detail,
         stalls,
         timed_out_teams,
+        timeline,
     }
 }
 
@@ -986,6 +1145,7 @@ mod tests {
             collect_detail: false,
             collect_stalls: false,
             cycle_budget: None,
+            sample_interval: None,
         })
     }
 
@@ -1000,6 +1160,7 @@ mod tests {
             collect_detail: true,
             collect_stalls: false,
             cycle_budget: None,
+            sample_interval: None,
         })
     }
 
@@ -1014,6 +1175,22 @@ mod tests {
             collect_detail: true,
             collect_stalls: true,
             cycle_budget: None,
+            sample_interval: None,
+        })
+    }
+
+    fn run_sampled(blocks: &[BlockTrace], interval: f64, collect_stalls: bool) -> TimingResult {
+        let s = spec();
+        let p = params();
+        simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+            collect_detail: false,
+            collect_stalls,
+            cycle_budget: None,
+            sample_interval: Some(interval),
         })
     }
 
@@ -1178,6 +1355,7 @@ mod tests {
             collect_detail: false,
             collect_stalls: false,
             cycle_budget: None,
+            sample_interval: None,
         });
         let paper = simulate_timing(&TimingInputs {
             spec: &s,
@@ -1187,6 +1365,7 @@ mod tests {
             collect_detail: false,
             collect_stalls: false,
             cycle_budget: None,
+            sample_interval: None,
         });
         assert!(paper.l2_hit < scaled.l2_hit);
         assert!(paper.cycles > scaled.cycles);
@@ -1429,5 +1608,117 @@ mod tests {
         assert_eq!(p0.end_cycle, p1.start_cycle);
         assert_eq!(p1.end_cycle, d.blocks[0].end_cycle);
         assert!(p0.end_cycle > p0.start_cycle);
+    }
+
+    #[test]
+    fn timeline_absent_by_default_and_result_unchanged() {
+        let blocks: Vec<BlockTrace> = (0..8).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let plain = run(&blocks);
+        let sampled = run_sampled(&blocks, 500.0, false);
+        assert!(plain.timeline.is_none());
+        let tl = sampled.timeline.as_ref().unwrap();
+        assert!(!tl.samples.is_empty());
+        // Sampling must not perturb the simulation.
+        assert_eq!(plain.cycles, sampled.cycles);
+        assert_eq!(plain.block_end_cycles, sampled.block_end_cycles);
+        assert_eq!(plain.issue_utilization, sampled.issue_utilization);
+        assert_eq!(plain.dram_utilization, sampled.dram_utilization);
+    }
+
+    #[test]
+    fn timeline_samples_are_monotonic_and_bounded() {
+        let blocks: Vec<BlockTrace> = (0..16).map(|_| block(8, 5000.0, 200_000.0)).collect();
+        let r = run_sampled(&blocks, 300.0, false);
+        let tl = r.timeline.unwrap();
+        assert_eq!(tl.interval, 300.0);
+        let mut prev = 0.0;
+        for s in &tl.samples {
+            assert!(s.cycle > prev, "samples must be strictly increasing");
+            prev = s.cycle;
+            assert!(s.issue_rate >= 0.0 && s.issue_rate <= 1.0 + 1e-9);
+            assert!(s.dram_rate >= 0.0 && s.dram_rate <= 1.0 + 1e-9);
+            assert!(s.occupancy >= 0.0 && s.occupancy <= 1.0 + 1e-9);
+            // Stalls were not collected: buckets stay zero.
+            assert_eq!(s.stall.total(), 0.0);
+        }
+        // The last window closes exactly at kernel end.
+        assert_eq!(tl.samples.last().unwrap().cycle, r.cycles);
+    }
+
+    #[test]
+    fn timeline_rates_integrate_to_utilization() {
+        // The windowed rates are a partition of the same work integrals the
+        // aggregate utilizations divide, so the window-weighted mean of the
+        // samples must reproduce them (up to fp accumulation).
+        let blocks: Vec<BlockTrace> = (0..16).map(|_| block(8, 5000.0, 200_000.0)).collect();
+        let r = run_sampled(&blocks, 250.0, false);
+        let tl = r.timeline.as_ref().unwrap();
+        let mut issue_integral = 0.0;
+        let mut dram_integral = 0.0;
+        let mut prev = 0.0;
+        for s in &tl.samples {
+            let win = s.cycle - prev;
+            issue_integral += s.issue_rate * win;
+            dram_integral += s.dram_rate * win;
+            prev = s.cycle;
+        }
+        let issue_mean = issue_integral / r.cycles;
+        let dram_mean = dram_integral / r.cycles;
+        assert!(
+            (issue_mean - r.issue_utilization).abs() < 1e-6,
+            "issue {issue_mean} vs {}",
+            r.issue_utilization
+        );
+        assert!(
+            (dram_mean - r.dram_utilization).abs() < 1e-6,
+            "dram {dram_mean} vs {}",
+            r.dram_utilization
+        );
+    }
+
+    #[test]
+    fn timeline_stall_windows_tile_the_run() {
+        // With stall collection on, each sample's buckets sum to its
+        // window length and the whole series tiles [0, cycles).
+        let blocks: Vec<BlockTrace> = (0..8).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let r = run_sampled(&blocks, 400.0, true);
+        let tl = r.timeline.as_ref().unwrap();
+        let mut prev = 0.0;
+        for s in &tl.samples {
+            let win = s.cycle - prev;
+            assert!(
+                (s.stall.total() - win).abs() < 1e-6 * win.max(1.0),
+                "window stalls {} vs window {win}",
+                s.stall.total()
+            );
+            prev = s.cycle;
+        }
+        assert_eq!(tl.samples.last().unwrap().cycle, r.cycles);
+    }
+
+    #[test]
+    fn timeline_captures_wave_tail_drop() {
+        // Straggler scenario: after the short block finishes, occupancy
+        // drops and later samples must see fewer active teams.
+        let r = run_sampled(
+            &[block(8, 1_000.0, 0.0), block(8, 10_000.0, 0.0)],
+            500.0,
+            false,
+        );
+        let tl = r.timeline.unwrap();
+        let first = tl.samples.first().unwrap();
+        let last = tl.samples.last().unwrap();
+        assert!(first.active_teams >= 2);
+        assert!(last.active_teams < first.active_teams);
+        assert!(last.occupancy <= first.occupancy);
+    }
+
+    #[test]
+    fn timeline_round_trip_through_json() {
+        let blocks: Vec<BlockTrace> = (0..4).map(|_| block(8, 1000.0, 50_000.0)).collect();
+        let tl = run_sampled(&blocks, 200.0, true).timeline.unwrap();
+        let json = serde_json::to_string(&tl).unwrap();
+        let back: UtilizationTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(tl, back);
     }
 }

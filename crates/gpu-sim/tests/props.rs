@@ -39,6 +39,7 @@ fn run(blocks: &[BlockTrace]) -> f64 {
         collect_detail: false,
         collect_stalls: false,
         cycle_budget: None,
+        sample_interval: None,
     })
     .cycles
 }
@@ -54,6 +55,22 @@ fn run_with_stalls(blocks: &[BlockTrace]) -> gpu_sim::TimingResult {
         collect_detail: false,
         collect_stalls: true,
         cycle_budget: None,
+        sample_interval: None,
+    })
+}
+
+fn run_sampled(blocks: &[BlockTrace], interval: f64) -> gpu_sim::TimingResult {
+    let spec = GpuSpec::a100_40gb();
+    let params = TimingParams::default();
+    simulate_timing(&TimingInputs {
+        spec: &spec,
+        blocks,
+        params: &params,
+        footprint_multiplier: 1.0,
+        collect_detail: false,
+        collect_stalls: true,
+        cycle_budget: None,
+        sample_interval: Some(interval),
     })
 }
 
@@ -154,6 +171,47 @@ proptest! {
             let arr = [b.compute, b.dram_bw, b.mlp, b.rpc, b.wave_tail];
             prop_assert!(arr.iter().all(|&v| v >= 0.0));
         }
+    }
+
+    /// Utilization sampling is pure bookkeeping with a well-formed series:
+    /// for every kernel and interval, enabling it changes no timing
+    /// outcome, sample timestamps are strictly increasing, the last window
+    /// closes exactly at kernel end, and every windowed rate stays in
+    /// [0, 1].
+    #[test]
+    fn sampling_is_pure_and_timestamps_monotone(
+        n in 1usize..24,
+        warps in 1u32..16,
+        insts in 10.0f64..50_000.0,
+        bytes in 0.0f64..200_000.0,
+        interval in 50.0f64..20_000.0,
+    ) {
+        let blocks: Vec<BlockTrace> = (0..n)
+            .map(|i| {
+                let scale = 1.0 + (i % 3) as f64;
+                block(warps, insts * scale, bytes * scale)
+            })
+            .collect();
+        let plain = run(&blocks);
+        let r = run_sampled(&blocks, interval);
+        prop_assert_eq!(plain, r.cycles);
+        let tl = r.timeline.as_ref().unwrap();
+        prop_assert_eq!(tl.interval, interval);
+        prop_assert!(!tl.samples.is_empty());
+        let mut prev = 0.0;
+        for s in &tl.samples {
+            prop_assert!(s.cycle > prev, "non-monotone sample at {}", s.cycle);
+            prop_assert!(s.issue_rate >= 0.0 && s.issue_rate <= 1.0 + 1e-9);
+            prop_assert!(s.dram_rate >= 0.0 && s.dram_rate <= 1.0 + 1e-9);
+            prop_assert!(s.occupancy >= 0.0 && s.occupancy <= 1.0 + 1e-9);
+            let win = s.cycle - prev;
+            prop_assert!(
+                (s.stall.total() - win).abs() < 1e-6 * win.max(1.0),
+                "window stalls {} vs window {}", s.stall.total(), win
+            );
+            prev = s.cycle;
+        }
+        prop_assert_eq!(tl.samples.last().unwrap().cycle, r.cycles);
     }
 
     /// Trace totals are schedule-invariant: the same loop traced with
