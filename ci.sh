@@ -55,6 +55,29 @@ cargo run -q --release -p dgc-bench --bin bench_harness -- \
     --out BENCH_ensemble.json --golden results/bench_golden.json \
     --tolerance 0.05 --wall-factor 10
 
+echo "== insight: ledger trend gate + critical-path/flamegraph smoke =="
+# Append the fresh bench run to a working copy of the checked-in ledger
+# (CI must not dirty the tree), render the trend report, and gate the
+# new rates against the trailing median. Wall-clock rates are noisy
+# across machines, so the tolerance is loose — the gate exists to catch
+# collapses, not jitter.
+cp results/ledger.jsonl "$PROF_TMP/ledger.jsonl"
+cargo run -q --release -p dgc-insight --bin dgc-insight -- append \
+    --bench BENCH_ensemble.json --ledger "$PROF_TMP/ledger.jsonl"
+cargo run -q --release -p dgc-insight --bin dgc-insight -- report \
+    --ledger "$PROF_TMP/ledger.jsonl" --out "$PROF_TMP/ledger_report.md"
+test -s "$PROF_TMP/ledger_report.md"
+cargo run -q --release -p dgc-insight --bin dgc-insight -- check \
+    --ledger "$PROF_TMP/ledger.jsonl" --tolerance 0.8
+# Critical-path report + flamegraph from a figure-6-shaped run: the
+# report must certify the bit-exact makespan replay, and the folded
+# stacks must pass the format check.
+cargo run -q --release -p ensemble-cli -- xsbench -f "$PROF_TMP/args.txt" \
+    -n 4 -t 32 --cycle-args --quiet \
+    --insight-out "$PROF_TMP/insight.md" --flame-out "$PROF_TMP/flame.folded" > /dev/null
+grep -q "reproduces it bit-exactly" "$PROF_TMP/insight.md"
+cargo run -q --release -p dgc-insight --bin dgc-insight -- flame-check "$PROF_TMP/flame.folded"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -20,7 +20,9 @@
 use dgc_bench::{measure_config_detailed_on, smoke_workloads};
 use dgc_core::EnsembleOptions;
 use dgc_obs::Recorder;
-use dgc_prof::{BenchDiff, BenchReport, BenchSection, BENCH_SCHEMA_VERSION};
+use dgc_prof::{
+    config_fingerprint, git_rev, BenchDiff, BenchReport, BenchSection, BENCH_SCHEMA_VERSION,
+};
 use dgc_sched::{run_ensemble_sharded, Placement};
 use gpu_arch::GpuSpec;
 use gpu_sim::DeviceFleet;
@@ -138,8 +140,20 @@ fn main() {
         sharded_sim_s / cycle_s,
     ));
 
+    // Self-identifying snapshot (schema 2): the rev names the code, the
+    // fingerprint names the pinned workload — ledger trend analysis
+    // refuses to compare rates across different fingerprints.
+    let config_hash = config_fingerprint([
+        "device=a100_40gb".to_string(),
+        format!("sweep_counts={SWEEP_COUNTS:?}"),
+        format!("sweep_tl={SWEEP_THREAD_LIMIT}"),
+        format!("shard_instances={SHARD_INSTANCES}"),
+        format!("shard_devices={SHARD_DEVICES}"),
+    ]);
     let report = BenchReport {
         schema: BENCH_SCHEMA_VERSION,
+        git_rev: git_rev(),
+        config_hash,
         total_wall_s: sections.iter().map(|s| s.wall_s).sum(),
         sections,
     };

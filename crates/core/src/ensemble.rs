@@ -4,8 +4,8 @@ use crate::loader::{alloc_device_globals, inject_main_wrapper, make_rpc_hook, GL
 use dgc_compiler::{compile, CompileError, CompilerOptions};
 use dgc_ir::{Module, ParseError};
 use dgc_obs::{
-    record_schedule, InstanceMetrics, LatencyPercentiles, LaunchMetrics, LaunchTimeline, Recorder,
-    RpcCallCounts, METRICS_SCHEMA_VERSION, PID_HOST,
+    record_schedule, CriticalHop, InstanceMetrics, LatencyPercentiles, LaunchMetrics, LaunchNode,
+    LaunchTimeline, Recorder, RpcCallCounts, SpanGraph, METRICS_SCHEMA_VERSION, PID_HOST,
 };
 use gpu_mem::{AllocError, TransferDirection};
 use gpu_sim::{Gpu, InjectedTeamFault, KernelError, KernelSpec, SimError, SimReport, TeamOutcome};
@@ -103,6 +103,13 @@ pub struct EnsembleResult {
     /// Utilization time series (metrics schema v5). Empty unless
     /// [`EnsembleOptions::sample_interval`] enabled sampling.
     pub timeline: LaunchTimeline,
+    /// The causal span graph of the run: one [`LaunchNode`] per kernel
+    /// launch carrying the exact wall-time addend the driver accumulated
+    /// plus the in-kernel critical chain. Outer drivers (batched,
+    /// resilient, sharded) merge and re-stamp it exactly as they do the
+    /// instance metrics, so `graph.replay_makespan_s()` reproduces the
+    /// reported makespan bit-exactly. Consumed by `dgc-insight`.
+    pub graph: SpanGraph,
 }
 
 impl EnsembleResult {
@@ -411,9 +418,11 @@ pub fn run_ensemble_injected(
     spec.footprint_multiplier = footprint;
     spec.fault_of_team = faults.team_fault;
     spec.cycle_budget = faults.cycle_budget;
-    spec.collect_detail = traced;
-    // Stall attribution is pure bookkeeping (never perturbs timing), so
-    // the ensemble path always collects it for the metrics rollup.
+    // Schedule detail and stall attribution are pure bookkeeping (they
+    // never perturb timing), so the ensemble path always collects both:
+    // detail feeds the span graph's critical chain, stalls feed the
+    // metrics rollup. Traces stay gated by the recorder.
+    spec.collect_detail = true;
     spec.collect_stalls = true;
     spec.sample_interval = opts.sample_interval;
 
@@ -597,16 +606,54 @@ pub fn run_ensemble_injected(
         );
     }
 
+    // ---- Span-graph node. ----
+    // `total_s` is the *exact* value placed in `total_time_s` below —
+    // replaying the graph must perform the driver's own additions.
+    let total_time_s = kernel_time_s + transfer_seconds;
+    let mut graph = SpanGraph::default();
+    graph.push_launch(LaunchNode {
+        kernel: kernel_name,
+        device: 0,
+        round: 0,
+        concurrent: false,
+        start_s: 0.0,
+        h2d_s,
+        kernel_s: kernel_time_s,
+        d2h_s,
+        total_s: total_time_s,
+        overhead_s: gpu.spec.launch_overhead_us * 1e-6,
+        cycle_s,
+        waves: launch.report.waves,
+        teams_per_block,
+        instances: (0..n).collect(),
+        block_stalls: launch
+            .stalls
+            .as_ref()
+            .map(|s| s.blocks.clone())
+            .unwrap_or_default(),
+        wave_spans: launch
+            .schedule
+            .as_ref()
+            .map(|s| s.wave_spans())
+            .unwrap_or_default(),
+        chain: launch
+            .schedule
+            .as_ref()
+            .map(CriticalHop::chain_from_schedule)
+            .unwrap_or_default(),
+    });
+
     Ok(EnsembleResult {
         instances,
         stdout,
         report: launch.report,
         kernel_time_s,
-        total_time_s: kernel_time_s + transfer_seconds,
+        total_time_s,
         instance_end_times_s,
         rpc_stats: services.stats(),
         metrics,
         timeline,
+        graph,
     })
 }
 
@@ -642,10 +689,28 @@ pub fn run_ensemble_batched_traced(
     batch: u32,
     obs: &mut Recorder,
 ) -> Result<EnsembleResult, EnsembleError> {
+    run_ensemble_batched_progress(gpu, app, arg_lines, opts, batch, obs, &mut |_, _| {})
+}
+
+/// [`run_ensemble_batched_traced`] with a progress callback: after each
+/// batch completes, `progress(done, total)` reports how many instances
+/// have finished. The callback drives the CLI's `--progress` ETA line; a
+/// no-op closure makes this identical to the plain batched driver.
+pub fn run_ensemble_batched_progress(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    obs: &mut Recorder,
+    progress: &mut dyn FnMut(u32, u32),
+) -> Result<EnsembleResult, EnsembleError> {
     assert!(batch >= 1, "batch size must be at least 1");
     let n = opts.num_instances.max(1);
     if n <= batch {
-        return run_ensemble_traced(gpu, app, arg_lines, opts, HostServices::default(), obs);
+        let res = run_ensemble_traced(gpu, app, arg_lines, opts, HostServices::default(), obs)?;
+        progress(n, n);
+        return Ok(res);
     }
     ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
 
@@ -657,6 +722,7 @@ pub fn run_ensemble_batched_traced(
     let mut total_time_s = 0.0;
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
+    let mut graph = SpanGraph::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -694,11 +760,21 @@ pub fn run_ensemble_batched_traced(
         let mut batch_tl = res.timeline;
         batch_tl.shift_us(total_time_s * 1e6);
         timeline.merge(batch_tl);
+        // Span graph: shift onto the launch timeline, renumber the
+        // batch-local instances to global ids, and append in
+        // accumulation order — replay then folds `total_s` addends
+        // exactly like the `total_time_s` accumulator below.
+        let mut batch_graph = res.graph;
+        batch_graph.shift_start_s(total_time_s);
+        let id_map: Vec<u32> = (start..start + count).collect();
+        batch_graph.remap_instances(&id_map);
+        graph.merge(batch_graph);
         kernel_time_s += res.kernel_time_s;
         total_time_s += res.total_time_s;
         rpc_stats.merge(&res.rpc_stats);
         last_report = Some(res.report);
         start += count;
+        progress(start, n);
     }
     obs.set_base_us(base_us);
     Ok(EnsembleResult {
@@ -711,6 +787,7 @@ pub fn run_ensemble_batched_traced(
         rpc_stats,
         metrics,
         timeline,
+        graph,
     })
 }
 
@@ -765,6 +842,12 @@ pub struct EnsembleCliArgs {
     /// Print per-launch progress lines to stderr (`--progress`);
     /// `--quiet` wins when both are given.
     pub progress: bool,
+    /// Span-graph insight report output path (`--insight-out`): critical
+    /// path, blame table and Gantt summary rendered by `dgc-insight`.
+    pub insight_out: Option<String>,
+    /// Folded-stack flamegraph output path (`--flame-out`),
+    /// `inferno`-compatible text format.
+    pub flame_out: Option<String>,
 }
 
 /// Sampling interval `--timeline` uses when `--sample-interval` does not
@@ -816,6 +899,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut cycle_args = false;
     let mut sample_interval = None;
     let mut progress = false;
+    let mut insight_out = None;
+    let mut flame_out = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -919,6 +1004,20 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                 sample_interval = Some(cycles);
             }
             "--progress" => progress = true,
+            "--insight-out" => {
+                insight_out = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--insight-out"))?
+                        .to_string(),
+                );
+            }
+            "--flame-out" => {
+                flame_out = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--flame-out"))?
+                        .to_string(),
+                );
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -941,6 +1040,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         cycle_args,
         sample_interval,
         progress,
+        insight_out,
+        flame_out,
     })
 }
 
@@ -1160,6 +1261,28 @@ module "bench" {
         // This workload is RPC-stall dominated, so most windows issue
         // nothing — p95 only has to be a valid rate, not positive.
         assert!((0.0..=1.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn single_sample_timeline_rollups_degenerate_to_that_sample() {
+        // An interval longer than the kernel leaves only the flushed
+        // final window: a one-point series whose mean and p95 rollups
+        // both equal the single sample (nearest-rank p95 of n=1).
+        let arg_lines = lines("-n 100\n-n 400\n");
+        let opts = EnsembleOptions {
+            num_instances: 2,
+            thread_limit: 32,
+            sample_interval: Some(1e12),
+            ..Default::default()
+        };
+        let mut gpu = Gpu::a100();
+        let res =
+            run_ensemble(&mut gpu, &app(), &arg_lines, &opts, HostServices::default()).unwrap();
+        assert_eq!(res.timeline.points.len(), 1);
+        let rate = res.timeline.points[0].issue_rate;
+        let lm = res.launch_metrics();
+        assert_eq!(lm.utilization_mean, Some(rate));
+        assert_eq!(lm.utilization_p95, Some(rate));
     }
 
     #[test]
@@ -1495,6 +1618,8 @@ module "bench" {
                 cycle_args: false,
                 sample_interval: None,
                 progress: false,
+                insight_out: None,
+                flame_out: None,
             }
         );
     }

@@ -17,7 +17,9 @@ use dgc_core::{
     ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
     HostApp, InstanceOutcome, LaunchFaults,
 };
-use dgc_obs::{InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, RpcCallCounts, PID_HOST};
+use dgc_obs::{
+    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, RpcCallCounts, SpanGraph, PID_HOST,
+};
 use gpu_sim::{Gpu, StallBuckets};
 use host_rpc::{HostServices, RpcStats};
 use serde::Value;
@@ -198,6 +200,7 @@ pub fn run_ensemble_resilient(
     let mut total_time_s = 0.0f64;
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
+    let mut graph = SpanGraph::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -213,6 +216,7 @@ pub fn run_ensemble_resilient(
             let wait = policy.backoff_wait_s(attempt);
             total_time_s += wait;
             stats.backoff_s += wait;
+            graph.push_backoff(attempt, wait);
             obs.set_base_us(base_us);
             obs.instant_args(
                 PID_HOST,
@@ -317,6 +321,14 @@ pub fn run_ensemble_resilient(
             let mut chunk_tl = res.timeline;
             chunk_tl.shift_us(total_time_s * 1e6);
             timeline.merge(chunk_tl);
+            // Span graph: stamp the retry round, shift onto the launch
+            // timeline, and renumber chunk-local instances to the global
+            // ids — the same re-stamping the metrics got above.
+            let mut chunk_graph = res.graph;
+            chunk_graph.stamp_round(attempt);
+            chunk_graph.shift_start_s(total_time_s);
+            chunk_graph.remap_instances(&chunk);
+            graph.merge(chunk_graph);
             kernel_time_s += res.kernel_time_s;
             total_time_s += res.total_time_s;
             rpc_stats.merge(&res.rpc_stats);
@@ -399,6 +411,7 @@ pub fn run_ensemble_resilient(
             rpc_stats,
             metrics,
             timeline,
+            graph,
         },
         recovery: stats,
         kernel: format!("{}-x{}", app.name, n),

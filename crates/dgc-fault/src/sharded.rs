@@ -19,7 +19,8 @@ use dgc_core::{
     HostApp, InstanceOutcome, LaunchFaults,
 };
 use dgc_obs::{
-    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, DEVICE_PID_STRIDE, PID_HOST,
+    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph, DEVICE_PID_STRIDE,
+    PID_HOST,
 };
 use dgc_sched::{InstanceCosts, Placement};
 use gpu_sim::{DeviceFleet, SimReport};
@@ -154,6 +155,7 @@ pub fn run_ensemble_sharded_resilient(
     let mut dead_devices: Vec<u32> = Vec::new();
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
+    let mut graph = SpanGraph::default();
     let mut last_report = None;
     let base_us = obs.base_us();
     let traced = obs.is_enabled();
@@ -167,6 +169,7 @@ pub fn run_ensemble_sharded_resilient(
             let wait = policy.backoff_wait_s(attempt);
             total_time_s += wait;
             stats.backoff_s += wait;
+            graph.push_backoff(attempt, wait);
             obs.set_base_us(base_us);
             obs.instant_args(
                 PID_HOST,
@@ -351,6 +354,16 @@ pub fn run_ensemble_sharded_resilient(
                 chunk_tl.shift_us((total_time_s + device_elapsed) * 1e6);
                 chunk_tl.set_device(d as u32);
                 timeline.merge(chunk_tl);
+                // Span graph: this round's launches run concurrently
+                // across device lanes — the round costs its slowest lane,
+                // and replay folds each lane's `total_s` from zero
+                // exactly like `device_elapsed` below.
+                let mut chunk_graph = res.graph;
+                chunk_graph.stamp_round(attempt);
+                chunk_graph.stamp_device(d as u32, true);
+                chunk_graph.shift_start_s(total_time_s + device_elapsed);
+                chunk_graph.remap_instances(&chunk);
+                graph.merge(chunk_graph);
                 device_elapsed += res.total_time_s;
                 device_kernel += res.kernel_time_s;
                 rpc_stats.merge(&res.rpc_stats);
@@ -433,6 +446,7 @@ pub fn run_ensemble_sharded_resilient(
             rpc_stats,
             metrics,
             timeline,
+            graph,
         },
         recovery: stats,
         devices: m as u32,

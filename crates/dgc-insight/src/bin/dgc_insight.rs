@@ -1,0 +1,210 @@
+//! The run-analysis command line.
+//!
+//! ```text
+//! dgc-insight analyze --trace <trace.json> [--out <report.md>] [--flame-out <stacks.folded>]
+//! dgc-insight append  --bench <BENCH_ensemble.json> --ledger <ledger.jsonl>
+//!                     [--timestamp <iso8601>] [--util-mean <f>] [--util-p95 <f>] [--makespan-s <f>]
+//! dgc-insight report  --ledger <ledger.jsonl> [--out <report.md>]
+//! dgc-insight check   --ledger <ledger.jsonl> [--tolerance 0.5] [--window 5]
+//! dgc-insight flame-check <stacks.folded>
+//! ```
+//!
+//! Exit codes follow `prof-diff`'s contract: `0` pass, `1` regression
+//! (or invalid flamegraph), `2` usage or parse error.
+//!
+//! `analyze` reconstructs a span graph from a merged Chrome trace — an
+//! approximate path (durations round-trip through µs). For the
+//! bit-exact report, use `ensemble-cli --insight-out`, which renders
+//! from the in-process graph.
+
+use dgc_insight::{
+    folded_stacks, iso8601_utc, render_report, validate_folded, Ledger, LedgerEntry,
+};
+use dgc_obs::SpanGraph;
+use dgc_prof::BenchReport;
+
+fn fail_usage(msg: &str) -> ! {
+    eprintln!("dgc-insight: {msg}");
+    eprintln!(
+        "usage: dgc-insight analyze --trace <trace.json> [--out <md>] [--flame-out <folded>]"
+    );
+    eprintln!("       dgc-insight append --bench <BENCH.json> --ledger <ledger.jsonl> [--timestamp <iso>]");
+    eprintln!("                          [--util-mean <f>] [--util-p95 <f>] [--makespan-s <f>]");
+    eprintln!("       dgc-insight report --ledger <ledger.jsonl> [--out <md>]");
+    eprintln!("       dgc-insight check --ledger <ledger.jsonl> [--tolerance 0.5] [--window 5]");
+    eprintln!("       dgc-insight flame-check <stacks.folded>");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dgc-insight: {msg}");
+    std::process::exit(2);
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")))
+}
+
+fn write(path: &str, text: &str) {
+    std::fs::write(path, text).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+}
+
+/// Flag parser over `(name, value)` pairs; positional args rejected.
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String], allowed: &[&str]) -> Flags {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if !allowed.contains(&a.as_str()) {
+                fail_usage(&format!("unknown flag {a}"));
+            }
+            let v = it
+                .next()
+                .unwrap_or_else(|| fail_usage(&format!("{a} needs a value")));
+            pairs.push((a.clone(), v.clone()));
+        }
+        Flags(pairs)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> &str {
+        self.get(name)
+            .unwrap_or_else(|| fail_usage(&format!("{name} is required")))
+    }
+
+    fn get_f64(&self, name: &str) -> Option<f64> {
+        self.get(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail_usage(&format!("bad value for {name}: '{v}'")))
+        })
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        fail_usage("missing subcommand");
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "analyze" => {
+            let f = Flags::parse(rest, &["--trace", "--out", "--flame-out"]);
+            let trace = read(f.require("--trace"));
+            let graph = SpanGraph::from_chrome_trace(&trace)
+                .unwrap_or_else(|e| fail(&format!("trace: {e}")));
+            let report = render_report(&graph, None);
+            match f.get("--out") {
+                Some(path) => {
+                    write(path, &report);
+                    eprintln!("wrote report {path}");
+                }
+                None => print!("{report}"),
+            }
+            if let Some(path) = f.get("--flame-out") {
+                let stacks = folded_stacks(&graph);
+                validate_folded(&stacks)
+                    .unwrap_or_else(|e| fail(&format!("generated flamegraph invalid: {e}")));
+                write(path, &stacks);
+                eprintln!("wrote flamegraph {path}");
+            }
+        }
+        "append" => {
+            let f = Flags::parse(
+                rest,
+                &[
+                    "--bench",
+                    "--ledger",
+                    "--timestamp",
+                    "--util-mean",
+                    "--util-p95",
+                    "--makespan-s",
+                ],
+            );
+            let bench = BenchReport::parse(&read(f.require("--bench")))
+                .unwrap_or_else(|e| fail(&format!("bench report: {e}")));
+            let ledger_path = f.require("--ledger");
+            let timestamp = f
+                .get("--timestamp")
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| {
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs())
+                        .unwrap_or(0);
+                    iso8601_utc(now)
+                });
+            let mut entry = LedgerEntry::from_bench(&bench, &timestamp);
+            entry.utilization_mean = f.get_f64("--util-mean");
+            entry.utilization_p95 = f.get_f64("--util-p95");
+            entry.makespan_s = f.get_f64("--makespan-s");
+            // Validate the existing ledger before appending, so a broken
+            // file fails loudly instead of growing.
+            let mut text = std::fs::read_to_string(ledger_path).unwrap_or_default();
+            Ledger::load(&text).unwrap_or_else(|e| fail(&format!("{ledger_path}: {e}")));
+            if !text.is_empty() && !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&entry.to_json_line());
+            text.push('\n');
+            write(ledger_path, &text);
+            eprintln!(
+                "appended {} @ {} to {ledger_path}",
+                entry.git_rev, entry.timestamp
+            );
+        }
+        "report" => {
+            let f = Flags::parse(rest, &["--ledger", "--out"]);
+            let ledger = Ledger::load(&read(f.require("--ledger")))
+                .unwrap_or_else(|e| fail(&format!("ledger: {e}")));
+            let report = ledger.report();
+            match f.get("--out") {
+                Some(path) => {
+                    write(path, &report);
+                    eprintln!("wrote report {path}");
+                }
+                None => print!("{report}"),
+            }
+        }
+        "check" => {
+            let f = Flags::parse(rest, &["--ledger", "--tolerance", "--window"]);
+            let tolerance = f.get_f64("--tolerance").unwrap_or(0.5);
+            if !(0.0..1.0).contains(&tolerance) {
+                fail_usage("tolerance must be in [0, 1)");
+            }
+            let window = f
+                .get("--window")
+                .map(|v| {
+                    v.parse::<usize>()
+                        .unwrap_or_else(|_| fail_usage(&format!("bad window '{v}'")))
+                })
+                .unwrap_or(5)
+                .max(1);
+            let ledger = Ledger::load(&read(f.require("--ledger")))
+                .unwrap_or_else(|e| fail(&format!("ledger: {e}")));
+            let check = ledger.check(tolerance, window).unwrap_or_else(|e| fail(&e));
+            print!("{}", check.render());
+            std::process::exit(if check.has_regressions() { 1 } else { 0 });
+        }
+        "flame-check" => {
+            let [path] = rest else {
+                fail_usage("flame-check takes exactly one path");
+            };
+            match validate_folded(&read(path)) {
+                Ok(n) => println!("{path}: {n} stacks ok"),
+                Err(e) => {
+                    eprintln!("dgc-insight: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => fail_usage(&format!("unknown subcommand '{other}'")),
+    }
+}

@@ -1,0 +1,207 @@
+//! Folded-stack flamegraph export.
+//!
+//! [`folded_stacks`] renders a [`SpanGraph`] in the folded format the
+//! `inferno` / `flamegraph.pl` toolchain consumes: one stack per line,
+//! semicolon-separated frames, a positive integer sample count (here:
+//! microseconds of simulated wall time). The frame hierarchy is
+//!
+//! ```text
+//! dev{d};round {r};{kernel};{h2d argv | launch overhead | d2h results}
+//! dev{d};round {r};{kernel};instance {i};{stall bucket | kernel}
+//! host;backoff;round {r}
+//! ```
+//!
+//! so a flamegraph groups time by device lane, then retry round, then
+//! kernel, then instance, with the leaf frame naming what the time was
+//! spent on. [`validate_folded`] is the format's smoke check, used by
+//! `dgc-insight flame-check` in CI.
+
+use dgc_obs::{SpanGraph, SpanNode};
+use std::collections::BTreeMap;
+
+/// Round a span to integer microseconds (the folded sample count). Spans
+/// under half a microsecond vanish — the format has no fractions.
+fn us(seconds: f64) -> u64 {
+    (seconds * 1e6).round().max(0.0) as u64
+}
+
+/// Render the graph as folded stacks, aggregated (equal stacks merge)
+/// and sorted for deterministic output.
+pub fn folded_stacks(g: &SpanGraph) -> String {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    let mut add = |stack: String, n: u64| {
+        if n > 0 {
+            *counts.entry(stack).or_insert(0) += n;
+        }
+    };
+    for node in &g.nodes {
+        match node {
+            SpanNode::Backoff { round, wait_s } => {
+                add(format!("host;backoff;round {round}"), us(*wait_s));
+            }
+            SpanNode::Launch(l) => {
+                let base = format!("dev{};round {};{}", l.device, l.round, l.kernel);
+                add(format!("{base};h2d argv"), us(l.h2d_s));
+                add(format!("{base};launch overhead"), us(l.overhead_s));
+                add(format!("{base};d2h results"), us(l.d2h_s));
+                let body_s = (l.kernel_s - l.overhead_s).max(0.0);
+                if l.block_stalls.is_empty() {
+                    // No per-block stall decomposition: split the kernel
+                    // body evenly across the launch's instances.
+                    if l.instances.is_empty() {
+                        add(format!("{base};kernel"), us(body_s));
+                    } else {
+                        let per = body_s / l.instances.len() as f64;
+                        for &i in &l.instances {
+                            add(format!("{base};instance {i};kernel"), us(per));
+                        }
+                    }
+                    continue;
+                }
+                for (b, stalls) in l.block_stalls.iter().enumerate() {
+                    let members = l.block_instances(b as u32);
+                    for (name, cycles) in stalls.named() {
+                        let bucket_s = cycles * l.cycle_s;
+                        if members.is_empty() {
+                            add(format!("{base};block {b};{name}"), us(bucket_s));
+                        } else {
+                            let per = bucket_s / members.len() as f64;
+                            for &i in members {
+                                add(format!("{base};instance {i};{name}"), us(per));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, n) in counts {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Validate a folded-stack document: every non-empty line must be
+/// `frame(;frame)* <positive integer>` with no empty frames. Returns the
+/// number of stacks on success.
+pub fn validate_folded(text: &str) -> Result<usize, String> {
+    let mut stacks = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return Err(format!("line {lineno}: no sample count"));
+        };
+        let n: u64 = count
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad sample count '{count}'"))?;
+        if n == 0 {
+            return Err(format!("line {lineno}: zero sample count"));
+        }
+        if stack.split(';').any(|frame| frame.trim().is_empty()) {
+            return Err(format!("line {lineno}: empty frame in '{stack}'"));
+        }
+        stacks += 1;
+    }
+    if stacks == 0 {
+        return Err("no stacks".into());
+    }
+    Ok(stacks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_obs::LaunchNode;
+    use gpu_sim::StallBuckets;
+
+    fn graph() -> SpanGraph {
+        let mut g = SpanGraph::default();
+        g.push_backoff(1, 10e-6);
+        g.push_launch(LaunchNode {
+            kernel: "app-x2".into(),
+            device: 1,
+            round: 0,
+            concurrent: false,
+            start_s: 0.0,
+            h2d_s: 5e-6,
+            kernel_s: 100e-6,
+            d2h_s: 3e-6,
+            total_s: 108e-6,
+            overhead_s: 2e-6,
+            cycle_s: 1e-6,
+            waves: 1,
+            teams_per_block: 1,
+            instances: vec![7, 8],
+            block_stalls: vec![
+                StallBuckets {
+                    compute: 50.0,
+                    ..StallBuckets::default()
+                },
+                StallBuckets {
+                    compute: 30.0,
+                    mlp: 68.0,
+                    ..StallBuckets::default()
+                },
+            ],
+            wave_spans: vec![(0.0, 98.0, 2)],
+            chain: Vec::new(),
+        });
+        g
+    }
+
+    #[test]
+    fn folded_stacks_group_by_device_round_kernel_instance() {
+        let text = folded_stacks(&graph());
+        assert!(text.contains("host;backoff;round 1 10\n"), "{text}");
+        assert!(text.contains("dev1;round 0;app-x2;h2d argv 5\n"), "{text}");
+        assert!(
+            text.contains("dev1;round 0;app-x2;launch overhead 2\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dev1;round 0;app-x2;instance 7;compute 50\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("dev1;round 0;app-x2;instance 8;mlp 68\n"),
+            "{text}"
+        );
+        // Zero buckets are dropped entirely.
+        assert!(!text.contains("dram_bw"), "{text}");
+        assert_eq!(validate_folded(&text).unwrap(), text.lines().count());
+    }
+
+    #[test]
+    fn stall_free_launches_split_kernel_body_across_instances() {
+        let mut g = graph();
+        if let SpanNode::Launch(l) = &mut g.nodes[1] {
+            l.block_stalls.clear();
+        }
+        let text = folded_stacks(&g);
+        // Body 98 µs over two instances: 49 each.
+        assert!(
+            text.contains("dev1;round 0;app-x2;instance 7;kernel 49\n"),
+            "{text}"
+        );
+        assert!(validate_folded(&text).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_malformed_documents() {
+        assert!(validate_folded("").is_err());
+        assert!(validate_folded("\n\n").is_err());
+        assert!(validate_folded("a;b").is_err());
+        assert!(validate_folded("a;b zero").is_err());
+        assert!(validate_folded("a;b 0").is_err());
+        assert!(validate_folded("a;;b 5").is_err());
+        assert_eq!(validate_folded("a;b 5\n\nc 1\n").unwrap(), 2);
+    }
+}

@@ -1,0 +1,512 @@
+//! The cross-run perf ledger.
+//!
+//! An append-only JSONL file (one [`LedgerEntry`] per line, conventionally
+//! `results/ledger.jsonl`) accumulating every benchmark run's provenance
+//! and headline rates: git revision, workload config fingerprint, the
+//! `bench_harness` section throughputs, and optional utilization/makespan
+//! rollups. On top of it:
+//!
+//! * [`Ledger::report`] — a markdown trend report over the runs sharing
+//!   the latest entry's config fingerprint;
+//! * [`Ledger::check`] — the trend gate: the latest run's section rates
+//!   must not fall more than a tolerance below the trailing median of
+//!   the preceding comparable runs. The `dgc-insight check` binary maps
+//!   this onto `prof-diff`'s exit contract (0 pass, 1 regression,
+//!   2 usage/parse error).
+//!
+//! Entries with different config fingerprints are never trended against
+//! each other — a changed workload is a new baseline, not a regression.
+
+use dgc_prof::BenchReport;
+use serde::{Serialize, Value};
+
+/// Ledger line schema. History: 1 — initial (provenance + section rates
+/// + optional utilization/makespan rollups).
+pub const LEDGER_SCHEMA_VERSION: u32 = 1;
+
+/// One benchmark section's rates, as stored on a ledger line.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LedgerSection {
+    pub name: String,
+    /// Host wall-clock of the section, seconds.
+    pub wall_s: f64,
+    /// Completed instances per host second.
+    pub instances_per_s: f64,
+    /// Simulated device cycles per host second.
+    pub sim_cycles_per_s: f64,
+}
+
+/// One run of the benchmark harness, as appended to the ledger.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LedgerEntry {
+    pub schema: u32,
+    /// UTC timestamp of the append, ISO-8601 (`2026-08-09T12:00:00Z`).
+    pub timestamp: String,
+    /// Abbreviated git revision the run was built from (`+` = dirty).
+    pub git_rev: String,
+    /// Workload fingerprint ([`dgc_prof::config_fingerprint`]); trend
+    /// comparisons only happen between equal fingerprints.
+    pub config_hash: String,
+    pub total_wall_s: f64,
+    /// Launch-level issue-utilization rollups, when the run sampled a
+    /// timeline (`null` otherwise).
+    pub utilization_mean: Option<f64>,
+    pub utilization_p95: Option<f64>,
+    /// Reported ensemble makespan, when the run produced one.
+    pub makespan_s: Option<f64>,
+    pub sections: Vec<LedgerSection>,
+}
+
+impl LedgerEntry {
+    /// Build a ledger line from a `BENCH_ensemble.json` report. Schema-1
+    /// reports carry `"unknown"` provenance and still append cleanly.
+    pub fn from_bench(report: &BenchReport, timestamp: &str) -> LedgerEntry {
+        LedgerEntry {
+            schema: LEDGER_SCHEMA_VERSION,
+            timestamp: timestamp.to_string(),
+            git_rev: report.git_rev.clone(),
+            config_hash: report.config_hash.clone(),
+            total_wall_s: report.total_wall_s,
+            utilization_mean: None,
+            utilization_p95: None,
+            makespan_s: None,
+            sections: report
+                .sections
+                .iter()
+                .map(|s| LedgerSection {
+                    name: s.name.clone(),
+                    wall_s: s.wall_s,
+                    instances_per_s: s.instances_per_s,
+                    sim_cycles_per_s: s.sim_cycles_per_s,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        serde_json::to_string(self).expect("ledger entry serializes")
+    }
+
+    /// Parse one JSONL line.
+    pub fn parse(line: &str) -> Result<LedgerEntry, String> {
+        let doc: Value = serde_json::from_str(line).map_err(|e| format!("ledger JSON: {e}"))?;
+        let str_field = |key: &str| -> Result<String, String> {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .map(|s| s.to_string())
+                .ok_or_else(|| format!("ledger line without {key}"))
+        };
+        let f64_field = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("ledger line without {key}"))
+        };
+        let opt = |key: &str| doc.get(key).and_then(|v| v.as_f64());
+        let schema = doc
+            .get("schema")
+            .and_then(|v| v.as_u64())
+            .ok_or("ledger line without schema")? as u32;
+        let raw_sections = doc
+            .get("sections")
+            .and_then(|v| v.as_array())
+            .ok_or("ledger line without sections")?;
+        let mut sections = Vec::with_capacity(raw_sections.len());
+        for s in raw_sections {
+            let sf = |key: &str| -> Result<f64, String> {
+                s.get(key)
+                    .and_then(|v| v.as_f64())
+                    .ok_or_else(|| format!("ledger section without {key}"))
+            };
+            sections.push(LedgerSection {
+                name: s
+                    .get("name")
+                    .and_then(|v| v.as_str())
+                    .ok_or("ledger section without name")?
+                    .to_string(),
+                wall_s: sf("wall_s")?,
+                instances_per_s: sf("instances_per_s")?,
+                sim_cycles_per_s: sf("sim_cycles_per_s")?,
+            });
+        }
+        Ok(LedgerEntry {
+            schema,
+            timestamp: str_field("timestamp")?,
+            git_rev: str_field("git_rev")?,
+            config_hash: str_field("config_hash")?,
+            total_wall_s: f64_field("total_wall_s")?,
+            utilization_mean: opt("utilization_mean"),
+            utilization_p95: opt("utilization_p95"),
+            makespan_s: opt("makespan_s"),
+            sections,
+        })
+    }
+}
+
+/// One metric's verdict from the trend gate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CheckDelta {
+    pub section: String,
+    pub metric: String,
+    pub current: f64,
+    /// Trailing median over the comparable window.
+    pub median: f64,
+    /// `current / median` (∞-safe: 1.0 when the median is 0).
+    pub ratio: f64,
+    pub regressed: bool,
+}
+
+/// The trend gate's result over the latest entry.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct LedgerCheck {
+    /// Comparable prior runs the medians were taken over (0 = no
+    /// baseline yet; the gate passes vacuously).
+    pub baseline_runs: usize,
+    pub deltas: Vec<CheckDelta>,
+}
+
+impl LedgerCheck {
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    pub fn render(&self) -> String {
+        if self.baseline_runs == 0 {
+            return "ledger check: no comparable prior runs — pass (new baseline)\n".into();
+        }
+        let mut out = format!(
+            "ledger check against trailing median of {} run(s):\n",
+            self.baseline_runs
+        );
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "  {} {} {}: {:.3} vs median {:.3} ({:+.1}%)\n",
+                if d.regressed { "REGRESSED" } else { "ok" },
+                d.section,
+                d.metric,
+                d.current,
+                d.median,
+                (d.ratio - 1.0) * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// A loaded ledger: entries in append (chronological) order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Ledger {
+    pub entries: Vec<LedgerEntry>,
+}
+
+fn median(sorted_input: &[f64]) -> f64 {
+    let mut v = sorted_input.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+impl Ledger {
+    /// Parse a JSONL document; blank lines are tolerated, a malformed
+    /// line is an error naming its line number.
+    pub fn load(text: &str) -> Result<Ledger, String> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            entries.push(LedgerEntry::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(Ledger { entries })
+    }
+
+    /// Prior entries comparable to the latest (same config fingerprint),
+    /// newest-last, capped at `window`.
+    fn baseline_of_latest(&self, window: usize) -> (Option<&LedgerEntry>, Vec<&LedgerEntry>) {
+        let Some(latest) = self.entries.last() else {
+            return (None, Vec::new());
+        };
+        let n = self.entries.len();
+        let mut prior: Vec<&LedgerEntry> = self.entries[..n - 1]
+            .iter()
+            .filter(|e| e.config_hash == latest.config_hash)
+            .collect();
+        if prior.len() > window {
+            prior.drain(..prior.len() - window);
+        }
+        (Some(latest), prior)
+    }
+
+    /// Gate the latest entry's section rates against the trailing median
+    /// of the preceding comparable runs: a rate below
+    /// `median * (1 - tolerance)` is a regression. Errors when the
+    /// ledger is empty.
+    pub fn check(&self, tolerance: f64, window: usize) -> Result<LedgerCheck, String> {
+        let (latest, prior) = self.baseline_of_latest(window);
+        let latest = latest.ok_or("ledger is empty")?;
+        let mut check = LedgerCheck {
+            baseline_runs: prior.len(),
+            deltas: Vec::new(),
+        };
+        if prior.is_empty() {
+            return Ok(check);
+        }
+        for section in &latest.sections {
+            let series = |pick: fn(&LedgerSection) -> f64| -> Vec<f64> {
+                prior
+                    .iter()
+                    .flat_map(|e| e.sections.iter())
+                    .filter(|s| s.name == section.name)
+                    .map(pick)
+                    .collect()
+            };
+            for (metric, current, history) in [
+                (
+                    "instances/s",
+                    section.instances_per_s,
+                    series(|s| s.instances_per_s),
+                ),
+                (
+                    "sim cycles/s",
+                    section.sim_cycles_per_s,
+                    series(|s| s.sim_cycles_per_s),
+                ),
+            ] {
+                if history.is_empty() {
+                    continue;
+                }
+                let med = median(&history);
+                check.deltas.push(CheckDelta {
+                    section: section.name.clone(),
+                    metric: metric.to_string(),
+                    current,
+                    median: med,
+                    ratio: if med > 0.0 { current / med } else { 1.0 },
+                    regressed: med > 0.0 && current < med * (1.0 - tolerance),
+                });
+            }
+        }
+        Ok(check)
+    }
+
+    /// Render the markdown trend report: provenance of every run, then
+    /// per-section rate tables over the runs comparable to the latest.
+    pub fn report(&self) -> String {
+        let mut out = String::from("# Perf ledger trend report\n\n");
+        if self.entries.is_empty() {
+            out.push_str("The ledger is empty.\n");
+            return out;
+        }
+        let latest = self.entries.last().expect("non-empty");
+        out.push_str(&format!(
+            "{} run(s) on record; latest {} @ `{}` (config `{}`).\n\n",
+            self.entries.len(),
+            latest.timestamp,
+            latest.git_rev,
+            latest.config_hash
+        ));
+        let comparable: Vec<&LedgerEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.config_hash == latest.config_hash)
+            .collect();
+        let foreign = self.entries.len() - comparable.len();
+        if foreign > 0 {
+            out.push_str(&format!(
+                "{foreign} run(s) with other config fingerprints are excluded from the trend.\n\n"
+            ));
+        }
+        let mut section_names: Vec<&str> = Vec::new();
+        for e in &comparable {
+            for s in &e.sections {
+                if !section_names.contains(&s.name.as_str()) {
+                    section_names.push(&s.name);
+                }
+            }
+        }
+        for name in section_names {
+            out.push_str(&format!("## `{name}`\n\n"));
+            out.push_str("| timestamp | git rev | wall s | instances/s | sim cycles/s |\n");
+            out.push_str("|---|---|---:|---:|---:|\n");
+            let mut rates = Vec::new();
+            for e in &comparable {
+                if let Some(s) = e.sections.iter().find(|s| s.name == name) {
+                    out.push_str(&format!(
+                        "| {} | `{}` | {:.3} | {:.1} | {:.3e} |\n",
+                        e.timestamp, e.git_rev, s.wall_s, s.instances_per_s, s.sim_cycles_per_s
+                    ));
+                    rates.push(s.instances_per_s);
+                }
+            }
+            if rates.len() > 1 {
+                let hist = &rates[..rates.len() - 1];
+                let med = median(hist);
+                let cur = *rates.last().expect("non-empty");
+                let delta = if med > 0.0 {
+                    (cur / med - 1.0) * 100.0
+                } else {
+                    0.0
+                };
+                out.push_str(&format!(
+                    "\ntrailing median {med:.1} instances/s, latest {cur:.1} ({delta:+.1}%)\n"
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a unix timestamp (seconds) as ISO-8601 UTC
+/// (`2026-08-09T12:34:56Z`). Days-to-civil conversion per the standard
+/// proleptic-Gregorian algorithm.
+pub fn iso8601_utc(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let secs = unix_secs % 86_400;
+    let (h, m, s) = (secs / 3600, (secs % 3600) / 60, secs % 60);
+    // civil_from_days (Howard Hinnant's algorithm), era-based.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let mo = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if mo <= 2 { y + 1 } else { y };
+    format!("{y:04}-{mo:02}-{d:02}T{h:02}:{m:02}:{s:02}Z")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgc_prof::{BenchSection, BENCH_SCHEMA_VERSION};
+
+    fn bench(rate: f64) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA_VERSION,
+            git_rev: "abc123def456".into(),
+            config_hash: "00ff00ff00ff00ff".into(),
+            total_wall_s: 1.0,
+            sections: vec![BenchSection {
+                name: "figure6_smoke_tl32".into(),
+                wall_s: 1.0,
+                instances: 100,
+                sim_cycles: 1e9,
+                instances_per_s: rate,
+                sim_cycles_per_s: rate * 1e7,
+            }],
+        }
+    }
+
+    fn ledger_of(rates: &[f64]) -> Ledger {
+        let text: String = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let mut e =
+                    LedgerEntry::from_bench(&bench(r), &iso8601_utc(1_700_000_000 + i as u64));
+                e.makespan_s = Some(0.5);
+                e.to_json_line() + "\n"
+            })
+            .collect();
+        Ledger::load(&text).unwrap()
+    }
+
+    #[test]
+    fn entry_round_trips_through_jsonl() {
+        let mut e = LedgerEntry::from_bench(&bench(100.0), "2026-08-09T00:00:00Z");
+        e.utilization_mean = Some(0.4);
+        e.utilization_p95 = Some(0.9);
+        let back = LedgerEntry::parse(&e.to_json_line()).unwrap();
+        assert_eq!(e, back);
+        assert!(LedgerEntry::parse("{}").is_err());
+        assert!(LedgerEntry::parse("not json").is_err());
+        // Missing optional rollups parse as None.
+        let plain = LedgerEntry::from_bench(&bench(1.0), "t");
+        let back = LedgerEntry::parse(&plain.to_json_line()).unwrap();
+        assert_eq!(back.utilization_mean, None);
+        assert_eq!(back.makespan_s, None);
+    }
+
+    #[test]
+    fn load_tolerates_blank_lines_and_reports_bad_ones() {
+        let good = LedgerEntry::from_bench(&bench(10.0), "t").to_json_line();
+        let l = Ledger::load(&format!("\n{good}\n\n{good}\n")).unwrap();
+        assert_eq!(l.entries.len(), 2);
+        let err = Ledger::load(&format!("{good}\nbroken\n")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn check_passes_steady_rates_and_flags_collapses() {
+        let steady = ledger_of(&[100.0, 102.0, 98.0, 101.0]);
+        let check = steady.check(0.2, 5).unwrap();
+        assert_eq!(check.baseline_runs, 3);
+        assert!(!check.has_regressions(), "{}", check.render());
+
+        let collapsed = ledger_of(&[100.0, 102.0, 98.0, 40.0]);
+        let check = collapsed.check(0.2, 5).unwrap();
+        assert!(check.has_regressions());
+        assert!(check.render().contains("REGRESSED"));
+
+        // A single entry has no baseline: vacuous pass.
+        let first = ledger_of(&[100.0]);
+        let check = first.check(0.2, 5).unwrap();
+        assert_eq!(check.baseline_runs, 0);
+        assert!(!check.has_regressions());
+        assert!(Ledger::default().check(0.2, 5).is_err());
+    }
+
+    #[test]
+    fn check_ignores_entries_with_other_fingerprints() {
+        let mut l = ledger_of(&[100.0, 100.0]);
+        // A slow run under a *different* workload fingerprint must not
+        // drag the median, and a fast history under a different
+        // fingerprint must not flag the latest as regressed.
+        let mut foreign = LedgerEntry::from_bench(&bench(1000.0), "t");
+        foreign.config_hash = "1111111111111111".into();
+        l.entries.insert(0, foreign);
+        let check = l.check(0.2, 5).unwrap();
+        assert_eq!(check.baseline_runs, 1);
+        assert!(!check.has_regressions());
+    }
+
+    #[test]
+    fn window_caps_the_baseline() {
+        let l = ledger_of(&[1.0, 1.0, 100.0, 100.0, 100.0, 100.0]);
+        // Window 3 sees only the fast recent runs; the early slow ones
+        // age out of the median.
+        let check = l.check(0.2, 3).unwrap();
+        assert_eq!(check.baseline_runs, 3);
+        assert!(!check.has_regressions());
+    }
+
+    #[test]
+    fn report_renders_trend_table() {
+        let l = ledger_of(&[100.0, 110.0, 105.0]);
+        let text = l.report();
+        assert!(text.contains("# Perf ledger trend report"));
+        assert!(text.contains("3 run(s) on record"));
+        assert!(text.contains("## `figure6_smoke_tl32`"));
+        assert!(text.contains("trailing median 105.0 instances/s"));
+        assert!(Ledger::default().report().contains("empty"));
+    }
+
+    #[test]
+    fn iso8601_matches_known_timestamps() {
+        assert_eq!(iso8601_utc(0), "1970-01-01T00:00:00Z");
+        assert_eq!(iso8601_utc(86_400), "1970-01-02T00:00:00Z");
+        // 2026-08-09 00:00:00 UTC.
+        assert_eq!(iso8601_utc(1_786_233_600), "2026-08-09T00:00:00Z");
+        assert_eq!(iso8601_utc(951_825_599), "2000-02-29T11:59:59Z");
+    }
+}

@@ -18,17 +18,25 @@
 //!    periodic samples converted to wall microseconds, exported both as
 //!    Chrome counter tracks (`"ph":"C"`) and as the metrics schema v5
 //!    `timeline` array.
+//! 5. [`SpanGraph`] — the causal span graph: every driver's exact
+//!    makespan addends in accumulation order, plus per-launch critical
+//!    chains, stall buckets and wave layouts. `dgc-insight` consumes it
+//!    for critical-path blame analysis and flamegraph export;
+//!    [`SpanGraph::replay_makespan_s`] reproduces the reported makespan
+//!    bit-exactly.
 //!
 //! The recorder is deliberately format-agnostic: instrumentation sites in
 //! `dgc-core`, `gpu-sim` and `host-rpc` only push named spans; the lane
 //! conventions ([`PID_HOST`], [`sm_pid`]) and exporters live here.
 
 mod chrome;
+mod graph;
 mod metrics;
 mod recorder;
 mod timeline;
 
 pub use chrome::validate_chrome_trace;
+pub use graph::{CriticalHop, LaunchNode, SpanGraph, SpanNode};
 pub use metrics::{
     metrics_jsonl, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Log2Histogram,
     RpcCallCounts, METRICS_SCHEMA_VERSION,

@@ -268,6 +268,67 @@ mod tests {
     }
 
     #[test]
+    fn merge_keeps_disjoint_device_lanes_independently_monotonic() {
+        // Two devices sample concurrently: their global interleave is
+        // NOT time-sorted after a merge, but each device lane stays
+        // strictly increasing — the invariant the schema documents and
+        // per-lane consumers (counter tracks, rollups) rely on.
+        let mut dev0 = LaunchTimeline::from_samples(&sim_timeline(), 1.0, 0.0, 0, 64);
+        let mut dev1 = LaunchTimeline::from_samples(&sim_timeline(), 1.0, 0.0, 0, 128);
+        dev0.shift_us(50.0);
+        dev1.set_device(1);
+        let mut merged = LaunchTimeline::default();
+        merged.merge(dev0);
+        merged.merge(dev1);
+        assert_eq!(merged.points.len(), 4);
+        for dev in [0u32, 1u32] {
+            let lane: Vec<f64> = merged
+                .points
+                .iter()
+                .filter(|p| p.device == dev)
+                .map(|p| p.t_us)
+                .collect();
+            assert_eq!(lane.len(), 2, "device {dev} lane incomplete");
+            assert!(
+                lane.windows(2).all(|w| w[1] > w[0]),
+                "device {dev}: {lane:?}"
+            );
+        }
+        // Lane context survives the merge: heap occupancy stays with the
+        // device that measured it, and the rollup sees every sample.
+        assert!(merged
+            .points
+            .iter()
+            .all(|p| p.heap_bytes == if p.device == 0 { 64 } else { 128 }));
+        assert_eq!(merged.issue_rates().len(), 4);
+        // Merging an empty series is the identity.
+        let before = merged.clone();
+        merged.merge(LaunchTimeline::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn single_sample_and_empty_series_feed_rollups_cleanly() {
+        let one = UtilizationTimeline {
+            interval: 100.0,
+            samples: vec![UtilizationSample {
+                cycle: 40.0,
+                active_teams: 1,
+                resident_blocks: 1,
+                occupancy: 0.25,
+                issue_rate: 0.125,
+                dram_rate: 0.0,
+                stall: StallBuckets::default(),
+            }],
+        };
+        let tl = LaunchTimeline::from_samples(&one, 1.0, 0.0, 0, 0);
+        assert_eq!(tl.issue_rates(), vec![0.125]);
+        // The empty series (sampling off) yields an empty rollup input,
+        // which the stats layer maps to None rather than NaN.
+        assert!(LaunchTimeline::default().issue_rates().is_empty());
+    }
+
+    #[test]
     fn emit_counters_produces_valid_counter_tracks() {
         let tl = LaunchTimeline::from_samples(&sim_timeline(), 1.0, 0.0, 0, 1024);
         let mut rec = Recorder::enabled();

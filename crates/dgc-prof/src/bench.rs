@@ -25,7 +25,13 @@ use std::collections::BTreeMap;
 use crate::ParseError;
 
 /// Schema version of `BENCH_ensemble.json`.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — sections + total wall time.
+/// * v2 — adds `git_rev` and `config_hash` so every snapshot is
+///   self-identifying (the `dgc-insight` ledger copies them verbatim).
+///   [`BenchReport::parse`] still accepts v1 documents; the provenance
+///   fields default to `"unknown"`.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One timed section of the harness (a sweep or a sharded run).
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -47,6 +53,14 @@ pub struct BenchSection {
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct BenchReport {
     pub schema: u32,
+    /// Abbreviated git revision the harness ran at (schema ≥ 2;
+    /// `"unknown"` outside a git checkout or for v1 documents).
+    pub git_rev: String,
+    /// Fingerprint of the harness configuration (schema ≥ 2; see
+    /// [`crate::config_fingerprint`]). Two reports with different
+    /// hashes measured different workloads and should not be trended
+    /// against each other.
+    pub config_hash: String,
     pub sections: Vec<BenchSection>,
     pub total_wall_s: f64,
 }
@@ -93,8 +107,18 @@ impl BenchReport {
         if sections.is_empty() {
             return Err(ParseError("bench report has no sections".into()));
         }
+        // Provenance fields are v2; a v1 document parses with defaults so
+        // BenchDiff accepts either schema on either side.
+        let text_field = |key: &str| {
+            doc.get(key)
+                .and_then(|v| v.as_str())
+                .unwrap_or("unknown")
+                .to_string()
+        };
         Ok(Self {
             schema,
+            git_rev: text_field("git_rev"),
+            config_hash: text_field("config_hash"),
             sections,
             total_wall_s,
         })
@@ -308,6 +332,8 @@ mod tests {
         let total_wall_s = sections.iter().map(|s| s.wall_s).sum();
         BenchReport {
             schema: BENCH_SCHEMA_VERSION,
+            git_rev: "abc123def456".into(),
+            config_hash: "00ff00ff00ff00ff".into(),
             sections,
             total_wall_s,
         }
@@ -322,6 +348,20 @@ mod tests {
         let text = serde_json::to_string_pretty(&r).unwrap();
         let parsed = BenchReport::parse(&text).unwrap();
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn schema_v1_documents_parse_with_unknown_provenance() {
+        let v1 = r#"{"schema":1,"total_wall_s":1.0,"sections":[
+            {"name":"a","wall_s":1.0,"instances":10,"sim_cycles":1e6,
+             "instances_per_s":10.0,"sim_cycles_per_s":1e6}]}"#;
+        let parsed = BenchReport::parse(v1).unwrap();
+        assert_eq!(parsed.schema, 1);
+        assert_eq!(parsed.git_rev, "unknown");
+        assert_eq!(parsed.config_hash, "unknown");
+        // BenchDiff accepts a v1 golden against a v2 current.
+        let current = report(vec![section("a", 1.0, 10, 1e6)]);
+        assert!(!BenchDiff::compare(&parsed, &current, 0.05, 10.0).has_regressions());
     }
 
     #[test]

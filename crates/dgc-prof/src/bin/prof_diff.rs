@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! prof-diff <baseline> <current> [--tolerance 0.05] [--json]
+//!           [--ignore-field <name>]... [--keep-all-fields]
 //! ```
 //!
 //! Compares two metrics snapshots (MeasuredConfig JSONL, figure6 panel
@@ -12,12 +13,20 @@
 //! * `1` — at least one regression (or a baseline configuration is
 //!   missing / newly OOM)
 //! * `2` — usage or parse error
+//!
+//! The large schema-v5 `timeline` arrays are stripped before parsing by
+//! default (a sampling-only change must never move the gate, and
+//! skipping them keeps diffs fast). `--ignore-field <name>` strips
+//! further fields; `--keep-all-fields` disables the default.
 
-use dgc_prof::{ProfileDiff, Snapshot};
+use dgc_prof::{strip_json_fields, ProfileDiff, Snapshot};
 
 fn fail_usage(msg: &str) -> ! {
     eprintln!("prof-diff: {msg}");
-    eprintln!("usage: prof-diff <baseline> <current> [--tolerance 0.05] [--json]");
+    eprintln!(
+        "usage: prof-diff <baseline> <current> [--tolerance 0.05] [--json] \
+         [--ignore-field <name>]... [--keep-all-fields]"
+    );
     std::process::exit(2);
 }
 
@@ -26,6 +35,7 @@ fn main() {
     let mut paths: Vec<String> = Vec::new();
     let mut tolerance = 0.05f64;
     let mut json = false;
+    let mut ignore_fields: Vec<String> = vec!["timeline".to_string()];
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,6 +51,15 @@ fn main() {
                 }
             }
             "--json" => json = true,
+            "--ignore-field" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail_usage("--ignore-field needs a value"));
+                if !ignore_fields.contains(v) {
+                    ignore_fields.push(v.to_string());
+                }
+            }
+            "--keep-all-fields" => ignore_fields.retain(|f| f != "timeline"),
             flag if flag.starts_with("--") => fail_usage(&format!("unknown flag {flag}")),
             path => paths.push(path.to_string()),
         }
@@ -48,11 +67,15 @@ fn main() {
     if paths.len() != 2 {
         fail_usage("expected exactly two snapshot paths");
     }
+    let ignore: Vec<&str> = ignore_fields.iter().map(|s| s.as_str()).collect();
     let load = |path: &str| -> Snapshot {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        let mut text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("prof-diff: cannot read {path}: {e}");
             std::process::exit(2);
         });
+        if !ignore.is_empty() {
+            text = strip_json_fields(&text, &ignore);
+        }
         Snapshot::parse(&text).unwrap_or_else(|e| {
             eprintln!("prof-diff: {path}: {e}");
             std::process::exit(2);

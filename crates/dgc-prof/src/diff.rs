@@ -204,6 +204,123 @@ fn field_u64(v: &Value, key: &str) -> Option<u64> {
     v.get(key).and_then(|x| x.as_u64())
 }
 
+/// Remove `"field": <value>` members from raw JSON text before parsing.
+///
+/// The v5 launch record's `timeline` array can dwarf the rest of the
+/// snapshot by orders of magnitude; stripping it keeps `prof-diff` fast
+/// and makes the gate indifferent to sampling-only changes (`prof-diff
+/// --ignore-field`, which ignores `timeline` by default). The scanner is
+/// purely lexical — balanced braces/brackets with JSON string escapes —
+/// so it works per line on JSONL without a full parse, and leaves
+/// malformed text for the parser to reject with a real error.
+pub fn strip_json_fields(text: &str, fields: &[&str]) -> String {
+    let b = text.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0usize;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let end = skip_string(b, i);
+            let key = &text[i + 1..end.saturating_sub(1).max(i + 1)];
+            // A string is a candidate key when the next non-space byte
+            // is a colon.
+            let mut j = end;
+            while j < b.len() && b[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if j < b.len() && b[j] == b':' && fields.contains(&key) {
+                let mut k = j + 1;
+                while k < b.len() && b[k].is_ascii_whitespace() {
+                    k += 1;
+                }
+                k = skip_value(b, k);
+                // Swallow one adjacent comma so the member list stays
+                // well-formed: prefer the trailing one, else the
+                // preceding one already emitted.
+                let mut m = k;
+                while m < b.len() && (b[m] == b' ' || b[m] == b'\t') {
+                    m += 1;
+                }
+                if m < b.len() && b[m] == b',' {
+                    i = m + 1;
+                } else {
+                    while out.last().is_some_and(|&c| c == b' ' || c == b'\t') {
+                        out.pop();
+                    }
+                    if out.last() == Some(&b',') {
+                        out.pop();
+                    }
+                    i = k;
+                }
+                continue;
+            }
+            out.extend_from_slice(&b[i..end]);
+            i = end;
+            continue;
+        }
+        out.push(b[i]);
+        i += 1;
+    }
+    // Only whole well-formed segments were removed, so the bytes are
+    // still valid UTF-8 whenever the input was.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+/// Index just past the closing quote of the string starting at `b[i]`.
+fn skip_string(b: &[u8], i: usize) -> usize {
+    debug_assert_eq!(b[i], b'"');
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Index just past the JSON value starting at `b[i]` (string, object,
+/// array, or primitive token).
+fn skip_value(b: &[u8], i: usize) -> usize {
+    if i >= b.len() {
+        return i;
+    }
+    match b[i] {
+        b'"' => skip_string(b, i),
+        b'{' | b'[' => {
+            let mut depth = 0usize;
+            let mut j = i;
+            while j < b.len() {
+                match b[j] {
+                    b'"' => j = skip_string(b, j),
+                    b'{' | b'[' => {
+                        depth += 1;
+                        j += 1;
+                    }
+                    b'}' | b']' => {
+                        depth -= 1;
+                        j += 1;
+                        if depth == 0 {
+                            return j;
+                        }
+                    }
+                    _ => j += 1,
+                }
+            }
+            j
+        }
+        _ => {
+            // Primitive: runs to the next structural byte.
+            let mut j = i;
+            while j < b.len() && !matches!(b[j], b',' | b'}' | b']') && !b[j].is_ascii_whitespace()
+            {
+                j += 1;
+            }
+            j
+        }
+    }
+}
+
 /// `"xsbench-x64"` → `("xsbench", 64)`; names without the suffix map to
 /// one instance.
 fn split_kernel_name(kernel: &str) -> (String, u32) {
@@ -565,6 +682,45 @@ mod tests {
         // Noise below the absolute epsilon also passes.
         let d = ProfileDiff::compare(&base, &snap(&[("a", 32, 1, Some(1e-12))]), 0.05);
         assert_eq!(d.deltas[0].kind, DeltaKind::Unchanged);
+    }
+
+    #[test]
+    fn strip_json_fields_removes_members_lexically() {
+        // Trailing-comma case: the member's own comma goes with it.
+        assert_eq!(
+            strip_json_fields(
+                r#"{"a":1,"timeline":[{"t":1},{"t":2}],"b":2}"#,
+                &["timeline"]
+            ),
+            r#"{"a":1,"b":2}"#
+        );
+        // Last-member case: the preceding comma goes instead.
+        assert_eq!(
+            strip_json_fields(r#"{"a":1,"timeline":[1,2,3]}"#, &["timeline"]),
+            r#"{"a":1}"#
+        );
+        // Strings, nesting and escapes don't confuse the scanner; a
+        // value string containing the field name is untouched.
+        assert_eq!(
+            strip_json_fields(
+                r#"{"k":"timeline","timeline":{"x":"a\"b,}","y":[{}]},"n":3}"#,
+                &["timeline"]
+            ),
+            r#"{"k":"timeline","n":3}"#
+        );
+        // Works per line on JSONL and with multiple fields.
+        let jsonl = "{\"a\":1,\"big\":[1,2]}\n{\"b\":null,\"big\":{},\"c\":true}\n";
+        assert_eq!(
+            strip_json_fields(jsonl, &["big", "c"]),
+            "{\"a\":1}\n{\"b\":null}\n"
+        );
+        // No match: byte-identical output.
+        let text = r#"{"a": [1, 2], "b": "x"}"#;
+        assert_eq!(strip_json_fields(text, &["missing"]), text);
+        // A stripped snapshot still parses.
+        let launch = r#"{"record":"launch","schema":5,"kernel":"xsbench-x4","instances":4,"unrecovered":0,"kernel_time_s":0.002,"timeline":[{"ts_us":1.0,"utilization":0.5}]}"#;
+        let s = Snapshot::parse(&strip_json_fields(launch, &["timeline"])).unwrap();
+        assert_eq!(s.entries[&key("xsbench", 0, 4)], Some(0.002));
     }
 
     #[test]

@@ -25,12 +25,15 @@
 
 mod bench;
 mod diff;
+mod provenance;
 mod roofline;
 
 pub use bench::{
     BenchDelta, BenchDeltaKind, BenchDiff, BenchReport, BenchSection, BENCH_SCHEMA_VERSION,
 };
 pub use diff::{
-    ConfigKey, Delta, DeltaKind, ParseError, ProfileDiff, Snapshot, ZERO_BASELINE_EPSILON_S,
+    strip_json_fields, ConfigKey, Delta, DeltaKind, ParseError, ProfileDiff, Snapshot,
+    ZERO_BASELINE_EPSILON_S,
 };
+pub use provenance::{config_fingerprint, git_rev};
 pub use roofline::{BoundClass, RooflinePoint};

@@ -6,7 +6,9 @@ use dgc_core::{
     ensure_arg_capacity, run_ensemble_batched_traced, run_ensemble_traced, EnsembleError,
     EnsembleOptions, EnsembleResult, HostApp, InstanceOutcome,
 };
-use dgc_obs::{InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, DEVICE_PID_STRIDE};
+use dgc_obs::{
+    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph, DEVICE_PID_STRIDE,
+};
 use gpu_sim::DeviceFleet;
 use host_rpc::{HostServices, RpcStats};
 
@@ -195,6 +197,7 @@ pub fn run_ensemble_sharded(
     let mut kernel_time_s = 0.0f64;
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
+    let mut graph = SpanGraph::default();
     let mut slowest: Option<(f64, EnsembleResult)> = None;
 
     for (d, run) in runs.into_iter().enumerate() {
@@ -219,6 +222,14 @@ pub fn run_ensemble_sharded(
         let mut device_tl = std::mem::take(&mut res.timeline);
         device_tl.set_device(d as u32);
         timeline.merge(device_tl);
+        // Span graph: device lanes run concurrently from t = 0, so the
+        // shard's nodes only get the device stamp (concurrent — replay
+        // folds each lane from zero and takes the slowest, reproducing
+        // the makespan fold below) and the global instance ids.
+        let mut device_graph = std::mem::take(&mut res.graph);
+        device_graph.stamp_device(d as u32, true);
+        device_graph.remap_instances(&assignment[d]);
+        graph.merge(device_graph);
         if traced {
             obs.merge_shifted(
                 &run.recorder,
@@ -257,6 +268,7 @@ pub fn run_ensemble_sharded(
             rpc_stats,
             metrics,
             timeline,
+            graph,
         },
         devices: m as u32,
         placement,

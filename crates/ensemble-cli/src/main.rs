@@ -17,7 +17,15 @@
 //! `--timeline` samples device utilization over time (`--sample-interval
 //! <cycles>` tunes the rate), adding Chrome counter tracks to the trace
 //! and the schema-v5 `timeline` array to the metrics; `--progress` prints
-//! a status line to stderr (suppressed by `--quiet`).
+//! status lines to stderr (suppressed by `--quiet`) — with `--batch` the
+//! batched driver reports completed/total instances, the observed
+//! instances-per-second rate and an ETA after every batch.
+//!
+//! Post-hoc analysis: `--insight-out report.md` writes the `dgc-insight`
+//! run analysis (critical path whose span sum reproduces the reported
+//! makespan bit-exactly, blame tables, wave Gantt) and `--flame-out
+//! stacks.folded` writes an inferno-compatible folded-stack flamegraph,
+//! both rendered from the run's in-process span graph.
 //!
 //! Fault tolerance: `--faults plan.json` injects a deterministic fault
 //! plan and drives the run through the resilient driver, which re-launches
@@ -53,6 +61,7 @@ fn usage() -> ! {
     eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast]");
     eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
     eprintln!("                    [--timeline] [--sample-interval <cycles>] [--progress]");
+    eprintln!("                    [--insight-out <report.md>] [--flame-out <stacks.folded>]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -220,8 +229,27 @@ fn main() {
     } else {
         let mut gpu = Gpu::a100();
         let res = if cli.batch > 0 {
-            dgc_core::run_ensemble_batched_traced(
-                &mut gpu, &app, &arg_lines, &opts, cli.batch, &mut obs,
+            // Per-batch progress with rate + ETA from the wall clock and
+            // the completed/total instance counts.
+            let report_progress = cli.progress && !cli.quiet;
+            let started = std::time::Instant::now();
+            dgc_core::run_ensemble_batched_progress(
+                &mut gpu,
+                &app,
+                &arg_lines,
+                &opts,
+                cli.batch,
+                &mut obs,
+                &mut |done, total| {
+                    if !report_progress || done == 0 {
+                        return;
+                    }
+                    let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
+                    let eta_s = total.saturating_sub(done) as f64 / rate.max(1e-9);
+                    eprintln!(
+                        "progress: {done}/{total} instances | {rate:.1} instances/s | eta {eta_s:.1} s"
+                    );
+                },
             )
         } else {
             run_ensemble_traced(
@@ -330,6 +358,28 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("wrote trace {path} ({} events)", obs.events().len());
+    }
+    if let Some(path) = &cli.insight_out {
+        // Every driver reports its makespan as total_time_s (sharded
+        // drivers set it to the fleet makespan), so the report's
+        // bit-exactness check compares against the right number.
+        let report = dgc_insight::render_report(&result.graph, Some(result.total_time_s));
+        if let Err(e) = std::fs::write(path, report) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote insight report {path}");
+    }
+    if let Some(path) = &cli.flame_out {
+        let stacks = dgc_insight::folded_stacks(&result.graph);
+        if let Err(e) = std::fs::write(path, &stacks) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote flamegraph {path} ({} stacks)",
+            stacks.lines().count()
+        );
     }
     if let Some(path) = &cli.metrics_out {
         let launch = recovery

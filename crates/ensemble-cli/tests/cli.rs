@@ -118,6 +118,86 @@ fn progress_reports_to_stderr_and_quiet_suppresses_it() {
 }
 
 #[test]
+fn batched_progress_reports_rate_and_eta_per_batch() {
+    let f = arg_file("progress-eta", 4);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--batch",
+        "2",
+        "--progress",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Two batches of two: both completion counts appear, with the
+    // observed rate and an ETA, before the final summary line.
+    assert!(err.contains("progress: 2/4 instances"), "{err}");
+    assert!(err.contains("progress: 4/4 instances"), "{err}");
+    assert!(err.contains("instances/s | eta"), "{err}");
+    assert!(err.contains("progress: waves"), "{err}");
+    // --quiet still suppresses every progress line.
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--batch",
+        "2",
+        "--progress",
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("progress:"));
+}
+
+#[test]
+fn insight_and_flame_outputs_render_from_the_run_graph() {
+    let f = arg_file("insight", 2);
+    let report = std::env::temp_dir().join("ensemble-cli-test-insight.md");
+    let flame = std::env::temp_dir().join("ensemble-cli-test-flame.folded");
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--quiet",
+        "--insight-out",
+        report.to_str().unwrap(),
+        "--flame-out",
+        flame.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let md = std::fs::read_to_string(&report).unwrap();
+    // The in-process graph replays the reported makespan bit-exactly.
+    assert!(md.contains("reproduces it bit-exactly"), "{md}");
+    for needle in ["## Critical path", "By stall bucket", "## Wave Gantt"] {
+        assert!(md.contains(needle), "missing {needle}: {md}");
+    }
+    let folded = std::fs::read_to_string(&flame).unwrap();
+    dgc_insight::validate_folded(&folded).expect("flamegraph validates");
+    assert!(folded.contains("dev0;round 0;xsbench-x2;"), "{folded}");
+}
+
+#[test]
+fn sharded_insight_report_covers_both_device_lanes() {
+    let f = arg_file("insight-sharded", 4);
+    let report = std::env::temp_dir().join("ensemble-cli-test-insight-sharded.md");
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--devices",
+        "2",
+        "--quiet",
+        "--insight-out",
+        report.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let md = std::fs::read_to_string(&report).unwrap();
+    assert!(md.contains("devices: 2"), "{md}");
+    assert!(md.contains("reproduces it bit-exactly"), "{md}");
+}
+
+#[test]
 fn timeline_flag_adds_counter_tracks_to_traces() {
     let f = arg_file("timeline-trace", 2);
     let plain = std::env::temp_dir().join("ensemble-cli-test-trace-plain.json");

@@ -108,6 +108,83 @@ impl ScheduleDetail {
     pub fn waves(&self) -> u32 {
         self.wave_starts.len() as u32
     }
+
+    /// The block that bounded the kernel: the last one to finish, with
+    /// ties broken toward the lowest block id (placement order). `None`
+    /// only for an empty schedule.
+    pub fn critical_block(&self) -> Option<&BlockSchedule> {
+        self.blocks.iter().min_by(|a, b| {
+            b.end_cycle
+                .partial_cmp(&a.end_cycle)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.block.cmp(&b.block))
+        })
+    }
+
+    /// The kernel's critical chain, in start order: walk back from
+    /// [`ScheduleDetail::critical_block`] through SM-slot dependencies.
+    /// Each hop's predecessor is the latest-finishing *earlier* block on
+    /// the same SM whose `end_cycle` does not exceed the hop's
+    /// `start_cycle` — the completion that freed the slot the hop was
+    /// waiting for. The walk stops at a block that started with the wave
+    /// that had a free slot from cycle 0.
+    ///
+    /// The chain tiles the kernel: summing each hop's residence
+    /// (`end - start`) plus its scheduling gap (`start` minus the
+    /// predecessor's `end`) telescopes to the critical block's
+    /// `end_cycle`, i.e. the kernel cycles.
+    pub fn critical_chain(&self) -> Vec<&BlockSchedule> {
+        let mut chain: Vec<&BlockSchedule> = Vec::new();
+        let mut cur = match self.critical_block() {
+            Some(b) => b,
+            None => return chain,
+        };
+        let mut visited = vec![false; self.blocks.len()];
+        loop {
+            chain.push(cur);
+            if let Some(i) = self.blocks.iter().position(|b| b.block == cur.block) {
+                visited[i] = true;
+            }
+            let pred = self
+                .blocks
+                .iter()
+                .enumerate()
+                .filter(|&(i, b)| {
+                    !visited[i]
+                        && b.sm == cur.sm
+                        && b.end_cycle <= cur.start_cycle
+                        && b.start_cycle < cur.start_cycle
+                })
+                .min_by(|(_, a), (_, b)| {
+                    b.end_cycle
+                        .partial_cmp(&a.end_cycle)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.block.cmp(&b.block))
+                });
+            match pred {
+                Some((_, p)) => cur = p,
+                None => break,
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Per-wave `(start_cycle, end_cycle, blocks)` summary — the rows of
+    /// a wave-level Gantt chart. `end_cycle` is the last completion among
+    /// the wave's blocks (0 for a wave that placed no block, which does
+    /// not happen in practice).
+    pub fn wave_spans(&self) -> Vec<(f64, f64, u32)> {
+        let mut spans: Vec<(f64, f64, u32)> =
+            self.wave_starts.iter().map(|&s| (s, s, 0u32)).collect();
+        for b in &self.blocks {
+            if let Some(w) = spans.get_mut(b.wave as usize) {
+                w.1 = w.1.max(b.end_cycle);
+                w.2 += 1;
+            }
+        }
+        spans
+    }
 }
 
 /// Exclusive stall-cycle buckets (DESIGN.md §4.2): where a kernel's — or
@@ -1433,6 +1510,100 @@ mod tests {
             .blocks
             .iter()
             .any(|b| b.wave == 1 && b.start_cycle >= d.wave_starts[1]));
+    }
+
+    fn sched_block(block: u32, sm: u32, wave: u32, start: f64, end: f64) -> BlockSchedule {
+        BlockSchedule {
+            block,
+            sm,
+            wave,
+            start_cycle: start,
+            end_cycle: end,
+            stalls: None,
+        }
+    }
+
+    #[test]
+    fn critical_block_picks_last_finisher_with_stable_ties() {
+        let d = ScheduleDetail {
+            blocks: vec![
+                sched_block(0, 0, 0, 0.0, 100.0),
+                sched_block(1, 1, 0, 0.0, 250.0),
+                sched_block(2, 0, 1, 100.0, 250.0),
+            ],
+            phase_spans: Vec::new(),
+            wave_starts: vec![0.0, 100.0],
+        };
+        // Ties on end_cycle break toward the lowest block id.
+        assert_eq!(d.critical_block().unwrap().block, 1);
+        assert!(ScheduleDetail::default().critical_block().is_none());
+    }
+
+    #[test]
+    fn critical_chain_walks_sm_slot_dependencies() {
+        // SM 0 runs blocks 0 -> 2 -> 3 back to back; block 3 finishes last.
+        // SM 1 runs block 1, done early. The chain is the SM 0 lineage.
+        let d = ScheduleDetail {
+            blocks: vec![
+                sched_block(0, 0, 0, 0.0, 100.0),
+                sched_block(1, 1, 0, 0.0, 50.0),
+                sched_block(2, 0, 1, 100.0, 220.0),
+                sched_block(3, 0, 1, 230.0, 400.0),
+            ],
+            phase_spans: Vec::new(),
+            wave_starts: vec![0.0, 100.0],
+        };
+        let chain: Vec<u32> = d.critical_chain().iter().map(|b| b.block).collect();
+        assert_eq!(chain, vec![0, 2, 3]);
+        // Residence plus scheduling gaps telescopes to the kernel cycles.
+        let mut covered = 0.0;
+        let mut prev_end = 0.0;
+        for b in d.critical_chain() {
+            covered += (b.start_cycle - prev_end) + (b.end_cycle - b.start_cycle);
+            prev_end = b.end_cycle;
+        }
+        assert_eq!(covered, 400.0);
+    }
+
+    #[test]
+    fn critical_chain_tiles_a_real_multiwave_kernel() {
+        let blocks: Vec<BlockTrace> = (0..432).map(|_| block(32, 1000.0, 0.0)).collect();
+        let r = run_detailed(&blocks);
+        let d = r.detail.as_ref().unwrap();
+        let chain = d.critical_chain();
+        assert!(!chain.is_empty());
+        assert_eq!(chain.last().unwrap().end_cycle, r.cycles);
+        // Hops are start-ordered and slot-consistent: each hop begins at
+        // or after its predecessor's completion on the same SM.
+        for hop in chain.windows(2) {
+            assert!(hop[0].end_cycle <= hop[1].start_cycle + 1e-9);
+            assert_eq!(hop[0].sm, hop[1].sm);
+        }
+        let mut covered = 0.0;
+        let mut prev_end = 0.0;
+        for b in &chain {
+            covered += (b.start_cycle - prev_end) + (b.end_cycle - b.start_cycle);
+            prev_end = b.end_cycle;
+        }
+        assert!((covered - r.cycles).abs() <= 1e-6 * r.cycles.max(1.0));
+    }
+
+    #[test]
+    fn wave_spans_summarize_starts_ends_and_block_counts() {
+        let blocks: Vec<BlockTrace> = (0..432).map(|_| block(32, 1000.0, 0.0)).collect();
+        let r = run_detailed(&blocks);
+        let d = r.detail.as_ref().unwrap();
+        let spans = d.wave_spans();
+        assert_eq!(spans.len() as u32, r.waves);
+        assert_eq!(spans.iter().map(|&(_, _, n)| n).sum::<u32>(), 432);
+        for (i, &(start, end, n)) in spans.iter().enumerate() {
+            assert_eq!(start, d.wave_starts[i]);
+            assert!(end >= start);
+            assert!(n > 0);
+        }
+        // The last wave's end is the kernel's end.
+        let max_end = spans.iter().fold(0.0f64, |m, &(_, e, _)| m.max(e));
+        assert_eq!(max_end, r.cycles);
     }
 
     #[test]
