@@ -78,6 +78,44 @@ cargo run -q --release -p ensemble-cli -- xsbench -f "$PROF_TMP/args.txt" \
 grep -q "reproduces it bit-exactly" "$PROF_TMP/insight.md"
 cargo run -q --release -p dgc-insight --bin dgc-insight -- flame-check "$PROF_TMP/flame.folded"
 
+echo "== monitor: OpenMetrics lint + SLO burn-rate gate + dashboard =="
+# Figure-6 smoke sweep streaming live OpenMetrics snapshots from the
+# background monitor thread. The log must lint under the strict
+# re-parser (render(parse(x)) == x) and satisfy the checked-in SLO spec.
+cargo run -q --release -p dgc-bench --bin figure6 -- \
+    --smoke --thread-limit 32 --monitor-out "$PROF_TMP/snapshots.om" \
+    --monitor-interval 200 > /dev/null
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- \
+    lint "$PROF_TMP/snapshots.om"
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- slo \
+    --spec results/slo_smoke.json --snapshots "$PROF_TMP/snapshots.om" \
+    --json "$PROF_TMP/slo_verdict.json"
+grep -q '"verdict": "ok"' "$PROF_TMP/slo_verdict.json"
+# Exit-code contract (prof-diff convention): a breaching spec must exit
+# 1 and a malformed spec must exit 2 — not crash, not pass.
+printf '%s\n' '{ "schema": 1, "slos": [ { "name": "impossible", "target": 1.0, "objective": "dgc_kernel_launches_total < 0" } ] }' \
+    > "$PROF_TMP/slo_breach.json"
+set +e
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- slo \
+    --spec "$PROF_TMP/slo_breach.json" --snapshots "$PROF_TMP/snapshots.om" > /dev/null
+breach_code=$?
+echo '{ not json' > "$PROF_TMP/slo_bad.json"
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- slo \
+    --spec "$PROF_TMP/slo_bad.json" --snapshots "$PROF_TMP/snapshots.om" > /dev/null 2>&1
+bad_code=$?
+set -e
+test "$breach_code" -eq 1
+test "$bad_code" -eq 2
+# Self-contained HTML dashboard: time series + SLO budget bars + blame
+# rows from the earlier trace. Must render non-empty with inline SVG and
+# no external references.
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- render \
+    --snapshots "$PROF_TMP/snapshots.om" --spec results/slo_smoke.json \
+    --trace "$PROF_TMP/trace.json" --out "$PROF_TMP/dashboard.html"
+test -s "$PROF_TMP/dashboard.html"
+grep -q "<svg" "$PROF_TMP/dashboard.html"
+! grep -q 'https://' "$PROF_TMP/dashboard.html"
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

@@ -7,12 +7,13 @@
 //! prints both and writes machine-readable JSON next to `EXPERIMENTS.md`.
 
 use dgc_apps::app_by_name;
-use dgc_core::{run_ensemble, EnsembleOptions, HostApp, SpeedupSeries};
-use dgc_obs::InstanceMetrics;
+use dgc_core::{run_ensemble_traced, EnsembleOptions, HostApp, SpeedupSeries};
+use dgc_obs::{InstanceMetrics, MonitorSink, Recorder};
 use gpu_arch::GpuSpec;
 use gpu_sim::Gpu;
 use host_rpc::HostServices;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Instance counts of the paper's sweep.
 pub const INSTANCE_COUNTS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
@@ -116,6 +117,20 @@ pub fn measure_config_detailed_on(
     instances: u32,
     thread_limit: u32,
 ) -> MeasuredConfig {
+    measure_config_monitored_on(spec, workload, instances, thread_limit, None)
+}
+
+/// [`measure_config_detailed_on`] with an optional live monitor sink
+/// attached for the duration of the run (the `figure6` binary's
+/// `--monitor-out`). The sink is pure observation: measured times and
+/// metrics are bit-identical with and without it.
+pub fn measure_config_monitored_on(
+    spec: &GpuSpec,
+    workload: &Workload,
+    instances: u32,
+    thread_limit: u32,
+    monitor: Option<&Arc<dyn MonitorSink>>,
+) -> MeasuredConfig {
     let mut gpu = Gpu::new(spec.clone());
     let opts = EnsembleOptions {
         num_instances: instances,
@@ -127,12 +142,17 @@ pub fn measure_config_detailed_on(
     };
     let app = workload.app();
     let services = HostServices::default();
-    let res = run_ensemble(
+    let mut obs = Recorder::disabled();
+    if let Some(m) = monitor {
+        obs.set_monitor(m.clone());
+    }
+    let res = run_ensemble_traced(
         &mut gpu,
         &app,
         std::slice::from_ref(&workload.args),
         &opts,
         services,
+        &mut obs,
     )
     .expect("harness configurations are launchable");
     let time_s = if res.any_oom() {
@@ -182,9 +202,20 @@ pub fn run_series_detailed_on(
     thread_limit: u32,
     counts: &[u32],
 ) -> (SpeedupSeries, Vec<MeasuredConfig>) {
+    run_series_monitored_on(spec, workload, thread_limit, counts, None)
+}
+
+/// [`run_series_detailed_on`] with an optional live monitor sink.
+pub fn run_series_monitored_on(
+    spec: &GpuSpec,
+    workload: &Workload,
+    thread_limit: u32,
+    counts: &[u32],
+    monitor: Option<&Arc<dyn MonitorSink>>,
+) -> (SpeedupSeries, Vec<MeasuredConfig>) {
     let measured: Vec<MeasuredConfig> = counts
         .iter()
-        .map(|&n| measure_config_detailed_on(spec, workload, n, thread_limit))
+        .map(|&n| measure_config_monitored_on(spec, workload, n, thread_limit, monitor))
         .collect();
     let times: Vec<(u32, Option<f64>)> = measured.iter().map(|m| (m.instances, m.time_s)).collect();
     let series = SpeedupSeries::from_times(workload.name, thread_limit, &times)
@@ -216,6 +247,18 @@ pub fn run_figure6_panel_detailed_on(
     workloads: &[Workload],
     extended: bool,
 ) -> (Figure6Panel, Vec<MeasuredConfig>) {
+    run_figure6_panel_monitored_on(spec, thread_limit, workloads, extended, None)
+}
+
+/// [`run_figure6_panel_detailed_on`] with an optional live monitor sink
+/// streaming operational metrics while the sweep runs.
+pub fn run_figure6_panel_monitored_on(
+    spec: &GpuSpec,
+    thread_limit: u32,
+    workloads: &[Workload],
+    extended: bool,
+    monitor: Option<&Arc<dyn MonitorSink>>,
+) -> (Figure6Panel, Vec<MeasuredConfig>) {
     let counts: &[u32] = if extended {
         &EXTENDED_INSTANCE_COUNTS
     } else {
@@ -224,7 +267,7 @@ pub fn run_figure6_panel_detailed_on(
     let mut series = Vec::new();
     let mut measured = Vec::new();
     for w in workloads {
-        let (s, m) = run_series_detailed_on(spec, w, thread_limit, counts);
+        let (s, m) = run_series_monitored_on(spec, w, thread_limit, counts, monitor);
         series.push(s);
         measured.extend(m);
     }
@@ -319,6 +362,24 @@ mod tests {
         let oom = measure_config_detailed_on(&GpuSpec::a100_40gb(), pr, 8, 32);
         assert!(oom.time_s.is_none());
         assert!(oom.metrics.iter().any(|im| im.oom));
+    }
+
+    #[test]
+    fn monitored_measurement_is_bit_identical_and_feeds_the_registry() {
+        let w = &smoke_workloads()[1]; // rsbench, cheap
+        let plain = measure_config_detailed_on(&GpuSpec::a100_40gb(), w, 4, 32);
+        let reg = std::sync::Arc::new(dgc_monitor::MonitorRegistry::new());
+        let sink: Arc<dyn MonitorSink> = reg.clone();
+        let mon = measure_config_monitored_on(&GpuSpec::a100_40gb(), w, 4, 32, Some(&sink));
+        // Pure observation: the measured configuration serializes to the
+        // same bytes with and without the sink attached.
+        assert_eq!(
+            serde_json::to_string(&plain).unwrap(),
+            serde_json::to_string(&mon).unwrap()
+        );
+        let snap = reg.snapshot();
+        assert_eq!(snap.sum("dgc_instances_total", &[]), Some(4.0));
+        assert_eq!(snap.sum("dgc_kernel_launches_total", &[]), Some(1.0));
     }
 
     #[test]

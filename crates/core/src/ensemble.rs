@@ -410,7 +410,23 @@ pub fn run_ensemble_injected(
         .map(|a| app.footprint_scale.map(|f| f(a)).unwrap_or(1.0))
         .fold(1.0f64, f64::max);
 
-    let (server, client) = RpcServer::spawn_with_interceptor(services, faults.rpc_fault);
+    // Live monitoring (pure observation): when a [`MonitorSink`] hangs
+    // off the recorder, the launch streams team completions and RPC
+    // round trips into it as they happen and reports per-instance
+    // outcomes, heap occupancy and utilization once computed. Sinks only
+    // receive copies of already-computed values — simulated results stay
+    // bit-identical with monitoring on or off.
+    let monitor = obs.monitor().cloned();
+    let team_hook = monitor
+        .clone()
+        .map(|m| move |done: u32, total: u32| m.team_done(0, done, total));
+    let rpc_observer = monitor.clone().map(|m| {
+        std::sync::Arc::new(move |_service: u32, _instance: u32, errored: bool| {
+            m.rpc_activity(1, u64::from(errored));
+        }) as host_rpc::RpcObserver
+    });
+
+    let (server, client) = RpcServer::spawn_observed(services, faults.rpc_fault, rpc_observer);
     let kernel_name = format!("{}-x{}", app.name, n);
     let mut spec = KernelSpec::new(&kernel_name, n, lanes_per_team);
     spec.teams_per_block = teams_per_block;
@@ -425,6 +441,7 @@ pub fn run_ensemble_injected(
     spec.collect_detail = true;
     spec.collect_stalls = true;
     spec.sample_interval = opts.sample_interval;
+    spec.on_team_done = team_hook.as_ref().map(|h| h as &dyn Fn(u32, u32));
 
     // Heap high-water marks are per launch: restart them from the live
     // bytes (module globals) so instance peaks measure this kernel only.
@@ -539,6 +556,19 @@ pub fn run_ensemble_injected(
         .as_ref()
         .map(|tl| LaunchTimeline::from_samples(tl, upc_us, device_offset_us, 0, heap_bytes))
         .unwrap_or_default();
+
+    // ---- Live-monitor emission (values already computed above). ----
+    if let Some(m) = &monitor {
+        for (i, o) in instances.iter().enumerate() {
+            m.instance_done(0, o.succeeded(), instance_end_times_s[i]);
+        }
+        m.kernel_launch(0, n, kernel_time_s);
+        let heap = gpu.mem.stats();
+        m.heap_sample(0, heap_bytes, heap.peak_bytes_in_use, gpu.mem.capacity());
+        if let Ok(mean) = crate::stats::utilization_mean(&timeline.issue_rates()) {
+            m.utilization_sample(0, mean);
+        }
+    }
 
     // ---- Timeline recording. ----
     if traced {
@@ -848,6 +878,12 @@ pub struct EnsembleCliArgs {
     /// Folded-stack flamegraph output path (`--flame-out`),
     /// `inferno`-compatible text format.
     pub flame_out: Option<String>,
+    /// OpenMetrics snapshot log path (`--monitor-out`): stream live
+    /// run metrics to this file from a background monitor thread.
+    pub monitor_out: Option<String>,
+    /// Wall-clock interval between monitor snapshots in milliseconds
+    /// (`--monitor-interval`, default [`DEFAULT_MONITOR_INTERVAL_MS`]).
+    pub monitor_interval_ms: u64,
 }
 
 /// Sampling interval `--timeline` uses when `--sample-interval` does not
@@ -855,6 +891,25 @@ pub struct EnsembleCliArgs {
 /// clocks) — fine enough to resolve waves, coarse enough that even long
 /// sweeps stay under a few thousand samples.
 pub const DEFAULT_SAMPLE_INTERVAL: f64 = 50_000.0;
+
+/// Default `--monitor-interval`: one snapshot per second of wall time.
+/// Simulated runs usually finish in well under a second, so the default
+/// yields the guaranteed final snapshot plus periodic ones only for
+/// genuinely long sweeps.
+pub const DEFAULT_MONITOR_INTERVAL_MS: u64 = 1000;
+
+/// Format the `--progress` ETA column from the instances remaining and
+/// the measured completion rate. A rate of ~zero (nothing completed
+/// yet, or a clock with no resolution) would print `inf`/`NaN` seconds;
+/// those render as `--` instead.
+pub fn format_eta_s(remaining: u64, rate_per_s: f64) -> String {
+    let eta_s = remaining as f64 / rate_per_s;
+    if rate_per_s > 1e-9 && eta_s.is_finite() {
+        format!("{eta_s:.1} s")
+    } else {
+        "--".to_string()
+    }
+}
 
 /// CLI parse failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -901,6 +956,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut progress = false;
     let mut insight_out = None;
     let mut flame_out = None;
+    let mut monitor_out = None;
+    let mut monitor_interval_ms = DEFAULT_MONITOR_INTERVAL_MS;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1018,6 +1075,24 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                         .to_string(),
                 );
             }
+            "--monitor-out" => {
+                monitor_out = Some(
+                    it.next()
+                        .ok_or(CliError::MissingValue("--monitor-out"))?
+                        .to_string(),
+                );
+            }
+            "--monitor-interval" => {
+                let v = it
+                    .next()
+                    .ok_or(CliError::MissingValue("--monitor-interval"))?;
+                monitor_interval_ms = v
+                    .parse()
+                    .map_err(|_| CliError::BadValue("--monitor-interval", v.clone()))?;
+                if monitor_interval_ms == 0 {
+                    return Err(CliError::BadValue("--monitor-interval", v.clone()));
+                }
+            }
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -1042,6 +1117,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         progress,
         insight_out,
         flame_out,
+        monitor_out,
+        monitor_interval_ms,
     })
 }
 
@@ -1620,8 +1697,45 @@ module "bench" {
                 progress: false,
                 insight_out: None,
                 flame_out: None,
+                monitor_out: None,
+                monitor_interval_ms: DEFAULT_MONITOR_INTERVAL_MS,
             }
         );
+    }
+
+    #[test]
+    fn cli_parses_monitor_flags() {
+        let cli = parse_ensemble_cli(
+            &[
+                "-f",
+                "a",
+                "--monitor-out",
+                "snap.om",
+                "--monitor-interval",
+                "250",
+            ]
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(cli.monitor_out.as_deref(), Some("snap.om"));
+        assert_eq!(cli.monitor_interval_ms, 250);
+        // A zero interval would spin the monitor thread — rejected.
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--monitor-interval", "0"].map(String::from)),
+            Err(CliError::BadValue("--monitor-interval", "0".into()))
+        );
+    }
+
+    #[test]
+    fn eta_formats_finite_rates_and_dashes_degenerate_ones() {
+        assert_eq!(format_eta_s(10, 2.0), "5.0 s");
+        assert_eq!(format_eta_s(0, 2.0), "0.0 s");
+        // Zero, ~zero, negative and NaN rates all divide to inf/NaN —
+        // the column degrades to `--` instead of printing them.
+        assert_eq!(format_eta_s(10, 0.0), "--");
+        assert_eq!(format_eta_s(10, 1e-12), "--");
+        assert_eq!(format_eta_s(10, -1.0), "--");
+        assert_eq!(format_eta_s(10, f64::NAN), "--");
     }
 
     #[test]

@@ -207,6 +207,10 @@ pub fn run_ensemble_resilient(
     let mut pending: Vec<u32> = (0..n).collect();
     let mut attempt = 0u32;
     let mut aborted = false;
+    // Driver-level monitor events (retries, recoveries, OOM splits,
+    // backoff) layer on top of the per-launch events the inner engine
+    // already streams through the same sink. Pure observation.
+    let monitor = obs.monitor().cloned();
 
     while !pending.is_empty() && !aborted {
         stats.attempts = attempt + 1;
@@ -216,6 +220,9 @@ pub fn run_ensemble_resilient(
             let wait = policy.backoff_wait_s(attempt);
             total_time_s += wait;
             stats.backoff_s += wait;
+            if let Some(m) = &monitor {
+                m.backoff_wait(wait);
+            }
             graph.push_backoff(attempt, wait);
             obs.set_base_us(base_us);
             obs.instant_args(
@@ -300,6 +307,9 @@ pub fn run_ensemble_resilient(
                 }
                 if !failed && failed_once[g as usize] {
                     stats.recovered += 1;
+                    if let Some(m) = &monitor {
+                        m.instance_recovered(0);
+                    }
                 }
                 slot_outcome[g as usize] = Some(out.clone());
                 if retryable {
@@ -307,6 +317,9 @@ pub fn run_ensemble_resilient(
                     if attempt + 1 < policy.max_attempts {
                         next_pending.push(g);
                         was_retried[g as usize] = true;
+                        if let Some(m) = &monitor {
+                            m.retry_scheduled(0);
+                        }
                     } else if policy.fail_fast {
                         aborted = true;
                     }
@@ -373,6 +386,9 @@ pub fn run_ensemble_resilient(
             // instead of ending the run.
             current_batch = (current_batch / 2).max(1);
             stats.oom_splits += 1;
+            if let Some(m) = &monitor {
+                m.oom_split(current_batch);
+            }
             obs.set_base_us(base_us);
             obs.instant_args(
                 PID_HOST,

@@ -19,8 +19,8 @@ use dgc_core::{
     HostApp, InstanceOutcome, LaunchFaults,
 };
 use dgc_obs::{
-    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph, DEVICE_PID_STRIDE,
-    PID_HOST,
+    DeviceStamped, InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph,
+    DEVICE_PID_STRIDE, PID_HOST,
 };
 use dgc_sched::{InstanceCosts, Placement};
 use gpu_sim::{DeviceFleet, SimReport};
@@ -159,6 +159,10 @@ pub fn run_ensemble_sharded_resilient(
     let mut last_report = None;
     let base_us = obs.base_us();
     let traced = obs.is_enabled();
+    // Driver-level monitor events. Per-device launch events flow through
+    // the per-device recorders below, re-stamped with the device ordinal
+    // by [`DeviceStamped`]. Pure observation.
+    let monitor = obs.monitor().cloned();
 
     let mut pending: Vec<u32> = (0..n).collect();
     let mut attempt = 0u32;
@@ -169,6 +173,9 @@ pub fn run_ensemble_sharded_resilient(
             let wait = policy.backoff_wait_s(attempt);
             total_time_s += wait;
             stats.backoff_s += wait;
+            if let Some(m) = &monitor {
+                m.backoff_wait(wait);
+            }
             graph.push_backoff(attempt, wait);
             obs.set_base_us(base_us);
             obs.instant_args(
@@ -233,6 +240,9 @@ pub fn run_ensemble_sharded_resilient(
                 if !dead_devices.contains(&(d as u32)) {
                     dead_devices.push(d as u32);
                 }
+                if let Some(m) = &monitor {
+                    m.device_dead(d as u32);
+                }
                 obs.set_base_us(base_us);
                 obs.instant_args(
                     PID_HOST,
@@ -257,6 +267,9 @@ pub fn run_ensemble_sharded_resilient(
                         slot_metrics[g as usize] =
                             Some(crate::resilient::skipped_metrics(g, total_time_s));
                     }
+                    if let Some(m) = &monitor {
+                        m.retry_scheduled(d as u32);
+                    }
                     next_pending.push(g);
                 }
                 continue;
@@ -271,6 +284,9 @@ pub fn run_ensemble_sharded_resilient(
             } else {
                 Recorder::disabled()
             };
+            if let Some(m) = &monitor {
+                rec.set_monitor(DeviceStamped::stamp(m.clone(), d as u32));
+            }
             let mut device_elapsed = 0.0f64;
             let mut device_kernel = 0.0f64;
             let mut qi = 0usize;
@@ -337,11 +353,17 @@ pub fn run_ensemble_sharded_resilient(
                     }
                     if !failed && failed_once[g as usize] {
                         stats.recovered += 1;
+                        if let Some(m) = &monitor {
+                            m.instance_recovered(d as u32);
+                        }
                     }
                     slot_outcome[g as usize] = Some(out.clone());
                     if retryable && attempt + 1 < policy.max_attempts {
                         next_pending.push(g);
                         was_retried[g as usize] = true;
+                        if let Some(m) = &monitor {
+                            m.retry_scheduled(d as u32);
+                        }
                     }
                 }
                 for (li, s) in res.stdout.into_iter().enumerate() {
@@ -381,6 +403,9 @@ pub fn run_ensemble_sharded_resilient(
         if round_oom && policy.oom_split && current_batch > 1 {
             current_batch = (current_batch / 2).max(1);
             stats.oom_splits += 1;
+            if let Some(m) = &monitor {
+                m.oom_split(current_batch);
+            }
             obs.set_base_us(base_us);
             obs.instant_args(
                 PID_HOST,

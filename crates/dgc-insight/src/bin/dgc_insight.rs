@@ -162,8 +162,13 @@ fn main() {
         }
         "report" => {
             let f = Flags::parse(rest, &["--ledger", "--out"]);
-            let ledger = Ledger::load(&read(f.require("--ledger")))
-                .unwrap_or_else(|e| fail(&format!("ledger: {e}")));
+            // Read paths tolerate a corrupt/truncated row (e.g. a
+            // half-written trailing line from an interrupted append):
+            // it is skipped with a warning, the valid rows still report.
+            let (ledger, warnings) = Ledger::load_lossy(&read(f.require("--ledger")));
+            for w in &warnings {
+                eprintln!("dgc-insight: ledger: {w}");
+            }
             let report = ledger.report();
             match f.get("--out") {
                 Some(path) => {
@@ -187,8 +192,10 @@ fn main() {
                 })
                 .unwrap_or(5)
                 .max(1);
-            let ledger = Ledger::load(&read(f.require("--ledger")))
-                .unwrap_or_else(|e| fail(&format!("ledger: {e}")));
+            let (ledger, warnings) = Ledger::load_lossy(&read(f.require("--ledger")));
+            for w in &warnings {
+                eprintln!("dgc-insight: ledger: {w}");
+            }
             let check = ledger.check(tolerance, window).unwrap_or_else(|e| fail(&e));
             print!("{}", check.render());
             std::process::exit(if check.has_regressions() { 1 } else { 0 });

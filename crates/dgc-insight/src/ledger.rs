@@ -227,6 +227,26 @@ impl Ledger {
         Ok(Ledger { entries })
     }
 
+    /// [`Ledger::load`] for read paths over a ledger another process may
+    /// still be appending to (or that was truncated by a crash):
+    /// malformed lines — typically a half-written trailing record — are
+    /// skipped instead of failing the whole load, and returned as
+    /// warnings naming the line number. Valid rows all survive.
+    pub fn load_lossy(text: &str) -> (Ledger, Vec<String>) {
+        let mut entries = Vec::new();
+        let mut warnings = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match LedgerEntry::parse(line) {
+                Ok(e) => entries.push(e),
+                Err(e) => warnings.push(format!("skipping corrupt line {}: {e}", i + 1)),
+            }
+        }
+        (Ledger { entries }, warnings)
+    }
+
     /// Prior entries comparable to the latest (same config fingerprint),
     /// newest-last, capped at `window`.
     fn baseline_of_latest(&self, window: usize) -> (Option<&LedgerEntry>, Vec<&LedgerEntry>) {
@@ -444,6 +464,26 @@ mod tests {
         assert_eq!(l.entries.len(), 2);
         let err = Ledger::load(&format!("{good}\nbroken\n")).unwrap_err();
         assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn load_lossy_skips_a_half_written_trailing_line_keeping_valid_rows() {
+        let good = LedgerEntry::from_bench(&bench(10.0), "t").to_json_line();
+        // A crash mid-append leaves a truncated final record.
+        let truncated = &good[..good.len() / 2];
+        let (l, warnings) = Ledger::load_lossy(&format!("{good}\n{good}\n{truncated}"));
+        assert_eq!(l.entries.len(), 2);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 3"), "{warnings:?}");
+        // Corruption in the middle also skips only the bad row.
+        let (l, warnings) = Ledger::load_lossy(&format!("{good}\nnot json\n{good}\n"));
+        assert_eq!(l.entries.len(), 2);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("line 2"), "{warnings:?}");
+        // A clean file loads warning-free and matches strict load.
+        let (l, warnings) = Ledger::load_lossy(&format!("{good}\n"));
+        assert!(warnings.is_empty());
+        assert_eq!(l, Ledger::load(&format!("{good}\n")).unwrap());
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Self-contained HTML dashboard: one file, inline SVG and CSS, no
+//! external assets, so the artifact can be archived next to the run it
+//! describes and opened years later.
+//!
+//! Sections:
+//! * **Run summary** — headline counters from the final snapshot.
+//! * **Time series** — per-device utilization, ok-instance throughput
+//!   per snapshot, device busy share, heap in use — each an inline SVG
+//!   line chart over the snapshot series.
+//! * **SLO budgets** — one bar per SLO showing fast/slow budget burn
+//!   against the alert thresholds (when a spec was evaluated).
+//! * **Critical-path blame** — top rows from the stall / device /
+//!   instance blame tables (when a Chrome trace was supplied).
+
+use crate::openmetrics::Snapshot;
+use crate::slo::{SloReport, Verdict};
+use dgc_insight::BlameTable;
+use std::fmt::Write as _;
+
+/// A titled blame table for the dashboard's blame section.
+pub struct BlameSection {
+    pub title: String,
+    pub table: BlameTable,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+const PALETTE: [&str; 6] = [
+    "#4e9af1", "#f1734e", "#3fb950", "#d2a8ff", "#e3b341", "#ff7b9c",
+];
+
+fn fmt_val(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Inline SVG line chart over snapshot indices. `series` is
+/// `(legend label, one y per snapshot)`; all series share the x axis.
+fn line_chart(title: &str, series: &[(String, Vec<f64>)], y_unit: &str) -> String {
+    const W: f64 = 640.0;
+    const H: f64 = 200.0;
+    const ML: f64 = 56.0; // left margin for y labels
+    const MR: f64 = 12.0;
+    const MT: f64 = 10.0;
+    const MB: f64 = 26.0;
+    let n = series.iter().map(|(_, ys)| ys.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(out, "<div class=\"chart\"><h3>{}</h3>", esc(title));
+    if n == 0 || series.is_empty() {
+        let _ = writeln!(out, "<p class=\"empty\">no data</p></div>");
+        return out;
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let px = |i: usize| -> f64 {
+        if n <= 1 {
+            ML + (W - ML - MR) / 2.0
+        } else {
+            ML + (W - ML - MR) * i as f64 / (n - 1) as f64
+        }
+    };
+    let py = |v: f64| -> f64 { H - MB - (H - MT - MB) * (v / y_max).clamp(0.0, 1.0) };
+    let _ = writeln!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" role=\"img\" aria-label=\"{}\">",
+        esc(title)
+    );
+    // Gridlines + y labels at 0, ½, max.
+    for frac in [0.0, 0.5, 1.0] {
+        let v = y_max * frac;
+        let y = py(v);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{ML}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" class=\"grid\"/>",
+            W - MR
+        );
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"ylab\">{}</text>",
+            ML - 6.0,
+            y + 4.0,
+            fmt_val(v)
+        );
+    }
+    // X labels: first and last snapshot index.
+    let _ = writeln!(
+        out,
+        "<text x=\"{ML}\" y=\"{:.1}\" class=\"xlab\">snap 1</text>",
+        H - 8.0
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" class=\"xlab xend\">snap {n}</text>",
+        W - MR,
+        H - 8.0
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{:.1}\" y=\"{:.1}\" class=\"yunit\">{}</text>",
+        ML - 6.0,
+        MT + 2.0,
+        esc(y_unit)
+    );
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let pts: Vec<String> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| format!("{:.1},{:.1}", px(i), py(v)))
+            .collect();
+        if pts.len() == 1 {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{}\" r=\"3\" fill=\"{color}\"/>",
+                pts[0].replace(',', "\" cy=\"")
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                pts.join(" ")
+            );
+        }
+    }
+    let _ = writeln!(out, "</svg>");
+    let _ = writeln!(out, "<div class=\"legend\">");
+    for (si, (label, _)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let _ = writeln!(
+            out,
+            "<span><i style=\"background:{color}\"></i>{}</span>",
+            esc(label)
+        );
+    }
+    let _ = writeln!(out, "</div></div>");
+    out
+}
+
+/// Per-snapshot values of a gauge/counter family, one series per device
+/// label found anywhere in the log.
+fn device_series(series: &[Snapshot], name: &str) -> Vec<(String, Vec<f64>)> {
+    let mut devices: Vec<String> = Vec::new();
+    for snap in series {
+        for fam in &snap.families {
+            for s in &fam.samples {
+                if s.name == name {
+                    if let Some((_, d)) = s.labels.iter().find(|(k, _)| k == "device") {
+                        if !devices.contains(d) {
+                            devices.push(d.clone());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    devices.sort();
+    devices
+        .into_iter()
+        .map(|d| {
+            let labels = vec![("device".to_string(), d.clone())];
+            let ys: Vec<f64> = series
+                .iter()
+                .map(|s| s.sum(name, &labels).unwrap_or(0.0))
+                .collect();
+            (format!("device {d}"), ys)
+        })
+        .collect()
+}
+
+fn total_series(series: &[Snapshot], name: &str, labels: &[(String, String)]) -> Vec<f64> {
+    series
+        .iter()
+        .map(|s| s.sum(name, labels).unwrap_or(0.0))
+        .collect()
+}
+
+fn deltas(cumulative: &[f64]) -> Vec<f64> {
+    cumulative
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if i == 0 {
+                v
+            } else {
+                (v - cumulative[i - 1]).max(0.0)
+            }
+        })
+        .collect()
+}
+
+fn verdict_class(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Ok => "ok",
+        Verdict::Warn => "warn",
+        Verdict::Breach => "breach",
+    }
+}
+
+fn slo_section(report: &SloReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<h2>SLO budgets <span class=\"badge {}\">{}</span></h2>",
+        verdict_class(report.verdict),
+        report.verdict.as_str()
+    );
+    let _ = writeln!(
+        out,
+        "<p class=\"note\">{} snapshots evaluated; bar = error-budget share consumed in the window.</p>",
+        report.snapshots
+    );
+    for r in &report.results {
+        let _ = writeln!(
+            out,
+            "<div class=\"slo\"><div class=\"slo-head\"><span class=\"badge {}\">{}</span> <b>{}</b> <code>{}</code> — compliance {:.1}% (target {:.1}%)</div>",
+            verdict_class(r.verdict),
+            r.verdict.as_str(),
+            esc(&r.name),
+            esc(&r.objective),
+            r.compliance * 100.0,
+            r.target * 100.0
+        );
+        for (win, burn, alert) in [
+            ("fast", r.budget_consumed_fast, r.fast_alert),
+            ("slow", r.budget_consumed_slow, r.slow_alert),
+        ] {
+            let pct = if burn.is_finite() {
+                (burn * 100.0).min(100.0)
+            } else {
+                100.0
+            };
+            let txt = if burn.is_finite() {
+                format!("{:.1}%", burn * 100.0)
+            } else {
+                "inf".into()
+            };
+            let _ = writeln!(
+                out,
+                "<div class=\"bar-row\"><span class=\"bar-lab\">{win}</span><div class=\"bar\"><div class=\"fill {}\" style=\"width:{pct:.1}%\"></div></div><span class=\"bar-val\">{txt}{}</span></div>",
+                if alert { "hot" } else { "cool" },
+                if alert { " ⚠" } else { "" }
+            );
+        }
+        let _ = writeln!(out, "</div>");
+    }
+    out
+}
+
+fn blame_section(blames: &[BlameSection]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<h2>Critical-path blame</h2>");
+    for b in blames {
+        let _ = writeln!(
+            out,
+            "<div class=\"blame\"><h3>{} <small>{:.4}s attributed</small></h3><table><tr><th></th><th>seconds</th><th>share</th></tr>",
+            esc(&b.title),
+            b.table.total_s
+        );
+        for row in b.table.rows.iter().take(8) {
+            let _ = writeln!(
+                out,
+                "<tr><td>{}</td><td>{:.4}</td><td><div class=\"mini\"><div style=\"width:{:.1}%\"></div></div> {:.1}%</td></tr>",
+                esc(&row.label),
+                row.seconds,
+                row.pct.min(100.0),
+                row.pct
+            );
+        }
+        let _ = writeln!(out, "</table></div>");
+    }
+    out
+}
+
+fn headline(series: &[Snapshot]) -> String {
+    let last = series.last().expect("non-empty series");
+    let mut out = String::from("<div class=\"cards\">");
+    let card = |out: &mut String, label: &str, value: String| {
+        let _ = writeln!(
+            out,
+            "<div class=\"card\"><b>{value}</b><span>{}</span></div>",
+            esc(label)
+        );
+    };
+    let ok = last
+        .sum("dgc_instances_total", &[("result".into(), "ok".into())])
+        .unwrap_or(0.0);
+    let failed = last
+        .sum("dgc_instances_total", &[("result".into(), "failed".into())])
+        .unwrap_or(0.0);
+    card(&mut out, "instances ok", format!("{ok:.0}"));
+    card(&mut out, "instances failed", format!("{failed:.0}"));
+    card(
+        &mut out,
+        "kernel launches",
+        format!(
+            "{:.0}",
+            last.sum("dgc_kernel_launches_total", &[]).unwrap_or(0.0)
+        ),
+    );
+    card(
+        &mut out,
+        "retries",
+        format!("{:.0}", last.sum("dgc_retries_total", &[]).unwrap_or(0.0)),
+    );
+    card(
+        &mut out,
+        "recovered",
+        format!(
+            "{:.0}",
+            last.sum("dgc_instances_recovered_total", &[])
+                .unwrap_or(0.0)
+        ),
+    );
+    card(
+        &mut out,
+        "rpc calls",
+        format!("{:.0}", last.sum("dgc_rpc_calls_total", &[]).unwrap_or(0.0)),
+    );
+    if let Some(p99) = last.histogram_percentile("dgc_instance_latency_seconds", &[], 0.99) {
+        card(&mut out, "p99 instance latency", format!("{p99:.6}s"));
+    }
+    out.push_str("</div>\n");
+    out
+}
+
+const STYLE: &str = r#"
+body { font: 14px/1.5 system-ui, sans-serif; margin: 24px auto; max-width: 720px;
+       color: #24292f; background: #fff; }
+h1 { font-size: 20px; } h2 { font-size: 16px; margin-top: 28px; }
+h3 { font-size: 13px; margin: 6px 0; } small { color: #57606a; font-weight: normal; }
+code { background: #f6f8fa; padding: 1px 4px; border-radius: 3px; font-size: 12px; }
+.cards { display: flex; flex-wrap: wrap; gap: 8px; }
+.card { border: 1px solid #d0d7de; border-radius: 6px; padding: 8px 12px; min-width: 90px; }
+.card b { display: block; font-size: 16px; } .card span { color: #57606a; font-size: 11px; }
+.chart { margin: 12px 0; } svg { width: 100%; height: auto; border: 1px solid #d0d7de;
+       border-radius: 6px; background: #fbfcfd; }
+.grid { stroke: #d8dee4; stroke-width: 0.5; }
+.ylab { font-size: 9px; fill: #57606a; text-anchor: end; }
+.yunit { font-size: 9px; fill: #8c959f; text-anchor: end; }
+.xlab { font-size: 9px; fill: #57606a; } .xend { text-anchor: end; }
+.legend span { margin-right: 14px; font-size: 11px; color: #57606a; }
+.legend i { display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+       margin-right: 4px; vertical-align: -1px; }
+.badge { padding: 1px 8px; border-radius: 10px; font-size: 11px; color: #fff; }
+.badge.ok { background: #3fb950; } .badge.warn { background: #e3b341; }
+.badge.breach { background: #f85149; }
+.slo { border: 1px solid #d0d7de; border-radius: 6px; padding: 10px 12px; margin: 8px 0; }
+.bar-row { display: flex; align-items: center; gap: 8px; margin: 4px 0; }
+.bar-lab { width: 36px; font-size: 11px; color: #57606a; }
+.bar { flex: 1; height: 10px; background: #eaeef2; border-radius: 5px; overflow: hidden; }
+.fill { height: 100%; } .fill.cool { background: #4e9af1; } .fill.hot { background: #f85149; }
+.bar-val { width: 70px; font-size: 11px; text-align: right; }
+.blame table { border-collapse: collapse; width: 100%; font-size: 12px; }
+.blame th, .blame td { text-align: left; padding: 3px 8px; border-bottom: 1px solid #eaeef2; }
+.mini { display: inline-block; width: 80px; height: 8px; background: #eaeef2;
+       border-radius: 4px; vertical-align: middle; overflow: hidden; }
+.mini div { height: 100%; background: #f1734e; }
+.note, .empty { color: #57606a; font-size: 12px; }
+footer { margin-top: 32px; color: #8c959f; font-size: 11px; }
+"#;
+
+/// Render the dashboard. `series` must be non-empty (the caller vets the
+/// snapshot log first); `slo` and `blames` sections appear when provided.
+pub fn render_dashboard(
+    series: &[Snapshot],
+    slo: Option<&SloReport>,
+    blames: &[BlameSection],
+) -> String {
+    assert!(!series.is_empty(), "dashboard needs at least one snapshot");
+    let mut body = String::new();
+    let _ = writeln!(body, "<h1>dgc-monitor run dashboard</h1>");
+    let _ = writeln!(
+        body,
+        "<p class=\"note\">{} snapshot{} from the monitor log.</p>",
+        series.len(),
+        if series.len() == 1 { "" } else { "s" }
+    );
+    body.push_str(&headline(series));
+
+    let _ = writeln!(body, "<h2>Time series</h2>");
+    body.push_str(&line_chart(
+        "Device utilization (mean issue-slot share)",
+        &device_series(series, "dgc_device_utilization"),
+        "share",
+    ));
+    let ok_cum = total_series(
+        series,
+        "dgc_instances_total",
+        &[("result".into(), "ok".into())],
+    );
+    body.push_str(&line_chart(
+        "Throughput (ok instances per snapshot)",
+        &[("ok instances".to_string(), deltas(&ok_cum))],
+        "inst",
+    ));
+    body.push_str(&line_chart(
+        "Device busy time (cumulative simulated seconds)",
+        &device_series(series, "dgc_device_busy_seconds_total"),
+        "s",
+    ));
+    body.push_str(&line_chart(
+        "Heap in use (bytes)",
+        &device_series(series, "dgc_heap_in_use_bytes"),
+        "B",
+    ));
+
+    if let Some(report) = slo {
+        body.push_str(&slo_section(report));
+    }
+    if !blames.is_empty() {
+        body.push_str(&blame_section(blames));
+    }
+    let _ = writeln!(
+        body,
+        "<footer>generated by dgc-monitor render — single file, no external assets</footer>"
+    );
+
+    format!(
+        "<!doctype html>\n<html lang=\"en\"><head><meta charset=\"utf-8\">\n\
+         <title>dgc-monitor dashboard</title>\n<style>{STYLE}</style></head>\n\
+         <body>\n{body}</body></html>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MonitorRegistry;
+    use dgc_obs::MonitorSink;
+
+    fn series_of(n: usize) -> Vec<Snapshot> {
+        let reg = MonitorRegistry::new();
+        let sink: &dyn MonitorSink = &reg;
+        let mut out = Vec::new();
+        for i in 0..n {
+            sink.instance_done(0, true, 0.001 * (i + 1) as f64);
+            sink.instance_done(1, i % 3 != 0, 0.002);
+            sink.utilization_sample(0, 0.5 + 0.05 * i as f64);
+            sink.utilization_sample(1, 0.4);
+            sink.kernel_launch(0, 4, 0.25);
+            sink.heap_sample(0, 1000 + 100 * i as u64, 2000, 4096);
+            out.push(crate::openmetrics::parse(&reg.render()).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_html_with_all_sections() {
+        let series = series_of(4);
+        let spec = crate::slo::SloSpec::parse(
+            r#"{"schema": 1, "slos": [
+                {"name": "completion", "target": 0.9,
+                 "objective": "ratio(dgc_instances_total{result=\"ok\"}, dgc_instances_total) >= 0.99"}]}"#,
+        )
+        .unwrap();
+        let report = crate::slo::evaluate(&spec, &series).unwrap();
+        let blames = vec![BlameSection {
+            title: "By device".into(),
+            table: dgc_insight::BlameTable {
+                rows: vec![dgc_insight::BlameRow {
+                    label: "device 0 <kernel>".into(),
+                    seconds: 1.25,
+                    pct: 100.0,
+                }],
+                total_s: 1.25,
+            },
+        }];
+        let html = render_dashboard(&series, Some(&report), &blames);
+        // Self-contained: no external references of any kind.
+        for banned in ["http://", "https://", "<script", "src=", "@import", "url("] {
+            assert!(!html.contains(banned), "found {banned}");
+        }
+        // All sections render.
+        for expect in [
+            "<svg",
+            "Device utilization",
+            "Throughput",
+            "SLO budgets",
+            "Critical-path blame",
+            "completion",
+        ] {
+            assert!(html.contains(expect), "missing {expect}");
+        }
+        // Blame labels are HTML-escaped.
+        assert!(html.contains("device 0 &lt;kernel&gt;"));
+        assert!(!html.contains("device 0 <kernel>"));
+        // Deterministic.
+        assert_eq!(html, render_dashboard(&series, Some(&report), &blames));
+    }
+
+    #[test]
+    fn single_snapshot_and_missing_families_degrade_gracefully() {
+        let series = vec![Snapshot::default()];
+        let html = render_dashboard(&series, None, &[]);
+        assert!(html.contains("no data"));
+        assert!(html.contains("1 snapshot "));
+
+        let series = series_of(1);
+        let html = render_dashboard(&series, None, &[]);
+        assert!(html.contains("<circle")); // single point drawn as a dot
+    }
+}

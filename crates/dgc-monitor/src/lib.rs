@@ -1,0 +1,36 @@
+//! dgc-monitor: operational monitoring for ensemble runs.
+//!
+//! The observability stack (dgc-obs, dgc-insight) answers *what happened*
+//! after a run, from traces. This crate answers *how is it going* and
+//! *is it acceptable*, from live metrics:
+//!
+//! 1. [`MonitorRegistry`] — a thread-safe in-process metrics registry
+//!    (monotonic counters, gauges, log2-bucket latency histograms reusing
+//!    dgc-obs's histogram math) with deterministic export order.
+//! 2. `impl MonitorSink for MonitorRegistry` ([`mod@sink`]) — the bridge:
+//!    every ensemble driver streams instance completions, retries, OOM
+//!    splits, device busy time, heap high-water and RPC failures into the
+//!    registry through the [`dgc_obs::MonitorSink`] hook on `Recorder`,
+//!    as pure observation (simulated results stay bit-identical).
+//! 3. [`MonitorWriter`] — a background thread appending OpenMetrics
+//!    snapshot blocks to a log file at a wall-clock interval
+//!    (`ensemble-cli --monitor-out/--monitor-interval`).
+//! 4. [`openmetrics`] — canonical renderer + strict parser; the parser
+//!    doubles as the CI snapshot lint (`dgc-monitor lint`).
+//! 5. [`slo`] — declarative SLO specs with multi-window burn-rate
+//!    alerting over a snapshot series (`dgc-monitor slo`).
+//! 6. [`dashboard`] — a self-contained HTML dashboard with inline SVG
+//!    (`dgc-monitor render`).
+
+pub mod dashboard;
+pub mod openmetrics;
+pub mod registry;
+pub mod sink;
+pub mod slo;
+pub mod writer;
+
+pub use dashboard::{render_dashboard, BlameSection};
+pub use openmetrics::{parse, parse_series, ParseError, Snapshot};
+pub use registry::{Counter, CounterF, Gauge, Histogram, MonitorRegistry};
+pub use slo::{evaluate, SloReport, SloSpec, Verdict};
+pub use writer::MonitorWriter;

@@ -1,0 +1,782 @@
+//! OpenMetrics text exposition: canonical renderer and strict re-parser.
+//!
+//! The renderer emits one canonical form — families in name order,
+//! `# HELP`/`# TYPE` headers, counter samples with the `_total` suffix,
+//! cumulative histogram buckets closed by `+Inf`, values in Rust's
+//! shortest-round-trip float formatting, `# EOF` terminator. The parser
+//! is deliberately **strict**: it accepts exactly that canonical form
+//! (escape-correct labels, canonical value lexemes, monotone buckets)
+//! and is used as the snapshot lint in CI. Together they round-trip
+//! bit-exactly: `parse(text).render() == text`.
+//!
+//! Snapshot *logs* (the `--monitor-out` file) are concatenated snapshot
+//! blocks, each ending in `# EOF`; [`parse_series`] splits and parses
+//! them.
+
+use std::fmt::Write as _;
+
+/// Metric family kinds supported by the registry and exposition format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A sample value, keeping integer/float fidelity so rendering is
+/// canonical in both domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    Int(u64),
+    Float(f64),
+}
+
+impl MetricValue {
+    /// The value as a float (how SLO expressions consume samples).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            MetricValue::Int(v) => v as f64,
+            MetricValue::Float(v) => v,
+        }
+    }
+
+    fn render(self) -> String {
+        match self {
+            MetricValue::Int(v) => format!("{v}"),
+            MetricValue::Float(v) => format!("{v}"),
+        }
+    }
+}
+
+/// One exposition line: full sample name (suffixes included), labels in
+/// emission order, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// One metric family with its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnap {
+    pub name: String,
+    pub help: String,
+    pub kind: MetricKind,
+    pub samples: Vec<Sample>,
+}
+
+/// A frozen registry state: the unit of export, lint and SLO evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub families: Vec<FamilySnap>,
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl Snapshot {
+    /// Render as canonical OpenMetrics text, `# EOF`-terminated.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for fam in &self.families {
+            if !fam.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", fam.name, escape_help(&fam.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {}", fam.name, fam.kind.as_str());
+            for s in &fam.samples {
+                out.push_str(&s.name);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+                    }
+                    out.push('}');
+                }
+                out.push(' ');
+                out.push_str(&s.value.render());
+                out.push('\n');
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+
+    /// Sum of samples whose name is `name` and whose labels are a
+    /// superset of `labels`; `None` when nothing matched (metric absent
+    /// from this snapshot).
+    pub fn sum(&self, name: &str, labels: &[(String, String)]) -> Option<f64> {
+        let mut total = 0.0;
+        let mut hit = false;
+        for fam in &self.families {
+            for s in &fam.samples {
+                if s.name == name && labels.iter().all(|want| s.labels.contains(want)) {
+                    total += s.value.as_f64();
+                    hit = true;
+                }
+            }
+        }
+        hit.then_some(total)
+    }
+
+    /// `p`-quantile upper bound, in the histogram's unit, reconstructed
+    /// from `family`'s cumulative `_bucket` samples matching `labels`.
+    /// `None` when the family has no matching buckets; 0 when it exists
+    /// but holds no observations.
+    pub fn histogram_percentile(
+        &self,
+        family: &str,
+        labels: &[(String, String)],
+        p: f64,
+    ) -> Option<f64> {
+        let bucket_name = format!("{family}_bucket");
+        // (le, cumulative count), summed across matching series.
+        let mut buckets: Vec<(f64, u64)> = Vec::new();
+        for fam in &self.families {
+            for s in &fam.samples {
+                if s.name != bucket_name {
+                    continue;
+                }
+                let base: Vec<&(String, String)> =
+                    s.labels.iter().filter(|(k, _)| k != "le").collect();
+                if !labels.iter().all(|want| base.contains(&want)) {
+                    continue;
+                }
+                let le = s
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .map(|(_, v)| parse_le(v))?;
+                let count = s.value.as_f64() as u64;
+                match buckets.iter_mut().find(|(b, _)| *b == le) {
+                    Some(slot) => slot.1 += count,
+                    None => buckets.push((le, count)),
+                }
+            }
+        }
+        if buckets.is_empty() {
+            return None;
+        }
+        buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let total = buckets.last().map(|&(_, c)| c).unwrap_or(0);
+        if total == 0 {
+            return Some(0.0);
+        }
+        let rank = ((p.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        for &(le, cum) in &buckets {
+            if cum >= rank {
+                return Some(le);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+fn parse_le(v: &str) -> f64 {
+    if v == "+Inf" {
+        f64::INFINITY
+    } else {
+        v.parse().unwrap_or(f64::NAN)
+    }
+}
+
+/// Parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn unescape(s: &str, line: usize, in_label: bool) -> Result<String, ParseError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            if in_label && c == '"' {
+                return err(line, "unescaped '\"' in label value");
+            }
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('"') if in_label => out.push('"'),
+            Some(c) => return err(line, format!("invalid escape '\\{c}'")),
+            None => return err(line, "dangling backslash"),
+        }
+    }
+    Ok(out)
+}
+
+/// Check a value lexeme is canonical and classify it.
+fn parse_value(lexeme: &str, line: usize) -> Result<MetricValue, ParseError> {
+    if lexeme.is_empty() {
+        return err(line, "missing sample value");
+    }
+    if lexeme.bytes().all(|b| b.is_ascii_digit()) {
+        let v: u64 = match lexeme.parse() {
+            Ok(v) => v,
+            Err(_) => return err(line, format!("integer '{lexeme}' out of range")),
+        };
+        if format!("{v}") != lexeme {
+            return err(line, format!("non-canonical integer '{lexeme}'"));
+        }
+        return Ok(MetricValue::Int(v));
+    }
+    let v: f64 = match lexeme.parse() {
+        Ok(v) => v,
+        Err(_) => return err(line, format!("invalid value '{lexeme}'")),
+    };
+    if !v.is_finite() {
+        return err(line, format!("non-finite value '{lexeme}'"));
+    }
+    if format!("{v}") != lexeme {
+        return err(line, format!("non-canonical float '{lexeme}'"));
+    }
+    Ok(MetricValue::Float(v))
+}
+
+struct SampleLine {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: MetricValue,
+}
+
+fn parse_sample(line: &str, no: usize) -> Result<SampleLine, ParseError> {
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return err(no, "sample line has no value"),
+    };
+    if !valid_name(name_part) {
+        return err(no, format!("invalid sample name '{name_part}'"));
+    }
+    let mut labels = Vec::new();
+    let value_part = if let Some(body) = rest.strip_prefix('{') {
+        let Some(close) = find_label_end(body) else {
+            return err(no, "unterminated label set");
+        };
+        let (label_text, after) = body.split_at(close);
+        let after = &after[1..]; // skip '}'
+        if !label_text.is_empty() {
+            for pair in split_labels(label_text, no)? {
+                let Some(eq) = pair.find('=') else {
+                    return err(no, format!("label '{pair}' has no '='"));
+                };
+                let (k, v) = pair.split_at(eq);
+                if !valid_name(k) {
+                    return err(no, format!("invalid label name '{k}'"));
+                }
+                let v = &v[1..];
+                let Some(v) = v.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                    return err(no, format!("label value for '{k}' not quoted"));
+                };
+                let v = unescape(v, no, true)?;
+                if labels.iter().any(|(seen, _)| seen == k) {
+                    return err(no, format!("duplicate label '{k}'"));
+                }
+                labels.push((k.to_string(), v));
+            }
+        }
+        let Some(v) = after.strip_prefix(' ') else {
+            return err(no, "expected single space before value");
+        };
+        v
+    } else {
+        let Some(v) = rest.strip_prefix(' ') else {
+            return err(no, "expected single space before value");
+        };
+        v
+    };
+    if value_part.contains(' ') {
+        return err(no, "trailing content after value (timestamps not allowed)");
+    }
+    Ok(SampleLine {
+        name: name_part.to_string(),
+        labels,
+        value: parse_value(value_part, no)?,
+    })
+}
+
+/// Index of the unescaped closing `}` of a label body.
+fn find_label_end(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split `k="v",k2="v2"` on commas outside quotes.
+fn split_labels(text: &str, no: usize) -> Result<Vec<&str>, ParseError> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in text.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                parts.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return err(no, "unterminated quoted label value");
+    }
+    parts.push(&text[start..]);
+    Ok(parts)
+}
+
+/// Valid sample-name suffixes for a family of `kind`.
+fn sample_belongs(family: &str, kind: MetricKind, sample: &str) -> bool {
+    match kind {
+        MetricKind::Counter => sample == format!("{family}_total"),
+        MetricKind::Gauge => sample == family,
+        MetricKind::Histogram => {
+            sample == format!("{family}_bucket")
+                || sample == format!("{family}_count")
+                || sample == format!("{family}_sum")
+        }
+    }
+}
+
+/// Validate one family's histogram shape: per label group, `le` strictly
+/// increasing, cumulative counts non-decreasing, `+Inf` present and
+/// consistent with `_count`.
+fn check_histogram(fam: &FamilySnap, line_of_family: usize) -> Result<(), ParseError> {
+    // One entry per base label set: (labels sans `le`, bucket (le, count)
+    // pairs in input order, the `_count` sample when seen).
+    type Group = (Vec<(String, String)>, Vec<(f64, u64)>, Option<u64>);
+    let bucket = format!("{}_bucket", fam.name);
+    let count = format!("{}_count", fam.name);
+    let mut groups: Vec<Group> = Vec::new();
+    let base_of = |s: &Sample| -> Vec<(String, String)> {
+        s.labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect()
+    };
+    for s in &fam.samples {
+        let base = base_of(s);
+        let slot = match groups.iter_mut().find(|(b, _, _)| *b == base) {
+            Some(g) => g,
+            None => {
+                groups.push((base, Vec::new(), None));
+                groups.last_mut().unwrap()
+            }
+        };
+        if s.name == bucket {
+            let Some((_, le)) = s.labels.iter().find(|(k, _)| k == "le") else {
+                return err(line_of_family, format!("{bucket} sample without le label"));
+            };
+            let le = parse_le(le);
+            if le.is_nan() {
+                return err(line_of_family, "unparsable le bound");
+            }
+            slot.1.push((le, s.value.as_f64() as u64));
+        } else if s.name == count {
+            slot.2 = Some(s.value.as_f64() as u64);
+        }
+    }
+    for (base, buckets, count) in &groups {
+        if buckets.is_empty() {
+            return err(
+                line_of_family,
+                format!("histogram series {base:?} has no buckets"),
+            );
+        }
+        for w in buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return err(line_of_family, "le bounds not strictly increasing");
+            }
+            if w[1].1 < w[0].1 {
+                return err(line_of_family, "bucket counts not cumulative");
+            }
+        }
+        let (last_le, last_count) = *buckets.last().unwrap();
+        if last_le != f64::INFINITY {
+            return err(line_of_family, "histogram missing +Inf bucket");
+        }
+        if *count != Some(last_count) {
+            return err(line_of_family, "_count disagrees with +Inf bucket");
+        }
+    }
+    Ok(())
+}
+
+/// Strictly parse one canonical OpenMetrics block (see module docs).
+pub fn parse(text: &str) -> Result<Snapshot, ParseError> {
+    if !text.ends_with('\n') {
+        return err(text.lines().count(), "text must end with a newline");
+    }
+    let mut families: Vec<FamilySnap> = Vec::new();
+    let mut pending_help: Option<(String, String, usize)> = None;
+    let mut family_line = 0usize;
+    let mut saw_eof = false;
+    for (i, line) in text.lines().enumerate() {
+        let no = i + 1;
+        if saw_eof {
+            return err(no, "content after # EOF");
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if line.is_empty() {
+            return err(no, "blank lines are not canonical");
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, help)) = rest.split_once(' ') else {
+                return err(no, "HELP line needs a name and text");
+            };
+            if !valid_name(name) {
+                return err(no, format!("invalid family name '{name}'"));
+            }
+            if pending_help.is_some() {
+                return err(no, "HELP line not followed by its TYPE line");
+            }
+            pending_help = Some((name.to_string(), unescape(help, no, false)?, no));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return err(no, "TYPE line needs a name and kind");
+            };
+            if !valid_name(name) {
+                return err(no, format!("invalid family name '{name}'"));
+            }
+            let kind = match kind {
+                "counter" => MetricKind::Counter,
+                "gauge" => MetricKind::Gauge,
+                "histogram" => MetricKind::Histogram,
+                other => return err(no, format!("unknown metric kind '{other}'")),
+            };
+            let help = match pending_help.take() {
+                Some((help_name, help, help_line)) => {
+                    if help_name != name {
+                        return err(
+                            help_line,
+                            format!("HELP for '{help_name}' precedes TYPE for '{name}'"),
+                        );
+                    }
+                    help
+                }
+                None => String::new(),
+            };
+            if let Some(prev) = families.last() {
+                if prev.name.as_str() >= name {
+                    return err(
+                        no,
+                        format!("family '{name}' out of order after '{}'", prev.name),
+                    );
+                }
+            }
+            families.push(FamilySnap {
+                name: name.to_string(),
+                help,
+                kind,
+                samples: Vec::new(),
+            });
+            family_line = no;
+            continue;
+        }
+        if line.starts_with('#') {
+            return err(no, "unknown comment line");
+        }
+        if pending_help.is_some() {
+            return err(no, "HELP line not followed by its TYPE line");
+        }
+        let sample = parse_sample(line, no)?;
+        let Some(fam) = families.last_mut() else {
+            return err(no, "sample before any # TYPE line");
+        };
+        if !sample_belongs(&fam.name, fam.kind, &sample.name) {
+            return err(
+                no,
+                format!(
+                    "sample '{}' does not belong to {} family '{}'",
+                    sample.name,
+                    fam.kind.as_str(),
+                    fam.name
+                ),
+            );
+        }
+        fam.samples.push(Sample {
+            name: sample.name,
+            labels: sample.labels,
+            value: sample.value,
+        });
+    }
+    if !saw_eof {
+        return err(text.lines().count(), "missing # EOF terminator");
+    }
+    if pending_help.is_some() {
+        return err(
+            text.lines().count(),
+            "HELP line not followed by its TYPE line",
+        );
+    }
+    for fam in &families {
+        if fam.kind == MetricKind::Histogram {
+            check_histogram(fam, family_line)?;
+        }
+    }
+    Ok(Snapshot { families })
+}
+
+/// Parse a snapshot *log*: concatenated canonical blocks, each ending in
+/// `# EOF`. Returns the snapshots in file order.
+pub fn parse_series(text: &str) -> Result<Vec<Snapshot>, ParseError> {
+    let mut out = Vec::new();
+    let mut block = String::new();
+    let mut offset = 0usize;
+    for line in text.lines() {
+        block.push_str(line);
+        block.push('\n');
+        if line == "# EOF" {
+            out.push(parse(&block).map_err(|e| ParseError {
+                line: e.line + offset,
+                message: e.message,
+            })?);
+            offset += block.lines().count();
+            block.clear();
+        }
+    }
+    if !block.is_empty() {
+        return err(
+            offset + block.lines().count(),
+            "trailing content after the last # EOF block",
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(name: &str, labels: &[(&str, &str)], value: MetricValue) -> Sample {
+        Sample {
+            name: name.into(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            value,
+        }
+    }
+
+    fn demo() -> Snapshot {
+        Snapshot {
+            families: vec![
+                FamilySnap {
+                    name: "dgc_instances".into(),
+                    help: "Instance outcomes".into(),
+                    kind: MetricKind::Counter,
+                    samples: vec![
+                        sample(
+                            "dgc_instances_total",
+                            &[("result", "failed")],
+                            MetricValue::Int(1),
+                        ),
+                        sample(
+                            "dgc_instances_total",
+                            &[("result", "ok")],
+                            MetricValue::Int(7),
+                        ),
+                    ],
+                },
+                FamilySnap {
+                    name: "dgc_latency_seconds".into(),
+                    help: String::new(),
+                    kind: MetricKind::Histogram,
+                    samples: vec![
+                        sample(
+                            "dgc_latency_seconds_bucket",
+                            &[("le", "0.000000511")],
+                            MetricValue::Int(3),
+                        ),
+                        sample(
+                            "dgc_latency_seconds_bucket",
+                            &[("le", "+Inf")],
+                            MetricValue::Int(4),
+                        ),
+                        sample("dgc_latency_seconds_count", &[], MetricValue::Int(4)),
+                        sample("dgc_latency_seconds_sum", &[], MetricValue::Float(0.5)),
+                    ],
+                },
+                FamilySnap {
+                    name: "dgc_util".into(),
+                    help: "mean \"issue\" share\nper device".into(),
+                    kind: MetricKind::Gauge,
+                    samples: vec![sample(
+                        "dgc_util",
+                        &[("device", "0")],
+                        MetricValue::Float(0.25),
+                    )],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips_bit_exactly() {
+        let text = demo().render();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.render(), text);
+        assert_eq!(parsed, demo());
+    }
+
+    #[test]
+    fn help_and_label_escapes_survive() {
+        let mut snap = demo();
+        snap.families[2].samples[0].labels[0].1 = "a\\b\"c\nd".into();
+        let text = snap.render();
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.families[2].samples[0].labels[0].1, "a\\b\"c\nd");
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn strictness_rejects_common_deviations() {
+        let ok = demo().render();
+        // Missing EOF.
+        let mut t = ok.clone();
+        t.truncate(t.len() - "# EOF\n".len());
+        assert!(parse(&t).is_err());
+        // Content after EOF.
+        assert!(parse(&format!("{ok}x 1\n")).is_err());
+        // Non-canonical float.
+        let t = ok.replace(" 0.25\n", " 0.250\n");
+        assert!(parse(&t).is_err());
+        // Non-canonical integer.
+        let t = ok.replace(" 7\n", " 07\n");
+        assert!(parse(&t).is_err());
+        // Timestamps are not canonical.
+        let t = ok.replace(" 7\n", " 7 123\n");
+        assert!(parse(&t).is_err());
+        // Counter sample without _total.
+        let t = ok.replace(
+            "dgc_instances_total{result=\"failed\"}",
+            "dgc_instances{result=\"failed\"}",
+        );
+        assert!(parse(&t).is_err());
+        // Families out of order.
+        let t = ok.replace("dgc_util", "aaa_util");
+        assert!(parse(&t).is_err());
+        // Blank line.
+        let t = ok.replace("# TYPE dgc_util gauge\n", "\n# TYPE dgc_util gauge\n");
+        assert!(parse(&t).is_err());
+    }
+
+    #[test]
+    fn histogram_shape_is_validated() {
+        let ok = demo().render();
+        // _count disagreeing with +Inf.
+        let t = ok.replace("dgc_latency_seconds_count 4", "dgc_latency_seconds_count 5");
+        assert!(parse(&t).is_err());
+        // Non-cumulative buckets.
+        let t = ok.replace("le=\"+Inf\"} 4", "le=\"+Inf\"} 2");
+        assert!(parse(&t).is_err());
+    }
+
+    #[test]
+    fn sum_and_percentile_queries() {
+        let snap = demo();
+        assert_eq!(snap.sum("dgc_instances_total", &[]), Some(8.0));
+        assert_eq!(
+            snap.sum(
+                "dgc_instances_total",
+                &[("result".to_string(), "ok".to_string())]
+            ),
+            Some(7.0)
+        );
+        assert_eq!(snap.sum("nope_total", &[]), None);
+        // 3 of 4 samples under 511 ns: p50 hits the finite bucket, p99 the
+        // +Inf tail.
+        let p50 = snap
+            .histogram_percentile("dgc_latency_seconds", &[], 0.5)
+            .unwrap();
+        assert_eq!(p50, 0.000000511);
+        let p99 = snap
+            .histogram_percentile("dgc_latency_seconds", &[], 0.99)
+            .unwrap();
+        assert!(p99.is_infinite());
+        assert!(snap.histogram_percentile("absent", &[], 0.5).is_none());
+    }
+
+    #[test]
+    fn series_splits_on_eof_blocks() {
+        let one = demo().render();
+        let log = format!("{one}{one}{one}");
+        let series = parse_series(&log).unwrap();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0], series[2]);
+        // A truncated trailing block is an error with a global line number.
+        let bad = format!("{one}# TYPE x counter\n");
+        let e = parse_series(&bad).unwrap_err();
+        assert!(e.line > one.lines().count(), "{e}");
+        assert!(parse_series("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,513 @@
+//! The thread-safe in-process metrics registry.
+//!
+//! Three metric kinds, Prometheus/OpenMetrics semantics:
+//!
+//! * **counters** — monotonically increasing, integer
+//!   ([`Counter`]) or fractional ([`CounterF`], e.g. busy seconds);
+//! * **gauges** — last-write-wins floats with an atomic max variant for
+//!   high-water marks ([`Gauge`]);
+//! * **histograms** — [`dgc_obs::Log2Histogram`] over nanoseconds plus a
+//!   running sum, observed in seconds ([`Histogram`]).
+//!
+//! A metric is identified by **family name + label set**. Registering the
+//! same identity twice returns a handle to the same cell, so
+//! instrumentation sites can hold static handles while ad-hoc callers
+//! re-register by name. Handles are cheap `Arc` clones; counter and gauge
+//! updates are lock-free, histogram observations take a per-series mutex.
+//!
+//! [`MonitorRegistry::snapshot`] freezes the whole registry into the
+//! [`crate::openmetrics::Snapshot`] model with deterministic ordering
+//! (families by name, series by label set), which the exporter renders
+//! canonically.
+
+use crate::openmetrics::{FamilySnap, MetricKind, MetricValue, Sample, Snapshot};
+use dgc_obs::Log2Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Lock-free `f64` cell over atomic bit patterns.
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// Handle to a monotonic integer counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a monotonic fractional counter (e.g. seconds totals).
+/// Negative increments are clamped to zero to preserve monotonicity.
+#[derive(Clone)]
+pub struct CounterF(Arc<AtomicF64>);
+
+impl CounterF {
+    pub fn add(&self, delta: f64) {
+        if delta > 0.0 {
+            self.0.add(delta);
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// Handle to a gauge: `set` is last-write-wins, `set_max` ratchets upward
+/// (high-water marks).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicF64>);
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    pub fn set_max(&self, v: f64) {
+        self.0.max(v);
+    }
+
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+#[derive(Default)]
+struct HistCell {
+    /// Nanosecond-domain log2 histogram (dgc-obs's bucket math).
+    hist: Log2Histogram,
+    /// Sum of observed values in the observation unit (seconds).
+    sum: f64,
+}
+
+/// Handle to a latency histogram observed in seconds.
+#[derive(Clone)]
+pub struct Histogram(Arc<Mutex<HistCell>>);
+
+impl Histogram {
+    pub fn observe_seconds(&self, v: f64) {
+        let ns = (v.max(0.0) * 1e9).round() as u64;
+        let mut cell = self.0.lock().unwrap();
+        cell.hist.record(ns);
+        cell.sum += v.max(0.0);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.lock().unwrap().hist.len()
+    }
+
+    /// Upper bound of the bucket holding the `p`-quantile, in seconds.
+    pub fn percentile_seconds(&self, p: f64) -> f64 {
+        self.0.lock().unwrap().hist.percentile(p) as f64 * 1e-9
+    }
+}
+
+enum SeriesCell {
+    Counter(Arc<AtomicU64>),
+    CounterF(Arc<AtomicF64>),
+    Gauge(Arc<AtomicF64>),
+    Histogram(Arc<Mutex<HistCell>>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    /// Series keyed by sorted label pairs — deterministic export order.
+    series: BTreeMap<Vec<(String, String)>, SeriesCell>,
+}
+
+/// The process-wide metrics registry. Cheap to share (`Arc`); all methods
+/// take `&self`.
+#[derive(Default)]
+pub struct MonitorRegistry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+fn label_key(labels: &[(&str, String)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect();
+    key.sort();
+    key
+}
+
+impl MonitorRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, String)],
+        kind: MetricKind,
+        make: impl FnOnce() -> (SeriesCell, T),
+        reuse: impl FnOnce(&SeriesCell) -> Option<T>,
+    ) -> T {
+        assert!(valid_name(name), "invalid metric name '{name}'");
+        assert!(
+            !(kind == MetricKind::Counter && name.ends_with("_total")),
+            "counter family '{name}' must not carry the _total suffix \
+             (the exporter appends it to the sample name)"
+        );
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name '{k}' on '{name}'");
+        }
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric '{name}' re-registered as {kind:?}, was {:?}",
+            family.kind
+        );
+        let key = label_key(labels);
+        match family.series.get(&key) {
+            Some(cell) => reuse(cell).expect("cell kind matches family kind"),
+            None => {
+                let (cell, handle) = make();
+                family.series.insert(key, cell);
+                handle
+            }
+        }
+    }
+
+    /// Register (or look up) an integer counter by name + labels.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, String)]) -> Counter {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || {
+                let cell = Arc::new(AtomicU64::new(0));
+                (SeriesCell::Counter(cell.clone()), Counter(cell))
+            },
+            |c| match c {
+                SeriesCell::Counter(a) => Some(Counter(a.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or look up) a fractional counter by name + labels.
+    pub fn counter_f(&self, name: &str, help: &str, labels: &[(&str, String)]) -> CounterF {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Counter,
+            || {
+                let cell = Arc::new(AtomicF64::default());
+                (SeriesCell::CounterF(cell.clone()), CounterF(cell))
+            },
+            |c| match c {
+                SeriesCell::CounterF(a) => Some(CounterF(a.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or look up) a gauge by name + labels.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, String)]) -> Gauge {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Gauge,
+            || {
+                let cell = Arc::new(AtomicF64::default());
+                (SeriesCell::Gauge(cell.clone()), Gauge(cell))
+            },
+            |c| match c {
+                SeriesCell::Gauge(a) => Some(Gauge(a.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or look up) a seconds histogram by name + labels.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, String)]) -> Histogram {
+        self.get_or_insert(
+            name,
+            help,
+            labels,
+            MetricKind::Histogram,
+            || {
+                let cell = Arc::new(Mutex::new(HistCell::default()));
+                (SeriesCell::Histogram(cell.clone()), Histogram(cell))
+            },
+            |c| match c {
+                SeriesCell::Histogram(a) => Some(Histogram(a.clone())),
+                _ => None,
+            },
+        )
+    }
+
+    /// Freeze the registry into a deterministic snapshot: families in
+    /// name order, series in label order, histogram buckets cumulative
+    /// with a closing `+Inf`.
+    pub fn snapshot(&self) -> Snapshot {
+        let families = self.families.lock().unwrap();
+        let mut out = Vec::with_capacity(families.len());
+        for (name, fam) in families.iter() {
+            let mut samples = Vec::new();
+            for (labels, cell) in &fam.series {
+                match cell {
+                    SeriesCell::Counter(a) => samples.push(Sample {
+                        name: format!("{name}_total"),
+                        labels: labels.clone(),
+                        value: MetricValue::Int(a.load(Ordering::Relaxed)),
+                    }),
+                    SeriesCell::CounterF(a) => samples.push(Sample {
+                        name: format!("{name}_total"),
+                        labels: labels.clone(),
+                        value: MetricValue::Float(a.get()),
+                    }),
+                    SeriesCell::Gauge(a) => samples.push(Sample {
+                        name: name.clone(),
+                        labels: labels.clone(),
+                        value: MetricValue::Float(a.get()),
+                    }),
+                    SeriesCell::Histogram(h) => {
+                        let cell = h.lock().unwrap();
+                        let mut cum = 0u64;
+                        for (bound, count) in cell.hist.buckets() {
+                            if count == 0 {
+                                continue;
+                            }
+                            cum += count;
+                            let mut labels = labels.clone();
+                            labels.push(("le".into(), fmt_le_seconds(bound)));
+                            samples.push(Sample {
+                                name: format!("{name}_bucket"),
+                                labels,
+                                value: MetricValue::Int(cum),
+                            });
+                        }
+                        let mut inf = labels.clone();
+                        inf.push(("le".into(), "+Inf".into()));
+                        samples.push(Sample {
+                            name: format!("{name}_bucket"),
+                            labels: inf,
+                            value: MetricValue::Int(cell.hist.len()),
+                        });
+                        samples.push(Sample {
+                            name: format!("{name}_count"),
+                            labels: labels.clone(),
+                            value: MetricValue::Int(cell.hist.len()),
+                        });
+                        samples.push(Sample {
+                            name: format!("{name}_sum"),
+                            labels: labels.clone(),
+                            value: MetricValue::Float(cell.sum),
+                        });
+                    }
+                }
+            }
+            out.push(FamilySnap {
+                name: name.clone(),
+                help: fam.help.clone(),
+                kind: fam.kind,
+                samples,
+            });
+        }
+        Snapshot { families: out }
+    }
+
+    /// Render the current state as canonical OpenMetrics text.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// Canonical `le` label for a nanosecond bucket bound, in seconds.
+fn fmt_le_seconds(bound_ns: u64) -> String {
+    format!("{}", bound_ns as f64 * 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(d: u32) -> Vec<(&'static str, String)> {
+        vec![("device", d.to_string())]
+    }
+
+    #[test]
+    fn handles_share_cells_by_name_and_labels() {
+        let reg = MonitorRegistry::new();
+        let a = reg.counter("dgc_retries", "retries", &dev(0));
+        let b = reg.counter("dgc_retries", "retries", &dev(0));
+        let other = reg.counter("dgc_retries", "retries", &dev(1));
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(b.get(), 3);
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MonitorRegistry::new();
+        let a = reg.gauge("g", "", &[("x", "1".into()), ("y", "2".into())]);
+        let b = reg.gauge("g", "", &[("y", "2".into()), ("x", "1".into())]);
+        a.set(5.0);
+        assert_eq!(b.get(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-registered")]
+    fn kind_mismatch_panics() {
+        let reg = MonitorRegistry::new();
+        let _ = reg.counter("dgc_thing", "", &[]);
+        let _ = reg.gauge("dgc_thing", "", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "_total")]
+    fn counter_with_total_suffix_is_rejected() {
+        let reg = MonitorRegistry::new();
+        let _ = reg.counter("dgc_retries_total", "", &[]);
+    }
+
+    #[test]
+    fn gauge_set_max_ratchets() {
+        let reg = MonitorRegistry::new();
+        let g = reg.gauge("dgc_heap_high_water_bytes", "", &dev(0));
+        g.set_max(100.0);
+        g.set_max(50.0);
+        assert_eq!(g.get(), 100.0);
+        g.set_max(200.0);
+        assert_eq!(g.get(), 200.0);
+    }
+
+    #[test]
+    fn fractional_counter_accumulates_and_ignores_negatives() {
+        let reg = MonitorRegistry::new();
+        let c = reg.counter_f("dgc_busy_seconds", "", &[]);
+        c.add(0.25);
+        c.add(0.5);
+        c.add(-1.0);
+        assert_eq!(c.get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_percentiles_reuse_log2_buckets() {
+        let reg = MonitorRegistry::new();
+        let h = reg.histogram("dgc_latency_seconds", "", &[]);
+        for _ in 0..99 {
+            h.observe_seconds(1e-6);
+        }
+        h.observe_seconds(1.0);
+        assert_eq!(h.count(), 100);
+        // p50 lands in the µs bucket (≤ 2× resolution), p99+ nears 1 s.
+        assert!(h.percentile_seconds(0.5) < 4e-6);
+        assert!(h.percentile_seconds(0.995) >= 1.0);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let reg = Arc::new(MonitorRegistry::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = reg.counter("dgc_spins", "", &[]);
+            let f = reg.counter_f("dgc_spin_seconds", "", &[]);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                    f.add(0.5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("dgc_spins", "", &[]).get(), 8000);
+        assert_eq!(reg.counter_f("dgc_spin_seconds", "", &[]).get(), 4000.0);
+    }
+
+    #[test]
+    fn snapshot_orders_families_and_series_deterministically() {
+        let reg = MonitorRegistry::new();
+        reg.counter("z_last", "", &[]).inc();
+        reg.counter("a_first", "", &dev(1)).inc();
+        reg.counter("a_first", "", &dev(0)).inc();
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a_first", "z_last"]);
+        let devices: Vec<&str> = snap.families[0]
+            .samples
+            .iter()
+            .map(|s| s.labels[0].1.as_str())
+            .collect();
+        assert_eq!(devices, vec!["0", "1"]);
+    }
+}

@@ -32,6 +32,7 @@
 mod chrome;
 mod graph;
 mod metrics;
+mod monitor;
 mod recorder;
 mod timeline;
 
@@ -41,5 +42,6 @@ pub use metrics::{
     metrics_jsonl, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Log2Histogram,
     RpcCallCounts, METRICS_SCHEMA_VERSION,
 };
+pub use monitor::{DeviceStamped, MonitorSink};
 pub use recorder::{record_schedule, sm_pid, Recorder, TraceEvent, DEVICE_PID_STRIDE, PID_HOST};
 pub use timeline::{LaunchTimeline, TimelinePoint};

@@ -94,6 +94,16 @@ impl Log2Histogram {
         self.total += other.total;
     }
 
+    /// Per-bucket `(inclusive upper bound, count)` pairs, low to high —
+    /// how cumulative-bucket exporters (OpenMetrics `_bucket{le=...}`)
+    /// read the histogram without widening its API per bucket.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (Self::bucket_max(i), c))
+    }
+
     /// Upper bound of the bucket containing the `p`-quantile sample
     /// (`p` in `[0, 1]`); 0 for an empty histogram. The bound
     /// overestimates the true quantile by at most 2×.

@@ -1,7 +1,9 @@
 //! The span/event recorder and its gpu-sim bridge.
 
+use crate::monitor::MonitorSink;
 use gpu_sim::ScheduleDetail;
 use serde::Value;
+use std::sync::Arc;
 
 /// Process lane reserved for the host-side loader timeline (argfile
 /// parsing, H2D/D2H transfers, the kernel envelope, RPC service totals).
@@ -46,7 +48,7 @@ pub struct TraceEvent {
 /// Constructed [`Recorder::disabled`] (the default), every recording
 /// method returns immediately — callers guard any expensive label
 /// formatting behind [`Recorder::is_enabled`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Recorder {
     enabled: bool,
     /// Offset added to every recorded timestamp; batched launches bump it
@@ -55,6 +57,22 @@ pub struct Recorder {
     events: Vec<TraceEvent>,
     process_names: Vec<(u32, String)>,
     thread_names: Vec<((u32, u32), String)>,
+    /// Optional live-telemetry sink ([`crate::MonitorSink`]); orthogonal
+    /// to `enabled` — monitoring works with tracing off and vice versa.
+    monitor: Option<Arc<dyn MonitorSink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("base_us", &self.base_us)
+            .field("events", &self.events)
+            .field("process_names", &self.process_names)
+            .field("thread_names", &self.thread_names)
+            .field("monitor", &self.monitor.as_ref().map(|_| "MonitorSink"))
+            .finish()
+    }
 }
 
 impl Recorder {
@@ -78,6 +96,17 @@ impl Recorder {
     /// Current timeline offset in µs.
     pub fn base_us(&self) -> f64 {
         self.base_us
+    }
+
+    /// Attach a live-telemetry sink; driver instrumentation sites stream
+    /// operational events into it via [`Recorder::monitor`].
+    pub fn set_monitor(&mut self, sink: Arc<dyn MonitorSink>) {
+        self.monitor = Some(sink);
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn monitor(&self) -> Option<&Arc<dyn MonitorSink>> {
+        self.monitor.as_ref()
     }
 
     /// Move the timeline origin (used between batches).

@@ -308,6 +308,54 @@ mod tests {
     }
 
     #[test]
+    fn merge_keeps_overlapping_lanes_monotonic_with_stable_device_stamps() {
+        // The harder case than the disjoint test above: two devices
+        // sampled on the SAME clock, so every timestamp appears once per
+        // lane. The merge must not collapse, reorder or re-stamp the
+        // coincident points — each lane stays strictly increasing and
+        // keeps its own device stamp and heap context.
+        let mut dev0 = LaunchTimeline::from_samples(&sim_timeline(), 1.0, 0.0, 0, 64);
+        let mut dev1 = LaunchTimeline::from_samples(&sim_timeline(), 1.0, 0.0, 0, 128);
+        dev0.set_device(0);
+        dev1.set_device(1);
+        let expect_ts: Vec<f64> = dev0.points.iter().map(|p| p.t_us).collect();
+        let mut merged = LaunchTimeline::default();
+        merged.merge(dev0);
+        merged.merge(dev1);
+
+        // Every timestamp is duplicated across lanes, none dropped.
+        assert_eq!(merged.points.len(), 2 * expect_ts.len());
+        for &t in &expect_ts {
+            assert_eq!(
+                merged.points.iter().filter(|p| p.t_us == t).count(),
+                2,
+                "timestamp {t} should appear once per device lane"
+            );
+        }
+        // Each lane is strictly increasing and stamped consistently.
+        for dev in [0u32, 1u32] {
+            let lane: Vec<&TimelinePoint> =
+                merged.points.iter().filter(|p| p.device == dev).collect();
+            assert_eq!(lane.len(), expect_ts.len());
+            assert!(
+                lane.windows(2).all(|w| w[1].t_us > w[0].t_us),
+                "device {dev} lane not strictly increasing"
+            );
+            let heap = if dev == 0 { 64 } else { 128 };
+            assert!(lane.iter().all(|p| p.heap_bytes == heap));
+            assert_eq!(
+                lane.iter().map(|p| p.t_us).collect::<Vec<_>>(),
+                expect_ts,
+                "device {dev} lane timestamps perturbed by merge"
+            );
+        }
+        // Merge is append-ordered: lane 0's block precedes lane 1's, so
+        // device stamping is stable (no interleave-dependent re-stamping).
+        let devices: Vec<u32> = merged.points.iter().map(|p| p.device).collect();
+        assert_eq!(devices, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
     fn single_sample_and_empty_series_feed_rollups_cleanly() {
         let one = UtilizationTimeline {
             interval: 100.0,

@@ -7,7 +7,8 @@ use dgc_core::{
     EnsembleOptions, EnsembleResult, HostApp, InstanceOutcome,
 };
 use dgc_obs::{
-    InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph, DEVICE_PID_STRIDE,
+    DeviceStamped, InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph,
+    DEVICE_PID_STRIDE,
 };
 use gpu_sim::DeviceFleet;
 use host_rpc::{HostServices, RpcStats};
@@ -129,6 +130,9 @@ pub fn run_ensemble_sharded(
     // ---- Per-device wave execution, one driver thread per device. ----
     let traced = obs.is_enabled();
     let base_us = obs.base_us();
+    // Each device thread gets the shared monitor sink wrapped in
+    // [`DeviceStamped`], so its launch events carry the device ordinal.
+    let monitor = obs.monitor().cloned();
     struct DeviceRun {
         result: Result<EnsembleResult, EnsembleError>,
         recorder: Recorder,
@@ -137,7 +141,8 @@ pub fn run_ensemble_sharded(
         let handles: Vec<_> = fleet
             .iter_mut()
             .zip(assignment.iter())
-            .map(|(gpu, shard)| {
+            .enumerate()
+            .map(|(d, (gpu, shard))| {
                 if shard.is_empty() {
                     return None;
                 }
@@ -149,12 +154,16 @@ pub fn run_ensemble_sharded(
                     num_instances: shard.len() as u32,
                     ..opts.clone()
                 };
+                let shard_monitor = monitor.clone().map(|m| DeviceStamped::stamp(m, d as u32));
                 Some(s.spawn(move || {
                     let mut rec = if traced {
                         Recorder::enabled()
                     } else {
                         Recorder::disabled()
                     };
+                    if let Some(m) = shard_monitor {
+                        rec.set_monitor(m);
+                    }
                     rec.set_base_us(base_us);
                     let result = if batch > 0 {
                         run_ensemble_batched_traced(

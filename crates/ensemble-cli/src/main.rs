@@ -19,7 +19,16 @@
 //! and the schema-v5 `timeline` array to the metrics; `--progress` prints
 //! status lines to stderr (suppressed by `--quiet`) — with `--batch` the
 //! batched driver reports completed/total instances, the observed
-//! instances-per-second rate and an ETA after every batch.
+//! instances-per-second rate and an ETA after every batch (`eta --`
+//! while the measured rate is still ~zero).
+//!
+//! Monitoring: `--monitor-out snapshots.om` attaches the `dgc-monitor`
+//! operational-metrics registry to the run and streams OpenMetrics
+//! snapshot blocks to the file from a background thread every
+//! `--monitor-interval <ms>` (default 1000), plus a guaranteed final
+//! snapshot at exit. Lint, SLO-gate or render the log with the
+//! `dgc-monitor` binary. Attaching the monitor never changes the
+//! simulated results — traces and metrics stay bit-identical.
 //!
 //! Post-hoc analysis: `--insight-out report.md` writes the `dgc-insight`
 //! run analysis (critical path whose span sum reproduces the reported
@@ -47,6 +56,7 @@ use dgc_fault::{
     run_ensemble_resilient, run_ensemble_sharded_resilient, FaultPlan, RecoveryPolicy,
     RecoveryStats,
 };
+use dgc_monitor::{MonitorRegistry, MonitorWriter};
 use dgc_obs::{metrics_jsonl, LaunchMetrics, Recorder};
 use dgc_sched::{run_ensemble_sharded, Placement};
 use gpu_arch::GpuSpec;
@@ -62,6 +72,7 @@ fn usage() -> ! {
     eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
     eprintln!("                    [--timeline] [--sample-interval <cycles>] [--progress]");
     eprintln!("                    [--insight-out <report.md>] [--flame-out <stacks.folded>]");
+    eprintln!("                    [--monitor-out <snapshots.om>] [--monitor-interval <ms>]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
 }
@@ -127,6 +138,28 @@ fn main() {
         Recorder::enabled()
     } else {
         Recorder::disabled()
+    };
+
+    // --monitor-out: stream OpenMetrics snapshots of the run from a
+    // background monitor thread. The registry is a pure observation
+    // sink — attaching it never changes the simulated results.
+    let monitor_writer = match &cli.monitor_out {
+        Some(path) => {
+            let registry = std::sync::Arc::new(MonitorRegistry::new());
+            obs.set_monitor(registry.clone());
+            match MonitorWriter::spawn(
+                registry,
+                path.into(),
+                std::time::Duration::from_millis(cli.monitor_interval_ms),
+            ) {
+                Ok(w) => Some(w),
+                Err(e) => {
+                    eprintln!("error: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
     };
 
     // Any recovery-related flag routes the run through the resilient
@@ -244,10 +277,15 @@ fn main() {
                     if !report_progress || done == 0 {
                         return;
                     }
-                    let rate = done as f64 / started.elapsed().as_secs_f64().max(1e-9);
-                    let eta_s = total.saturating_sub(done) as f64 / rate.max(1e-9);
+                    let elapsed_s = started.elapsed().as_secs_f64();
+                    let rate = if elapsed_s > 0.0 {
+                        done as f64 / elapsed_s
+                    } else {
+                        0.0
+                    };
+                    let eta = dgc_core::format_eta_s(u64::from(total.saturating_sub(done)), rate);
                     eprintln!(
-                        "progress: {done}/{total} instances | {rate:.1} instances/s | eta {eta_s:.1} s"
+                        "progress: {done}/{total} instances | {rate:.1} instances/s | eta {eta}"
                     );
                 },
             )
@@ -396,6 +434,16 @@ fn main() {
             "wrote metrics {path} ({} instance records + 1 launch record)",
             result.metrics.len()
         );
+    }
+    if let Some(writer) = monitor_writer {
+        // Joins the monitor thread after a guaranteed final snapshot, so
+        // the log always ends with the run's complete totals.
+        let path = cli.monitor_out.as_deref().unwrap_or_default().to_string();
+        if let Err(e) = writer.stop() {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote monitor snapshots {path}");
     }
 
     std::process::exit(if failed == 0 { 0 } else { 1 });

@@ -151,6 +151,107 @@ fn batched_progress_reports_rate_and_eta_per_batch() {
 }
 
 #[test]
+fn batched_progress_eta_is_finite_or_dashed_never_inf() {
+    let f = arg_file("progress-eta-finite", 4);
+    let out = run(&[
+        "xsbench",
+        "-f",
+        f.to_str().unwrap(),
+        "--batch",
+        "1",
+        "--progress",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    let etas: Vec<&str> = err
+        .lines()
+        .filter_map(|l| l.split(" | eta ").nth(1))
+        .collect();
+    assert!(!etas.is_empty(), "no eta columns: {err}");
+    // Every ETA is either the `--` placeholder or a finite seconds
+    // value — `inf`/`NaN` never reach the terminal.
+    for eta in etas {
+        let ok = eta == "--"
+            || eta
+                .strip_suffix(" s")
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|v| v.is_finite() && v >= 0.0);
+        assert!(ok, "bad eta column {eta:?}: {err}");
+    }
+    // The degenerate case itself: a ~zero measured rate dashes out.
+    assert_eq!(dgc_core::format_eta_s(3, 0.0), "--");
+}
+
+#[test]
+fn monitor_out_streams_lintable_snapshots_and_leaves_results_bit_identical() {
+    let f = arg_file("monitor", 4);
+    let om = std::env::temp_dir().join("ensemble-cli-test-monitor.om");
+    let trace_on = std::env::temp_dir().join("ensemble-cli-test-monitor-trace-on.json");
+    let trace_off = std::env::temp_dir().join("ensemble-cli-test-monitor-trace-off.json");
+    let metrics_on = std::env::temp_dir().join("ensemble-cli-test-monitor-metrics-on.jsonl");
+    let metrics_off = std::env::temp_dir().join("ensemble-cli-test-monitor-metrics-off.jsonl");
+    let base = |trace: &PathBuf, metrics: &PathBuf| {
+        vec![
+            "xsbench".to_string(),
+            "-f".to_string(),
+            f.to_str().unwrap().to_string(),
+            "--batch".to_string(),
+            "2".to_string(),
+            "--quiet".to_string(),
+            "--trace-out".to_string(),
+            trace.to_str().unwrap().to_string(),
+            "--metrics-out".to_string(),
+            metrics.to_str().unwrap().to_string(),
+        ]
+    };
+    let mut with_monitor = base(&trace_on, &metrics_on);
+    with_monitor.extend([
+        "--monitor-out".to_string(),
+        om.to_str().unwrap().to_string(),
+    ]);
+    let out = Command::new(bin()).args(&with_monitor).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("wrote monitor snapshots"), "{err}");
+
+    // The snapshot log lints under the strict OpenMetrics re-parser and
+    // round-trips bit-exactly through it.
+    let log = std::fs::read_to_string(&om).unwrap();
+    let series = dgc_monitor::parse_series(&log).expect("snapshot log lints");
+    assert!(!series.is_empty());
+    let rendered: String = series.iter().map(|s| s.render()).collect();
+    assert_eq!(rendered, log, "render(parse(log)) != log");
+    let last = series.last().unwrap();
+    assert_eq!(last.sum("dgc_instances_total", &[]), Some(4.0), "{log}");
+    assert!(
+        last.sum("dgc_kernel_launches_total", &[]).unwrap_or(0.0) >= 1.0,
+        "{log}"
+    );
+    assert!(
+        last.sum("dgc_monitor_snapshots_total", &[]).unwrap_or(0.0) >= 1.0,
+        "{log}"
+    );
+
+    // Monitoring is pure observation: the simulated results are
+    // bit-identical to a run without --monitor-out.
+    let out = Command::new(bin())
+        .args(base(&trace_off, &metrics_off))
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    assert_eq!(
+        std::fs::read(&trace_on).unwrap(),
+        std::fs::read(&trace_off).unwrap(),
+        "trace bytes changed under monitoring"
+    );
+    assert_eq!(
+        std::fs::read(&metrics_on).unwrap(),
+        std::fs::read(&metrics_off).unwrap(),
+        "metrics bytes changed under monitoring"
+    );
+}
+
+#[test]
 fn insight_and_flame_outputs_render_from_the_run_graph() {
     let f = arg_file("insight", 2);
     let report = std::env::temp_dir().join("ensemble-cli-test-insight.md");

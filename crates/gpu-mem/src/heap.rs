@@ -237,6 +237,24 @@ impl DeviceMemory {
         self.stats.peak_bytes_in_use as f64 / self.capacity as f64
     }
 
+    /// Largest single free-list hole — the biggest allocation that could
+    /// succeed right now, the operational headroom gauge the monitor
+    /// exports.
+    pub fn largest_free_block(&self) -> u64 {
+        self.free_list.iter().map(|&(_, l)| l).max().unwrap_or(0)
+    }
+
+    /// External fragmentation, [0, 1]: the share of free bytes that is
+    /// *not* in the largest hole. 0 when free space is one hole (or the
+    /// heap is full) — a first-fit allocator's health indicator.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_bytes();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_block() as f64 / free as f64
+    }
+
     /// Allocate `len` bytes with the given backing and tag.
     pub fn alloc_tagged(
         &mut self,
@@ -659,6 +677,32 @@ mod tests {
         // Degenerate zero-capacity device divides to zero, not NaN.
         assert_eq!(DeviceMemory::new(0).utilization(), 0.0);
         assert_eq!(DeviceMemory::new(0).peak_utilization(), 0.0);
+    }
+
+    #[test]
+    fn fragmentation_tracks_free_list_holes() {
+        let mut mem = DeviceMemory::new(1 << 20);
+        // Pristine heap: one hole, no fragmentation.
+        assert_eq!(mem.largest_free_block(), 1 << 20);
+        assert_eq!(mem.fragmentation(), 0.0);
+        // Alternate-free three same-size blocks to split the free space.
+        let a = mem.alloc(256).unwrap();
+        let _b = mem.alloc(256).unwrap();
+        let c = mem.alloc(256).unwrap();
+        let _d = mem.alloc(256).unwrap();
+        mem.free(a).unwrap();
+        mem.free(c).unwrap();
+        // Free space = two 256 B holes plus the big tail hole; the tail
+        // dominates, so fragmentation is small but non-zero.
+        let free = mem.free_bytes();
+        let largest = mem.largest_free_block();
+        assert_eq!(free - largest, 512);
+        assert!((mem.fragmentation() - 512.0 / free as f64).abs() < 1e-12);
+        // A full heap reports zero fragmentation, not NaN.
+        let mut full = DeviceMemory::new(1024);
+        let _ = full.alloc(1024).unwrap();
+        assert_eq!(full.free_bytes(), 0);
+        assert_eq!(full.fragmentation(), 0.0);
     }
 
     #[test]

@@ -111,6 +111,12 @@ pub struct KernelSpec<'a> {
     /// `None` (the default) disables sampling and leaves every outcome
     /// bit-identical.
     pub sample_interval: Option<f64>,
+    /// Pure-observation progress hook: invoked after each team finishes
+    /// its functional execution with `(teams_done, num_teams)`. The hook
+    /// sees copies of counters only and cannot influence the launch, so
+    /// outcomes stay bit-identical whether or not it is set — the
+    /// liveness signal wall-clock run monitors sample mid-kernel.
+    pub on_team_done: Option<&'a dyn Fn(u32, u32)>,
 }
 
 impl<'a> KernelSpec<'a> {
@@ -129,6 +135,7 @@ impl<'a> KernelSpec<'a> {
             fault_of_team: None,
             cycle_budget: None,
             sample_interval: None,
+            on_team_done: None,
         }
     }
 }
@@ -268,6 +275,9 @@ impl Gpu {
             let block = (team / spec.teams_per_block) as usize;
             block_traces[block].teams.push(trace);
             outcomes.push(outcome);
+            if let Some(hook) = spec.on_team_done {
+                hook(team + 1, spec.num_teams);
+            }
         }
         for b in &mut block_traces {
             b.shared_mem_bytes = max_shared;
@@ -399,6 +409,35 @@ mod tests {
         assert_eq!(res.team_outcomes, vec![TeamOutcome::Return(7)]);
         assert!(res.report.sim_time_s > 0.0);
         assert_eq!(res.report.blocks, 1);
+    }
+
+    #[test]
+    fn team_progress_hook_streams_without_perturbing_the_launch() {
+        let body = |ctx: &mut TeamCtx<'_>| {
+            ctx.serial("work", |lane| {
+                lane.work(100.0);
+                Ok(())
+            })?;
+            Ok(0)
+        };
+        let mut plain_gpu = Gpu::a100();
+        let plain = plain_gpu
+            .launch(&KernelSpec::new("prog", 3, 32), None, body)
+            .unwrap();
+
+        let seen = std::cell::RefCell::new(Vec::new());
+        let hook = |done: u32, total: u32| seen.borrow_mut().push((done, total));
+        let mut hooked_gpu = Gpu::a100();
+        let mut spec = KernelSpec::new("prog", 3, 32);
+        spec.on_team_done = Some(&hook);
+        let hooked = hooked_gpu.launch(&spec, None, body).unwrap();
+
+        // One callback per team, in execution order, with the right total.
+        assert_eq!(*seen.borrow(), vec![(1, 3), (2, 3), (3, 3)]);
+        // Observation only: the hooked launch is bit-identical.
+        assert_eq!(hooked.report.sim_time_s, plain.report.sim_time_s);
+        assert_eq!(hooked.report.kernel_cycles, plain.report.kernel_cycles);
+        assert_eq!(hooked.team_outcomes, plain.team_outcomes);
     }
 
     #[test]

@@ -25,5 +25,5 @@ mod services;
 pub use proto::{
     DecodeError, Request, Response, SERVICE_CLOCK, SERVICE_EXIT, SERVICE_FS, SERVICE_STDIO,
 };
-pub use server::{RpcClient, RpcError, RpcFault, RpcFaultHook, RpcServer};
+pub use server::{RpcClient, RpcError, RpcFault, RpcFaultHook, RpcObserver, RpcServer};
 pub use services::{FsBackend, HostServices, RpcStats};

@@ -48,6 +48,14 @@ pub enum RpcFault {
 /// trip with a fault. Runs on the service thread, hence `Send`.
 pub type RpcFaultHook = Box<dyn FnMut(&Request) -> Option<RpcFault> + Send>;
 
+/// Server-side observation hook: called once per completed round trip
+/// with `(service, instance, errored)`, where `errored` covers both
+/// service-level `Response::Err` replies and injected faults. Pure
+/// observation — the hook runs after the reply is decided and cannot
+/// alter it; live-telemetry sinks hang off this. `Arc` so the caller can
+/// keep reading the counters the hook feeds while the server runs.
+pub type RpcObserver = std::sync::Arc<dyn Fn(u32, u32, bool) + Send + Sync>;
+
 /// Wire bytes of a corrupted reply: an out-of-range response tag followed
 /// by a length prefix that overruns the buffer, so any correct decoder
 /// must reject it without panicking or over-reading.
@@ -117,7 +125,19 @@ impl RpcServer {
     /// [`RpcServer::spawn`].
     pub fn spawn_with_interceptor(
         services: HostServices,
+        interceptor: Option<RpcFaultHook>,
+    ) -> (RpcServer, RpcClient) {
+        Self::spawn_observed(services, interceptor, None)
+    }
+
+    /// [`RpcServer::spawn_with_interceptor`] plus an optional round-trip
+    /// observer. The observer fires after each reply is decided (injected
+    /// faults included) and cannot influence it, so an observed server
+    /// answers exactly like an unobserved one.
+    pub fn spawn_observed(
+        services: HostServices,
         mut interceptor: Option<RpcFaultHook>,
+        observer: Option<RpcObserver>,
     ) -> (RpcServer, RpcClient) {
         let (tx, rx) = unbounded::<Message>();
         let handle = std::thread::Builder::new()
@@ -127,6 +147,7 @@ impl RpcServer {
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Message::Call(req, reply) => {
+                            let (service, instance) = (req.service(), req.instance());
                             let fault = interceptor.as_mut().and_then(|f| f(&req));
                             let out = match fault {
                                 None => (services.handle(req), false),
@@ -135,6 +156,10 @@ impl RpcServer {
                                 }
                                 Some(RpcFault::Corrupt) => (Response::Ok, true),
                             };
+                            if let Some(obs) = &observer {
+                                let errored = out.1 || matches!(out.0, Response::Err(_));
+                                obs(service, instance, errored);
+                            }
                             // A dropped caller is not an error for the server.
                             let _ = reply.send(out);
                         }
@@ -276,6 +301,34 @@ mod tests {
         // The corrupted bytes must be rejected by the response decoder.
         assert!(Response::decode(&raw).is_err());
         server.shutdown();
+    }
+
+    #[test]
+    fn observer_sees_every_round_trip_with_error_flags() {
+        use crate::proto::{SERVICE_CLOCK, SERVICE_STDIO};
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<(u32, u32, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let log = seen.clone();
+        let hook: RpcFaultHook = Box::new(|req| match req {
+            Request::Stdout { .. } => Some(RpcFault::Fail("down".into())),
+            _ => None,
+        });
+        let observer: RpcObserver =
+            Arc::new(move |svc, inst, err| log.lock().unwrap().push((svc, inst, err)));
+        let (server, client) =
+            RpcServer::spawn_observed(HostServices::default(), Some(hook), Some(observer));
+        let _ = client.call(Request::Clock { instance: 2 }).unwrap();
+        let _ = client
+            .call(Request::Stdout {
+                instance: 5,
+                text: "x".into(),
+            })
+            .unwrap();
+        server.shutdown();
+        assert_eq!(
+            *seen.lock().unwrap(),
+            vec![(SERVICE_CLOCK, 2, false), (SERVICE_STDIO, 5, true)]
+        );
     }
 
     #[test]
