@@ -116,6 +116,93 @@ test -s "$PROF_TMP/dashboard.html"
 grep -q "<svg" "$PROF_TMP/dashboard.html"
 ! grep -q 'https://' "$PROF_TMP/dashboard.html"
 
+echo "== serve: crash-safe daemon — journal, kill -9, resume, exit contract =="
+# The serving tentpole, end to end against the release binary. The
+# write-ahead journal contract: results after `run → crash → resume`
+# must be byte-identical to an uninterrupted run.
+SERVE="$PROF_TMP/serve"
+mkdir -p "$SERVE"
+# Invoke the built binary directly (not `cargo run`): the crash drills
+# signal the daemon's own PID, and the cargo wrapper neither forwards
+# SIGTERM nor survives SIGKILL semantics.
+dgc_serve() { ./target/release/dgc-serve "$@"; }
+cat > "$SERVE/jobs.jsonl" <<'EOF'
+# serve CI workload: two apps, small args (fast even in simulation)
+{"op":"submit","job":"s1","app":"xsbench","args":"-g 500 -l 16"}
+{"op":"submit","job":"s2","app":"xsbench","args":["-g","400","-l","16"]}
+{"op":"submit","job":"s3","app":"amgmk","args":"-i 2 -n 16"}
+{"op":"submit","job":"s4","app":"amgmk","args":"-i 3 -n 16","deadline_s":1000}
+EOF
+# Golden: uninterrupted run, all jobs succeed (exit 0).
+dgc_serve run --journal "$SERVE/golden.journal" --jobs "$SERVE/jobs.jsonl" \
+    --results "$SERVE/golden.jsonl" --quiet
+# Crash drill 1 (deterministic): abort the daemon once the journal hits
+# 600 bytes — lands mid-run, after real work is committed. SIGABRT=134.
+set +e
+dgc_serve run --journal "$SERVE/crash.journal" --jobs "$SERVE/jobs.jsonl" \
+    --crash-after-journal-bytes 600 --quiet 2> /dev/null
+crash_code=$?
+set -e
+test "$crash_code" -eq 134
+dgc_serve resume --journal "$SERVE/crash.journal" --jobs "$SERVE/jobs.jsonl" \
+    --results "$SERVE/crash_resumed.jsonl" --quiet
+cmp "$SERVE/golden.jsonl" "$SERVE/crash_resumed.jsonl"
+# Crash drill 2 (real kill -9): --wave-pause-ms holds each wave open
+# after its `started` record is journaled, so SIGKILL lands mid-wave.
+# If the race is lost and the run finishes first, resume is a no-op and
+# the byte-identity check still must hold.
+# Background drills invoke the binary directly (not the function):
+# `fn &` backgrounds a subshell, so $! would name the wrapper and the
+# signal would never reach the daemon's handler.
+./target/release/dgc-serve run --journal "$SERVE/kill9.journal" --jobs "$SERVE/jobs.jsonl" \
+    --wave-pause-ms 400 --quiet 2> /dev/null &
+serve_pid=$!
+sleep 0.5
+kill -9 "$serve_pid" 2> /dev/null || true
+wait "$serve_pid" 2> /dev/null || true
+dgc_serve resume --journal "$SERVE/kill9.journal" --jobs "$SERVE/jobs.jsonl" \
+    --results "$SERVE/kill9_resumed.jsonl" --quiet
+cmp "$SERVE/golden.jsonl" "$SERVE/kill9_resumed.jsonl"
+# Streaming admission over stdin, drained by an in-band op; the monitor
+# snapshot log must lint like every other OpenMetrics producer.
+printf '%s\n' \
+    '{"op":"submit","job":"t1","app":"xsbench","args":"-g 300 -l 16"}' \
+    '{"op":"drain"}' \
+    | dgc_serve run --journal "$SERVE/stdin.journal" --stdin \
+        --results "$SERVE/stdin.jsonl" --monitor-out "$SERVE/serve.om" \
+        --monitor-interval 50 --quiet
+grep -q '"status":"ok"' "$SERVE/stdin.jsonl"
+cargo run -q --release -p dgc-monitor --bin dgc-monitor -- lint "$SERVE/serve.om"
+# SIGTERM = graceful drain: finish in-flight work, write results, exit 0.
+: > "$SERVE/watched.jsonl"
+./target/release/dgc-serve run --journal "$SERVE/drain.journal" --watch "$SERVE/watched.jsonl" \
+    --results "$SERVE/drain.jsonl" --quiet &
+serve_pid=$!
+printf '%s\n' '{"op":"submit","job":"w1","app":"xsbench","args":"-g 300 -l 16"}' \
+    >> "$SERVE/watched.jsonl"
+sleep 0.8
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q '"job":"w1","app":"xsbench","status":"ok"' "$SERVE/drain.jsonl"
+# Exit contract: a cancelled job degrades the run (1)…
+printf '%s\n' \
+    '{"op":"submit","job":"c1","app":"xsbench","args":"-g 300 -l 16"}' \
+    '{"op":"cancel","job":"c1"}' > "$SERVE/cancel.jsonl"
+set +e
+dgc_serve run --journal "$SERVE/cancel.journal" --jobs "$SERVE/cancel.jsonl" --quiet
+degraded_code=$?
+set -e
+test "$degraded_code" -eq 1
+# …and a corrupt journal is unrecoverable (2), never silently replayed.
+sed '2s/^J1 ./J1 x/' "$SERVE/golden.journal" > "$SERVE/corrupt.journal"
+set +e
+dgc_serve status --journal "$SERVE/corrupt.journal" 2> /dev/null
+corrupt_code=$?
+set -e
+test "$corrupt_code" -eq 2
+# `status` replays the journal read-only and always exits 0.
+dgc_serve status --journal "$SERVE/golden.journal" | grep -q 'ok=4'
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 

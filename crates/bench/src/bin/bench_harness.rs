@@ -158,7 +158,7 @@ fn main() {
         sections,
     };
     let json = serde_json::to_string_pretty(&report).expect("bench report serializes");
-    std::fs::write(&out_path, json).unwrap_or_else(|e| {
+    dgc_obs::write_atomic(&out_path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(2);
     });

@@ -42,7 +42,7 @@ fn main() {
     let spec = GpuSpec::a100_40gb();
     if let Some(path) = &metrics_out {
         let json = config_json(&spec);
-        std::fs::write(path, json).unwrap_or_else(|e| {
+        dgc_obs::write_atomic(path, json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
         });

@@ -115,7 +115,7 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&panels).expect("panels serialize");
-        std::fs::write(&path, json).expect("write JSON output");
+        dgc_obs::write_atomic(&path, json).expect("write JSON output");
         eprintln!("wrote {path}");
     }
     if let Some(path) = metrics_path {
@@ -124,7 +124,7 @@ fn main() {
             out.push_str(&serde_json::to_string(cfg).expect("config serializes"));
             out.push('\n');
         }
-        std::fs::write(&path, out).expect("write metrics output");
+        dgc_obs::write_atomic(&path, out).expect("write metrics output");
         eprintln!("wrote {path} ({} configurations)", measured.len());
     }
 }

@@ -142,7 +142,7 @@ fn main() {
             out.push_str(&serde_json::to_string(cfg).expect("config serializes"));
             out.push('\n');
         }
-        std::fs::write(&path, out).expect("write metrics output");
+        dgc_obs::write_atomic(&path, out).expect("write metrics output");
         eprintln!("wrote {path} ({} configurations)", measured.len());
     }
 }

@@ -31,7 +31,7 @@ pub fn parse_arg_file(text: &str) -> Result<Vec<Vec<String>>, ArgFileError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        lines.push(split_line(line));
+        lines.push(split_arg_line(line));
     }
     if lines.is_empty() {
         return Err(ArgFileError::Empty);
@@ -39,7 +39,11 @@ pub fn parse_arg_file(text: &str) -> Result<Vec<Vec<String>>, ArgFileError> {
     Ok(lines)
 }
 
-fn split_line(line: &str) -> Vec<String> {
+/// Split one argument line by the file rules — whitespace-separated,
+/// double-quoted tokens keep their spaces. Shared with the serving
+/// daemon, whose JSONL job requests may carry `args` as a single string
+/// that must tokenize exactly like an argument-file line.
+pub fn split_arg_line(line: &str) -> Vec<String> {
     let mut args = Vec::new();
     let mut cur = String::new();
     let mut in_quotes = false;

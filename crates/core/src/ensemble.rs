@@ -854,6 +854,10 @@ pub struct EnsembleCliArgs {
     pub instance_timeout: Option<f64>,
     /// Abort remaining work as soon as one instance exhausts its attempts.
     pub fail_fast: bool,
+    /// Seed for the resilient driver's opt-in backoff jitter
+    /// (`--retry-jitter <seed>`); `None` keeps the synchronized waits and
+    /// every existing golden bit-identical.
+    pub retry_jitter: Option<u64>,
     /// Number of simulated devices to shard the ensemble across
     /// (`--devices`, default 1 = the single-device paths).
     pub devices: u32,
@@ -949,6 +953,7 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut auto_batch = false;
     let mut instance_timeout = None;
     let mut fail_fast = false;
+    let mut retry_jitter = None;
     let mut devices = 1u32;
     let mut placement = "round-robin".to_string();
     let mut cycle_args = false;
@@ -1029,6 +1034,13 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                 instance_timeout = Some(cycles);
             }
             "--fail-fast" => fail_fast = true,
+            "--retry-jitter" => {
+                let v = it.next().ok_or(CliError::MissingValue("--retry-jitter"))?;
+                retry_jitter = Some(
+                    v.parse()
+                        .map_err(|_| CliError::BadValue("--retry-jitter", v.clone()))?,
+                );
+            }
             "--devices" => {
                 let v = it.next().ok_or(CliError::MissingValue("--devices"))?;
                 devices = v
@@ -1110,6 +1122,7 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         auto_batch,
         instance_timeout,
         fail_fast,
+        retry_jitter,
         devices,
         placement,
         cycle_args,
@@ -1690,6 +1703,7 @@ module "bench" {
                 auto_batch: false,
                 instance_timeout: None,
                 fail_fast: false,
+                retry_jitter: None,
                 devices: 1,
                 placement: "round-robin".into(),
                 cycle_args: false,
@@ -1780,6 +1794,8 @@ module "bench" {
             "--instance-timeout",
             "50000",
             "--fail-fast",
+            "--retry-jitter",
+            "1234",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -1790,6 +1806,7 @@ module "bench" {
         assert!(cli.auto_batch);
         assert_eq!(cli.instance_timeout, Some(50000.0));
         assert!(cli.fail_fast);
+        assert_eq!(cli.retry_jitter, Some(1234));
         // Zero attempts and non-positive budgets are rejected.
         assert_eq!(
             parse_ensemble_cli(&["-f", "a", "--max-attempts", "0"].map(String::from)),
@@ -1798,6 +1815,10 @@ module "bench" {
         assert_eq!(
             parse_ensemble_cli(&["-f", "a", "--instance-timeout", "-1"].map(String::from)),
             Err(CliError::BadValue("--instance-timeout", "-1".into()))
+        );
+        assert_eq!(
+            parse_ensemble_cli(&["-f", "a", "--retry-jitter", "nope"].map(String::from)),
+            Err(CliError::BadValue("--retry-jitter", "nope".into()))
         );
     }
 
@@ -1862,6 +1883,7 @@ module "bench" {
         assert!(!cli.auto_batch);
         assert_eq!(cli.instance_timeout, None);
         assert!(!cli.fail_fast);
+        assert_eq!(cli.retry_jitter, None);
         assert_eq!(cli.devices, 1);
         assert_eq!(cli.placement, "round-robin");
         assert!(!cli.cycle_args);

@@ -32,7 +32,7 @@ mod multiteam;
 mod stats;
 
 pub use app::{AppContext, AppMainFn, GlobalSlot, HostApp};
-pub use argfile::{parse_arg_file, ArgFileError};
+pub use argfile::{parse_arg_file, split_arg_line, ArgFileError};
 pub use argscript::{eval_expr, expand_arg_script, ScriptError};
 pub use ensemble::{
     ensure_arg_capacity, format_eta_s, parse_ensemble_cli, run_ensemble, run_ensemble_batched,

@@ -82,8 +82,10 @@ pub struct FaultPlan {
 }
 
 /// splitmix64 — tiny, dependency-free, full-period generator; plenty for
-/// scattering faults reproducibly.
-fn splitmix64(state: &mut u64) -> u64 {
+/// scattering faults reproducibly (and for the recovery driver's seeded
+/// backoff jitter, which shares the generator so one seed scheme covers
+/// the whole crate).
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -44,6 +44,11 @@ pub struct RecoveryPolicy {
     pub instance_cycle_budget: Option<f64>,
     /// Abort all remaining work once one instance exhausts its attempts.
     pub fail_fast: bool,
+    /// Opt-in deterministic backoff jitter: `Some(seed)` de-synchronizes
+    /// retry storms by scaling each instance's wait with a splitmix64
+    /// hash of seed × instance × attempt (factor in `[0.5, 1.0)`). The
+    /// default `None` keeps every existing golden bit-identical.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -56,6 +61,7 @@ impl Default for RecoveryPolicy {
             oom_split: true,
             instance_cycle_budget: None,
             fail_fast: false,
+            jitter_seed: None,
         }
     }
 }
@@ -74,6 +80,26 @@ impl RecoveryPolicy {
         } else {
             self.backoff_max_s
         }
+    }
+
+    /// `instance`'s wait before retry round `attempt` under the opt-in
+    /// jitter: the clamped exponential scaled by a deterministic factor
+    /// in `[0.5, 1.0)` drawn from splitmix64 over
+    /// `jitter_seed × instance × attempt`. Identical policies replay
+    /// identical waits; instances sharing a round spread out instead of
+    /// retrying in lockstep. With [`RecoveryPolicy::jitter_seed`] unset
+    /// this is exactly [`RecoveryPolicy::backoff_wait_s`].
+    pub fn backoff_wait_jittered_s(&self, attempt: u32, instance: u32) -> f64 {
+        let base = self.backoff_wait_s(attempt);
+        let Some(seed) = self.jitter_seed else {
+            return base;
+        };
+        let mut state = seed
+            .wrapping_add(u64::from(instance).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        // 53 high-quality bits → uniform in [0, 1).
+        let unit = (crate::plan::splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        base * (0.5 + 0.5 * unit)
     }
 }
 
@@ -217,7 +243,19 @@ pub fn run_ensemble_resilient(
         if attempt > 0 {
             // Exponential backoff in simulated time before the round,
             // clamped so huge attempt counts cannot overflow to inf.
-            let wait = policy.backoff_wait_s(attempt);
+            // Under the opt-in jitter each pending instance runs its own
+            // de-synchronized timer; the shared retry kernel launches
+            // when the last of them fires, so the round waits for the
+            // max. Jitter factors are < 1, so this never exceeds the
+            // un-jittered wait.
+            let wait = if policy.jitter_seed.is_some() {
+                pending
+                    .iter()
+                    .map(|&g| policy.backoff_wait_jittered_s(attempt, g))
+                    .fold(0.0, f64::max)
+            } else {
+                policy.backoff_wait_s(attempt)
+            };
             total_time_s += wait;
             stats.backoff_s += wait;
             if let Some(m) = &monitor {
@@ -462,6 +500,54 @@ mod tests {
         // A cumulative sum over many rounds stays finite too.
         let total: f64 = (1..10_000).map(|a| p.backoff_wait_s(a)).sum();
         assert!(total.is_finite());
+    }
+
+    #[test]
+    fn jitter_off_is_the_plain_wait() {
+        let p = RecoveryPolicy::default();
+        for attempt in 1..6 {
+            for instance in [0, 3, 77] {
+                assert_eq!(
+                    p.backoff_wait_jittered_s(attempt, instance),
+                    p.backoff_wait_s(attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_spread() {
+        let p = RecoveryPolicy {
+            jitter_seed: Some(42),
+            ..RecoveryPolicy::default()
+        };
+        let q = RecoveryPolicy {
+            jitter_seed: Some(42),
+            ..RecoveryPolicy::default()
+        };
+        let mut waits = Vec::new();
+        for instance in 0..32 {
+            let w = p.backoff_wait_jittered_s(2, instance);
+            // Same seed replays the same wait.
+            assert_eq!(w, q.backoff_wait_jittered_s(2, instance));
+            // Scaled into [base/2, base).
+            let base = p.backoff_wait_s(2);
+            assert!(w >= base * 0.5 && w < base, "instance {instance}: {w}");
+            waits.push(w.to_bits());
+        }
+        // The whole point: instances do not retry in lockstep.
+        waits.sort_unstable();
+        waits.dedup();
+        assert!(waits.len() > 16, "only {} distinct waits", waits.len());
+        // A different seed draws a different schedule.
+        let r = RecoveryPolicy {
+            jitter_seed: Some(43),
+            ..RecoveryPolicy::default()
+        };
+        assert_ne!(
+            p.backoff_wait_jittered_s(2, 5),
+            r.backoff_wait_jittered_s(2, 5)
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ fn read(path: &str) -> String {
 }
 
 fn write(path: &str, text: &str) {
-    std::fs::write(path, text).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+    dgc_obs::write_atomic(path, text)
+        .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
 }
 
 /// Flag parser over `(name, value)` pairs; positional args rejected.

@@ -128,7 +128,7 @@ fn slo(mut args: Vec<String>) -> ExitCode {
     };
     print!("{}", report.render());
     if let Some(out) = json_out {
-        if let Err(e) = std::fs::write(&out, report.to_json() + "\n") {
+        if let Err(e) = dgc_obs::write_atomic(&out, report.to_json() + "\n") {
             eprintln!("dgc-monitor: cannot write {out}: {e}");
             return ExitCode::from(2);
         }
@@ -228,7 +228,7 @@ fn render(mut args: Vec<String>) -> ExitCode {
         }
     };
     let html = render_dashboard(&series, report.as_ref(), &blames);
-    if let Err(e) = std::fs::write(&out_path, html) {
+    if let Err(e) = dgc_obs::write_atomic(&out_path, html) {
         eprintln!("dgc-monitor: cannot write {out_path}: {e}");
         return ExitCode::from(2);
     }

@@ -5,7 +5,10 @@
 //! the registry, so enabling `--monitor-out` cannot perturb simulated
 //! results. On [`MonitorWriter::stop`] it appends one final block, which
 //! guarantees even a run shorter than the interval leaves a complete
-//! snapshot behind.
+//! snapshot behind. Dropping the handle without calling `stop` — an
+//! early return, a `?`, a panicking driver — flushes the same final
+//! block best-effort from `Drop`, so the log on disk always ends with
+//! the run's complete totals and stays lintable.
 
 use crate::registry::MonitorRegistry;
 use std::io::Write;
@@ -17,7 +20,7 @@ use std::time::Duration;
 
 /// Handle to the running monitor thread.
 pub struct MonitorWriter {
-    handle: JoinHandle<std::io::Result<()>>,
+    handle: Option<JoinHandle<std::io::Result<()>>>,
     stop_tx: Sender<()>,
 }
 
@@ -60,14 +63,36 @@ impl MonitorWriter {
                     }
                 }
             })?;
-        Ok(MonitorWriter { handle, stop_tx })
+        Ok(MonitorWriter {
+            handle: Some(handle),
+            stop_tx,
+        })
     }
 
     /// Stop the thread, appending the final snapshot block. Returns the
     /// first I/O error the thread hit, if any.
-    pub fn stop(self) -> std::io::Result<()> {
+    pub fn stop(mut self) -> std::io::Result<()> {
+        self.shutdown()
+    }
+
+    /// Signal the thread and join it. Idempotent: the second call (e.g.
+    /// `Drop` after `stop`) finds no handle and returns Ok.
+    fn shutdown(&mut self) -> std::io::Result<()> {
+        let Some(handle) = self.handle.take() else {
+            return Ok(());
+        };
         let _ = self.stop_tx.send(());
-        self.handle.join().expect("monitor thread panicked")
+        handle.join().expect("monitor thread panicked")
+    }
+}
+
+impl Drop for MonitorWriter {
+    /// Best-effort final flush for handles that never reached `stop()` —
+    /// a panicking driver still leaves a complete, lintable snapshot log.
+    /// I/O errors are swallowed here (there is nowhere to report them
+    /// during unwinding); call [`MonitorWriter::stop`] to observe them.
+    fn drop(&mut self) {
+        let _ = self.shutdown();
     }
 }
 
@@ -119,5 +144,42 @@ mod tests {
         let registry = Arc::new(MonitorRegistry::new());
         let bad = PathBuf::from("/nonexistent-dir/snap.om");
         assert!(MonitorWriter::spawn(registry, bad, Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn panicking_driver_still_yields_a_lintable_final_snapshot() {
+        let dir = std::env::temp_dir().join("dgc-monitor-writer-panic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.om");
+        let registry = Arc::new(MonitorRegistry::new());
+        let reg = registry.clone();
+        let p = path.clone();
+        // A driver that attaches the monitor, does some work, then dies
+        // without ever reaching stop(). The interval is far longer than
+        // the panic, so only the Drop flush can produce the final block.
+        let result = std::panic::catch_unwind(move || {
+            let _w = MonitorWriter::spawn(reg.clone(), p, Duration::from_secs(3600)).unwrap();
+            reg.counter("dgc_work", "work items", &[]).add(5);
+            panic!("driver died mid-run");
+        });
+        assert!(result.is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        let series = parse_series(&text).expect("log lints after a panic");
+        assert!(!series.is_empty());
+        assert_eq!(series.last().unwrap().sum("dgc_work_total", &[]), Some(5.0));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stop_then_drop_is_idempotent() {
+        let dir = std::env::temp_dir().join("dgc-monitor-writer-idem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.om");
+        let registry = Arc::new(MonitorRegistry::new());
+        let w = MonitorWriter::spawn(registry, path.clone(), Duration::from_secs(3600)).unwrap();
+        w.stop().unwrap(); // Drop runs right after; must not double-append or panic.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_series(&text).unwrap().len(), 1);
+        std::fs::remove_file(&path).ok();
     }
 }

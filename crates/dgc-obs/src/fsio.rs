@@ -1,0 +1,73 @@
+//! Crash-atomic file output.
+//!
+//! Every artifact the tools emit (`--metrics-out`, `--trace-out`,
+//! `--insight-out`, dashboards, bench reports) used to be written in
+//! place with `std::fs::write` — a crash or `kill -9` mid-write leaves a
+//! half-written file that downstream gates then parse as corrupt data.
+//! [`write_atomic`] closes that window: the bytes land in a `<path>.tmp`
+//! sibling, are fsync'd, and only then renamed over the destination.
+//! POSIX `rename(2)` within one directory is atomic, so readers observe
+//! either the complete old file or the complete new one, never a tear.
+//!
+//! Append-only logs (the monitor snapshot stream, the serve job journal)
+//! are *not* candidates for this helper — they get their integrity from
+//! per-record framing instead (CRC-framed lines a lossy loader can
+//! re-validate record by record).
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write `contents` to `path` crash-atomically: `<path>.tmp` + fsync +
+/// rename. On any error the destination is untouched (a stale `.tmp`
+/// sibling may remain; the next successful write replaces it).
+pub fn write_atomic(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_ref())?;
+    // Flush to stable storage before the rename makes the file visible:
+    // otherwise a power loss could expose a renamed-but-empty file.
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dgc-obs-fsio-{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_new_file_and_leaves_no_tmp_behind() {
+        let dir = tmp_dir("new");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"{\"a\":1}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"a\":1}\n");
+        assert!(!dir.join("out.json.tmp").exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replaces_existing_file_whole() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("out.txt");
+        write_atomic(&path, "old contents, quite long").unwrap();
+        write_atomic(&path, "new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_on_missing_directory_leaves_nothing() {
+        let path = std::path::Path::new("/nonexistent-dir/deep/out.json");
+        assert!(write_atomic(path, "x").is_err());
+        assert!(!path.exists());
+    }
+}

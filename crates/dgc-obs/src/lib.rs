@@ -30,6 +30,7 @@
 //! conventions ([`PID_HOST`], [`sm_pid`]) and exporters live here.
 
 mod chrome;
+mod fsio;
 mod graph;
 mod metrics;
 mod monitor;
@@ -37,6 +38,7 @@ mod recorder;
 mod timeline;
 
 pub use chrome::validate_chrome_trace;
+pub use fsio::write_atomic;
 pub use graph::{CriticalHop, LaunchNode, SpanGraph, SpanNode};
 pub use metrics::{
     metrics_jsonl, InstanceMetrics, LatencyPercentiles, LaunchMetrics, Log2Histogram,

@@ -115,6 +115,30 @@ impl InstanceCosts {
     }
 }
 
+/// Serving-wave sizing over predicted per-job costs: the number of jobs
+/// a continuous-batching daemon should drain into its next kernel wave.
+///
+/// Takes the longest prefix of `costs_s` (pilot-predicted seconds per
+/// job, queue order) whose cumulative predicted time stays within
+/// `budget_s` — a serial-time proxy for wave work that keeps waves small
+/// enough to checkpoint often, yet batches cheap jobs aggressively. At
+/// least one job is always taken (a single over-budget job must still
+/// run), and never more than `max`. Deterministic: a resumed daemon
+/// re-forms exactly the waves the crashed one would have.
+pub fn wave_take(costs_s: &[f64], budget_s: f64, max: usize) -> usize {
+    let cap = costs_s.len().min(max.max(1));
+    let mut taken = 0usize;
+    let mut spent = 0.0f64;
+    for &c in &costs_s[..cap] {
+        spent += c.max(0.0);
+        if taken > 0 && spent > budget_s {
+            break;
+        }
+        taken += 1;
+    }
+    taken.max(usize::from(!costs_s.is_empty()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +173,22 @@ module "cost" {
 
     fn line(n: u64) -> Vec<String> {
         vec!["-n".into(), n.to_string()]
+    }
+
+    #[test]
+    fn wave_take_fills_the_budget_without_starving_or_overflowing() {
+        // Cheap jobs batch until the budget is spent…
+        assert_eq!(wave_take(&[0.1, 0.1, 0.1, 0.1, 0.1], 0.35, 16), 3);
+        // …an over-budget first job still runs alone…
+        assert_eq!(wave_take(&[5.0, 0.1], 1.0, 16), 1);
+        // …the hard cap wins over a generous budget…
+        assert_eq!(wave_take(&[0.1; 10], 100.0, 4), 4);
+        // …and fewer jobs than the cap takes them all.
+        assert_eq!(wave_take(&[0.1, 0.1], 100.0, 16), 2);
+        assert_eq!(wave_take(&[], 1.0, 16), 0);
+        // A zero cap is treated as 1: a wave can never be empty while
+        // jobs are pending.
+        assert_eq!(wave_take(&[0.1, 0.1], 100.0, 0), 1);
     }
 
     #[test]

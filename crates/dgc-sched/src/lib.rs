@@ -27,6 +27,6 @@ mod cost;
 mod place;
 mod shard;
 
-pub use cost::{InstanceCost, InstanceCosts};
+pub use cost::{wave_take, InstanceCost, InstanceCosts};
 pub use place::{Placement, PlacementParseError};
 pub use shard::{run_ensemble_sharded, ShardedResult};

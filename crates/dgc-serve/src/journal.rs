@@ -1,0 +1,686 @@
+//! The write-ahead job journal (`jobs.jsonl`, schema 1).
+//!
+//! The daemon's single source of truth is an append-only journal of
+//! CRC-framed JSON records. Every record is one line:
+//!
+//! ```text
+//! J1 <crc32hex8> <payload-json>\n
+//! ```
+//!
+//! where the CRC-32 (IEEE, the zlib polynomial) covers exactly the
+//! payload bytes. Appends are `fsync`'d, so after a `kill -9` the file
+//! on disk is a *byte prefix* of what the daemon wrote — the only
+//! damage a crash can do is a torn final line, which the checksum
+//! detects and [`load_lossy`] skips (the same discipline as
+//! `dgc-insight`'s perf ledger). A bad line *before* intact ones is not
+//! a crash artifact but real corruption, and loading fails hard.
+//!
+//! Schema 1 records (`rec` discriminator):
+//!
+//! * `header`    — `{"rec":"header","schema":1}`, first line of every journal.
+//! * `submitted` — `{"rec":"submitted","job","app","args":[…],"deadline_s"?}`
+//! * `started`   — `{"rec":"started","wave","attempt","device","jobs":[…]}`;
+//!   one record carries the *entire* wave membership, so membership is
+//!   atomic: it is either journaled completely or not at all.
+//! * `done`      — `{"rec":"done","job","wave","exit"?,"error"?,"oom",
+//!   "timed_out","deadline","end_s","stdout"}`; a wave's done records
+//!   are appended in **one** write + fsync (group commit).
+//! * `cancelled` — `{"rec":"cancelled","job"}`
+//!
+//! Timestamps are deliberately absent: every field is a deterministic
+//! function of the simulated run, which is what makes resumed results
+//! byte-comparable against an uninterrupted golden run.
+
+use serde::Value;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Journal schema this build reads and writes.
+pub const SCHEMA: u32 = 1;
+
+/// Frame tag opening every journal line.
+pub const FRAME_TAG: &str = "J1";
+
+/// CRC-32 (IEEE 802.3, reflected, init/xorout `0xFFFF_FFFF`) — the
+/// zlib/PNG polynomial. Bitwise form; the journal appends a handful of
+/// short lines per wave, so a lookup table buys nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frame a payload into one journal line (with trailing newline).
+pub fn frame(payload: &str) -> String {
+    format!("{FRAME_TAG} {:08x} {payload}\n", crc32(payload.as_bytes()))
+}
+
+/// Unframe one journal line (no trailing newline): verify the tag and
+/// checksum, return the payload slice.
+pub fn unframe(line: &str) -> Result<&str, FrameError> {
+    let rest = line.strip_prefix(FRAME_TAG).ok_or(FrameError::Tag)?;
+    let rest = rest.strip_prefix(' ').ok_or(FrameError::Tag)?;
+    let (crc_hex, payload) = rest.split_at_checked(8).ok_or(FrameError::Tag)?;
+    let payload = payload.strip_prefix(' ').ok_or(FrameError::Tag)?;
+    let want = u32::from_str_radix(crc_hex, 16).map_err(|_| FrameError::Tag)?;
+    if crc32(payload.as_bytes()) != want {
+        return Err(FrameError::Checksum);
+    }
+    Ok(payload)
+}
+
+/// Why a journal line failed to unframe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Malformed frame: missing tag, short/odd checksum field.
+    Tag,
+    /// Well-formed frame whose checksum does not match the payload.
+    Checksum,
+}
+
+/// A job's identity and workload as journaled at submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    pub id: String,
+    pub app: String,
+    pub args: Vec<String>,
+    /// Completion budget in simulated seconds, measured on the job's
+    /// wave-relative timeline.
+    pub deadline_s: Option<f64>,
+}
+
+/// Final (per-attempt) outcome of one job, as journaled in its `done`
+/// record. All times are wave-relative simulated seconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobDone {
+    pub job: String,
+    pub wave: u32,
+    pub exit: Option<i32>,
+    pub error: Option<String>,
+    pub oom: bool,
+    pub timed_out: bool,
+    /// The job finished after its journaled deadline.
+    pub deadline: bool,
+    pub end_s: f64,
+    pub stdout: String,
+}
+
+impl JobDone {
+    /// A clean result: exited zero within its deadline.
+    pub fn succeeded(&self) -> bool {
+        self.exit == Some(0) && self.error.is_none() && !self.deadline
+    }
+
+    /// Worth another launch attempt: an injected/infra failure rather
+    /// than a deterministic application result or a missed deadline.
+    pub fn retryable(&self) -> bool {
+        self.error.is_some()
+    }
+}
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    Header {
+        schema: u32,
+    },
+    Submitted(JobSpec),
+    /// A wave's atomic membership: `jobs` run together as one kernel
+    /// launch on device `device`, launch attempt `attempt`.
+    Started {
+        wave: u32,
+        attempt: u32,
+        device: u32,
+        jobs: Vec<String>,
+    },
+    Done(JobDone),
+    Cancelled {
+        job: String,
+    },
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn str_arr(items: &[String]) -> Value {
+    Value::Array(items.iter().map(|s| Value::Str(s.clone())).collect())
+}
+
+impl Record {
+    /// Serialize to the schema-1 payload JSON (unframed).
+    pub fn to_json(&self) -> String {
+        let v = match self {
+            Record::Header { schema } => obj(vec![
+                ("rec", Value::Str("header".into())),
+                ("schema", Value::U64(u64::from(*schema))),
+            ]),
+            Record::Submitted(j) => {
+                let mut fields = vec![
+                    ("rec", Value::Str("submitted".into())),
+                    ("job", Value::Str(j.id.clone())),
+                    ("app", Value::Str(j.app.clone())),
+                    ("args", str_arr(&j.args)),
+                ];
+                if let Some(d) = j.deadline_s {
+                    fields.push(("deadline_s", Value::F64(d)));
+                }
+                obj(fields)
+            }
+            Record::Started {
+                wave,
+                attempt,
+                device,
+                jobs,
+            } => obj(vec![
+                ("rec", Value::Str("started".into())),
+                ("wave", Value::U64(u64::from(*wave))),
+                ("attempt", Value::U64(u64::from(*attempt))),
+                ("device", Value::U64(u64::from(*device))),
+                ("jobs", str_arr(jobs)),
+            ]),
+            Record::Done(d) => obj(vec![
+                ("rec", Value::Str("done".into())),
+                ("job", Value::Str(d.job.clone())),
+                ("wave", Value::U64(u64::from(d.wave))),
+                (
+                    "exit",
+                    match d.exit {
+                        Some(c) => {
+                            if c >= 0 {
+                                Value::U64(c as u64)
+                            } else {
+                                Value::I64(i64::from(c))
+                            }
+                        }
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "error",
+                    match &d.error {
+                        Some(e) => Value::Str(e.clone()),
+                        None => Value::Null,
+                    },
+                ),
+                ("oom", Value::Bool(d.oom)),
+                ("timed_out", Value::Bool(d.timed_out)),
+                ("deadline", Value::Bool(d.deadline)),
+                ("end_s", Value::F64(d.end_s)),
+                ("stdout", Value::Str(d.stdout.clone())),
+            ]),
+            Record::Cancelled { job } => obj(vec![
+                ("rec", Value::Str("cancelled".into())),
+                ("job", Value::Str(job.clone())),
+            ]),
+        };
+        serde_json::to_string(&v).expect("journal records always serialize")
+    }
+
+    /// Parse a schema-1 payload JSON.
+    pub fn parse(payload: &str) -> Result<Record, String> {
+        let v: Value = serde_json::from_str(payload).map_err(|e| format!("bad JSON: {e}"))?;
+        let rec = v
+            .get("rec")
+            .and_then(Value::as_str)
+            .ok_or("missing `rec` discriminator")?;
+        let get_str = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("missing string field `{key}`"))
+        };
+        let get_u32 = |key: &str| -> Result<u32, String> {
+            v.get(key)
+                .and_then(Value::as_u64)
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or(format!("missing u32 field `{key}`"))
+        };
+        let get_bool = |key: &str| -> Result<bool, String> {
+            v.get(key)
+                .and_then(Value::as_bool)
+                .ok_or(format!("missing bool field `{key}`"))
+        };
+        let get_str_arr = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_array)
+                .map(|a| {
+                    a.iter()
+                        .map(|e| e.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                })
+                .ok_or(format!("missing array field `{key}`"))?
+                .ok_or(format!("non-string element in `{key}`"))
+        };
+        match rec {
+            "header" => Ok(Record::Header {
+                schema: get_u32("schema")?,
+            }),
+            "submitted" => Ok(Record::Submitted(JobSpec {
+                id: get_str("job")?,
+                app: get_str("app")?,
+                args: get_str_arr("args")?,
+                deadline_s: v.get("deadline_s").and_then(Value::as_f64),
+            })),
+            "started" => Ok(Record::Started {
+                wave: get_u32("wave")?,
+                attempt: get_u32("attempt")?,
+                device: get_u32("device")?,
+                jobs: get_str_arr("jobs")?,
+            }),
+            "done" => Ok(Record::Done(JobDone {
+                job: get_str("job")?,
+                wave: get_u32("wave")?,
+                exit: v
+                    .get("exit")
+                    .and_then(Value::as_i64)
+                    .and_then(|n| i32::try_from(n).ok()),
+                error: v.get("error").and_then(Value::as_str).map(str::to_string),
+                oom: get_bool("oom")?,
+                timed_out: get_bool("timed_out")?,
+                deadline: get_bool("deadline")?,
+                end_s: v
+                    .get("end_s")
+                    .and_then(Value::as_f64)
+                    .ok_or("missing f64 field `end_s`")?,
+                stdout: get_str("stdout")?,
+            })),
+            "cancelled" => Ok(Record::Cancelled {
+                job: get_str("job")?,
+            }),
+            other => Err(format!("unknown record kind `{other}`")),
+        }
+    }
+}
+
+/// Journal problems that are *not* survivable crash artifacts.
+#[derive(Debug)]
+pub enum JournalError {
+    Io(std::io::Error),
+    /// A line before the tail failed framing/CRC/parse — the file was
+    /// edited or damaged, not merely torn by a crash.
+    Corrupt {
+        line: usize,
+        reason: String,
+    },
+    /// Missing or wrong header record.
+    BadHeader(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::Corrupt { line, reason } => {
+                write!(f, "journal corrupt at line {line}: {reason}")
+            }
+            JournalError::BadHeader(r) => write!(f, "journal header: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Result of a lossy load: the intact records, plus what (if anything)
+/// was dropped from the tail.
+#[derive(Debug)]
+pub struct Loaded {
+    pub records: Vec<Record>,
+    /// A torn (incomplete or checksum-failing) final line was skipped.
+    pub torn_tail: bool,
+    /// Bytes of the intact prefix — everything before the torn tail.
+    pub valid_bytes: u64,
+}
+
+/// Load a journal, skipping a torn trailing record.
+///
+/// A crash (`kill -9`, power loss) can only leave a *prefix* of the
+/// appended bytes, so at most the final line can be damaged: missing
+/// its newline, cut mid-payload, or cut inside the checksum field. Any
+/// such tail is skipped and reported via [`Loaded::torn_tail`]. Damage
+/// anywhere *else* — or a missing/alien header — is real corruption and
+/// fails with [`JournalError::Corrupt`] / [`JournalError::BadHeader`].
+pub fn load_lossy(path: &Path) -> Result<Loaded, JournalError> {
+    let text = std::fs::read_to_string(path)?;
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    let mut valid_bytes = 0u64;
+    let mut rest = text.as_str();
+    let mut lineno = 0usize;
+    while !rest.is_empty() {
+        lineno += 1;
+        let (line, complete, consumed) = match rest.find('\n') {
+            Some(nl) => (&rest[..nl], true, nl + 1),
+            None => (rest, false, rest.len()),
+        };
+        let parsed = unframe(line)
+            .map_err(|e| format!("{e:?}"))
+            .and_then(|p| Record::parse(p).map_err(|e| format!("bad record: {e}")));
+        match parsed {
+            Ok(rec) if complete => {
+                records.push(rec);
+                valid_bytes += consumed as u64;
+            }
+            // A frame that checks out but lost its newline is still a
+            // torn append: the newline is part of the atomic write.
+            Ok(_) => {
+                torn_tail = true;
+            }
+            Err(reason) => {
+                let at_tail = rest.len() == consumed;
+                if at_tail {
+                    torn_tail = true;
+                } else {
+                    return Err(JournalError::Corrupt {
+                        line: lineno,
+                        reason,
+                    });
+                }
+            }
+        }
+        rest = &rest[consumed..];
+    }
+    match records.first() {
+        Some(Record::Header { schema: s }) if *s == SCHEMA => {}
+        Some(Record::Header { schema: s }) => {
+            return Err(JournalError::BadHeader(format!(
+                "schema {s} (this build reads schema {SCHEMA})"
+            )))
+        }
+        Some(_) => {
+            return Err(JournalError::BadHeader(
+                "first record is not a header".into(),
+            ))
+        }
+        // An empty file (or a journal whose very first append tore) has
+        // no state to lose; the caller starts fresh.
+        None => {}
+    }
+    Ok(Loaded {
+        records,
+        torn_tail,
+        valid_bytes,
+    })
+}
+
+/// The append-side handle: an open journal file with fsync'd writes and
+/// an optional crash injector for CI.
+pub struct Journal {
+    file: std::fs::File,
+    path: PathBuf,
+    /// Total journal bytes on disk (pre-existing + appended).
+    bytes: u64,
+    /// Fault injection: `std::process::abort()` — the in-process
+    /// equivalent of `kill -9` — as soon as `bytes` reaches the
+    /// threshold. Deterministic, so CI can kill the daemon at an exact
+    /// record boundary and assert the resume contract.
+    crash_after_bytes: Option<u64>,
+}
+
+impl Journal {
+    /// Create a fresh journal at `path` (truncating) and write the
+    /// schema header.
+    pub fn create(path: &Path, crash_after_bytes: Option<u64>) -> Result<Journal, JournalError> {
+        let file = std::fs::File::create(path)?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+            bytes: 0,
+            crash_after_bytes,
+        };
+        j.append(&Record::Header { schema: SCHEMA })?;
+        Ok(j)
+    }
+
+    /// Open an existing journal for appending after a lossy load,
+    /// truncating the torn tail (if any) back to `valid_bytes` so new
+    /// appends continue the intact prefix.
+    pub fn reopen(
+        path: &Path,
+        valid_bytes: u64,
+        crash_after_bytes: Option<u64>,
+    ) -> Result<Journal, JournalError> {
+        // O_APPEND: every write lands at EOF, after the truncation.
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        file.sync_all()?;
+        let mut j = Journal {
+            file,
+            path: path.to_path_buf(),
+            bytes: valid_bytes,
+            crash_after_bytes,
+        };
+        if valid_bytes == 0 {
+            j.append(&Record::Header { schema: SCHEMA })?;
+        }
+        Ok(j)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Journal bytes durably on disk so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Append one record: frame, write, fsync. Durable when this
+    /// returns.
+    pub fn append(&mut self, rec: &Record) -> Result<(), JournalError> {
+        self.append_lines(&[frame(&rec.to_json())])
+    }
+
+    /// Group-commit: append several records in **one** write + fsync.
+    /// Used for a wave's done records, so the wave commits atomically —
+    /// a crash can tear the tail of the group, and the replay treats a
+    /// wave with any member missing as not committed.
+    pub fn append_batch(&mut self, recs: &[Record]) -> Result<(), JournalError> {
+        let lines: Vec<String> = recs.iter().map(|r| frame(&r.to_json())).collect();
+        self.append_lines(&lines)
+    }
+
+    fn append_lines(&mut self, lines: &[String]) -> Result<(), JournalError> {
+        let mut buf = String::new();
+        for l in lines {
+            buf.push_str(l);
+        }
+        self.file.write_all(buf.as_bytes())?;
+        self.file.sync_data()?;
+        self.bytes += buf.len() as u64;
+        if let Some(limit) = self.crash_after_bytes {
+            if self.bytes >= limit {
+                // The CI crash point: identical to a kill -9 landing
+                // right after this fsync returned.
+                std::process::abort();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            app: "xsbench".into(),
+            args: vec!["-g".into(), "100".into()],
+            deadline_s: None,
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_vector() {
+        // The canonical CRC-32 check: "123456789" → 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip_and_tamper_detection() {
+        let payload = r#"{"rec":"cancelled","job":"a"}"#;
+        let line = frame(payload);
+        assert!(line.ends_with('\n'));
+        assert_eq!(unframe(line.trim_end()).unwrap(), payload);
+        // Flip one payload byte → checksum failure.
+        let bad = line.trim_end().replace("\"a\"", "\"b\"");
+        assert_eq!(unframe(&bad), Err(FrameError::Checksum));
+        assert_eq!(unframe("nope"), Err(FrameError::Tag));
+        assert_eq!(unframe("J1 zzzz"), Err(FrameError::Tag));
+    }
+
+    #[test]
+    fn records_roundtrip_through_json() {
+        let recs = vec![
+            Record::Header { schema: SCHEMA },
+            Record::Submitted(JobSpec {
+                deadline_s: Some(1.5),
+                ..spec("job-1")
+            }),
+            Record::Submitted(spec("job-2")),
+            Record::Started {
+                wave: 3,
+                attempt: 1,
+                device: 0,
+                jobs: vec!["job-1".into(), "job-2".into()],
+            },
+            Record::Done(JobDone {
+                job: "job-1".into(),
+                wave: 3,
+                exit: Some(0),
+                error: None,
+                oom: false,
+                timed_out: false,
+                deadline: false,
+                end_s: 0.125,
+                stdout: "hello \"quoted\"\n".into(),
+            }),
+            Record::Done(JobDone {
+                job: "job-2".into(),
+                wave: 3,
+                exit: None,
+                error: Some("trap: boom".into()),
+                oom: true,
+                timed_out: false,
+                deadline: true,
+                end_s: 0.25,
+                stdout: String::new(),
+            }),
+            Record::Cancelled {
+                job: "job-9".into(),
+            },
+        ];
+        for r in &recs {
+            let json = r.to_json();
+            assert_eq!(&Record::parse(&json).unwrap(), r, "{json}");
+        }
+    }
+
+    #[test]
+    fn load_skips_a_torn_tail_at_every_truncation_point() {
+        let dir = std::env::temp_dir().join("dgc-serve-journal-torn");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("jobs.jsonl");
+        let mut j = Journal::create(&path, None).unwrap();
+        j.append(&Record::Submitted(spec("a"))).unwrap();
+        j.append(&Record::Submitted(spec("b"))).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        let full_records = load_lossy(&path).unwrap().records.len();
+        assert_eq!(full_records, 3);
+
+        let header_len = frame(&Record::Header { schema: SCHEMA }.to_json()).len();
+        for cut in header_len..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let loaded = load_lossy(&path).unwrap();
+            // Whole lines before the cut survive; the torn line is
+            // dropped, never garbled into a record.
+            assert!(loaded.records.len() <= full_records, "cut {cut}");
+            // A cut exactly after a newline is clean; anything else
+            // leaves a torn line the loader must report.
+            assert_eq!(loaded.torn_tail, !full[..cut].ends_with(b"\n"), "cut {cut}");
+            assert!(loaded.valid_bytes as usize <= cut, "cut {cut}");
+            // The intact prefix re-opens and extends cleanly.
+            let mut j2 = Journal::reopen(&path, loaded.valid_bytes, None).unwrap();
+            j2.append(&Record::Cancelled { job: "x".into() }).unwrap();
+            let after = load_lossy(&path).unwrap();
+            assert!(!after.torn_tail);
+            assert_eq!(after.records.len(), loaded.records.len() + 1);
+        }
+    }
+
+    #[test]
+    fn corruption_before_the_tail_fails_hard() {
+        let dir = std::env::temp_dir().join("dgc-serve-journal-corrupt");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("jobs.jsonl");
+        let mut j = Journal::create(&path, None).unwrap();
+        j.append(&Record::Submitted(spec("a"))).unwrap();
+        j.append(&Record::Submitted(spec("b"))).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a byte inside the *second* line (not the tail).
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 20] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_lossy(&path),
+            Err(JournalError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_or_wrong_header_is_rejected() {
+        let dir = std::env::temp_dir().join("dgc-serve-journal-header");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("jobs.jsonl");
+        std::fs::write(
+            &path,
+            frame(&Record::Cancelled { job: "a".into() }.to_json()),
+        )
+        .unwrap();
+        assert!(matches!(load_lossy(&path), Err(JournalError::BadHeader(_))));
+        std::fs::write(&path, frame(r#"{"rec":"header","schema":99}"#)).unwrap();
+        assert!(matches!(load_lossy(&path), Err(JournalError::BadHeader(_))));
+        // Empty file: fresh start, no error.
+        std::fs::write(&path, "").unwrap();
+        let loaded = load_lossy(&path).unwrap();
+        assert!(loaded.records.is_empty() && !loaded.torn_tail);
+    }
+
+    #[test]
+    fn group_commit_lands_as_one_contiguous_append() {
+        let dir = std::env::temp_dir().join("dgc-serve-journal-batch");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("jobs.jsonl");
+        let mut j = Journal::create(&path, None).unwrap();
+        let before = j.bytes();
+        j.append_batch(&[
+            Record::Cancelled { job: "a".into() },
+            Record::Cancelled { job: "b".into() },
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.len() as u64, j.bytes());
+        assert!(j.bytes() > before);
+        assert_eq!(load_lossy(&path).unwrap().records.len(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! dgc-serve: the crash-safe ensemble daemon.
+//!
+//! The batch drivers (`ensemble-cli`, `dgc-sched`) answer "run this
+//! argument file once". This crate answers "keep accepting jobs and
+//! never lose one": a long-lived daemon whose single source of truth is
+//! an append-only, fsync'd, CRC-framed **write-ahead job journal** —
+//! `kill -9` at any byte boundary loses at most a torn trailing record,
+//! and `dgc-serve resume` replays the journal, re-runs only unfinished
+//! work, and produces results **byte-identical** to an uninterrupted
+//! run (property-tested across crash points).
+//!
+//! * [`journal`] — schema-1 records (`header`/`submitted`/`started`/
+//!   `done`/`cancelled`), CRC-32 framing, fsync'd appends, group commit,
+//!   lossy load.
+//! * [`state`] — journal replay; the wave is the commit unit.
+//! * [`stream`] — JSONL admission protocol (submit/cancel/drain),
+//!   sharing the argument-file tokenizer with `ensemble-cli`.
+//! * [`queue`] — bounded admission queue: block (backpressure) or
+//!   reject (load-shedding) at the cap.
+//! * [`daemon`] — continuous batching into cost-model-sized kernel
+//!   waves, per-job deadlines, crash recovery, `retry-failed` with the
+//!   `dgc-fault` backoff policy, live `dgc-monitor` metrics.
+//! * [`signals`] — SIGTERM: graceful drain, then hard abort.
+
+pub mod daemon;
+pub mod journal;
+pub mod queue;
+pub mod signals;
+pub mod state;
+pub mod stream;
+
+pub use daemon::{
+    AppResolver, Applied, Daemon, ResumeReport, ServeConfig, ServeError, ServeMetrics,
+    StatusSummary,
+};
+pub use journal::{
+    crc32, frame, load_lossy, unframe, JobDone, JobSpec, Journal, JournalError, Record, SCHEMA,
+};
+pub use queue::{AdmissionMode, AdmissionQueue, PushError};
+pub use state::{JobPhase, ServeState, Wave};
+pub use stream::{parse_op, parse_ops, StreamOp};

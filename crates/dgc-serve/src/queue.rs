@@ -1,0 +1,195 @@
+//! The bounded admission queue between the request reader and the wave
+//! pump.
+//!
+//! Streaming admission runs on its own thread (stdin/FIFO/watch-file
+//! reader) while the pump journals and runs waves — that overlap *is*
+//! the continuous-batching window. The queue bounds how far admission
+//! can run ahead of execution; at the cap the configured
+//! [`AdmissionMode`] decides between **backpressure** (block the reader
+//! until the pump drains — the FIFO fills and upstream writers stall,
+//! like a Unix pipe) and **load-shedding** (reject with a reason the
+//! reader can report; the job never reaches the journal).
+
+use crate::stream::StreamOp;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Full-queue policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Block the submitter until space frees (backpressure).
+    #[default]
+    Block,
+    /// Refuse the op with a reason (load-shedding).
+    Reject,
+}
+
+impl std::str::FromStr for AdmissionMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "block" => Ok(AdmissionMode::Block),
+            "reject" => Ok(AdmissionMode::Reject),
+            other => Err(format!("unknown admission mode `{other}` (block|reject)")),
+        }
+    }
+}
+
+/// Why a push did not enqueue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// Reject mode, queue at capacity.
+    Full { cap: usize },
+    /// The queue was closed (daemon draining); nothing further admits.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { cap } => write!(f, "queue full ({cap} ops), admission=reject"),
+            PushError::Closed => write!(f, "queue closed (draining)"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    ops: VecDeque<StreamOp>,
+    closed: bool,
+}
+
+/// MPSC bounded queue: many submitters, one pump.
+pub struct AdmissionQueue {
+    inner: Mutex<Inner>,
+    /// Signalled when ops arrive or the queue closes (pump waits here).
+    ready: Condvar,
+    /// Signalled when space frees (blocked submitters wait here).
+    space: Condvar,
+    cap: usize,
+    mode: AdmissionMode,
+}
+
+impl AdmissionQueue {
+    pub fn new(cap: usize, mode: AdmissionMode) -> AdmissionQueue {
+        AdmissionQueue {
+            inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            cap: cap.max(1),
+            mode,
+        }
+    }
+
+    /// Offer one op. Blocks (mode `Block`) or fails (`Reject`) at the
+    /// cap; fails once the queue is closed.
+    pub fn push(&self, op: StreamOp) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            if inner.ops.len() < self.cap {
+                inner.ops.push_back(op);
+                self.ready.notify_one();
+                return Ok(());
+            }
+            match self.mode {
+                AdmissionMode::Reject => return Err(PushError::Full { cap: self.cap }),
+                AdmissionMode::Block => inner = self.space.wait(inner).unwrap(),
+            }
+        }
+    }
+
+    /// Drain everything queued right now without blocking.
+    pub fn drain_now(&self) -> Vec<StreamOp> {
+        let mut inner = self.inner.lock().unwrap();
+        let ops: Vec<StreamOp> = inner.ops.drain(..).collect();
+        if !ops.is_empty() {
+            self.space.notify_all();
+        }
+        ops
+    }
+
+    /// Wait up to `timeout` for at least one op (or close), then drain.
+    /// Returns `(ops, closed)`.
+    pub fn drain_wait(&self, timeout: std::time::Duration) -> (Vec<StreamOp>, bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.ops.is_empty() && !inner.closed {
+            let (guard, _timeout) = self.ready.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+        }
+        let ops: Vec<StreamOp> = inner.ops.drain(..).collect();
+        if !ops.is_empty() {
+            self.space.notify_all();
+        }
+        (ops, inner.closed)
+    }
+
+    /// Ops currently queued (the monitor's queue-depth gauge).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().unwrap().ops.len()
+    }
+
+    /// Close the queue: subsequent pushes fail, waiting submitters and
+    /// the pump wake.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn cancel(id: &str) -> StreamOp {
+        StreamOp::Cancel { job: id.into() }
+    }
+
+    #[test]
+    fn reject_mode_sheds_load_at_the_cap() {
+        let q = AdmissionQueue::new(2, AdmissionMode::Reject);
+        q.push(cancel("a")).unwrap();
+        q.push(cancel("b")).unwrap();
+        assert_eq!(q.push(cancel("c")), Err(PushError::Full { cap: 2 }));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.drain_now().len(), 2);
+        q.push(cancel("c")).unwrap();
+        q.close();
+        assert_eq!(q.push(cancel("d")), Err(PushError::Closed));
+    }
+
+    #[test]
+    fn block_mode_applies_backpressure_until_the_pump_drains() {
+        let q = Arc::new(AdmissionQueue::new(1, AdmissionMode::Block));
+        q.push(cancel("a")).unwrap();
+        let q2 = Arc::clone(&q);
+        let submitter = std::thread::spawn(move || q2.push(cancel("b")));
+        // The submitter is stuck on the full queue until we drain.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.drain_now(), vec![cancel("a")]);
+        submitter.join().unwrap().unwrap();
+        let (ops, closed) = q.drain_wait(Duration::from_millis(200));
+        assert_eq!(ops, vec![cancel("b")]);
+        assert!(!closed);
+    }
+
+    #[test]
+    fn drain_wait_wakes_on_close() {
+        let q = Arc::new(AdmissionQueue::new(4, AdmissionMode::Block));
+        let q2 = Arc::clone(&q);
+        let closer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.close();
+        });
+        let (ops, closed) = q.drain_wait(Duration::from_secs(5));
+        assert!(ops.is_empty());
+        assert!(closed);
+        closer.join().unwrap();
+    }
+}

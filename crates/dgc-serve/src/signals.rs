@@ -1,0 +1,103 @@
+//! SIGTERM/SIGINT handling for graceful drain, without a signal crate.
+//!
+//! The daemon's shutdown contract:
+//!
+//! * **first** SIGTERM/SIGINT — graceful drain: stop admitting, finish
+//!   the in-flight wave, journal it, write results, exit 0;
+//! * **second** — hard abort: exit immediately. The journal stays
+//!   consistent by construction (every append is CRC-framed and
+//!   fsync'd), so a later `resume` picks up exactly where the abort
+//!   landed — that is the whole point of the write-ahead design.
+//!
+//! `std` exposes no signal API and the workspace is offline (no `libc`
+//! crate), so on Unix this registers a minimal handler through the C
+//! `signal(2)` entry point directly. The handler only bumps an atomic —
+//! async-signal-safe — and the pump polls it between waves. On other
+//! platforms installation is a no-op and the daemon only stops on
+//! drain/EOF.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static TERMS: AtomicU32 = AtomicU32::new(0);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERMS;
+    use std::sync::atomic::Ordering;
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERMS.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Install the SIGTERM/SIGINT handler (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// At least one termination signal arrived: drain gracefully.
+pub fn drain_requested() -> bool {
+    TERMS.load(Ordering::SeqCst) >= 1
+}
+
+/// A second signal arrived: stop now.
+pub fn abort_requested() -> bool {
+    TERMS.load(Ordering::SeqCst) >= 2
+}
+
+/// Test hook: simulate signal delivery.
+#[doc(hidden)]
+pub fn inject_for_tests(count: u32) {
+    TERMS.store(count, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escalation_ladder() {
+        inject_for_tests(0);
+        install();
+        assert!(!drain_requested() && !abort_requested());
+        inject_for_tests(1);
+        assert!(drain_requested() && !abort_requested());
+        inject_for_tests(2);
+        assert!(abort_requested());
+        inject_for_tests(0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn a_real_signal_lands_in_the_counter() {
+        extern "C" {
+            fn raise(sig: i32) -> i32;
+        }
+        inject_for_tests(0);
+        install();
+        unsafe {
+            raise(15);
+        }
+        assert!(drain_requested());
+        inject_for_tests(0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Journal replay: rebuild the daemon's state from the record stream.
+//!
+//! The unit of commitment is the **wave**: membership is journaled
+//! atomically in one `started` record, and the wave's `done` records
+//! are group-committed in one write. A wave therefore counts as
+//! committed only when *every* member has a done record — anything
+//! less means the crash landed mid-commit, and the whole wave is
+//! re-executed on resume with its exact journaled membership (the
+//! simulation is deterministic, so the re-run reproduces the same
+//! results bit for bit, including for members whose done records did
+//! survive the tear).
+
+use crate::journal::{JobDone, JobSpec, Record};
+use std::collections::HashMap;
+
+/// A journaled wave: membership plus however many done records made it
+/// to disk.
+#[derive(Debug, Clone)]
+pub struct Wave {
+    pub wave: u32,
+    pub attempt: u32,
+    pub device: u32,
+    pub jobs: Vec<String>,
+    /// Done records by job id; committed iff every member is present.
+    pub done: HashMap<String, JobDone>,
+}
+
+impl Wave {
+    /// All members have journaled done records: the group commit
+    /// finished, nothing in this wave ever re-executes.
+    pub fn committed(&self) -> bool {
+        self.jobs.iter().all(|j| self.done.contains_key(j))
+    }
+}
+
+/// Where a job stands after replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPhase {
+    /// Submitted, not cancelled, no committed result yet.
+    Pending,
+    /// Cancelled before a committed result.
+    Cancelled,
+    /// Has a result from a committed wave (the latest one wins).
+    Done(JobDone),
+}
+
+/// Replayed daemon state.
+#[derive(Debug, Default)]
+pub struct ServeState {
+    /// Job specs in submission order — the canonical job order for wave
+    /// formation and the merged results file.
+    pub jobs: Vec<JobSpec>,
+    index: HashMap<String, usize>,
+    cancelled: HashMap<String, bool>,
+    /// Waves in journal order.
+    pub waves: Vec<Wave>,
+}
+
+impl ServeState {
+    /// Replay a record stream (header excluded or included — headers are
+    /// ignored here; `load_lossy` already validated them).
+    pub fn replay(records: &[Record]) -> ServeState {
+        let mut st = ServeState::default();
+        for rec in records {
+            match rec {
+                Record::Header { .. } => {}
+                Record::Submitted(spec) => {
+                    st.admit(spec.clone());
+                }
+                Record::Started {
+                    wave,
+                    attempt,
+                    device,
+                    jobs,
+                } => {
+                    // A re-executed wave re-journals `started` under the
+                    // same wave number; the latest membership wins (it
+                    // is identical by construction).
+                    if let Some(w) = st.waves.iter_mut().find(|w| w.wave == *wave) {
+                        w.attempt = *attempt;
+                        w.device = *device;
+                        w.jobs = jobs.clone();
+                    } else {
+                        st.waves.push(Wave {
+                            wave: *wave,
+                            attempt: *attempt,
+                            device: *device,
+                            jobs: jobs.clone(),
+                            done: HashMap::new(),
+                        });
+                    }
+                }
+                Record::Done(d) => {
+                    if let Some(w) = st.waves.iter_mut().find(|w| w.wave == d.wave) {
+                        w.done.insert(d.job.clone(), d.clone());
+                    }
+                    // A done record for an unknown wave would mean the
+                    // started record tore *after* its dones — impossible
+                    // under append ordering; ignore defensively.
+                }
+                Record::Cancelled { job } => {
+                    st.cancelled.insert(job.clone(), true);
+                }
+            }
+        }
+        st
+    }
+
+    /// Register a submitted job. Idempotent by id: re-submission of a
+    /// known id (a resumed daemon re-reading its job stream) is a no-op.
+    /// Returns whether the job was new.
+    pub fn admit(&mut self, spec: JobSpec) -> bool {
+        if self.index.contains_key(&spec.id) {
+            return false;
+        }
+        self.index.insert(spec.id.clone(), self.jobs.len());
+        self.jobs.push(spec);
+        true
+    }
+
+    pub fn contains(&self, id: &str) -> bool {
+        self.index.contains_key(id)
+    }
+
+    pub fn spec(&self, id: &str) -> Option<&JobSpec> {
+        self.index.get(id).map(|&i| &self.jobs[i])
+    }
+
+    pub fn cancel(&mut self, id: &str) {
+        self.cancelled.insert(id.to_string(), true);
+    }
+
+    pub fn is_cancelled(&self, id: &str) -> bool {
+        self.cancelled.get(id).copied().unwrap_or(false)
+    }
+
+    /// The latest committed result for `id`, if any. Only fully
+    /// committed waves count; later waves (retries) shadow earlier ones.
+    pub fn result(&self, id: &str) -> Option<&JobDone> {
+        self.waves
+            .iter()
+            .rev()
+            .filter(|w| w.committed())
+            .find_map(|w| w.done.get(id))
+    }
+
+    /// Launch attempts already journaled for `id` (committed or not).
+    pub fn attempts(&self, id: &str) -> u32 {
+        self.waves
+            .iter()
+            .filter(|w| w.jobs.iter().any(|j| j == id))
+            .count() as u32
+    }
+
+    pub fn phase(&self, id: &str) -> Option<JobPhase> {
+        if !self.contains(id) {
+            return None;
+        }
+        if let Some(d) = self.result(id) {
+            return Some(JobPhase::Done(d.clone()));
+        }
+        if self.is_cancelled(id) {
+            return Some(JobPhase::Cancelled);
+        }
+        Some(JobPhase::Pending)
+    }
+
+    /// Interrupted waves, journal order: membership journaled but the
+    /// done group-commit incomplete. These re-execute with their exact
+    /// journaled membership before any new wave forms.
+    pub fn interrupted(&self) -> Vec<&Wave> {
+        self.waves.iter().filter(|w| !w.committed()).collect()
+    }
+
+    /// Jobs with no committed result, not cancelled, and not claimed by
+    /// an interrupted wave — submission order. These are what new waves
+    /// form over.
+    pub fn pending(&self) -> Vec<&JobSpec> {
+        let claimed: std::collections::HashSet<&str> = self
+            .interrupted()
+            .iter()
+            .flat_map(|w| w.jobs.iter().map(String::as_str))
+            .collect();
+        self.jobs
+            .iter()
+            .filter(|j| {
+                self.result(&j.id).is_none()
+                    && !self.is_cancelled(&j.id)
+                    && !claimed.contains(j.id.as_str())
+            })
+            .collect()
+    }
+
+    /// Next unused wave number.
+    pub fn next_wave(&self) -> u32 {
+        self.waves.iter().map(|w| w.wave + 1).max().unwrap_or(0)
+    }
+
+    /// Jobs whose latest committed result is a retryable failure
+    /// (infra error — trap, OOM, watchdog — not a deterministic
+    /// non-zero exit or missed deadline), submission order.
+    pub fn failed_retryable(&self) -> Vec<&JobSpec> {
+        self.jobs
+            .iter()
+            .filter(|j| self.result(&j.id).map(|d| d.retryable()).unwrap_or(false))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(id: &str) -> JobSpec {
+        JobSpec {
+            id: id.into(),
+            app: "a".into(),
+            args: vec![],
+            deadline_s: None,
+        }
+    }
+
+    fn done(id: &str, wave: u32) -> Record {
+        Record::Done(JobDone {
+            job: id.into(),
+            wave,
+            exit: Some(0),
+            error: None,
+            oom: false,
+            timed_out: false,
+            deadline: false,
+            end_s: 0.1,
+            stdout: String::new(),
+        })
+    }
+
+    fn started(wave: u32, jobs: &[&str]) -> Record {
+        Record::Started {
+            wave,
+            attempt: 1,
+            device: 0,
+            jobs: jobs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn a_wave_missing_one_done_record_is_not_committed() {
+        let st = ServeState::replay(&[
+            Record::Submitted(spec("a")),
+            Record::Submitted(spec("b")),
+            started(0, &["a", "b"]),
+            done("a", 0),
+            // b's done record tore off.
+        ]);
+        assert_eq!(st.interrupted().len(), 1);
+        assert!(
+            st.result("a").is_none(),
+            "half-committed wave must not count"
+        );
+        assert!(st.pending().is_empty(), "interrupted members are claimed");
+        let st2 = ServeState::replay(&[
+            Record::Submitted(spec("a")),
+            Record::Submitted(spec("b")),
+            started(0, &["a", "b"]),
+            done("a", 0),
+            done("b", 0),
+        ]);
+        assert!(st2.interrupted().is_empty());
+        assert!(st2.result("a").is_some() && st2.result("b").is_some());
+    }
+
+    #[test]
+    fn resubmission_is_idempotent_and_order_preserving() {
+        let mut st =
+            ServeState::replay(&[Record::Submitted(spec("a")), Record::Submitted(spec("b"))]);
+        assert!(!st.admit(spec("a")));
+        assert!(st.admit(spec("c")));
+        let ids: Vec<&str> = st.jobs.iter().map(|j| j.id.as_str()).collect();
+        assert_eq!(ids, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn later_committed_wave_shadows_earlier_result() {
+        let mut fail = JobDone {
+            job: "a".into(),
+            wave: 0,
+            exit: None,
+            error: Some("trap".into()),
+            oom: false,
+            timed_out: false,
+            deadline: false,
+            end_s: 0.1,
+            stdout: String::new(),
+        };
+        let st = ServeState::replay(&[
+            Record::Submitted(spec("a")),
+            started(0, &["a"]),
+            Record::Done(fail.clone()),
+            started(1, &["a"]),
+            {
+                fail.wave = 1;
+                fail.error = None;
+                fail.exit = Some(0);
+                done("a", 1)
+            },
+        ]);
+        let r = st.result("a").unwrap();
+        assert_eq!(r.wave, 1);
+        assert!(r.succeeded());
+        assert_eq!(st.attempts("a"), 2);
+        assert!(st.failed_retryable().is_empty());
+    }
+
+    #[test]
+    fn cancelled_jobs_leave_pending_but_done_wins_over_cancel() {
+        let st = ServeState::replay(&[
+            Record::Submitted(spec("a")),
+            Record::Submitted(spec("b")),
+            Record::Cancelled { job: "a".into() },
+            started(0, &["b"]),
+            done("b", 0),
+            Record::Cancelled { job: "b".into() },
+        ]);
+        assert_eq!(st.phase("a"), Some(JobPhase::Cancelled));
+        assert!(matches!(st.phase("b"), Some(JobPhase::Done(_))));
+        assert!(st.pending().is_empty());
+        assert_eq!(st.phase("zz"), None);
+    }
+
+    #[test]
+    fn replayed_started_record_updates_in_place() {
+        let st = ServeState::replay(&[
+            Record::Submitted(spec("a")),
+            started(0, &["a"]),
+            // Resume re-journals the same wave before re-running it.
+            started(0, &["a"]),
+            done("a", 0),
+        ]);
+        assert_eq!(st.waves.len(), 1);
+        assert!(st.waves[0].committed());
+        assert_eq!(st.next_wave(), 1);
+    }
+}

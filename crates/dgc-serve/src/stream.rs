@@ -1,0 +1,175 @@
+//! Streaming admission: the JSONL job-request protocol.
+//!
+//! The daemon consumes newline-delimited JSON operations from a file,
+//! stdin/FIFO, or a watched file. One op per line:
+//!
+//! ```text
+//! {"op":"submit","job":"j1","app":"xsbench","args":"-g 100 -l 32"}
+//! {"op":"submit","job":"j2","app":"amgmk","args":["-i","20"],"deadline_s":2.5}
+//! {"op":"cancel","job":"j1"}
+//! {"op":"drain"}
+//! ```
+//!
+//! `args` may be an array of tokens or a single string, in which case it
+//! tokenizes by the argument-file rules ([`dgc_core::split_arg_line`]):
+//! whitespace-separated, double-quoted tokens keep spaces — a request
+//! line and an argfile line mean the same thing. Blank lines and `#`
+//! comments are skipped, like the argument file.
+
+use crate::journal::JobSpec;
+use dgc_core::split_arg_line;
+use serde::Value;
+
+/// One parsed stream operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamOp {
+    Submit(JobSpec),
+    Cancel {
+        job: String,
+    },
+    /// Stop admitting: finish journaled work, write results, exit.
+    Drain,
+}
+
+/// Parse one request line. `Ok(None)` for blanks and comments.
+pub fn parse_op(line: &str) -> Result<Option<StreamOp>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing `op` field")?;
+    match op {
+        "submit" => {
+            let id = v
+                .get("job")
+                .and_then(Value::as_str)
+                .ok_or("submit: missing `job` id")?
+                .to_string();
+            if id.is_empty() {
+                return Err("submit: empty `job` id".into());
+            }
+            let app = v
+                .get("app")
+                .and_then(Value::as_str)
+                .ok_or("submit: missing `app` name")?
+                .to_string();
+            let args = match v.get("args") {
+                None | Some(Value::Null) => Vec::new(),
+                Some(Value::Str(s)) => split_arg_line(s),
+                Some(Value::Array(a)) => a
+                    .iter()
+                    .map(|e| e.as_str().map(str::to_string))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or("submit: non-string element in `args`")?,
+                Some(other) => return Err(format!("submit: bad `args`: {other:?}")),
+            };
+            let deadline_s = match v.get("deadline_s") {
+                None | Some(Value::Null) => None,
+                Some(d) => Some(
+                    d.as_f64()
+                        .filter(|d| d.is_finite() && *d > 0.0)
+                        .ok_or("submit: `deadline_s` must be a positive number")?,
+                ),
+            };
+            Ok(Some(StreamOp::Submit(JobSpec {
+                id,
+                app,
+                args,
+                deadline_s,
+            })))
+        }
+        "cancel" => {
+            let job = v
+                .get("job")
+                .and_then(Value::as_str)
+                .ok_or("cancel: missing `job` id")?
+                .to_string();
+            Ok(Some(StreamOp::Cancel { job }))
+        }
+        "drain" => Ok(Some(StreamOp::Drain)),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Parse a whole JSONL request document (file mode). Errors carry the
+/// 1-based line number.
+pub fn parse_ops(text: &str) -> Result<Vec<StreamOp>, String> {
+    let mut ops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        match parse_op(line) {
+            Ok(Some(op)) => ops.push(op),
+            Ok(None) => {}
+            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+        }
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_accepts_string_or_array_args() {
+        let a = parse_op(
+            r#"{"op":"submit","job":"j1","app":"xsbench","args":"-g 100 -l \"my data\""}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let StreamOp::Submit(spec) = a else {
+            panic!("not a submit")
+        };
+        assert_eq!(spec.args, vec!["-g", "100", "-l", "my data"]);
+        assert_eq!(spec.deadline_s, None);
+
+        let b = parse_op(
+            r#"{"op":"submit","job":"j2","app":"amgmk","args":["-i","20"],"deadline_s":2.5}"#,
+        )
+        .unwrap()
+        .unwrap();
+        let StreamOp::Submit(spec) = b else {
+            panic!("not a submit")
+        };
+        assert_eq!(spec.args, vec!["-i", "20"]);
+        assert_eq!(spec.deadline_s, Some(2.5));
+    }
+
+    #[test]
+    fn cancel_drain_blank_and_comment_lines() {
+        assert_eq!(
+            parse_op(r#"{"op":"cancel","job":"j1"}"#).unwrap(),
+            Some(StreamOp::Cancel { job: "j1".into() })
+        );
+        assert_eq!(
+            parse_op(r#"{"op":"drain"}"#).unwrap(),
+            Some(StreamOp::Drain)
+        );
+        assert_eq!(parse_op("").unwrap(), None);
+        assert_eq!(parse_op("  # queued by tonight's cron").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_requests_reject_with_reason() {
+        assert!(parse_op("not json").unwrap_err().contains("bad JSON"));
+        assert!(parse_op(r#"{"op":"submit","app":"x"}"#)
+            .unwrap_err()
+            .contains("missing `job`"));
+        assert!(parse_op(r#"{"op":"submit","job":"","app":"x"}"#)
+            .unwrap_err()
+            .contains("empty `job`"));
+        assert!(
+            parse_op(r#"{"op":"submit","job":"a","app":"x","deadline_s":-1}"#)
+                .unwrap_err()
+                .contains("deadline_s")
+        );
+        assert!(parse_op(r#"{"op":"explode"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        let doc = "{\"op\":\"drain\"}\nnope\n";
+        assert!(parse_ops(doc).unwrap_err().starts_with("line 2:"));
+    }
+}

@@ -68,7 +68,7 @@ fn usage() -> ! {
     eprintln!(
         "                    [--trace-out <trace.json>] [--metrics-out <metrics.jsonl>] [--quiet] [--cycle-args]"
     );
-    eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast]");
+    eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast] [--retry-jitter <seed>]");
     eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
     eprintln!("                    [--timeline] [--sample-interval <cycles>] [--progress]");
     eprintln!("                    [--insight-out <report.md>] [--flame-out <stacks.folded>]");
@@ -164,8 +164,11 @@ fn main() {
 
     // Any recovery-related flag routes the run through the resilient
     // driver (an absent --faults file just means an empty plan).
-    let resilient =
-        cli.faults.is_some() || cli.auto_batch || cli.instance_timeout.is_some() || cli.fail_fast;
+    let resilient = cli.faults.is_some()
+        || cli.auto_batch
+        || cli.instance_timeout.is_some()
+        || cli.fail_fast
+        || cli.retry_jitter.is_some();
     let plan = if resilient {
         match &cli.faults {
             Some(path) => {
@@ -194,6 +197,7 @@ fn main() {
         oom_split: cli.auto_batch,
         instance_cycle_budget: cli.instance_timeout,
         fail_fast: cli.fail_fast,
+        jitter_seed: cli.retry_jitter,
         ..Default::default()
     };
 
@@ -391,7 +395,7 @@ fn main() {
     }
 
     if let Some(path) = &cli.trace_out {
-        if let Err(e) = std::fs::write(path, obs.to_chrome_trace()) {
+        if let Err(e) = dgc_obs::write_atomic(path, obs.to_chrome_trace()) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -402,7 +406,7 @@ fn main() {
         // drivers set it to the fleet makespan), so the report's
         // bit-exactness check compares against the right number.
         let report = dgc_insight::render_report(&result.graph, Some(result.total_time_s));
-        if let Err(e) = std::fs::write(path, report) {
+        if let Err(e) = dgc_obs::write_atomic(path, report) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -410,7 +414,7 @@ fn main() {
     }
     if let Some(path) = &cli.flame_out {
         let stacks = dgc_insight::folded_stacks(&result.graph);
-        if let Err(e) = std::fs::write(path, &stacks) {
+        if let Err(e) = dgc_obs::write_atomic(path, &stacks) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
@@ -426,7 +430,7 @@ fn main() {
             .or(launch_override)
             .unwrap_or_else(|| result.launch_metrics());
         let jsonl = metrics_jsonl(&result.metrics, &launch);
-        if let Err(e) = std::fs::write(path, jsonl) {
+        if let Err(e) = dgc_obs::write_atomic(path, jsonl) {
             eprintln!("error: cannot write {path}: {e}");
             std::process::exit(1);
         }
