@@ -30,11 +30,37 @@ echo "== fault: injected OOM recovery vs golden snapshot =="
 # concurrency >= 5, so the resilient driver must split 8 -> 4 and recover
 # every instance — a non-zero exit here means recovery regressed.
 printf -- '-v 400 -d 4 -i 2\n' > "$PROF_TMP/pr_args.txt"
+# --no-mem-aware pins the legacy OOM-then-halve path this golden was
+# recorded on; the memory-aware alternative is gated separately below.
 cargo run -q --release -p ensemble-cli -- pagerank -f "$PROF_TMP/pr_args.txt" \
     -n 8 -t 32 --cycle-args --quiet --faults results/fault_plan.json --auto-batch --max-attempts 4 \
-    --metrics-out "$PROF_TMP/smoke_faults.jsonl" > /dev/null
+    --no-mem-aware --metrics-out "$PROF_TMP/smoke_faults.jsonl" > /dev/null
 cargo run -q --release -p dgc-prof --bin prof-diff -- \
     results/smoke_faults.jsonl "$PROF_TMP/smoke_faults.jsonl" --tolerance 0.02
+
+echo "== mem: memory-aware packing vs OOM-then-halve =="
+# Six paper-scale PageRank instances on one 40 GB A100: four fit. The
+# legacy path discovers that by OOM-ing (split 6 -> 3, two recoveries);
+# the memory-aware path measures peaks in pilot runs and packs 4+2 up
+# front — same instances, zero OOMs, one attempt.
+printf -- '-v 200 -i 1\n' > "$PROF_TMP/mem_args.txt"
+cargo run -q --release -p ensemble-cli -- pagerank -f "$PROF_TMP/mem_args.txt" \
+    -n 6 -t 32 --cycle-args --auto-batch --max-attempts 4 --no-mem-aware --quiet \
+    --metrics-out "$PROF_TMP/mem_legacy.jsonl" > /dev/null
+grep -q '"oom_splits":1' "$PROF_TMP/mem_legacy.jsonl"
+grep -q '"recovered":2' "$PROF_TMP/mem_legacy.jsonl"
+cargo run -q --release -p ensemble-cli -- pagerank -f "$PROF_TMP/mem_args.txt" \
+    -n 6 -t 32 --cycle-args --auto-batch --max-attempts 4 --quiet \
+    --metrics-out "$PROF_TMP/smoke_mem.jsonl" > /dev/null
+grep -q '"oom_splits":0' "$PROF_TMP/smoke_mem.jsonl"
+grep -q '"oom":0' "$PROF_TMP/smoke_mem.jsonl"
+grep -q '"attempts":1' "$PROF_TMP/smoke_mem.jsonl"
+# Packing must beat halving end to end, not just avoid the OOMs.
+legacy_t=$(grep '"record":"launch"' "$PROF_TMP/mem_legacy.jsonl" | grep -o '"total_time_s":[0-9.e-]*' | cut -d: -f2)
+mem_t=$(grep '"record":"launch"' "$PROF_TMP/smoke_mem.jsonl" | grep -o '"total_time_s":[0-9.e-]*' | cut -d: -f2)
+awk -v mem="$mem_t" -v legacy="$legacy_t" 'BEGIN { exit !(mem + 0 < legacy + 0) }'
+cargo run -q --release -p dgc-prof --bin prof-diff -- \
+    results/smoke_mem.jsonl "$PROF_TMP/smoke_mem.jsonl" --tolerance 0.02
 
 echo "== sched: multi-device smoke sweep vs golden snapshot =="
 # Two-device heterogeneous fleet (a100 + half-derated a100): every

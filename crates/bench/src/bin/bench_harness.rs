@@ -34,6 +34,10 @@ const SWEEP_COUNTS: [u32; 4] = [1, 2, 4, 8];
 const SWEEP_THREAD_LIMIT: u32 = 32;
 const SHARD_INSTANCES: u32 = 8;
 const SHARD_DEVICES: u32 = 2;
+/// Alloc-churn section: alloc/free pairs driven through the free-list
+/// allocator, cycled over this many distinct team tags.
+const ALLOC_OPS: u64 = 100_000;
+const ALLOC_TEAMS: u64 = 32;
 
 fn usage() -> ! {
     eprintln!(
@@ -140,6 +144,45 @@ fn main() {
         sharded_sim_s / cycle_s,
     ));
 
+    // ---- Section 3: allocator churn throughput. ----
+    eprintln!("bench: alloc churn, {ALLOC_OPS} alloc/free pairs over {ALLOC_TEAMS} teams ...");
+    let started = Instant::now();
+    let mut mem = gpu_mem::DeviceMemory::new(1 << 30);
+    mem.set_free_lists(true);
+    let mut live: std::collections::VecDeque<gpu_mem::DevicePtr> =
+        std::collections::VecDeque::new();
+    for i in 0..ALLOC_OPS {
+        let tag = (i % ALLOC_TEAMS) as u32;
+        // Deterministic size mix spanning several size classes.
+        let len = 256 + (i % 7) * 1024;
+        let ptr = mem
+            .alloc_tagged(len, gpu_mem::Backing::Materialized, tag)
+            .expect("churn allocation fits in 1 GiB");
+        live.push_back(ptr);
+        if live.len() >= 64 {
+            let victim = live.pop_front().expect("queue is non-empty");
+            mem.free(victim).expect("churn free succeeds");
+        }
+    }
+    while let Some(p) = live.pop_front() {
+        mem.free(p).expect("drain free succeeds");
+    }
+    let churn_stats = mem.stats();
+    eprintln!(
+        "bench: alloc churn recycled {} of {} allocations ({} fallbacks)",
+        churn_stats.recycled_allocations,
+        churn_stats.total_allocations,
+        churn_stats.alloc_fallbacks
+    );
+    // A host-side microbenchmark: no simulated cycles, instances count
+    // the alloc/free pairs so instances_per_s is allocator ops/s.
+    sections.push(section(
+        "alloc_churn_x100k",
+        started.elapsed().as_secs_f64(),
+        ALLOC_OPS,
+        0.0,
+    ));
+
     // Self-identifying snapshot (schema 2): the rev names the code, the
     // fingerprint names the pinned workload — ledger trend analysis
     // refuses to compare rates across different fingerprints.
@@ -149,6 +192,8 @@ fn main() {
         format!("sweep_tl={SWEEP_THREAD_LIMIT}"),
         format!("shard_instances={SHARD_INSTANCES}"),
         format!("shard_devices={SHARD_DEVICES}"),
+        format!("alloc_ops={ALLOC_OPS}"),
+        format!("alloc_teams={ALLOC_TEAMS}"),
     ]);
     let report = BenchReport {
         schema: BENCH_SCHEMA_VERSION,

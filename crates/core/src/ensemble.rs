@@ -81,6 +81,39 @@ impl InstanceOutcome {
     }
 }
 
+/// Device-heap rollup for one launch (metrics schema v6).
+///
+/// A plain launch reads one device; the batched and resilient drivers
+/// fold successive launches on the same device with [`HeapUsage::absorb`],
+/// and the sharded driver concatenates one `peak_bytes` entry per device.
+#[derive(Debug, Clone, Default)]
+pub struct HeapUsage {
+    /// Peak bytes in use per device while the ensemble ran.
+    pub peak_bytes: Vec<u64>,
+    /// Worst observed end-of-launch fragmentation
+    /// (`1 − largest hole / free bytes`, 0 when the heap is one hole).
+    pub fragmentation: f64,
+    /// Allocations that missed the per-team free list and fell back to
+    /// the global first-fit map. 0 whenever free lists are disabled.
+    pub alloc_fallbacks: u64,
+}
+
+impl HeapUsage {
+    /// Fold a successive launch on the *same* device set: peaks and
+    /// fragmentation take the max (the heap drains between launches),
+    /// fallback counts accumulate.
+    pub fn absorb(&mut self, other: &HeapUsage) {
+        if self.peak_bytes.len() < other.peak_bytes.len() {
+            self.peak_bytes.resize(other.peak_bytes.len(), 0);
+        }
+        for (mine, theirs) in self.peak_bytes.iter_mut().zip(&other.peak_bytes) {
+            *mine = (*mine).max(*theirs);
+        }
+        self.fragmentation = self.fragmentation.max(other.fragmentation);
+        self.alloc_fallbacks += other.alloc_fallbacks;
+    }
+}
+
 /// Result of one ensemble launch.
 #[derive(Debug)]
 pub struct EnsembleResult {
@@ -110,6 +143,8 @@ pub struct EnsembleResult {
     /// instance metrics, so `graph.replay_makespan_s()` reproduces the
     /// reported makespan bit-exactly. Consumed by `dgc-insight`.
     pub graph: SpanGraph,
+    /// Device-heap occupancy rollup (metrics schema v6).
+    pub heap: HeapUsage,
 }
 
 impl EnsembleResult {
@@ -171,6 +206,9 @@ impl EnsembleResult {
             rpc_stall: LatencyPercentiles::from_seconds(self.metrics.iter().map(|m| m.rpc_stall_s)),
             utilization_mean: crate::stats::utilization_mean(&self.timeline.issue_rates()).ok(),
             utilization_p95: crate::stats::utilization_p95(&self.timeline.issue_rates()).ok(),
+            peak_mem_bytes: self.heap.peak_bytes.clone(),
+            fragmentation: self.heap.fragmentation,
+            alloc_fallbacks: self.heap.alloc_fallbacks,
             timeline: self.timeline.points.clone(),
         }
     }
@@ -446,6 +484,9 @@ pub fn run_ensemble_injected(
     // Heap high-water marks are per launch: restart them from the live
     // bytes (module globals) so instance peaks measure this kernel only.
     gpu.mem.reset_tag_peaks();
+    // Free-list fallbacks accumulate across launches on a reused device:
+    // snapshot so the rollup reports this launch's count alone.
+    let fallbacks_before = gpu.mem.stats().alloc_fallbacks;
 
     let main_fn = app.main;
     let image_ref = &image;
@@ -465,8 +506,14 @@ pub fn run_ensemble_injected(
     });
 
     // Heap occupancy while the kernel ran, read before instance teardown
-    // frees the tags — the timeline's heap counter.
+    // frees the tags — the timeline's heap counter and the schema-v6
+    // launch rollup.
     let heap_bytes = gpu.mem.stats().bytes_in_use;
+    let heap = HeapUsage {
+        peak_bytes: vec![gpu.mem.stats().peak_bytes_in_use],
+        fragmentation: gpu.mem.fragmentation(),
+        alloc_fallbacks: gpu.mem.stats().alloc_fallbacks - fallbacks_before,
+    };
 
     // Instance teardown: free every instance heap and the module globals.
     for i in 0..n {
@@ -684,6 +731,7 @@ pub fn run_ensemble_injected(
         metrics,
         timeline,
         graph,
+        heap,
     })
 }
 
@@ -753,6 +801,7 @@ pub fn run_ensemble_batched_progress(
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
     let mut graph = SpanGraph::default();
+    let mut heap = HeapUsage::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -802,6 +851,7 @@ pub fn run_ensemble_batched_progress(
         kernel_time_s += res.kernel_time_s;
         total_time_s += res.total_time_s;
         rpc_stats.merge(&res.rpc_stats);
+        heap.absorb(&res.heap);
         last_report = Some(res.report);
         start += count;
         progress(start, n);
@@ -818,6 +868,7 @@ pub fn run_ensemble_batched_progress(
         metrics,
         timeline,
         graph,
+        heap,
     })
 }
 
@@ -888,6 +939,10 @@ pub struct EnsembleCliArgs {
     /// Wall-clock interval between monitor snapshots in milliseconds
     /// (`--monitor-interval`, default [`DEFAULT_MONITOR_INTERVAL_MS`]).
     pub monitor_interval_ms: u64,
+    /// Memory-aware placement and per-team free lists (default on;
+    /// `--no-mem-aware` restores the bit-identical legacy paths: first-fit
+    /// only, capacity discovered by OOM-then-halve instead of pilot peaks).
+    pub mem_aware: bool,
 }
 
 /// Sampling interval `--timeline` uses when `--sample-interval` does not
@@ -963,6 +1018,7 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
     let mut flame_out = None;
     let mut monitor_out = None;
     let mut monitor_interval_ms = DEFAULT_MONITOR_INTERVAL_MS;
+    let mut mem_aware = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -1105,6 +1161,8 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
                     return Err(CliError::BadValue("--monitor-interval", v.clone()));
                 }
             }
+            "--mem-aware" => mem_aware = true,
+            "--no-mem-aware" => mem_aware = false,
             other => return Err(CliError::UnknownFlag(other.to_string())),
         }
     }
@@ -1132,6 +1190,7 @@ pub fn parse_ensemble_cli(args: &[String]) -> Result<EnsembleCliArgs, CliError> 
         flame_out,
         monitor_out,
         monitor_interval_ms,
+        mem_aware,
     })
 }
 
@@ -1713,8 +1772,22 @@ module "bench" {
                 flame_out: None,
                 monitor_out: None,
                 monitor_interval_ms: DEFAULT_MONITOR_INTERVAL_MS,
+                mem_aware: true,
             }
         );
+    }
+
+    #[test]
+    fn cli_parses_mem_aware_flags() {
+        let cli = parse_ensemble_cli(&["-f", "a"].map(String::from)).unwrap();
+        assert!(cli.mem_aware, "memory-aware placement defaults on");
+        let cli = parse_ensemble_cli(&["-f", "a", "--no-mem-aware"].map(String::from)).unwrap();
+        assert!(!cli.mem_aware);
+        // The positive spelling re-enables after an earlier opt-out.
+        let cli =
+            parse_ensemble_cli(&["-f", "a", "--no-mem-aware", "--mem-aware"].map(String::from))
+                .unwrap();
+        assert!(cli.mem_aware);
     }
 
     #[test]

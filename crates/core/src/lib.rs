@@ -38,7 +38,7 @@ pub use ensemble::{
     ensure_arg_capacity, format_eta_s, parse_ensemble_cli, run_ensemble, run_ensemble_batched,
     run_ensemble_batched_progress, run_ensemble_batched_traced, run_ensemble_injected,
     run_ensemble_traced, CliError, EnsembleCliArgs, EnsembleError, EnsembleOptions, EnsembleResult,
-    InstanceOutcome, LaunchFaults, MappingStrategy, DEFAULT_MONITOR_INTERVAL_MS,
+    HeapUsage, InstanceOutcome, LaunchFaults, MappingStrategy, DEFAULT_MONITOR_INTERVAL_MS,
     DEFAULT_SAMPLE_INTERVAL,
 };
 pub use loader::{AppRunResult, Loader, LoaderError};

@@ -27,5 +27,11 @@ mod resilient;
 mod sharded;
 
 pub use plan::{DeviceDeath, FaultKind, FaultPlan, FaultSpec};
-pub use resilient::{run_ensemble_resilient, RecoveryPolicy, RecoveryStats, ResilientResult};
-pub use sharded::{run_ensemble_sharded_resilient, ShardedResilientResult};
+pub use resilient::{
+    run_ensemble_resilient, run_ensemble_resilient_mem_aware, RecoveryPolicy, RecoveryStats,
+    ResilientResult,
+};
+pub use sharded::{
+    run_ensemble_sharded_resilient, run_ensemble_sharded_resilient_mem_aware,
+    ShardedResilientResult,
+};

@@ -15,11 +15,12 @@
 use crate::plan::FaultPlan;
 use dgc_core::{
     ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
-    HostApp, InstanceOutcome, LaunchFaults,
+    HeapUsage, HostApp, InstanceOutcome, LaunchFaults,
 };
 use dgc_obs::{
     InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, RpcCallCounts, SpanGraph, PID_HOST,
 };
+use dgc_sched::{mem_cap_take, InstanceCosts};
 use gpu_sim::{Gpu, StallBuckets};
 use host_rpc::{HostServices, RpcStats};
 use serde::Value;
@@ -209,10 +210,50 @@ pub fn run_ensemble_resilient(
     policy: &RecoveryPolicy,
     obs: &mut Recorder,
 ) -> Result<ResilientResult, EnsembleError> {
+    run_ensemble_resilient_mem_aware(gpu, app, arg_lines, opts, batch, plan, policy, obs, None)
+}
+
+/// [`run_ensemble_resilient`] with opt-in **memory-aware packing**.
+///
+/// With pilot `costs` supplied, the device heap switches to the
+/// per-team free-list allocator and every chunk is sized to the largest
+/// prefix of pending instances whose summed pilot peaks fit the device
+/// ([`mem_cap_take`]) — memory-hungry ensembles pack to capacity up
+/// front instead of discovering it by OOM-then-halving. The halving
+/// backstop stays armed for footprints the pilots under-predicted.
+/// With `costs = None` this is exactly the legacy driver, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_resilient_mem_aware(
+    gpu: &mut Gpu,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &mut Recorder,
+    costs: Option<&InstanceCosts>,
+) -> Result<ResilientResult, EnsembleError> {
     assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
     let n = opts.num_instances.max(1);
     ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
     let mut current_batch = if batch == 0 { n } else { batch.min(n) };
+    if costs.is_some() {
+        gpu.mem.set_free_lists(true);
+    }
+    let capacity = gpu.mem.capacity();
+    // Cap a chunk drawn from `queue[from..]` by device capacity: the
+    // longest prefix whose summed pilot peaks fit. Without a cost model
+    // the cap is the concurrency bound alone (legacy behavior).
+    let chunk_len = move |queue: &[u32], from: usize, bound: u32| -> usize {
+        let want = (bound as usize).min(queue.len() - from);
+        let Some(costs) = costs else { return want };
+        let peaks: Vec<u64> = queue[from..from + want]
+            .iter()
+            .map(|&g| costs.peak_mem_bytes(g))
+            .collect();
+        mem_cap_take(&peaks, capacity, want)
+    };
 
     let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
     let mut slot_stdout: Vec<String> = vec![String::new(); n as usize];
@@ -227,6 +268,7 @@ pub fn run_ensemble_resilient(
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
     let mut graph = SpanGraph::default();
+    let mut heap = HeapUsage::default();
     let mut last_report = None;
     let base_us = obs.base_us();
 
@@ -280,8 +322,8 @@ pub fn run_ensemble_resilient(
         let mut round_oom = false;
         let mut qi = 0usize;
         while qi < pending.len() && !aborted {
-            let chunk: Vec<u32> =
-                pending[qi..(qi + current_batch as usize).min(pending.len())].to_vec();
+            let take = chunk_len(&pending, qi, current_batch);
+            let chunk: Vec<u32> = pending[qi..qi + take].to_vec();
             qi += chunk.len();
             let count = chunk.len() as u32;
             let chunk_lines: Vec<Vec<String>> = chunk
@@ -383,6 +425,7 @@ pub fn run_ensemble_resilient(
             kernel_time_s += res.kernel_time_s;
             total_time_s += res.total_time_s;
             rpc_stats.merge(&res.rpc_stats);
+            heap.absorb(&res.heap);
             last_report = Some(res.report);
 
             // Recovery markers only when something actually failed, so a
@@ -466,6 +509,7 @@ pub fn run_ensemble_resilient(
             metrics,
             timeline,
             graph,
+            heap,
         },
         recovery: stats,
         kernel: format!("{}-x{}", app.name, n),

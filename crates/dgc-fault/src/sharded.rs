@@ -13,16 +13,16 @@
 //! single-device recovery semantics.
 
 use crate::plan::FaultPlan;
-use crate::resilient::{run_ensemble_resilient, RecoveryPolicy, RecoveryStats};
+use crate::resilient::{run_ensemble_resilient_mem_aware, RecoveryPolicy, RecoveryStats};
 use dgc_core::{
     ensure_arg_capacity, run_ensemble_injected, EnsembleError, EnsembleOptions, EnsembleResult,
-    HostApp, InstanceOutcome, LaunchFaults,
+    HeapUsage, HostApp, InstanceOutcome, LaunchFaults,
 };
 use dgc_obs::{
     DeviceStamped, InstanceMetrics, LaunchMetrics, LaunchTimeline, Recorder, SpanGraph,
     DEVICE_PID_STRIDE, PID_HOST,
 };
-use dgc_sched::{InstanceCosts, Placement};
+use dgc_sched::{mem_cap_take, InstanceCosts, Placement};
 use gpu_sim::{DeviceFleet, SimReport};
 use host_rpc::{HostServices, RpcStats};
 use serde::Value;
@@ -94,15 +94,58 @@ pub fn run_ensemble_sharded_resilient(
     policy: &RecoveryPolicy,
     obs: &mut Recorder,
 ) -> Result<ShardedResilientResult, EnsembleError> {
+    run_ensemble_sharded_resilient_mem_aware(
+        fleet, app, arg_lines, opts, batch, placement, plan, policy, obs, false,
+    )
+}
+
+/// [`run_ensemble_sharded_resilient`] with opt-in **memory-aware
+/// packing**: free-list heaps on every device, pilot peaks capping both
+/// placement ([`dgc_sched::Placement::assign_mem_aware`]) and per-device
+/// chunk sizes ([`mem_cap_take`]), with the OOM-halving backstop still
+/// armed. With `mem_aware` off this is exactly the legacy driver.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_sharded_resilient_mem_aware(
+    fleet: &mut DeviceFleet,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    placement: Placement,
+    plan: &FaultPlan,
+    policy: &RecoveryPolicy,
+    obs: &mut Recorder,
+    mem_aware: bool,
+) -> Result<ShardedResilientResult, EnsembleError> {
     assert!(!fleet.is_empty(), "sharding needs at least one device");
     assert!(policy.max_attempts >= 1, "max_attempts must be at least 1");
     let m = fleet.len();
     let n = opts.num_instances.max(1);
     let no_deaths = plan.device_deaths.as_deref().unwrap_or_default().is_empty();
+    if mem_aware {
+        for d in 0..m {
+            fleet.gpu_mut(d).mem.set_free_lists(true);
+        }
+    }
 
     if m == 1 && no_deaths {
-        // Single healthy device: exact single-device recovery semantics.
-        let res = run_ensemble_resilient(
+        // Single healthy device: exact single-device recovery semantics
+        // (memory-aware mode hands its pilot costs down).
+        let costs = if mem_aware {
+            ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
+            let lines_of: Vec<Vec<String>> = (0..n)
+                .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
+                .collect();
+            Some(InstanceCosts::estimate(
+                app,
+                &lines_of,
+                opts,
+                fleet.spec(0),
+            )?)
+        } else {
+            None
+        };
+        let res = run_ensemble_resilient_mem_aware(
             fleet.gpu_mut(0),
             app,
             arg_lines,
@@ -111,6 +154,7 @@ pub fn run_ensemble_sharded_resilient(
             plan,
             policy,
             obs,
+            costs.as_ref(),
         )?;
         let total = res.ensemble.total_time_s;
         return Ok(ShardedResilientResult {
@@ -129,7 +173,8 @@ pub fn run_ensemble_sharded_resilient(
         .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
         .collect();
     // Pilot costs once, on device 0's spec; re-used every round.
-    let costs = if placement.needs_costs() {
+    // Memory-aware mode always needs them for the peak footprints.
+    let costs = if placement.needs_costs() || mem_aware {
         Some(InstanceCosts::estimate(
             app,
             &lines_of,
@@ -139,6 +184,7 @@ pub fn run_ensemble_sharded_resilient(
     } else {
         None
     };
+    let caps_all: Vec<u64> = (0..m).map(|d| fleet.spec(d).global_mem_bytes).collect();
 
     let mut current_batch = if batch == 0 { n } else { batch.min(n) };
     let mut slot_outcome: Vec<Option<InstanceOutcome>> = vec![None; n as usize];
@@ -156,6 +202,10 @@ pub fn run_ensemble_sharded_resilient(
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
     let mut graph = SpanGraph::default();
+    let mut heap = HeapUsage {
+        peak_bytes: vec![0; m],
+        ..Default::default()
+    };
     let mut last_report = None;
     let base_us = obs.base_us();
     let traced = obs.is_enabled();
@@ -215,12 +265,23 @@ pub fn run_ensemble_sharded_resilient(
             break;
         }
 
+        // Memory caps only bind in memory-aware mode; an empty slice
+        // keeps the legacy assignment bit-identical.
+        let caps_live: Vec<u64> = if mem_aware {
+            live.iter().map(|&d| caps_all[d]).collect()
+        } else {
+            Vec::new()
+        };
         let assignment = {
             let pend = &pending;
             match &costs {
-                Some(c) => placement.assign(pend.len() as u32, live.len(), |j, k| {
-                    c.cost_on(pend[j as usize], fleet.spec(live[k]))
-                }),
+                Some(c) => placement.assign_mem_aware(
+                    pend.len() as u32,
+                    live.len(),
+                    |j, k| c.cost_on(pend[j as usize], fleet.spec(live[k])),
+                    |j| c.peak_mem_bytes(pend[j as usize]),
+                    &caps_live,
+                ),
                 None => placement.assign(pend.len() as u32, live.len(), |_, _| 0.0),
             }
         };
@@ -291,8 +352,20 @@ pub fn run_ensemble_sharded_resilient(
             let mut device_kernel = 0.0f64;
             let mut qi = 0usize;
             while qi < shard.len() {
-                let chunk: Vec<u32> =
-                    shard[qi..(qi + current_batch as usize).min(shard.len())].to_vec();
+                let take = {
+                    let want = (current_batch as usize).min(shard.len() - qi);
+                    match (&costs, mem_aware) {
+                        (Some(c), true) => {
+                            let peaks: Vec<u64> = shard[qi..qi + want]
+                                .iter()
+                                .map(|&g| c.peak_mem_bytes(g))
+                                .collect();
+                            mem_cap_take(&peaks, caps_all[d], want)
+                        }
+                        _ => want,
+                    }
+                };
+                let chunk: Vec<u32> = shard[qi..qi + take].to_vec();
                 qi += chunk.len();
                 let count = chunk.len() as u32;
                 let chunk_lines: Vec<Vec<String>> = chunk
@@ -389,6 +462,10 @@ pub fn run_ensemble_sharded_resilient(
                 device_elapsed += res.total_time_s;
                 device_kernel += res.kernel_time_s;
                 rpc_stats.merge(&res.rpc_stats);
+                let chunk_peak = res.heap.peak_bytes.iter().copied().max().unwrap_or(0);
+                heap.peak_bytes[d] = heap.peak_bytes[d].max(chunk_peak);
+                heap.fragmentation = heap.fragmentation.max(res.heap.fragmentation);
+                heap.alloc_fallbacks += res.heap.alloc_fallbacks;
                 last_report = Some(res.report);
             }
             per_device_time_s[d] += device_elapsed;
@@ -472,6 +549,7 @@ pub fn run_ensemble_sharded_resilient(
             metrics,
             timeline,
             graph,
+            heap,
         },
         recovery: stats,
         devices: m as u32,

@@ -440,6 +440,7 @@ impl SpanGraph {
                         dram_bw: of("stall_dram_bw"),
                         mlp: of("stall_mlp"),
                         rpc: of("stall_rpc"),
+                        alloc: of("stall_alloc"),
                         wave_tail: of("stall_wave_tail"),
                     }
                 });

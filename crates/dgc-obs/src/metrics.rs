@@ -24,11 +24,18 @@ use serde::{Deserialize, Serialize, Value};
 ///   launch-level `devices` (fleet size, 1 outside the sharded driver)
 ///   and `makespan_s` (max per-device wall time; equals `total_time_s`
 ///   for single-device launches).
-/// * v5 — this version: utilization-timeline fields. Launch-level
+/// * v5 — PR 5: utilization-timeline fields. Launch-level
 ///   `timeline` (periodic [`TimelinePoint`] samples; empty when sampling
 ///   was off) plus `utilization_mean` and `utilization_p95` (rollups of
 ///   the timeline's issue-rate series; `null` when sampling was off).
-pub const METRICS_SCHEMA_VERSION: u32 = 5;
+/// * v6 — this version: allocator fields. The per-instance (and
+///   timeline) `stall` object gains an `alloc` bucket; launch-level
+///   `peak_mem_bytes` (per-device heap high-water marks, fleet-indexed),
+///   `fragmentation` (worst end-of-round free-space fragmentation
+///   observed on any device, [0, 1]) and `alloc_fallbacks` (allocations
+///   that took the global first-fit path while per-team free lists were
+///   enabled; 0 when free lists were off).
+pub const METRICS_SCHEMA_VERSION: u32 = 6;
 
 /// Fixed-bucket base-2 logarithmic histogram over `u64` samples.
 ///
@@ -285,6 +292,15 @@ pub struct LaunchMetrics {
     /// Periodic utilization samples (schema v5); empty when sampling was
     /// off.
     pub timeline: Vec<TimelinePoint>,
+    /// Device-heap high-water mark per device, bytes, fleet-indexed
+    /// (schema v6). Single-device launches carry one entry.
+    pub peak_mem_bytes: Vec<u64>,
+    /// Worst end-of-round free-space fragmentation observed on any device,
+    /// [0, 1] (schema v6).
+    pub fragmentation: f64,
+    /// Allocations that fell back to the global first-fit path while
+    /// per-team free lists were enabled (schema v6; 0 when off).
+    pub alloc_fallbacks: u64,
 }
 
 fn tagged_record(kind: &str, v: Value) -> Value {
@@ -345,6 +361,7 @@ mod tests {
                 dram_bw: 4.0e5,
                 mlp: 2.0e5,
                 rpc: 1.0e5,
+                alloc: 0.0,
                 wave_tail: 0.0,
             },
         }
@@ -441,6 +458,9 @@ mod tests {
             utilization_mean: None,
             utilization_p95: None,
             timeline: Vec::new(),
+            peak_mem_bytes: vec![8192],
+            fragmentation: 0.25,
+            alloc_fallbacks: 3,
         };
         let text = metrics_jsonl(&instances, &launch);
         let lines: Vec<&str> = text.lines().collect();
@@ -474,6 +494,15 @@ mod tests {
         assert!(v.get("timeline").unwrap().as_array().unwrap().is_empty());
         assert!(v.get("utilization_mean").unwrap().is_null());
         assert!(v.get("utilization_p95").unwrap().is_null());
+        // v6: allocator fields land in the launch record, and the stall
+        // object carries the alloc bucket.
+        let peaks = v.get("peak_mem_bytes").unwrap().as_array().unwrap();
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].as_u64(), Some(8192));
+        assert_eq!(v.get("fragmentation").unwrap().as_f64(), Some(0.25));
+        assert_eq!(v.get("alloc_fallbacks").unwrap().as_u64(), Some(3));
+        let first: Value = serde_json::from_str(lines[0]).unwrap();
+        assert!(first.get("stall").unwrap().get("alloc").is_some());
     }
 
     #[test]
@@ -490,6 +519,7 @@ mod tests {
             stall_dram_bw: 0.2,
             stall_mlp: 0.1,
             stall_rpc: 0.0,
+            stall_alloc: 0.0,
             stall_wave_tail: 0.1,
             heap_bytes: 1 << 20,
         };
@@ -518,6 +548,9 @@ mod tests {
             utilization_mean: Some(0.4),
             utilization_p95: Some(0.45),
             timeline: vec![point.clone(), point],
+            peak_mem_bytes: vec![1 << 20],
+            fragmentation: 0.0,
+            alloc_fallbacks: 0,
         };
         launch.timeline[1].t_us = 250.0;
         let json = serde_json::to_string(&launch).unwrap();

@@ -51,6 +51,8 @@ pub struct TimelinePoint {
     pub stall_mlp: f64,
     /// Fraction bound by host round-trip latency.
     pub stall_rpc: f64,
+    /// Fraction bound by device-heap allocator latency (schema v6).
+    pub stall_alloc: f64,
     /// Fraction lost to under-occupancy (wave tail).
     pub stall_wave_tail: f64,
     /// Device-heap bytes in use while the sample's kernel ran. Constant
@@ -104,6 +106,7 @@ impl LaunchTimeline {
                 stall_dram_bw: share(s.stall.dram_bw),
                 stall_mlp: share(s.stall.mlp),
                 stall_rpc: share(s.stall.rpc),
+                stall_alloc: share(s.stall.alloc),
                 stall_wave_tail: share(s.stall.wave_tail),
                 heap_bytes,
             });
@@ -150,7 +153,7 @@ impl LaunchTimeline {
 
     /// Emit the series as Chrome counter tracks (`ph = 'C'`) on the host
     /// lane: `utilization` (issue/dram/occupancy), `active_teams`,
-    /// `stall_share` (five exclusive fractions) and `heap_bytes`. Device
+    /// `stall_share` (six exclusive fractions) and `heap_bytes`. Device
     /// recorders merged with `merge_shifted` carry their counters into
     /// per-device lane groups automatically.
     pub fn emit_counters(&self, rec: &mut Recorder) {
@@ -189,6 +192,7 @@ impl LaunchTimeline {
                     ("dram_bw".into(), Value::F64(p.stall_dram_bw)),
                     ("mlp".into(), Value::F64(p.stall_mlp)),
                     ("rpc".into(), Value::F64(p.stall_rpc)),
+                    ("alloc".into(), Value::F64(p.stall_alloc)),
                     ("wave_tail".into(), Value::F64(p.stall_wave_tail)),
                 ],
             );
@@ -223,6 +227,7 @@ mod tests {
                 dram_bw: 20.0,
                 mlp: 10.0,
                 rpc: 0.0,
+                alloc: 0.0,
                 wave_tail: 10.0,
             },
         };
@@ -243,8 +248,12 @@ mod tests {
         assert_eq!(p.heap_bytes, 4096);
         // Stall cycles become window fractions summing to 1.
         assert!((p.stall_compute - 0.6).abs() < 1e-12);
-        let total =
-            p.stall_compute + p.stall_dram_bw + p.stall_mlp + p.stall_rpc + p.stall_wave_tail;
+        let total = p.stall_compute
+            + p.stall_dram_bw
+            + p.stall_mlp
+            + p.stall_rpc
+            + p.stall_alloc
+            + p.stall_wave_tail;
         assert!((total - 1.0).abs() < 1e-12);
         // Points inherit strictly increasing timestamps.
         assert!(tl.points[1].t_us > tl.points[0].t_us);

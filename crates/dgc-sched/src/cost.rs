@@ -31,6 +31,12 @@ pub struct InstanceCost {
     pub seconds_ref: f64,
     /// Roofline classification of the pilot run.
     pub bound: BoundClass,
+    /// Peak device-heap bytes the pilot occupied (instance heap plus the
+    /// module globals it shares with the rest of the ensemble). Drives
+    /// memory-aware packing: the sum of co-resident peaks must fit the
+    /// device. Conservative for packed ensembles — globals are counted
+    /// once per instance rather than once per device.
+    pub peak_mem_bytes: u64,
 }
 
 /// Cost model for one ensemble: a pilot per distinct argument line, plus
@@ -77,6 +83,7 @@ impl InstanceCosts {
             let c = InstanceCost {
                 seconds_ref: res.kernel_time_s,
                 bound: point.bound,
+                peak_mem_bytes: res.heap.peak_bytes.first().copied().unwrap_or(0),
             };
             by_line.insert(line.clone(), c.clone());
             per_instance.push(c);
@@ -113,6 +120,20 @@ impl InstanceCosts {
         };
         c.seconds_ref * ratio
     }
+
+    /// Pilot-measured peak heap bytes of `instance`.
+    pub fn peak_mem_bytes(&self, instance: u32) -> u64 {
+        self.per_instance[instance as usize].peak_mem_bytes
+    }
+
+    /// Largest concurrent prefix of instances `0..n` whose summed pilot
+    /// peaks fit within `capacity_bytes`. At least 1 when `n > 0` — a
+    /// single over-capacity instance still launches alone (and OOMs
+    /// there, exactly as it would without packing).
+    pub fn mem_fit_count(&self, n: u32, capacity_bytes: u64) -> u32 {
+        let peaks: Vec<u64> = (0..n).map(|i| self.peak_mem_bytes(i)).collect();
+        mem_cap_take(&peaks, capacity_bytes, n as usize) as u32
+    }
 }
 
 /// Serving-wave sizing over predicted per-job costs: the number of jobs
@@ -137,6 +158,26 @@ pub fn wave_take(costs_s: &[f64], budget_s: f64, max: usize) -> usize {
         taken += 1;
     }
     taken.max(usize::from(!costs_s.is_empty()))
+}
+
+/// Memory-capacity wave sizing: the longest prefix of `peaks` (pilot
+/// peak heap bytes per pending job, queue order) whose sum stays within
+/// `capacity_bytes`, capped at `max`. At least one job is always taken
+/// while any is pending — a single over-capacity job must still launch
+/// (and report its OOM) rather than starve the queue. Deterministic,
+/// like [`wave_take`]: resumed daemons re-form identical waves.
+pub fn mem_cap_take(peaks: &[u64], capacity_bytes: u64, max: usize) -> usize {
+    let cap = peaks.len().min(max.max(1));
+    let mut taken = 0usize;
+    let mut used = 0u64;
+    for &p in &peaks[..cap] {
+        used = used.saturating_add(p);
+        if taken > 0 && used > capacity_bytes {
+            break;
+        }
+        taken += 1;
+    }
+    taken.max(usize::from(!peaks.is_empty()))
 }
 
 #[cfg(test)]
@@ -189,6 +230,41 @@ module "cost" {
         // A zero cap is treated as 1: a wave can never be empty while
         // jobs are pending.
         assert_eq!(wave_take(&[0.1, 0.1], 100.0, 0), 1);
+    }
+
+    #[test]
+    fn mem_cap_take_packs_to_capacity_without_starving() {
+        // Four 4-byte jobs into a 10-byte device: two fit.
+        assert_eq!(mem_cap_take(&[4, 4, 4, 4], 10, 16), 2);
+        // An over-capacity first job still launches alone.
+        assert_eq!(mem_cap_take(&[64, 1], 10, 16), 1);
+        // The hard cap wins over a generous capacity.
+        assert_eq!(mem_cap_take(&[1; 10], 1000, 3), 3);
+        // Fewer jobs than the cap takes them all; zero-peak jobs all fit.
+        assert_eq!(mem_cap_take(&[0, 0, 0], 10, 16), 3);
+        assert_eq!(mem_cap_take(&[], 10, 16), 0);
+        // A zero cap is treated as 1, like wave_take.
+        assert_eq!(mem_cap_take(&[1, 1], 10, 0), 1);
+    }
+
+    #[test]
+    fn pilots_measure_peak_memory() {
+        let spec = GpuSpec::a100_40gb();
+        let lines = vec![line(4000), line(500)];
+        let costs =
+            InstanceCosts::estimate(&app(), &lines, &EnsembleOptions::default(), &spec).unwrap();
+        // The pilot allocates 8·n bytes; peaks reflect that (plus globals).
+        assert!(
+            costs.peak_mem_bytes(0) >= 8 * 4000,
+            "{}",
+            costs.peak_mem_bytes(0)
+        );
+        assert!(costs.peak_mem_bytes(0) > costs.peak_mem_bytes(1));
+        // Capacity packing: with room for exactly one big pilot footprint,
+        // only the first instance fits the wave.
+        let cap = costs.peak_mem_bytes(0) + costs.peak_mem_bytes(1) / 2;
+        assert_eq!(costs.mem_fit_count(2, cap), 1);
+        assert_eq!(costs.mem_fit_count(2, u64::MAX), 2);
     }
 
     #[test]

@@ -27,6 +27,6 @@ mod cost;
 mod place;
 mod shard;
 
-pub use cost::{wave_take, InstanceCost, InstanceCosts};
+pub use cost::{mem_cap_take, wave_take, InstanceCost, InstanceCosts};
 pub use place::{Placement, PlacementParseError};
-pub use shard::{run_ensemble_sharded, ShardedResult};
+pub use shard::{run_ensemble_sharded, run_ensemble_sharded_mem_aware, ShardedResult};

@@ -71,8 +71,53 @@ impl Placement {
     /// it. Returns one instance list per device, each in ascending
     /// instance order (the order shards execute in).
     pub fn assign(self, n: u32, m: usize, cost: impl Fn(u32, usize) -> f64) -> Vec<Vec<u32>> {
+        self.assign_mem_aware(n, m, cost, |_| 0, &[])
+    }
+
+    /// [`Placement::assign`] with memory-aware refusal: `peak(i)` is the
+    /// pilot-measured peak heap footprint of instance `i` and `caps[d]`
+    /// each device's heap capacity. The informed policies (`greedy`,
+    /// `lpt`) refuse to place an instance on a device whose *summed
+    /// placed peaks* would exceed its capacity, falling back to the
+    /// least-loaded-by-memory device when nothing fits (that shard's
+    /// batched driver then sequences the overflow instead of OOMing).
+    /// Round-robin stays cost- and memory-blind. An empty `caps` slice
+    /// (or a zero capacity) disables the refusal entirely — the exact
+    /// legacy assignment.
+    pub fn assign_mem_aware(
+        self,
+        n: u32,
+        m: usize,
+        cost: impl Fn(u32, usize) -> f64,
+        peak: impl Fn(u32) -> u64,
+        caps: &[u64],
+    ) -> Vec<Vec<u32>> {
         assert!(m >= 1, "placement needs at least one device");
         let mut shards: Vec<Vec<u32>> = vec![Vec::new(); m];
+        let mut mem = vec![0u64; m];
+        let cap_of = |d: usize| caps.get(d).copied().unwrap_or(0);
+        // Pick the best device by `key`, skipping memory-full devices;
+        // when every device is full, the one with the most free memory
+        // takes the overflow.
+        let place = |i: u32,
+                     load: &mut [f64],
+                     mem: &mut [u64],
+                     shards: &mut [Vec<u32>],
+                     cost: &dyn Fn(u32, usize) -> f64| {
+            let p = peak(i);
+            let fits = |d: usize, mem: &[u64]| {
+                let cap = cap_of(d);
+                cap == 0 || mem[d].saturating_add(p) <= cap
+            };
+            let d = argmin_where(load, |d, l| l + cost(i, d), |d| fits(d, mem))
+                // Every device is memory-full: overflow onto the one
+                // with the most free capacity (first wins ties), whose
+                // batched driver sequences the excess instead of OOMing.
+                .unwrap_or_else(|| argmin(mem, |d, _| mem[d] as f64 - cap_of(d) as f64));
+            load[d] += cost(i, d);
+            mem[d] = mem[d].saturating_add(p);
+            shards[d].push(i);
+        };
         match self {
             Placement::RoundRobin => {
                 for i in 0..n {
@@ -82,9 +127,7 @@ impl Placement {
             Placement::Greedy => {
                 let mut load = vec![0.0f64; m];
                 for i in 0..n {
-                    let d = argmin(&load, |d, l| l + cost(i, d));
-                    load[d] += cost(i, d);
-                    shards[d].push(i);
+                    place(i, &mut load, &mut mem, &mut shards, &cost);
                 }
             }
             Placement::Lpt => {
@@ -100,9 +143,7 @@ impl Placement {
                 });
                 let mut load = vec![0.0f64; m];
                 for i in order {
-                    let d = argmin(&load, |d, l| l + cost(i, d));
-                    load[d] += cost(i, d);
-                    shards[d].push(i);
+                    place(i, &mut load, &mut mem, &mut shards, &cost);
                 }
                 for s in &mut shards {
                     s.sort_unstable();
@@ -113,15 +154,27 @@ impl Placement {
     }
 }
 
-/// Index minimizing `key(d, load[d])`; first wins ties (deterministic).
-fn argmin(load: &[f64], key: impl Fn(usize, f64) -> f64) -> usize {
-    let mut best = 0usize;
+/// Index minimizing `key(d, items[d])`; first wins ties (deterministic).
+fn argmin<T: Copy>(items: &[T], key: impl Fn(usize, T) -> f64) -> usize {
+    argmin_where(items, key, |_| true).expect("argmin over a non-empty slice")
+}
+
+/// [`argmin`] restricted to indices passing `ok`; `None` when none do.
+fn argmin_where<T: Copy>(
+    items: &[T],
+    key: impl Fn(usize, T) -> f64,
+    ok: impl Fn(usize) -> bool,
+) -> Option<usize> {
+    let mut best = None;
     let mut best_key = f64::INFINITY;
-    for (d, &l) in load.iter().enumerate() {
+    for (d, &l) in items.iter().enumerate() {
+        if !ok(d) {
+            continue;
+        }
         let k = key(d, l);
-        if k < best_key {
+        if k < best_key || best.is_none() {
             best_key = k;
-            best = d;
+            best = Some(d);
         }
     }
     best
@@ -197,6 +250,44 @@ mod tests {
         let lpt = makespan(&Placement::Lpt.assign(4, 2, cost));
         assert_eq!(rr, 14.0);
         assert_eq!(lpt, 8.0);
+    }
+
+    #[test]
+    fn mem_aware_refuses_overfull_devices() {
+        // Four instances of 6 units each onto two 12-unit devices with
+        // uniform costs: plain greedy balances 2/2 anyway, but make
+        // device 0 cheaper so cost-only greedy would stack all four
+        // there — the memory cap forces an even split.
+        let cost = |_: u32, d: usize| if d == 0 { 1.0 } else { 100.0 };
+        let blind = Placement::Greedy.assign(4, 2, cost);
+        assert_eq!(blind[0].len(), 4, "{blind:?}");
+        let aware = Placement::Greedy.assign_mem_aware(4, 2, cost, |_| 6, &[12, 12]);
+        assert_eq!(aware[0], vec![0, 1], "{aware:?}");
+        assert_eq!(aware[1], vec![2, 3], "{aware:?}");
+    }
+
+    #[test]
+    fn mem_aware_overflows_to_the_freest_device_when_nothing_fits() {
+        // Three 10-unit instances, two 12-unit devices: the third fits
+        // nowhere and lands on the device with the most free capacity.
+        let shards = Placement::Lpt.assign_mem_aware(3, 2, |_, _| 1.0, |_| 10, &[12, 12]);
+        let mut seen: Vec<u32> = shards.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        // Both devices hold at least one instance — no starvation.
+        assert!(shards.iter().all(|s| !s.is_empty()), "{shards:?}");
+    }
+
+    #[test]
+    fn empty_caps_keep_the_legacy_assignment_bit_identical() {
+        let cost = |i: u32, d: usize| (i as f64 + 1.0) * (d as f64 + 1.0);
+        for p in Placement::all() {
+            let legacy = p.assign(9, 4, cost);
+            let aware = p.assign_mem_aware(9, 4, cost, |_| u64::MAX, &[]);
+            assert_eq!(legacy, aware, "{p:?}");
+            let zero_caps = p.assign_mem_aware(9, 4, cost, |_| u64::MAX, &[0, 0, 0, 0]);
+            assert_eq!(legacy, zero_caps, "{p:?}");
+        }
     }
 
     #[test]

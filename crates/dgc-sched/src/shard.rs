@@ -1,6 +1,6 @@
 //! The sharded wave driver: one ensemble launch across M devices.
 
-use crate::cost::InstanceCosts;
+use crate::cost::{mem_cap_take, InstanceCosts};
 use crate::place::Placement;
 use dgc_core::{
     ensure_arg_capacity, run_ensemble_batched_traced, run_ensemble_traced, EnsembleError,
@@ -82,14 +82,61 @@ pub fn run_ensemble_sharded(
     placement: Placement,
     obs: &mut Recorder,
 ) -> Result<ShardedResult, EnsembleError> {
+    run_ensemble_sharded_mem_aware(fleet, app, arg_lines, opts, batch, placement, obs, false)
+}
+
+/// [`run_ensemble_sharded`] with opt-in **memory-aware packing**.
+///
+/// With `mem_aware` on, every device heap switches to the per-team
+/// free-list allocator, pilot runs additionally record each distinct
+/// argument line's peak heap footprint, the informed policies refuse
+/// placements whose summed peaks would overflow a device
+/// ([`Placement::assign_mem_aware`]), and any shard whose instances
+/// still exceed its device's capacity runs batched at the largest
+/// prefix that fits ([`mem_cap_take`]) instead of OOM-ing. With
+/// `mem_aware` off this is exactly the legacy driver, bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn run_ensemble_sharded_mem_aware(
+    fleet: &mut DeviceFleet,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+    batch: u32,
+    placement: Placement,
+    obs: &mut Recorder,
+    mem_aware: bool,
+) -> Result<ShardedResult, EnsembleError> {
     assert!(!fleet.is_empty(), "sharding needs at least one device");
     let m = fleet.len();
     let n = opts.num_instances.max(1);
+    if mem_aware {
+        for d in 0..m {
+            fleet.gpu_mut(d).mem.set_free_lists(true);
+        }
+    }
 
     if m == 1 {
-        // Single device: run the exact unsharded path (bit-identity).
-        let res = if batch > 0 {
-            run_ensemble_batched_traced(fleet.gpu_mut(0), app, arg_lines, opts, batch, obs)?
+        // Single device: run the exact unsharded path (bit-identity
+        // when `mem_aware` is off). Memory-aware mode sizes the batch
+        // from pilot peaks so an over-capacity ensemble sequences
+        // instead of OOM-ing.
+        let eff_batch = if mem_aware && batch == 0 {
+            ensure_arg_capacity(arg_lines, n, opts.cycle_args)?;
+            let lines_of: Vec<Vec<String>> = (0..n)
+                .map(|i| arg_lines[i as usize % arg_lines.len()].clone())
+                .collect();
+            let costs = InstanceCosts::estimate(app, &lines_of, opts, fleet.spec(0))?;
+            let fit = costs.mem_fit_count(n, fleet.spec(0).global_mem_bytes);
+            if fit < n {
+                fit
+            } else {
+                0
+            }
+        } else {
+            batch
+        };
+        let res = if eff_batch > 0 {
+            run_ensemble_batched_traced(fleet.gpu_mut(0), app, arg_lines, opts, eff_batch, obs)?
         } else {
             run_ensemble_traced(
                 fleet.gpu_mut(0),
@@ -120,12 +167,57 @@ pub fn run_ensemble_sharded(
         .collect();
 
     // ---- Placement. ----
-    let assignment = if placement.needs_costs() {
-        let costs = InstanceCosts::estimate(app, &lines_of, opts, fleet.spec(0))?;
-        placement.assign(n, m, |i, d| costs.cost_on(i, fleet.spec(d)))
+    // Memory-aware mode always runs pilots: even the cost-blind
+    // round-robin policy needs per-instance peaks to size each
+    // device's batch below.
+    let costs = if placement.needs_costs() || mem_aware {
+        Some(InstanceCosts::estimate(
+            app,
+            &lines_of,
+            opts,
+            fleet.spec(0),
+        )?)
     } else {
-        placement.assign(n, m, |_, _| 0.0)
+        None
     };
+    let caps: Vec<u64> = if mem_aware {
+        (0..m).map(|d| fleet.spec(d).global_mem_bytes).collect()
+    } else {
+        Vec::new()
+    };
+    let assignment = match (&costs, placement.needs_costs()) {
+        (Some(c), true) => placement.assign_mem_aware(
+            n,
+            m,
+            |i, d| c.cost_on(i, fleet.spec(d)),
+            |i| c.peak_mem_bytes(i),
+            &caps,
+        ),
+        _ => placement.assign(n, m, |_, _| 0.0),
+    };
+
+    // ---- Per-device batch sizing. ----
+    // An explicit `--batch` wins; otherwise memory-aware shards batch
+    // at the largest prefix of their placed instances that fits the
+    // device, and only when the whole shard does not fit at once.
+    let dev_batch: Vec<u32> = (0..m)
+        .map(|d| {
+            if batch > 0 || !mem_aware {
+                return batch;
+            }
+            let costs = costs.as_ref().expect("mem-aware mode ran pilots");
+            let peaks: Vec<u64> = assignment[d]
+                .iter()
+                .map(|&g| costs.peak_mem_bytes(g))
+                .collect();
+            let fit = mem_cap_take(&peaks, caps[d], peaks.len()) as u32;
+            if (fit as usize) < peaks.len() {
+                fit
+            } else {
+                0
+            }
+        })
+        .collect();
 
     // ---- Per-device wave execution, one driver thread per device. ----
     let traced = obs.is_enabled();
@@ -155,6 +247,7 @@ pub fn run_ensemble_sharded(
                     ..opts.clone()
                 };
                 let shard_monitor = monitor.clone().map(|m| DeviceStamped::stamp(m, d as u32));
+                let shard_batch = dev_batch[d];
                 Some(s.spawn(move || {
                     let mut rec = if traced {
                         Recorder::enabled()
@@ -165,13 +258,13 @@ pub fn run_ensemble_sharded(
                         rec.set_monitor(m);
                     }
                     rec.set_base_us(base_us);
-                    let result = if batch > 0 {
+                    let result = if shard_batch > 0 {
                         run_ensemble_batched_traced(
                             gpu,
                             app,
                             &shard_lines,
                             &shard_opts,
-                            batch,
+                            shard_batch,
                             &mut rec,
                         )
                     } else {
@@ -207,6 +300,10 @@ pub fn run_ensemble_sharded(
     let mut rpc_stats = RpcStats::default();
     let mut timeline = LaunchTimeline::default();
     let mut graph = SpanGraph::default();
+    let mut heap = dgc_core::HeapUsage {
+        peak_bytes: vec![0; m],
+        ..Default::default()
+    };
     let mut slowest: Option<(f64, EnsembleResult)> = None;
 
     for (d, run) in runs.into_iter().enumerate() {
@@ -226,6 +323,11 @@ pub fn run_ensemble_sharded(
         per_device_time_s[d] = res.total_time_s;
         kernel_time_s = kernel_time_s.max(res.kernel_time_s);
         rpc_stats.merge(&res.rpc_stats);
+        // One peak entry per device; fragmentation and fallbacks fold
+        // across the fleet like the batched driver folds launches.
+        heap.peak_bytes[d] = res.heap.peak_bytes.iter().copied().max().unwrap_or(0);
+        heap.fragmentation = heap.fragmentation.max(res.heap.fragmentation);
+        heap.alloc_fallbacks += res.heap.alloc_fallbacks;
         // Device lanes start concurrently at t = 0, so the shard's
         // series needs only a device stamp, not a time shift.
         let mut device_tl = std::mem::take(&mut res.timeline);
@@ -278,6 +380,7 @@ pub fn run_ensemble_sharded(
             metrics,
             timeline,
             graph,
+            heap,
         },
         devices: m as u32,
         placement,

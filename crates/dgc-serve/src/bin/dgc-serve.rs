@@ -27,7 +27,8 @@ const USAGE: &str = "usage: dgc-serve <run|resume|retry-failed|status> --journal
                [--queue-cap <n>] [--admission block|reject] [--thread-limit <n>]\n\
                [--max-attempts <n>] [--retry-jitter <seed>] [--deadline-s <s>]\n\
                [--monitor-out <file>] [--monitor-interval <ms>]\n\
-               [--wave-pause-ms <ms>] [--crash-after-journal-bytes <n>] [--quiet]";
+               [--wave-pause-ms <ms>] [--crash-after-journal-bytes <n>]\n\
+               [--mem-aware|--no-mem-aware] [--quiet]";
 
 enum Source {
     File(PathBuf),
@@ -127,6 +128,8 @@ fn parse_cli(args: &[String]) -> Result<Cli, String> {
                         .map_err(|_| "bad --crash-after-journal-bytes")?,
                 )
             }
+            "--mem-aware" => cli.cfg.mem_aware = true,
+            "--no-mem-aware" => cli.cfg.mem_aware = false,
             "--quiet" => cli.quiet = true,
             other => return Err(format!("unknown flag `{other}`")),
         }

@@ -22,7 +22,7 @@ use dgc_core::{EnsembleError, EnsembleOptions, HostApp};
 use dgc_fault::{run_ensemble_resilient, FaultPlan, RecoveryPolicy};
 use dgc_monitor::{Counter, Gauge, Histogram, MonitorRegistry};
 use dgc_obs::Recorder;
-use dgc_sched::{wave_take, InstanceCosts};
+use dgc_sched::{mem_cap_take, wave_take, InstanceCosts};
 use gpu_arch::GpuSpec;
 use gpu_sim::Gpu;
 use std::collections::HashMap;
@@ -60,6 +60,11 @@ pub struct ServeConfig {
     /// Live telemetry; also attached to every wave's [`Recorder`] as a
     /// [`dgc_obs::MonitorSink`].
     pub monitor: Option<Arc<MonitorRegistry>>,
+    /// Memory-aware wave sizing (default on): pilot peak footprints cap
+    /// each wave at device capacity ([`mem_cap_take`]) and wave devices
+    /// run the per-team free-list allocator. Off restores the legacy
+    /// cost-budget-only waves bit-identically.
+    pub mem_aware: bool,
 }
 
 impl Default for ServeConfig {
@@ -74,6 +79,7 @@ impl Default for ServeConfig {
             crash_after_journal_bytes: None,
             resolve: dgc_apps::app_by_name,
             monitor: None,
+            mem_aware: true,
         }
     }
 }
@@ -210,9 +216,9 @@ pub struct Daemon {
     journal: Journal,
     state: ServeState,
     metrics: Option<ServeMetrics>,
-    /// Pilot cost per distinct (app, args) — deterministic, so the
-    /// cache is an optimization only.
-    costs: HashMap<(String, Vec<String>), f64>,
+    /// Pilot (predicted seconds, peak heap bytes) per distinct
+    /// (app, args) — deterministic, so the cache is an optimization only.
+    costs: HashMap<(String, Vec<String>), (f64, u64)>,
     /// Simulated backoff accumulated by retry rounds.
     pub backoff_s: f64,
     /// Every job id actually executed (re-executed) by *this* process,
@@ -317,10 +323,10 @@ impl Daemon {
         }
     }
 
-    /// Pilot-predicted seconds for one job (cached per distinct
-    /// workload). Pilot failures predict zero — the wave run will
-    /// surface the real error as the job's outcome.
-    fn cost_of(&mut self, spec: &JobSpec) -> f64 {
+    /// Pilot-predicted (seconds, peak heap bytes) for one job (cached
+    /// per distinct workload). Pilot failures predict zero — the wave
+    /// run will surface the real error as the job's outcome.
+    fn cost_of(&mut self, spec: &JobSpec) -> (f64, u64) {
         let key = (spec.app.clone(), spec.args.clone());
         if let Some(&c) = self.costs.get(&key) {
             return c;
@@ -339,11 +345,26 @@ impl Daemon {
                     &GpuSpec::a100_40gb(),
                 )
                 .ok()
-                .map(|costs| costs.cost(0).seconds_ref)
+                .map(|costs| (costs.cost(0).seconds_ref, costs.peak_mem_bytes(0)))
             })
-            .unwrap_or(0.0);
+            .unwrap_or((0.0, 0));
         self.costs.insert(key, c);
         c
+    }
+
+    /// Cap a cost-budgeted wave prefix by device memory: the longest
+    /// further prefix whose summed pilot peaks fit the wave device.
+    /// Identity when memory-aware mode is off.
+    fn mem_cap(&self, peaks: &[u64], take: usize) -> usize {
+        if !self.cfg.mem_aware || take == 0 {
+            return take;
+        }
+        let capacity = GpuSpec::a100_40gb().global_mem_bytes;
+        take.min(mem_cap_take(
+            &peaks[..take.min(peaks.len())],
+            capacity,
+            take,
+        ))
     }
 
     /// Form the next wave: the head of the pending queue fixes the app
@@ -359,8 +380,11 @@ impl Daemon {
             .filter(|j| j.app == head_app)
             .take(self.cfg.max_wave as usize)
             .collect();
-        let costs: Vec<f64> = candidates.iter().map(|j| self.cost_of(j)).collect();
+        let pilots: Vec<(f64, u64)> = candidates.iter().map(|j| self.cost_of(j)).collect();
+        let costs: Vec<f64> = pilots.iter().map(|&(s, _)| s).collect();
+        let peaks: Vec<u64> = pilots.iter().map(|&(_, p)| p).collect();
         let take = wave_take(&costs, self.cfg.wave_budget_s, self.cfg.max_wave as usize);
+        let take = self.mem_cap(&peaks, take);
         Some(candidates[..take].iter().map(|j| j.id.clone()).collect())
     }
 
@@ -415,6 +439,11 @@ impl Daemon {
             ..self.cfg.recovery.clone()
         };
         let mut gpu = Gpu::a100();
+        if self.cfg.mem_aware {
+            // Waves are already sized to capacity by the pilot peaks;
+            // the free-list allocator recycles the per-team churn.
+            gpu.mem.set_free_lists(true);
+        }
         let mut obs = Recorder::disabled();
         if let Some(reg) = &self.cfg.monitor {
             obs.set_monitor(Arc::clone(reg) as Arc<dyn dgc_obs::MonitorSink>);
@@ -565,10 +594,13 @@ impl Daemon {
             let mut ids = Vec::new();
             let mut attempt = 0u32;
             let mut costs = Vec::new();
+            let mut peaks = Vec::new();
             let mut rest = Vec::new();
             for (spec, attempts) in queue {
                 if spec.app == head_app && ids.len() < self.cfg.max_wave as usize {
-                    costs.push(self.cost_of(&spec));
+                    let (s, p) = self.cost_of(&spec);
+                    costs.push(s);
+                    peaks.push(p);
                     attempt = attempt.max(attempts + 1);
                     ids.push(spec.id);
                 } else {
@@ -576,6 +608,7 @@ impl Daemon {
                 }
             }
             let take = wave_take(&costs, self.cfg.wave_budget_s, self.cfg.max_wave as usize);
+            let take = self.mem_cap(&peaks, take);
             for id in ids.split_off(take) {
                 // Over-budget members wait for the next round's wave.
                 let spec = self.state.spec(&id).cloned().unwrap();

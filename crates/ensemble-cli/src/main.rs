@@ -50,15 +50,24 @@
 //! flags, a dead device re-shards its instances onto the survivors. The
 //! default `-n` is one instance per argument line; with `--cycle-args`
 //! the lines are reused modulo when `-n` exceeds the file.
+//!
+//! Memory-aware packing (default on): pilot runs record each distinct
+//! argument line's peak heap bytes, placement refuses shards that would
+//! exceed device capacity, unbatched runs size their batch to the
+//! capacity fit, and the heap recycles freed blocks through per-team
+//! free lists. `--no-mem-aware` restores the bit-identical legacy
+//! behavior (first-fit only, memory-blind placement, OOM-then-halve).
 
-use dgc_core::{parse_ensemble_cli, run_ensemble_traced, EnsembleOptions, MappingStrategy};
+use dgc_core::{
+    parse_ensemble_cli, run_ensemble_traced, EnsembleOptions, HostApp, MappingStrategy,
+};
 use dgc_fault::{
-    run_ensemble_resilient, run_ensemble_sharded_resilient, FaultPlan, RecoveryPolicy,
-    RecoveryStats,
+    run_ensemble_resilient_mem_aware, run_ensemble_sharded_resilient_mem_aware, FaultPlan,
+    RecoveryPolicy, RecoveryStats,
 };
 use dgc_monitor::{MonitorRegistry, MonitorWriter};
 use dgc_obs::{metrics_jsonl, LaunchMetrics, Recorder};
-use dgc_sched::{run_ensemble_sharded, Placement};
+use dgc_sched::{run_ensemble_sharded_mem_aware, InstanceCosts, Placement};
 use gpu_arch::GpuSpec;
 use gpu_sim::{DeviceFleet, Gpu};
 use host_rpc::HostServices;
@@ -70,11 +79,41 @@ fn usage() -> ! {
     );
     eprintln!("                    [--faults <plan.json>] [--max-attempts <K>] [--auto-batch] [--instance-timeout <cycles>] [--fail-fast] [--retry-jitter <seed>]");
     eprintln!("                    [--devices <M>] [--placement round-robin|greedy|lpt]");
+    eprintln!("                    [--mem-aware|--no-mem-aware]");
     eprintln!("                    [--timeline] [--sample-interval <cycles>] [--progress]");
     eprintln!("                    [--insight-out <report.md>] [--flame-out <stacks.folded>]");
     eprintln!("                    [--monitor-out <snapshots.om>] [--monitor-interval <ms>]");
     eprintln!("  apps: xsbench, rsbench, amgmk, pagerank");
     std::process::exit(2);
+}
+
+/// Pilot-run cost/peak estimation for the memory-aware single-device
+/// paths. Returns `None` when mem-aware mode is off or the argument
+/// file cannot cover the requested instances (the real driver reports
+/// that error itself, keeping the legacy error text).
+fn pilot_costs(
+    mem_aware: bool,
+    app: &HostApp,
+    arg_lines: &[Vec<String>],
+    opts: &EnsembleOptions,
+) -> Option<InstanceCosts> {
+    if !mem_aware || arg_lines.is_empty() {
+        return None;
+    }
+    let n = opts.num_instances.max(1) as usize;
+    if !opts.cycle_args && n > arg_lines.len() {
+        return None;
+    }
+    let lines_of: Vec<Vec<String>> = (0..n)
+        .map(|i| arg_lines[i % arg_lines.len()].clone())
+        .collect();
+    match InstanceCosts::estimate(app, &lines_of, opts, &GpuSpec::a100_40gb()) {
+        Ok(c) => Some(c),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -209,8 +248,17 @@ fn main() {
         // Sharded across a homogeneous fleet of A100s.
         let mut fleet = DeviceFleet::homogeneous(GpuSpec::a100_40gb(), cli.devices);
         if resilient {
-            match run_ensemble_sharded_resilient(
-                &mut fleet, &app, &arg_lines, &opts, cli.batch, placement, &plan, &policy, &mut obs,
+            match run_ensemble_sharded_resilient_mem_aware(
+                &mut fleet,
+                &app,
+                &arg_lines,
+                &opts,
+                cli.batch,
+                placement,
+                &plan,
+                &policy,
+                &mut obs,
+                cli.mem_aware,
             ) {
                 Ok(r) => {
                     let lm = r.launch_metrics();
@@ -229,8 +277,15 @@ fn main() {
                 }
             }
         } else {
-            match run_ensemble_sharded(
-                &mut fleet, &app, &arg_lines, &opts, cli.batch, placement, &mut obs,
+            match run_ensemble_sharded_mem_aware(
+                &mut fleet,
+                &app,
+                &arg_lines,
+                &opts,
+                cli.batch,
+                placement,
+                &mut obs,
+                cli.mem_aware,
             ) {
                 Ok(r) => {
                     launch_override = Some(r.launch_metrics());
@@ -251,8 +306,21 @@ fn main() {
         }
     } else if resilient {
         let mut gpu = Gpu::a100();
-        match run_ensemble_resilient(
-            &mut gpu, &app, &arg_lines, &opts, cli.batch, &plan, &policy, &mut obs,
+        // Memory-aware recovery sizes chunks from pilot peaks, so an
+        // over-capacity ensemble sequences up front instead of paying
+        // the OOM-then-halve tax. `--no-mem-aware` (costs = None) keeps
+        // the legacy driver bit-identical.
+        let costs = pilot_costs(cli.mem_aware, &app, &arg_lines, &opts);
+        match run_ensemble_resilient_mem_aware(
+            &mut gpu,
+            &app,
+            &arg_lines,
+            &opts,
+            cli.batch,
+            &plan,
+            &policy,
+            &mut obs,
+            costs.as_ref(),
         ) {
             Ok(r) => {
                 let lm = r.launch_metrics();
@@ -265,7 +333,28 @@ fn main() {
         }
     } else {
         let mut gpu = Gpu::a100();
-        let res = if cli.batch > 0 {
+        // Memory-aware single-device runs recycle blocks through the
+        // heap's free lists and, when no explicit --batch was given,
+        // batch at the pilot-measured capacity fit so memory-hungry
+        // ensembles sequence instead of OOM-ing.
+        let eff_batch = if cli.mem_aware {
+            gpu.mem.set_free_lists(true);
+            match pilot_costs(cli.batch == 0, &app, &arg_lines, &opts) {
+                Some(costs) => {
+                    let n = opts.num_instances.max(1);
+                    let fit = costs.mem_fit_count(n, gpu.mem.capacity());
+                    if fit < n {
+                        fit
+                    } else {
+                        0
+                    }
+                }
+                None => cli.batch,
+            }
+        } else {
+            cli.batch
+        };
+        let res = if eff_batch > 0 {
             // Per-batch progress with rate + ETA from the wall clock and
             // the completed/total instance counts.
             let report_progress = cli.progress && !cli.quiet;
@@ -275,7 +364,7 @@ fn main() {
                 &app,
                 &arg_lines,
                 &opts,
-                cli.batch,
+                eff_batch,
                 &mut obs,
                 &mut |done, total| {
                     if !report_progress || done == 0 {

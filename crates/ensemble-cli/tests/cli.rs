@@ -345,7 +345,7 @@ fn timeline_flag_adds_counter_tracks_to_traces() {
 }
 
 #[test]
-fn timeline_flag_fills_schema_v5_metrics() {
+fn timeline_flag_fills_timeline_metrics() {
     let f = arg_file("timeline-metrics", 2);
     let m = std::env::temp_dir().join("ensemble-cli-test-timeline-metrics.jsonl");
     let out = run(&[
@@ -363,11 +363,11 @@ fn timeline_flag_fills_schema_v5_metrics() {
         .lines()
         .find(|l| l.contains("\"record\":\"launch\""))
         .expect("launch record present");
-    assert!(launch.contains("\"schema\":5"), "{launch}");
+    assert!(launch.contains("\"schema\":6"), "{launch}");
     assert!(launch.contains("\"timeline\":[{"), "{launch}");
     assert!(launch.contains("\"utilization_mean\":"), "{launch}");
     assert!(!launch.contains("\"utilization_mean\":null"), "{launch}");
-    // Without --timeline the v5 fields stay null/empty.
+    // Without --timeline the timeline fields stay null/empty.
     let out = run(&[
         "xsbench",
         "-f",

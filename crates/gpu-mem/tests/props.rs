@@ -1,6 +1,9 @@
-//! Property-based tests for the device-memory substrate.
+//! Property-based tests for the device-memory substrate and the
+//! two-level heap allocator's invariants.
 
-use gpu_mem::{coalesce, coalesce_strided, Backing, DeviceMemory, DevicePtr, SECTOR_BYTES};
+use gpu_mem::{
+    coalesce, coalesce_strided, AllocError, Backing, DeviceMemory, DevicePtr, SECTOR_BYTES,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -109,5 +112,182 @@ proptest! {
         b.alloc_tagged(size, Backing::Reserved, 0).unwrap();
         prop_assert_eq!(a.free_bytes(), b.free_bytes());
         prop_assert_eq!(a.stats().bytes_in_use, b.stats().bytes_in_use);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-level allocator invariants: arbitrary op interleavings, every step
+// validated against `debug_validate`'s full O(n) re-derivation of the
+// incremental ledger (free-byte counter, hole multiset, largest hole,
+// per-tag accounting, ring contents, byte conservation, exact tiling).
+// ---------------------------------------------------------------------------
+
+const CAPACITY: u64 = 1 << 20; // 1 MiB: small enough that OOM paths fire.
+
+/// One scripted heap operation. Free indices are taken modulo the
+/// current live set so every generated script is valid by construction.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { len: u64, tag: u32 },
+    Free { idx: usize },
+    FreeByTag { tag: u32 },
+    SetFreeLists { enabled: bool },
+    PruneStale,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The shim's `prop_oneof!` chooses uniformly; repeating the hot arms
+    // biases scripts toward allocation/free churn.
+    prop_oneof![
+        (1u64..200_000, 0u32..5).prop_map(|(len, tag)| Op::Alloc { len, tag }),
+        (1u64..200_000, 0u32..5).prop_map(|(len, tag)| Op::Alloc { len, tag }),
+        (1u64..200_000, 0u32..5).prop_map(|(len, tag)| Op::Alloc { len, tag }),
+        (1u64..200_000, 0u32..5).prop_map(|(len, tag)| Op::Alloc { len, tag }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        any::<usize>().prop_map(|idx| Op::Free { idx }),
+        (0u32..5).prop_map(|tag| Op::FreeByTag { tag }),
+        any::<bool>().prop_map(|enabled| Op::SetFreeLists { enabled }),
+        Just(Op::PruneStale),
+    ]
+}
+
+/// Run a script against a fresh heap, validating after every op and
+/// checking the generation counter never moves backwards. Returns the
+/// heap with all remaining live pointers freed (and validated).
+fn run_script(ops: &[Op], free_lists_at_start: bool) -> DeviceMemory {
+    let mut mem = DeviceMemory::new(CAPACITY);
+    mem.set_free_lists(free_lists_at_start);
+    let mut live: Vec<DevicePtr> = Vec::new();
+    let mut last_generation = mem.generation();
+    for op in ops {
+        match op {
+            Op::Alloc { len, tag } => match mem.alloc_tagged(*len, Backing::Materialized, *tag) {
+                Ok(ptr) => live.push(ptr),
+                Err(AllocError::OutOfMemory { free, .. }) => {
+                    // The OOM report's `free` is the incremental counter;
+                    // it must agree with the heap's own view.
+                    assert_eq!(free, mem.free_bytes());
+                }
+                Err(e) => panic!("unexpected alloc error: {e:?}"),
+            },
+            Op::Free { idx } => {
+                if !live.is_empty() {
+                    let ptr = live.swap_remove(idx % live.len());
+                    mem.free(ptr).expect("live pointer frees cleanly");
+                }
+            }
+            Op::FreeByTag { tag } => {
+                mem.free_by_tag(*tag);
+                // Anything the allocator no longer knows is gone.
+                live.retain(|p| mem.region_of(p.0).is_some());
+            }
+            Op::SetFreeLists { enabled } => mem.set_free_lists(*enabled),
+            Op::PruneStale => {
+                mem.prune_stale(4);
+            }
+        }
+        mem.debug_validate().expect("heap invariants hold after op");
+        let generation = mem.generation();
+        assert!(
+            generation >= last_generation,
+            "generation went backwards: {last_generation} -> {generation}"
+        );
+        last_generation = generation;
+    }
+    for ptr in live {
+        mem.free(ptr).expect("teardown free succeeds");
+        mem.debug_validate()
+            .expect("heap invariants hold during teardown");
+    }
+    mem
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core invariant suite: any op interleaving with free lists ON
+    /// keeps every ledger consistent with a full scan.
+    #[test]
+    fn heap_invariants_hold_with_free_lists(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_script(&ops, true);
+    }
+
+    /// Same scripts with free lists OFF at the start: the legacy
+    /// single-level configuration obeys the same invariants (and any
+    /// mid-script `SetFreeLists` flip must flush cleanly both ways).
+    #[test]
+    fn heap_invariants_hold_without_free_lists(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        run_script(&ops, false);
+    }
+
+    /// After every script, full teardown restores the pristine heap: one
+    /// maximal hole, zero bytes in use, zero bytes parked.
+    #[test]
+    fn full_teardown_restores_one_maximal_hole(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut mem = run_script(&ops, true);
+        mem.set_free_lists(false); // flush rings back into the global list
+        mem.debug_validate().expect("flush preserves invariants");
+        prop_assert_eq!(mem.stats().bytes_in_use, 0);
+        prop_assert_eq!(mem.cached_bytes(), 0);
+        prop_assert_eq!(mem.free_bytes(), CAPACITY);
+        prop_assert_eq!(mem.largest_free_block(), CAPACITY);
+        prop_assert_eq!(mem.fragmentation(), 0.0);
+    }
+
+    /// Byte conservation as a standalone property: in-use + free is the
+    /// capacity at every step, whichever level owns the free bytes.
+    #[test]
+    fn bytes_are_conserved(ops in prop::collection::vec(op_strategy(), 1..80)) {
+        let mut mem = DeviceMemory::new(CAPACITY);
+        mem.set_free_lists(true);
+        let mut live: Vec<DevicePtr> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Alloc { len, tag } => {
+                    if let Ok(p) = mem.alloc_tagged(*len, Backing::Materialized, *tag) {
+                        live.push(p);
+                    }
+                }
+                Op::Free { idx } => {
+                    if !live.is_empty() {
+                        let p = live.swap_remove(idx % live.len());
+                        mem.free(p).expect("live pointer frees cleanly");
+                    }
+                }
+                Op::FreeByTag { tag } => {
+                    mem.free_by_tag(*tag);
+                    live.retain(|p| mem.region_of(p.0).is_some());
+                }
+                Op::SetFreeLists { enabled } => mem.set_free_lists(*enabled),
+                Op::PruneStale => {
+                    mem.prune_stale(4);
+                }
+            }
+            prop_assert_eq!(mem.stats().bytes_in_use + mem.free_bytes(), CAPACITY);
+        }
+    }
+
+    /// Recycled blocks never leak tag accounting: allocating and bulk-
+    /// freeing a tag always returns its bytes, no matter what another
+    /// tag holds concurrently.
+    #[test]
+    fn free_by_tag_reclaims_every_byte(
+        sizes in prop::collection::vec(1u64..50_000, 1..12),
+        other in prop::collection::vec(1u64..50_000, 0..6),
+    ) {
+        let mut mem = DeviceMemory::new(CAPACITY);
+        mem.set_free_lists(true);
+        for len in &other {
+            mem.alloc_tagged(*len, Backing::Materialized, 7).expect("other-tag alloc fits");
+        }
+        let before = mem.stats().bytes_in_use;
+        for len in &sizes {
+            mem.alloc_tagged(*len, Backing::Materialized, 3).expect("tag-3 alloc fits");
+        }
+        mem.free_by_tag(3);
+        mem.debug_validate().expect("invariants hold after bulk free");
+        prop_assert_eq!(mem.stats().bytes_in_use, before);
+        prop_assert_eq!(mem.tag_peak_bytes(3) > 0, true);
     }
 }

@@ -113,6 +113,10 @@ struct LaneScratch {
     shared_recs: Vec<u32>,
     insts: f64,
     rpc: u64,
+    /// Device-heap allocator operations issued by this lane this round.
+    alloc_ops: f64,
+    /// The subset of `alloc_ops` served from a per-team free list.
+    alloc_fast_ops: f64,
 }
 
 impl LaneScratch {
@@ -121,6 +125,8 @@ impl LaneScratch {
         self.shared_recs.clear();
         self.insts = 0.0;
         self.rpc = 0;
+        self.alloc_ops = 0.0;
+        self.alloc_fast_ops = 0.0;
     }
 }
 
@@ -264,11 +270,16 @@ impl<'t, 'g> LaneCtx<'t, 'g> {
     /// This is the primitive `device-libc`'s `malloc` is built on.
     pub fn dev_alloc(&mut self, bytes: u64) -> Result<DevicePtr, KernelError> {
         let tag = self.inner.default_tag;
+        let recycled_before = self.inner.mem.stats().recycled_allocations;
         let p = self
             .inner
             .mem
             .alloc_tagged(bytes, gpu_mem::Backing::Materialized, tag)?;
         self.scratch.insts += cost::MALLOC;
+        self.scratch.alloc_ops += 1.0;
+        if self.inner.mem.stats().recycled_allocations > recycled_before {
+            self.scratch.alloc_fast_ops += 1.0;
+        }
         self.inner.refresh_snapshot();
         Ok(p)
     }
@@ -279,10 +290,15 @@ impl<'t, 'g> LaneCtx<'t, 'g> {
     /// on scaled-down materialized arrays.
     pub fn dev_reserve(&mut self, bytes: u64) -> Result<DevicePtr, KernelError> {
         let tag = self.inner.default_tag;
+        let recycled_before = self.inner.mem.stats().recycled_allocations;
         let p = self
             .inner
             .mem
             .alloc_tagged(bytes, gpu_mem::Backing::Reserved, tag)?;
+        self.scratch.alloc_ops += 1.0;
+        if self.inner.mem.stats().recycled_allocations > recycled_before {
+            self.scratch.alloc_fast_ops += 1.0;
+        }
         self.inner.refresh_snapshot();
         Ok(p)
     }
@@ -291,6 +307,7 @@ impl<'t, 'g> LaneCtx<'t, 'g> {
     pub fn dev_free(&mut self, p: DevicePtr) -> Result<(), KernelError> {
         self.inner.mem.free(p)?;
         self.scratch.insts += cost::MALLOC;
+        self.scratch.alloc_ops += 1.0;
         self.inner.refresh_snapshot();
         Ok(())
     }
@@ -604,6 +621,8 @@ impl<'g> TeamCtx<'g> {
         let mut seg = MixedSeg {
             insts: scratch.insts,
             rpc_calls: scratch.rpc,
+            alloc_ops: scratch.alloc_ops,
+            alloc_fast_ops: scratch.alloc_fast_ops,
             ..Default::default()
         };
         for rec in &scratch.recs {
@@ -636,16 +655,22 @@ impl<'g> TeamCtx<'g> {
             // Compute: lockstep warps issue for as long as their slowest lane.
             let mut max_insts = 0.0f64;
             let mut rpc = 0u64;
+            let mut alloc_ops = 0.0f64;
+            let mut alloc_fast_ops = 0.0f64;
             let mut max_recs = 0usize;
             let mut max_shared_recs = 0usize;
             for s in warp_scratches {
                 max_insts = max_insts.max(s.insts);
                 rpc += s.rpc;
+                alloc_ops += s.alloc_ops;
+                alloc_fast_ops += s.alloc_fast_ops;
                 max_recs = max_recs.max(s.recs.len());
                 max_shared_recs = max_shared_recs.max(s.shared_recs.len());
             }
             accum.insts += max_insts;
             accum.rpc_calls += rpc;
+            accum.alloc_ops += alloc_ops;
+            accum.alloc_fast_ops += alloc_fast_ops;
 
             // Shared memory: a warp access replays once per conflicting
             // bank; charge the extra replays as issue work.

@@ -11,6 +11,18 @@ pub struct TimingParams {
     /// Maximum L2 hit fraction achievable when the active footprint fits in
     /// the cache (compulsory misses and streaming keep it below 1).
     pub l2_hit_max: f64,
+    /// Warp-visible latency of one device-heap allocator operation that
+    /// takes the global first-fit path, in core cycles. Operations served
+    /// from a per-team free list are charged a quarter of this (row-local
+    /// reuse, no global-lock traffic). 0 (the default) disables the
+    /// allocator latency channel entirely and keeps every timing outcome
+    /// bit-identical to the five-bucket model.
+    pub alloc_cycles_per_op: f64,
+    /// Contention slope of the allocator latency: each *additional*
+    /// concurrently-resident instance heap (distinct region tag) scales
+    /// the per-operation latency by `1 + alloc_contention × (heaps − 1)`
+    /// — more teams hammering the global allocator serialize on it.
+    pub alloc_contention: f64,
 }
 
 impl Default for TimingParams {
@@ -18,6 +30,8 @@ impl Default for TimingParams {
         Self {
             rpc_cycles_per_call: 20_000.0,
             l2_hit_max: 0.95,
+            alloc_cycles_per_op: 0.0,
+            alloc_contention: 0.0,
         }
     }
 }
@@ -199,6 +213,9 @@ impl ScheduleDetail {
 ///   bandwidth was available but the warp could not keep enough requests
 ///   in flight);
 /// * `rpc` — a host round-trip latency was binding;
+/// * `alloc` — a device-heap allocator operation's latency was binding
+///   (global-path lock traffic and row-locality misses; zero unless
+///   [`TimingParams::alloc_cycles_per_op`] is set);
 /// * `wave_tail` — occupancy loss: the device ran below its full block
 ///   complement (kernel-level), or the block sat queued waiting for an SM
 ///   slot (block-level).
@@ -208,6 +225,7 @@ pub struct StallBuckets {
     pub dram_bw: f64,
     pub mlp: f64,
     pub rpc: f64,
+    pub alloc: f64,
     pub wave_tail: f64,
 }
 
@@ -218,25 +236,27 @@ enum StallClass {
     DramBw,
     Mlp,
     Rpc,
+    Alloc,
     WaveTail,
 }
 
 impl StallBuckets {
-    const NAMES: [&'static str; 5] = ["compute", "dram_bw", "mlp", "rpc", "wave_tail"];
+    const NAMES: [&'static str; 6] = ["compute", "dram_bw", "mlp", "rpc", "alloc", "wave_tail"];
 
-    fn as_array(&self) -> [f64; 5] {
+    fn as_array(&self) -> [f64; 6] {
         [
             self.compute,
             self.dram_bw,
             self.mlp,
             self.rpc,
+            self.alloc,
             self.wave_tail,
         ]
     }
 
     /// Sum of all buckets; equals the attributed cycle total.
     pub fn total(&self) -> f64 {
-        self.compute + self.dram_bw + self.mlp + self.rpc + self.wave_tail
+        self.compute + self.dram_bw + self.mlp + self.rpc + self.alloc + self.wave_tail
     }
 
     /// Name of the largest bucket (ties break in declaration order) —
@@ -253,7 +273,7 @@ impl StallBuckets {
     }
 
     /// `(name, cycles)` pairs in declaration order, for table rendering.
-    pub fn named(&self) -> [(&'static str, f64); 5] {
+    pub fn named(&self) -> [(&'static str, f64); 6] {
         let v = self.as_array();
         [
             (Self::NAMES[0], v[0]),
@@ -261,6 +281,7 @@ impl StallBuckets {
             (Self::NAMES[2], v[2]),
             (Self::NAMES[3], v[3]),
             (Self::NAMES[4], v[4]),
+            (Self::NAMES[5], v[5]),
         ]
     }
 
@@ -270,6 +291,7 @@ impl StallBuckets {
             StallClass::DramBw => self.dram_bw += dt,
             StallClass::Mlp => self.mlp += dt,
             StallClass::Rpc => self.rpc += dt,
+            StallClass::Alloc => self.alloc += dt,
             StallClass::WaveTail => self.wave_tail += dt,
         }
     }
@@ -357,6 +379,7 @@ impl StallBuckets {
             1 => &mut self.dram_bw,
             2 => &mut self.mlp,
             3 => &mut self.rpc,
+            4 => &mut self.alloc,
             _ => &mut self.wave_tail,
         }
     }
@@ -466,6 +489,11 @@ struct WarpState {
     insts_left: f64,
     bytes_left: f64,
     latency_left: f64,
+    /// Outstanding device-heap allocator latency: global-path operations
+    /// pay the full contention-scaled per-op cost, free-list hits a
+    /// quarter of it. A separate channel from `latency_left` so the stall
+    /// attribution can tell allocator serialization apart from RPC.
+    alloc_left: f64,
     /// Fraction of the warp's MLP window usable by this segment: coalesced
     /// streams keep the full window in flight; dependent, scattered lookup
     /// chains (low coalescing efficiency) cannot pipeline as deeply.
@@ -480,6 +508,7 @@ impl WarpState {
         phase_idx: usize,
         dram_discount: f64,
         params: &TimingParams,
+        alloc_scale: f64,
     ) {
         let seg = &blocks[self.block].teams[self.team].phases[phase_idx].warps[self.warp];
         self.insts_left = seg.insts;
@@ -487,12 +516,19 @@ impl WarpState {
         // Injected stalls (`MixedSeg::stall_cycles`, 0 for organic traces)
         // ride the same warp-visible latency channel as RPC round trips.
         self.latency_left = seg.rpc_calls as f64 * params.rpc_cycles_per_call + seg.stall_cycles;
+        // Allocator operations: full contention-scaled cost on the global
+        // path, a quarter for per-team free-list hits (row-local reuse).
+        let slow_ops = (seg.alloc_ops - seg.alloc_fast_ops).max(0.0);
+        self.alloc_left = alloc_scale * (slow_ops + 0.25 * seg.alloc_fast_ops);
         self.mlp_factor = 0.4 + 0.6 * seg.coalescing_efficiency();
         self.phase = WarpPhase::Running;
     }
 
     fn segment_done(&self) -> bool {
-        self.insts_left <= EPS && self.bytes_left <= EPS && self.latency_left <= EPS
+        self.insts_left <= EPS
+            && self.bytes_left <= EPS
+            && self.latency_left <= EPS
+            && self.alloc_left <= EPS
     }
 }
 
@@ -572,6 +608,12 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
     // rate as well as aggregate bandwidth — the paper's §4.3 observation.
     let mlp_cap = spec.mem_model.warp_mlp_bytes_per_cycle() * dram_eff;
     let issue_cap = spec.issue_slots_per_sm as f64;
+    // Allocator latency per global-path operation: the base cost scaled by
+    // contention from every *other* concurrently-resident instance heap
+    // (distinct region tags serialize on the global allocator lock and
+    // evict each other's row-buffer locality). 0 unless the params opt in.
+    let alloc_scale =
+        params.alloc_cycles_per_op * (1.0 + params.alloc_contention * (region_count - 1) as f64);
 
     // --- Mutable simulation state ---------------------------------------
     let mut warp_states: Vec<WarpState> = Vec::new();
@@ -594,6 +636,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                     insts_left: 0.0,
                     bytes_left: 0.0,
                     latency_left: 0.0,
+                    alloc_left: 0.0,
                     mlp_factor: 1.0,
                     phase: WarpPhase::Done, // activated on placement
                 });
@@ -749,7 +792,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                 for wi in 0..blocks[bi].teams[ti].warp_count as usize {
                     let ws = &mut warp_states[base + wi];
                     ws.sm = sm;
-                    ws.load_segment(blocks, team.phase_idx, dram_discount, params);
+                    ws.load_segment(blocks, team.phase_idx, dram_discount, params, alloc_scale);
                 }
             }
         }
@@ -826,6 +869,7 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                                     team.phase_idx,
                                     dram_discount,
                                     params,
+                                    alloc_scale,
                                 );
                             }
                         } else {
@@ -969,6 +1013,9 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             if ws.latency_left > EPS {
                 dt = dt.min(ws.latency_left);
             }
+            if ws.alloc_left > EPS {
+                dt = dt.min(ws.alloc_left);
+            }
         }
         assert!(
             dt.is_finite(),
@@ -1026,6 +1073,9 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
                 if ws.latency_left > EPS && ws.latency_left < slot.0 {
                     *slot = (ws.latency_left, StallClass::Rpc);
                 }
+                if ws.alloc_left > EPS && ws.alloc_left < slot.0 {
+                    *slot = (ws.alloc_left, StallClass::Alloc);
+                }
             }
             let mut global = (f64::INFINITY, StallClass::Compute);
             for (bi, &(t, class)) in stall_scratch.iter().enumerate() {
@@ -1066,6 +1116,9 @@ pub fn simulate_timing(inputs: &TimingInputs<'_>) -> TimingResult {
             }
             if ws.latency_left > EPS {
                 ws.latency_left -= dt.min(ws.latency_left);
+            }
+            if ws.alloc_left > EPS {
+                ws.alloc_left -= dt.min(ws.alloc_left);
             }
         }
 
@@ -1197,6 +1250,8 @@ mod tests {
             region_tags: vec![],
             region_footprints: vec![],
             rpc_calls: 0,
+            alloc_ops: 0.0,
+            alloc_fast_ops: 0.0,
             stall_cycles: 0.0,
         };
         BlockTrace {
@@ -1891,5 +1946,98 @@ mod tests {
         let json = serde_json::to_string(&tl).unwrap();
         let back: UtilizationTimeline = serde_json::from_str(&json).unwrap();
         assert_eq!(tl, back);
+    }
+
+    /// A block whose only segment issues allocator operations.
+    fn alloc_block(ops: f64, fast: f64, tags: Vec<u32>) -> BlockTrace {
+        let seg = MixedSeg {
+            insts: 100.0,
+            region_tags: tags,
+            alloc_ops: ops,
+            alloc_fast_ops: fast,
+            ..Default::default()
+        };
+        BlockTrace {
+            teams: vec![TeamTrace {
+                phases: vec![Phase {
+                    warps: vec![seg],
+                    label: "alloc".into(),
+                }],
+                warp_count: 1,
+            }],
+            shared_mem_bytes: 0,
+        }
+    }
+
+    fn run_alloc(blocks: &[BlockTrace], per_op: f64, contention: f64) -> TimingResult {
+        let s = spec();
+        let p = TimingParams {
+            alloc_cycles_per_op: per_op,
+            alloc_contention: contention,
+            ..TimingParams::default()
+        };
+        simulate_timing(&TimingInputs {
+            spec: &s,
+            blocks,
+            params: &p,
+            footprint_multiplier: 1.0,
+            collect_detail: false,
+            collect_stalls: true,
+            cycle_budget: None,
+            sample_interval: None,
+        })
+    }
+
+    #[test]
+    fn alloc_latency_is_off_by_default() {
+        // With the default params the allocator channel contributes no
+        // cycles and no bucket, even for a trace full of allocator ops —
+        // the bit-identity escape hatch.
+        let blocks = vec![alloc_block(50.0, 10.0, vec![0])];
+        let with_ops = run_stalls(&blocks);
+        let without_ops = run_stalls(&[alloc_block(0.0, 0.0, vec![0])]);
+        assert_eq!(with_ops.cycles, without_ops.cycles);
+        assert_eq!(with_ops.stalls.unwrap().kernel.alloc, 0.0);
+    }
+
+    #[test]
+    fn alloc_latency_binds_and_lands_in_the_alloc_bucket() {
+        let blocks = vec![alloc_block(50.0, 0.0, vec![0])];
+        let base = run_alloc(&blocks, 0.0, 0.0);
+        let priced = run_alloc(&blocks, 1_000.0, 0.0);
+        // 50 global-path ops × 1000 cycles dwarf the 100-inst segment.
+        assert!(priced.cycles > base.cycles);
+        assert!((priced.cycles - 50_000.0).abs() < 1.0, "{}", priced.cycles);
+        let st = priced.stalls.unwrap();
+        assert!(st.kernel.alloc > 0.9 * priced.cycles);
+        assert_eq!(st.kernel.total(), priced.cycles);
+    }
+
+    #[test]
+    fn free_list_hits_cost_a_quarter() {
+        let slow = run_alloc(&[alloc_block(40.0, 0.0, vec![0])], 1_000.0, 0.0);
+        let fast = run_alloc(&[alloc_block(40.0, 40.0, vec![0])], 1_000.0, 0.0);
+        assert!(
+            (slow.cycles / fast.cycles - 4.0).abs() < 0.1,
+            "slow {} vs fast {}",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn alloc_contention_scales_with_resident_heaps() {
+        // One heap: no contention surcharge. Four heaps: 1 + 0.5×3 = 2.5×.
+        let one = run_alloc(&[alloc_block(40.0, 0.0, vec![0])], 1_000.0, 0.5);
+        let four: Vec<BlockTrace> = (0..4).map(|t| alloc_block(40.0, 0.0, vec![t])).collect();
+        let contended = run_alloc(&four, 1_000.0, 0.5);
+        // Blocks run concurrently, so kernel cycles track the per-block
+        // allocator latency, which the contention factor scales.
+        assert!(
+            (contended.cycles / one.cycles - 2.5).abs() < 0.1,
+            "contended {} vs lone {}",
+            contended.cycles,
+            one.cycles
+        );
     }
 }

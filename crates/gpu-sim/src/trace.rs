@@ -23,6 +23,12 @@ pub struct MixedSeg {
     pub region_footprints: Vec<(u64, u64)>,
     /// Host RPC round trips issued from this warp.
     pub rpc_calls: u64,
+    /// Device-heap allocator operations (alloc/reserve/free) issued from
+    /// this warp's serial sections.
+    pub alloc_ops: f64,
+    /// The subset of `alloc_ops` served from a per-team free list (exact
+    /// size-class reuse) — charged a fraction of the full allocator cost.
+    pub alloc_fast_ops: f64,
     /// Extra warp-visible latency cycles charged to this segment before any
     /// of its work drains. Organically-built traces always carry 0; fault
     /// injection uses it to model a hung instance (the cycles are attributed
@@ -46,6 +52,8 @@ impl MixedSeg {
         self.useful_bytes += other.useful_bytes;
         self.sectors += other.sectors;
         self.rpc_calls += other.rpc_calls;
+        self.alloc_ops += other.alloc_ops;
+        self.alloc_fast_ops += other.alloc_fast_ops;
         self.stall_cycles += other.stall_cycles;
         for &t in &other.region_tags {
             self.add_region_tag(t);
@@ -201,6 +209,8 @@ mod tests {
             region_tags: vec![1, 3],
             region_footprints: vec![(100, 10)],
             rpc_calls: 1,
+            alloc_ops: 2.0,
+            alloc_fast_ops: 1.0,
             stall_cycles: 0.0,
         };
         let b = MixedSeg {
@@ -211,6 +221,8 @@ mod tests {
             region_tags: vec![2, 3],
             region_footprints: vec![(100, 10), (200, 20)],
             rpc_calls: 0,
+            alloc_ops: 3.0,
+            alloc_fast_ops: 0.0,
             stall_cycles: 0.5,
         };
         a.merge(&b);
@@ -219,6 +231,8 @@ mod tests {
         assert_eq!(a.region_tags, vec![1, 2, 3]);
         assert_eq!(a.region_footprints, vec![(100, 10), (200, 20)]);
         assert_eq!(a.rpc_calls, 1);
+        assert_eq!(a.alloc_ops, 5.0);
+        assert_eq!(a.alloc_fast_ops, 1.0);
         assert_eq!(a.stall_cycles, 0.5);
     }
 
@@ -243,6 +257,8 @@ mod tests {
             region_tags: vec![0],
             region_footprints: vec![(0x1000, 4096)],
             rpc_calls: 2,
+            alloc_ops: 0.0,
+            alloc_fast_ops: 0.0,
             stall_cycles: 0.0,
         };
         let t = TeamTrace {

@@ -168,7 +168,7 @@ proptest! {
         prop_assert_eq!(st.blocks.len(), blocks.len());
         for (bi, b) in st.blocks.iter().enumerate() {
             prop_assert_eq!(b.total(), r.block_end_cycles[bi], "block {} buckets {:?}", bi, b);
-            let arr = [b.compute, b.dram_bw, b.mlp, b.rpc, b.wave_tail];
+            let arr = [b.compute, b.dram_bw, b.mlp, b.rpc, b.alloc, b.wave_tail];
             prop_assert!(arr.iter().all(|&v| v >= 0.0));
         }
     }
